@@ -1,0 +1,230 @@
+// Ablation harness for the design choices DESIGN.md calls out (beyond the
+// paper's own Figure 16 ablation):
+//
+//   A. Router policy — contextual Thompson sampling vs epsilon-greedy vs a
+//      pure-greedy (no-exploration) variant, on reward regret.
+//   B. Load controller — the Theorem-4 tanh bias vs a hard on/off threshold,
+//      on offload-ratio stability around the operational threshold.
+//   C. Cache eviction — knapsack (value-aware) vs LRU vs random, on retained
+//      offload value under a byte budget.
+//   D. Index probe count — K-Means nprobe sweep, recall@1 vs probed fraction
+//      (the K = sqrt(N) + nprobe trade the paper sizes in section 4.1).
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <numeric>
+
+#include "bench/bench_common.h"
+#include "src/common/knapsack.h"
+#include "src/common/mathutil.h"
+#include "src/core/bandit.h"
+#include "src/index/vector_index.h"
+
+namespace iccache {
+namespace {
+
+// --- A: router policy regret ----------------------------------------------
+void RouterPolicyAblation() {
+  benchutil::PrintTitle("Ablation A: router policy (cumulative regret, lower is better)");
+  // Two-arm contextual world: arm 0 good on easy (x1 low), arm 1 on hard.
+  auto reward = [](size_t arm, double x1, Rng& rng) {
+    const double base = arm == 0 ? (0.9 - 0.5 * x1) : (0.5 + 0.3 * x1);
+    return Clamp(base + rng.Normal(0.0, 0.05), 0.0, 1.0);
+  };
+  auto optimal = [](double x1) { return std::max(0.9 - 0.5 * x1, 0.5 + 0.3 * x1); };
+
+  const int horizon = 4000;
+  for (const char* policy : {"thompson", "epsilon-greedy", "greedy"}) {
+    ContextualBandit bandit(2, 2, 0xab1);
+    Rng rng(0xab2);
+    double regret = 0.0;
+    for (int t = 0; t < horizon; ++t) {
+      const double x1 = rng.Uniform();
+      const std::vector<double> context = {1.0, x1};
+      size_t arm = 0;
+      if (std::string(policy) == "thompson") {
+        arm = bandit.Select(context, {}).arm;
+      } else {
+        const BanditSelection sel = bandit.Select(context, {});
+        arm = static_cast<size_t>(std::max_element(sel.mean_scores.begin(),
+                                                   sel.mean_scores.end()) -
+                                  sel.mean_scores.begin());
+        if (std::string(policy) == "epsilon-greedy" && rng.Bernoulli(0.1)) {
+          arm = rng.UniformInt(2);
+        }
+      }
+      const double r = reward(arm, x1, rng);
+      regret += optimal(x1) - (arm == 0 ? 0.9 - 0.5 * x1 : 0.5 + 0.3 * x1);
+      bandit.Update(arm, context, r);
+    }
+    std::printf("  %-16s cumulative regret over %d rounds: %.1f\n", policy, horizon, regret);
+  }
+  benchutil::PrintNote("expected: thompson < epsilon-greedy < greedy (greedy can lock in)");
+}
+
+// --- B: load controller ----------------------------------------------------
+void LoadControllerAblation() {
+  benchutil::PrintTitle("Ablation B: tanh bias vs hard threshold (offload ratio by load)");
+  const double mu_small = 0.58;
+  const double mu_large = 0.62;  // large slightly better on quality
+  const double cost_small = 0.11;
+  const double cost_large = 1.0;
+  const double lambda0 = 1.5;
+  const double gamma = 2.0;
+  const double threshold = 0.75;
+  std::printf("  %-8s %-14s %s\n", "load", "tanh offload", "hard-threshold offload");
+  for (double load : {0.2, 0.6, 0.74, 0.76, 0.9, 1.2, 2.0}) {
+    const double dev = std::max(0.0, load - threshold);
+    const double tanh_bias = lambda0 * std::tanh(gamma * dev);
+    const auto probs_tanh = Softmax(
+        {mu_small - tanh_bias * cost_small, mu_large - tanh_bias * cost_large}, 0.05);
+    const double hard_bias = load > threshold ? lambda0 : 0.0;
+    const auto probs_hard = Softmax(
+        {mu_small - hard_bias * cost_small, mu_large - hard_bias * cost_large}, 0.05);
+    std::printf("  %-8.2f %-14.2f %.2f\n", load, probs_tanh[0], probs_hard[0]);
+  }
+  benchutil::PrintNote(
+      "expected: tanh ramps smoothly past the threshold; the hard controller slams from "
+      "quality-first to cheap-only at 0.75 (instability under load noise)");
+}
+
+// --- C: eviction policy -----------------------------------------------------
+void EvictionAblation() {
+  benchutil::PrintTitle("Ablation C: eviction policy (retained offload value at 50% budget)");
+  Rng rng(0xab3);
+  const size_t n = 4000;
+  struct Entry {
+    int64_t bytes;
+    double value;          // decayed offload value
+    double last_access;    // recency for LRU
+  };
+  std::vector<Entry> entries;
+  int64_t total_bytes = 0;
+  double total_value = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    Entry e;
+    e.bytes = static_cast<int64_t>(rng.UniformInt(300, 3000));
+    // Long-tail value correlated with recency (hot examples are recent).
+    e.value = rng.Bernoulli(0.15) ? rng.Uniform(2.0, 30.0) : rng.Uniform(0.0, 0.5);
+    e.last_access = Clamp(e.value / 30.0 + rng.Uniform(0.0, 0.6), 0.0, 1.0);
+    total_bytes += e.bytes;
+    total_value += e.value;
+    entries.push_back(e);
+  }
+  const int64_t budget = total_bytes / 2;
+
+  auto retained = [&](const std::vector<size_t>& order) {
+    int64_t used = 0;
+    double value = 0.0;
+    for (size_t idx : order) {
+      if (used + entries[idx].bytes <= budget) {
+        used += entries[idx].bytes;
+        value += entries[idx].value;
+      }
+    }
+    return value / total_value;
+  };
+
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+
+  // Knapsack (greedy density, as the production path uses at this scale).
+  std::vector<KnapsackItem> items;
+  for (const Entry& e : entries) {
+    items.push_back({e.bytes, e.value});
+  }
+  const KnapsackSolution solution = SolveKnapsackGreedy(items, budget);
+  double knapsack_value = 0.0;
+  for (size_t idx : solution.selected) {
+    knapsack_value += entries[idx].value;
+  }
+
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return entries[a].last_access > entries[b].last_access;
+  });
+  const double lru_value = retained(order);
+
+  Rng shuffle_rng(0xab4);
+  const std::vector<size_t> random_order = shuffle_rng.Permutation(n);
+  const double random_value = retained(random_order);
+
+  std::printf("  knapsack: %.2f   LRU: %.2f   random: %.2f (fraction of value retained)\n",
+              knapsack_value / total_value, lru_value, random_value);
+  benchutil::PrintNote("expected: knapsack > LRU > random (Figure 19's mechanism)");
+}
+
+// --- D: nprobe sweep ---------------------------------------------------------
+void NprobeAblation() {
+  benchutil::PrintTitle(
+      "Ablation D: K-Means index nprobe sweep (recall@1, 10k topically clustered vectors)");
+  Rng rng(0xab5);
+  const size_t n = 10000;
+  const size_t dim = 64;
+  const size_t topics = 400;
+  // Query embeddings cluster by topic in production (section 2.3); vectors
+  // are drawn as topic centroids plus small noise.
+  std::vector<std::vector<float>> centroids;
+  for (size_t t = 0; t < topics; ++t) {
+    std::vector<float> c(dim);
+    for (auto& x : c) {
+      x = static_cast<float>(rng.Normal());
+    }
+    NormalizeL2(c);
+    centroids.push_back(c);
+  }
+  std::vector<std::vector<float>> vectors;
+  FlatIndex exact(dim);
+  for (uint64_t i = 0; i < n; ++i) {
+    const auto& c = centroids[rng.UniformInt(topics)];
+    std::vector<float> v(dim);
+    for (size_t d = 0; d < dim; ++d) {
+      v[d] = c[d] + static_cast<float>(rng.Normal(0.0, 0.12));
+    }
+    NormalizeL2(v);
+    vectors.push_back(v);
+    exact.Add(i, v);
+  }
+  std::printf("  %-8s %-10s %s\n", "nprobe", "recall@1", "clusters probed / K=sqrt(N)=100");
+  for (size_t nprobe : {1u, 2u, 3u, 5u, 10u}) {
+    KMeansIndexConfig config;
+    config.dim = dim;
+    config.nprobe = nprobe;
+    config.seed = 0xab6;
+    KMeansIndex approx(config);
+    for (uint64_t i = 0; i < n; ++i) {
+      approx.Add(i, vectors[i]);
+    }
+    approx.Rebuild();
+    int hits = 0;
+    const int queries = 200;
+    Rng qrng(0xab7);
+    for (int q = 0; q < queries; ++q) {
+      const auto& c = centroids[qrng.UniformInt(topics)];
+      std::vector<float> query(dim);
+      for (size_t d = 0; d < dim; ++d) {
+        query[d] = c[d] + static_cast<float>(qrng.Normal(0.0, 0.12));
+      }
+      NormalizeL2(query);
+      const auto a = approx.Search(query, 1);
+      const auto e = exact.Search(query, 1);
+      if (!a.empty() && !e.empty() && a[0].id == e[0].id) {
+        ++hits;
+      }
+    }
+    std::printf("  %-8zu %-10.2f %zu/%zu\n", nprobe, static_cast<double>(hits) / queries, nprobe,
+                approx.num_clusters());
+  }
+  benchutil::PrintNote("expected: recall climbs quickly with nprobe; 3 probes ~ high recall at "
+                       "3% of the flat-search cost");
+}
+
+}  // namespace
+}  // namespace iccache
+
+int main() {
+  iccache::RouterPolicyAblation();
+  iccache::LoadControllerAblation();
+  iccache::EvictionAblation();
+  iccache::NprobeAblation();
+  return 0;
+}

@@ -1,0 +1,87 @@
+// Figure 14: IC-Cache augments semantic caching deployments. At a given cache
+// hit rate, "Semantic w/o IC" returns the cached response verbatim while
+// "Semantic w/ IC" repurposes the retrieved entries as in-context examples
+// for the small model. Paper: up to 28% quality improvement, i.e., ~4.1x
+// higher usable hit rate at the same quality target.
+#include <cstdio>
+#include <memory>
+
+#include "bench/bench_common.h"
+#include "src/baselines/semantic_cache.h"
+
+namespace iccache {
+namespace {
+
+void Evaluate(DatasetId dataset) {
+  DatasetProfile profile = GetDatasetProfile(dataset);
+  profile.num_topics /= 2;
+  QueryGenerator gen(profile, 0x14a);
+  ModelCatalog catalog;
+  const ModelProfile& small = catalog.Get("gemma-2-2b");
+  const ModelProfile& large = catalog.Get("gemma-2-27b");
+  GenerationSimulator sim(0x14b);
+  PairwiseJudge judge;
+  Rng rng(0x14c);
+  auto embedder = std::make_shared<HashingEmbedder>();
+
+  SemanticCache cache(embedder, 1.0);
+  for (const Request& req : gen.Generate(3000)) {
+    const GenerationResult result = sim.Generate(large, req, {});
+    cache.Put(req, result.latent_quality, result.output_tokens);
+  }
+  const std::vector<Request> queries = gen.Generate(350);
+
+  std::printf("  %s:\n", DatasetName(dataset));
+  std::printf("    %-10s %-10s %-18s %-18s\n", "threshold", "hit rate", "w/o IC win%",
+              "w/ IC win%");
+  for (double threshold : {0.97, 0.9, 0.8, 0.65, 0.0}) {
+    cache.set_similarity_threshold(threshold);
+    int hits = 0;
+    SideBySideStats without_ic;  // cached response vs large-model generation
+    SideBySideStats with_ic;     // small model + retrieved example vs large
+    for (const Request& query : queries) {
+      const double large_quality = sim.Generate(large, query, {}).latent_quality;
+      const auto hit = cache.Lookup(query);
+      if (!hit.has_value()) {
+        // Miss: both deployments fall back to normal (large) generation.
+        without_ic.Add(0.0);
+        with_ic.Add(0.0);
+        continue;
+      }
+      ++hits;
+      const double relevance = StructuralRelevance(query, hit->entry.request, rng);
+      const double reused =
+          sim.ReusedResponseQuality(hit->entry.response_quality, relevance);
+      without_ic.Add(judge.Compare(reused, large_quality));
+
+      // IC deployment: the retrieved entries become in-context examples.
+      std::vector<ExampleView> views;
+      for (const SemanticCacheHit& top : cache.LookupK(query, 4)) {
+        ExampleView view;
+        view.relevance = StructuralRelevance(query, top.entry.request, rng);
+        view.quality = top.entry.response_quality;
+        view.source_capability = large.capability;
+        view.tokens = top.entry.request.input_tokens + top.entry.response_tokens;
+        views.push_back(view);
+      }
+      const double augmented = sim.Generate(small, query, views).latent_quality;
+      with_ic.Add(judge.Compare(augmented, large_quality));
+    }
+    std::printf("    %-10.2f %-10.2f %-18.1f %-18.1f\n", threshold,
+                static_cast<double>(hits) / queries.size(), 100.0 * without_ic.win_rate(),
+                100.0 * with_ic.win_rate());
+  }
+}
+
+}  // namespace
+}  // namespace iccache
+
+int main() {
+  iccache::benchutil::PrintTitle("Figure 14: IC-Cache augments semantic caching");
+  iccache::Evaluate(iccache::DatasetId::kNaturalQuestions);
+  iccache::Evaluate(iccache::DatasetId::kLmsysChat);
+  iccache::benchutil::PrintNote(
+      "paper: w/ IC holds quality as the hit rate rises, up to +28% win rate over "
+      "response reuse at loose thresholds");
+  return 0;
+}

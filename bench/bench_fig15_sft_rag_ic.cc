@@ -1,0 +1,108 @@
+// Figure 15: IC-Cache composes with supervised fine-tuning and RAG.
+// Natural Questions: Gemma-2B 27.1% -> +SFT 29.5% -> +SFT+IC 47.3% win rate
+// vs Gemma-27B. MS MARCO: 41.1% -> +RAG 51.6% -> +RAG+IC 63.3%.
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "src/baselines/rag.h"
+#include "src/baselines/sft.h"
+
+namespace iccache {
+namespace {
+
+std::vector<ExampleView> ViewsFor(const benchutil::ServiceBundle& bundle, const Request& req,
+                                  const std::vector<SelectedExample>& selected, Rng& rng) {
+  std::vector<ExampleView> views;
+  for (const auto& sel : selected) {
+    const Example* example = bundle.service->cache().Get(sel.example_id);
+    ExampleView view;
+    view.relevance = StructuralRelevance(req, example->request, rng);
+    view.quality = example->response_quality;
+    view.source_capability = example->source_capability;
+    view.tokens = example->PromptTokens();
+    views.push_back(view);
+  }
+  return views;
+}
+
+void SftPanel() {
+  benchutil::BundleOptions options;
+  options.pool_size = 2500;
+  options.warmup_requests = 400;
+  options.seed = 0x15a;
+  auto bundle = benchutil::MakeBundle(DatasetId::kNaturalQuestions, options);
+  GenerationSimulator& sim = *bundle->sim;
+  const ModelProfile& small = bundle->Small();
+  const ModelProfile& large = bundle->Large();
+  const SftModelAdapter sft(small, DatasetId::kNaturalQuestions);
+  const ModelProfile tuned = sft.ProfileFor(DatasetId::kNaturalQuestions);
+  PairwiseJudge judge;
+  Rng rng(0x15b);
+
+  SideBySideStats plain;
+  SideBySideStats with_sft;
+  SideBySideStats with_sft_ic;
+  QueryGenerator eval_gen(bundle->profile, 0x15c);
+  for (int i = 0; i < 400; ++i) {
+    const Request req = eval_gen.Next();
+    const double large_quality = sim.Generate(large, req, {}).latent_quality;
+    plain.Add(judge.Compare(sim.Generate(small, req, {}).latent_quality, large_quality));
+    with_sft.Add(judge.Compare(sim.Generate(tuned, req, {}).latent_quality, large_quality));
+    const auto selected = bundle->service->selector().Select(req, tuned, 9000.0 + i);
+    with_sft_ic.Add(judge.Compare(
+        sim.Generate(tuned, req, ViewsFor(*bundle, req, selected, rng)).latent_quality,
+        large_quality));
+  }
+  std::printf("  Natural Questions (win rate %% vs %s):\n", large.name.c_str());
+  std::printf("    %-18s %6.1f  %s\n", "Gemma2-2B", 100.0 * plain.win_rate(), "(paper: 27.1)");
+  std::printf("    %-18s %6.1f  %s\n", "+SFT", 100.0 * with_sft.win_rate(), "(paper: 29.5)");
+  std::printf("    %-18s %6.1f  %s\n", "+SFT+IC", 100.0 * with_sft_ic.win_rate(),
+              "(paper: 47.3)");
+}
+
+void RagPanel() {
+  benchutil::BundleOptions options;
+  options.pool_size = 2500;
+  options.warmup_requests = 400;
+  options.seed = 0x15d;
+  auto bundle = benchutil::MakeBundle(DatasetId::kMsMarco, options);
+  GenerationSimulator& sim = *bundle->sim;
+  const ModelProfile& small = bundle->Small();
+  const ModelProfile& large = bundle->Large();
+  RagPipeline rag(bundle->profile);
+  PairwiseJudge judge;
+  Rng rng(0x15e);
+
+  SideBySideStats plain;
+  SideBySideStats with_rag;
+  SideBySideStats with_rag_ic;
+  QueryGenerator eval_gen(bundle->profile, 0x15f);
+  for (int i = 0; i < 400; ++i) {
+    const Request req = eval_gen.Next();
+    const double large_quality = sim.Generate(large, req, {}).latent_quality;
+    plain.Add(judge.Compare(sim.Generate(small, req, {}).latent_quality, large_quality));
+    const RagContext context = rag.Retrieve(req);
+    with_rag.Add(judge.Compare(
+        sim.Generate(small, req, {}, context.capability_boost).latent_quality, large_quality));
+    const auto selected = bundle->service->selector().Select(req, small, 9000.0 + i);
+    with_rag_ic.Add(judge.Compare(
+        sim.Generate(small, req, ViewsFor(*bundle, req, selected, rng), context.capability_boost)
+            .latent_quality,
+        large_quality));
+  }
+  std::printf("  MS MARCO (win rate %% vs %s):\n", large.name.c_str());
+  std::printf("    %-18s %6.1f  %s\n", "Gemma2-2B", 100.0 * plain.win_rate(), "(paper: 41.1)");
+  std::printf("    %-18s %6.1f  %s\n", "+RAG", 100.0 * with_rag.win_rate(), "(paper: 51.6)");
+  std::printf("    %-18s %6.1f  %s\n", "+RAG+IC", 100.0 * with_rag_ic.win_rate(),
+              "(paper: 63.3)");
+}
+
+}  // namespace
+}  // namespace iccache
+
+int main() {
+  iccache::benchutil::PrintTitle("Figure 15: IC-Cache augments SFT and RAG deployments");
+  iccache::SftPanel();
+  iccache::RagPanel();
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Figure 17 (and Appendix B.1): side-by-side response quality with the router
+// pinned so every request is answered by BOTH models — the small model with
+// and without in-context examples vs the large model. Paper win rates for the
+// small side: Gemini on LMSys-Chat 36.7% -> 44.2% w/ IC; Gemini on OpenOrca
+// 44.6% -> 57.0%; Qwen-7B vs DeepSeek-R1 on Natural Questions 7.9% -> 24.4%.
+#include <cstdio>
+
+#include "bench/bench_common.h"
+
+namespace iccache {
+namespace {
+
+void Evaluate(const char* label, DatasetId dataset,
+              const std::pair<std::string, std::string>& models, const char* paper) {
+  benchutil::BundleOptions options;
+  options.pool_size = 2500;
+  options.warmup_requests = 400;
+  options.models = models;
+  options.seed = 0x17 + static_cast<uint64_t>(dataset);
+  auto bundle = benchutil::MakeBundle(dataset, options);
+  GenerationSimulator& sim = *bundle->sim;
+  const ModelProfile& small = bundle->Small();
+  const ModelProfile& large = bundle->Large();
+  PairwiseJudge judge;
+  Rng rng(0x175);
+
+  SideBySideStats without_ic;
+  SideBySideStats with_ic;
+  QueryGenerator eval_gen(bundle->profile, 0x17e);
+  for (int i = 0; i < 450; ++i) {
+    const Request req = eval_gen.Next();
+    const double large_quality = sim.Generate(large, req, {}).latent_quality;
+    without_ic.Add(judge.Compare(sim.Generate(small, req, {}).latent_quality, large_quality));
+
+    const auto selected = bundle->service->selector().Select(req, small, 9200.0 + i);
+    std::vector<ExampleView> views;
+    for (const auto& sel : selected) {
+      const Example* example = bundle->service->cache().Get(sel.example_id);
+      ExampleView view;
+      view.relevance = StructuralRelevance(req, example->request, rng);
+      view.quality = example->response_quality;
+      view.source_capability = example->source_capability;
+      view.tokens = example->PromptTokens();
+      views.push_back(view);
+    }
+    with_ic.Add(judge.Compare(sim.Generate(small, req, views).latent_quality, large_quality));
+  }
+
+  std::printf("  %s\n", label);
+  std::printf("    %-8s win/tie/loss = %4.1f/%4.1f/%4.1f %%  -> win rate %5.1f %%\n", "w/o IC",
+              100.0 * without_ic.win_fraction(), 100.0 * without_ic.tie_fraction(),
+              100.0 * without_ic.loss_fraction(), 100.0 * without_ic.win_rate());
+  std::printf("    %-8s win/tie/loss = %4.1f/%4.1f/%4.1f %%  -> win rate %5.1f %%\n", "w/ IC",
+              100.0 * with_ic.win_fraction(), 100.0 * with_ic.tie_fraction(),
+              100.0 * with_ic.loss_fraction(), 100.0 * with_ic.win_rate());
+  benchutil::PrintNote(paper);
+}
+
+}  // namespace
+}  // namespace iccache
+
+int main() {
+  using iccache::DatasetId;
+  using iccache::ModelCatalog;
+  iccache::benchutil::PrintTitle("Figure 17: side-by-side quality with and without IC");
+  iccache::Evaluate("LMSys-Chat: Gemini-Flash vs Gemini-Pro", DatasetId::kLmsysChat,
+                    ModelCatalog::GeminiPair(), "paper: 36.7% w/o IC -> 44.2% w/ IC");
+  iccache::Evaluate("OpenOrca: Gemini-Flash vs Gemini-Pro", DatasetId::kOpenOrca,
+                    ModelCatalog::GeminiPair(), "paper: 44.6% w/o IC -> 57.0% w/ IC");
+  iccache::Evaluate("Natural Questions: Qwen-2.5-7B vs DeepSeek-R1", DatasetId::kNaturalQuestions,
+                    ModelCatalog::DeepSeekPair(), "paper: 7.9% w/o IC -> 24.4% w/ IC");
+  return 0;
+}

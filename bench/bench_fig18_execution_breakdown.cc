@@ -1,0 +1,125 @@
+// Figure 18: execution breakdown.
+// Left: contention-free (zero-load, no batching) serving latency for
+// Gemma-2-2B, Gemma-2-2B + IC-Cache (with routing/retrieval overheads
+// itemized), and Gemma-2-27B. Paper: 2.66s / 2.57s (incl. ~0.08s overhead,
+// 3% faster than bare 2B thanks to shorter decodes) / 8.94s.
+// Right: serving cost as GPUs needed per unit throughput, normalized to
+// Gemma-2-2B. Paper: 1.00 / 1.18 / 7.17.
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "src/common/stats.h"
+#include "src/serving/cluster.h"
+
+namespace iccache {
+namespace {
+
+struct Breakdown {
+  double generation_s = 0.0;
+  double routing_s = 0.0;
+  double retrieval1_s = 0.0;
+  double retrieval2_s = 0.0;
+  double Total() const { return generation_s + routing_s + retrieval1_s + retrieval2_s; }
+};
+
+// Max sustainable throughput of one replica of `model` on the given request
+// shape, measured by saturating the simulated server.
+double ReplicaThroughput(const ModelProfile& model, int prompt_tokens, int output_tokens) {
+  ClusterSim cluster;
+  cluster.AddPool(model, 1);
+  const int n = 600;
+  for (int i = 0; i < n; ++i) {
+    ServingRequest req;
+    req.id = static_cast<uint64_t>(i + 1);
+    req.arrival_time = 0.0;  // everything queued at once: measures capacity
+    req.prompt_tokens = prompt_tokens;
+    req.output_tokens = output_tokens;
+    cluster.Submit(model.name, req);
+  }
+  cluster.RunUntilIdle();
+  return static_cast<double>(n) / cluster.now();
+}
+
+}  // namespace
+}  // namespace iccache
+
+int main() {
+  using namespace iccache;
+  benchutil::BundleOptions options;
+  options.pool_size = 2500;
+  options.warmup_requests = 400;
+  options.seed = 0x18a;
+  auto bundle = benchutil::MakeBundle(DatasetId::kLmsysChat, options);
+  GenerationSimulator& sim = *bundle->sim;
+  const ModelProfile& small = bundle->Small();
+  const ModelProfile& large = bundle->Large();
+  const ServiceConfig& config = bundle->service->config();
+  Rng rng(0x18b);
+
+  RunningStat lat_small;
+  RunningStat lat_small_ic_gen;
+  RunningStat lat_large;
+  RunningStat prompt_small;
+  RunningStat prompt_small_ic;
+  RunningStat output_tokens;
+  QueryGenerator eval_gen(bundle->profile, 0x18c);
+  for (int i = 0; i < 400; ++i) {
+    const Request req = eval_gen.Next();
+    const GenerationResult plain = sim.Generate(small, req, {});
+    lat_small.Add(plain.e2e_latency_s);
+    prompt_small.Add(plain.prompt_tokens);
+    output_tokens.Add(plain.output_tokens);
+
+    const auto selected = bundle->service->selector().Select(req, small, 9300.0 + i);
+    std::vector<ExampleView> views;
+    for (const auto& sel : selected) {
+      const Example* example = bundle->service->cache().Get(sel.example_id);
+      ExampleView view;
+      view.relevance = StructuralRelevance(req, example->request, rng);
+      view.quality = example->response_quality;
+      view.source_capability = example->source_capability;
+      view.tokens = example->PromptTokens();
+      views.push_back(view);
+    }
+    const GenerationResult augmented = sim.Generate(small, req, views);
+    lat_small_ic_gen.Add(augmented.e2e_latency_s);
+    prompt_small_ic.Add(augmented.prompt_tokens);
+
+    lat_large.Add(sim.Generate(large, req, {}).e2e_latency_s);
+  }
+
+  Breakdown ic;
+  ic.generation_s = lat_small_ic_gen.mean();
+  ic.routing_s = config.router_latency_s;
+  ic.retrieval1_s = config.selector_stage1_latency_s;
+  ic.retrieval2_s = config.selector_stage2_latency_s;
+
+  benchutil::PrintTitle("Figure 18 (left): zero-load serving latency (s)");
+  std::printf("  %-22s prefill+decode=%.2f total=%.2f  %s\n", "Gemma-2-2B", lat_small.mean(),
+              lat_small.mean(), benchutil::PaperRef("2.66").c_str());
+  std::printf("  %-22s prefill+decode=%.2f routing=%.3f retr1=%.3f retr2=%.3f total=%.2f  %s\n",
+              "Gemma-2-2B w/ IC-Cache", ic.generation_s, ic.routing_s, ic.retrieval1_s,
+              ic.retrieval2_s, ic.Total(), benchutil::PaperRef("2.57").c_str());
+  std::printf("  %-22s prefill+decode=%.2f total=%.2f  %s\n", "Gemma-2-27B", lat_large.mean(),
+              lat_large.mean(), benchutil::PaperRef("8.94").c_str());
+
+  benchutil::PrintTitle("Figure 18 (right): GPUs per unit throughput (normalized)");
+  const int out = static_cast<int>(output_tokens.mean());
+  const double thpt_small = ReplicaThroughput(small, static_cast<int>(prompt_small.mean()), out);
+  const double thpt_small_ic =
+      ReplicaThroughput(small, static_cast<int>(prompt_small_ic.mean()),
+                        static_cast<int>(output_tokens.mean() * 0.92));
+  const double thpt_large = ReplicaThroughput(large, static_cast<int>(prompt_small.mean()), out);
+  const double cost_small = small.gpus_required / thpt_small;
+  const double cost_small_ic = small.gpus_required / thpt_small_ic;
+  const double cost_large = large.gpus_required / thpt_large;
+  std::printf("  %-22s GPU/QPS = %.2f  %s\n", "Gemma-2-2B", cost_small / cost_small,
+              benchutil::PaperRef("1.00").c_str());
+  std::printf("  %-22s GPU/QPS = %.2f  %s\n", "Gemma-2-2B w/ IC-Cache",
+              cost_small_ic / cost_small, benchutil::PaperRef("1.18").c_str());
+  std::printf("  %-22s GPU/QPS = %.2f  %s\n", "Gemma-2-27B", cost_large / cost_small,
+              benchutil::PaperRef("7.17").c_str());
+  std::printf("  => IC-Cache sustains %.1fx the throughput of always-large at equal GPUs %s\n",
+              cost_large / cost_small_ic, benchutil::PaperRef("5.1x").c_str());
+  return 0;
+}

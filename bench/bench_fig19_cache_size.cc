@@ -1,0 +1,115 @@
+// Figure 19: impact of example cache size. Qwen2.5-3B accuracy on code
+// generation and translation as the example pool is capped at 5-100% of the
+// full set, comparing (i) Naive Cache — random retention — against (ii)
+// IC-Cache — utility-aware retention via the knapsack policy. Paper: IC-Cache
+// saturates with a tiny cache (2,022 examples for code, 12,056 for
+// translation, <20 MB) while naive retention degrades sharply.
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+
+#include "bench/bench_common.h"
+
+namespace iccache {
+namespace {
+
+struct SizePoint {
+  double naive_accuracy = 0.0;
+  double ic_accuracy = 0.0;
+};
+
+SizePoint Evaluate(DatasetId dataset, double keep_fraction, uint64_t seed) {
+  benchutil::BundleOptions options;
+  options.pool_size = 3000;
+  options.warmup_requests = 300;
+  options.models = ModelCatalog::QwenPair();
+  options.seed = seed;
+  auto bundle = benchutil::MakeBundle(dataset, options);
+  GenerationSimulator& sim = *bundle->sim;
+  const ModelProfile& small = bundle->Small();
+  ExampleCache& cache = bundle->service->cache();
+  Rng rng(seed ^ 0x19);
+
+  // Retention: drop (1 - keep_fraction) of the pool under each policy.
+  const std::vector<uint64_t> ids = cache.AllIds();
+  const size_t keep = static_cast<size_t>(keep_fraction * ids.size());
+
+  // Utility-aware retention keeps the examples with the highest accumulated
+  // offload value (warmup populated these); naive keeps a random subset.
+  std::vector<uint64_t> by_value = ids;
+  std::sort(by_value.begin(), by_value.end(), [&cache](uint64_t a, uint64_t b) {
+    const Example* ea = cache.Get(a);
+    const Example* eb = cache.Get(b);
+    const double va = ea->offload_value + 0.01 * static_cast<double>(ea->access_count);
+    const double vb = eb->offload_value + 0.01 * static_cast<double>(eb->access_count);
+    return va > vb;
+  });
+
+  auto run_eval = [&](const std::vector<uint64_t>& keep_ids) {
+    // Build a fresh service sharing nothing, fill its cache with the kept
+    // examples, and measure accuracy with selected examples.
+    benchutil::BundleOptions fresh_options = options;
+    fresh_options.pool_size = 1;  // minimal; we refill manually
+    fresh_options.warmup_requests = 0;
+    fresh_options.proxy_pretrain_samples = 0;
+    auto fresh = benchutil::MakeBundle(dataset, fresh_options);
+    for (uint64_t id : keep_ids) {
+      const Example* example = cache.Get(id);
+      fresh->service->cache().Put(example->request, "[resp]", example->response_quality,
+                                  example->source_capability, example->response_tokens, 0.0);
+    }
+    fresh->service->PretrainProxy(400);
+    QueryGenerator eval_gen(bundle->profile, seed ^ 0x19e);
+    Rng view_rng(seed ^ 0x19f);
+    int correct = 0;
+    const int n = 250;
+    for (int i = 0; i < n; ++i) {
+      const Request req = eval_gen.Next();
+      const auto selected = fresh->service->selector().Select(req, small, 100.0 + i);
+      std::vector<ExampleView> views;
+      for (const auto& sel : selected) {
+        const Example* example = fresh->service->cache().Get(sel.example_id);
+        ExampleView view;
+        view.relevance = StructuralRelevance(req, example->request, view_rng);
+        view.quality = example->response_quality;
+        view.source_capability = example->source_capability;
+        view.tokens = example->PromptTokens();
+        views.push_back(view);
+      }
+      correct += sim.Generate(small, req, views).correct ? 1 : 0;
+    }
+    return 100.0 * correct / n;
+  };
+
+  SizePoint point;
+  std::vector<uint64_t> random_keep;
+  for (size_t idx : rng.SampleWithoutReplacement(ids.size(), keep)) {
+    random_keep.push_back(ids[idx]);
+  }
+  point.naive_accuracy = run_eval(random_keep);
+  point.ic_accuracy = run_eval(std::vector<uint64_t>(by_value.begin(), by_value.begin() + keep));
+  return point;
+}
+
+void Sweep(DatasetId dataset, const char* label) {
+  std::printf("  %s:\n", label);
+  std::printf("    %-12s %-14s %s\n", "cache size", "Naive Cache", "IC-Cache");
+  for (double fraction : {0.05, 0.10, 0.25, 0.50, 1.00}) {
+    const SizePoint point = Evaluate(dataset, fraction, 0x19a + static_cast<uint64_t>(dataset));
+    std::printf("    %-12.0f %-14.1f %.1f\n", 100.0 * fraction, point.naive_accuracy,
+                point.ic_accuracy);
+  }
+}
+
+}  // namespace
+}  // namespace iccache
+
+int main() {
+  iccache::benchutil::PrintTitle("Figure 19: accuracy vs example cache size (Qwen2.5-3B)");
+  iccache::Sweep(iccache::DatasetId::kNl2Bash, "Code Generation");
+  iccache::Sweep(iccache::DatasetId::kWmt16, "Translation");
+  iccache::benchutil::PrintNote(
+      "paper: IC-Cache nearly saturates at small cache fractions; naive retention "
+      "needs the full pool");
+  return 0;
+}

@@ -1,0 +1,93 @@
+// Figures 27 and 28 (Appendix B): full score distributions. For three model
+// families (Gemini, Gemma-2, Phi-3) and five datasets, the histogram of the
+// judge's per-request average score (small vs large) with and without
+// in-context examples. IC shifts the whole distribution rightward — the
+// paper's Phi-3 Natural Questions panel moves its mean from -2.33 to -0.89
+// with ~50% of requests at or above large-model level.
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "src/common/stats.h"
+
+namespace iccache {
+namespace {
+
+void Evaluate(const char* family, const std::pair<std::string, std::string>& models,
+              DatasetId dataset) {
+  benchutil::BundleOptions options;
+  options.pool_size = 2000;
+  options.warmup_requests = 300;
+  options.models = models;
+  options.seed = 0x27 ^ (static_cast<uint64_t>(dataset) << 3);
+  auto bundle = benchutil::MakeBundle(dataset, options);
+  GenerationSimulator& sim = *bundle->sim;
+  const ModelProfile& small = bundle->Small();
+  const ModelProfile& large = bundle->Large();
+  PairwiseJudge judge;
+  Rng rng(0x275);
+
+  Histogram baseline(-3.0, 3.0, 7);
+  Histogram with_ic(-3.0, 3.0, 7);
+  RunningStat base_mean;
+  RunningStat ic_mean;
+  QueryGenerator eval_gen(bundle->profile, 0x27e);
+  for (int i = 0; i < 300; ++i) {
+    const Request req = eval_gen.Next();
+    const double large_quality = sim.Generate(large, req, {}).latent_quality;
+    const double plain_score =
+        judge.Compare(sim.Generate(small, req, {}).latent_quality, large_quality);
+    baseline.Add(plain_score);
+    base_mean.Add(plain_score);
+
+    const auto selected = bundle->service->selector().Select(req, small, 9500.0 + i);
+    std::vector<ExampleView> views;
+    for (const auto& sel : selected) {
+      const Example* example = bundle->service->cache().Get(sel.example_id);
+      ExampleView view;
+      view.relevance = StructuralRelevance(req, example->request, rng);
+      view.quality = example->response_quality;
+      view.source_capability = example->source_capability;
+      view.tokens = example->PromptTokens();
+      views.push_back(view);
+    }
+    const double ic_score =
+        judge.Compare(sim.Generate(small, req, views).latent_quality, large_quality);
+    with_ic.Add(ic_score);
+    ic_mean.Add(ic_score);
+  }
+
+  std::printf("  %-8s %-18s mean %.2f -> %.2f | density@[-3..3] base[", family,
+              DatasetName(dataset), base_mean.mean(), ic_mean.mean());
+  for (size_t b = 0; b < 7; ++b) {
+    std::printf("%s%.2f", b ? " " : "", baseline.Density(b));
+  }
+  std::printf("] ic[");
+  for (size_t b = 0; b < 7; ++b) {
+    std::printf("%s%.2f", b ? " " : "", with_ic.Density(b));
+  }
+  std::printf("]\n");
+}
+
+}  // namespace
+}  // namespace iccache
+
+int main() {
+  using iccache::DatasetId;
+  using iccache::ModelCatalog;
+  iccache::benchutil::PrintTitle(
+      "Figures 27/28: score distributions (baseline vs IC) across families and datasets");
+  const DatasetId datasets[] = {DatasetId::kAlpaca, DatasetId::kLmsysChat, DatasetId::kMsMarco,
+                                DatasetId::kNaturalQuestions, DatasetId::kOpenOrca};
+  for (const auto& [family, pair] :
+       {std::make_pair("Gemini", ModelCatalog::GeminiPair()),
+        std::make_pair("Gemma-2", ModelCatalog::GemmaPair()),
+        std::make_pair("Phi-3", ModelCatalog::PhiPair())}) {
+    for (DatasetId dataset : datasets) {
+      iccache::Evaluate(family, pair, dataset);
+    }
+  }
+  iccache::benchutil::PrintNote(
+      "paper: IC shifts every distribution rightward; e.g., Phi-3 on Natural Questions "
+      "moves its mean from -2.33 to -0.89");
+  return 0;
+}

@@ -1,0 +1,145 @@
+// google-benchmark microbenchmarks for the hot paths of the IC-Cache runtime:
+// embedding, index search (flat vs K-Means as the pool grows — the K=sqrt(N)
+// payoff), two-stage selection, routing decisions, the knapsack eviction
+// solver, and the judge protocol.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "bench/bench_common.h"
+#include "src/common/knapsack.h"
+#include "src/common/mathutil.h"
+#include "src/index/vector_index.h"
+
+namespace iccache {
+namespace {
+
+std::vector<float> RandomUnitVector(Rng& rng, size_t dim) {
+  std::vector<float> v(dim);
+  for (auto& x : v) {
+    x = static_cast<float>(rng.Normal());
+  }
+  NormalizeL2(v);
+  return v;
+}
+
+void BM_EmbedQuery(benchmark::State& state) {
+  HashingEmbedder embedder;
+  QueryGenerator gen(GetDatasetProfile(DatasetId::kLmsysChat), 1);
+  const Request req = gen.Next();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(embedder.Embed(req.text));
+  }
+}
+BENCHMARK(BM_EmbedQuery);
+
+void BM_FlatSearch(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Rng rng(2);
+  FlatIndex index(128);
+  for (uint64_t i = 0; i < n; ++i) {
+    index.Add(i, RandomUnitVector(rng, 128));
+  }
+  const auto query = RandomUnitVector(rng, 128);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(index.Search(query, 10));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * n);
+}
+BENCHMARK(BM_FlatSearch)->Arg(1000)->Arg(10000)->Arg(50000);
+
+void BM_KMeansSearch(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Rng rng(3);
+  KMeansIndexConfig config;
+  config.dim = 128;
+  KMeansIndex index(config);
+  for (uint64_t i = 0; i < n; ++i) {
+    index.Add(i, RandomUnitVector(rng, 128));
+  }
+  index.Rebuild();
+  const auto query = RandomUnitVector(rng, 128);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(index.Search(query, 10));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * n);
+}
+BENCHMARK(BM_KMeansSearch)->Arg(1000)->Arg(10000)->Arg(50000);
+
+struct SelectorEnv {
+  std::unique_ptr<benchutil::ServiceBundle> bundle;
+  SelectorEnv() {
+    benchutil::BundleOptions options;
+    options.pool_size = 4000;
+    options.warmup_requests = 100;
+    options.proxy_pretrain_samples = 300;
+    bundle = benchutil::MakeBundle(DatasetId::kMsMarco, options);
+  }
+};
+
+void BM_TwoStageSelect(benchmark::State& state) {
+  static SelectorEnv env;
+  QueryGenerator gen(env.bundle->profile, 4);
+  double now = 0.0;
+  for (auto _ : state) {
+    const Request req = gen.Next();
+    now += 1.0;
+    benchmark::DoNotOptimize(
+        env.bundle->service->selector().Select(req, env.bundle->Small(), now));
+  }
+}
+BENCHMARK(BM_TwoStageSelect);
+
+void BM_RouterDecision(benchmark::State& state) {
+  static SelectorEnv env;
+  QueryGenerator gen(env.bundle->profile, 5);
+  const Request req = gen.Next();
+  const auto selected = env.bundle->service->selector().Select(req, env.bundle->Small(), 1.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(env.bundle->service->router().Route(req, selected));
+  }
+}
+BENCHMARK(BM_RouterDecision);
+
+void BM_ServeRequestEndToEnd(benchmark::State& state) {
+  static SelectorEnv env;
+  QueryGenerator gen(env.bundle->profile, 6);
+  double now = 0.0;
+  for (auto _ : state) {
+    const Request req = gen.Next();
+    now += 1.0;
+    benchmark::DoNotOptimize(env.bundle->service->ServeRequest(req, now));
+  }
+}
+BENCHMARK(BM_ServeRequestEndToEnd);
+
+void BM_KnapsackEviction(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Rng rng(7);
+  std::vector<KnapsackItem> items;
+  int64_t total_weight = 0;
+  for (size_t i = 0; i < n; ++i) {
+    KnapsackItem item;
+    item.weight = static_cast<int64_t>(rng.UniformInt(200, 2000));
+    item.value = rng.Uniform();
+    total_weight += item.weight;
+    items.push_back(item);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SolveKnapsack(items, total_weight / 2));
+  }
+}
+BENCHMARK(BM_KnapsackEviction)->Arg(1000)->Arg(10000);
+
+void BM_JudgeProtocol(benchmark::State& state) {
+  PairwiseJudge judge;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(judge.Compare(0.72, 0.68));
+  }
+}
+BENCHMARK(BM_JudgeProtocol);
+
+}  // namespace
+}  // namespace iccache
+
+BENCHMARK_MAIN();

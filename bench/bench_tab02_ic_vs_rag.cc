@@ -1,0 +1,76 @@
+// Table 2: IC-Cache vs (and with) RAG. Gemma-2-2B against Gemma-2-27B on
+// MS MARCO. Paper: avg score / win rate = -0.4272 / 41.54% (2B),
+// 0.0047 / 52.63% (+RAG), 0.0667 / 56.35% (+IC), 0.2972 / 62.40% (+IC+RAG).
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "src/baselines/rag.h"
+
+namespace iccache {
+namespace {
+
+void Run() {
+  benchutil::BundleOptions options;
+  options.pool_size = 2500;
+  options.warmup_requests = 400;
+  options.seed = 0x22a;
+  auto bundle = benchutil::MakeBundle(DatasetId::kMsMarco, options);
+  GenerationSimulator& sim = *bundle->sim;
+  const ModelProfile& small = bundle->Small();
+  const ModelProfile& large = bundle->Large();
+  RagPipeline rag(bundle->profile);
+  PairwiseJudge judge;
+  Rng rng(0x22b);
+
+  SideBySideStats plain;
+  SideBySideStats with_rag;
+  SideBySideStats with_ic;
+  SideBySideStats with_both;
+  QueryGenerator eval_gen(bundle->profile, 0x22c);
+  for (int i = 0; i < 450; ++i) {
+    const Request req = eval_gen.Next();
+    const double large_quality = sim.Generate(large, req, {}).latent_quality;
+
+    const auto selected = bundle->service->selector().Select(req, small, 9600.0 + i);
+    std::vector<ExampleView> views;
+    for (const auto& sel : selected) {
+      const Example* example = bundle->service->cache().Get(sel.example_id);
+      ExampleView view;
+      view.relevance = StructuralRelevance(req, example->request, rng);
+      view.quality = example->response_quality;
+      view.source_capability = example->source_capability;
+      view.tokens = example->PromptTokens();
+      views.push_back(view);
+    }
+    const RagContext rag_context = rag.Retrieve(req);
+
+    plain.Add(judge.Compare(sim.Generate(small, req, {}).latent_quality, large_quality));
+    with_rag.Add(judge.Compare(
+        sim.Generate(small, req, {}, rag_context.capability_boost).latent_quality,
+        large_quality));
+    with_ic.Add(judge.Compare(sim.Generate(small, req, views).latent_quality, large_quality));
+    with_both.Add(judge.Compare(
+        sim.Generate(small, req, views, rag_context.capability_boost).latent_quality,
+        large_quality));
+  }
+
+  benchutil::PrintTitle("Table 2: IC-Cache complements RAG (Gemma-2B vs 27B, MS MARCO)");
+  std::printf("  %-14s %12s %12s   %s\n", "config", "avg score", "win rate %", "paper");
+  benchutil::PrintRule();
+  std::printf("  %-14s %12.4f %12.2f   %s\n", "Gemma-2B", plain.mean_score(),
+              100.0 * plain.win_rate(), "-0.4272 / 41.54");
+  std::printf("  %-14s %12.4f %12.2f   %s\n", "+RAG", with_rag.mean_score(),
+              100.0 * with_rag.win_rate(), " 0.0047 / 52.63");
+  std::printf("  %-14s %12.4f %12.2f   %s\n", "+IC", with_ic.mean_score(),
+              100.0 * with_ic.win_rate(), " 0.0667 / 56.35");
+  std::printf("  %-14s %12.4f %12.2f   %s\n", "+IC+RAG", with_both.mean_score(),
+              100.0 * with_both.win_rate(), " 0.2972 / 62.40");
+}
+
+}  // namespace
+}  // namespace iccache
+
+int main() {
+  iccache::Run();
+  return 0;
+}

@@ -1,0 +1,42 @@
+#include "src/baselines/rag.h"
+
+#include "src/common/mathutil.h"
+
+namespace iccache {
+
+RagPipeline::RagPipeline(const DatasetProfile& profile, RagConfig config) : config_(config) {
+  Rng rng(config_.seed ^ Mix64(static_cast<uint64_t>(profile.id)));
+  topic_covered_.resize(profile.num_topics);
+  for (size_t t = 0; t < profile.num_topics; ++t) {
+    topic_covered_[t] = rng.Bernoulli(config_.corpus_topic_coverage);
+  }
+}
+
+RagContext RagPipeline::Retrieve(const Request& request) const {
+  RagContext context;
+  context.prompt_tokens_added =
+      static_cast<int>(config_.docs_per_query) * config_.tokens_per_doc;
+  context.covered =
+      request.topic_id < topic_covered_.size() && topic_covered_[request.topic_id];
+
+  // Deterministic per-request retrieval quality.
+  Rng rng(Mix64(request.id ^ config_.seed));
+  if (context.covered) {
+    // On-topic documents: factual boost scaled by retrieval quality. QA-style
+    // tasks benefit most; reasoning-heavy tasks benefit less (facts alone do
+    // not supply the reasoning trajectory).
+    double task_factor = 1.0;
+    if (request.task == TaskType::kMathReasoning || request.task == TaskType::kCodeGeneration) {
+      task_factor = 0.35;
+    } else if (request.task == TaskType::kConversation) {
+      task_factor = 0.7;
+    }
+    const double retrieval_quality = Clamp(0.75 + rng.Normal(0.0, 0.15), 0.0, 1.0);
+    context.capability_boost = config_.max_capability_boost * task_factor * retrieval_quality;
+  } else {
+    context.capability_boost = -config_.distraction_penalty * rng.Uniform();
+  }
+  return context;
+}
+
+}  // namespace iccache

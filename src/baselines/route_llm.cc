@@ -1,0 +1,20 @@
+#include "src/baselines/route_llm.h"
+
+#include "src/common/mathutil.h"
+
+namespace iccache {
+
+RouteLlmRouter::RouteLlmRouter(RouteLlmConfig config) : config_(config) {}
+
+double RouteLlmRouter::EstimateDifficulty(const Request& request) const {
+  // Deterministic noise keyed by request id: the same request always gets the
+  // same estimate, as a frozen classifier would produce.
+  Rng rng(Mix64(request.id ^ config_.seed));
+  return Clamp(request.difficulty + rng.Normal(0.0, config_.estimator_noise), 0.0, 1.0);
+}
+
+bool RouteLlmRouter::RouteToLarge(const Request& request) const {
+  return EstimateDifficulty(request) > config_.difficulty_threshold;
+}
+
+}  // namespace iccache

@@ -1,0 +1,50 @@
+// RouteLLM-style baseline router (Ong et al., compared in section 6):
+// a static binary classifier that predicts per-request difficulty from
+// preference data and routes hard requests to the large model. Crucially it
+// is *load-oblivious* and example-oblivious — the two properties the paper's
+// Figure 12 comparison isolates ("RouteLLM offloads requests based on request
+// difficulty, it is oblivious to the current system load").
+//
+// The classifier is modelled as a noisy difficulty estimator: a trained
+// BERT-scale router sees the request text only, so its estimate correlates
+// with — but does not equal — the latent difficulty.
+#ifndef SRC_BASELINES_ROUTE_LLM_H_
+#define SRC_BASELINES_ROUTE_LLM_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/common/rng.h"
+#include "src/workload/request.h"
+
+namespace iccache {
+
+struct RouteLlmConfig {
+  // Estimated difficulty above this routes to the large model.
+  double difficulty_threshold = 0.5;
+  // Stddev of the classifier's difficulty estimate around ground truth.
+  double estimator_noise = 0.12;
+  uint64_t seed = 0xbadd1e;
+};
+
+class RouteLlmRouter {
+ public:
+  explicit RouteLlmRouter(RouteLlmConfig config = {});
+
+  // The classifier's difficulty estimate for the request (deterministic per
+  // request id so repeated calls agree).
+  double EstimateDifficulty(const Request& request) const;
+
+  // True when the request should go to the large model.
+  bool RouteToLarge(const Request& request) const;
+
+  void set_threshold(double threshold) { config_.difficulty_threshold = threshold; }
+  double threshold() const { return config_.difficulty_threshold; }
+
+ private:
+  RouteLlmConfig config_;
+};
+
+}  // namespace iccache
+
+#endif  // SRC_BASELINES_ROUTE_LLM_H_

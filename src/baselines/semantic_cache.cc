@@ -1,0 +1,62 @@
+#include "src/baselines/semantic_cache.h"
+
+namespace iccache {
+
+SemanticCache::SemanticCache(std::shared_ptr<const Embedder> embedder,
+                             double similarity_threshold)
+    : embedder_(std::move(embedder)),
+      similarity_threshold_(similarity_threshold),
+      index_(embedder_->dim()) {}
+
+void SemanticCache::Put(const Request& request, double response_quality, int response_tokens) {
+  const uint64_t key = next_key_++;
+  SemanticCacheEntry entry;
+  entry.request = request;
+  entry.response_quality = response_quality;
+  entry.response_tokens = response_tokens;
+  entries_[key] = std::move(entry);
+  index_.Add(key, embedder_->Embed(request.text));
+}
+
+std::optional<SemanticCacheHit> SemanticCache::Lookup(const Request& request) const {
+  const auto results = index_.Search(embedder_->Embed(request.text), 1);
+  if (results.empty() || results[0].score < similarity_threshold_) {
+    return std::nullopt;
+  }
+  const auto it = entries_.find(results[0].id);
+  if (it == entries_.end()) {
+    return std::nullopt;
+  }
+  SemanticCacheHit hit;
+  hit.entry = it->second;
+  hit.similarity = results[0].score;
+  return hit;
+}
+
+std::vector<SemanticCacheHit> SemanticCache::LookupK(const Request& request, size_t k) const {
+  std::vector<SemanticCacheHit> hits;
+  for (const SearchResult& result : index_.Search(embedder_->Embed(request.text), k)) {
+    if (result.score < similarity_threshold_) {
+      continue;
+    }
+    const auto it = entries_.find(result.id);
+    if (it == entries_.end()) {
+      continue;
+    }
+    SemanticCacheHit hit;
+    hit.entry = it->second;
+    hit.similarity = result.score;
+    hits.push_back(hit);
+  }
+  return hits;
+}
+
+double SemanticCache::NearestSimilarity(const Request& request) const {
+  const auto results = index_.Search(embedder_->Embed(request.text), 1);
+  if (results.empty()) {
+    return -1.0;
+  }
+  return results[0].score;
+}
+
+}  // namespace iccache

@@ -1,0 +1,65 @@
+// GPTCache/Databricks-style semantic cache baseline (sections 2.3 and 6.1):
+// stores past request-response pairs and, when a new request's nearest cached
+// neighbour exceeds a similarity threshold, returns the cached response
+// verbatim instead of generating. Raising the hit rate (by lowering the
+// threshold) returns increasingly off-target responses — the quality collapse
+// of Figure 3(b) that motivates in-context reuse instead.
+#ifndef SRC_BASELINES_SEMANTIC_CACHE_H_
+#define SRC_BASELINES_SEMANTIC_CACHE_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "src/embedding/embedder.h"
+#include "src/index/vector_index.h"
+#include "src/workload/request.h"
+
+namespace iccache {
+
+struct SemanticCacheEntry {
+  Request request;
+  double response_quality = 0.0;  // latent quality of the stored response
+  int response_tokens = 0;
+};
+
+struct SemanticCacheHit {
+  SemanticCacheEntry entry;
+  double similarity = 0.0;
+};
+
+class SemanticCache {
+ public:
+  SemanticCache(std::shared_ptr<const Embedder> embedder, double similarity_threshold);
+
+  // Inserts a request-response pair.
+  void Put(const Request& request, double response_quality, int response_tokens);
+
+  // Returns the best cached entry when its similarity clears the threshold.
+  std::optional<SemanticCacheHit> Lookup(const Request& request) const;
+
+  // Top-k entries above the threshold, best first (used when cached entries
+  // are repurposed as in-context examples rather than returned verbatim).
+  std::vector<SemanticCacheHit> LookupK(const Request& request, size_t k) const;
+
+  // Nearest-neighbour similarity regardless of the threshold (for hit-rate
+  // sweeps); negative when the cache is empty.
+  double NearestSimilarity(const Request& request) const;
+
+  void set_similarity_threshold(double threshold) { similarity_threshold_ = threshold; }
+  double similarity_threshold() const { return similarity_threshold_; }
+  size_t size() const { return entries_.size(); }
+
+ private:
+  std::shared_ptr<const Embedder> embedder_;
+  double similarity_threshold_;
+  FlatIndex index_;
+  std::unordered_map<uint64_t, SemanticCacheEntry> entries_;
+  uint64_t next_key_ = 1;
+};
+
+}  // namespace iccache
+
+#endif  // SRC_BASELINES_SEMANTIC_CACHE_H_

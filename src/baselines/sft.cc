@@ -1,0 +1,21 @@
+#include "src/baselines/sft.h"
+
+#include <algorithm>
+
+namespace iccache {
+
+SftModelAdapter::SftModelAdapter(ModelProfile base, DatasetId tuned_on, SftConfig config)
+    : base_(std::move(base)), tuned_on_(tuned_on), config_(config) {}
+
+ModelProfile SftModelAdapter::ProfileFor(DatasetId dataset) const {
+  ModelProfile adapted = base_;
+  adapted.name = base_.name + "+sft";
+  if (dataset == tuned_on_) {
+    adapted.capability = std::min(1.0, base_.capability + config_.in_domain_boost);
+  } else {
+    adapted.capability = std::max(0.0, base_.capability - config_.out_of_domain_penalty);
+  }
+  return adapted;
+}
+
+}  // namespace iccache

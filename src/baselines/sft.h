@@ -1,0 +1,38 @@
+// Supervised fine-tuning baseline (Table 3, Figure 15): fine-tuning a small
+// model on large-model outputs for one dataset lifts its in-domain capability
+// but regresses out-of-domain behaviour (catastrophic-forgetting tax) — the
+// contrast with IC-Cache's live augmentation, which "adapts to new domains
+// while preserving original knowledge".
+#ifndef SRC_BASELINES_SFT_H_
+#define SRC_BASELINES_SFT_H_
+
+#include "src/llm/model_profile.h"
+#include "src/workload/request.h"
+
+namespace iccache {
+
+struct SftConfig {
+  double in_domain_boost = 0.045;
+  double out_of_domain_penalty = 0.10;
+};
+
+class SftModelAdapter {
+ public:
+  SftModelAdapter(ModelProfile base, DatasetId tuned_on, SftConfig config = {});
+
+  // Profile to use when serving a request from `dataset`: capability is
+  // boosted in-domain and penalized out-of-domain.
+  ModelProfile ProfileFor(DatasetId dataset) const;
+
+  DatasetId tuned_on() const { return tuned_on_; }
+  const ModelProfile& base() const { return base_; }
+
+ private:
+  ModelProfile base_;
+  DatasetId tuned_on_;
+  SftConfig config_;
+};
+
+}  // namespace iccache
+
+#endif  // SRC_BASELINES_SFT_H_

@@ -1,0 +1,110 @@
+#include "src/common/knapsack.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace iccache {
+
+KnapsackSolution SolveKnapsackExact(const std::vector<KnapsackItem>& items, int64_t capacity) {
+  KnapsackSolution solution;
+  solution.exact = true;
+  if (capacity < 0) {
+    capacity = 0;
+  }
+  const size_t n = items.size();
+  const size_t width = static_cast<size_t>(capacity) + 1;
+
+  // best[w] = max value using a prefix of items at weight budget w.
+  std::vector<double> best(width, 0.0);
+  // taken[i * width + w] records whether item i is taken at budget w.
+  std::vector<uint8_t> taken(n * width, 0);
+
+  for (size_t i = 0; i < n; ++i) {
+    const int64_t w_i = std::max<int64_t>(0, items[i].weight);
+    const double v_i = items[i].value;
+    if (v_i <= 0.0) {
+      continue;  // never worth selecting
+    }
+    if (w_i == 0) {
+      // Free value: always take.
+      for (size_t w = 0; w < width; ++w) {
+        best[w] += v_i;
+        taken[i * width + w] = 1;
+      }
+      continue;
+    }
+    for (int64_t w = capacity; w >= w_i; --w) {
+      const double candidate = best[static_cast<size_t>(w - w_i)] + v_i;
+      if (candidate > best[static_cast<size_t>(w)]) {
+        best[static_cast<size_t>(w)] = candidate;
+        taken[i * width + static_cast<size_t>(w)] = 1;
+      }
+    }
+  }
+
+  // Trace back the selected set.
+  int64_t w = capacity;
+  std::vector<size_t> selected;
+  for (size_t i = n; i-- > 0;) {
+    if (taken[i * width + static_cast<size_t>(w)]) {
+      selected.push_back(i);
+      if (items[i].weight > 0) {
+        w -= items[i].weight;
+      }
+    }
+  }
+  std::reverse(selected.begin(), selected.end());
+  solution.selected = std::move(selected);
+  solution.total_value = best[static_cast<size_t>(capacity)];
+  for (size_t idx : solution.selected) {
+    solution.total_weight += std::max<int64_t>(0, items[idx].weight);
+  }
+  return solution;
+}
+
+KnapsackSolution SolveKnapsackGreedy(const std::vector<KnapsackItem>& items, int64_t capacity) {
+  KnapsackSolution solution;
+  solution.exact = false;
+  if (capacity < 0) {
+    capacity = 0;
+  }
+  std::vector<size_t> order(items.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&items](size_t a, size_t b) {
+    const auto density = [&items](size_t i) {
+      const int64_t w = std::max<int64_t>(0, items[i].weight);
+      if (w == 0) {
+        return items[i].value > 0.0 ? 1e300 : -1e300;
+      }
+      return items[i].value / static_cast<double>(w);
+    };
+    return density(a) > density(b);
+  });
+
+  int64_t remaining = capacity;
+  for (size_t idx : order) {
+    if (items[idx].value <= 0.0) {
+      continue;
+    }
+    const int64_t w = std::max<int64_t>(0, items[idx].weight);
+    if (w <= remaining) {
+      solution.selected.push_back(idx);
+      solution.total_value += items[idx].value;
+      solution.total_weight += w;
+      remaining -= w;
+    }
+  }
+  std::sort(solution.selected.begin(), solution.selected.end());
+  return solution;
+}
+
+KnapsackSolution SolveKnapsack(const std::vector<KnapsackItem>& items, int64_t capacity,
+                               int64_t max_dp_work) {
+  const int64_t work = static_cast<int64_t>(items.size()) * std::max<int64_t>(1, capacity);
+  if (work <= max_dp_work) {
+    return SolveKnapsackExact(items, capacity);
+  }
+  return SolveKnapsackGreedy(items, capacity);
+}
+
+}  // namespace iccache

@@ -1,0 +1,47 @@
+// 0/1 knapsack solvers backing the Example Manager's cache-eviction decision
+// (paper section 4.3): each cached example is an item whose weight is its
+// plaintext size and whose value is the efficiency gain (offloads enabled).
+//
+// Two solvers are provided: an exact dynamic program for modest capacities and
+// a greedy value-density heuristic for very large caches, selected
+// automatically by SolveKnapsack based on a work bound.
+#ifndef SRC_COMMON_KNAPSACK_H_
+#define SRC_COMMON_KNAPSACK_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace iccache {
+
+struct KnapsackItem {
+  int64_t weight = 0;  // must be >= 0
+  double value = 0.0;  // negative values are never selected
+};
+
+struct KnapsackSolution {
+  // Indices of selected items in ascending order.
+  std::vector<size_t> selected;
+  double total_value = 0.0;
+  int64_t total_weight = 0;
+  bool exact = false;  // true when the DP (optimal) path was used
+};
+
+// Exact 0/1 knapsack via dynamic programming over capacity. O(n * capacity)
+// time and O(capacity) value memory plus O(n * capacity) bits for traceback.
+KnapsackSolution SolveKnapsackExact(const std::vector<KnapsackItem>& items, int64_t capacity);
+
+// Greedy by value density (value / weight); zero-weight positive-value items
+// are always taken. Not optimal but a (1 - epsilon) approximation in practice
+// for the long-tailed cache-size distributions seen here.
+KnapsackSolution SolveKnapsackGreedy(const std::vector<KnapsackItem>& items, int64_t capacity);
+
+// Picks the exact DP when n * capacity <= max_dp_work, otherwise the greedy
+// heuristic. This mirrors the paper's "solved efficiently, runs periodically
+// in the background" framing.
+KnapsackSolution SolveKnapsack(const std::vector<KnapsackItem>& items, int64_t capacity,
+                               int64_t max_dp_work = 64LL << 20);
+
+}  // namespace iccache
+
+#endif  // SRC_COMMON_KNAPSACK_H_

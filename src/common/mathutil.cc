@@ -1,0 +1,138 @@
+#include "src/common/mathutil.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace iccache {
+
+double Sigmoid(double x) {
+  if (x >= 0.0) {
+    const double z = std::exp(-x);
+    return 1.0 / (1.0 + z);
+  }
+  const double z = std::exp(x);
+  return z / (1.0 + z);
+}
+
+double LogSumExp(const std::vector<double>& xs) {
+  if (xs.empty()) {
+    return -std::numeric_limits<double>::infinity();
+  }
+  const double max_x = *std::max_element(xs.begin(), xs.end());
+  if (!std::isfinite(max_x)) {
+    return max_x;
+  }
+  double sum = 0.0;
+  for (double x : xs) {
+    sum += std::exp(x - max_x);
+  }
+  return max_x + std::log(sum);
+}
+
+std::vector<double> Softmax(const std::vector<double>& logits, double temperature) {
+  std::vector<double> probs(logits.size(), 0.0);
+  if (logits.empty()) {
+    return probs;
+  }
+  const double t = std::max(temperature, 1e-9);
+  std::vector<double> scaled(logits.size());
+  for (size_t i = 0; i < logits.size(); ++i) {
+    scaled[i] = logits[i] / t;
+  }
+  const double lse = LogSumExp(scaled);
+  for (size_t i = 0; i < logits.size(); ++i) {
+    probs[i] = std::exp(scaled[i] - lse);
+  }
+  return probs;
+}
+
+double Clamp(double x, double lo, double hi) { return std::min(hi, std::max(lo, x)); }
+
+double Dot(const std::vector<float>& a, const std::vector<float>& b) {
+  const size_t n = std::min(a.size(), b.size());
+  double sum = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    sum += static_cast<double>(a[i]) * static_cast<double>(b[i]);
+  }
+  return sum;
+}
+
+double L2Norm(const std::vector<float>& v) { return std::sqrt(Dot(v, v)); }
+
+void NormalizeL2(std::vector<float>& v) {
+  const double norm = L2Norm(v);
+  if (norm <= 0.0) {
+    return;
+  }
+  const float inv = static_cast<float>(1.0 / norm);
+  for (auto& x : v) {
+    x *= inv;
+  }
+}
+
+double CosineSimilarity(const std::vector<float>& a, const std::vector<float>& b) {
+  const double na = L2Norm(a);
+  const double nb = L2Norm(b);
+  if (na <= 0.0 || nb <= 0.0) {
+    return 0.0;
+  }
+  return Clamp(Dot(a, b) / (na * nb), -1.0, 1.0);
+}
+
+double SquaredL2Distance(const std::vector<float>& a, const std::vector<float>& b) {
+  const size_t n = std::min(a.size(), b.size());
+  double sum = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    const double d = static_cast<double>(a[i]) - static_cast<double>(b[i]);
+    sum += d * d;
+  }
+  return sum;
+}
+
+double Mean(const std::vector<double>& xs) {
+  if (xs.empty()) {
+    return 0.0;
+  }
+  double sum = 0.0;
+  for (double x : xs) {
+    sum += x;
+  }
+  return sum / static_cast<double>(xs.size());
+}
+
+double StdDev(const std::vector<double>& xs) {
+  if (xs.size() < 2) {
+    return 0.0;
+  }
+  const double mean = Mean(xs);
+  double sum_sq = 0.0;
+  for (double x : xs) {
+    sum_sq += (x - mean) * (x - mean);
+  }
+  return std::sqrt(sum_sq / static_cast<double>(xs.size()));
+}
+
+double PearsonCorrelation(const std::vector<double>& xs, const std::vector<double>& ys) {
+  if (xs.size() != ys.size() || xs.size() < 2) {
+    return 0.0;
+  }
+  const double mx = Mean(xs);
+  const double my = Mean(ys);
+  double sxy = 0.0;
+  double sxx = 0.0;
+  double syy = 0.0;
+  for (size_t i = 0; i < xs.size(); ++i) {
+    const double dx = xs[i] - mx;
+    const double dy = ys[i] - my;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  if (sxx <= 0.0 || syy <= 0.0) {
+    return 0.0;
+  }
+  return Clamp(sxy / std::sqrt(sxx * syy), -1.0, 1.0);
+}
+
+}  // namespace iccache

@@ -1,0 +1,51 @@
+// Small numeric helpers shared across the library: activation functions used by
+// the router's load controller (tanh bias, Theorem 4), softmax policies, and
+// dense-vector kernels used by the embedding/index substrates.
+#ifndef SRC_COMMON_MATHUTIL_H_
+#define SRC_COMMON_MATHUTIL_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace iccache {
+
+// Logistic sigmoid 1 / (1 + exp(-x)), numerically stable for large |x|.
+double Sigmoid(double x);
+
+// log(sum_i exp(x_i)), stable; returns -inf for empty input.
+double LogSumExp(const std::vector<double>& xs);
+
+// Softmax with optional temperature (> 0); returns a proper distribution.
+std::vector<double> Softmax(const std::vector<double>& logits, double temperature = 1.0);
+
+// Clamps x into [lo, hi].
+double Clamp(double x, double lo, double hi);
+
+// Dot product of equal-length vectors.
+double Dot(const std::vector<float>& a, const std::vector<float>& b);
+
+// Euclidean norm.
+double L2Norm(const std::vector<float>& v);
+
+// Scales v in place to unit L2 norm (no-op on the zero vector).
+void NormalizeL2(std::vector<float>& v);
+
+// Cosine similarity in [-1, 1]; returns 0 when either vector is zero.
+double CosineSimilarity(const std::vector<float>& a, const std::vector<float>& b);
+
+// Squared Euclidean distance.
+double SquaredL2Distance(const std::vector<float>& a, const std::vector<float>& b);
+
+// Mean of xs; 0 for empty input.
+double Mean(const std::vector<double>& xs);
+
+// Population standard deviation of xs; 0 for fewer than two samples.
+double StdDev(const std::vector<double>& xs);
+
+// Pearson correlation coefficient in [-1, 1]; 0 when either side is constant
+// or the inputs have mismatched/empty sizes.
+double PearsonCorrelation(const std::vector<double>& xs, const std::vector<double>& ys);
+
+}  // namespace iccache
+
+#endif  // SRC_COMMON_MATHUTIL_H_

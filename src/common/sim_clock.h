@@ -1,0 +1,52 @@
+// Virtual time for the discrete-event serving simulator and the IC-Cache
+// runtime's time-based policies (EMA decay ticks, off-peak replay windows).
+// Components take a Clock& so tests and simulations can drive time manually.
+#ifndef SRC_COMMON_SIM_CLOCK_H_
+#define SRC_COMMON_SIM_CLOCK_H_
+
+#include <chrono>
+
+namespace iccache {
+
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  // Seconds since an arbitrary epoch.
+  virtual double Now() const = 0;
+};
+
+// Manually advanced clock; the unit is seconds of simulated time.
+class SimClock : public Clock {
+ public:
+  explicit SimClock(double start = 0.0) : now_(start) {}
+
+  double Now() const override { return now_; }
+
+  void AdvanceTo(double t) {
+    if (t > now_) {
+      now_ = t;
+    }
+  }
+
+  void AdvanceBy(double dt) {
+    if (dt > 0.0) {
+      now_ += dt;
+    }
+  }
+
+ private:
+  double now_;
+};
+
+// Wall-clock implementation for the example binaries.
+class SystemClock : public Clock {
+ public:
+  double Now() const override {
+    const auto now = std::chrono::steady_clock::now().time_since_epoch();
+    return std::chrono::duration<double>(now).count();
+  }
+};
+
+}  // namespace iccache
+
+#endif  // SRC_COMMON_SIM_CLOCK_H_

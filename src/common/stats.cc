@@ -1,0 +1,156 @@
+#include "src/common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace iccache {
+
+void RunningStat::Add(double x) {
+  if (count_ == 0) {
+    min_ = x;
+    max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStat::variance() const {
+  if (count_ < 2) {
+    return 0.0;
+  }
+  return m2_ / static_cast<double>(count_);
+}
+
+double RunningStat::stddev() const { return std::sqrt(variance()); }
+
+void RunningStat::Reset() {
+  count_ = 0;
+  mean_ = 0.0;
+  m2_ = 0.0;
+  min_ = 0.0;
+  max_ = 0.0;
+}
+
+Ema::Ema(double alpha) : alpha_(std::min(1.0, std::max(1e-9, alpha))) {}
+
+void Ema::Add(double x) {
+  if (!initialized_) {
+    value_ = x;
+    initialized_ = true;
+    return;
+  }
+  value_ = alpha_ * x + (1.0 - alpha_) * value_;
+}
+
+void Ema::Reset() {
+  value_ = 0.0;
+  initialized_ = false;
+}
+
+void Ema::Decay(double factor) { value_ *= factor; }
+
+void PercentileTracker::Add(double x) {
+  samples_.push_back(x);
+  sorted_ = false;
+}
+
+double PercentileTracker::mean() const {
+  if (samples_.empty()) {
+    return 0.0;
+  }
+  double sum = 0.0;
+  for (double x : samples_) {
+    sum += x;
+  }
+  return sum / static_cast<double>(samples_.size());
+}
+
+double PercentileTracker::Percentile(double p) const {
+  if (samples_.empty()) {
+    return 0.0;
+  }
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+  const double clamped = std::min(100.0, std::max(0.0, p));
+  const double rank = clamped / 100.0 * static_cast<double>(samples_.size() - 1);
+  const size_t lo = static_cast<size_t>(std::floor(rank));
+  const size_t hi = static_cast<size_t>(std::ceil(rank));
+  if (lo == hi) {
+    return samples_[lo];
+  }
+  const double frac = rank - static_cast<double>(lo);
+  return samples_[lo] * (1.0 - frac) + samples_[hi] * frac;
+}
+
+void PercentileTracker::Reset() {
+  samples_.clear();
+  sorted_ = false;
+}
+
+Histogram::Histogram(double lo, double hi, size_t num_bins)
+    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(std::max<size_t>(1, num_bins))),
+      bins_(std::max<size_t>(1, num_bins), 0) {}
+
+void Histogram::Add(double x) {
+  double clamped = std::min(std::nextafter(hi_, lo_), std::max(lo_, x));
+  size_t bin = static_cast<size_t>((clamped - lo_) / width_);
+  bin = std::min(bin, bins_.size() - 1);
+  ++bins_[bin];
+  ++total_;
+}
+
+double Histogram::BinCenter(size_t i) const {
+  return lo_ + (static_cast<double>(i) + 0.5) * width_;
+}
+
+double Histogram::Density(size_t i) const {
+  if (total_ == 0 || i >= bins_.size()) {
+    return 0.0;
+  }
+  return static_cast<double>(bins_[i]) / static_cast<double>(total_);
+}
+
+std::string Histogram::ToString() const {
+  std::ostringstream out;
+  for (size_t i = 0; i < bins_.size(); ++i) {
+    out << BinCenter(i) << " " << Density(i) << "\n";
+  }
+  return out.str();
+}
+
+EmpiricalCdf::EmpiricalCdf(std::vector<double> samples) : samples_(std::move(samples)) {
+  std::sort(samples_.begin(), samples_.end());
+}
+
+double EmpiricalCdf::At(double x) const {
+  if (samples_.empty()) {
+    return 0.0;
+  }
+  const auto it = std::upper_bound(samples_.begin(), samples_.end(), x);
+  return static_cast<double>(it - samples_.begin()) / static_cast<double>(samples_.size());
+}
+
+double EmpiricalCdf::Quantile(double q) const {
+  if (samples_.empty()) {
+    return 0.0;
+  }
+  const double clamped = std::min(1.0, std::max(0.0, q));
+  const double rank = clamped * static_cast<double>(samples_.size() - 1);
+  const size_t lo = static_cast<size_t>(std::floor(rank));
+  const size_t hi = static_cast<size_t>(std::ceil(rank));
+  if (lo == hi) {
+    return samples_[lo];
+  }
+  const double frac = rank - static_cast<double>(lo);
+  return samples_[lo] * (1.0 - frac) + samples_[hi] * frac;
+}
+
+}  // namespace iccache

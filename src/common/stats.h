@@ -1,0 +1,116 @@
+// Online statistics used throughout the serving simulator and the IC-Cache
+// runtime: Welford running moments, exponential moving averages (the router's
+// load signal, the manager's utility decay), percentile tracking for latency
+// reporting, and simple histogram / CDF builders for the figure harnesses.
+#ifndef SRC_COMMON_STATS_H_
+#define SRC_COMMON_STATS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace iccache {
+
+// Numerically stable running mean/variance (Welford).
+class RunningStat {
+ public:
+  void Add(double x);
+
+  size_t count() const { return count_; }
+  double mean() const { return mean_; }
+  // Population variance; 0 with fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const { return count_ == 0 ? 0.0 : min_; }
+  double max() const { return count_ == 0 ? 0.0 : max_; }
+  double sum() const { return mean_ * static_cast<double>(count_); }
+
+  void Reset();
+
+ private:
+  size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+// Exponential moving average with a configurable smoothing factor alpha in
+// (0, 1]: ema <- alpha * x + (1 - alpha) * ema.
+class Ema {
+ public:
+  explicit Ema(double alpha);
+
+  void Add(double x);
+  double value() const { return value_; }
+  bool initialized() const { return initialized_; }
+  void Reset();
+
+  // Applies a multiplicative decay directly (used for the hourly 0.9 utility
+  // decay in the Example Manager, paper section 4.3).
+  void Decay(double factor);
+
+ private:
+  double alpha_;
+  double value_ = 0.0;
+  bool initialized_ = false;
+};
+
+// Retains all samples and answers percentile queries; intended for offline
+// experiment reporting, not hot paths.
+class PercentileTracker {
+ public:
+  void Add(double x);
+  size_t count() const { return samples_.size(); }
+  double mean() const;
+  // p in [0, 100]; linear interpolation between order statistics.
+  double Percentile(double p) const;
+  const std::vector<double>& samples() const { return samples_; }
+  void Reset();
+
+ private:
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = false;
+};
+
+// Fixed-width histogram over [lo, hi) with out-of-range clamping.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, size_t num_bins);
+
+  void Add(double x);
+  size_t count() const { return total_; }
+  const std::vector<uint64_t>& bins() const { return bins_; }
+  double BinCenter(size_t i) const;
+  // Fraction of mass in bin i; 0 when empty.
+  double Density(size_t i) const;
+  // Renders "center density" rows, one per bin, for the figure harnesses.
+  std::string ToString() const;
+
+ private:
+  double lo_;
+  double hi_;
+  double width_;
+  std::vector<uint64_t> bins_;
+  uint64_t total_ = 0;
+};
+
+// Empirical CDF evaluation over a sample set.
+class EmpiricalCdf {
+ public:
+  explicit EmpiricalCdf(std::vector<double> samples);
+
+  // P(X <= x).
+  double At(double x) const;
+  // Inverse CDF (quantile), q in [0, 1].
+  double Quantile(double q) const;
+  size_t count() const { return samples_.size(); }
+
+ private:
+  std::vector<double> samples_;
+};
+
+}  // namespace iccache
+
+#endif  // SRC_COMMON_STATS_H_

@@ -1,0 +1,69 @@
+// Bounded top-k selection used by the vector indexes and the example selector:
+// keeps the k items with the largest scores seen so far in O(log k) per push.
+#ifndef SRC_COMMON_TOPK_H_
+#define SRC_COMMON_TOPK_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <queue>
+#include <utility>
+#include <vector>
+
+namespace iccache {
+
+template <typename Payload>
+class TopK {
+ public:
+  explicit TopK(size_t k) : k_(k) {}
+
+  // Offers an item; retained only if it ranks among the k best scores.
+  void Push(double score, Payload payload) {
+    if (k_ == 0) {
+      return;
+    }
+    if (heap_.size() < k_) {
+      heap_.emplace(score, std::move(payload));
+      return;
+    }
+    if (score > heap_.top().first) {
+      heap_.pop();
+      heap_.emplace(score, std::move(payload));
+    }
+  }
+
+  size_t size() const { return heap_.size(); }
+
+  // Smallest retained score; only meaningful when size() == k.
+  double WorstScore() const { return heap_.empty() ? 0.0 : heap_.top().first; }
+
+  bool Full() const { return heap_.size() >= k_; }
+
+  // Drains the heap and returns (score, payload) pairs sorted best-first.
+  std::vector<std::pair<double, Payload>> TakeSortedDescending() {
+    std::vector<std::pair<double, Payload>> out;
+    out.reserve(heap_.size());
+    while (!heap_.empty()) {
+      out.push_back(heap_.top());
+      heap_.pop();
+    }
+    std::reverse(out.begin(), out.end());
+    return out;
+  }
+
+ private:
+  struct MinFirst {
+    bool operator()(const std::pair<double, Payload>& a,
+                    const std::pair<double, Payload>& b) const {
+      return a.first > b.first;
+    }
+  };
+
+  size_t k_;
+  std::priority_queue<std::pair<double, Payload>, std::vector<std::pair<double, Payload>>,
+                      MinFirst>
+      heap_;
+};
+
+}  // namespace iccache
+
+#endif  // SRC_COMMON_TOPK_H_

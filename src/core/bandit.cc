@@ -1,0 +1,216 @@
+#include "src/core/bandit.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/mathutil.h"
+
+namespace iccache {
+
+namespace {
+
+// Cholesky factorization of a symmetric positive-definite matrix (row-major);
+// returns the lower-triangular factor. Sizes here are tiny (context dims of
+// ~8), so dense O(d^3) is immaterial.
+std::vector<double> CholeskyLower(const std::vector<double>& a, size_t d) {
+  std::vector<double> l(d * d, 0.0);
+  for (size_t i = 0; i < d; ++i) {
+    for (size_t j = 0; j <= i; ++j) {
+      double sum = a[i * d + j];
+      for (size_t k = 0; k < j; ++k) {
+        sum -= l[i * d + k] * l[j * d + k];
+      }
+      if (i == j) {
+        l[i * d + i] = std::sqrt(std::max(sum, 1e-12));
+      } else {
+        l[i * d + j] = sum / l[j * d + j];
+      }
+    }
+  }
+  return l;
+}
+
+// Solves L y = rhs (forward substitution).
+std::vector<double> ForwardSolve(const std::vector<double>& l, const std::vector<double>& rhs,
+                                 size_t d) {
+  std::vector<double> y(d, 0.0);
+  for (size_t i = 0; i < d; ++i) {
+    double sum = rhs[i];
+    for (size_t k = 0; k < i; ++k) {
+      sum -= l[i * d + k] * y[k];
+    }
+    y[i] = sum / l[i * d + i];
+  }
+  return y;
+}
+
+// Solves L^T x = rhs (backward substitution).
+std::vector<double> BackwardSolve(const std::vector<double>& l, const std::vector<double>& rhs,
+                                  size_t d) {
+  std::vector<double> x(d, 0.0);
+  for (size_t i = d; i-- > 0;) {
+    double sum = rhs[i];
+    for (size_t k = i + 1; k < d; ++k) {
+      sum -= l[k * d + i] * x[k];
+    }
+    x[i] = sum / l[i * d + i];
+  }
+  return x;
+}
+
+}  // namespace
+
+LinearThompsonArm::LinearThompsonArm(size_t dim, double prior_precision, double noise_var,
+                                     double forget_rate)
+    : dim_(dim),
+      noise_var_(noise_var),
+      prior_precision_(prior_precision),
+      forget_rate_(forget_rate),
+      precision_(dim * dim, 0.0),
+      b_(dim, 0.0) {
+  for (size_t i = 0; i < dim; ++i) {
+    precision_[i * dim + i] = prior_precision;
+  }
+}
+
+void LinearThompsonArm::Refresh() const {
+  if (fresh_) {
+    return;
+  }
+  // mu = A^-1 b via Cholesky of A.
+  const std::vector<double> chol_a = CholeskyLower(precision_, dim_);
+  mu_ = BackwardSolve(chol_a, ForwardSolve(chol_a, b_, dim_), dim_);
+
+  // Covariance = noise_var * A^-1; its Cholesky factor is
+  // sqrt(noise_var) * (L_A)^-T, computed by solving L_A^T X = I columnwise.
+  cov_chol_.assign(dim_ * dim_, 0.0);
+  std::vector<double> unit(dim_, 0.0);
+  const double scale = std::sqrt(noise_var_);
+  for (size_t col = 0; col < dim_; ++col) {
+    std::fill(unit.begin(), unit.end(), 0.0);
+    unit[col] = 1.0;
+    const std::vector<double> column = BackwardSolve(chol_a, unit, dim_);
+    for (size_t row = 0; row < dim_; ++row) {
+      cov_chol_[row * dim_ + col] = scale * column[row];
+    }
+  }
+  fresh_ = true;
+}
+
+double LinearThompsonArm::MeanScore(const std::vector<double>& x) const {
+  Refresh();
+  double score = 0.0;
+  for (size_t i = 0; i < dim_ && i < x.size(); ++i) {
+    score += mu_[i] * x[i];
+  }
+  return score;
+}
+
+double LinearThompsonArm::SampleScore(const std::vector<double>& x, Rng& rng) const {
+  Refresh();
+  // w = mu + C z with C the covariance factor and z standard normal; the
+  // score is then w . x.
+  std::vector<double> z(dim_);
+  for (auto& zi : z) {
+    zi = rng.Normal();
+  }
+  double score = 0.0;
+  for (size_t i = 0; i < dim_ && i < x.size(); ++i) {
+    double wi = mu_[i];
+    for (size_t k = 0; k < dim_; ++k) {
+      wi += cov_chol_[i * dim_ + k] * z[k];
+    }
+    score += wi * x[i];
+  }
+  return score;
+}
+
+void LinearThompsonArm::Update(const std::vector<double>& x, double reward) {
+  // Recency weighting: decay the data portion of the posterior (keeping the
+  // prior mass intact) so stale evidence ages out.
+  const double keep = 1.0 - forget_rate_;
+  for (size_t i = 0; i < dim_; ++i) {
+    b_[i] *= keep;
+    for (size_t j = 0; j < dim_; ++j) {
+      double data_mass = precision_[i * dim_ + j];
+      if (i == j) {
+        data_mass -= prior_precision_;
+      }
+      precision_[i * dim_ + j] = data_mass * keep + (i == j ? prior_precision_ : 0.0);
+    }
+  }
+  for (size_t i = 0; i < dim_; ++i) {
+    const double xi = i < x.size() ? x[i] : 0.0;
+    b_[i] += reward * xi;
+    for (size_t j = 0; j < dim_; ++j) {
+      const double xj = j < x.size() ? x[j] : 0.0;
+      precision_[i * dim_ + j] += xi * xj;
+    }
+  }
+  ++updates_;
+  fresh_ = false;
+}
+
+BetaBernoulliArm::BetaBernoulliArm(double alpha, double beta) : alpha_(alpha), beta_(beta) {}
+
+double BetaBernoulliArm::Sample(Rng& rng) const { return rng.Beta(alpha_, beta_); }
+
+double BetaBernoulliArm::Mean() const { return alpha_ / (alpha_ + beta_); }
+
+void BetaBernoulliArm::Update(bool win) {
+  if (win) {
+    alpha_ += 1.0;
+  } else {
+    beta_ += 1.0;
+  }
+}
+
+ContextualBandit::ContextualBandit(size_t num_arms, size_t context_dim, uint64_t seed)
+    : rng_(seed) {
+  arms_.reserve(num_arms);
+  for (size_t i = 0; i < num_arms; ++i) {
+    arms_.emplace_back(context_dim);
+  }
+}
+
+BanditSelection ContextualBandit::Select(const std::vector<double>& context,
+                                         const std::vector<double>& biases) {
+  BanditSelection selection;
+  selection.sampled_scores.resize(arms_.size());
+  selection.mean_scores.resize(arms_.size());
+  std::vector<double> unbiased_means(arms_.size());
+  for (size_t i = 0; i < arms_.size(); ++i) {
+    const double bias = i < biases.size() ? biases[i] : 0.0;
+    unbiased_means[i] = arms_[i].MeanScore(context);
+    selection.sampled_scores[i] = arms_[i].SampleScore(context, rng_) + bias;
+    selection.mean_scores[i] = unbiased_means[i] + bias;
+  }
+  selection.arm = static_cast<size_t>(
+      std::max_element(selection.sampled_scores.begin(), selection.sampled_scores.end()) -
+      selection.sampled_scores.begin());
+
+  // Confidence reflects the learned posterior only: exogenous biases (cost
+  // preference, overload pressure) must not masquerade as certainty.
+  selection.confidence = Softmax(unbiased_means, /*temperature=*/0.25);
+  selection.confidence_std = StdDev(selection.confidence);
+
+  // Runner-up for preference solicitation: sample among the other arms
+  // proportional to their confidence.
+  if (arms_.size() > 1) {
+    std::vector<double> weights = selection.confidence;
+    weights[selection.arm] = 0.0;
+    selection.second_choice = rng_.Categorical(weights);
+    if (selection.second_choice == selection.arm) {
+      selection.second_choice = (selection.arm + 1) % arms_.size();
+    }
+  }
+  return selection;
+}
+
+void ContextualBandit::Update(size_t arm, const std::vector<double>& context, double reward) {
+  if (arm < arms_.size()) {
+    arms_[arm].Update(context, reward);
+  }
+}
+
+}  // namespace iccache

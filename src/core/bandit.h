@@ -1,0 +1,113 @@
+// Contextual multi-armed bandit machinery for the Request Router
+// (section 4.2, Appendix A.2).
+//
+// Each arm (candidate model) keeps a Bayesian linear-regression posterior over
+// the context features; Thompson sampling draws a weight vector from the
+// posterior and scores the context with it. A Beta-Bernoulli arm is also
+// provided — it is the formulation the paper's sample-complexity analysis
+// (Theorems 1-3) is stated in, and the property tests exercise it directly.
+#ifndef SRC_CORE_BANDIT_H_
+#define SRC_CORE_BANDIT_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "src/common/rng.h"
+
+namespace iccache {
+
+// Bayesian linear regression arm: posterior N(mu, noise_var * A^-1) with
+// A = prior_precision * I + sum x x^T and mu = A^-1 sum r x.
+class LinearThompsonArm {
+ public:
+  // The prior must be wide relative to the [0, 1] reward scale: with a tight
+  // prior an arm that collects one good reward permanently outruns the
+  // never-pulled arms (no exploration). prior_precision 0.5 / noise_var 0.1
+  // give a prior weight stddev of ~0.45, comparable to the reward range.
+  //
+  // forget_rate geometrically discounts old observations (recency-weighted
+  // least squares), bounding the effective sample size at ~1/forget_rate (~250 samples) so
+  // the posterior can track model upgrades and drift (section 8) instead of
+  // freezing once confident.
+  LinearThompsonArm(size_t dim, double prior_precision = 0.5, double noise_var = 0.10,
+                    double forget_rate = 0.004);
+
+  // Posterior-mean score mu . x.
+  double MeanScore(const std::vector<double>& x) const;
+
+  // Thompson sample: draws w ~ posterior and returns w . x.
+  double SampleScore(const std::vector<double>& x, Rng& rng) const;
+
+  // Rank-1 posterior update with observed reward for context x.
+  void Update(const std::vector<double>& x, double reward);
+
+  size_t updates() const { return updates_; }
+  size_t dim() const { return dim_; }
+
+ private:
+  void Refresh() const;
+
+  size_t dim_;
+  double noise_var_;
+  double prior_precision_;
+  double forget_rate_;
+  std::vector<double> precision_;  // A, row-major dim x dim
+  std::vector<double> b_;          // discounted sum r x
+  size_t updates_ = 0;
+
+  // Lazily recomputed posterior mean and Cholesky factor of the covariance.
+  mutable std::vector<double> mu_;
+  mutable std::vector<double> cov_chol_;  // lower triangular, row-major
+  mutable bool fresh_ = false;
+};
+
+// Beta-Bernoulli arm (Appendix A.2): belief over a win probability.
+class BetaBernoulliArm {
+ public:
+  BetaBernoulliArm(double alpha = 1.0, double beta = 1.0);
+
+  double Sample(Rng& rng) const;
+  double Mean() const;
+  void Update(bool win);
+
+  double alpha() const { return alpha_; }
+  double beta() const { return beta_; }
+
+ private:
+  double alpha_;
+  double beta_;
+};
+
+struct BanditSelection {
+  size_t arm = 0;
+  size_t second_choice = 0;          // runner-up for preference solicitation
+  std::vector<double> sampled_scores;
+  std::vector<double> mean_scores;
+  std::vector<double> confidence;    // softmax of mean scores
+  double confidence_std = 0.0;       // near-uniform (< ~0.1) == uncertain
+};
+
+// A set of linear Thompson arms with per-selection additive biases (the
+// router's load controller injects the tanh bias here).
+class ContextualBandit {
+ public:
+  ContextualBandit(size_t num_arms, size_t context_dim, uint64_t seed);
+
+  // Selects an arm for the context; `biases[i]` is added to arm i's score
+  // (pass {} for none).
+  BanditSelection Select(const std::vector<double>& context,
+                         const std::vector<double>& biases);
+
+  void Update(size_t arm, const std::vector<double>& context, double reward);
+
+  size_t num_arms() const { return arms_.size(); }
+  const LinearThompsonArm& arm(size_t i) const { return arms_[i]; }
+
+ private:
+  std::vector<LinearThompsonArm> arms_;
+  Rng rng_;
+};
+
+}  // namespace iccache
+
+#endif  // SRC_CORE_BANDIT_H_

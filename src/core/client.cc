@@ -1,0 +1,35 @@
+#include "src/core/client.h"
+
+namespace iccache {
+
+IcCacheClient::IcCacheClient(IcCacheService* service) : service_(service) {}
+
+GenerationResult IcCacheClient::Generate(const Request& request) {
+  clock_s_ += 1.0;
+  last_outcome_ = service_->ServeRequest(request, clock_s_);
+  return last_outcome_.generation;
+}
+
+std::vector<GenerationResult> IcCacheClient::Generate(const std::vector<Request>& requests) {
+  std::vector<GenerationResult> responses;
+  responses.reserve(requests.size());
+  for (const Request& request : requests) {
+    responses.push_back(Generate(request));
+  }
+  return responses;
+}
+
+void IcCacheClient::UpdateCache(const Request& request, const GenerationResult& response) {
+  service_->cache().Put(request, "[client-registered]", response.latent_quality,
+                        service_->large_model().capability, response.output_tokens, clock_s_);
+}
+
+void IcCacheClient::Stop() {
+  if (stopped_) {
+    return;
+  }
+  service_->RunMaintenance(clock_s_ + 3600.0);
+  stopped_ = true;
+}
+
+}  // namespace iccache

@@ -1,0 +1,47 @@
+// IcCacheClient: the few-lines-of-code integration facade from Figure 6.
+//
+//   IcCacheClient client(&service);
+//   auto response = client.Generate(request);   // full Algorithm-1 path
+//   client.UpdateCache(request, response);      // explicit cache registration
+//   client.Stop();
+//
+// Generate() runs the serving path (which already performs opportunistic
+// admission); UpdateCache() is the explicit registration hook applications
+// use when they control admission themselves (e.g., after local PII review).
+#ifndef SRC_CORE_CLIENT_H_
+#define SRC_CORE_CLIENT_H_
+
+#include <vector>
+
+#include "src/core/service.h"
+
+namespace iccache {
+
+class IcCacheClient {
+ public:
+  explicit IcCacheClient(IcCacheService* service);
+
+  // Serves one request through IC-Cache; advances the client clock.
+  GenerationResult Generate(const Request& request);
+
+  // Batch variant mirroring the Figure 6 API.
+  std::vector<GenerationResult> Generate(const std::vector<Request>& requests);
+
+  // Registers a request-response pair into the example cache.
+  void UpdateCache(const Request& request, const GenerationResult& response);
+
+  // Flushes maintenance work (decay/replay/eviction) and closes the session.
+  void Stop();
+
+  const ServeOutcome& last_outcome() const { return last_outcome_; }
+
+ private:
+  IcCacheService* service_;
+  ServeOutcome last_outcome_;
+  double clock_s_ = 0.0;
+  bool stopped_ = false;
+};
+
+}  // namespace iccache
+
+#endif  // SRC_CORE_CLIENT_H_

@@ -1,0 +1,65 @@
+#include "src/core/dp_synthesis.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/mathutil.h"
+#include "src/common/rng.h"
+#include "src/embedding/embedder.h"
+
+namespace iccache {
+
+DpSynthesisReport SynthesizeDpCache(const ExampleCache& source, ExampleCache* out,
+                                    DpSynthesisConfig config) {
+  DpSynthesisReport report;
+  Rng rng(config.seed);
+
+  const double eps_token = config.epsilon / std::max(config.sensitivity_tokens, 1.0);
+  const double keep_probability = std::exp(eps_token) / (std::exp(eps_token) + 1.0);
+  report.token_keep_probability = keep_probability;
+  report.epsilon_spent = config.epsilon;
+
+  for (uint64_t id : source.AllIds()) {
+    const Example* example = source.Get(id);
+    if (example == nullptr) {
+      continue;
+    }
+    ++report.source_examples;
+
+    Request synthetic = example->request;
+    // Randomized response over tokens: replaced tokens break surface overlap
+    // (and thus linkability) while most content survives at reasonable eps.
+    std::vector<std::string> words = TokenizeWords(example->request.text);
+    std::string rebuilt;
+    for (const std::string& word : words) {
+      if (!rebuilt.empty()) {
+        rebuilt.push_back(' ');
+      }
+      if (rng.Bernoulli(keep_probability)) {
+        rebuilt += word;
+      } else {
+        rebuilt += "x" + std::to_string(rng.UniformInt(100000));
+      }
+    }
+    synthetic.text = rebuilt;
+
+    // Latent-attribute perturbation: occasionally the synthetic example lands
+    // on a neighbouring intent, diluting its relevance (the Figure 21 cost).
+    if (rng.Bernoulli(1.0 - keep_probability)) {
+      synthetic.intent_id = static_cast<uint32_t>(rng.UniformInt(4));
+    }
+    synthetic.difficulty = Clamp(synthetic.difficulty + rng.Normal(0.0, 0.04), 0.0, 1.0);
+
+    const double quality =
+        Clamp(example->response_quality - config.quality_penalty * rng.Uniform(), 0.0, 1.0);
+    const uint64_t new_id = out->Put(synthetic, "[dp-synthetic-response]", quality,
+                                     example->source_capability, example->response_tokens,
+                                     example->admitted_time);
+    if (new_id != 0) {
+      ++report.synthesized;
+    }
+  }
+  return report;
+}
+
+}  // namespace iccache

@@ -1,0 +1,43 @@
+// Differentially private synthetic example pool (section 4.3, Figure 21):
+// for deployments with strict privacy guarantees, the raw historical cache is
+// replaced with a DP-synthesized clone. Synthesis applies randomized response
+// at the token level (replace each token with a random draw with probability
+// p derived from epsilon) and perturbs latent attributes, so an adversary
+// holding the synthetic pool cannot confidently infer any original example —
+// at the price of a small relevance/quality haircut that Figure 21 measures.
+#ifndef SRC_CORE_DP_SYNTHESIS_H_
+#define SRC_CORE_DP_SYNTHESIS_H_
+
+#include <cstdint>
+
+#include "src/core/example_cache.h"
+
+namespace iccache {
+
+struct DpSynthesisConfig {
+  // Privacy budget. Token keep-probability follows randomized response:
+  // keep = exp(eps_token) / (exp(eps_token) + 1) with eps_token = epsilon / k.
+  double epsilon = 6.0;
+  double delta = 1e-6;
+  // Tokens treated as one record of k sensitive attributes.
+  double sensitivity_tokens = 4.0;
+  // Quality haircut applied to synthesized responses.
+  double quality_penalty = 0.05;
+  uint64_t seed = 0xd9;
+};
+
+struct DpSynthesisReport {
+  size_t source_examples = 0;
+  size_t synthesized = 0;
+  double epsilon_spent = 0.0;
+  double token_keep_probability = 0.0;
+};
+
+// Builds a DP-synthetic clone of `source` into `out` (which should be empty
+// and configured with CacheAdmissionMode::kAllowAll).
+DpSynthesisReport SynthesizeDpCache(const ExampleCache& source, ExampleCache* out,
+                                    DpSynthesisConfig config = {});
+
+}  // namespace iccache
+
+#endif  // SRC_CORE_DP_SYNTHESIS_H_

@@ -1,0 +1,53 @@
+// The cached example record: a historical request-response pair plus the
+// bookkeeping the Example Manager needs (access statistics, utility EMAs,
+// replay state, plaintext weight for the knapsack eviction).
+//
+// The stored response is represented by its latent quality and token count —
+// the attributes every downstream consumer (generation simulator, judge,
+// replay) actually reads. `response_text` carries the scrubbed plaintext for
+// cache-size accounting and the privacy pipeline.
+#ifndef SRC_CORE_EXAMPLE_H_
+#define SRC_CORE_EXAMPLE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/workload/request.h"
+
+namespace iccache {
+
+struct Example {
+  uint64_t id = 0;
+  Request request;
+
+  std::string response_text;
+  double response_quality = 0.0;   // latent quality of the stored response
+  double source_capability = 0.0;  // capability of the model that produced it
+  int response_tokens = 0;
+
+  // --- Example Manager bookkeeping (section 4.3) ---
+  uint64_t access_count = 0;
+  double last_access_time = 0.0;
+  double admitted_time = 0.0;
+
+  // EMA of the replay potential gain G(e) = (1 - quality) * model_cost.
+  double replay_gain_ema = 0.0;
+  int replay_count = 0;  // replay iterations consumed (capped at 5, section 5)
+
+  // Decayed count of successful offloads this example enabled — the "value"
+  // term of the knapsack eviction problem.
+  double offload_value = 0.0;
+
+  // Prompt-length contribution when prepended as an in-context example.
+  int PromptTokens() const { return request.input_tokens + response_tokens; }
+
+  // Plaintext weight (bytes) — the knapsack "weight".
+  int64_t SizeBytes() const {
+    return static_cast<int64_t>(request.text.size() + response_text.size()) +
+           4LL * (request.input_tokens + response_tokens);
+  }
+};
+
+}  // namespace iccache
+
+#endif  // SRC_CORE_EXAMPLE_H_

@@ -1,0 +1,154 @@
+#include "src/core/example_cache.h"
+
+#include <algorithm>
+
+#include "src/common/knapsack.h"
+#include "src/common/mathutil.h"
+
+namespace iccache {
+
+ExampleCache::ExampleCache(std::shared_ptr<const Embedder> embedder, ExampleCacheConfig config)
+    : embedder_(std::move(embedder)), config_(config), index_([&] {
+        KMeansIndexConfig index_config;
+        index_config.dim = embedder_->dim();
+        index_config.nprobe = config.index_nprobe;
+        index_config.seed = config.seed;
+        return index_config;
+      }()) {}
+
+uint64_t ExampleCache::Put(const Request& request, std::string response_text,
+                           double response_quality, double source_capability, int response_tokens,
+                           double now) {
+  const AdmissionDecision decision =
+      DecideAdmission(scrubber_, config_.admission_mode, request.text);
+  if (!decision.admit) {
+    return 0;
+  }
+
+  Example example;
+  example.id = next_id_++;
+  example.request = request;
+  example.request.text = decision.sanitized_text;
+  example.response_text = std::move(response_text);
+  example.response_quality = response_quality;
+  example.source_capability = source_capability;
+  example.response_tokens = response_tokens;
+  example.admitted_time = now;
+  example.last_access_time = now;
+  // New examples start with replay gain proportional to their headroom.
+  example.replay_gain_ema = (1.0 - response_quality);
+
+  used_bytes_ += example.SizeBytes();
+  index_.Add(example.id, embedder_->Embed(example.request.text));
+  examples_[example.id] = std::move(example);
+
+  if (config_.capacity_bytes > 0 &&
+      static_cast<double>(used_bytes_) >
+          static_cast<double>(config_.capacity_bytes) * config_.high_watermark) {
+    EnforceCapacity();
+  }
+  return next_id_ - 1;
+}
+
+std::vector<SearchResult> ExampleCache::FindSimilar(const Request& request, size_t k) const {
+  return FindSimilar(embedder_->Embed(request.text), k);
+}
+
+std::vector<SearchResult> ExampleCache::FindSimilar(const std::vector<float>& embedding,
+                                                    size_t k) const {
+  return index_.Search(embedding, k);
+}
+
+const Example* ExampleCache::Get(uint64_t id) const {
+  const auto it = examples_.find(id);
+  return it == examples_.end() ? nullptr : &it->second;
+}
+
+Example* ExampleCache::GetMutable(uint64_t id) {
+  const auto it = examples_.find(id);
+  return it == examples_.end() ? nullptr : &it->second;
+}
+
+bool ExampleCache::Remove(uint64_t id) {
+  const auto it = examples_.find(id);
+  if (it == examples_.end()) {
+    return false;
+  }
+  used_bytes_ -= it->second.SizeBytes();
+  index_.Remove(id);
+  examples_.erase(it);
+  return true;
+}
+
+void ExampleCache::RecordAccess(uint64_t id, double now) {
+  Example* example = GetMutable(id);
+  if (example == nullptr) {
+    return;
+  }
+  ++example->access_count;
+  example->last_access_time = now;
+}
+
+void ExampleCache::RecordOffload(uint64_t id, double gain) {
+  Example* example = GetMutable(id);
+  if (example == nullptr) {
+    return;
+  }
+  example->offload_value += gain;
+}
+
+void ExampleCache::DecayTick() {
+  for (auto& [id, example] : examples_) {
+    example.offload_value *= config_.decay_factor;
+    example.replay_gain_ema *= config_.decay_factor;
+  }
+}
+
+std::vector<uint64_t> ExampleCache::EnforceCapacity() {
+  std::vector<uint64_t> evicted;
+  if (config_.capacity_bytes <= 0 || used_bytes_ <= config_.capacity_bytes) {
+    return evicted;
+  }
+
+  // Knapsack over retained examples: weight = plaintext bytes, value =
+  // decayed offload gain (with a small recency epsilon so fresh, not-yet-used
+  // examples are not starved out immediately).
+  std::vector<uint64_t> ids;
+  std::vector<KnapsackItem> items;
+  ids.reserve(examples_.size());
+  items.reserve(examples_.size());
+  for (const auto& [id, example] : examples_) {
+    ids.push_back(id);
+    KnapsackItem item;
+    item.weight = example.SizeBytes();
+    item.value = example.offload_value + 1e-3;
+    items.push_back(item);
+  }
+
+  const int64_t target_bytes = static_cast<int64_t>(
+      static_cast<double>(config_.capacity_bytes) * Clamp(config_.low_watermark, 0.1, 1.0));
+  const KnapsackSolution solution = SolveKnapsack(items, target_bytes);
+  std::vector<bool> keep(ids.size(), false);
+  for (size_t idx : solution.selected) {
+    keep[idx] = true;
+  }
+  for (size_t i = 0; i < ids.size(); ++i) {
+    if (!keep[i]) {
+      evicted.push_back(ids[i]);
+      Remove(ids[i]);
+    }
+  }
+  return evicted;
+}
+
+std::vector<uint64_t> ExampleCache::AllIds() const {
+  std::vector<uint64_t> ids;
+  ids.reserve(examples_.size());
+  for (const auto& [id, example] : examples_) {
+    ids.push_back(id);
+  }
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+}  // namespace iccache

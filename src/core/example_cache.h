@@ -1,0 +1,87 @@
+// The example cache (section 4.3): plaintext storage of historical
+// request-response pairs, an embedding index for stage-1 relevance retrieval,
+// utility bookkeeping with hourly decay, and knapsack-based eviction under a
+// byte-capacity budget.
+#ifndef SRC_CORE_EXAMPLE_CACHE_H_
+#define SRC_CORE_EXAMPLE_CACHE_H_
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/core/example.h"
+#include "src/core/privacy.h"
+#include "src/embedding/embedder.h"
+#include "src/index/vector_index.h"
+
+namespace iccache {
+
+struct ExampleCacheConfig {
+  // Byte budget; <= 0 means unbounded (the paper notes ~1 GB holds a million
+  // LMSys examples, so most deployments are effectively unbounded).
+  int64_t capacity_bytes = -1;
+  // Eviction triggers when usage exceeds capacity * high_watermark and
+  // evicts down to capacity * low_watermark (amortizes knapsack runs).
+  double high_watermark = 1.0;
+  double low_watermark = 0.9;
+  // Utility decay applied by DecayTick (0.9 per hour in the paper).
+  double decay_factor = 0.9;
+  CacheAdmissionMode admission_mode = CacheAdmissionMode::kScrub;
+  size_t index_nprobe = 3;
+  uint64_t seed = 0xcac4e;
+};
+
+class ExampleCache {
+ public:
+  ExampleCache(std::shared_ptr<const Embedder> embedder, ExampleCacheConfig config = {});
+
+  // Admits a request-response pair (subject to the privacy admission mode)
+  // and returns the new example id, or 0 when rejected.
+  uint64_t Put(const Request& request, std::string response_text, double response_quality,
+               double source_capability, int response_tokens, double now);
+
+  // Stage-1 relevance lookup: top-k most similar cached examples.
+  std::vector<SearchResult> FindSimilar(const Request& request, size_t k) const;
+  std::vector<SearchResult> FindSimilar(const std::vector<float>& embedding, size_t k) const;
+
+  const Example* Get(uint64_t id) const;
+  Example* GetMutable(uint64_t id);
+  bool Remove(uint64_t id);
+
+  // Marks an access (stage-2 consumed this example) for Figure 10 statistics
+  // and recency bookkeeping.
+  void RecordAccess(uint64_t id, double now);
+
+  // Credits the example for a successful offload (knapsack value).
+  void RecordOffload(uint64_t id, double gain = 1.0);
+
+  // Applies the hourly multiplicative decay to every example's value/gain.
+  void DecayTick();
+
+  // Runs knapsack eviction down to capacity; returns evicted ids. No-op when
+  // unbounded or under the watermark.
+  std::vector<uint64_t> EnforceCapacity();
+
+  size_t size() const { return examples_.size(); }
+  int64_t used_bytes() const { return used_bytes_; }
+  const ExampleCacheConfig& config() const { return config_; }
+  std::shared_ptr<const Embedder> embedder() const { return embedder_; }
+
+  // Snapshot of ids for iteration (replay scheduling, experiments).
+  std::vector<uint64_t> AllIds() const;
+
+ private:
+  std::shared_ptr<const Embedder> embedder_;
+  ExampleCacheConfig config_;
+  PiiScrubber scrubber_;
+  std::unordered_map<uint64_t, Example> examples_;
+  KMeansIndex index_;
+  int64_t used_bytes_ = 0;
+  uint64_t next_id_ = 1;
+};
+
+}  // namespace iccache
+
+#endif  // SRC_CORE_EXAMPLE_CACHE_H_

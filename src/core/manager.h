@@ -1,0 +1,81 @@
+// Example Manager (section 4.3): cache admission, per-use gain accounting,
+// cost-aware example replay, and periodic maintenance (decay + eviction).
+//
+// Replay exploits generation variance: re-querying the replay model a few
+// times and keeping the best response measurably improves the stored example
+// (Figure 11). Because reuse frequency is long-tailed (Figure 10), replay is
+// rationed: candidates are ranked by the EMA of their potential gain
+//   G(e) = (1 - normalized_response_quality) * normalized_model_cost
+// accumulated on every reuse, and the pass stops at the first candidate whose
+// expected savings no longer cover the one-time replay cost. Each example
+// consumes at most five replay iterations in its lifetime (section 5).
+#ifndef SRC_CORE_MANAGER_H_
+#define SRC_CORE_MANAGER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/core/example_cache.h"
+#include "src/llm/generation.h"
+#include "src/llm/model_profile.h"
+
+namespace iccache {
+
+struct ManagerConfig {
+  // Admission: always cache responses from the large model; cache small-model
+  // responses only above this quality bar (avoid polluting the pool).
+  double small_model_admit_quality = 0.75;
+  // Skip admission when a near-duplicate is already cached.
+  double dedupe_similarity = 0.995;
+
+  // Replay.
+  int max_replays_per_example = 5;  // lifetime cap (section 5)
+  int draws_per_replay = 3;         // best-of-n per replay pass
+  double replay_cost = 0.35;        // one-time cost in normalized gain units
+  double gain_ema_alpha = 0.25;
+  size_t max_replays_per_pass = 64;
+
+  // Maintenance cadence (simulated seconds).
+  double decay_interval_s = 3600.0;
+};
+
+struct ReplayReport {
+  size_t candidates = 0;
+  size_t replayed = 0;
+  size_t improved = 0;
+  double total_quality_gain = 0.0;
+};
+
+class ExampleManager {
+ public:
+  ExampleManager(ExampleCache* cache, GenerationSimulator* generator,
+                 const ModelProfile& replay_model, ManagerConfig config = {});
+
+  // Admission after serving: returns the cached example id or 0 when skipped.
+  uint64_t MaybeAdmit(const Request& request, const GenerationResult& generation,
+                      double source_capability, bool from_large_model, double now);
+
+  // Per-use gain accounting for the examples that served a request:
+  // G(e) = (1 - quality) * model_cost, folded into each example's EMA.
+  void RecordUsage(const std::vector<uint64_t>& example_ids, double response_quality,
+                   double normalized_model_cost);
+
+  // One cost-aware replay pass (run off-peak); refines top-ranked examples.
+  ReplayReport RunReplayPass();
+
+  // Hourly decay + capacity enforcement; call with the current sim time.
+  void MaybeRunMaintenance(double now);
+
+  const ManagerConfig& config() const { return config_; }
+
+ private:
+  ExampleCache* cache_;
+  GenerationSimulator* generator_;
+  ModelProfile replay_model_;
+  ManagerConfig config_;
+  double last_decay_time_ = 0.0;
+};
+
+}  // namespace iccache
+
+#endif  // SRC_CORE_MANAGER_H_

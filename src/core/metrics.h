@@ -1,0 +1,36 @@
+// Lightweight metrics registry for the service: counters and gauges keyed by
+// name, snapshotted by the harnesses and examples. Not a hot path.
+#ifndef SRC_CORE_METRICS_H_
+#define SRC_CORE_METRICS_H_
+
+#include <map>
+#include <string>
+
+namespace iccache {
+
+class MetricsRegistry {
+ public:
+  void Increment(const std::string& name, double delta = 1.0) { values_[name] += delta; }
+  void Set(const std::string& name, double value) { values_[name] = value; }
+
+  double Get(const std::string& name) const {
+    const auto it = values_.find(name);
+    return it == values_.end() ? 0.0 : it->second;
+  }
+
+  // Ratio helper: Get(numerator) / Get(denominator), 0 when empty.
+  double Ratio(const std::string& numerator, const std::string& denominator) const {
+    const double denom = Get(denominator);
+    return denom > 0.0 ? Get(numerator) / denom : 0.0;
+  }
+
+  const std::map<std::string, double>& snapshot() const { return values_; }
+  void Reset() { values_.clear(); }
+
+ private:
+  std::map<std::string, double> values_;
+};
+
+}  // namespace iccache
+
+#endif  // SRC_CORE_METRICS_H_

@@ -1,0 +1,157 @@
+#include "src/core/privacy.h"
+
+#include <cctype>
+
+namespace iccache {
+
+namespace {
+
+bool IsWordChar(char c) {
+  const unsigned char u = static_cast<unsigned char>(c);
+  return std::isalnum(u) || c == '.' || c == '_' || c == '-' || c == '+';
+}
+
+// Scans for token@token.tld shapes starting at position i; returns the end of
+// the matched span or std::string::npos.
+size_t MatchEmail(const std::string& text, size_t i) {
+  size_t at = text.find('@', i);
+  if (at == std::string::npos || at == i) {
+    return std::string::npos;
+  }
+  // Local part must directly precede '@' from position i.
+  for (size_t j = i; j < at; ++j) {
+    if (!IsWordChar(text[j])) {
+      return std::string::npos;
+    }
+  }
+  size_t end = at + 1;
+  bool saw_dot = false;
+  while (end < text.size() && (IsWordChar(text[end]))) {
+    if (text[end] == '.') {
+      saw_dot = true;
+    }
+    ++end;
+  }
+  if (!saw_dot || end == at + 1) {
+    return std::string::npos;
+  }
+  return end;
+}
+
+// Counts digits in a span allowing separators; used for phone/SSN shapes.
+struct DigitRun {
+  size_t end = 0;
+  int digits = 0;
+  int separators = 0;
+  bool ssn_shape = false;  // 3-2-4 grouping
+};
+
+DigitRun ScanDigitRun(const std::string& text, size_t i) {
+  DigitRun run;
+  size_t j = i;
+  int group = 0;
+  int groups_seen = 0;
+  bool grouping_ssn = true;
+  static const int kSsnGroups[3] = {3, 2, 4};
+  while (j < text.size()) {
+    const char c = text[j];
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      ++run.digits;
+      ++group;
+      ++j;
+    } else if ((c == '-' || c == ' ' || c == '.') && run.digits > 0 &&
+               j + 1 < text.size() && std::isdigit(static_cast<unsigned char>(text[j + 1]))) {
+      if (groups_seen < 3 && group != kSsnGroups[groups_seen]) {
+        grouping_ssn = false;
+      }
+      ++groups_seen;
+      group = 0;
+      ++run.separators;
+      ++j;
+    } else {
+      break;
+    }
+  }
+  if (groups_seen < 3 && group > 0) {
+    if (groups_seen < 3 && group != kSsnGroups[groups_seen]) {
+      grouping_ssn = false;
+    }
+    ++groups_seen;
+  }
+  run.ssn_shape = grouping_ssn && groups_seen == 3 && run.digits == 9;
+  run.end = j;
+  return run;
+}
+
+}  // namespace
+
+ScrubResult PiiScrubber::Scrub(const std::string& text) const {
+  ScrubResult result;
+  std::string out;
+  out.reserve(text.size());
+  size_t i = 0;
+  while (i < text.size()) {
+    const char c = text[i];
+    if (IsWordChar(c) && std::isalnum(static_cast<unsigned char>(c))) {
+      const size_t email_end = MatchEmail(text, i);
+      if (email_end != std::string::npos) {
+        out += "[EMAIL]";
+        ++result.emails_removed;
+        i = email_end;
+        continue;
+      }
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      const DigitRun run = ScanDigitRun(text, i);
+      if (run.ssn_shape) {
+        out += "[ID]";
+        ++result.ids_removed;
+        i = run.end;
+        continue;
+      }
+      if (run.digits >= 10 && run.digits <= 13) {
+        out += "[PHONE]";
+        ++result.phones_removed;
+        i = run.end;
+        continue;
+      }
+      // Plain number: copy the run through.
+      out.append(text, i, run.end - i);
+      i = run.end;
+      continue;
+    }
+    out.push_back(c);
+    ++i;
+  }
+  result.text = std::move(out);
+  return result;
+}
+
+AdmissionDecision DecideAdmission(const PiiScrubber& scrubber, CacheAdmissionMode mode,
+                                  const std::string& text) {
+  AdmissionDecision decision;
+  switch (mode) {
+    case CacheAdmissionMode::kDenyAll:
+      decision.admit = false;
+      return decision;
+    case CacheAdmissionMode::kAllowAll:
+      decision.admit = true;
+      decision.sanitized_text = text;
+      return decision;
+    case CacheAdmissionMode::kScrub: {
+      ScrubResult scrubbed = scrubber.Scrub(text);
+      decision.admit = true;
+      decision.sanitized_text = std::move(scrubbed.text);
+      return decision;
+    }
+    case CacheAdmissionMode::kRejectPii: {
+      ScrubResult scrubbed = scrubber.Scrub(text);
+      decision.admit = !scrubbed.AnyPiiFound();
+      decision.sanitized_text = decision.admit ? text : std::string();
+      return decision;
+    }
+  }
+  return decision;
+}
+
+}  // namespace iccache

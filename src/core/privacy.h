@@ -1,0 +1,47 @@
+// Privacy admission controls (section 4.3, "How Does IC-Cache Respect
+// Privacy?"): client-side sanitization that removes personally identifiable
+// information before a request-response pair may enter the shared cache, plus
+// a domain tag so cached data can be restricted to designated user domains.
+// The detector is a rule-based stand-in for the paper's spaCy pipeline.
+#ifndef SRC_CORE_PRIVACY_H_
+#define SRC_CORE_PRIVACY_H_
+
+#include <string>
+
+namespace iccache {
+
+struct ScrubResult {
+  std::string text;        // input with PII spans replaced by placeholders
+  int emails_removed = 0;
+  int phones_removed = 0;
+  int ids_removed = 0;     // SSN-like digit patterns
+
+  bool AnyPiiFound() const { return emails_removed + phones_removed + ids_removed > 0; }
+};
+
+class PiiScrubber {
+ public:
+  // Replaces e-mail addresses, phone numbers, and SSN-like identifiers with
+  // "[EMAIL]", "[PHONE]", "[ID]" placeholders.
+  ScrubResult Scrub(const std::string& text) const;
+};
+
+enum class CacheAdmissionMode {
+  kAllowAll,        // cache everything as-is
+  kScrub,           // scrub PII, then admit (default, mirrors the paper)
+  kRejectPii,       // drop any request containing PII outright
+  kDenyAll,         // caching disabled (client opted out via the API)
+};
+
+struct AdmissionDecision {
+  bool admit = false;
+  std::string sanitized_text;
+};
+
+// Applies the admission mode to a candidate cache entry's text.
+AdmissionDecision DecideAdmission(const PiiScrubber& scrubber, CacheAdmissionMode mode,
+                                  const std::string& text);
+
+}  // namespace iccache
+
+#endif  // SRC_CORE_PRIVACY_H_

@@ -1,0 +1,197 @@
+#include "src/core/selector.h"
+
+#include <algorithm>
+
+#include "src/common/mathutil.h"
+
+namespace iccache {
+
+ExampleSelector::ExampleSelector(ExampleCache* cache, ProxyUtilityModel* proxy,
+                                 SelectorConfig config)
+    : cache_(cache),
+      proxy_(proxy),
+      config_(config),
+      utility_threshold_(config.initial_utility_threshold),
+      grid_benefit_(config.threshold_grid.size(), 0.0),
+      grid_count_(config.threshold_grid.size(), 0) {}
+
+std::vector<ExampleSelector::Candidate> ExampleSelector::Stage1(const Request& request) const {
+  std::vector<Candidate> candidates;
+  for (const SearchResult& result : cache_->FindSimilar(request, config_.stage1_candidates)) {
+    const Example* example = cache_->Get(result.id);
+    if (example == nullptr || result.score < config_.stage1_min_similarity) {
+      continue;
+    }
+    Candidate candidate;
+    candidate.id = result.id;
+    candidate.similarity = result.score;
+    candidate.example = example;
+    candidates.push_back(candidate);
+  }
+  return candidates;
+}
+
+void ExampleSelector::ScoreStage2(const Request& request, const ModelProfile& target_model,
+                                  std::vector<Candidate>& candidates) const {
+  for (Candidate& candidate : candidates) {
+    const Example& example = *candidate.example;
+    const ProxyFeatures features = MakeProxyFeatures(
+        candidate.similarity, example.response_quality, example.source_capability,
+        target_model.capability, example.request.task == request.task, example.PromptTokens());
+    candidate.utility = proxy_->Predict(features);
+  }
+}
+
+std::vector<SelectedExample> ExampleSelector::Combine(const std::vector<Candidate>& candidates,
+                                                      const ModelProfile& target_model,
+                                                      bool apply_threshold, double now) {
+  std::vector<const Candidate*> order;
+  order.reserve(candidates.size());
+  for (const Candidate& candidate : candidates) {
+    order.push_back(&candidate);
+  }
+  std::sort(order.begin(), order.end(),
+            [](const Candidate* a, const Candidate* b) { return a->utility > b->utility; });
+
+  const int token_budget = static_cast<int>(config_.context_budget_fraction *
+                                            static_cast<double>(target_model.context_window));
+  int tokens_used = 0;
+
+  std::vector<SelectedExample> selected;
+  std::vector<std::vector<float>> selected_embeddings;
+  const auto embedder = cache_->embedder();
+  for (const Candidate* candidate : order) {
+    if (selected.size() >= config_.max_examples) {
+      break;
+    }
+    if (apply_threshold && candidate->utility < utility_threshold_) {
+      continue;
+    }
+    const int tokens = candidate->example->PromptTokens();
+    if (tokens_used + tokens > token_budget) {
+      continue;
+    }
+    // Diversity: reject near-duplicates of already selected examples.
+    const std::vector<float> embedding = embedder->Embed(candidate->example->request.text);
+    bool duplicate = false;
+    for (const auto& prior : selected_embeddings) {
+      if (CosineSimilarity(embedding, prior) > config_.diversity_max_similarity) {
+        duplicate = true;
+        break;
+      }
+    }
+    if (duplicate) {
+      continue;
+    }
+
+    SelectedExample chosen;
+    chosen.example_id = candidate->id;
+    chosen.similarity = candidate->similarity;
+    chosen.predicted_utility = candidate->utility;
+    selected.push_back(chosen);
+    selected_embeddings.push_back(embedding);
+    tokens_used += tokens;
+    cache_->RecordAccess(candidate->id, now);
+  }
+
+  // Present worst-to-best: the strongest example ends up adjacent to the
+  // question, where in-context attention is strongest.
+  std::reverse(selected.begin(), selected.end());
+  return selected;
+}
+
+std::vector<SelectedExample> ExampleSelector::Select(const Request& request,
+                                                     const ModelProfile& target_model,
+                                                     double now) {
+  ++requests_seen_;
+  MaybeAdaptThreshold();
+  std::vector<Candidate> candidates = Stage1(request);
+  ScoreStage2(request, target_model, candidates);
+  return Combine(candidates, target_model, /*apply_threshold=*/true, now);
+}
+
+std::vector<SelectedExample> ExampleSelector::SelectStage1Only(const Request& request,
+                                                               const ModelProfile& target_model,
+                                                               double now) {
+  std::vector<Candidate> candidates = Stage1(request);
+  // Rank purely by similarity; no utility filtering.
+  for (Candidate& candidate : candidates) {
+    candidate.utility = candidate.similarity;
+  }
+  return Combine(candidates, target_model, /*apply_threshold=*/false, now);
+}
+
+void ExampleSelector::OnFeedback(const Request& request, const std::vector<SelectedExample>& used,
+                                 const ModelProfile& target_model,
+                                 double observed_quality_gain) {
+  if (used.empty()) {
+    return;
+  }
+  // Proxy label: shared credit across the combination, amplified so small
+  // per-request gains still carry gradient signal.
+  const double label =
+      Clamp(0.5 + config_.feedback_gain_scale * observed_quality_gain, 0.0, 1.0);
+  for (const SelectedExample& sel : used) {
+    const Example* example = cache_->Get(sel.example_id);
+    if (example == nullptr) {
+      continue;
+    }
+    const ProxyFeatures features = MakeProxyFeatures(
+        sel.similarity, example->response_quality, example->source_capability,
+        target_model.capability, example->request.task == request.task, example->PromptTokens());
+    proxy_->Update(features, label);
+  }
+
+  // Threshold adaptation accounting: estimate the net benefit each grid
+  // threshold would have produced on this request, attributing the observed
+  // gain proportionally to the utility mass the threshold retains.
+  double total_utility = 0.0;
+  for (const SelectedExample& sel : used) {
+    total_utility += sel.predicted_utility;
+  }
+  if (total_utility <= 0.0) {
+    return;
+  }
+  for (size_t g = 0; g < config_.threshold_grid.size(); ++g) {
+    const double threshold = config_.threshold_grid[g];
+    double kept_utility = 0.0;
+    double kept_tokens = 0.0;
+    for (const SelectedExample& sel : used) {
+      if (sel.predicted_utility >= threshold) {
+        kept_utility += sel.predicted_utility;
+        const Example* example = cache_->Get(sel.example_id);
+        kept_tokens += example != nullptr ? example->PromptTokens() : 0;
+      }
+    }
+    const double benefit = observed_quality_gain * (kept_utility / total_utility) -
+                           config_.token_cost_weight * kept_tokens;
+    grid_benefit_[g] += benefit;
+    ++grid_count_[g];
+  }
+}
+
+void ExampleSelector::MaybeAdaptThreshold() {
+  if (config_.adapt_every_n_requests == 0 ||
+      requests_seen_ % config_.adapt_every_n_requests != 0) {
+    return;
+  }
+  double best_benefit = -1e300;
+  double best_threshold = utility_threshold_;
+  bool any = false;
+  for (size_t g = 0; g < config_.threshold_grid.size(); ++g) {
+    if (grid_count_[g] == 0) {
+      continue;
+    }
+    const double mean_benefit = grid_benefit_[g] / static_cast<double>(grid_count_[g]);
+    if (mean_benefit > best_benefit) {
+      best_benefit = mean_benefit;
+      best_threshold = config_.threshold_grid[g];
+      any = true;
+    }
+  }
+  if (any) {
+    utility_threshold_ = best_threshold;
+  }
+}
+
+}  // namespace iccache

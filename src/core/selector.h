@@ -1,0 +1,110 @@
+// Two-stage example selector (section 4.1, Algorithm 1 lines 7-13).
+//
+// Stage 1 narrows the candidate pool with cheap embedding similarity against
+// the clustered cache index; stage 2 scores each survivor with the proxy
+// utility model. The combination step then assembles the final example list:
+// it filters by the current dynamic utility threshold, deduplicates
+// near-identical candidates (diversity), respects the prompt-token budget of
+// the target model, and orders examples worst-to-best so the most helpful
+// example sits adjacent to the question.
+//
+// The dynamic threshold adapts online: the selector periodically probes a
+// grid of thresholds on sampled traffic and keeps the one with the best
+// observed net benefit (quality gain minus token cost), per the paper's
+// "Selecting Example Combinations".
+#ifndef SRC_CORE_SELECTOR_H_
+#define SRC_CORE_SELECTOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/core/example_cache.h"
+#include "src/core/proxy_model.h"
+#include "src/llm/model_profile.h"
+#include "src/workload/request.h"
+
+namespace iccache {
+
+struct SelectedExample {
+  uint64_t example_id = 0;
+  double similarity = 0.0;         // stage-1 score
+  double predicted_utility = 0.0;  // stage-2 score
+};
+
+struct SelectorConfig {
+  size_t stage1_candidates = 24;  // pre-selection pool size
+  // Candidates below this cosine never reach stage 2: with anisotropic
+  // embeddings, scores near the ~0.5 random-pair baseline carry no relevance
+  // signal and such examples can only distract the model.
+  double stage1_min_similarity = 0.70;
+  size_t max_examples = 5;
+  double initial_utility_threshold = 0.45;
+  // Feedback labels are amplified around 0.5: per-request quality gains are
+  // small (a few hundredths), and un-amplified labels would collapse the
+  // proxy toward predicting the mean.
+  double feedback_gain_scale = 3.0;
+  // Diversity: drop a candidate whose embedding similarity to an already
+  // selected example exceeds this (near-duplicates add tokens, not signal).
+  double diversity_max_similarity = 0.985;
+  // Prompt budget: examples may use at most this fraction of the target
+  // model's context window.
+  double context_budget_fraction = 0.5;
+  // Threshold adaptation grid and cadence.
+  std::vector<double> threshold_grid = {0.20, 0.30, 0.40, 0.50, 0.60};
+  size_t adapt_every_n_requests = 512;
+  // Net-benefit model for adaptation: quality gain per unit utility vs token
+  // cost per example token (both in arbitrary consistent units).
+  double token_cost_weight = 0.00002;
+};
+
+class ExampleSelector {
+ public:
+  ExampleSelector(ExampleCache* cache, ProxyUtilityModel* proxy, SelectorConfig config = {});
+
+  // Full two-stage selection for `request` targeting `target_model`.
+  std::vector<SelectedExample> Select(const Request& request, const ModelProfile& target_model,
+                                      double now);
+
+  // Stage 1 only (exposed for the Figure 9 ablation).
+  std::vector<SelectedExample> SelectStage1Only(const Request& request,
+                                                const ModelProfile& target_model, double now);
+
+  // Feeds an observed helpfulness label back into the proxy model and the
+  // threshold adaptation accounting.
+  void OnFeedback(const Request& request, const std::vector<SelectedExample>& used,
+                  const ModelProfile& target_model, double observed_quality_gain);
+
+  double utility_threshold() const { return utility_threshold_; }
+  void set_utility_threshold(double threshold) { utility_threshold_ = threshold; }
+  const SelectorConfig& config() const { return config_; }
+
+ private:
+  struct Candidate {
+    uint64_t id = 0;
+    double similarity = 0.0;
+    double utility = 0.0;
+    const Example* example = nullptr;
+  };
+
+  std::vector<Candidate> Stage1(const Request& request) const;
+  void ScoreStage2(const Request& request, const ModelProfile& target_model,
+                   std::vector<Candidate>& candidates) const;
+  std::vector<SelectedExample> Combine(const std::vector<Candidate>& candidates,
+                                       const ModelProfile& target_model, bool apply_threshold,
+                                       double now);
+  void MaybeAdaptThreshold();
+
+  ExampleCache* cache_;
+  ProxyUtilityModel* proxy_;
+  SelectorConfig config_;
+  double utility_threshold_;
+  size_t requests_seen_ = 0;
+
+  // Per-threshold running net benefit from feedback (threshold adaptation).
+  std::vector<double> grid_benefit_;
+  std::vector<size_t> grid_count_;
+};
+
+}  // namespace iccache
+
+#endif  // SRC_CORE_SELECTOR_H_

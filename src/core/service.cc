@@ -1,0 +1,233 @@
+#include "src/core/service.h"
+
+#include <algorithm>
+
+#include "src/common/mathutil.h"
+
+namespace iccache {
+
+namespace {
+
+std::vector<RouterArmSpec> MakeArms(const ModelProfile& small, const ModelProfile& large) {
+  // Costs normalized so the most expensive arm is 1.0.
+  const double max_cost = std::max(small.cost_per_1k_tokens, large.cost_per_1k_tokens);
+  RouterArmSpec small_arm;
+  small_arm.model_name = small.name;
+  small_arm.normalized_cost = small.cost_per_1k_tokens / max_cost;
+  small_arm.uses_examples = true;
+  RouterArmSpec large_arm;
+  large_arm.model_name = large.name;
+  large_arm.normalized_cost = large.cost_per_1k_tokens / max_cost;
+  large_arm.uses_examples = false;
+  return {small_arm, large_arm};
+}
+
+}  // namespace
+
+IcCacheService::IcCacheService(ServiceConfig config, const ModelCatalog* catalog,
+                               GenerationSimulator* generator,
+                               std::shared_ptr<const Embedder> embedder)
+    : config_(config),
+      catalog_(catalog),
+      generator_(generator),
+      small_model_(catalog->Get(config.small_model)),
+      large_model_(catalog->Get(config.large_model)),
+      cache_(std::move(embedder), config.cache),
+      proxy_(),
+      selector_(&cache_, &proxy_, config.selector),
+      router_(MakeArms(small_model_, large_model_), config.router),
+      manager_(&cache_, generator, large_model_, config.manager),
+      baseline_quality_(0.02),
+      rng_(config.seed) {}
+
+uint64_t IcCacheService::SeedExample(const Request& request, double now) {
+  const GenerationResult generation = generator_->Generate(large_model_, request, {});
+  return cache_.Put(request, "[seed-response]", generation.latent_quality,
+                    large_model_.capability, generation.output_tokens, now);
+}
+
+void IcCacheService::PretrainProxy(size_t num_samples) {
+  const std::vector<uint64_t> ids = cache_.AllIds();
+  if (ids.size() < 2) {
+    return;
+  }
+  const auto embedder = cache_.embedder();
+  for (size_t i = 0; i < num_samples; ++i) {
+    const Example* query_example = cache_.Get(ids[rng_.UniformInt(ids.size())]);
+    const Request& query = query_example->request;
+
+    const Example* candidate = nullptr;
+    if (rng_.Bernoulli(0.5)) {
+      // Retrieved neighbour: the pairs stage 2 must rank among.
+      const auto neighbours = cache_.FindSimilar(query, 4);
+      if (!neighbours.empty()) {
+        candidate = cache_.Get(neighbours[rng_.UniformInt(neighbours.size())].id);
+      }
+    }
+    if (candidate == nullptr) {
+      candidate = cache_.Get(ids[rng_.UniformInt(ids.size())]);
+    }
+
+    ExampleView view;
+    view.relevance = StructuralRelevance(query, candidate->request, rng_);
+    view.quality = candidate->response_quality;
+    view.source_capability = candidate->source_capability;
+    view.tokens = candidate->PromptTokens();
+
+    const double with_example =
+        generator_->Generate(small_model_, query, {view}).latent_quality;
+    const double without = generator_->Generate(small_model_, query, {}).latent_quality;
+    const double label =
+        Clamp(0.5 + config_.selector.feedback_gain_scale * (with_example - without), 0.0, 1.0);
+
+    const double similarity = CosineSimilarity(embedder->Embed(query.text),
+                                               embedder->Embed(candidate->request.text));
+    proxy_.Update(MakeProxyFeatures(similarity, candidate->response_quality,
+                                    candidate->source_capability, small_model_.capability,
+                                    candidate->request.task == query.task,
+                                    candidate->PromptTokens()),
+                  label);
+  }
+  metrics_.Increment("proxy_pretrain_samples", static_cast<double>(num_samples));
+}
+
+std::vector<ExampleView> IcCacheService::BuildExampleViews(
+    const Request& request, const std::vector<SelectedExample>& selected) {
+  std::vector<ExampleView> views;
+  views.reserve(selected.size());
+  for (const SelectedExample& sel : selected) {
+    const Example* example = cache_.Get(sel.example_id);
+    if (example == nullptr) {
+      continue;
+    }
+    ExampleView view;
+    view.relevance = StructuralRelevance(request, example->request, rng_);
+    view.quality = example->response_quality;
+    view.source_capability = example->source_capability;
+    view.tokens = example->PromptTokens();
+    views.push_back(view);
+  }
+  return views;
+}
+
+ServeOutcome IcCacheService::ServeRequest(const Request& request, double now) {
+  ServeOutcome outcome;
+  metrics_.Increment("requests_total");
+
+  // 1. RetrieveExamples (bypassed when the selector component is down).
+  std::vector<SelectedExample> selected;
+  if (!selector_failed_) {
+    selected = selector_.Select(request, small_model_, now);
+    outcome.overhead_latency_s +=
+        config_.selector_stage1_latency_s + config_.selector_stage2_latency_s;
+  } else {
+    metrics_.Increment("selector_bypassed");
+  }
+
+  // 2. RouteRequest (a failed router falls back to the default backend).
+  if (!router_failed_) {
+    outcome.route = router_.Route(request, selected);
+    outcome.overhead_latency_s += config_.router_latency_s;
+  } else {
+    outcome.route.model_name = large_model_.name;
+    outcome.route.arm = 1;
+    outcome.route.uses_examples = false;
+    outcome.route.context = RequestRouter::MakeContext(request, selected);
+    metrics_.Increment("router_bypassed");
+  }
+  outcome.offloaded = outcome.route.uses_examples;
+
+  // 3. GenerateResponse.
+  const ModelProfile& serving_model =
+      outcome.offloaded ? small_model_ : large_model_;
+  if (outcome.offloaded) {
+    outcome.examples_used = selected;
+    const std::vector<ExampleView> views = BuildExampleViews(request, selected);
+    outcome.generation = generator_->Generate(serving_model, request, views);
+    metrics_.Increment("requests_offloaded");
+    metrics_.Increment("examples_prepended", static_cast<double>(views.size()));
+  } else {
+    outcome.generation = generator_->Generate(serving_model, request, {});
+  }
+  outcome.generation.e2e_latency_s += outcome.overhead_latency_s;
+  outcome.generation.ttft_s += outcome.overhead_latency_s;
+
+  // 4. ManageExamples: feedback, usage accounting, admission.
+  outcome.observed_quality = Clamp(
+      outcome.generation.latent_quality + rng_.Normal(0.0, config_.feedback_noise), 0.0, 1.0);
+
+  const bool sampled = rng_.Bernoulli(config_.feedback_sample_rate);
+  if (sampled && !router_failed_) {
+    router_.UpdateReward(outcome.route, outcome.observed_quality);
+
+    if (config_.enable_preference_feedback && outcome.route.solicit_feedback) {
+      // Shadow-generate on the runner-up arm and feed the preference back.
+      const RouterArmSpec& second = router_.arm_spec(outcome.route.second_choice);
+      const ModelProfile& second_model = catalog_->Get(second.model_name);
+      GenerationResult shadow;
+      if (second.uses_examples) {
+        shadow = generator_->Generate(second_model, request,
+                                      BuildExampleViews(request, selected));
+      } else {
+        shadow = generator_->Generate(second_model, request, {});
+      }
+      const bool top_won = outcome.generation.latent_quality +
+                               rng_.Normal(0.0, config_.feedback_noise) >=
+                           shadow.latent_quality + rng_.Normal(0.0, config_.feedback_noise);
+      router_.UpdatePreference(outcome.route, top_won);
+      metrics_.Increment("preference_solicitations");
+    }
+  }
+
+  baseline_quality_.Add(outcome.observed_quality);
+  if (sampled && !selector_failed_ && !outcome.examples_used.empty() &&
+      rng_.Bernoulli(config_.selector_probe_rate)) {
+    // Probe sampling (section 4.1): on a small fraction of offloaded
+    // requests, shadow-generate the plain small-model response so the
+    // example gain is a genuine counterfactual contrast — the signal that
+    // trains the proxy online and drives threshold adaptation.
+    const GenerationResult shadow_plain = generator_->Generate(small_model_, request, {});
+    const double plain_observed =
+        Clamp(shadow_plain.latent_quality + rng_.Normal(0.0, config_.feedback_noise), 0.0, 1.0);
+    const double gain = outcome.observed_quality - plain_observed;
+    selector_.OnFeedback(request, outcome.examples_used, small_model_, gain);
+    metrics_.Increment("selector_probes");
+  }
+
+  if (!outcome.examples_used.empty()) {
+    std::vector<uint64_t> used_ids;
+    used_ids.reserve(outcome.examples_used.size());
+    for (const SelectedExample& sel : outcome.examples_used) {
+      used_ids.push_back(sel.example_id);
+      if (outcome.offloaded) {
+        cache_.RecordOffload(sel.example_id);
+      }
+    }
+    manager_.RecordUsage(used_ids, outcome.observed_quality,
+                         outcome.offloaded
+                             ? small_model_.cost_per_1k_tokens / large_model_.cost_per_1k_tokens
+                             : 1.0);
+  }
+
+  outcome.admitted_example_id =
+      manager_.MaybeAdmit(request, outcome.generation,
+                          serving_model.capability, /*from_large_model=*/!outcome.offloaded, now);
+
+  metrics_.Increment("latency_sum_s", outcome.generation.e2e_latency_s);
+  metrics_.Increment("quality_sum", outcome.generation.latent_quality);
+  return outcome;
+}
+
+void IcCacheService::ObserveLoad(double load) { router_.ObserveLoad(load); }
+
+void IcCacheService::RunMaintenance(double now) {
+  manager_.MaybeRunMaintenance(now);
+  // Asynchronous proxy refresh from freshly sampled feedback (section 4.1).
+  PretrainProxy(64);
+  const ReplayReport report = manager_.RunReplayPass();
+  metrics_.Increment("replay_examined", static_cast<double>(report.candidates));
+  metrics_.Increment("replay_performed", static_cast<double>(report.replayed));
+  metrics_.Increment("replay_improved", static_cast<double>(report.improved));
+}
+
+}  // namespace iccache

@@ -1,0 +1,139 @@
+// IcCacheService: the Algorithm-1 runtime tying the Example Selector, Request
+// Router, and Example Manager together in front of the model backends.
+//
+//   ServeRequest:
+//     1. RetrieveExamples  — two-stage selection targeting the small model;
+//     2. RouteRequest      — bandit + load bias chooses the serving model;
+//     3. GenerateResponse  — examples are prepended iff the chosen arm uses
+//                            them (offloaded small-model serving);
+//     4. ManageExamples    — feedback to router/selector, per-use gain
+//                            accounting, admission of the new pair.
+//
+// Fault tolerance (section 5): when the selector or router component is
+// marked failed, the request bypasses it — no examples, or a direct route to
+// the default (large) backend — preserving service continuity.
+#ifndef SRC_CORE_SERVICE_H_
+#define SRC_CORE_SERVICE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/common/stats.h"
+#include "src/core/example_cache.h"
+#include "src/core/manager.h"
+#include "src/core/metrics.h"
+#include "src/core/proxy_model.h"
+#include "src/core/router.h"
+#include "src/core/selector.h"
+#include "src/llm/generation.h"
+#include "src/llm/model_profile.h"
+
+namespace iccache {
+
+struct ServiceConfig {
+  std::string small_model = "gemma-2-2b";
+  std::string large_model = "gemma-2-27b";
+
+  SelectorConfig selector;
+  RouterConfig router;
+  ManagerConfig manager;
+  ExampleCacheConfig cache;
+
+  // Observed-feedback model: user quality signals are noisy reads of the
+  // latent quality, sampled at this rate (production systems sample ~1%; the
+  // experiments use 1.0 to keep learning fast at small request counts).
+  double feedback_noise = 0.08;
+  double feedback_sample_rate = 1.0;
+  // Preference comparisons on uncertainty-gated requests (Appendix A.2).
+  bool enable_preference_feedback = true;
+  // Fraction of offloaded requests probed with a shadow plain generation to
+  // measure the examples' true gain (threshold adaptation, section 4.1).
+  double selector_probe_rate = 0.08;
+
+  // Component overheads charged per request (section 6.3, Figure 18).
+  double selector_stage1_latency_s = 0.020;
+  double selector_stage2_latency_s = 0.030;
+  double router_latency_s = 0.010;
+
+  uint64_t seed = 0x5e41;
+};
+
+struct ServeOutcome {
+  GenerationResult generation;
+  RouteDecision route;
+  std::vector<SelectedExample> examples_used;  // empty when not offloaded
+  bool offloaded = false;                      // served by the small model
+  double overhead_latency_s = 0.0;             // selector + router overhead
+  uint64_t admitted_example_id = 0;
+  double observed_quality = 0.0;               // post-noise feedback signal
+};
+
+class IcCacheService {
+ public:
+  IcCacheService(ServiceConfig config, const ModelCatalog* catalog,
+                 GenerationSimulator* generator, std::shared_ptr<const Embedder> embedder);
+
+  // Seeds the example pool with a historical request answered by the large
+  // model (the paper's pool-initialization protocol, Appendix A.4).
+  uint64_t SeedExample(const Request& request, double now);
+
+  // Offline proxy training (section 4.1): the serving platform samples
+  // requests, shadow-generates the small model's response with and without a
+  // candidate example, and uses the contrast as the helpfulness label — the
+  // reward-model/feedback pipeline the paper trains its TinyBERT proxy on.
+  // Half the samples pair a query with a retrieved neighbour (hard
+  // positives), half with a random example (negatives).
+  void PretrainProxy(size_t num_samples);
+
+  // Full Algorithm-1 serving path.
+  ServeOutcome ServeRequest(const Request& request, double now);
+
+  // Current cluster utilization (1.0 == at capacity) from the harness.
+  void ObserveLoad(double load);
+
+  // Periodic maintenance: utility decay, replay pass, eviction.
+  void RunMaintenance(double now);
+
+  // Fault injection (section 5).
+  void set_selector_failed(bool failed) { selector_failed_ = failed; }
+  void set_router_failed(bool failed) { router_failed_ = failed; }
+
+  ExampleCache& cache() { return cache_; }
+  const ExampleCache& cache() const { return cache_; }
+  ExampleSelector& selector() { return selector_; }
+  RequestRouter& router() { return router_; }
+  ExampleManager& manager() { return manager_; }
+  ProxyUtilityModel& proxy() { return proxy_; }
+  MetricsRegistry& metrics() { return metrics_; }
+  const ServiceConfig& config() const { return config_; }
+  const ModelProfile& small_model() const { return small_model_; }
+  const ModelProfile& large_model() const { return large_model_; }
+
+ private:
+  std::vector<ExampleView> BuildExampleViews(const Request& request,
+                                             const std::vector<SelectedExample>& selected);
+
+  ServiceConfig config_;
+  const ModelCatalog* catalog_;
+  GenerationSimulator* generator_;
+  ModelProfile small_model_;
+  ModelProfile large_model_;
+
+  ExampleCache cache_;
+  ProxyUtilityModel proxy_;
+  ExampleSelector selector_;
+  RequestRouter router_;
+  ExampleManager manager_;
+  MetricsRegistry metrics_;
+  Ema baseline_quality_;
+  Rng rng_;
+
+  bool selector_failed_ = false;
+  bool router_failed_ = false;
+};
+
+}  // namespace iccache
+
+#endif  // SRC_CORE_SERVICE_H_

@@ -1,0 +1,94 @@
+#include "src/embedding/embedder.h"
+
+#include <cctype>
+#include <cmath>
+
+#include "src/common/mathutil.h"
+#include "src/common/rng.h"
+
+namespace iccache {
+
+std::vector<std::string> TokenizeWords(const std::string& text) {
+  std::vector<std::string> tokens;
+  std::string current;
+  for (char raw : text) {
+    const unsigned char c = static_cast<unsigned char>(raw);
+    if (std::isalnum(c)) {
+      current.push_back(static_cast<char>(std::tolower(c)));
+    } else if (!current.empty()) {
+      tokens.push_back(std::move(current));
+      current.clear();
+    }
+  }
+  if (!current.empty()) {
+    tokens.push_back(std::move(current));
+  }
+  return tokens;
+}
+
+uint64_t HashToken(const std::string& token, uint64_t seed) {
+  uint64_t hash = 0xcbf29ce484222325ull ^ seed;
+  for (char c : token) {
+    hash ^= static_cast<uint64_t>(static_cast<unsigned char>(c));
+    hash *= 0x100000001b3ull;
+  }
+  return Mix64(hash);
+}
+
+HashingEmbedder::HashingEmbedder(HashingEmbedderConfig config) : config_(config) {
+  // Deterministic common direction drawn from the seed.
+  Rng rng(config_.seed ^ 0xdecafbadull);
+  common_direction_.resize(config_.dim);
+  for (auto& x : common_direction_) {
+    x = static_cast<float>(rng.Normal());
+  }
+  NormalizeL2(common_direction_);
+}
+
+void HashingEmbedder::AddFeature(uint64_t feature_hash, double weight,
+                                 std::vector<float>& acc) const {
+  const size_t slot = feature_hash % config_.dim;
+  const double sign = (feature_hash >> 63) ? -1.0 : 1.0;
+  acc[slot] += static_cast<float>(sign * weight);
+}
+
+std::vector<float> HashingEmbedder::Embed(const std::string& text) const {
+  std::vector<float> content(config_.dim, 0.0f);
+  const std::vector<std::string> words = TokenizeWords(text);
+
+  for (const auto& word : words) {
+    AddFeature(HashToken(word, config_.seed), 1.0, content);
+  }
+  if (config_.use_word_bigrams) {
+    for (size_t i = 0; i + 1 < words.size(); ++i) {
+      AddFeature(HashToken(words[i] + "_" + words[i + 1], config_.seed ^ 0xb16b00b5ull), 0.3,
+                 content);
+    }
+  }
+  if (config_.use_char_trigrams) {
+    for (const auto& word : words) {
+      if (word.size() < 3) {
+        continue;
+      }
+      for (size_t i = 0; i + 3 <= word.size(); ++i) {
+        AddFeature(HashToken(word.substr(i, 3), config_.seed ^ 0x751f0011ull), 0.25, content);
+      }
+    }
+  }
+
+  NormalizeL2(content);
+
+  std::vector<float> out(config_.dim, 0.0f);
+  const double gamma = config_.anisotropy;
+  for (size_t i = 0; i < config_.dim; ++i) {
+    out[i] = content[i] + static_cast<float>(gamma) * common_direction_[i];
+  }
+  NormalizeL2(out);
+  if (L2Norm(out) == 0.0) {
+    // Empty text: return the pure common direction so similarity is defined.
+    out = common_direction_;
+  }
+  return out;
+}
+
+}  // namespace iccache

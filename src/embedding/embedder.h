@@ -1,0 +1,69 @@
+// Text embedding substrate.
+//
+// The paper extracts dense T5 embeddings for every request and measures cosine
+// similarity (section 2.3, Figure 3a). Offline we substitute a deterministic
+// hashed-feature embedder: word unigrams/bigrams and character trigrams are
+// hashed onto a signed d-dimensional vector which is then L2-normalized.
+//
+// Real sentence embeddings are anisotropic: two unrelated sentences still show
+// ~0.5 cosine similarity because all embeddings share a dominant common
+// direction (the paper's "0.5 similarity of random request pairs"). We model
+// that explicitly with a fixed common component mixed into every embedding, so
+// downstream similarity statistics have the same geometry the paper measured.
+#ifndef SRC_EMBEDDING_EMBEDDER_H_
+#define SRC_EMBEDDING_EMBEDDER_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace iccache {
+
+class Embedder {
+ public:
+  virtual ~Embedder() = default;
+
+  // Maps text to a unit-norm embedding of dimension dim().
+  virtual std::vector<float> Embed(const std::string& text) const = 0;
+
+  virtual size_t dim() const = 0;
+};
+
+struct HashingEmbedderConfig {
+  size_t dim = 128;
+  // Weight of the shared anisotropy direction relative to the (unit-norm)
+  // content features. gamma = 1.0 puts unrelated pairs near cosine 0.5.
+  double anisotropy = 1.0;
+  uint64_t seed = 0x1c0ffee;
+  bool use_word_bigrams = true;
+  bool use_char_trigrams = true;
+};
+
+class HashingEmbedder : public Embedder {
+ public:
+  explicit HashingEmbedder(HashingEmbedderConfig config = {});
+
+  std::vector<float> Embed(const std::string& text) const override;
+
+  size_t dim() const override { return config_.dim; }
+
+  const HashingEmbedderConfig& config() const { return config_; }
+
+ private:
+  // Adds a hashed feature with the given weight into the accumulator.
+  void AddFeature(uint64_t feature_hash, double weight, std::vector<float>& acc) const;
+
+  HashingEmbedderConfig config_;
+  std::vector<float> common_direction_;  // unit-norm anisotropy component
+};
+
+// Lowercases and splits on non-alphanumeric characters.
+std::vector<std::string> TokenizeWords(const std::string& text);
+
+// FNV-1a 64-bit hash of a byte string, mixed with the given seed.
+uint64_t HashToken(const std::string& token, uint64_t seed);
+
+}  // namespace iccache
+
+#endif  // SRC_EMBEDDING_EMBEDDER_H_

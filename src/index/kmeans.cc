@@ -1,0 +1,132 @@
+#include "src/index/kmeans.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "src/common/mathutil.h"
+
+namespace iccache {
+
+namespace {
+
+size_t NearestCentroid(const std::vector<float>& point,
+                       const std::vector<std::vector<float>>& centroids, double* best_dist) {
+  size_t best = 0;
+  double best_d = std::numeric_limits<double>::infinity();
+  for (size_t c = 0; c < centroids.size(); ++c) {
+    const double d = SquaredL2Distance(point, centroids[c]);
+    if (d < best_d) {
+      best_d = d;
+      best = c;
+    }
+  }
+  if (best_dist != nullptr) {
+    *best_dist = best_d;
+  }
+  return best;
+}
+
+// k-means++ seeding: first centroid uniform, the rest proportional to the
+// squared distance to the nearest chosen centroid.
+std::vector<std::vector<float>> SeedCentroids(const std::vector<std::vector<float>>& points,
+                                              size_t k, Rng& rng) {
+  std::vector<std::vector<float>> centroids;
+  centroids.reserve(k);
+  centroids.push_back(points[rng.UniformInt(points.size())]);
+  std::vector<double> dist_sq(points.size(), 0.0);
+  while (centroids.size() < k) {
+    double total = 0.0;
+    for (size_t i = 0; i < points.size(); ++i) {
+      const double d = SquaredL2Distance(points[i], centroids.back());
+      if (centroids.size() == 1 || d < dist_sq[i]) {
+        dist_sq[i] = d;
+      }
+      total += dist_sq[i];
+    }
+    if (total <= 0.0) {
+      // All remaining points coincide with chosen centroids; duplicate one.
+      centroids.push_back(points[rng.UniformInt(points.size())]);
+      continue;
+    }
+    double target = rng.Uniform() * total;
+    size_t chosen = points.size() - 1;
+    for (size_t i = 0; i < points.size(); ++i) {
+      target -= dist_sq[i];
+      if (target <= 0.0) {
+        chosen = i;
+        break;
+      }
+    }
+    centroids.push_back(points[chosen]);
+  }
+  return centroids;
+}
+
+}  // namespace
+
+size_t OptimalClusterCount(size_t n) {
+  if (n <= 1) {
+    return 1;
+  }
+  return static_cast<size_t>(std::max(1.0, std::round(std::sqrt(static_cast<double>(n)))));
+}
+
+KMeansResult KMeansCluster(const std::vector<std::vector<float>>& points, size_t k, Rng& rng,
+                           const KMeansOptions& options) {
+  KMeansResult result;
+  if (points.empty()) {
+    return result;
+  }
+  k = std::max<size_t>(1, std::min(k, points.size()));
+  const size_t dim = points[0].size();
+
+  result.centroids = SeedCentroids(points, k, rng);
+  result.assignments.assign(points.size(), 0);
+
+  double prev_inertia = std::numeric_limits<double>::infinity();
+  for (size_t iter = 0; iter < options.max_iterations; ++iter) {
+    result.iterations = iter + 1;
+
+    // Assignment step.
+    double inertia = 0.0;
+    for (size_t i = 0; i < points.size(); ++i) {
+      double d = 0.0;
+      result.assignments[i] = NearestCentroid(points[i], result.centroids, &d);
+      inertia += d;
+    }
+    result.inertia = inertia;
+
+    // Update step.
+    std::vector<std::vector<double>> sums(k, std::vector<double>(dim, 0.0));
+    std::vector<size_t> counts(k, 0);
+    for (size_t i = 0; i < points.size(); ++i) {
+      const size_t c = result.assignments[i];
+      ++counts[c];
+      for (size_t d = 0; d < dim; ++d) {
+        sums[c][d] += points[i][d];
+      }
+    }
+    for (size_t c = 0; c < k; ++c) {
+      if (counts[c] == 0) {
+        // Re-seed empty clusters from a random point to keep k live clusters.
+        result.centroids[c] = points[rng.UniformInt(points.size())];
+        continue;
+      }
+      for (size_t d = 0; d < dim; ++d) {
+        result.centroids[c][d] = static_cast<float>(sums[c][d] / static_cast<double>(counts[c]));
+      }
+    }
+
+    if (prev_inertia < std::numeric_limits<double>::infinity()) {
+      const double rel_improvement = (prev_inertia - inertia) / std::max(prev_inertia, 1e-12);
+      if (rel_improvement >= 0.0 && rel_improvement < options.tolerance) {
+        break;
+      }
+    }
+    prev_inertia = inertia;
+  }
+  return result;
+}
+
+}  // namespace iccache

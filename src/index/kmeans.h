@@ -1,0 +1,38 @@
+// Lloyd's K-Means with k-means++ initialization. Backs the KMeansIndex that
+// implements the paper's offline clustering of cached examples (section 4.1:
+// "cluster cached examples offline into K groups using K-Means", with
+// K = sqrt(N) minimizing the per-request matching cost K + N/K).
+#ifndef SRC_INDEX_KMEANS_H_
+#define SRC_INDEX_KMEANS_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "src/common/rng.h"
+
+namespace iccache {
+
+struct KMeansResult {
+  std::vector<std::vector<float>> centroids;
+  std::vector<size_t> assignments;  // assignments[i] = centroid of points[i]
+  double inertia = 0.0;             // sum of squared distances to assigned centroids
+  size_t iterations = 0;
+};
+
+struct KMeansOptions {
+  size_t max_iterations = 25;
+  // Stop when relative inertia improvement falls below this threshold.
+  double tolerance = 1e-4;
+};
+
+// Clusters points (all of equal dimension) into k groups. k is clamped to
+// [1, points.size()]. Deterministic for a given rng state.
+KMeansResult KMeansCluster(const std::vector<std::vector<float>>& points, size_t k, Rng& rng,
+                           const KMeansOptions& options = {});
+
+// The paper's optimal cluster count: argmin_K (K + N/K) = sqrt(N), at least 1.
+size_t OptimalClusterCount(size_t n);
+
+}  // namespace iccache
+
+#endif  // SRC_INDEX_KMEANS_H_

@@ -1,0 +1,193 @@
+#include "src/index/vector_index.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/mathutil.h"
+#include "src/common/topk.h"
+#include "src/index/kmeans.h"
+
+namespace iccache {
+
+FlatIndex::FlatIndex(size_t dim) : dim_(dim) {}
+
+Status FlatIndex::Add(uint64_t id, std::vector<float> vec) {
+  if (vec.size() != dim_) {
+    return Status::InvalidArgument("vector dimension mismatch");
+  }
+  const auto it = slot_of_.find(id);
+  if (it != slot_of_.end()) {
+    vectors_[it->second] = std::move(vec);
+    return Status::Ok();
+  }
+  slot_of_[id] = ids_.size();
+  ids_.push_back(id);
+  vectors_.push_back(std::move(vec));
+  return Status::Ok();
+}
+
+bool FlatIndex::Remove(uint64_t id) {
+  const auto it = slot_of_.find(id);
+  if (it == slot_of_.end()) {
+    return false;
+  }
+  const size_t slot = it->second;
+  const size_t last = ids_.size() - 1;
+  if (slot != last) {
+    ids_[slot] = ids_[last];
+    vectors_[slot] = std::move(vectors_[last]);
+    slot_of_[ids_[slot]] = slot;
+  }
+  ids_.pop_back();
+  vectors_.pop_back();
+  slot_of_.erase(it);
+  return true;
+}
+
+std::vector<SearchResult> FlatIndex::Search(const std::vector<float>& query, size_t k) const {
+  TopK<uint64_t> top(k);
+  for (size_t i = 0; i < ids_.size(); ++i) {
+    top.Push(Dot(query, vectors_[i]), ids_[i]);
+  }
+  std::vector<SearchResult> results;
+  for (auto& [score, id] : top.TakeSortedDescending()) {
+    results.push_back(SearchResult{id, score});
+  }
+  return results;
+}
+
+const std::vector<float>* FlatIndex::Find(uint64_t id) const {
+  const auto it = slot_of_.find(id);
+  if (it == slot_of_.end()) {
+    return nullptr;
+  }
+  return &vectors_[it->second];
+}
+
+KMeansIndex::KMeansIndex(KMeansIndexConfig config) : config_(config), rng_(config.seed) {}
+
+Status KMeansIndex::Add(uint64_t id, std::vector<float> vec) {
+  if (vec.size() != config_.dim) {
+    return Status::InvalidArgument("vector dimension mismatch");
+  }
+  const bool existed = vectors_.count(id) > 0;
+  if (existed) {
+    Remove(id);
+  }
+  if (clustered()) {
+    const size_t cluster = NearestCluster(vec);
+    cluster_of_[id] = cluster;
+    cluster_members_[cluster].push_back(id);
+  }
+  vectors_[id] = std::move(vec);
+  MaybeRebuild();
+  return Status::Ok();
+}
+
+bool KMeansIndex::Remove(uint64_t id) {
+  const auto it = vectors_.find(id);
+  if (it == vectors_.end()) {
+    return false;
+  }
+  const auto cit = cluster_of_.find(id);
+  if (cit != cluster_of_.end()) {
+    auto& members = cluster_members_[cit->second];
+    members.erase(std::remove(members.begin(), members.end(), id), members.end());
+    cluster_of_.erase(cit);
+  }
+  vectors_.erase(it);
+  return true;
+}
+
+void KMeansIndex::MaybeRebuild() {
+  if (vectors_.size() < config_.min_points_to_cluster) {
+    return;
+  }
+  if (clustered() &&
+      static_cast<double>(vectors_.size()) <
+          config_.rebuild_growth_factor * static_cast<double>(size_at_last_build_)) {
+    return;
+  }
+  Rebuild();
+}
+
+void KMeansIndex::Rebuild() {
+  if (vectors_.empty()) {
+    centroids_.clear();
+    cluster_members_.clear();
+    cluster_of_.clear();
+    size_at_last_build_ = 0;
+    return;
+  }
+  std::vector<uint64_t> ids;
+  std::vector<std::vector<float>> points;
+  ids.reserve(vectors_.size());
+  points.reserve(vectors_.size());
+  for (const auto& [id, vec] : vectors_) {
+    ids.push_back(id);
+    points.push_back(vec);
+  }
+  const size_t k = OptimalClusterCount(points.size());
+  const KMeansResult clustering = KMeansCluster(points, k, rng_);
+  centroids_ = clustering.centroids;
+  cluster_members_.assign(centroids_.size(), {});
+  cluster_of_.clear();
+  for (size_t i = 0; i < ids.size(); ++i) {
+    const size_t c = clustering.assignments[i];
+    cluster_of_[ids[i]] = c;
+    cluster_members_[c].push_back(ids[i]);
+  }
+  size_at_last_build_ = vectors_.size();
+}
+
+size_t KMeansIndex::NearestCluster(const std::vector<float>& vec) const {
+  size_t best = 0;
+  double best_d = std::numeric_limits<double>::infinity();
+  for (size_t c = 0; c < centroids_.size(); ++c) {
+    const double d = SquaredL2Distance(vec, centroids_[c]);
+    if (d < best_d) {
+      best_d = d;
+      best = c;
+    }
+  }
+  return best;
+}
+
+std::vector<size_t> KMeansIndex::NearestClusters(const std::vector<float>& vec, size_t n) const {
+  TopK<size_t> top(n);
+  for (size_t c = 0; c < centroids_.size(); ++c) {
+    top.Push(-SquaredL2Distance(vec, centroids_[c]), c);
+  }
+  std::vector<size_t> clusters;
+  for (auto& [neg_dist, c] : top.TakeSortedDescending()) {
+    (void)neg_dist;
+    clusters.push_back(c);
+  }
+  return clusters;
+}
+
+std::vector<SearchResult> KMeansIndex::Search(const std::vector<float>& query, size_t k) const {
+  TopK<uint64_t> top(k);
+  if (!clustered()) {
+    // Flat fallback below the clustering threshold.
+    for (const auto& [id, vec] : vectors_) {
+      top.Push(Dot(query, vec), id);
+    }
+  } else {
+    for (size_t cluster : NearestClusters(query, config_.nprobe)) {
+      for (uint64_t id : cluster_members_[cluster]) {
+        const auto it = vectors_.find(id);
+        if (it != vectors_.end()) {
+          top.Push(Dot(query, it->second), id);
+        }
+      }
+    }
+  }
+  std::vector<SearchResult> results;
+  for (auto& [score, id] : top.TakeSortedDescending()) {
+    results.push_back(SearchResult{id, score});
+  }
+  return results;
+}
+
+}  // namespace iccache

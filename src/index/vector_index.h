@@ -1,0 +1,109 @@
+// Vector similarity-search substrate (stand-in for the paper's GPU FAISS
+// deployment, section 5). Two implementations share one interface:
+//
+//  * FlatIndex    — exact brute-force search; the correctness reference.
+//  * KMeansIndex  — inverted-file index over K-Means clusters with the paper's
+//                   K = sqrt(N) sizing (section 4.1); approximate but probes
+//                   only nprobe clusters per query.
+//
+// Vectors are expected to be L2-normalized (the HashingEmbedder guarantees
+// this), so the similarity score is the inner product == cosine similarity.
+#ifndef SRC_INDEX_VECTOR_INDEX_H_
+#define SRC_INDEX_VECTOR_INDEX_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/common/status.h"
+
+namespace iccache {
+
+struct SearchResult {
+  uint64_t id = 0;
+  double score = 0.0;  // cosine similarity, higher is better
+};
+
+class VectorIndex {
+ public:
+  virtual ~VectorIndex() = default;
+
+  // Inserts (or overwrites) the vector for id.
+  virtual Status Add(uint64_t id, std::vector<float> vec) = 0;
+
+  // Removes id; returns false when absent.
+  virtual bool Remove(uint64_t id) = 0;
+
+  // Returns up to k nearest neighbours sorted best-first.
+  virtual std::vector<SearchResult> Search(const std::vector<float>& query, size_t k) const = 0;
+
+  virtual size_t size() const = 0;
+};
+
+// Exact brute-force index.
+class FlatIndex : public VectorIndex {
+ public:
+  explicit FlatIndex(size_t dim);
+
+  Status Add(uint64_t id, std::vector<float> vec) override;
+  bool Remove(uint64_t id) override;
+  std::vector<SearchResult> Search(const std::vector<float>& query, size_t k) const override;
+  size_t size() const override { return slot_of_.size(); }
+
+  // Direct access for diagnostics.
+  const std::vector<float>* Find(uint64_t id) const;
+
+ private:
+  size_t dim_;
+  // Dense storage with swap-to-back removal.
+  std::vector<uint64_t> ids_;
+  std::vector<std::vector<float>> vectors_;
+  std::unordered_map<uint64_t, size_t> slot_of_;
+};
+
+struct KMeansIndexConfig {
+  size_t dim = 128;
+  // Number of clusters probed per query. The paper probes the nearest
+  // centroid; probing a couple more trades a little compute for recall.
+  size_t nprobe = 3;
+  // Rebuild clustering when the index grows by this factor since last build.
+  double rebuild_growth_factor = 2.0;
+  // Below this size, brute force beats clustering; stay flat.
+  size_t min_points_to_cluster = 64;
+  uint64_t seed = 0x5eed;
+};
+
+// Inverted-file index over K-Means clusters (K = sqrt(N) at build time).
+class KMeansIndex : public VectorIndex {
+ public:
+  explicit KMeansIndex(KMeansIndexConfig config = {});
+
+  Status Add(uint64_t id, std::vector<float> vec) override;
+  bool Remove(uint64_t id) override;
+  std::vector<SearchResult> Search(const std::vector<float>& query, size_t k) const override;
+  size_t size() const override { return vectors_.size(); }
+
+  // Re-runs K-Means over the current contents with K = sqrt(N).
+  void Rebuild();
+
+  size_t num_clusters() const { return centroids_.size(); }
+  bool clustered() const { return !centroids_.empty(); }
+
+ private:
+  void MaybeRebuild();
+  size_t NearestCluster(const std::vector<float>& vec) const;
+  std::vector<size_t> NearestClusters(const std::vector<float>& vec, size_t n) const;
+
+  KMeansIndexConfig config_;
+  Rng rng_;
+  std::unordered_map<uint64_t, std::vector<float>> vectors_;
+  std::unordered_map<uint64_t, size_t> cluster_of_;
+  std::vector<std::vector<float>> centroids_;
+  std::vector<std::vector<uint64_t>> cluster_members_;
+  size_t size_at_last_build_ = 0;
+};
+
+}  // namespace iccache
+
+#endif  // SRC_INDEX_VECTOR_INDEX_H_

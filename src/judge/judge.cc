@@ -1,0 +1,119 @@
+#include "src/judge/judge.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/mathutil.h"
+
+namespace iccache {
+
+PairwiseJudge::PairwiseJudge(JudgeConfig config) : config_(config), rng_(config.seed) {}
+
+int PairwiseJudge::CompareOnce(double quality_a, double quality_b, bool a_first) {
+  const double diff = quality_a - quality_b;
+  const double bias = a_first ? config_.order_bias : -config_.order_bias;
+  const double raw = config_.score_gain * diff + bias + rng_.Normal(0.0, config_.rater_noise);
+  const double clamped = Clamp(raw, -3.0, 3.0);
+  return static_cast<int>(std::lround(clamped));
+}
+
+double PairwiseJudge::Compare(double quality_a, double quality_b) {
+  const int total = std::max(2, config_.comparisons);
+  const int per_order = total / 2;
+  double sum = 0.0;
+  for (int i = 0; i < per_order; ++i) {
+    sum += CompareOnce(quality_a, quality_b, /*a_first=*/true);
+    sum += CompareOnce(quality_a, quality_b, /*a_first=*/false);
+  }
+  return sum / static_cast<double>(per_order * 2);
+}
+
+SideBySideStats::SideBySideStats(double tie_band) : tie_band_(tie_band) {}
+
+void SideBySideStats::Add(double avg_score) {
+  scores_.push_back(avg_score);
+  if (avg_score > tie_band_) {
+    ++wins_;
+  } else if (avg_score < -tie_band_) {
+    ++losses_;
+  } else {
+    ++ties_;
+  }
+}
+
+double SideBySideStats::mean_score() const {
+  if (scores_.empty()) {
+    return 0.0;
+  }
+  double sum = 0.0;
+  for (double s : scores_) {
+    sum += s;
+  }
+  return sum / static_cast<double>(scores_.size());
+}
+
+double SideBySideStats::win_rate() const {
+  if (scores_.empty()) {
+    return 0.5;
+  }
+  return (static_cast<double>(wins_) + 0.5 * static_cast<double>(ties_)) /
+         static_cast<double>(scores_.size());
+}
+
+double SideBySideStats::win_fraction() const {
+  return scores_.empty() ? 0.0 : static_cast<double>(wins_) / static_cast<double>(scores_.size());
+}
+
+double SideBySideStats::tie_fraction() const {
+  return scores_.empty() ? 0.0 : static_cast<double>(ties_) / static_cast<double>(scores_.size());
+}
+
+double SideBySideStats::loss_fraction() const {
+  return scores_.empty() ? 0.0
+                         : static_cast<double>(losses_) / static_cast<double>(scores_.size());
+}
+
+double RaterAgreement(const RaterProfile& a, const RaterProfile& b, size_t num_pairs,
+                      uint64_t seed) {
+  Rng rng(seed);
+  auto verdict = [&rng](const RaterProfile& rater, double diff) {
+    const double read = rater.skill * diff + rng.Normal(0.0, rater.noise);
+    if (read > rater.tie_band * rater.skill * 0.12) {
+      return 1;
+    }
+    if (read < -rater.tie_band * rater.skill * 0.12) {
+      return -1;
+    }
+    return 0;
+  };
+  size_t agree = 0;
+  for (size_t i = 0; i < num_pairs; ++i) {
+    // Latent quality differences concentrate near zero with occasional clear
+    // winners, matching the MT-Bench-style pair population.
+    const double diff = rng.Normal(0.0, 0.16);
+    const int va = verdict(a, diff);
+    int vb = 0;
+    if (a.name == b.name) {
+      // Self-agreement across independent re-reads of the same pair.
+      vb = verdict(a, diff);
+    } else {
+      vb = verdict(b, diff);
+    }
+    if (va == vb) {
+      ++agree;
+    }
+  }
+  return static_cast<double>(agree) / static_cast<double>(std::max<size_t>(1, num_pairs));
+}
+
+std::vector<RaterProfile> Table4Raters() {
+  return {
+      {"GPT-4", /*noise=*/0.58, /*skill=*/9.0, /*tie_band=*/0.3},
+      {"Gemini-1.5-Flash", /*noise=*/0.62, /*skill=*/9.0, /*tie_band=*/0.3},
+      {"Gemini-1.5-Pro", /*noise=*/0.52, /*skill=*/9.0, /*tie_band=*/0.3},
+      {"Gemini-2.5-Pro", /*noise=*/0.50, /*skill=*/9.0, /*tie_band=*/0.3},
+      {"Human", /*noise=*/1.10, /*skill=*/9.0, /*tie_band=*/0.3},
+  };
+}
+
+}  // namespace iccache

@@ -1,0 +1,94 @@
+// LLM-as-a-judge substrate (section 6.1 metrics).
+//
+// A judge observes the two responses' latent qualities through rater noise and
+// position bias and emits the paper's seven-point Likert score (-3..3,
+// positive favours response A). The full protocol averages 16 comparisons —
+// eight per presentation order — exactly as the paper does to cancel order
+// bias. Win rate is (#wins + 0.5 * #ties) / #total with the paper's +-0.3
+// tie band on the averaged score.
+//
+// Rater profiles with differing noise levels reproduce the Table 4
+// judge-vs-judge and judge-vs-human agreement matrix.
+#ifndef SRC_JUDGE_JUDGE_H_
+#define SRC_JUDGE_JUDGE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/rng.h"
+
+namespace iccache {
+
+struct JudgeConfig {
+  double score_gain = 9.0;    // latent-quality difference -> Likert scale
+  double rater_noise = 0.9;   // stddev of per-comparison scoring noise
+  double order_bias = 0.25;   // additive bias toward the first position
+  double tie_band = 0.3;      // |avg score| <= tie_band counts as a tie
+  int comparisons = 16;       // total comparisons (half per order)
+  uint64_t seed = 0x10d6e;
+};
+
+class PairwiseJudge {
+ public:
+  explicit PairwiseJudge(JudgeConfig config = {});
+
+  // One raw comparison with A presented first iff a_first; integer in [-3, 3].
+  int CompareOnce(double quality_a, double quality_b, bool a_first);
+
+  // Full order-debiased protocol; returns the average score in [-3, 3].
+  double Compare(double quality_a, double quality_b);
+
+  const JudgeConfig& config() const { return config_; }
+
+ private:
+  JudgeConfig config_;
+  Rng rng_;
+};
+
+// Aggregates per-request average scores into the paper's two quality metrics.
+class SideBySideStats {
+ public:
+  explicit SideBySideStats(double tie_band = 0.3);
+
+  void Add(double avg_score);
+
+  size_t count() const { return scores_.size(); }
+  double mean_score() const;
+  // (#wins + 0.5 * #ties) / total, as a fraction in [0, 1]. "Win" means the
+  // score favours side A (positive).
+  double win_rate() const;
+  double win_fraction() const;
+  double tie_fraction() const;
+  double loss_fraction() const;
+  const std::vector<double>& scores() const { return scores_; }
+
+ private:
+  double tie_band_;
+  std::vector<double> scores_;
+  size_t wins_ = 0;
+  size_t ties_ = 0;
+  size_t losses_ = 0;
+};
+
+// A named rater for the agreement study: verdicts are noisy thresholded reads
+// of the latent quality difference.
+struct RaterProfile {
+  std::string name;
+  double noise = 0.9;      // perception noise (humans are noisier raters)
+  double skill = 9.0;      // gain applied to the latent difference
+  double tie_band = 0.3;
+};
+
+// Preference agreement between two raters over synthetic response pairs:
+// the fraction of pairs on which both raters' verdicts (A/B/tie) coincide.
+// Reproduces Table 4.
+double RaterAgreement(const RaterProfile& a, const RaterProfile& b, size_t num_pairs,
+                      uint64_t seed);
+
+// The rater set used in Table 4 (four LLM judges plus a human panel).
+std::vector<RaterProfile> Table4Raters();
+
+}  // namespace iccache
+
+#endif  // SRC_JUDGE_JUDGE_H_

@@ -1,0 +1,109 @@
+// Generation simulator: the offline stand-in for querying a real LLM.
+//
+// A generation produces a *latent quality* in [0, 1] — the ground-truth signal
+// the pairwise judge later scores — plus token counts and zero-load latency.
+// The quality model implements the in-context-learning behaviour the paper
+// builds on (sections 2.3 and 4.1):
+//
+//   effective_capability = capability
+//                        + icl_aptitude * headroom * coverage     (imitation)
+//                        - distraction * (1 - robustness)         (bad examples)
+//   quality = sigmoid(slope * (effective_capability - difficulty)) + noise
+//
+// where `coverage` saturates with the summed utility of relevant examples
+// (diminishing returns, section 4.1 "Selecting Example Combinations"),
+// `headroom` lets a small model approach — and with high-quality same-intent
+// examples slightly exceed — the example source's capability, and irrelevant
+// examples actively hurt (Figure 4a's random-example regression).
+//
+// Sampling noise is re-drawn per call, so replaying a request several times
+// and keeping the best response yields a genuinely better example
+// (best-of-n variance harvesting, section 4.3 / Figure 11).
+#ifndef SRC_LLM_GENERATION_H_
+#define SRC_LLM_GENERATION_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/llm/model_profile.h"
+#include "src/workload/request.h"
+
+namespace iccache {
+
+// What the generator is allowed to see about a prepended example.
+struct ExampleView {
+  double relevance = 0.0;          // structural relevance to the request, [0, 1]
+  double quality = 0.0;            // stored response quality, [0, 1]
+  double source_capability = 0.0;  // capability of the model that produced it
+  int tokens = 0;                  // prompt-length contribution
+};
+
+struct GenerationResult {
+  uint64_t request_id = 0;
+  std::string model_name;
+  double latent_quality = 0.0;  // [0, 1]
+  bool correct = false;         // accuracy-style verdict for code/math tasks
+  int prompt_tokens = 0;        // request + examples
+  int output_tokens = 0;
+  double ttft_s = 0.0;          // zero-load time-to-first-token
+  double tbt_s = 0.0;           // zero-load time-between-tokens
+  double e2e_latency_s = 0.0;   // zero-load end-to-end latency
+};
+
+struct GenerationConfig {
+  double quality_slope = 5.0;        // sigmoid steepness vs (capability - difficulty)
+  double capability_noise = 0.05;    // per-call capability jitter (sampling variance)
+  double quality_noise = 0.04;       // additive output-quality jitter
+  double relevance_floor = 0.35;     // examples below this relevance contribute no utility
+  double coverage_scale = 0.9;       // utility saturation constant
+  double exceed_margin = 0.10;       // how far IC can push past the source capability
+  double distraction_rate = 0.15;    // capability lost per fully irrelevant example
+  // A *relevant* example whose stored response is poor actively misleads: the
+  // model imitates a bad trajectory. Responses below the pivot contribute
+  // negative utility scaled by misleading_rate.
+  double bad_example_pivot = 0.45;
+  double misleading_rate = 0.06;
+  double decode_shrink_with_ic = 0.92;  // examples guide shorter decodes (Figure 18)
+  // Task-specific strictness offsets applied to the accuracy verdict.
+  double accuracy_offset_code = 0.55;
+  double accuracy_offset_math = 0.65;
+  double accuracy_offset_other = 0.10;
+};
+
+class GenerationSimulator {
+ public:
+  explicit GenerationSimulator(uint64_t seed, GenerationConfig config = {});
+
+  // Generates a response for the request on the given model with the given
+  // in-context examples ([] == plain generation). `extra_capability` is an
+  // additive capability adjustment used by the RAG baseline (factual boost
+  // from retrieved documents) and never by IC-Cache itself.
+  GenerationResult Generate(const ModelProfile& model, const Request& request,
+                            const std::vector<ExampleView>& examples,
+                            double extra_capability = 0.0);
+
+  // Latent quality a *reused* cached response achieves on a new request
+  // (naive semantic caching, Figure 3b): full quality on an exact intent
+  // match, severely degraded on topical-but-different matches.
+  double ReusedResponseQuality(double cached_quality, double relevance);
+
+  const GenerationConfig& config() const { return config_; }
+
+ private:
+  double EffectiveCapability(const ModelProfile& model, const std::vector<ExampleView>& examples);
+
+  GenerationConfig config_;
+  Rng rng_;
+};
+
+// Structural relevance between two requests using latent ground truth:
+// same intent ~0.95, same topic ~0.62, same dataset ~0.08, else ~0.02
+// (plus small jitter). This is what a perfect relevance oracle would say;
+// embedding cosine approximates it.
+double StructuralRelevance(const Request& a, const Request& b, Rng& rng);
+
+}  // namespace iccache
+
+#endif  // SRC_LLM_GENERATION_H_

@@ -1,0 +1,65 @@
+// Model profiles: the static description of every LLM the experiments use.
+//
+// Real model weights are unavailable offline, so a model is represented by the
+// quantities the serving system actually observes or depends on — latency
+// rates, GPU footprint, dollar cost — plus two latent parameters consumed by
+// the generation simulator: `capability` (task competence) and `icl_aptitude`
+// (how effectively the model exploits in-context examples). Latency constants
+// are calibrated to the paper's measurements (Figure 1: Gemini-Pro TTFT 0.755s
+// / TBT 15ms vs Flash 0.497s / 5ms; DeepSeek-R1 TTFT 3.14s / TBT 121ms vs
+// Qwen-7B 18ms / 6.6ms; Figure 18: Gemma-27B 8.94s zero-load vs 2B 2.66s).
+#ifndef SRC_LLM_MODEL_PROFILE_H_
+#define SRC_LLM_MODEL_PROFILE_H_
+
+#include <string>
+#include <vector>
+
+namespace iccache {
+
+struct ModelProfile {
+  std::string name;
+  double params_b = 1.0;  // billions of parameters
+
+  // Latent quality parameters (generation simulator only).
+  double capability = 0.5;    // [0, 1]; competence versus request difficulty
+  double icl_aptitude = 0.8;  // [0, 1]; benefit extracted from IC examples
+  double robustness = 0.8;    // [0, 1]; resistance to irrelevant-example distraction
+
+  // Zero-load latency model: TTFT = ttft_base_s + prompt_tokens / prefill_tps;
+  // each decoded token takes 1 / decode_tps seconds.
+  double ttft_base_s = 0.05;
+  double prefill_tps = 20000.0;
+  double decode_tps = 100.0;
+
+  int context_window = 32768;
+  double cost_per_1k_tokens = 1.0;  // relative API cost
+  int gpus_required = 1;            // footprint in the cluster simulator
+
+  // Zero-load time-between-tokens.
+  double Tbt() const { return 1.0 / decode_tps; }
+};
+
+// Named catalog of the model analogues used across the evaluation.
+class ModelCatalog {
+ public:
+  ModelCatalog();
+
+  // Dies (assert) on unknown names; use Contains() to probe.
+  const ModelProfile& Get(const std::string& name) const;
+  bool Contains(const std::string& name) const;
+  const std::vector<ModelProfile>& all() const { return models_; }
+
+  // The paper's large/small pairs, by family.
+  static std::pair<std::string, std::string> GeminiPair();    // Pro / Flash
+  static std::pair<std::string, std::string> GemmaPair();     // 27B / 2B
+  static std::pair<std::string, std::string> DeepSeekPair();  // R1 / Qwen-7B
+  static std::pair<std::string, std::string> QwenPair();      // 32B / 3B
+  static std::pair<std::string, std::string> PhiPair();       // medium / mini
+
+ private:
+  std::vector<ModelProfile> models_;
+};
+
+}  // namespace iccache
+
+#endif  // SRC_LLM_MODEL_PROFILE_H_

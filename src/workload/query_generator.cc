@@ -1,0 +1,124 @@
+#include "src/workload/query_generator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/mathutil.h"
+
+namespace iccache {
+
+namespace {
+
+// Common filler vocabulary shared across every topic and dataset.
+constexpr const char* kFillers[] = {
+    "what", "how",  "the",  "of",   "is",    "a",    "to",    "in",   "for",  "please",
+    "can",  "you",  "tell", "me",   "about", "with", "explain", "best", "does", "why",
+};
+constexpr size_t kNumFillers = sizeof(kFillers) / sizeof(kFillers[0]);
+
+constexpr const char* kTaskPrefix[] = {
+    "chat",       // kConversation
+    "question",   // kQuestionAnswering
+    "translate",  // kTranslation
+    "code",       // kCodeGeneration
+    "solve",      // kMathReasoning
+};
+
+std::string Base36(uint64_t value) {
+  static const char kDigits[] = "0123456789abcdefghijklmnopqrstuvwxyz";
+  std::string out;
+  do {
+    out.push_back(kDigits[value % 36]);
+    value /= 36;
+  } while (value != 0);
+  std::reverse(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace
+
+QueryGenerator::QueryGenerator(DatasetProfile profile, uint64_t seed)
+    : profile_(profile),
+      rng_(seed ^ Mix64(static_cast<uint64_t>(profile.id) + 0x5717u)),
+      topic_sampler_(profile.num_topics, profile.topic_zipf_exponent) {}
+
+std::string QueryGenerator::CoreToken(uint32_t topic_id, size_t slot) const {
+  const uint64_t h = Mix64((static_cast<uint64_t>(profile_.id) << 48) ^
+                           (static_cast<uint64_t>(topic_id) << 16) ^ slot);
+  return "w" + Base36(h & 0xffffffffffull);
+}
+
+double QueryGenerator::IntentDifficulty(const DatasetProfile& profile, uint32_t topic_id,
+                                        uint32_t intent_id) {
+  // Stable per-intent draw from the dataset's Beta(alpha, beta) difficulty
+  // distribution, keyed only by identity so all components agree.
+  Rng intent_rng(Mix64((static_cast<uint64_t>(profile.id) << 40) ^
+                       (static_cast<uint64_t>(topic_id) << 8) ^ intent_id));
+  return Clamp(intent_rng.Beta(profile.difficulty_alpha, profile.difficulty_beta), 0.0, 1.0);
+}
+
+Request QueryGenerator::Next() {
+  Request req;
+  req.id = next_id_++;
+  req.dataset = profile_.id;
+  req.task = profile_.task;
+
+  req.topic_id = static_cast<uint32_t>(topic_sampler_.Sample(rng_));
+  req.intent_id = static_cast<uint32_t>(rng_.UniformInt(profile_.intents_per_topic));
+
+  // Intent chooses a deterministic core-token subset; the paraphrase noise is
+  // one swapped slot plus shuffled order and fresh fillers.
+  Rng intent_rng(Mix64((static_cast<uint64_t>(req.topic_id) << 20) ^ req.intent_id ^
+                       (static_cast<uint64_t>(profile_.id) << 52)));
+  const size_t take = std::min(profile_.tokens_per_query, profile_.core_tokens_per_topic);
+  std::vector<size_t> slots =
+      intent_rng.SampleWithoutReplacement(profile_.core_tokens_per_topic, take);
+
+  // Paraphrase: occasionally swap one chosen slot for a random topic slot.
+  if (!slots.empty() && rng_.Bernoulli(0.35)) {
+    slots[rng_.UniformInt(slots.size())] = rng_.UniformInt(profile_.core_tokens_per_topic);
+  }
+
+  std::vector<std::string> words;
+  words.reserve(slots.size() + profile_.filler_tokens_per_query + 1);
+  words.push_back(kTaskPrefix[static_cast<size_t>(profile_.task)]);
+  for (size_t slot : slots) {
+    words.push_back(CoreToken(req.topic_id, slot));
+  }
+  for (size_t i = 0; i < profile_.filler_tokens_per_query; ++i) {
+    words.push_back(kFillers[rng_.UniformInt(kNumFillers)]);
+  }
+  // Shuffle everything after the task prefix.
+  for (size_t i = words.size() - 1; i > 1; --i) {
+    std::swap(words[i], words[1 + rng_.UniformInt(i)]);
+  }
+
+  req.text.clear();
+  for (size_t i = 0; i < words.size(); ++i) {
+    if (i > 0) {
+      req.text.push_back(' ');
+    }
+    req.text += words[i];
+  }
+
+  const double base_difficulty = IntentDifficulty(profile_, req.topic_id, req.intent_id);
+  req.difficulty = Clamp(base_difficulty + rng_.Normal(0.0, 0.03), 0.0, 1.0);
+
+  req.input_tokens = static_cast<int>(Clamp(
+      rng_.LogNormal(profile_.input_tokens_log_mean, profile_.input_tokens_log_std), 4.0, 4096.0));
+  req.target_output_tokens = static_cast<int>(
+      Clamp(rng_.LogNormal(profile_.output_tokens_log_mean, profile_.output_tokens_log_std), 8.0,
+            4096.0));
+  return req;
+}
+
+std::vector<Request> QueryGenerator::Generate(size_t n) {
+  std::vector<Request> out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    out.push_back(Next());
+  }
+  return out;
+}
+
+}  // namespace iccache

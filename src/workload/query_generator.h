@@ -1,0 +1,55 @@
+// Synthetic query stream generator.
+//
+// Queries are drawn from a topic mixture: a Zipf-distributed topic pick, an
+// intent (sub-question) within the topic, and a bag of topic-core tokens plus
+// common filler words. Two queries with the same intent are semantically
+// equivalent (paraphrases); same topic but different intent are similar yet
+// NOT interchangeable — the distinction that makes naive semantic caching
+// lose quality (Figure 3b) while in-context reuse still helps (section 2.3).
+//
+// Latent difficulty is stable per intent (hash-derived), so repeated intents
+// are consistently easy or hard — the property the proxy utility model and
+// the bandit router learn to exploit.
+#ifndef SRC_WORKLOAD_QUERY_GENERATOR_H_
+#define SRC_WORKLOAD_QUERY_GENERATOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/workload/dataset.h"
+#include "src/workload/request.h"
+
+namespace iccache {
+
+class QueryGenerator {
+ public:
+  QueryGenerator(DatasetProfile profile, uint64_t seed);
+
+  // Produces the next request (no arrival time assigned).
+  Request Next();
+
+  // Convenience batch generation.
+  std::vector<Request> Generate(size_t n);
+
+  const DatasetProfile& profile() const { return profile_; }
+
+  // Deterministic latent difficulty of an intent in [0, 1]; exposed so the
+  // generation simulator and tests agree on ground truth.
+  static double IntentDifficulty(const DatasetProfile& profile, uint32_t topic_id,
+                                 uint32_t intent_id);
+
+ private:
+  // Stable core-vocabulary token for a (topic, slot) pair.
+  std::string CoreToken(uint32_t topic_id, size_t slot) const;
+
+  DatasetProfile profile_;
+  Rng rng_;
+  ZipfSampler topic_sampler_;
+  uint64_t next_id_ = 1;
+};
+
+}  // namespace iccache
+
+#endif  // SRC_WORKLOAD_QUERY_GENERATOR_H_

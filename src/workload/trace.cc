@@ -1,0 +1,110 @@
+#include "src/workload/trace.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace iccache {
+
+ArrivalTrace::ArrivalTrace(TraceConfig config) : config_(config), rng_(config.seed) {
+  if (config_.kind == TraceKind::kDiurnalBursty) {
+    // Pre-draw burst windows for the whole horizon so RateAt() is a pure
+    // function of time.
+    Rng burst_rng = rng_.Fork();
+    const double burst_rate_per_s = config_.bursts_per_hour / 3600.0;
+    double t = 0.0;
+    while (t < config_.duration_s) {
+      t += burst_rng.Exponential(std::max(burst_rate_per_s, 1e-9));
+      if (t >= config_.duration_s) {
+        break;
+      }
+      Burst burst;
+      burst.start = t;
+      burst.end = t + burst_rng.Exponential(1.0 / std::max(config_.burst_duration_mean_s, 1e-9));
+      burst.multiplier = burst_rng.Uniform(2.0, config_.burst_max_multiplier);
+      bursts_.push_back(burst);
+      t = burst.end;
+    }
+  }
+  // Conservative rate envelope for thinning.
+  peak_rate_ = config_.mean_rps * (1.0 + config_.diurnal_depth) * config_.burst_max_multiplier;
+  if (config_.kind != TraceKind::kDiurnalBursty) {
+    peak_rate_ = config_.mean_rps;
+  }
+}
+
+double ArrivalTrace::RateAt(double t) const {
+  switch (config_.kind) {
+    case TraceKind::kConstant:
+    case TraceKind::kPoisson:
+      return config_.mean_rps;
+    case TraceKind::kDiurnalBursty:
+      break;
+  }
+  const double phase = 2.0 * M_PI * t / config_.diurnal_period_s;
+  double rate = config_.mean_rps * (1.0 + config_.diurnal_depth * std::sin(phase));
+  for (const Burst& burst : bursts_) {
+    if (t >= burst.start && t < burst.end) {
+      rate *= burst.multiplier;
+      break;
+    }
+  }
+  return std::max(rate, config_.mean_rps * 0.02);
+}
+
+std::vector<double> ArrivalTrace::GenerateArrivals() {
+  std::vector<double> arrivals;
+  switch (config_.kind) {
+    case TraceKind::kConstant: {
+      const double step = 1.0 / std::max(config_.mean_rps, 1e-9);
+      for (double t = step; t < config_.duration_s; t += step) {
+        arrivals.push_back(t);
+      }
+      return arrivals;
+    }
+    case TraceKind::kPoisson: {
+      double t = 0.0;
+      while (true) {
+        t += rng_.Exponential(std::max(config_.mean_rps, 1e-9));
+        if (t >= config_.duration_s) {
+          return arrivals;
+        }
+        arrivals.push_back(t);
+      }
+    }
+    case TraceKind::kDiurnalBursty:
+      break;
+  }
+  // Thinning (Lewis-Shedler): simulate at the envelope rate, accept with
+  // probability rate(t) / peak.
+  double t = 0.0;
+  while (true) {
+    t += rng_.Exponential(std::max(peak_rate_, 1e-9));
+    if (t >= config_.duration_s) {
+      break;
+    }
+    if (rng_.Uniform() * peak_rate_ <= RateAt(t)) {
+      arrivals.push_back(t);
+    }
+  }
+  return arrivals;
+}
+
+std::vector<double> BinArrivalRate(const std::vector<double>& arrivals, double duration_s,
+                                   double bin_s) {
+  const size_t num_bins =
+      static_cast<size_t>(std::max(1.0, std::ceil(duration_s / std::max(bin_s, 1e-9))));
+  std::vector<double> rps(num_bins, 0.0);
+  for (double t : arrivals) {
+    if (t < 0.0 || t >= duration_s) {
+      continue;
+    }
+    const size_t bin = std::min(num_bins - 1, static_cast<size_t>(t / bin_s));
+    rps[bin] += 1.0;
+  }
+  for (auto& r : rps) {
+    r /= bin_s;
+  }
+  return rps;
+}
+
+}  // namespace iccache

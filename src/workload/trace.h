@@ -1,0 +1,75 @@
+// Arrival-trace generation (stand-in for the Azure/Microsoft LLM serving
+// trace the paper replays, Figures 2 and 22). Supports constant-rate and
+// Poisson arrivals plus a diurnal+bursty profile with minute-scale spikes up
+// to the paper's observed 25x peak-to-trough ratio.
+#ifndef SRC_WORKLOAD_TRACE_H_
+#define SRC_WORKLOAD_TRACE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/rng.h"
+
+namespace iccache {
+
+enum class TraceKind {
+  kConstant,       // evenly spaced arrivals
+  kPoisson,        // memoryless arrivals at the mean rate
+  kDiurnalBursty,  // sinusoidal daily cycle + random minute-level bursts
+};
+
+struct TraceConfig {
+  TraceKind kind = TraceKind::kPoisson;
+  double mean_rps = 2.0;
+  double duration_s = 1800.0;  // 30 minutes by default (Figure 12/22)
+
+  // Diurnal component (kDiurnalBursty): rate swings between
+  // mean * (1 - diurnal_depth) and mean * (1 + diurnal_depth).
+  double diurnal_period_s = 24.0 * 3600.0;
+  double diurnal_depth = 0.6;
+
+  // Burst component: bursts arrive as a Poisson process; during a burst the
+  // instantaneous rate is multiplied by a factor drawn in
+  // [2, burst_max_multiplier].
+  double bursts_per_hour = 6.0;
+  double burst_max_multiplier = 25.0;
+  double burst_duration_mean_s = 45.0;
+
+  uint64_t seed = 0x7ace;
+};
+
+class ArrivalTrace {
+ public:
+  explicit ArrivalTrace(TraceConfig config);
+
+  // Instantaneous arrival rate at simulated time t (seconds).
+  double RateAt(double t) const;
+
+  // Generates arrival timestamps over [0, duration_s), sorted ascending.
+  // Uses thinning against the (precomputed) rate envelope so bursts appear
+  // at the correct intensity.
+  std::vector<double> GenerateArrivals();
+
+  const TraceConfig& config() const { return config_; }
+
+ private:
+  struct Burst {
+    double start = 0.0;
+    double end = 0.0;
+    double multiplier = 1.0;
+  };
+
+  TraceConfig config_;
+  std::vector<Burst> bursts_;
+  double peak_rate_ = 0.0;
+  mutable Rng rng_;
+};
+
+// Bins arrival timestamps into fixed windows and returns requests-per-second
+// per bin — the series plotted in Figures 2 and 22.
+std::vector<double> BinArrivalRate(const std::vector<double>& arrivals, double duration_s,
+                                   double bin_s);
+
+}  // namespace iccache
+
+#endif  // SRC_WORKLOAD_TRACE_H_

@@ -1,0 +1,186 @@
+// Section 8 behaviours: adaptation to query-distribution shift and to model
+// updates, plus multi-model routing ("when multiple models are available, the
+// request router can select the most appropriate model").
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "src/common/mathutil.h"
+#include "src/common/stats.h"
+#include "src/core/router.h"
+#include "src/core/service.h"
+#include "src/workload/query_generator.h"
+
+namespace iccache {
+namespace {
+
+std::vector<SelectedExample> FakeExamples(size_t n, double utility) {
+  std::vector<SelectedExample> examples;
+  for (size_t i = 0; i < n; ++i) {
+    SelectedExample ex;
+    ex.example_id = i + 1;
+    ex.similarity = 0.9;
+    ex.predicted_utility = utility;
+    examples.push_back(ex);
+  }
+  return examples;
+}
+
+Request MakeRequest(uint64_t id, double difficulty) {
+  Request req;
+  req.id = id;
+  req.difficulty = difficulty;
+  req.input_tokens = 64;
+  req.target_output_tokens = 128;
+  return req;
+}
+
+TEST(ModelUpdateAdaptationTest, RouterShiftsTrafficAfterSmallModelUpgrade) {
+  // Phase 1: the small arm is weak -> traffic goes large. Phase 2 (model
+  // upgrade): the small arm's rewards jump; the router must shift traffic
+  // without retraining (section 8, "Handling Model Updates").
+  RouterArmSpec small_arm{"small", 0.1, true};
+  RouterArmSpec large_arm{"large", 1.0, false};
+  RequestRouter router({small_arm, large_arm});
+  Rng rng(1);
+
+  auto run_phase = [&](double small_reward, int rounds) {
+    int offloads = 0;
+    for (int t = 0; t < rounds; ++t) {
+      const Request req = MakeRequest(static_cast<uint64_t>(t), rng.Uniform());
+      const RouteDecision decision = router.Route(req, FakeExamples(3, 0.7));
+      const double reward = decision.uses_examples ? small_reward : 0.85;
+      router.UpdateReward(decision, reward + rng.Normal(0.0, 0.03));
+      offloads += decision.uses_examples ? 1 : 0;
+    }
+    return offloads / static_cast<double>(rounds);
+  };
+
+  const double before = run_phase(/*small_reward=*/0.35, 1200);
+  EXPECT_LT(before, 0.4);  // weak small model mostly avoided
+  // Upgrade: the small model now matches the large one.
+  const double after = run_phase(/*small_reward=*/0.88, 1500);
+  EXPECT_GT(after, before + 0.2);  // traffic shifted toward the cheap arm
+}
+
+TEST(DistributionShiftTest, ExampleDecayRetiresStaleTopics) {
+  // Section 8, "Handling Query Distribution Shift": hourly decay plus
+  // knapsack eviction replaces examples for topics that stopped arriving.
+  ModelCatalog catalog;
+  GenerationSimulator sim(2);
+  auto embedder = std::make_shared<HashingEmbedder>();
+  ServiceConfig config;
+  config.cache.capacity_bytes = 96 * 1024;
+  IcCacheService service(config, &catalog, &sim, embedder);
+
+  DatasetProfile era1 = GetDatasetProfile(DatasetId::kLmsysChat);
+  era1.num_topics = 100;
+  QueryGenerator gen1(era1, 3);
+  for (int i = 0; i < 300; ++i) {
+    service.SeedExample(gen1.Next(), 0.0);
+  }
+  service.PretrainProxy(300);
+  for (int i = 0; i < 300; ++i) {
+    service.ServeRequest(gen1.Next(), static_cast<double>(i));
+  }
+  const size_t era1_examples = service.cache().size();
+  ASSERT_GT(era1_examples, 0u);
+
+  // Era 2: a different dataset (new trending topics). Serve + maintain for
+  // several "hours": era-1 values decay, era-2 admissions displace them.
+  DatasetProfile era2 = GetDatasetProfile(DatasetId::kMsMarco);
+  era2.num_topics = 100;
+  QueryGenerator gen2(era2, 4);
+  for (int hour = 1; hour <= 6; ++hour) {
+    for (int i = 0; i < 200; ++i) {
+      service.ServeRequest(gen2.Next(), hour * 3600.0 + i);
+    }
+    service.RunMaintenance(hour * 3600.0 + 1000.0);
+  }
+
+  size_t era2_count = 0;
+  for (uint64_t id : service.cache().AllIds()) {
+    if (service.cache().Get(id)->request.dataset == DatasetId::kMsMarco) {
+      ++era2_count;
+    }
+  }
+  // Fresh-era examples must have entered the (bounded) cache at scale.
+  EXPECT_GT(era2_count, 25u);
+  EXPECT_LE(service.cache().used_bytes(), config.cache.capacity_bytes);
+}
+
+TEST(MultiModelRoutingTest, ThreeArmRouterUsesMidModelForMidDifficulty) {
+  // Section 8, "Performance and Quality Tradeoff": with more than two models
+  // the router finds intermediate sweet spots. Synthetic world: small wins
+  // easy, mid wins medium, large wins hard.
+  RouterArmSpec small_arm{"small", 0.08, true};
+  RouterArmSpec mid_arm{"mid", 0.35, true};
+  RouterArmSpec large_arm{"large", 1.0, false};
+  RouterConfig config;
+  config.exploration_epsilon = 0.1;  // three arms need a bit more exploration
+  RequestRouter router({small_arm, mid_arm, large_arm}, config);
+  Rng rng(5);
+
+  auto true_reward = [](const std::string& model, double difficulty) {
+    if (model == "small") {
+      return 0.95 - 1.1 * difficulty;
+    }
+    if (model == "mid") {
+      return 0.92 - 0.42 * difficulty;
+    }
+    return 0.80 - 0.08 * difficulty;
+  };
+
+  for (int t = 0; t < 6000; ++t) {
+    const Request req = MakeRequest(static_cast<uint64_t>(t), rng.Uniform());
+    const RouteDecision decision = router.Route(req, FakeExamples(3, 0.7));
+    const double reward =
+        Clamp(true_reward(decision.model_name, req.difficulty) + rng.Normal(0.0, 0.04), 0.0, 1.0);
+    router.UpdateReward(decision, reward);
+  }
+
+  // Count routed arms per difficulty band.
+  int mid_hits_mid_band = 0;
+  int small_hits_easy_band = 0;
+  int cheap_hits_easy_band = 0;  // small or mid
+  const int probes = 300;
+  for (int i = 0; i < probes; ++i) {
+    const RouteDecision easy = router.Route(MakeRequest(100000 + i, 0.05), FakeExamples(3, 0.7));
+    small_hits_easy_band += easy.model_name == "small" ? 1 : 0;
+    cheap_hits_easy_band += easy.model_name != "large" ? 1 : 0;
+    router.UpdateReward(easy, true_reward(easy.model_name, 0.05));
+    const RouteDecision mid = router.Route(MakeRequest(200000 + i, 0.5), FakeExamples(3, 0.7));
+    mid_hits_mid_band += mid.model_name == "mid" ? 1 : 0;
+    router.UpdateReward(mid, true_reward(mid.model_name, 0.5));
+  }
+  // On easy traffic the small arm's cost-adjusted reward leads the mid arm by
+  // only ~0.03, so the posterior keeps both cheap arms in play; together they
+  // must dominate, with small holding a substantial share.
+  EXPECT_GT(cheap_hits_easy_band, (3 * probes) / 4);
+  EXPECT_GT(small_hits_easy_band, probes / 4);
+  // At difficulty 0.5 the mid model (0.71, cost-adjusted 0.668) beats both
+  // small (0.40) and large (0.76, cost-adjusted 0.64); require mid to take a
+  // meaningful share, demonstrating a three-way policy rather than binary.
+  EXPECT_GT(mid_hits_mid_band, probes / 5);
+}
+
+TEST(ProxyRefreshTest, MaintenanceKeepsProxyCurrentAfterPoolChange) {
+  // The asynchronous proxy refresh inside RunMaintenance must keep training
+  // signal flowing as the cache contents change.
+  ModelCatalog catalog;
+  GenerationSimulator sim(6);
+  auto embedder = std::make_shared<HashingEmbedder>();
+  IcCacheService service(ServiceConfig{}, &catalog, &sim, embedder);
+  DatasetProfile profile = GetDatasetProfile(DatasetId::kAlpaca);
+  profile.num_topics = 100;
+  QueryGenerator gen(profile, 7);
+  for (int i = 0; i < 200; ++i) {
+    service.SeedExample(gen.Next(), 0.0);
+  }
+  const size_t updates_before = service.proxy().updates();
+  service.RunMaintenance(3700.0);
+  EXPECT_GT(service.proxy().updates(), updates_before);
+}
+
+}  // namespace
+}  // namespace iccache

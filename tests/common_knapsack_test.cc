@@ -1,0 +1,107 @@
+#include "src/common/knapsack.h"
+
+#include <algorithm>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+
+namespace iccache {
+namespace {
+
+TEST(KnapsackExactTest, ClassicInstance) {
+  // Items: (w=10,v=60) (w=20,v=100) (w=30,v=120); capacity 50 -> take 2 + 3.
+  const std::vector<KnapsackItem> items = {{10, 60.0}, {20, 100.0}, {30, 120.0}};
+  const KnapsackSolution solution = SolveKnapsackExact(items, 50);
+  EXPECT_TRUE(solution.exact);
+  EXPECT_NEAR(solution.total_value, 220.0, 1e-9);
+  EXPECT_EQ(solution.total_weight, 50);
+  EXPECT_EQ(solution.selected, (std::vector<size_t>{1, 2}));
+}
+
+TEST(KnapsackExactTest, ZeroCapacityTakesOnlyWeightless) {
+  const std::vector<KnapsackItem> items = {{0, 5.0}, {1, 100.0}};
+  const KnapsackSolution solution = SolveKnapsackExact(items, 0);
+  EXPECT_NEAR(solution.total_value, 5.0, 1e-9);
+  EXPECT_EQ(solution.selected, (std::vector<size_t>{0}));
+}
+
+TEST(KnapsackExactTest, NegativeValueNeverSelected) {
+  const std::vector<KnapsackItem> items = {{1, -5.0}, {1, 3.0}};
+  const KnapsackSolution solution = SolveKnapsackExact(items, 10);
+  EXPECT_EQ(solution.selected, (std::vector<size_t>{1}));
+}
+
+TEST(KnapsackExactTest, EmptyItems) {
+  const KnapsackSolution solution = SolveKnapsackExact({}, 100);
+  EXPECT_TRUE(solution.selected.empty());
+  EXPECT_EQ(solution.total_value, 0.0);
+}
+
+TEST(KnapsackExactTest, AllItemsFitWhenCapacityLarge) {
+  const std::vector<KnapsackItem> items = {{5, 1.0}, {5, 2.0}, {5, 3.0}};
+  const KnapsackSolution solution = SolveKnapsackExact(items, 1000);
+  EXPECT_EQ(solution.selected.size(), 3u);
+}
+
+TEST(KnapsackGreedyTest, PrefersValueDensity) {
+  // Density order: item1 (10/5=2) > item0 (12/10=1.2); capacity 10 fits only
+  // one of them by weight 5 + nothing else -> greedy picks item1.
+  const std::vector<KnapsackItem> items = {{10, 12.0}, {5, 10.0}};
+  const KnapsackSolution solution = SolveKnapsackGreedy(items, 10);
+  EXPECT_FALSE(solution.exact);
+  EXPECT_EQ(solution.selected, (std::vector<size_t>{1}));
+}
+
+TEST(KnapsackGreedyTest, CapacityRespected) {
+  Rng rng(99);
+  std::vector<KnapsackItem> items;
+  for (int i = 0; i < 200; ++i) {
+    items.push_back({static_cast<int64_t>(rng.UniformInt(1, 20)), rng.Uniform(0.0, 10.0)});
+  }
+  const KnapsackSolution solution = SolveKnapsackGreedy(items, 100);
+  EXPECT_LE(solution.total_weight, 100);
+}
+
+TEST(KnapsackDispatchTest, SmallProblemUsesExact) {
+  const std::vector<KnapsackItem> items = {{1, 1.0}, {2, 2.0}};
+  EXPECT_TRUE(SolveKnapsack(items, 10).exact);
+}
+
+TEST(KnapsackDispatchTest, HugeProblemFallsBackToGreedy) {
+  std::vector<KnapsackItem> items(1000, KnapsackItem{1000000, 1.0});
+  EXPECT_FALSE(SolveKnapsack(items, 1000000000, /*max_dp_work=*/1000).exact);
+}
+
+// Property: on random instances the exact DP dominates greedy, and both
+// respect capacity.
+class KnapsackRandomSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(KnapsackRandomSweep, ExactDominatesGreedy) {
+  Rng rng(GetParam());
+  std::vector<KnapsackItem> items;
+  const int n = 2 + static_cast<int>(rng.UniformInt(20));
+  for (int i = 0; i < n; ++i) {
+    items.push_back({static_cast<int64_t>(rng.UniformInt(1, 30)), rng.Uniform(0.0, 20.0)});
+  }
+  const int64_t capacity = static_cast<int64_t>(rng.UniformInt(10, 200));
+  const KnapsackSolution exact = SolveKnapsackExact(items, capacity);
+  const KnapsackSolution greedy = SolveKnapsackGreedy(items, capacity);
+  EXPECT_LE(exact.total_weight, capacity);
+  EXPECT_LE(greedy.total_weight, capacity);
+  EXPECT_GE(exact.total_value, greedy.total_value - 1e-9);
+
+  // Reported value must match the recomputed sum over selected items.
+  double recomputed = 0.0;
+  for (size_t idx : exact.selected) {
+    recomputed += items[idx].value;
+  }
+  EXPECT_NEAR(recomputed, exact.total_value, 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Instances, KnapsackRandomSweep,
+                         ::testing::Values(1ull, 2ull, 3ull, 5ull, 8ull, 13ull, 21ull, 34ull));
+
+}  // namespace
+}  // namespace iccache

@@ -1,0 +1,162 @@
+#include "src/common/mathutil.h"
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace iccache {
+namespace {
+
+TEST(SigmoidTest, CenterAndLimits) {
+  EXPECT_DOUBLE_EQ(Sigmoid(0.0), 0.5);
+  EXPECT_NEAR(Sigmoid(100.0), 1.0, 1e-12);
+  EXPECT_NEAR(Sigmoid(-100.0), 0.0, 1e-12);
+}
+
+TEST(SigmoidTest, IsMonotone) {
+  double prev = 0.0;
+  for (double x = -10.0; x <= 10.0; x += 0.25) {
+    const double y = Sigmoid(x);
+    EXPECT_GT(y, prev);
+    prev = y;
+  }
+}
+
+TEST(SigmoidTest, SymmetryIdentity) {
+  for (double x : {0.3, 1.7, 4.2}) {
+    EXPECT_NEAR(Sigmoid(x) + Sigmoid(-x), 1.0, 1e-12);
+  }
+}
+
+TEST(LogSumExpTest, MatchesDirectComputationForSmallValues) {
+  const std::vector<double> xs = {0.1, 0.2, 0.3};
+  double direct = 0.0;
+  for (double x : xs) {
+    direct += std::exp(x);
+  }
+  EXPECT_NEAR(LogSumExp(xs), std::log(direct), 1e-12);
+}
+
+TEST(LogSumExpTest, StableForLargeValues) {
+  const std::vector<double> xs = {1000.0, 1000.0};
+  EXPECT_NEAR(LogSumExp(xs), 1000.0 + std::log(2.0), 1e-9);
+}
+
+TEST(LogSumExpTest, EmptyIsNegativeInfinity) {
+  EXPECT_EQ(LogSumExp({}), -std::numeric_limits<double>::infinity());
+}
+
+TEST(SoftmaxTest, SumsToOneAndOrdersByLogit) {
+  const std::vector<double> probs = Softmax({1.0, 2.0, 3.0});
+  EXPECT_NEAR(probs[0] + probs[1] + probs[2], 1.0, 1e-12);
+  EXPECT_LT(probs[0], probs[1]);
+  EXPECT_LT(probs[1], probs[2]);
+}
+
+TEST(SoftmaxTest, TemperatureSharpensDistribution) {
+  const std::vector<double> cold = Softmax({1.0, 2.0}, 0.1);
+  const std::vector<double> hot = Softmax({1.0, 2.0}, 10.0);
+  EXPECT_GT(cold[1], hot[1]);
+  EXPECT_NEAR(hot[0], 0.5, 0.05);
+}
+
+TEST(SoftmaxTest, EmptyInput) { EXPECT_TRUE(Softmax({}).empty()); }
+
+TEST(ClampTest, Basics) {
+  EXPECT_EQ(Clamp(5.0, 0.0, 1.0), 1.0);
+  EXPECT_EQ(Clamp(-5.0, 0.0, 1.0), 0.0);
+  EXPECT_EQ(Clamp(0.5, 0.0, 1.0), 0.5);
+}
+
+TEST(VectorOpsTest, DotAndNorm) {
+  const std::vector<float> a = {1.0f, 2.0f, 3.0f};
+  const std::vector<float> b = {4.0f, -5.0f, 6.0f};
+  EXPECT_NEAR(Dot(a, b), 4.0 - 10.0 + 18.0, 1e-9);
+  EXPECT_NEAR(L2Norm(a), std::sqrt(14.0), 1e-9);
+}
+
+TEST(VectorOpsTest, NormalizeProducesUnitVector) {
+  std::vector<float> v = {3.0f, 4.0f};
+  NormalizeL2(v);
+  EXPECT_NEAR(L2Norm(v), 1.0, 1e-6);
+  EXPECT_NEAR(v[0], 0.6, 1e-6);
+}
+
+TEST(VectorOpsTest, NormalizeZeroVectorIsNoop) {
+  std::vector<float> v = {0.0f, 0.0f};
+  NormalizeL2(v);
+  EXPECT_EQ(v[0], 0.0f);
+  EXPECT_EQ(v[1], 0.0f);
+}
+
+TEST(CosineSimilarityTest, ParallelAndOrthogonal) {
+  const std::vector<float> x = {1.0f, 0.0f};
+  const std::vector<float> y = {0.0f, 1.0f};
+  const std::vector<float> x2 = {2.0f, 0.0f};
+  EXPECT_NEAR(CosineSimilarity(x, x2), 1.0, 1e-9);
+  EXPECT_NEAR(CosineSimilarity(x, y), 0.0, 1e-9);
+  const std::vector<float> neg = {-1.0f, 0.0f};
+  EXPECT_NEAR(CosineSimilarity(x, neg), -1.0, 1e-9);
+}
+
+TEST(CosineSimilarityTest, ZeroVectorYieldsZero) {
+  EXPECT_EQ(CosineSimilarity({0.0f, 0.0f}, {1.0f, 0.0f}), 0.0);
+}
+
+TEST(SquaredL2DistanceTest, Basics) {
+  EXPECT_NEAR(SquaredL2Distance({0.0f, 0.0f}, {3.0f, 4.0f}), 25.0, 1e-9);
+  EXPECT_EQ(SquaredL2Distance({1.0f}, {1.0f}), 0.0);
+}
+
+TEST(MeanStdDevTest, KnownValues) {
+  const std::vector<double> xs = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  EXPECT_NEAR(Mean(xs), 5.0, 1e-12);
+  EXPECT_NEAR(StdDev(xs), 2.0, 1e-12);
+}
+
+TEST(MeanStdDevTest, DegenerateInputs) {
+  EXPECT_EQ(Mean({}), 0.0);
+  EXPECT_EQ(StdDev({}), 0.0);
+  EXPECT_EQ(StdDev({3.0}), 0.0);
+}
+
+TEST(PearsonCorrelationTest, PerfectPositiveAndNegative) {
+  const std::vector<double> xs = {1.0, 2.0, 3.0, 4.0};
+  const std::vector<double> up = {2.0, 4.0, 6.0, 8.0};
+  const std::vector<double> down = {8.0, 6.0, 4.0, 2.0};
+  EXPECT_NEAR(PearsonCorrelation(xs, up), 1.0, 1e-12);
+  EXPECT_NEAR(PearsonCorrelation(xs, down), -1.0, 1e-12);
+}
+
+TEST(PearsonCorrelationTest, ConstantSideYieldsZero) {
+  EXPECT_EQ(PearsonCorrelation({1.0, 1.0, 1.0}, {1.0, 2.0, 3.0}), 0.0);
+}
+
+TEST(PearsonCorrelationTest, MismatchedSizesYieldZero) {
+  EXPECT_EQ(PearsonCorrelation({1.0, 2.0}, {1.0, 2.0, 3.0}), 0.0);
+}
+
+// Softmax should be invariant under constant shifts of the logits.
+class SoftmaxShiftSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(SoftmaxShiftSweep, ShiftInvariance) {
+  const double shift = GetParam();
+  const std::vector<double> base = {0.5, -1.0, 2.0, 0.0};
+  std::vector<double> shifted = base;
+  for (auto& x : shifted) {
+    x += shift;
+  }
+  const std::vector<double> p1 = Softmax(base);
+  const std::vector<double> p2 = Softmax(shifted);
+  for (size_t i = 0; i < base.size(); ++i) {
+    EXPECT_NEAR(p1[i], p2[i], 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shifts, SoftmaxShiftSweep,
+                         ::testing::Values(-100.0, -1.0, 0.0, 1.0, 50.0, 500.0));
+
+}  // namespace
+}  // namespace iccache

@@ -1,0 +1,205 @@
+#include "src/common/stats.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+
+namespace iccache {
+namespace {
+
+TEST(RunningStatTest, MatchesDirectComputation) {
+  const std::vector<double> xs = {1.0, 2.0, 3.0, 4.0, 10.0};
+  RunningStat stat;
+  for (double x : xs) {
+    stat.Add(x);
+  }
+  EXPECT_EQ(stat.count(), 5u);
+  EXPECT_NEAR(stat.mean(), 4.0, 1e-12);
+  double var = 0.0;
+  for (double x : xs) {
+    var += (x - 4.0) * (x - 4.0);
+  }
+  var /= xs.size();
+  EXPECT_NEAR(stat.variance(), var, 1e-12);
+  EXPECT_NEAR(stat.stddev(), std::sqrt(var), 1e-12);
+  EXPECT_EQ(stat.min(), 1.0);
+  EXPECT_EQ(stat.max(), 10.0);
+  EXPECT_NEAR(stat.sum(), 20.0, 1e-12);
+}
+
+TEST(RunningStatTest, EmptyAndSingle) {
+  RunningStat stat;
+  EXPECT_EQ(stat.count(), 0u);
+  EXPECT_EQ(stat.variance(), 0.0);
+  EXPECT_EQ(stat.min(), 0.0);
+  stat.Add(7.0);
+  EXPECT_EQ(stat.mean(), 7.0);
+  EXPECT_EQ(stat.variance(), 0.0);
+}
+
+TEST(RunningStatTest, ResetClears) {
+  RunningStat stat;
+  stat.Add(1.0);
+  stat.Reset();
+  EXPECT_EQ(stat.count(), 0u);
+  EXPECT_EQ(stat.mean(), 0.0);
+}
+
+TEST(RunningStatTest, NumericallyStableForLargeOffsets) {
+  RunningStat stat;
+  for (int i = 0; i < 1000; ++i) {
+    stat.Add(1e9 + (i % 2));
+  }
+  EXPECT_NEAR(stat.variance(), 0.25, 1e-6);
+}
+
+TEST(EmaTest, FirstSampleInitializes) {
+  Ema ema(0.1);
+  EXPECT_FALSE(ema.initialized());
+  ema.Add(10.0);
+  EXPECT_TRUE(ema.initialized());
+  EXPECT_EQ(ema.value(), 10.0);
+}
+
+TEST(EmaTest, ConvergesTowardConstantInput) {
+  Ema ema(0.2);
+  ema.Add(0.0);
+  for (int i = 0; i < 100; ++i) {
+    ema.Add(5.0);
+  }
+  EXPECT_NEAR(ema.value(), 5.0, 1e-6);
+}
+
+TEST(EmaTest, SingleStepBlend) {
+  Ema ema(0.25);
+  ema.Add(0.0);
+  ema.Add(8.0);
+  EXPECT_NEAR(ema.value(), 2.0, 1e-12);
+}
+
+TEST(EmaTest, DecayScalesValue) {
+  Ema ema(0.5);
+  ema.Add(10.0);
+  ema.Decay(0.9);
+  EXPECT_NEAR(ema.value(), 9.0, 1e-12);
+}
+
+TEST(EmaTest, ResetClearsState) {
+  Ema ema(0.5);
+  ema.Add(3.0);
+  ema.Reset();
+  EXPECT_FALSE(ema.initialized());
+  EXPECT_EQ(ema.value(), 0.0);
+}
+
+TEST(PercentileTrackerTest, ExactOrderStatistics) {
+  PercentileTracker tracker;
+  for (int i = 1; i <= 100; ++i) {
+    tracker.Add(static_cast<double>(i));
+  }
+  EXPECT_EQ(tracker.count(), 100u);
+  EXPECT_NEAR(tracker.Percentile(0), 1.0, 1e-12);
+  EXPECT_NEAR(tracker.Percentile(100), 100.0, 1e-12);
+  EXPECT_NEAR(tracker.Percentile(50), 50.5, 1e-12);
+  EXPECT_NEAR(tracker.Percentile(99), 99.01, 0.05);
+  EXPECT_NEAR(tracker.mean(), 50.5, 1e-12);
+}
+
+TEST(PercentileTrackerTest, UnsortedInsertOrder) {
+  PercentileTracker tracker;
+  for (double x : {5.0, 1.0, 3.0, 2.0, 4.0}) {
+    tracker.Add(x);
+  }
+  EXPECT_NEAR(tracker.Percentile(50), 3.0, 1e-12);
+}
+
+TEST(PercentileTrackerTest, EmptyReturnsZero) {
+  PercentileTracker tracker;
+  EXPECT_EQ(tracker.Percentile(50), 0.0);
+  EXPECT_EQ(tracker.mean(), 0.0);
+}
+
+TEST(PercentileTrackerTest, AddAfterQueryStillCorrect) {
+  PercentileTracker tracker;
+  tracker.Add(1.0);
+  tracker.Add(2.0);
+  EXPECT_NEAR(tracker.Percentile(100), 2.0, 1e-12);
+  tracker.Add(10.0);
+  EXPECT_NEAR(tracker.Percentile(100), 10.0, 1e-12);
+}
+
+TEST(HistogramTest, BinsAndDensity) {
+  Histogram hist(0.0, 10.0, 10);
+  for (int i = 0; i < 10; ++i) {
+    hist.Add(static_cast<double>(i) + 0.5);
+  }
+  EXPECT_EQ(hist.count(), 10u);
+  for (size_t b = 0; b < 10; ++b) {
+    EXPECT_NEAR(hist.Density(b), 0.1, 1e-12);
+    EXPECT_NEAR(hist.BinCenter(b), static_cast<double>(b) + 0.5, 1e-12);
+  }
+}
+
+TEST(HistogramTest, OutOfRangeClamps) {
+  Histogram hist(0.0, 1.0, 4);
+  hist.Add(-5.0);
+  hist.Add(5.0);
+  EXPECT_EQ(hist.bins()[0], 1u);
+  EXPECT_EQ(hist.bins()[3], 1u);
+}
+
+TEST(HistogramTest, ToStringHasOneRowPerBin) {
+  Histogram hist(0.0, 1.0, 3);
+  hist.Add(0.5);
+  const std::string rendered = hist.ToString();
+  EXPECT_EQ(std::count(rendered.begin(), rendered.end(), '\n'), 3);
+}
+
+TEST(EmpiricalCdfTest, StepFunctionValues) {
+  EmpiricalCdf cdf({1.0, 2.0, 3.0, 4.0});
+  EXPECT_EQ(cdf.At(0.5), 0.0);
+  EXPECT_EQ(cdf.At(1.0), 0.25);
+  EXPECT_EQ(cdf.At(2.5), 0.5);
+  EXPECT_EQ(cdf.At(10.0), 1.0);
+}
+
+TEST(EmpiricalCdfTest, QuantileInterpolates) {
+  EmpiricalCdf cdf({0.0, 10.0});
+  EXPECT_NEAR(cdf.Quantile(0.0), 0.0, 1e-12);
+  EXPECT_NEAR(cdf.Quantile(0.5), 5.0, 1e-12);
+  EXPECT_NEAR(cdf.Quantile(1.0), 10.0, 1e-12);
+}
+
+TEST(EmpiricalCdfTest, EmptyInput) {
+  EmpiricalCdf cdf({});
+  EXPECT_EQ(cdf.At(1.0), 0.0);
+  EXPECT_EQ(cdf.Quantile(0.5), 0.0);
+}
+
+// Property: PercentileTracker::Percentile agrees with EmpiricalCdf::Quantile
+// on random data.
+class PercentileAgreementSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(PercentileAgreementSweep, TrackerMatchesCdf) {
+  Rng rng(GetParam());
+  PercentileTracker tracker;
+  std::vector<double> samples;
+  for (int i = 0; i < 500; ++i) {
+    const double x = rng.Normal(0.0, 3.0);
+    tracker.Add(x);
+    samples.push_back(x);
+  }
+  EmpiricalCdf cdf(samples);
+  for (double q : {0.01, 0.25, 0.5, 0.9, 0.99}) {
+    EXPECT_NEAR(tracker.Percentile(q * 100.0), cdf.Quantile(q), 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PercentileAgreementSweep,
+                         ::testing::Values(3ull, 7ull, 11ull, 13ull));
+
+}  // namespace
+}  // namespace iccache

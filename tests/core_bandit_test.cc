@@ -1,0 +1,251 @@
+#include "src/core/bandit.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/common/mathutil.h"
+#include "src/common/stats.h"
+
+namespace iccache {
+namespace {
+
+TEST(LinearThompsonArmTest, PriorMeanIsZero) {
+  LinearThompsonArm arm(3);
+  EXPECT_NEAR(arm.MeanScore({1.0, 0.5, -0.5}), 0.0, 1e-9);
+}
+
+TEST(LinearThompsonArmTest, LearnsLinearRewardFunction) {
+  // Reward = 2*x0 - 1*x1; posterior mean must recover the weights.
+  LinearThompsonArm arm(2, /*prior_precision=*/0.1);
+  Rng rng(1);
+  for (int i = 0; i < 2000; ++i) {
+    const std::vector<double> x = {rng.Uniform(), rng.Uniform()};
+    arm.Update(x, 2.0 * x[0] - 1.0 * x[1] + rng.Normal(0.0, 0.05));
+  }
+  EXPECT_NEAR(arm.MeanScore({1.0, 0.0}), 2.0, 0.1);
+  EXPECT_NEAR(arm.MeanScore({0.0, 1.0}), -1.0, 0.1);
+}
+
+TEST(LinearThompsonArmTest, PosteriorConcentratesWithData) {
+  LinearThompsonArm arm(2, 1.0, 0.04);
+  Rng rng(2);
+  const std::vector<double> x = {1.0, 0.5};
+  auto sample_spread = [&]() {
+    RunningStat stat;
+    for (int i = 0; i < 200; ++i) {
+      stat.Add(arm.SampleScore(x, rng));
+    }
+    return stat.stddev();
+  };
+  const double before = sample_spread();
+  for (int i = 0; i < 500; ++i) {
+    arm.Update(x, 1.0);
+  }
+  const double after = sample_spread();
+  EXPECT_LT(after, before * 0.2);
+}
+
+TEST(LinearThompsonArmTest, SamplesCenterOnPosteriorMean) {
+  LinearThompsonArm arm(2, 1.0);
+  Rng rng(3);
+  for (int i = 0; i < 300; ++i) {
+    const std::vector<double> x = {rng.Uniform(), 1.0};
+    arm.Update(x, x[0]);
+  }
+  const std::vector<double> probe = {0.5, 1.0};
+  RunningStat samples;
+  for (int i = 0; i < 500; ++i) {
+    samples.Add(arm.SampleScore(probe, rng));
+  }
+  EXPECT_NEAR(samples.mean(), arm.MeanScore(probe), 0.05);
+}
+
+TEST(LinearThompsonArmTest, ShortContextTreatedAsZeroPadded) {
+  LinearThompsonArm arm(4);
+  arm.Update({1.0, 1.0}, 1.0);  // missing trailing features
+  EXPECT_NO_FATAL_FAILURE(arm.MeanScore({1.0}));
+}
+
+TEST(BetaBernoulliArmTest, UpdateMathAndMean) {
+  BetaBernoulliArm arm;
+  EXPECT_NEAR(arm.Mean(), 0.5, 1e-9);
+  arm.Update(true);
+  arm.Update(true);
+  arm.Update(false);
+  EXPECT_NEAR(arm.alpha(), 3.0, 1e-9);
+  EXPECT_NEAR(arm.beta(), 2.0, 1e-9);
+  EXPECT_NEAR(arm.Mean(), 0.6, 1e-9);
+}
+
+TEST(BetaBernoulliArmTest, SamplesWithinUnitInterval) {
+  BetaBernoulliArm arm(2.0, 5.0);
+  Rng rng(4);
+  for (int i = 0; i < 200; ++i) {
+    const double s = arm.Sample(rng);
+    EXPECT_GE(s, 0.0);
+    EXPECT_LE(s, 1.0);
+  }
+}
+
+TEST(BetaBernoulliArmTest, ThompsonIdentifiesBestArm) {
+  // Appendix A.2 / Theorem 1: with enough rounds, the empirically best arm
+  // is selected with high probability.
+  const std::vector<double> true_rates = {0.3, 0.5, 0.7};
+  std::vector<BetaBernoulliArm> arms(3);
+  Rng rng(5);
+  std::vector<int> pulls(3, 0);
+  for (int t = 0; t < 3000; ++t) {
+    size_t best = 0;
+    double best_sample = -1.0;
+    for (size_t i = 0; i < arms.size(); ++i) {
+      const double s = arms[i].Sample(rng);
+      if (s > best_sample) {
+        best_sample = s;
+        best = i;
+      }
+    }
+    ++pulls[best];
+    arms[best].Update(rng.Bernoulli(true_rates[best]));
+  }
+  EXPECT_GT(pulls[2], pulls[0] * 4);
+  EXPECT_GT(pulls[2], pulls[1] * 2);
+  EXPECT_GT(arms[2].Mean(), arms[0].Mean());
+}
+
+TEST(BetaBernoulliArmTest, RegretRateDecreases) {
+  // Average per-round regret over the second half must be far below the
+  // first half (Theorem 1's T^-C failure decay implies sublinear regret).
+  const std::vector<double> true_rates = {0.35, 0.65};
+  std::vector<BetaBernoulliArm> arms(2);
+  Rng rng(6);
+  double first_half_regret = 0.0;
+  double second_half_regret = 0.0;
+  const int horizon = 4000;
+  for (int t = 0; t < horizon; ++t) {
+    const size_t chosen = arms[0].Sample(rng) > arms[1].Sample(rng) ? 0 : 1;
+    const double regret = 0.65 - true_rates[chosen];
+    if (t < horizon / 2) {
+      first_half_regret += regret;
+    } else {
+      second_half_regret += regret;
+    }
+    arms[chosen].Update(rng.Bernoulli(true_rates[chosen]));
+  }
+  EXPECT_LT(second_half_regret, first_half_regret * 0.5);
+}
+
+TEST(ContextualBanditTest, SelectionFieldsPopulated) {
+  ContextualBandit bandit(3, 4, 7);
+  const BanditSelection sel = bandit.Select({1.0, 0.5, 0.0, 0.2}, {});
+  EXPECT_LT(sel.arm, 3u);
+  EXPECT_EQ(sel.sampled_scores.size(), 3u);
+  EXPECT_EQ(sel.mean_scores.size(), 3u);
+  EXPECT_EQ(sel.confidence.size(), 3u);
+  EXPECT_NE(sel.second_choice, sel.arm);
+  double prob_sum = 0.0;
+  for (double p : sel.confidence) {
+    prob_sum += p;
+  }
+  EXPECT_NEAR(prob_sum, 1.0, 1e-9);
+}
+
+TEST(ContextualBanditTest, LearnsContextDependentPolicy) {
+  // Arm 0 is best when x1 is low; arm 1 when x1 is high.
+  ContextualBandit bandit(2, 2, 8);
+  Rng rng(9);
+  for (int t = 0; t < 3000; ++t) {
+    const double x1 = rng.Uniform();
+    const std::vector<double> context = {1.0, x1};
+    const BanditSelection sel = bandit.Select(context, {});
+    const double reward = sel.arm == 0 ? (1.0 - x1) : x1;
+    bandit.Update(sel.arm, context, reward + rng.Normal(0.0, 0.05));
+  }
+  int correct = 0;
+  for (int i = 0; i < 200; ++i) {
+    const double x1 = (i % 2 == 0) ? 0.05 : 0.95;
+    const BanditSelection sel = bandit.Select({1.0, x1}, {});
+    const size_t ideal = x1 > 0.5 ? 1u : 0u;
+    correct += (sel.arm == ideal) ? 1 : 0;
+  }
+  EXPECT_GT(correct, 160);
+}
+
+TEST(ContextualBanditTest, BiasShiftsSelection) {
+  ContextualBandit bandit(2, 2, 10);
+  // Train arm 1 to be mildly better everywhere.
+  Rng rng(11);
+  for (int t = 0; t < 500; ++t) {
+    const std::vector<double> context = {1.0, rng.Uniform()};
+    bandit.Update(0, context, 0.5);
+    bandit.Update(1, context, 0.6);
+  }
+  int arm1_no_bias = 0;
+  int arm1_with_bias = 0;
+  for (int i = 0; i < 300; ++i) {
+    const std::vector<double> context = {1.0, 0.5};
+    arm1_no_bias += bandit.Select(context, {}).arm == 1 ? 1 : 0;
+    arm1_with_bias += bandit.Select(context, {0.0, -2.0}).arm == 1 ? 1 : 0;
+  }
+  EXPECT_GT(arm1_no_bias, 250);
+  EXPECT_LT(arm1_with_bias, 50);
+}
+
+TEST(ContextualBanditTest, ConfidenceStdLowWhenArmsLookAlike) {
+  ContextualBandit bandit(2, 2, 12);
+  const BanditSelection fresh = bandit.Select({1.0, 0.5}, {});
+  // Untrained arms have identical (zero) means: near-uniform confidence.
+  EXPECT_LT(fresh.confidence_std, 0.05);
+
+  Rng rng(13);
+  for (int t = 0; t < 500; ++t) {
+    const std::vector<double> context = {1.0, rng.Uniform()};
+    bandit.Update(0, context, 0.1);
+    bandit.Update(1, context, 0.9);
+  }
+  const BanditSelection trained = bandit.Select({1.0, 0.5}, {});
+  EXPECT_GT(trained.confidence_std, 0.2);
+}
+
+TEST(Theorem4Test, CheapArmWinsAsLoadGrowsUnbounded) {
+  // Theorem 4: with scores S_i = mu_i - lambda0 * tanh(gamma L) * C_i and a
+  // softmax policy, the selection probability of the cheapest arm tends to 1
+  // as L -> infinity (for sufficiently large lambda0).
+  const std::vector<double> mu = {0.8, 0.6};    // arm 0 better but...
+  const std::vector<double> cost = {1.0, 0.1};  // ...10x more expensive
+  const double lambda0 = 1.5;
+  const double gamma = 2.0;
+  auto cheap_probability = [&](double load) {
+    std::vector<double> scores(2);
+    for (size_t i = 0; i < 2; ++i) {
+      scores[i] = mu[i] - lambda0 * std::tanh(gamma * load) * cost[i];
+    }
+    return Softmax(scores, 0.05)[1];
+  };
+  EXPECT_LT(cheap_probability(0.0), 0.5);   // quality wins at no load
+  EXPECT_GT(cheap_probability(2.0), 0.9);
+  EXPECT_GT(cheap_probability(100.0), 0.99);
+  // Monotone pressure toward the cheap arm.
+  double prev = cheap_probability(0.0);
+  for (double load = 0.25; load <= 4.0; load += 0.25) {
+    const double p = cheap_probability(load);
+    EXPECT_GE(p, prev - 1e-9);
+    prev = p;
+  }
+}
+
+class BanditArmCountSweep : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(BanditArmCountSweep, SelectAlwaysReturnsValidArm) {
+  ContextualBandit bandit(GetParam(), 3, 21);
+  for (int i = 0; i < 50; ++i) {
+    const BanditSelection sel = bandit.Select({1.0, 0.2, 0.8}, {});
+    EXPECT_LT(sel.arm, GetParam());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(ArmCounts, BanditArmCountSweep, ::testing::Values(1u, 2u, 3u, 5u, 8u));
+
+}  // namespace
+}  // namespace iccache

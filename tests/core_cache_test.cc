@@ -1,0 +1,209 @@
+#include "src/core/example_cache.h"
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "src/workload/query_generator.h"
+
+namespace iccache {
+namespace {
+
+std::shared_ptr<const Embedder> SharedEmbedder() {
+  return std::make_shared<HashingEmbedder>();
+}
+
+Request MakeRequest(const std::string& text, uint32_t topic = 0, uint32_t intent = 0) {
+  Request req;
+  req.text = text;
+  req.topic_id = topic;
+  req.intent_id = intent;
+  req.input_tokens = 40;
+  return req;
+}
+
+TEST(ExampleCacheTest, PutAndGetRoundTrip) {
+  ExampleCache cache(SharedEmbedder());
+  const uint64_t id = cache.Put(MakeRequest("how do rainbows form"), "resp", 0.8, 0.785, 120, 1.0);
+  ASSERT_NE(id, 0u);
+  const Example* example = cache.Get(id);
+  ASSERT_NE(example, nullptr);
+  EXPECT_EQ(example->response_quality, 0.8);
+  EXPECT_EQ(example->source_capability, 0.785);
+  EXPECT_EQ(example->response_tokens, 120);
+  EXPECT_EQ(example->PromptTokens(), 40 + 120);
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_GT(cache.used_bytes(), 0);
+}
+
+TEST(ExampleCacheTest, GetUnknownIdReturnsNull) {
+  ExampleCache cache(SharedEmbedder());
+  EXPECT_EQ(cache.Get(99), nullptr);
+}
+
+TEST(ExampleCacheTest, RemoveReleasesBytes) {
+  ExampleCache cache(SharedEmbedder());
+  const uint64_t id = cache.Put(MakeRequest("abc def"), "r", 0.5, 0.5, 10, 0.0);
+  const int64_t used = cache.used_bytes();
+  EXPECT_GT(used, 0);
+  EXPECT_TRUE(cache.Remove(id));
+  EXPECT_EQ(cache.used_bytes(), 0);
+  EXPECT_FALSE(cache.Remove(id));
+}
+
+TEST(ExampleCacheTest, FindSimilarReturnsNearestFirst) {
+  ExampleCache cache(SharedEmbedder());
+  const uint64_t id1 = cache.Put(MakeRequest("alpha beta gamma delta"), "r", 0.5, 0.5, 10, 0.0);
+  cache.Put(MakeRequest("unrelated words entirely different"), "r", 0.5, 0.5, 10, 0.0);
+  const auto results = cache.FindSimilar(MakeRequest("alpha beta gamma delta"), 2);
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_EQ(results[0].id, id1);
+  EXPECT_GT(results[0].score, results[1].score);
+}
+
+TEST(ExampleCacheTest, ScrubModeStripsPiiBeforeIndexing) {
+  ExampleCacheConfig config;
+  config.admission_mode = CacheAdmissionMode::kScrub;
+  ExampleCache cache(SharedEmbedder(), config);
+  const uint64_t id = cache.Put(MakeRequest("reach me at a@b.com please"), "r", 0.5, 0.5, 10, 0.0);
+  ASSERT_NE(id, 0u);
+  EXPECT_EQ(cache.Get(id)->request.text, "reach me at [EMAIL] please");
+}
+
+TEST(ExampleCacheTest, DenyAllRejects) {
+  ExampleCacheConfig config;
+  config.admission_mode = CacheAdmissionMode::kDenyAll;
+  ExampleCache cache(SharedEmbedder(), config);
+  EXPECT_EQ(cache.Put(MakeRequest("anything"), "r", 0.5, 0.5, 10, 0.0), 0u);
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(ExampleCacheTest, RecordAccessTracksCounts) {
+  ExampleCache cache(SharedEmbedder());
+  const uint64_t id = cache.Put(MakeRequest("q"), "r", 0.5, 0.5, 10, 0.0);
+  cache.RecordAccess(id, 5.0);
+  cache.RecordAccess(id, 9.0);
+  EXPECT_EQ(cache.Get(id)->access_count, 2u);
+  EXPECT_EQ(cache.Get(id)->last_access_time, 9.0);
+  cache.RecordAccess(12345, 1.0);  // unknown id is a no-op
+}
+
+TEST(ExampleCacheTest, RecordOffloadAccumulatesValue) {
+  ExampleCache cache(SharedEmbedder());
+  const uint64_t id = cache.Put(MakeRequest("q"), "r", 0.5, 0.5, 10, 0.0);
+  cache.RecordOffload(id);
+  cache.RecordOffload(id, 2.0);
+  EXPECT_NEAR(cache.Get(id)->offload_value, 3.0, 1e-9);
+}
+
+TEST(ExampleCacheTest, DecayTickScalesValues) {
+  ExampleCacheConfig config;
+  config.decay_factor = 0.9;
+  ExampleCache cache(SharedEmbedder(), config);
+  const uint64_t id = cache.Put(MakeRequest("q"), "r", 0.5, 0.5, 10, 0.0);
+  cache.RecordOffload(id, 10.0);
+  cache.DecayTick();
+  EXPECT_NEAR(cache.Get(id)->offload_value, 9.0, 1e-9);
+  cache.DecayTick();
+  EXPECT_NEAR(cache.Get(id)->offload_value, 8.1, 1e-9);
+}
+
+TEST(ExampleCacheTest, EnforceCapacityNoopWhenUnbounded) {
+  ExampleCache cache(SharedEmbedder());
+  for (int i = 0; i < 20; ++i) {
+    cache.Put(MakeRequest("query " + std::to_string(i)), "r", 0.5, 0.5, 100, 0.0);
+  }
+  EXPECT_TRUE(cache.EnforceCapacity().empty());
+  EXPECT_EQ(cache.size(), 20u);
+}
+
+TEST(ExampleCacheTest, ImpossibleCapacityEvictsEverything) {
+  ExampleCacheConfig config;
+  config.capacity_bytes = 1;     // nothing fits
+  config.high_watermark = 1e12;  // do not auto-evict inside Put
+  ExampleCache cache(SharedEmbedder(), config);
+  for (int i = 0; i < 10; ++i) {
+    cache.Put(MakeRequest("query " + std::to_string(i)), "r", 0.5, 0.5, 50, 0.0);
+  }
+  EXPECT_EQ(cache.EnforceCapacity().size(), 10u);
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(ExampleCacheTest, EvictionKeepsHighValueExamples) {
+  // Budget sized for roughly half the entries: knapsack must retain the two
+  // examples carrying nearly all of the offload value.
+  ExampleCacheConfig probe_config;
+  ExampleCache probe(SharedEmbedder(), probe_config);
+  for (int i = 0; i < 10; ++i) {
+    probe.Put(MakeRequest("query " + std::to_string(i)), "r", 0.5, 0.5, 50, 0.0);
+  }
+  const int64_t budget = probe.used_bytes() / 2;
+
+  ExampleCacheConfig config;
+  config.capacity_bytes = budget;
+  config.high_watermark = 1e12;
+  ExampleCache cache(SharedEmbedder(), config);
+  std::vector<uint64_t> ids;
+  for (int i = 0; i < 10; ++i) {
+    ids.push_back(cache.Put(MakeRequest("query " + std::to_string(i)), "r", 0.5, 0.5, 50, 0.0));
+  }
+  cache.RecordOffload(ids[3], 100.0);
+  cache.RecordOffload(ids[7], 50.0);
+  cache.EnforceCapacity();
+  EXPECT_LE(cache.used_bytes(), budget);
+  EXPECT_NE(cache.Get(ids[3]), nullptr);  // highest value survives
+  EXPECT_NE(cache.Get(ids[7]), nullptr);
+}
+
+TEST(ExampleCacheTest, PutTriggersEvictionAboveWatermark) {
+  ExampleCacheConfig config;
+  config.capacity_bytes = 2000;
+  config.high_watermark = 1.0;
+  ExampleCache cache(SharedEmbedder(), config);
+  for (int i = 0; i < 50; ++i) {
+    cache.Put(MakeRequest("query number " + std::to_string(i)), "r", 0.5, 0.5, 50, 0.0);
+  }
+  EXPECT_LE(cache.used_bytes(), 2000);
+  EXPECT_LT(cache.size(), 50u);
+}
+
+TEST(ExampleCacheTest, AllIdsSortedAndComplete) {
+  ExampleCache cache(SharedEmbedder());
+  std::vector<uint64_t> ids;
+  for (int i = 0; i < 5; ++i) {
+    ids.push_back(cache.Put(MakeRequest("q" + std::to_string(i)), "r", 0.5, 0.5, 10, 0.0));
+  }
+  const auto all = cache.AllIds();
+  EXPECT_EQ(all, ids);
+}
+
+TEST(ExampleCacheTest, IndexStaysConsistentAcrossRemovals) {
+  ExampleCache cache(SharedEmbedder());
+  QueryGenerator gen(GetDatasetProfile(DatasetId::kMsMarco), 51);
+  std::vector<uint64_t> ids;
+  for (const Request& req : gen.Generate(100)) {
+    ids.push_back(cache.Put(req, "r", 0.7, 0.785, 80, 0.0));
+  }
+  for (size_t i = 0; i < ids.size(); i += 2) {
+    cache.Remove(ids[i]);
+  }
+  const auto results = cache.FindSimilar(gen.Next(), 10);
+  for (const auto& result : results) {
+    EXPECT_NE(cache.Get(result.id), nullptr);  // no dangling index entries
+  }
+}
+
+TEST(ExampleSizeBytesTest, GrowsWithTokenCounts) {
+  Example small_example;
+  small_example.request.text = "short";
+  small_example.request.input_tokens = 10;
+  small_example.response_tokens = 10;
+  Example large_example;
+  large_example.request.text = "short";
+  large_example.request.input_tokens = 10;
+  large_example.response_tokens = 1000;
+  EXPECT_GT(large_example.SizeBytes(), small_example.SizeBytes());
+}
+
+}  // namespace
+}  // namespace iccache

@@ -1,0 +1,172 @@
+#include "src/core/manager.h"
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "src/workload/query_generator.h"
+
+namespace iccache {
+namespace {
+
+class ManagerFixture : public ::testing::Test {
+ protected:
+  ManagerFixture()
+      : gen_(GetDatasetProfile(DatasetId::kNaturalQuestions), 81),
+        cache_(std::make_shared<HashingEmbedder>()),
+        sim_(82),
+        manager_(&cache_, &sim_, catalog_.Get("gemma-2-27b")) {}
+
+  GenerationResult FakeGeneration(double quality, int tokens = 120) {
+    GenerationResult result;
+    result.latent_quality = quality;
+    result.output_tokens = tokens;
+    return result;
+  }
+
+  ModelCatalog catalog_;
+  QueryGenerator gen_;
+  ExampleCache cache_;
+  GenerationSimulator sim_;
+  ExampleManager manager_;
+};
+
+TEST_F(ManagerFixture, AdmitsLargeModelResponses) {
+  const uint64_t id =
+      manager_.MaybeAdmit(gen_.Next(), FakeGeneration(0.4), 0.785, /*from_large_model=*/true, 0.0);
+  EXPECT_NE(id, 0u);
+  EXPECT_EQ(cache_.size(), 1u);
+}
+
+TEST_F(ManagerFixture, RejectsLowQualitySmallModelResponses) {
+  const uint64_t id = manager_.MaybeAdmit(gen_.Next(), FakeGeneration(0.4), 0.6,
+                                          /*from_large_model=*/false, 0.0);
+  EXPECT_EQ(id, 0u);
+  EXPECT_EQ(cache_.size(), 0u);
+}
+
+TEST_F(ManagerFixture, AdmitsHighQualitySmallModelResponses) {
+  const uint64_t id = manager_.MaybeAdmit(gen_.Next(), FakeGeneration(0.9), 0.6,
+                                          /*from_large_model=*/false, 0.0);
+  EXPECT_NE(id, 0u);
+}
+
+TEST_F(ManagerFixture, DeduplicatesNearIdenticalRequests) {
+  const Request req = gen_.Next();
+  EXPECT_NE(manager_.MaybeAdmit(req, FakeGeneration(0.8), 0.785, true, 0.0), 0u);
+  EXPECT_EQ(manager_.MaybeAdmit(req, FakeGeneration(0.8), 0.785, true, 1.0), 0u);
+  EXPECT_EQ(cache_.size(), 1u);
+}
+
+TEST_F(ManagerFixture, RecordUsageFoldsGainIntoEma) {
+  const uint64_t id = manager_.MaybeAdmit(gen_.Next(), FakeGeneration(0.8), 0.785, true, 0.0);
+  const double before = cache_.Get(id)->replay_gain_ema;
+  // Low-quality outcome at full large-model cost: G = (1-0.2)*1.0 = 0.8.
+  manager_.RecordUsage({id}, /*response_quality=*/0.2, /*normalized_model_cost=*/1.0);
+  const double after = cache_.Get(id)->replay_gain_ema;
+  EXPECT_GT(after, before);
+  // High-quality cheap outcome shrinks the EMA back down.
+  for (int i = 0; i < 20; ++i) {
+    manager_.RecordUsage({id}, 0.95, 0.1);
+  }
+  EXPECT_LT(cache_.Get(id)->replay_gain_ema, after);
+}
+
+TEST_F(ManagerFixture, RecordUsageIgnoresUnknownIds) {
+  manager_.RecordUsage({12345}, 0.5, 1.0);
+  SUCCEED();
+}
+
+TEST_F(ManagerFixture, ReplayImprovesLowQualityHotExamples) {
+  // A frequently accessed, low-quality example must be replayed and improved.
+  const Request req = gen_.Next();
+  const uint64_t id = cache_.Put(req, "r", 0.2, 0.785, 100, 0.0);
+  Example* example = cache_.GetMutable(id);
+  example->replay_gain_ema = 0.9;
+  example->access_count = 40;
+  const double before = example->response_quality;
+
+  const ReplayReport report = manager_.RunReplayPass();
+  EXPECT_EQ(report.candidates, 1u);
+  EXPECT_EQ(report.replayed, 1u);
+  EXPECT_GE(cache_.Get(id)->response_quality, before);
+  EXPECT_EQ(cache_.Get(id)->replay_count, 1);
+}
+
+TEST_F(ManagerFixture, ReplayRespectsLifetimeCap) {
+  const uint64_t id = cache_.Put(gen_.Next(), "r", 0.2, 0.785, 100, 0.0);
+  Example* example = cache_.GetMutable(id);
+  example->access_count = 40;
+  for (int pass = 0; pass < 10; ++pass) {
+    example = cache_.GetMutable(id);
+    example->replay_gain_ema = 0.9;  // keep it attractive
+    manager_.RunReplayPass();
+  }
+  EXPECT_LE(cache_.Get(id)->replay_count, manager_.config().max_replays_per_example);
+}
+
+TEST_F(ManagerFixture, ReplayCutoffSkipsColdLowGainExamples) {
+  // Cold example with negligible gain: the cost-aware cutoff must skip it.
+  const uint64_t id = cache_.Put(gen_.Next(), "r", 0.9, 0.785, 100, 0.0);
+  Example* example = cache_.GetMutable(id);
+  example->replay_gain_ema = 0.01;
+  example->access_count = 0;
+  const ReplayReport report = manager_.RunReplayPass();
+  EXPECT_EQ(report.replayed, 0u);
+  EXPECT_EQ(cache_.Get(id)->replay_count, 0);
+}
+
+TEST_F(ManagerFixture, ReplayOrderedByGainStopsAtCutoff) {
+  // Two hot examples above the cutoff, one cold below: exactly two replays.
+  for (int i = 0; i < 2; ++i) {
+    const uint64_t id = cache_.Put(gen_.Next(), "r", 0.2, 0.785, 100, 0.0);
+    Example* example = cache_.GetMutable(id);
+    example->replay_gain_ema = 0.8;
+    example->access_count = 30;
+  }
+  const uint64_t cold = cache_.Put(gen_.Next(), "r", 0.9, 0.785, 100, 0.0);
+  cache_.GetMutable(cold)->replay_gain_ema = 0.001;
+  const ReplayReport report = manager_.RunReplayPass();
+  EXPECT_EQ(report.replayed, 2u);
+}
+
+TEST_F(ManagerFixture, ReplayBatchBounded) {
+  ManagerConfig config;
+  config.max_replays_per_pass = 5;
+  ExampleManager bounded(&cache_, &sim_, catalog_.Get("gemma-2-27b"), config);
+  for (int i = 0; i < 20; ++i) {
+    const uint64_t id = cache_.Put(gen_.Next(), "r", 0.2, 0.785, 100, 0.0);
+    Example* example = cache_.GetMutable(id);
+    example->replay_gain_ema = 0.9;
+    example->access_count = 50;
+  }
+  EXPECT_EQ(bounded.RunReplayPass().replayed, 5u);
+}
+
+TEST_F(ManagerFixture, MaintenanceDecaysOnlyAfterInterval) {
+  const uint64_t id = cache_.Put(gen_.Next(), "r", 0.5, 0.785, 100, 0.0);
+  cache_.RecordOffload(id, 10.0);
+  manager_.MaybeRunMaintenance(100.0);  // within the first hour: no decay
+  EXPECT_NEAR(cache_.Get(id)->offload_value, 10.0, 1e-9);
+  manager_.MaybeRunMaintenance(3700.0);
+  EXPECT_NEAR(cache_.Get(id)->offload_value, 9.0, 1e-9);
+  // Re-running within the same hour is a no-op.
+  manager_.MaybeRunMaintenance(3800.0);
+  EXPECT_NEAR(cache_.Get(id)->offload_value, 9.0, 1e-9);
+}
+
+TEST_F(ManagerFixture, ReplayUpgradesSourceCapability) {
+  const uint64_t id = cache_.Put(gen_.Next(), "r", 0.1, 0.3, 100, 0.0);
+  Example* example = cache_.GetMutable(id);
+  example->replay_gain_ema = 0.9;
+  example->access_count = 40;
+  manager_.RunReplayPass();
+  // Replay regenerates on the 27B model; an improved response must carry the
+  // replay model's capability.
+  if (cache_.Get(id)->response_quality > 0.1) {
+    EXPECT_NEAR(cache_.Get(id)->source_capability, catalog_.Get("gemma-2-27b").capability, 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace iccache

@@ -1,0 +1,107 @@
+#include "src/core/privacy.h"
+
+#include <gtest/gtest.h>
+
+namespace iccache {
+namespace {
+
+TEST(PiiScrubberTest, RedactsEmailAddresses) {
+  PiiScrubber scrubber;
+  const ScrubResult result = scrubber.Scrub("contact me at john.doe+test@example.com thanks");
+  EXPECT_EQ(result.emails_removed, 1);
+  EXPECT_EQ(result.text, "contact me at [EMAIL] thanks");
+  EXPECT_TRUE(result.AnyPiiFound());
+}
+
+TEST(PiiScrubberTest, RedactsMultipleEmails) {
+  PiiScrubber scrubber;
+  const ScrubResult result = scrubber.Scrub("a@b.com and c@d.org");
+  EXPECT_EQ(result.emails_removed, 2);
+  EXPECT_EQ(result.text, "[EMAIL] and [EMAIL]");
+}
+
+TEST(PiiScrubberTest, RedactsPhoneNumbers) {
+  PiiScrubber scrubber;
+  const ScrubResult result = scrubber.Scrub("call 415-555-0199-22 now");
+  EXPECT_EQ(result.phones_removed, 1);
+  EXPECT_EQ(result.text, "call [PHONE] now");
+}
+
+TEST(PiiScrubberTest, RedactsSsnShapedIds) {
+  PiiScrubber scrubber;
+  const ScrubResult result = scrubber.Scrub("my ssn is 123-45-6789 ok");
+  EXPECT_EQ(result.ids_removed, 1);
+  EXPECT_EQ(result.text, "my ssn is [ID] ok");
+}
+
+TEST(PiiScrubberTest, LeavesShortNumbersAlone) {
+  PiiScrubber scrubber;
+  const ScrubResult result = scrubber.Scrub("the answer is 42 and pi is 3.14159");
+  EXPECT_FALSE(result.AnyPiiFound());
+  EXPECT_EQ(result.text, "the answer is 42 and pi is 3.14159");
+}
+
+TEST(PiiScrubberTest, LeavesPlainTextUntouched) {
+  PiiScrubber scrubber;
+  const std::string text = "what is the capital of france";
+  EXPECT_EQ(scrubber.Scrub(text).text, text);
+}
+
+TEST(PiiScrubberTest, EmptyString) {
+  PiiScrubber scrubber;
+  const ScrubResult result = scrubber.Scrub("");
+  EXPECT_EQ(result.text, "");
+  EXPECT_FALSE(result.AnyPiiFound());
+}
+
+TEST(PiiScrubberTest, AtWithoutDomainDotNotEmail) {
+  PiiScrubber scrubber;
+  const ScrubResult result = scrubber.Scrub("meet @ noon");
+  EXPECT_EQ(result.emails_removed, 0);
+}
+
+TEST(DecideAdmissionTest, AllowAllKeepsText) {
+  PiiScrubber scrubber;
+  const AdmissionDecision d =
+      DecideAdmission(scrubber, CacheAdmissionMode::kAllowAll, "mail a@b.com");
+  EXPECT_TRUE(d.admit);
+  EXPECT_EQ(d.sanitized_text, "mail a@b.com");
+}
+
+TEST(DecideAdmissionTest, ScrubModeAdmitsSanitized) {
+  PiiScrubber scrubber;
+  const AdmissionDecision d = DecideAdmission(scrubber, CacheAdmissionMode::kScrub, "mail a@b.com");
+  EXPECT_TRUE(d.admit);
+  EXPECT_EQ(d.sanitized_text, "mail [EMAIL]");
+}
+
+TEST(DecideAdmissionTest, RejectPiiDropsOffenders) {
+  PiiScrubber scrubber;
+  EXPECT_FALSE(DecideAdmission(scrubber, CacheAdmissionMode::kRejectPii, "mail a@b.com").admit);
+  EXPECT_TRUE(DecideAdmission(scrubber, CacheAdmissionMode::kRejectPii, "clean text").admit);
+}
+
+TEST(DecideAdmissionTest, DenyAllRejectsEverything) {
+  PiiScrubber scrubber;
+  EXPECT_FALSE(DecideAdmission(scrubber, CacheAdmissionMode::kDenyAll, "clean text").admit);
+}
+
+class ScrubberCaseSweep
+    : public ::testing::TestWithParam<std::pair<const char*, const char*>> {};
+
+TEST_P(ScrubberCaseSweep, ScrubsToExpected) {
+  PiiScrubber scrubber;
+  EXPECT_EQ(scrubber.Scrub(GetParam().first).text, GetParam().second);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, ScrubberCaseSweep,
+    ::testing::Values(
+        std::make_pair("email me: user_1@mail.co", "email me: [EMAIL]"),
+        std::make_pair("digits 1234567890 embedded", "digits [PHONE] embedded"),
+        std::make_pair("id 987-65-4321 here", "id [ID] here"),
+        std::make_pair("year 2024 is fine", "year 2024 is fine"),
+        std::make_pair("code 12-34 not ssn", "code 12-34 not ssn")));
+
+}  // namespace
+}  // namespace iccache

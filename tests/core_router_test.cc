@@ -1,0 +1,214 @@
+#include "src/core/router.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+
+namespace iccache {
+namespace {
+
+std::vector<RouterArmSpec> TwoArms() {
+  RouterArmSpec small;
+  small.model_name = "small";
+  small.normalized_cost = 0.1;
+  small.uses_examples = true;
+  RouterArmSpec large;
+  large.model_name = "large";
+  large.normalized_cost = 1.0;
+  large.uses_examples = false;
+  return {small, large};
+}
+
+Request MakeRequest(uint64_t id, double difficulty) {
+  Request req;
+  req.id = id;
+  req.difficulty = difficulty;
+  req.input_tokens = 64;
+  req.target_output_tokens = 128;
+  return req;
+}
+
+std::vector<SelectedExample> StrongExamples(size_t n) {
+  std::vector<SelectedExample> examples;
+  for (size_t i = 0; i < n; ++i) {
+    SelectedExample ex;
+    ex.example_id = i + 1;
+    ex.similarity = 0.92;
+    ex.predicted_utility = 0.8;
+    examples.push_back(ex);
+  }
+  return examples;
+}
+
+TEST(RouterContextTest, FeatureVectorShape) {
+  const Request req = MakeRequest(1, 0.5);
+  const auto context = RequestRouter::MakeContext(req, StrongExamples(3));
+  ASSERT_EQ(context.size(), RequestRouter::kContextDim);
+  EXPECT_EQ(context[0], 1.0);
+  EXPECT_NEAR(context[1], 3.0 / 5.0, 1e-9);
+  EXPECT_NEAR(context[2], 2.4 / 3.0, 1e-9);
+  EXPECT_NEAR(context[3], 0.92, 1e-9);
+}
+
+TEST(RouterContextTest, NoExamplesZeroesExampleFeatures) {
+  const auto context = RequestRouter::MakeContext(MakeRequest(1, 0.5), {});
+  EXPECT_EQ(context[1], 0.0);
+  EXPECT_EQ(context[2], 0.0);
+  EXPECT_EQ(context[3], 0.0);
+}
+
+TEST(RequestRouterTest, DecisionFieldsPopulated) {
+  RequestRouter router(TwoArms());
+  const RouteDecision decision = router.Route(MakeRequest(1, 0.5), StrongExamples(2));
+  EXPECT_LT(decision.arm, 2u);
+  EXPECT_FALSE(decision.model_name.empty());
+  EXPECT_EQ(decision.context.size(), RequestRouter::kContextDim);
+  EXPECT_EQ(decision.arm_means.size(), 2u);
+  EXPECT_NE(decision.second_choice, decision.arm);
+}
+
+TEST(RequestRouterTest, LoadEmaTracksObservations) {
+  RouterConfig config;
+  config.load_ema_alpha = 0.5;
+  RequestRouter router(TwoArms(), config);
+  router.ObserveLoad(1.0);
+  EXPECT_NEAR(router.load_ema(), 1.0, 1e-9);
+  router.ObserveLoad(0.0);
+  EXPECT_NEAR(router.load_ema(), 0.5, 1e-9);
+}
+
+TEST(RequestRouterTest, LearnsToOffloadWhenSmallMatchesQuality) {
+  // When observed rewards show the example-augmented small arm matching the
+  // large arm, the standing cost preference must tip traffic to small.
+  RequestRouter router(TwoArms());
+  Rng rng(31);
+  for (int t = 0; t < 1500; ++t) {
+    const Request req = MakeRequest(t, rng.Uniform());
+    const RouteDecision decision = router.Route(req, StrongExamples(3));
+    const double reward = 0.8 + rng.Normal(0.0, 0.03);  // both arms equal
+    router.UpdateReward(decision, reward);
+  }
+  int offloads = 0;
+  for (int i = 0; i < 200; ++i) {
+    const RouteDecision decision = router.Route(MakeRequest(10000 + i, 0.5), StrongExamples(3));
+    offloads += decision.uses_examples ? 1 : 0;
+    router.UpdateReward(decision, 0.8);
+  }
+  EXPECT_GT(offloads, 120);
+}
+
+TEST(RequestRouterTest, RoutesHardBareRequestsToLarge) {
+  // Quality feedback: the small arm fails without examples on hard requests;
+  // the router must learn to send those to the large arm.
+  RequestRouter router(TwoArms());
+  Rng rng(32);
+  for (int t = 0; t < 2500; ++t) {
+    const bool has_examples = rng.Bernoulli(0.5);
+    const Request req = MakeRequest(t, 0.8);
+    const auto examples = has_examples ? StrongExamples(3) : std::vector<SelectedExample>{};
+    const RouteDecision decision = router.Route(req, examples);
+    double reward = 0.0;
+    if (decision.uses_examples) {
+      reward = has_examples ? 0.75 : 0.25;  // bare small model fails
+    } else {
+      reward = 0.8;
+    }
+    router.UpdateReward(decision, reward + rng.Normal(0.0, 0.03));
+  }
+  int to_large_bare = 0;
+  for (int i = 0; i < 200; ++i) {
+    const RouteDecision decision = router.Route(MakeRequest(50000 + i, 0.8), {});
+    to_large_bare += decision.uses_examples ? 0 : 1;
+    router.UpdateReward(decision, decision.uses_examples ? 0.25 : 0.8);
+  }
+  EXPECT_GT(to_large_bare, 140);
+}
+
+TEST(RequestRouterTest, OverloadBiasForcesOffload) {
+  // Train the router to prefer the large arm on quality, then saturate the
+  // load signal: the tanh bias must flip traffic to the cheap arm.
+  RouterConfig config;
+  config.load_threshold = 0.75;
+  config.bias_lambda = 2.0;
+  RequestRouter router(TwoArms(), config);
+  Rng rng(33);
+  for (int t = 0; t < 1000; ++t) {
+    const Request req = MakeRequest(t, 0.6);
+    const RouteDecision decision = router.Route(req, StrongExamples(2));
+    router.UpdateReward(decision, decision.uses_examples ? 0.5 : 0.9);
+  }
+  // Below threshold: quality wins, most traffic to large.
+  router.ObserveLoad(0.2);
+  int to_large = 0;
+  for (int i = 0; i < 100; ++i) {
+    to_large += router.Route(MakeRequest(90000 + i, 0.6), StrongExamples(2)).uses_examples ? 0 : 1;
+  }
+  EXPECT_GT(to_large, 60);
+
+  // Saturated overload: the bias must push nearly all traffic to small.
+  for (int i = 0; i < 50; ++i) {
+    router.ObserveLoad(3.0);
+  }
+  int to_small = 0;
+  for (int i = 0; i < 100; ++i) {
+    const RouteDecision decision = router.Route(MakeRequest(95000 + i, 0.6), StrongExamples(2));
+    to_small += decision.uses_examples ? 1 : 0;
+    EXPECT_GT(decision.overload_bias_magnitude, 0.5);  // auto-scaling signal
+  }
+  EXPECT_GT(to_small, 85);
+}
+
+TEST(RequestRouterTest, NoOverloadBiasBelowThreshold) {
+  RequestRouter router(TwoArms());
+  router.ObserveLoad(0.1);
+  const RouteDecision decision = router.Route(MakeRequest(1, 0.5), {});
+  EXPECT_EQ(decision.overload_bias_magnitude, 0.0);
+}
+
+TEST(RequestRouterTest, UncertaintyGateSolicitsFeedbackWhenFresh) {
+  // An untrained router has near-identical arm means -> solicit.
+  RequestRouter router(TwoArms());
+  const RouteDecision fresh = router.Route(MakeRequest(1, 0.5), {});
+  EXPECT_TRUE(fresh.solicit_feedback);
+
+  // After decisive training the gate must close.
+  Rng rng(34);
+  for (int t = 0; t < 800; ++t) {
+    const Request req = MakeRequest(t, rng.Uniform());
+    const RouteDecision decision = router.Route(req, {});
+    router.UpdateReward(decision, decision.uses_examples ? 0.1 : 0.9);
+  }
+  int solicited = 0;
+  for (int i = 0; i < 100; ++i) {
+    solicited += router.Route(MakeRequest(70000 + i, 0.5), {}).solicit_feedback ? 1 : 0;
+  }
+  EXPECT_LT(solicited, 30);
+}
+
+TEST(RequestRouterTest, PreferenceUpdateShiftsArmMeans) {
+  RequestRouter router(TwoArms());
+  const Request req = MakeRequest(1, 0.5);
+  const RouteDecision decision = router.Route(req, StrongExamples(2));
+  const double mean_before = decision.arm_means[decision.arm];
+  for (int i = 0; i < 100; ++i) {
+    router.UpdatePreference(decision, /*top_choice_won=*/true);
+  }
+  const RouteDecision after = router.Route(req, StrongExamples(2));
+  EXPECT_GT(after.arm_means[decision.arm], mean_before);
+}
+
+TEST(RequestRouterTest, SingleArmDegenerate) {
+  RouterArmSpec only;
+  only.model_name = "only";
+  only.normalized_cost = 0.5;
+  only.uses_examples = true;
+  RequestRouter router({only});
+  const RouteDecision decision = router.Route(MakeRequest(1, 0.5), {});
+  EXPECT_EQ(decision.arm, 0u);
+  EXPECT_EQ(decision.model_name, "only");
+}
+
+}  // namespace
+}  // namespace iccache

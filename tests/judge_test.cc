@@ -1,0 +1,195 @@
+#include "src/judge/judge.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/common/stats.h"
+
+namespace iccache {
+namespace {
+
+TEST(PairwiseJudgeTest, CompareOnceStaysOnLikertScale) {
+  PairwiseJudge judge;
+  for (int i = 0; i < 200; ++i) {
+    const int s = judge.CompareOnce(0.5, 0.5, i % 2 == 0);
+    EXPECT_GE(s, -3);
+    EXPECT_LE(s, 3);
+  }
+}
+
+TEST(PairwiseJudgeTest, ClearWinnerGetsExtremeScore) {
+  PairwiseJudge judge;
+  RunningStat scores;
+  for (int i = 0; i < 200; ++i) {
+    scores.Add(judge.Compare(0.95, 0.05));
+  }
+  EXPECT_GT(scores.mean(), 2.0);
+  RunningStat reversed;
+  for (int i = 0; i < 200; ++i) {
+    reversed.Add(judge.Compare(0.05, 0.95));
+  }
+  EXPECT_LT(reversed.mean(), -2.0);
+}
+
+TEST(PairwiseJudgeTest, EqualQualityAveragesToZero) {
+  PairwiseJudge judge;
+  RunningStat scores;
+  for (int i = 0; i < 500; ++i) {
+    scores.Add(judge.Compare(0.6, 0.6));
+  }
+  EXPECT_NEAR(scores.mean(), 0.0, 0.08);
+}
+
+TEST(PairwiseJudgeTest, OrderDebiasingCancelsPositionPreference) {
+  // With the full protocol, a raw order bias must not shift the average.
+  JudgeConfig config;
+  config.order_bias = 1.0;  // exaggerated position bias
+  PairwiseJudge judge(config);
+  RunningStat scores;
+  for (int i = 0; i < 500; ++i) {
+    scores.Add(judge.Compare(0.5, 0.5));
+  }
+  EXPECT_NEAR(scores.mean(), 0.0, 0.1);
+}
+
+TEST(PairwiseJudgeTest, SingleOrderComparisonShowsBias) {
+  JudgeConfig config;
+  config.order_bias = 1.0;
+  config.rater_noise = 0.3;
+  PairwiseJudge judge(config);
+  RunningStat first_position;
+  for (int i = 0; i < 500; ++i) {
+    first_position.Add(judge.CompareOnce(0.5, 0.5, /*a_first=*/true));
+  }
+  EXPECT_GT(first_position.mean(), 0.4);
+}
+
+TEST(PairwiseJudgeTest, MonotoneInQualityGap) {
+  PairwiseJudge judge;
+  RunningStat small_gap;
+  RunningStat large_gap;
+  for (int i = 0; i < 300; ++i) {
+    small_gap.Add(judge.Compare(0.55, 0.5));
+    large_gap.Add(judge.Compare(0.75, 0.5));
+  }
+  EXPECT_GT(large_gap.mean(), small_gap.mean());
+}
+
+TEST(SideBySideStatsTest, CountsWinsTiesLosses) {
+  SideBySideStats stats(0.3);
+  stats.Add(1.0);   // win
+  stats.Add(0.1);   // tie
+  stats.Add(-0.1);  // tie
+  stats.Add(-2.0);  // loss
+  EXPECT_EQ(stats.count(), 4u);
+  EXPECT_NEAR(stats.win_fraction(), 0.25, 1e-9);
+  EXPECT_NEAR(stats.tie_fraction(), 0.5, 1e-9);
+  EXPECT_NEAR(stats.loss_fraction(), 0.25, 1e-9);
+  // (1 win + 0.5 * 2 ties) / 4 = 0.5.
+  EXPECT_NEAR(stats.win_rate(), 0.5, 1e-9);
+  EXPECT_NEAR(stats.mean_score(), -0.25, 1e-9);
+}
+
+TEST(SideBySideStatsTest, EmptyDefaultsToParity) {
+  SideBySideStats stats;
+  EXPECT_EQ(stats.win_rate(), 0.5);
+  EXPECT_EQ(stats.mean_score(), 0.0);
+}
+
+TEST(SideBySideStatsTest, ExactTieBandBoundary) {
+  SideBySideStats stats(0.3);
+  stats.Add(0.3);   // exactly at band edge -> tie
+  stats.Add(-0.3);  // tie
+  EXPECT_NEAR(stats.tie_fraction(), 1.0, 1e-9);
+}
+
+TEST(JudgeProtocolTest, EquivalentModelsYieldFiftyPercentWinRate) {
+  PairwiseJudge judge;
+  SideBySideStats stats;
+  Rng rng(1);
+  for (int i = 0; i < 500; ++i) {
+    const double quality = rng.Uniform(0.3, 0.9);
+    stats.Add(judge.Compare(quality, quality));
+  }
+  EXPECT_NEAR(stats.win_rate(), 0.5, 0.05);
+}
+
+TEST(JudgeProtocolTest, ConsistentQualityEdgeYieldsMajorityWinRate) {
+  PairwiseJudge judge;
+  SideBySideStats stats;
+  Rng rng(2);
+  for (int i = 0; i < 500; ++i) {
+    const double quality = rng.Uniform(0.3, 0.75);
+    stats.Add(judge.Compare(quality + 0.06, quality));
+  }
+  EXPECT_GT(stats.win_rate(), 0.6);
+  EXPECT_LT(stats.win_rate(), 0.95);
+}
+
+TEST(RaterAgreementTest, SelfAgreementExceedsCrossAgreement) {
+  const auto raters = Table4Raters();
+  const RaterProfile& pro = raters[2];     // Gemini-1.5-Pro
+  const RaterProfile& human = raters[4];   // Human
+  const double self = RaterAgreement(pro, pro, 4000, 11);
+  const double cross = RaterAgreement(pro, human, 4000, 11);
+  EXPECT_GT(self, cross);
+}
+
+TEST(RaterAgreementTest, LlmJudgesAgreeMoreThanHumans) {
+  // Table 4's headline: LLM raters align with each other better than human
+  // raters align among themselves.
+  const auto raters = Table4Raters();
+  const double llm_llm = RaterAgreement(raters[2], raters[3], 4000, 12);
+  const double human_human = RaterAgreement(raters[4], raters[4], 4000, 12);
+  // Human self-agreement uses the noisy-human profile twice, which is the
+  // paper's 63% human-human number.
+  EXPECT_GT(llm_llm, human_human);
+}
+
+TEST(RaterAgreementTest, AgreementInPlausibleRange) {
+  const auto raters = Table4Raters();
+  for (size_t i = 0; i < raters.size(); ++i) {
+    for (size_t j = i; j < raters.size(); ++j) {
+      const double agreement = RaterAgreement(raters[i], raters[j], 3000, 13 + i * 7 + j);
+      EXPECT_GT(agreement, 0.5) << raters[i].name << " vs " << raters[j].name;
+      EXPECT_LT(agreement, 0.95) << raters[i].name << " vs " << raters[j].name;
+    }
+  }
+}
+
+TEST(Table4RatersTest, FiveRatersWithHumanNoisiest) {
+  const auto raters = Table4Raters();
+  ASSERT_EQ(raters.size(), 5u);
+  double max_llm_noise = 0.0;
+  for (size_t i = 0; i + 1 < raters.size(); ++i) {
+    max_llm_noise = std::max(max_llm_noise, raters[i].noise);
+  }
+  EXPECT_GT(raters.back().noise, max_llm_noise);
+  EXPECT_EQ(raters.back().name, "Human");
+}
+
+class JudgeGapSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(JudgeGapSweep, WinRateMonotoneInGap) {
+  const double gap = GetParam();
+  PairwiseJudge judge;
+  SideBySideStats stats;
+  Rng rng(3);
+  for (int i = 0; i < 300; ++i) {
+    const double quality = rng.Uniform(0.2, 0.7);
+    stats.Add(judge.Compare(quality + gap, quality));
+  }
+  if (gap >= 0.10) {
+    EXPECT_GT(stats.win_rate(), 0.75);
+  } else if (gap >= 0.03) {
+    EXPECT_GT(stats.win_rate(), 0.55);
+  } else {
+    EXPECT_NEAR(stats.win_rate(), 0.5, 0.08);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Gaps, JudgeGapSweep, ::testing::Values(0.0, 0.03, 0.05, 0.10, 0.20));
+
+}  // namespace
+}  // namespace iccache

@@ -1,0 +1,323 @@
+#include "src/llm/generation.h"
+
+#include <algorithm>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/common/stats.h"
+#include "src/llm/model_profile.h"
+#include "src/workload/query_generator.h"
+
+namespace iccache {
+namespace {
+
+Request MakeRequest(double difficulty, TaskType task = TaskType::kConversation) {
+  Request req;
+  req.id = 1;
+  req.difficulty = difficulty;
+  req.task = task;
+  req.input_tokens = 64;
+  req.target_output_tokens = 128;
+  return req;
+}
+
+ExampleView MakeExample(double relevance, double quality, double source_capability,
+                        int tokens = 200) {
+  ExampleView ex;
+  ex.relevance = relevance;
+  ex.quality = quality;
+  ex.source_capability = source_capability;
+  ex.tokens = tokens;
+  return ex;
+}
+
+TEST(ModelCatalogTest, AllPairsResolvable) {
+  ModelCatalog catalog;
+  for (const auto& pair : {ModelCatalog::GeminiPair(), ModelCatalog::GemmaPair(),
+                           ModelCatalog::DeepSeekPair(), ModelCatalog::QwenPair(),
+                           ModelCatalog::PhiPair()}) {
+    EXPECT_TRUE(catalog.Contains(pair.first)) << pair.first;
+    EXPECT_TRUE(catalog.Contains(pair.second)) << pair.second;
+    // Large side must be more capable and more expensive.
+    const ModelProfile& large = catalog.Get(pair.first);
+    const ModelProfile& small = catalog.Get(pair.second);
+    EXPECT_GT(large.capability, small.capability);
+    EXPECT_GT(large.cost_per_1k_tokens, small.cost_per_1k_tokens);
+    EXPECT_GE(large.gpus_required, small.gpus_required);
+  }
+}
+
+TEST(ModelCatalogTest, Figure1LatencyOrdering) {
+  // Figure 1: the large model of each pair has higher TBT; DeepSeek-R1's TTFT
+  // dwarfs Qwen-7B's.
+  ModelCatalog catalog;
+  EXPECT_GT(catalog.Get("gemini-1.5-pro").Tbt(), catalog.Get("gemini-1.5-flash").Tbt());
+  EXPECT_GT(catalog.Get("deepseek-r1").ttft_base_s, catalog.Get("qwen2.5-7b").ttft_base_s * 50);
+  EXPECT_NEAR(catalog.Get("deepseek-r1").Tbt(), 0.1214, 1e-4);
+  EXPECT_NEAR(catalog.Get("gemini-1.5-flash").Tbt(), 0.005, 1e-6);
+}
+
+TEST(ModelCatalogTest, DeepSeekFootprintMatchesPaper) {
+  ModelCatalog catalog;
+  EXPECT_EQ(catalog.Get("deepseek-r1").gpus_required, 16);
+  EXPECT_EQ(catalog.Get("qwen2.5-7b").gpus_required, 1);
+}
+
+TEST(GenerationTest, LargeModelBeatsSmallOnAverage) {
+  ModelCatalog catalog;
+  GenerationSimulator sim(1);
+  QueryGenerator gen(GetDatasetProfile(DatasetId::kLmsysChat), 2);
+  RunningStat large_quality;
+  RunningStat small_quality;
+  for (int i = 0; i < 500; ++i) {
+    const Request req = gen.Next();
+    large_quality.Add(sim.Generate(catalog.Get("gemma-2-27b"), req, {}).latent_quality);
+    small_quality.Add(sim.Generate(catalog.Get("gemma-2-2b"), req, {}).latent_quality);
+  }
+  EXPECT_GT(large_quality.mean(), small_quality.mean() + 0.05);
+}
+
+TEST(GenerationTest, QualityDecreasesWithDifficulty) {
+  ModelCatalog catalog;
+  GenerationSimulator sim(3);
+  RunningStat easy;
+  RunningStat hard;
+  for (int i = 0; i < 300; ++i) {
+    easy.Add(sim.Generate(catalog.Get("gemma-2-2b"), MakeRequest(0.2), {}).latent_quality);
+    hard.Add(sim.Generate(catalog.Get("gemma-2-2b"), MakeRequest(0.9), {}).latent_quality);
+  }
+  EXPECT_GT(easy.mean(), hard.mean() + 0.2);
+}
+
+TEST(GenerationTest, RelevantExamplesImproveSmallModel) {
+  // Figure 4(a): well-selected in-context examples lift quality.
+  ModelCatalog catalog;
+  GenerationSimulator sim(4);
+  const std::vector<ExampleView> good = {
+      MakeExample(0.95, 0.9, 0.785), MakeExample(0.9, 0.85, 0.785),
+      MakeExample(0.85, 0.88, 0.785)};
+  RunningStat with_examples;
+  RunningStat without;
+  for (int i = 0; i < 400; ++i) {
+    const Request req = MakeRequest(0.6);
+    with_examples.Add(sim.Generate(catalog.Get("gemma-2-2b"), req, good).latent_quality);
+    without.Add(sim.Generate(catalog.Get("gemma-2-2b"), req, {}).latent_quality);
+  }
+  EXPECT_GT(with_examples.mean(), without.mean() + 0.10);
+}
+
+TEST(GenerationTest, RandomExamplesHurt) {
+  // Figure 4(a): random (irrelevant) examples regress quality below baseline.
+  ModelCatalog catalog;
+  GenerationSimulator sim(5);
+  const std::vector<ExampleView> random_examples = {
+      MakeExample(0.05, 0.9, 0.785), MakeExample(0.08, 0.8, 0.785),
+      MakeExample(0.03, 0.85, 0.785), MakeExample(0.06, 0.9, 0.785),
+      MakeExample(0.04, 0.88, 0.785)};
+  RunningStat with_random;
+  RunningStat without;
+  for (int i = 0; i < 600; ++i) {
+    const Request req = MakeRequest(0.55);
+    with_random.Add(
+        sim.Generate(catalog.Get("gemma-2-2b"), req, random_examples).latent_quality);
+    without.Add(sim.Generate(catalog.Get("gemma-2-2b"), req, {}).latent_quality);
+  }
+  EXPECT_LT(with_random.mean(), without.mean());
+}
+
+TEST(GenerationTest, AugmentedSmallModelCanExceedLarge) {
+  // Section 6.3: with high-quality same-intent examples the small model can
+  // outperform its larger counterpart on suitable requests.
+  ModelCatalog catalog;
+  GenerationSimulator sim(6);
+  const std::vector<ExampleView> strong = {
+      MakeExample(0.97, 0.95, 0.785), MakeExample(0.95, 0.92, 0.785),
+      MakeExample(0.93, 0.9, 0.785)};
+  RunningStat small_ic;
+  RunningStat large_plain;
+  for (int i = 0; i < 600; ++i) {
+    const Request req = MakeRequest(0.5);
+    small_ic.Add(sim.Generate(catalog.Get("gemma-2-2b"), req, strong).latent_quality);
+    large_plain.Add(sim.Generate(catalog.Get("gemma-2-27b"), req, {}).latent_quality);
+  }
+  EXPECT_GT(small_ic.mean(), large_plain.mean() - 0.03);
+}
+
+TEST(GenerationTest, ExampleBenefitSaturates) {
+  // Diminishing returns: 8 examples add little over 4 (section 4.1).
+  ModelCatalog catalog;
+  GenerationSimulator sim(7);
+  auto run = [&](size_t count) {
+    std::vector<ExampleView> examples(count, MakeExample(0.9, 0.85, 0.785));
+    RunningStat stat;
+    for (int i = 0; i < 400; ++i) {
+      stat.Add(sim.Generate(catalog.Get("gemma-2-2b"), MakeRequest(0.6), examples).latent_quality);
+    }
+    return stat.mean();
+  };
+  const double q0 = run(0);
+  const double q2 = run(2);
+  const double q4 = run(4);
+  const double q8 = run(8);
+  EXPECT_GT(q2, q0);
+  EXPECT_GT(q4, q2);
+  EXPECT_LT(q8 - q4, (q2 - q0) * 0.8);  // marginal gain shrinks
+}
+
+TEST(GenerationTest, PrefillLatencyGrowsWithExamples) {
+  // Figure 4(b): prepending examples raises TTFT but stays below large-model
+  // TTFT.
+  ModelCatalog catalog;
+  GenerationSimulator sim(8);
+  const Request req = MakeRequest(0.5);
+  const std::vector<ExampleView> examples(5, MakeExample(0.9, 0.85, 0.82, 400));
+  const GenerationResult plain = sim.Generate(catalog.Get("qwen2.5-3b"), req, {});
+  const GenerationResult augmented = sim.Generate(catalog.Get("qwen2.5-3b"), req, examples);
+  const GenerationResult large = sim.Generate(catalog.Get("qwen2.5-32b"), req, {});
+  EXPECT_GT(augmented.ttft_s, plain.ttft_s);
+  EXPECT_LT(augmented.ttft_s, large.ttft_s);
+  EXPECT_EQ(augmented.prompt_tokens, req.input_tokens + 5 * 400);
+}
+
+TEST(GenerationTest, ExamplesShortenDecodes) {
+  // Figure 18: IC-augmented decodes are slightly shorter on average.
+  ModelCatalog catalog;
+  GenerationSimulator sim(9);
+  RunningStat with_ic;
+  RunningStat without;
+  const std::vector<ExampleView> examples = {MakeExample(0.9, 0.9, 0.785)};
+  for (int i = 0; i < 500; ++i) {
+    const Request req = MakeRequest(0.4);
+    with_ic.Add(sim.Generate(catalog.Get("gemma-2-2b"), req, examples).output_tokens);
+    without.Add(sim.Generate(catalog.Get("gemma-2-2b"), req, {}).output_tokens);
+  }
+  EXPECT_LT(with_ic.mean(), without.mean());
+}
+
+TEST(GenerationTest, SamplingVarianceEnablesBestOfN) {
+  // Section 4.3: repeated generation has enough variance that best-of-3
+  // clearly beats a single draw.
+  ModelCatalog catalog;
+  GenerationSimulator sim(10);
+  RunningStat single;
+  RunningStat best_of_3;
+  for (int i = 0; i < 400; ++i) {
+    const Request req = MakeRequest(0.55);
+    const double q1 = sim.Generate(catalog.Get("gemma-2-27b"), req, {}).latent_quality;
+    double best = q1;
+    for (int d = 0; d < 2; ++d) {
+      best = std::max(best, sim.Generate(catalog.Get("gemma-2-27b"), req, {}).latent_quality);
+    }
+    single.Add(q1);
+    best_of_3.Add(best);
+  }
+  EXPECT_GT(best_of_3.mean(), single.mean() + 0.02);
+}
+
+TEST(GenerationTest, AccuracyStricterForCodeAndMath) {
+  ModelCatalog catalog;
+  GenerationSimulator sim(11);
+  int code_correct = 0;
+  int chat_correct = 0;
+  const int n = 800;
+  for (int i = 0; i < n; ++i) {
+    code_correct +=
+        sim.Generate(catalog.Get("qwen2.5-3b"), MakeRequest(0.5, TaskType::kCodeGeneration), {})
+            .correct;
+    chat_correct +=
+        sim.Generate(catalog.Get("qwen2.5-3b"), MakeRequest(0.5, TaskType::kConversation), {})
+            .correct;
+  }
+  EXPECT_LT(code_correct, chat_correct);
+}
+
+TEST(GenerationTest, ExtraCapabilityBoostRaisesQuality) {
+  ModelCatalog catalog;
+  GenerationSimulator sim(12);
+  RunningStat boosted;
+  RunningStat plain;
+  for (int i = 0; i < 400; ++i) {
+    const Request req = MakeRequest(0.6);
+    boosted.Add(sim.Generate(catalog.Get("gemma-2-2b"), req, {}, 0.08).latent_quality);
+    plain.Add(sim.Generate(catalog.Get("gemma-2-2b"), req, {}, 0.0).latent_quality);
+  }
+  EXPECT_GT(boosted.mean(), plain.mean());
+}
+
+TEST(ReusedResponseQualityTest, ParaphraseKeepsQualityMismatchLosesIt) {
+  GenerationSimulator sim(13);
+  RunningStat exact;
+  RunningStat topical;
+  RunningStat unrelated;
+  for (int i = 0; i < 300; ++i) {
+    exact.Add(sim.ReusedResponseQuality(0.9, 0.95));
+    topical.Add(sim.ReusedResponseQuality(0.9, 0.65));
+    unrelated.Add(sim.ReusedResponseQuality(0.9, 0.1));
+  }
+  EXPECT_GT(exact.mean(), 0.7);
+  EXPECT_LT(topical.mean(), 0.45);
+  EXPECT_LT(unrelated.mean(), 0.1);
+}
+
+TEST(StructuralRelevanceTest, OrderingByLatentMatch) {
+  Rng rng(14);
+  Request a;
+  a.dataset = DatasetId::kMsMarco;
+  a.topic_id = 5;
+  a.intent_id = 1;
+  Request same_intent = a;
+  Request same_topic = a;
+  same_topic.intent_id = 2;
+  Request other_topic = a;
+  other_topic.topic_id = 9;
+  Request other_dataset = a;
+  other_dataset.dataset = DatasetId::kAlpaca;
+
+  RunningStat s_intent;
+  RunningStat s_topic;
+  RunningStat s_other;
+  RunningStat s_dataset;
+  for (int i = 0; i < 200; ++i) {
+    s_intent.Add(StructuralRelevance(a, same_intent, rng));
+    s_topic.Add(StructuralRelevance(a, same_topic, rng));
+    s_other.Add(StructuralRelevance(a, other_topic, rng));
+    s_dataset.Add(StructuralRelevance(a, other_dataset, rng));
+  }
+  EXPECT_GT(s_intent.mean(), s_topic.mean());
+  EXPECT_GT(s_topic.mean(), s_other.mean());
+  EXPECT_GT(s_other.mean(), s_dataset.mean());
+  EXPECT_GT(s_intent.mean(), 0.9);
+}
+
+class ModelPairSweep
+    : public ::testing::TestWithParam<std::pair<std::string, std::string>> {};
+
+TEST_P(ModelPairSweep, IcExamplesNarrowTheQualityGap) {
+  // For every paper model pair, augmenting the small model with high-quality
+  // examples from the large model must shrink the quality gap.
+  ModelCatalog catalog;
+  GenerationSimulator sim(15);
+  const ModelProfile& large = catalog.Get(GetParam().first);
+  const ModelProfile& small = catalog.Get(GetParam().second);
+  const std::vector<ExampleView> examples = {
+      MakeExample(0.95, 0.9, large.capability), MakeExample(0.9, 0.88, large.capability),
+      MakeExample(0.88, 0.85, large.capability)};
+  RunningStat gap_plain;
+  RunningStat gap_ic;
+  for (int i = 0; i < 300; ++i) {
+    const Request req = MakeRequest(0.55);
+    const double lq = sim.Generate(large, req, {}).latent_quality;
+    gap_plain.Add(lq - sim.Generate(small, req, {}).latent_quality);
+    gap_ic.Add(lq - sim.Generate(small, req, examples).latent_quality);
+  }
+  EXPECT_LT(gap_ic.mean(), gap_plain.mean());
+}
+
+INSTANTIATE_TEST_SUITE_P(Pairs, ModelPairSweep,
+                         ::testing::Values(ModelCatalog::GeminiPair(), ModelCatalog::GemmaPair(),
+                                           ModelCatalog::DeepSeekPair(), ModelCatalog::QwenPair(),
+                                           ModelCatalog::PhiPair()));
+
+}  // namespace
+}  // namespace iccache

@@ -1,0 +1,279 @@
+#include "src/workload/query_generator.h"
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/common/mathutil.h"
+#include "src/common/stats.h"
+#include "src/embedding/embedder.h"
+#include "src/workload/trace.h"
+
+namespace iccache {
+namespace {
+
+TEST(DatasetProfileTest, AllTableOneDatasetsDefined) {
+  const auto profiles = AllDatasetProfiles();
+  EXPECT_EQ(profiles.size(), 8u);
+  std::set<DatasetId> ids;
+  for (const auto& p : profiles) {
+    ids.insert(p.id);
+    EXPECT_GT(p.num_topics, 0u);
+    EXPECT_GT(p.example_pool_size, 0u);
+    EXPECT_GT(p.request_count, 0u);
+    EXPECT_GT(p.difficulty_alpha, 0.0);
+    EXPECT_GT(p.difficulty_beta, 0.0);
+  }
+  EXPECT_EQ(ids.size(), 8u);
+}
+
+TEST(DatasetProfileTest, TableOneSizesMatchPaper) {
+  EXPECT_EQ(GetDatasetProfile(DatasetId::kMsMarco).example_pool_size, 808731u);
+  EXPECT_EQ(GetDatasetProfile(DatasetId::kMsMarco).request_count, 101092u);
+  EXPECT_EQ(GetDatasetProfile(DatasetId::kLmsysChat).example_pool_size, 273043u);
+  EXPECT_EQ(GetDatasetProfile(DatasetId::kNl2Bash).example_pool_size, 8090u);
+  EXPECT_EQ(GetDatasetProfile(DatasetId::kMath500).request_count, 5000u);
+}
+
+TEST(DatasetProfileTest, TaskAssignmentsMatchPaper) {
+  EXPECT_EQ(GetDatasetProfile(DatasetId::kAlpaca).task, TaskType::kConversation);
+  EXPECT_EQ(GetDatasetProfile(DatasetId::kMsMarco).task, TaskType::kQuestionAnswering);
+  EXPECT_EQ(GetDatasetProfile(DatasetId::kWmt16).task, TaskType::kTranslation);
+  EXPECT_EQ(GetDatasetProfile(DatasetId::kNl2Bash).task, TaskType::kCodeGeneration);
+  EXPECT_EQ(GetDatasetProfile(DatasetId::kMath500).task, TaskType::kMathReasoning);
+}
+
+TEST(DatasetProfileTest, NamesAreUnique) {
+  std::set<std::string> names;
+  for (const auto& p : AllDatasetProfiles()) {
+    names.insert(DatasetName(p.id));
+  }
+  EXPECT_EQ(names.size(), 8u);
+}
+
+TEST(QueryGeneratorTest, DeterministicForSeed) {
+  const DatasetProfile profile = GetDatasetProfile(DatasetId::kNaturalQuestions);
+  QueryGenerator a(profile, 123);
+  QueryGenerator b(profile, 123);
+  for (int i = 0; i < 50; ++i) {
+    const Request ra = a.Next();
+    const Request rb = b.Next();
+    EXPECT_EQ(ra.text, rb.text);
+    EXPECT_EQ(ra.topic_id, rb.topic_id);
+    EXPECT_EQ(ra.intent_id, rb.intent_id);
+    EXPECT_DOUBLE_EQ(ra.difficulty, rb.difficulty);
+  }
+}
+
+TEST(QueryGeneratorTest, FieldsWithinBounds) {
+  const DatasetProfile profile = GetDatasetProfile(DatasetId::kLmsysChat);
+  QueryGenerator gen(profile, 7);
+  for (const Request& req : gen.Generate(500)) {
+    EXPECT_GE(req.difficulty, 0.0);
+    EXPECT_LE(req.difficulty, 1.0);
+    EXPECT_LT(req.topic_id, profile.num_topics);
+    EXPECT_LT(req.intent_id, profile.intents_per_topic);
+    EXPECT_GE(req.input_tokens, 4);
+    EXPECT_LE(req.input_tokens, 4096);
+    EXPECT_GE(req.target_output_tokens, 8);
+    EXPECT_FALSE(req.text.empty());
+    EXPECT_EQ(req.dataset, DatasetId::kLmsysChat);
+    EXPECT_EQ(req.task, TaskType::kConversation);
+  }
+}
+
+TEST(QueryGeneratorTest, IdsAreSequentialAndUnique) {
+  QueryGenerator gen(GetDatasetProfile(DatasetId::kAlpaca), 1);
+  uint64_t prev = 0;
+  for (const Request& req : gen.Generate(100)) {
+    EXPECT_GT(req.id, prev);
+    prev = req.id;
+  }
+}
+
+TEST(QueryGeneratorTest, IntentDifficultyIsStable) {
+  const DatasetProfile profile = GetDatasetProfile(DatasetId::kMath500);
+  const double d1 = QueryGenerator::IntentDifficulty(profile, 10, 2);
+  const double d2 = QueryGenerator::IntentDifficulty(profile, 10, 2);
+  EXPECT_DOUBLE_EQ(d1, d2);
+  EXPECT_NE(QueryGenerator::IntentDifficulty(profile, 10, 3), d1);
+}
+
+TEST(QueryGeneratorTest, SameIntentRequestsHaveSimilarDifficulty) {
+  const DatasetProfile profile = GetDatasetProfile(DatasetId::kMsMarco);
+  QueryGenerator gen(profile, 99);
+  std::vector<Request> requests = gen.Generate(2000);
+  for (size_t i = 0; i < requests.size(); ++i) {
+    for (size_t j = i + 1; j < std::min(requests.size(), i + 10); ++j) {
+      if (requests[i].topic_id == requests[j].topic_id &&
+          requests[i].intent_id == requests[j].intent_id) {
+        EXPECT_NEAR(requests[i].difficulty, requests[j].difficulty, 0.25);
+      }
+    }
+  }
+}
+
+TEST(QueryGeneratorTest, HarderDatasetsShiftDifficultyRight) {
+  QueryGenerator easy(GetDatasetProfile(DatasetId::kMsMarco), 5);
+  QueryGenerator hard(GetDatasetProfile(DatasetId::kMath500), 5);
+  RunningStat easy_stat;
+  RunningStat hard_stat;
+  for (int i = 0; i < 1000; ++i) {
+    easy_stat.Add(easy.Next().difficulty);
+    hard_stat.Add(hard.Next().difficulty);
+  }
+  EXPECT_GT(hard_stat.mean(), easy_stat.mean() + 0.2);
+}
+
+TEST(QueryGeneratorTest, TopicPopularityIsSkewed) {
+  const DatasetProfile profile = GetDatasetProfile(DatasetId::kLmsysChat);
+  QueryGenerator gen(profile, 6);
+  std::vector<int> counts(profile.num_topics, 0);
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    ++counts[gen.Next().topic_id];
+  }
+  std::sort(counts.rbegin(), counts.rend());
+  int head = 0;
+  for (int i = 0; i < 40; ++i) {
+    head += counts[i];
+  }
+  // 1% of topics should carry far more than 1% of traffic under Zipf.
+  EXPECT_GT(static_cast<double>(head) / n, 0.10);
+}
+
+TEST(QueryGeneratorTest, PaperSimilarityPrevalence) {
+  // Figure 3(a): >70% of requests have a neighbour with cosine > 0.8. Checked
+  // on a reduced-scale sample for test speed.
+  const DatasetProfile profile = GetDatasetProfile(DatasetId::kMsMarco);
+  QueryGenerator gen(profile, 11);
+  HashingEmbedder embedder;
+  const std::vector<Request> requests = gen.Generate(1200);
+  std::vector<std::vector<float>> embeddings;
+  embeddings.reserve(requests.size());
+  for (const auto& req : requests) {
+    embeddings.push_back(embedder.Embed(req.text));
+  }
+  int with_similar = 0;
+  for (size_t i = 0; i < requests.size(); ++i) {
+    double best = 0.0;
+    for (size_t j = 0; j < requests.size(); ++j) {
+      if (i != j) {
+        best = std::max(best, CosineSimilarity(embeddings[i], embeddings[j]));
+      }
+    }
+    if (best > 0.8) {
+      ++with_similar;
+    }
+  }
+  EXPECT_GT(static_cast<double>(with_similar) / requests.size(), 0.70);
+}
+
+TEST(ArrivalTraceTest, ConstantTraceEvenlySpaced) {
+  TraceConfig config;
+  config.kind = TraceKind::kConstant;
+  config.mean_rps = 2.0;
+  config.duration_s = 100.0;
+  ArrivalTrace trace(config);
+  const auto arrivals = trace.GenerateArrivals();
+  EXPECT_NEAR(static_cast<double>(arrivals.size()), 199.0, 2.0);
+  for (size_t i = 1; i < arrivals.size(); ++i) {
+    EXPECT_NEAR(arrivals[i] - arrivals[i - 1], 0.5, 1e-9);
+  }
+}
+
+TEST(ArrivalTraceTest, PoissonMeanRateMatches) {
+  TraceConfig config;
+  config.kind = TraceKind::kPoisson;
+  config.mean_rps = 5.0;
+  config.duration_s = 2000.0;
+  ArrivalTrace trace(config);
+  const auto arrivals = trace.GenerateArrivals();
+  EXPECT_NEAR(static_cast<double>(arrivals.size()) / config.duration_s, 5.0, 0.25);
+}
+
+TEST(ArrivalTraceTest, ArrivalsSortedAndInRange) {
+  TraceConfig config;
+  config.kind = TraceKind::kDiurnalBursty;
+  config.mean_rps = 3.0;
+  config.duration_s = 600.0;
+  ArrivalTrace trace(config);
+  const auto arrivals = trace.GenerateArrivals();
+  ASSERT_FALSE(arrivals.empty());
+  EXPECT_TRUE(std::is_sorted(arrivals.begin(), arrivals.end()));
+  EXPECT_GE(arrivals.front(), 0.0);
+  EXPECT_LT(arrivals.back(), config.duration_s);
+}
+
+TEST(ArrivalTraceTest, BurstyTraceHasLargePeakToTroughRatio) {
+  // Figure 2(b): minute-level spikes reach ~25x the off-peak rate.
+  TraceConfig config;
+  config.kind = TraceKind::kDiurnalBursty;
+  config.mean_rps = 2.0;
+  config.duration_s = 3 * 3600.0;
+  config.bursts_per_hour = 8.0;
+  ArrivalTrace trace(config);
+  const auto arrivals = trace.GenerateArrivals();
+  const auto rps = BinArrivalRate(arrivals, config.duration_s, 60.0);
+  const double peak = *std::max_element(rps.begin(), rps.end());
+  double trough = 1e300;
+  for (double r : rps) {
+    if (r > 0.0) {
+      trough = std::min(trough, r);
+    }
+  }
+  EXPECT_GT(peak / trough, 8.0);
+}
+
+TEST(ArrivalTraceTest, RateAtReflectsBursts) {
+  TraceConfig config;
+  config.kind = TraceKind::kDiurnalBursty;
+  config.mean_rps = 2.0;
+  config.duration_s = 3600.0;
+  ArrivalTrace trace(config);
+  double max_rate = 0.0;
+  for (double t = 0.0; t < config.duration_s; t += 1.0) {
+    max_rate = std::max(max_rate, trace.RateAt(t));
+  }
+  EXPECT_GT(max_rate, config.mean_rps * 1.5);
+}
+
+TEST(BinArrivalRateTest, CountsPerBin) {
+  const std::vector<double> arrivals = {0.1, 0.2, 0.9, 1.5, 2.7, 2.8, 2.9};
+  const auto rps = BinArrivalRate(arrivals, 3.0, 1.0);
+  ASSERT_EQ(rps.size(), 3u);
+  EXPECT_NEAR(rps[0], 3.0, 1e-9);
+  EXPECT_NEAR(rps[1], 1.0, 1e-9);
+  EXPECT_NEAR(rps[2], 3.0, 1e-9);
+}
+
+TEST(BinArrivalRateTest, IgnoresOutOfRangeArrivals) {
+  const auto rps = BinArrivalRate({-1.0, 5.0, 0.5}, 1.0, 1.0);
+  ASSERT_EQ(rps.size(), 1u);
+  EXPECT_NEAR(rps[0], 1.0, 1e-9);
+}
+
+class DatasetSweep : public ::testing::TestWithParam<DatasetId> {};
+
+TEST_P(DatasetSweep, GeneratorProducesValidStream) {
+  const DatasetProfile profile = GetDatasetProfile(GetParam());
+  QueryGenerator gen(profile, 17);
+  for (const Request& req : gen.Generate(200)) {
+    EXPECT_EQ(req.dataset, GetParam());
+    EXPECT_EQ(req.task, profile.task);
+    EXPECT_GE(req.difficulty, 0.0);
+    EXPECT_LE(req.difficulty, 1.0);
+    EXPECT_FALSE(req.text.empty());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDatasets, DatasetSweep,
+                         ::testing::Values(DatasetId::kAlpaca, DatasetId::kLmsysChat,
+                                           DatasetId::kOpenOrca, DatasetId::kMsMarco,
+                                           DatasetId::kNaturalQuestions, DatasetId::kWmt16,
+                                           DatasetId::kNl2Bash, DatasetId::kMath500));
+
+}  // namespace
+}  // namespace iccache
