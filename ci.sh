@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# CI entry point: configure, build, run the full test suite, then smoke-run
+# one benchmark under a 2-second cap. Mirrors the tier-1 verify line in
+# ROADMAP.md; keep the two in sync.
+set -euo pipefail
+
+cd "$(dirname "$0")"
+
+BUILD_DIR="${BUILD_DIR:-build}"
+JOBS="${JOBS:-$(nproc)}"
+
+echo "== configure =="
+cmake -B "${BUILD_DIR}" -S .
+
+echo "== build (-j${JOBS}) =="
+cmake --build "${BUILD_DIR}" -j "${JOBS}"
+
+echo "== ctest =="
+ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "${JOBS}"
+
+echo "== smoke bench (2s cap) =="
+# Smoke only proves the harness binary starts and emits output; hitting the
+# cap (exit 124) is fine, any other failure is not.
+rc=0
+timeout 2 "${BUILD_DIR}/bench_driver_throughput" || rc=$?
+if [[ "${rc}" -ne 0 && "${rc}" -ne 124 ]]; then
+  echo "smoke bench failed with exit ${rc}" >&2
+  exit "${rc}"
+fi
+
+echo "== ci.sh OK =="

@@ -1,6 +1,7 @@
 #include "src/core/example_cache.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "src/common/knapsack.h"
 #include "src/common/mathutil.h"
@@ -24,11 +25,20 @@ uint64_t ExampleCache::Put(const Request& request, std::string response_text,
   if (!decision.admit) {
     return 0;
   }
+  std::vector<float> embedding = embedder_->Embed(decision.sanitized_text);
+  return PutPrepared(request, decision.sanitized_text, std::move(embedding),
+                     std::move(response_text), response_quality, source_capability,
+                     response_tokens, now);
+}
 
+uint64_t ExampleCache::PutPrepared(const Request& request, std::string sanitized_text,
+                                   std::vector<float> embedding, std::string response_text,
+                                   double response_quality, double source_capability,
+                                   int response_tokens, double now) {
   Example example;
   example.id = next_id_++;
   example.request = request;
-  example.request.text = decision.sanitized_text;
+  example.request.text = std::move(sanitized_text);
   example.response_text = std::move(response_text);
   example.response_quality = response_quality;
   example.source_capability = source_capability;
@@ -39,7 +49,7 @@ uint64_t ExampleCache::Put(const Request& request, std::string response_text,
   example.replay_gain_ema = (1.0 - response_quality);
 
   used_bytes_ += example.SizeBytes();
-  index_.Add(example.id, embedder_->Embed(example.request.text));
+  index_.Add(example.id, std::move(embedding));
   examples_[example.id] = std::move(example);
 
   if (config_.capacity_bytes > 0 &&

@@ -42,6 +42,15 @@ class ExampleCache {
   uint64_t Put(const Request& request, std::string response_text, double response_quality,
                double source_capability, int response_tokens, double now);
 
+  // Insertion path for callers that already ran the admission decision and
+  // embedded the sanitized text (e.g. a concurrent driver moving embedding
+  // work off its serial path). `embedding` must be the embedder's output for
+  // `sanitized_text`.
+  uint64_t PutPrepared(const Request& request, std::string sanitized_text,
+                       std::vector<float> embedding, std::string response_text,
+                       double response_quality, double source_capability, int response_tokens,
+                       double now);
+
   // Stage-1 relevance lookup: top-k most similar cached examples.
   std::vector<SearchResult> FindSimilar(const Request& request, size_t k) const;
   std::vector<SearchResult> FindSimilar(const std::vector<float>& embedding, size_t k) const;

@@ -1,0 +1,208 @@
+#include "src/core/sharded_cache.h"
+
+#include <algorithm>
+#include <mutex>
+#include <utility>
+
+#include "src/common/rng.h"
+
+namespace iccache {
+
+namespace {
+
+size_t RoundUpPow2(size_t n) {
+  size_t p = 1;
+  while (p < n) {
+    p <<= 1;
+  }
+  return p;
+}
+
+size_t Log2(size_t pow2) {
+  size_t bits = 0;
+  while ((size_t{1} << bits) < pow2) {
+    ++bits;
+  }
+  return bits;
+}
+
+}  // namespace
+
+ShardedExampleCache::ShardedExampleCache(std::shared_ptr<const Embedder> embedder,
+                                         ShardedCacheConfig config)
+    : embedder_(std::move(embedder)), config_(config) {
+  const size_t n = RoundUpPow2(std::max<size_t>(1, config.num_shards));
+  shard_bits_ = Log2(n);
+  shard_mask_ = n - 1;
+
+  ExampleCacheConfig shard_config = config.cache;
+  if (shard_config.capacity_bytes > 0) {
+    shard_config.capacity_bytes =
+        std::max<int64_t>(1, shard_config.capacity_bytes / static_cast<int64_t>(n));
+  }
+  shards_ = std::vector<Shard>(n);
+  for (size_t i = 0; i < n; ++i) {
+    ExampleCacheConfig c = shard_config;
+    c.seed = Mix64(shard_config.seed ^ (0x5a4dull + i));
+    shards_[i].cache = std::make_unique<ExampleCache>(embedder_, c);
+  }
+}
+
+size_t ShardedExampleCache::ShardOfRequest(const Request& request) const {
+  return static_cast<size_t>(Mix64(request.id ^ 0x9e3779b97f4a7c15ull) & shard_mask_);
+}
+
+uint64_t ShardedExampleCache::Put(const Request& request, std::string response_text,
+                                  double response_quality, double source_capability,
+                                  int response_tokens, double now) {
+  PreparedAdmission prepared = PrepareAdmission(request);
+  return PutPrepared(request, std::move(prepared), std::move(response_text), response_quality,
+                     source_capability, response_tokens, now);
+}
+
+PreparedAdmission ShardedExampleCache::PrepareAdmission(
+    const Request& request, const std::vector<float>* text_embedding) const {
+  PreparedAdmission prepared;
+  AdmissionDecision decision =
+      DecideAdmission(scrubber_, config_.cache.admission_mode, request.text);
+  if (!decision.admit) {
+    return prepared;
+  }
+  prepared.admit = true;
+  if (text_embedding != nullptr && decision.sanitized_text == request.text) {
+    prepared.embedding = *text_embedding;
+  } else {
+    prepared.embedding = embedder_->Embed(decision.sanitized_text);
+  }
+  prepared.sanitized_text = std::move(decision.sanitized_text);
+  return prepared;
+}
+
+uint64_t ShardedExampleCache::PutPrepared(const Request& request, PreparedAdmission prepared,
+                                          std::string response_text, double response_quality,
+                                          double source_capability, int response_tokens,
+                                          double now) {
+  if (!prepared.admit) {
+    return 0;
+  }
+  const size_t shard = ShardOfRequest(request);
+  std::unique_lock<std::shared_mutex> lock(shards_[shard].mu);
+  const uint64_t inner = shards_[shard].cache->PutPrepared(
+      request, std::move(prepared.sanitized_text), std::move(prepared.embedding),
+      std::move(response_text), response_quality, source_capability, response_tokens, now);
+  return GlobalId(inner, shard);
+}
+
+std::vector<SearchResult> ShardedExampleCache::FindSimilar(const Request& request,
+                                                           size_t k) const {
+  return FindSimilar(embedder_->Embed(request.text), k);
+}
+
+std::vector<SearchResult> ShardedExampleCache::FindSimilar(const std::vector<float>& embedding,
+                                                           size_t k) const {
+  std::vector<SearchResult> merged;
+  merged.reserve(k * shards_.size());
+  for (size_t shard = 0; shard < shards_.size(); ++shard) {
+    std::shared_lock<std::shared_mutex> lock(shards_[shard].mu);
+    for (SearchResult result : shards_[shard].cache->FindSimilar(embedding, k)) {
+      result.id = GlobalId(result.id, shard);
+      merged.push_back(result);
+    }
+  }
+  std::sort(merged.begin(), merged.end(), [](const SearchResult& a, const SearchResult& b) {
+    if (a.score != b.score) {
+      return a.score > b.score;
+    }
+    return a.id < b.id;  // deterministic tie-break
+  });
+  if (merged.size() > k) {
+    merged.resize(k);
+  }
+  return merged;
+}
+
+bool ShardedExampleCache::Snapshot(uint64_t id, Example* out) const {
+  const size_t shard = ShardOfId(id);
+  std::shared_lock<std::shared_mutex> lock(shards_[shard].mu);
+  const Example* example = shards_[shard].cache->Get(InnerId(id));
+  if (example == nullptr) {
+    return false;
+  }
+  *out = *example;
+  out->id = id;  // expose the global id, not the shard-internal one
+  return true;
+}
+
+bool ShardedExampleCache::Contains(uint64_t id) const {
+  const size_t shard = ShardOfId(id);
+  std::shared_lock<std::shared_mutex> lock(shards_[shard].mu);
+  return shards_[shard].cache->Get(InnerId(id)) != nullptr;
+}
+
+bool ShardedExampleCache::Remove(uint64_t id) {
+  const size_t shard = ShardOfId(id);
+  std::unique_lock<std::shared_mutex> lock(shards_[shard].mu);
+  return shards_[shard].cache->Remove(InnerId(id));
+}
+
+void ShardedExampleCache::RecordAccess(uint64_t id, double now) {
+  const size_t shard = ShardOfId(id);
+  std::unique_lock<std::shared_mutex> lock(shards_[shard].mu);
+  shards_[shard].cache->RecordAccess(InnerId(id), now);
+}
+
+void ShardedExampleCache::RecordOffload(uint64_t id, double gain) {
+  const size_t shard = ShardOfId(id);
+  std::unique_lock<std::shared_mutex> lock(shards_[shard].mu);
+  shards_[shard].cache->RecordOffload(InnerId(id), gain);
+}
+
+void ShardedExampleCache::DecayTick() {
+  for (Shard& shard : shards_) {
+    std::unique_lock<std::shared_mutex> lock(shard.mu);
+    shard.cache->DecayTick();
+  }
+}
+
+std::vector<uint64_t> ShardedExampleCache::EnforceCapacity() {
+  std::vector<uint64_t> evicted;
+  for (size_t shard = 0; shard < shards_.size(); ++shard) {
+    std::unique_lock<std::shared_mutex> lock(shards_[shard].mu);
+    for (uint64_t inner : shards_[shard].cache->EnforceCapacity()) {
+      evicted.push_back(GlobalId(inner, shard));
+    }
+  }
+  return evicted;
+}
+
+size_t ShardedExampleCache::size() const {
+  size_t total = 0;
+  for (const Shard& shard : shards_) {
+    std::shared_lock<std::shared_mutex> lock(shard.mu);
+    total += shard.cache->size();
+  }
+  return total;
+}
+
+int64_t ShardedExampleCache::used_bytes() const {
+  int64_t total = 0;
+  for (const Shard& shard : shards_) {
+    std::shared_lock<std::shared_mutex> lock(shard.mu);
+    total += shard.cache->used_bytes();
+  }
+  return total;
+}
+
+std::vector<uint64_t> ShardedExampleCache::AllIds() const {
+  std::vector<uint64_t> ids;
+  for (size_t shard = 0; shard < shards_.size(); ++shard) {
+    std::shared_lock<std::shared_mutex> lock(shards_[shard].mu);
+    for (uint64_t inner : shards_[shard].cache->AllIds()) {
+      ids.push_back(GlobalId(inner, shard));
+    }
+  }
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+}  // namespace iccache

@@ -1,0 +1,122 @@
+// Mutex-sharded wrapper around ExampleCache for concurrent serving.
+//
+// The plain ExampleCache is single-threaded; the serving driver runs stage-1
+// retrieval for a whole batch of requests in parallel, so cache reads must
+// scale across workers while admissions still land safely. Requests are
+// hashed onto `num_shards` independent ExampleCache shards, each guarded by
+// its own std::shared_mutex: lookups take a shard-local shared lock (readers
+// never contend with readers), admissions take an exclusive lock on exactly
+// one shard.
+//
+// Example ids are globally unique: the shard index is encoded in the low bits
+// of the public id (`global = inner << shard_bits | shard`), so ids returned
+// by Put/FindSimilar round-trip through every other accessor.
+//
+// Admission is split in two so the expensive part (PII scrub + embedding) can
+// run in a parallel phase: PrepareAdmission() is const and thread-safe;
+// PutPrepared() takes the prepared payload and only pays the index insert
+// under the shard's write lock.
+#ifndef SRC_CORE_SHARDED_CACHE_H_
+#define SRC_CORE_SHARDED_CACHE_H_
+
+#include <cstdint>
+#include <memory>
+#include <shared_mutex>
+#include <string>
+#include <vector>
+
+#include "src/core/example_cache.h"
+
+namespace iccache {
+
+struct ShardedCacheConfig {
+  // Rounded up to a power of two; each shard is an independent ExampleCache.
+  size_t num_shards = 8;
+  // Per-deployment settings; capacity_bytes is the TOTAL budget and is split
+  // evenly across shards.
+  ExampleCacheConfig cache;
+};
+
+// Result of the parallel-phase half of an admission.
+struct PreparedAdmission {
+  bool admit = false;
+  std::string sanitized_text;
+  std::vector<float> embedding;
+};
+
+class ShardedExampleCache {
+ public:
+  ShardedExampleCache(std::shared_ptr<const Embedder> embedder, ShardedCacheConfig config = {});
+
+  // --- Admission -----------------------------------------------------------
+
+  // One-shot admission (scrub + embed + insert). Thread-safe.
+  uint64_t Put(const Request& request, std::string response_text, double response_quality,
+               double source_capability, int response_tokens, double now);
+
+  // Parallel-phase half: admission decision plus embedding of the sanitized
+  // text. Const and lock-free; safe to call from many workers at once. When
+  // the caller already embedded request.text (e.g. for retrieval), pass it as
+  // `text_embedding`: it is reused whenever scrubbing left the text unchanged,
+  // saving a second embedding pass on the PII-free common case.
+  PreparedAdmission PrepareAdmission(const Request& request,
+                                     const std::vector<float>* text_embedding = nullptr) const;
+
+  // Serial-phase half: inserts a prepared admission. Returns 0 when the
+  // preparation was rejected.
+  uint64_t PutPrepared(const Request& request, PreparedAdmission prepared,
+                       std::string response_text, double response_quality,
+                       double source_capability, int response_tokens, double now);
+
+  // --- Lookup --------------------------------------------------------------
+
+  // Global top-k: per-shard search under shared locks, merged best-first
+  // (ties broken by id so results are deterministic).
+  std::vector<SearchResult> FindSimilar(const Request& request, size_t k) const;
+  std::vector<SearchResult> FindSimilar(const std::vector<float>& embedding, size_t k) const;
+
+  // Copies the example out under the shard lock (a pointer would dangle once
+  // the lock drops). Returns false when absent.
+  bool Snapshot(uint64_t id, Example* out) const;
+  bool Contains(uint64_t id) const;
+
+  // --- Bookkeeping ---------------------------------------------------------
+
+  bool Remove(uint64_t id);
+  void RecordAccess(uint64_t id, double now);
+  void RecordOffload(uint64_t id, double gain = 1.0);
+  void DecayTick();
+  std::vector<uint64_t> EnforceCapacity();
+
+  size_t size() const;
+  int64_t used_bytes() const;
+  std::vector<uint64_t> AllIds() const;
+
+  size_t num_shards() const { return shards_.size(); }
+  std::shared_ptr<const Embedder> embedder() const { return embedder_; }
+  const ShardedCacheConfig& config() const { return config_; }
+
+ private:
+  struct Shard {
+    mutable std::shared_mutex mu;
+    std::unique_ptr<ExampleCache> cache;
+  };
+
+  size_t ShardOfRequest(const Request& request) const;
+  size_t ShardOfId(uint64_t id) const { return id & shard_mask_; }
+  uint64_t InnerId(uint64_t id) const { return id >> shard_bits_; }
+  uint64_t GlobalId(uint64_t inner, size_t shard) const {
+    return inner == 0 ? 0 : (inner << shard_bits_) | static_cast<uint64_t>(shard);
+  }
+
+  std::shared_ptr<const Embedder> embedder_;
+  ShardedCacheConfig config_;
+  PiiScrubber scrubber_;
+  std::vector<Shard> shards_;
+  size_t shard_bits_ = 0;
+  uint64_t shard_mask_ = 0;
+};
+
+}  // namespace iccache
+
+#endif  // SRC_CORE_SHARDED_CACHE_H_

@@ -1,0 +1,262 @@
+#include "src/serving/driver.h"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+#include "src/common/rng.h"
+#include "src/common/stats.h"
+#include "src/common/thread_pool.h"
+#include "src/embedding/embedder.h"
+
+namespace iccache {
+
+namespace {
+
+std::vector<RouterArmSpec> MakeArms(const ModelProfile& small, const ModelProfile& large) {
+  RouterArmSpec small_arm;
+  small_arm.model_name = small.name;
+  small_arm.uses_examples = true;
+  small_arm.normalized_cost =
+      large.cost_per_1k_tokens > 0.0 ? small.cost_per_1k_tokens / large.cost_per_1k_tokens : 0.1;
+
+  RouterArmSpec large_arm;
+  large_arm.model_name = large.name;
+  large_arm.uses_examples = false;
+  large_arm.normalized_cost = 1.0;
+  return {small_arm, large_arm};
+}
+
+RouterConfig SeededRouterConfig(RouterConfig config, uint64_t seed) {
+  config.seed = Mix64(seed ^ 0x4073ull);
+  return config;
+}
+
+ShardedCacheConfig SeededCacheConfig(ShardedCacheConfig config, uint64_t seed) {
+  config.cache.seed = Mix64(seed ^ 0xcac4eull);
+  return config;
+}
+
+}  // namespace
+
+ServingDriver::ServingDriver(DriverConfig config, const ModelCatalog* catalog)
+    : config_(config),
+      small_(catalog->Get(config.small_model)),
+      large_(catalog->Get(config.large_model)),
+      embedder_(std::make_shared<HashingEmbedder>()),
+      cache_(embedder_, SeededCacheConfig(config.cache, config.seed)),
+      proxy_(),
+      router_(MakeArms(small_, large_), SeededRouterConfig(config.router, config.seed)),
+      generator_(Mix64(config.seed ^ 0x6e4ull)) {
+  cluster_.AddPool(small_, config_.small_replicas, config_.server);
+  cluster_.AddPool(large_, config_.large_replicas, config_.server);
+}
+
+std::vector<Request> ServingDriver::MakeWorkload(const DatasetProfile& profile,
+                                                 const TraceConfig& trace, uint64_t seed) {
+  ArrivalTrace arrivals(trace);
+  QueryGenerator generator(profile, seed);
+  std::vector<Request> requests;
+  for (double t : arrivals.GenerateArrivals()) {
+    Request request = generator.Next();
+    request.arrival_time = t;
+    requests.push_back(std::move(request));
+  }
+  return requests;
+}
+
+uint64_t ServingDriver::SeedExample(const Request& request, double now) {
+  const GenerationResult generation = generator_.Generate(large_, request, {});
+  return cache_.Put(request, "[seed-response]", generation.latent_quality, large_.capability,
+                    generation.output_tokens, now);
+}
+
+ServingDriver::Prepared ServingDriver::PrepareRequest(const Request& request) const {
+  Prepared prepared;
+  const std::vector<float> embedding = embedder_->Embed(request.text);
+  const std::vector<SearchResult> candidates =
+      cache_.FindSimilar(embedding, config_.stage1_candidates);
+
+  // Stage 2: proxy-score every stage-1 survivor, then combine.
+  struct Scored {
+    SelectedExample selected;
+    Example example;
+    ProxyFeatures features;
+  };
+  std::vector<Scored> scored;
+  scored.reserve(candidates.size());
+  for (const SearchResult& candidate : candidates) {
+    if (candidate.score < config_.stage1_min_similarity) {
+      continue;  // results are sorted best-first, but keep the scan simple
+    }
+    Scored entry;
+    if (!cache_.Snapshot(candidate.id, &entry.example)) {
+      continue;  // evicted between search and snapshot
+    }
+    entry.features = MakeProxyFeatures(
+        candidate.score, entry.example.response_quality, entry.example.source_capability,
+        small_.capability, entry.example.request.task == request.task,
+        entry.example.PromptTokens());
+    entry.selected.example_id = candidate.id;
+    entry.selected.similarity = candidate.score;
+    entry.selected.predicted_utility = proxy_.Predict(entry.features);
+    if (entry.selected.predicted_utility < config_.utility_threshold) {
+      continue;
+    }
+    scored.push_back(std::move(entry));
+  }
+  std::sort(scored.begin(), scored.end(), [](const Scored& a, const Scored& b) {
+    if (a.selected.predicted_utility != b.selected.predicted_utility) {
+      return a.selected.predicted_utility > b.selected.predicted_utility;
+    }
+    return a.selected.example_id < b.selected.example_id;  // deterministic tie-break
+  });
+
+  const int token_budget = static_cast<int>(static_cast<double>(small_.context_window) *
+                                            config_.context_budget_fraction);
+  int used_tokens = 0;
+  bool have_query_near_copy = false;
+  Rng view_rng(Mix64(request.id ^ config_.seed ^ 0x71e35ull));
+  for (Scored& entry : scored) {
+    if (prepared.selected.size() >= config_.max_examples) {
+      break;
+    }
+    const int tokens = entry.example.PromptTokens();
+    if (used_tokens + tokens > token_budget) {
+      continue;
+    }
+    // Diversity guard: two candidates this close to the query are near-copies
+    // of each other; keep only the best-scored one.
+    if (entry.selected.similarity >= config_.diversity_max_similarity) {
+      if (have_query_near_copy) {
+        continue;
+      }
+      have_query_near_copy = true;
+    }
+    used_tokens += tokens;
+    ExampleView view;
+    view.relevance = StructuralRelevance(request, entry.example.request, view_rng);
+    view.quality = entry.example.response_quality;
+    view.source_capability = entry.example.source_capability;
+    view.tokens = tokens;
+    prepared.views.push_back(view);
+    prepared.features.push_back(entry.features);
+    prepared.selected.push_back(entry.selected);
+  }
+
+  if (config_.admit_large_responses) {
+    prepared.admission = cache_.PrepareAdmission(request, &embedding);
+  }
+  return prepared;
+}
+
+DriverReport ServingDriver::Run(const std::vector<Request>& requests) {
+  DriverReport report;
+  report.total_requests = requests.size();
+  report.decisions.reserve(requests.size());
+
+  // ClusterSim::AddPool clamps replica counts to >= 1; mirror that here so
+  // the utilization denominator matches the pools that actually exist.
+  const double pool_capacity = static_cast<double>(
+      (std::max(1, config_.small_replicas) + std::max(1, config_.large_replicas)) *
+      std::max(1, config_.server.max_batch_size));
+
+  ThreadPool pool(config_.num_threads);
+  const size_t window = std::max<size_t>(1, config_.batch_window);
+  std::vector<Prepared> prepared(window);
+  RunningStat quality;
+
+  const auto wall_start = std::chrono::steady_clock::now();
+  for (size_t begin = 0; begin < requests.size(); begin += window) {
+    const size_t count = std::min(window, requests.size() - begin);
+
+    // Phase 1: pure per-request preparation, fanned out across the pool.
+    const auto phase1_start = std::chrono::steady_clock::now();
+    for (size_t slot = 0; slot < count; ++slot) {
+      pool.Submit([this, &requests, &prepared, begin, slot] {
+        prepared[slot] = PrepareRequest(requests[begin + slot]);
+      });
+    }
+    pool.Wait();
+    const auto phase1_end = std::chrono::steady_clock::now();
+    report.prepare_seconds += std::chrono::duration<double>(phase1_end - phase1_start).count();
+
+    // Phase 2: stateful pipeline steps, strictly in arrival order.
+    for (size_t slot = 0; slot < count; ++slot) {
+      const Request& request = requests[begin + slot];
+      Prepared& prep = prepared[slot];
+
+      cluster_.AdvanceTo(request.arrival_time);
+      const double load =
+          static_cast<double>(cluster_.PoolInFlight(small_.name) +
+                              cluster_.PoolInFlight(large_.name)) /
+          pool_capacity;
+      router_.ObserveLoad(load);
+
+      const RouteDecision decision = router_.Route(request, prep.selected);
+      const bool offloaded = decision.uses_examples;
+      const ModelProfile& model = offloaded ? small_ : large_;
+      static const std::vector<ExampleView> kNoViews;
+      const GenerationResult generation =
+          generator_.Generate(model, request, offloaded ? prep.views : kNoViews);
+
+      ServingRequest serving;
+      serving.id = request.id;
+      serving.arrival_time = request.arrival_time;
+      serving.prompt_tokens = generation.prompt_tokens;
+      serving.output_tokens = generation.output_tokens;
+      cluster_.Submit(model.name, serving);
+
+      router_.UpdateReward(decision, generation.latent_quality);
+      if (offloaded) {
+        ++report.offloaded_requests;
+        for (size_t e = 0; e < prep.selected.size(); ++e) {
+          const SelectedExample& used = prep.selected[e];
+          cache_.RecordAccess(used.example_id, request.arrival_time);
+          if (generation.latent_quality > 0.5) {
+            cache_.RecordOffload(used.example_id, generation.latent_quality);
+          }
+          // Online proxy feedback: the observed quality of the offloaded
+          // response is the helpfulness label for every example that served
+          // it (same signal IcCacheService feeds the selector).
+          proxy_.Update(prep.features[e], generation.latent_quality);
+        }
+      } else if (prep.admission.admit && config_.admit_large_responses) {
+        const uint64_t admitted = cache_.PutPrepared(
+            request, std::move(prep.admission), "[driver-response]", generation.latent_quality,
+            large_.capability, generation.output_tokens, request.arrival_time);
+        if (admitted != 0) {
+          ++report.admitted_examples;
+        }
+      }
+
+      quality.Add(generation.latent_quality);
+      DriverDecision row;
+      row.request_id = request.id;
+      row.model_name = model.name;
+      row.offloaded = offloaded;
+      row.num_examples = offloaded ? prep.selected.size() : 0;
+      row.latent_quality = generation.latent_quality;
+      report.decisions.push_back(std::move(row));
+    }
+  }
+  cluster_.RunUntilIdle();
+  const auto wall_end = std::chrono::steady_clock::now();
+
+  report.completions = cluster_.completions();
+  report.wall_seconds = std::chrono::duration<double>(wall_end - wall_start).count();
+  report.serial_seconds = report.wall_seconds - report.prepare_seconds;
+  report.requests_per_second =
+      report.wall_seconds > 0.0 ? static_cast<double>(report.total_requests) / report.wall_seconds
+                                : 0.0;
+  PercentileTracker latency;
+  for (const CompletionRecord& record : report.completions) {
+    latency.Add(record.E2eLatency());
+  }
+  report.p50_latency_s = latency.Percentile(50);
+  report.p99_latency_s = latency.Percentile(99);
+  report.mean_quality = quality.mean();
+  return report;
+}
+
+}  // namespace iccache

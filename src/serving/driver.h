@@ -1,0 +1,155 @@
+// Concurrent end-to-end serving driver.
+//
+// Runs the IC-Cache pipeline — embed, stage-1 retrieval, stage-2 proxy
+// scoring, bandit routing, generation, ClusterSim submission, feedback and
+// admission — over a stream of arrival-stamped requests, using a ThreadPool
+// to exploit parallel hardware.
+//
+// Concurrency model (vLLM-style batched lookahead, determinism-preserving):
+// the stream is processed in fixed `batch_window` batches. Phase 1 fans the
+// batch out across the pool and performs only PURE per-request work (embed
+// the query, search the sharded cache, snapshot candidates, score them with
+// the proxy, pre-scrub/embed the admission payload) into per-request slots.
+// Phase 2 walks the batch in arrival order on the driver thread and applies
+// every stateful step: route (bandit sampling + reward updates), generation,
+// cluster submit, example access/offload accounting, proxy updates, and the
+// admission insert. Because phase 1 never mutates shared state and phase 2
+// order is independent of worker scheduling, a fixed seed produces identical
+// routing decisions and completions at ANY thread count — `num_threads` only
+// changes wall-clock time.
+#ifndef SRC_SERVING_DRIVER_H_
+#define SRC_SERVING_DRIVER_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/proxy_model.h"
+#include "src/core/router.h"
+#include "src/core/selector.h"
+#include "src/core/sharded_cache.h"
+#include "src/llm/generation.h"
+#include "src/llm/model_profile.h"
+#include "src/serving/cluster.h"
+#include "src/workload/dataset.h"
+#include "src/workload/query_generator.h"
+#include "src/workload/trace.h"
+
+namespace iccache {
+
+struct DriverConfig {
+  std::string small_model = "gemma-2-2b";
+  std::string large_model = "gemma-2-27b";
+  int small_replicas = 2;
+  int large_replicas = 2;
+  ServerConfig server;
+
+  // Parallelism. `batch_window` is the lookahead batch fanned out per phase-1
+  // round; it is part of the pipeline semantics (all lookups in a window see
+  // the cache as of the window start), so results depend on it but NOT on
+  // `num_threads`.
+  size_t num_threads = 1;
+  size_t batch_window = 64;
+
+  // Two-stage selection knobs. This is a deliberately simplified variant of
+  // ExampleSelector (no dynamic threshold adaptation or worst-to-best
+  // reordering; diversity is a query-anchored near-duplicate guard) so the
+  // whole selection can run lock-free in the parallel phase; unifying
+  // ExampleSelector with the sharded cache is a ROADMAP item.
+  size_t stage1_candidates = 16;
+  double stage1_min_similarity = 0.70;
+  size_t max_examples = 4;
+  double utility_threshold = 0.45;
+  double context_budget_fraction = 0.5;
+  // At most one selected example may sit this close to the query: candidates
+  // at >= this cosine are near-copies of the query and therefore of each
+  // other, and duplicates add prompt tokens without signal.
+  double diversity_max_similarity = 0.985;
+
+  RouterConfig router;
+  ShardedCacheConfig cache;
+
+  // Responses produced by the large model are admitted as future examples.
+  bool admit_large_responses = true;
+
+  uint64_t seed = 0xd21e5;
+};
+
+// Per-request routing outcome, recorded in arrival order.
+struct DriverDecision {
+  uint64_t request_id = 0;
+  std::string model_name;
+  bool offloaded = false;  // served by the small model with examples
+  size_t num_examples = 0;
+  double latent_quality = 0.0;
+};
+
+struct DriverReport {
+  std::vector<DriverDecision> decisions;       // arrival order
+  std::vector<CompletionRecord> completions;   // simulated completion order
+  size_t total_requests = 0;
+  size_t offloaded_requests = 0;
+  size_t admitted_examples = 0;
+
+  // Host-side pipeline throughput (what the ThreadPool accelerates).
+  double wall_seconds = 0.0;
+  double requests_per_second = 0.0;
+  // Wall-clock split between the parallel preparation phase and the serial
+  // ordered phase; prepare_seconds is the part that scales with num_threads.
+  double prepare_seconds = 0.0;
+  double serial_seconds = 0.0;
+
+  // Simulated serving latency over the completions.
+  double p50_latency_s = 0.0;
+  double p99_latency_s = 0.0;
+  double mean_quality = 0.0;
+};
+
+class ServingDriver {
+ public:
+  ServingDriver(DriverConfig config, const ModelCatalog* catalog);
+
+  // Generates an arrival-stamped request stream: one QueryGenerator request
+  // per ArrivalTrace timestamp. Deterministic in (profile, trace, seed).
+  static std::vector<Request> MakeWorkload(const DatasetProfile& profile,
+                                           const TraceConfig& trace, uint64_t seed);
+
+  // Seeds the example pool with a large-model response (pool initialization).
+  uint64_t SeedExample(const Request& request, double now);
+
+  // Processes the whole stream (must be sorted by arrival_time) and runs the
+  // cluster to completion. May be called once per driver instance.
+  DriverReport Run(const std::vector<Request>& requests);
+
+  ShardedExampleCache& cache() { return cache_; }
+  RequestRouter& router() { return router_; }
+  ProxyUtilityModel& proxy() { return proxy_; }
+  ClusterSim& cluster() { return cluster_; }
+  const DriverConfig& config() const { return config_; }
+
+ private:
+  // Phase-1 output: everything the serial phase needs, computed purely.
+  struct Prepared {
+    std::vector<SelectedExample> selected;
+    std::vector<ExampleView> views;        // aligned with `selected`
+    std::vector<ProxyFeatures> features;   // aligned with `selected`
+    PreparedAdmission admission;
+  };
+
+  Prepared PrepareRequest(const Request& request) const;
+
+  DriverConfig config_;
+  ModelProfile small_;
+  ModelProfile large_;
+  std::shared_ptr<const Embedder> embedder_;
+  ShardedExampleCache cache_;
+  ProxyUtilityModel proxy_;
+  RequestRouter router_;
+  GenerationSimulator generator_;
+  ClusterSim cluster_;
+};
+
+}  // namespace iccache
+
+#endif  // SRC_SERVING_DRIVER_H_

@@ -1,6 +1,7 @@
 #include "src/common/thread_pool.h"
 
 #include <atomic>
+#include <functional>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -67,6 +68,66 @@ TEST(ThreadPoolTest, ReusableAcrossWaves) {
     pool.Wait();
     EXPECT_EQ(counter.load(), (wave + 1) * 20);
   }
+}
+
+TEST(ThreadPoolTest, StressOneThousandTasks) {
+  ThreadPool pool(8);
+  std::atomic<long> sum{0};
+  for (int i = 0; i < 1000; ++i) {
+    pool.Submit([&sum, i] {
+      long local = 0;
+      for (int j = 0; j <= i % 50; ++j) {
+        local += j;  // small variable-length unit of work
+      }
+      sum.fetch_add(local + 1);
+    });
+  }
+  pool.Wait();
+  long expected = 0;
+  for (int i = 0; i < 1000; ++i) {
+    long local = 0;
+    for (int j = 0; j <= i % 50; ++j) {
+      local += j;
+    }
+    expected += local + 1;
+  }
+  EXPECT_EQ(sum.load(), expected);
+}
+
+TEST(ThreadPoolTest, SubmitFromRunningTaskIsCoveredByWait) {
+  // Tasks may enqueue follow-up work; Wait must not return until the whole
+  // transitive closure has executed.
+  ThreadPool pool(4);
+  std::atomic<int> parents{0};
+  std::atomic<int> children{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&pool, &parents, &children] {
+      parents.fetch_add(1);
+      for (int c = 0; c < 5; ++c) {
+        pool.Submit([&children] { children.fetch_add(1); });
+      }
+    });
+  }
+  pool.Wait();
+  EXPECT_EQ(parents.load(), 100);
+  EXPECT_EQ(children.load(), 500);
+}
+
+TEST(ThreadPoolTest, NestedSubmissionChainsResolve) {
+  ThreadPool pool(3);
+  std::atomic<int> depth_sum{0};
+  // Each chain re-submits itself 4 times: 10 chains x 5 links = 50 executions.
+  std::function<void(int)> link = [&pool, &depth_sum, &link](int remaining) {
+    depth_sum.fetch_add(1);
+    if (remaining > 0) {
+      pool.Submit([&link, remaining] { link(remaining - 1); });
+    }
+  };
+  for (int i = 0; i < 10; ++i) {
+    pool.Submit([&link] { link(4); });
+  }
+  pool.Wait();
+  EXPECT_EQ(depth_sum.load(), 50);
 }
 
 TEST(ThreadPoolTest, DestructorJoinsCleanly) {

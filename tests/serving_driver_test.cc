@@ -1,0 +1,167 @@
+#include "src/serving/driver.h"
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/workload/dataset.h"
+
+namespace iccache {
+namespace {
+
+constexpr uint64_t kSeed = 0x5e55ed;
+
+DatasetProfile SmallProfile() {
+  DatasetProfile profile = GetDatasetProfile(DatasetId::kLmsysChat);
+  profile.example_pool_size = 300;
+  profile.num_topics = 60;
+  return profile;
+}
+
+std::vector<Request> SmallWorkload(size_t approx_requests = 400) {
+  TraceConfig trace;
+  trace.kind = TraceKind::kPoisson;
+  trace.mean_rps = 4.0;
+  trace.duration_s = static_cast<double>(approx_requests) / trace.mean_rps;
+  trace.seed = kSeed ^ 0x7ace;
+  return ServingDriver::MakeWorkload(SmallProfile(), trace, kSeed ^ 0x9e4);
+}
+
+std::unique_ptr<ServingDriver> MakeDriver(const ModelCatalog& catalog, size_t num_threads,
+                                          size_t seed_pool = 300) {
+  DriverConfig config;
+  config.num_threads = num_threads;
+  config.batch_window = 32;
+  config.cache.num_shards = 4;
+  config.seed = kSeed;
+  auto driver = std::make_unique<ServingDriver>(config, &catalog);
+  QueryGenerator seeder(SmallProfile(), kSeed ^ 0x5eedb);
+  for (size_t i = 0; i < seed_pool; ++i) {
+    driver->SeedExample(seeder.Next(), 0.0);
+  }
+  return driver;
+}
+
+TEST(ServingDriverTest, MakeWorkloadIsDeterministic) {
+  const std::vector<Request> a = SmallWorkload(100);
+  const std::vector<Request> b = SmallWorkload(100);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].id, b[i].id);
+    EXPECT_EQ(a[i].text, b[i].text);
+    EXPECT_DOUBLE_EQ(a[i].arrival_time, b[i].arrival_time);
+  }
+  EXPECT_TRUE(std::is_sorted(a.begin(), a.end(), [](const Request& x, const Request& y) {
+    return x.arrival_time < y.arrival_time;
+  }));
+}
+
+// The tentpole determinism property: a fixed seed must produce identical
+// completion sets — same request ids, same per-request model choice — no
+// matter how many worker threads execute the preparation phase.
+TEST(ServingDriverTest, IdenticalDecisionsAtOneAndEightThreads) {
+  const std::vector<Request> requests = SmallWorkload();
+  ModelCatalog catalog;
+  const DriverReport single = MakeDriver(catalog, 1)->Run(requests);
+  const DriverReport eight = MakeDriver(catalog, 8)->Run(requests);
+
+  ASSERT_EQ(single.decisions.size(), eight.decisions.size());
+  for (size_t i = 0; i < single.decisions.size(); ++i) {
+    EXPECT_EQ(single.decisions[i].request_id, eight.decisions[i].request_id);
+    EXPECT_EQ(single.decisions[i].model_name, eight.decisions[i].model_name);
+    EXPECT_EQ(single.decisions[i].offloaded, eight.decisions[i].offloaded);
+    EXPECT_EQ(single.decisions[i].num_examples, eight.decisions[i].num_examples);
+    EXPECT_DOUBLE_EQ(single.decisions[i].latent_quality, eight.decisions[i].latent_quality);
+  }
+
+  ASSERT_EQ(single.completions.size(), eight.completions.size());
+  for (size_t i = 0; i < single.completions.size(); ++i) {
+    EXPECT_EQ(single.completions[i].id, eight.completions[i].id);
+    EXPECT_EQ(single.completions[i].model, eight.completions[i].model);
+    EXPECT_DOUBLE_EQ(single.completions[i].completion_time, eight.completions[i].completion_time);
+  }
+  EXPECT_EQ(single.offloaded_requests, eight.offloaded_requests);
+  EXPECT_EQ(single.admitted_examples, eight.admitted_examples);
+}
+
+TEST(ServingDriverTest, EveryRequestCompletesExactlyOnce) {
+  const std::vector<Request> requests = SmallWorkload();
+  ModelCatalog catalog;
+  const DriverReport report = MakeDriver(catalog, 2)->Run(requests);
+
+  EXPECT_EQ(report.total_requests, requests.size());
+  EXPECT_EQ(report.decisions.size(), requests.size());
+  ASSERT_EQ(report.completions.size(), requests.size());
+  std::map<uint64_t, size_t> seen;
+  for (const CompletionRecord& record : report.completions) {
+    ++seen[record.id];
+  }
+  for (const Request& request : requests) {
+    EXPECT_EQ(seen[request.id], 1u) << "request " << request.id;
+  }
+}
+
+TEST(ServingDriverTest, CompletionModelMatchesRoutingDecision) {
+  const std::vector<Request> requests = SmallWorkload(200);
+  ModelCatalog catalog;
+  const DriverReport report = MakeDriver(catalog, 4)->Run(requests);
+
+  std::map<uint64_t, std::string> routed_model;
+  for (const DriverDecision& decision : report.decisions) {
+    routed_model[decision.request_id] = decision.model_name;
+  }
+  for (const CompletionRecord& record : report.completions) {
+    EXPECT_EQ(record.model, routed_model[record.id]) << "request " << record.id;
+  }
+}
+
+TEST(ServingDriverTest, RoutesToBothArmsAndUsesExamples) {
+  const std::vector<Request> requests = SmallWorkload();
+  ModelCatalog catalog;
+  const auto driver = MakeDriver(catalog, 2);
+  const DriverReport report = driver->Run(requests);
+
+  EXPECT_GT(report.offloaded_requests, 0u);
+  EXPECT_LT(report.offloaded_requests, report.total_requests);
+  size_t with_examples = 0;
+  for (const DriverDecision& decision : report.decisions) {
+    if (decision.offloaded) {
+      EXPECT_EQ(decision.model_name, driver->config().small_model);
+      with_examples += decision.num_examples > 0 ? 1 : 0;
+    } else {
+      EXPECT_EQ(decision.model_name, decision.offloaded ? driver->config().small_model
+                                                        : driver->config().large_model);
+    }
+  }
+  EXPECT_GT(with_examples, 0u);
+}
+
+TEST(ServingDriverTest, LargeResponsesAreAdmittedIntoTheCache) {
+  const std::vector<Request> requests = SmallWorkload();
+  ModelCatalog catalog;
+  const auto driver = MakeDriver(catalog, 2, /*seed_pool=*/100);
+  const size_t before = driver->cache().size();
+  const DriverReport report = driver->Run(requests);
+  EXPECT_EQ(driver->cache().size(), before + report.admitted_examples);
+}
+
+TEST(ServingDriverTest, ReportStatisticsAreConsistent) {
+  const std::vector<Request> requests = SmallWorkload(200);
+  ModelCatalog catalog;
+  const DriverReport report = MakeDriver(catalog, 2)->Run(requests);
+  EXPECT_GT(report.wall_seconds, 0.0);
+  EXPECT_GT(report.requests_per_second, 0.0);
+  EXPECT_GE(report.prepare_seconds, 0.0);
+  EXPECT_GE(report.serial_seconds, 0.0);
+  EXPECT_NEAR(report.prepare_seconds + report.serial_seconds, report.wall_seconds, 1e-9);
+  EXPECT_GE(report.p99_latency_s, report.p50_latency_s);
+  EXPECT_GT(report.mean_quality, 0.0);
+  EXPECT_LE(report.mean_quality, 1.0);
+}
+
+}  // namespace
+}  // namespace iccache

@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include "src/common/rng.h"
 #include "src/common/stats.h"
 #include "src/llm/model_profile.h"
 
@@ -282,6 +283,100 @@ TEST_P(ReplicaScalingSweep, MoreReplicasReduceMakespan) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Replicas, ReplicaScalingSweep, ::testing::Values(1, 2, 4, 8));
+
+// --- Event-ordering coverage: AdvanceTo / RunUntilIdle interleavings -------
+
+TEST(ClusterSimTest, InterleavedAdvanceMatchesSubmitAllThenDrain) {
+  // Driving the clock request-by-request (the serving driver's pattern) must
+  // produce exactly the same completions as submitting everything up front
+  // and draining once: Submit self-advances to the arrival instant.
+  auto make_requests = [] {
+    std::vector<ServingRequest> requests;
+    for (uint64_t i = 0; i < 30; ++i) {
+      requests.push_back(MakeRequest(i, 0.3 * static_cast<double>(i), 40 + (i % 7) * 10,
+                                     20 + (i % 5) * 15));
+    }
+    return requests;
+  };
+
+  ClusterSim interleaved;
+  interleaved.AddPool(TestModel(), 2);
+  for (const ServingRequest& request : make_requests()) {
+    interleaved.AdvanceTo(request.arrival_time);
+    ASSERT_TRUE(interleaved.Submit("test-model", request).ok());
+  }
+  interleaved.RunUntilIdle();
+
+  ClusterSim batched;
+  batched.AddPool(TestModel(), 2);
+  for (const ServingRequest& request : make_requests()) {
+    ASSERT_TRUE(batched.Submit("test-model", request).ok());
+  }
+  batched.RunUntilIdle();
+
+  ASSERT_EQ(interleaved.completions().size(), batched.completions().size());
+  for (size_t i = 0; i < interleaved.completions().size(); ++i) {
+    EXPECT_EQ(interleaved.completions()[i].id, batched.completions()[i].id);
+    EXPECT_DOUBLE_EQ(interleaved.completions()[i].completion_time,
+                     batched.completions()[i].completion_time);
+  }
+}
+
+TEST(ClusterSimTest, ClockIsMonotoneUnderArbitraryAdvanceCalls) {
+  ClusterSim cluster;
+  cluster.AddPool(TestModel(), 1);
+  cluster.Submit("test-model", MakeRequest(1, 0.0, 10, 200));
+  cluster.AdvanceTo(1.0);
+  EXPECT_NEAR(cluster.now(), 1.0, 1e-12);
+  cluster.AdvanceTo(0.2);  // going "backwards" must not rewind the clock
+  EXPECT_NEAR(cluster.now(), 1.0, 1e-12);
+  cluster.AdvanceTo(1.5);
+  EXPECT_NEAR(cluster.now(), 1.5, 1e-12);
+  cluster.RunUntilIdle();
+  EXPECT_GE(cluster.now(), 1.5);
+}
+
+TEST(ClusterSimTest, CompletionsAppendInNondecreasingTimeOrder) {
+  ClusterSim cluster;
+  cluster.AddPool(TestModel(), 3);
+  Rng rng(0x0bde4);
+  for (uint64_t i = 0; i < 60; ++i) {
+    cluster.Submit("test-model",
+                   MakeRequest(i, rng.Uniform(0.0, 5.0), 20 + static_cast<int>(rng.UniformInt(80)),
+                               10 + static_cast<int>(rng.UniformInt(120))));
+    if (i % 7 == 0) {
+      cluster.AdvanceTo(static_cast<double>(i) * 0.1);  // interleave partial drains
+    }
+  }
+  cluster.RunUntilIdle();
+  ASSERT_EQ(cluster.completions().size(), 60u);
+  for (size_t i = 1; i < cluster.completions().size(); ++i) {
+    EXPECT_GE(cluster.completions()[i].completion_time,
+              cluster.completions()[i - 1].completion_time);
+  }
+}
+
+TEST(ClusterSimTest, PoolLoadAboveOneImpliesQueueingDelay) {
+  ServerConfig config;
+  config.max_batch_size = 4;
+  ClusterSim cluster;
+  cluster.AddPool(TestModel(), 1, config);
+  for (uint64_t i = 0; i < 12; ++i) {
+    cluster.Submit("test-model", MakeRequest(i, 0.0, 20, 100));
+  }
+  // 12 in flight over batch capacity 4: requests are necessarily queueing.
+  EXPECT_GT(cluster.PoolLoad("test-model"), 1.0);
+  cluster.RunUntilIdle();
+  ASSERT_EQ(cluster.completions().size(), 12u);
+  size_t delayed = 0;
+  for (const auto& record : cluster.completions()) {
+    EXPECT_GE(record.QueueDelay(), 0.0);
+    if (record.QueueDelay() > 0.0) {
+      ++delayed;
+    }
+  }
+  EXPECT_GE(delayed, 8u);  // everything beyond the first batch waited
+}
 
 }  // namespace
 }  // namespace iccache
