@@ -1,17 +1,24 @@
 // Concurrent serving-driver throughput: host-side pipeline requests/sec and
 // simulated p50/p99 completion latency at 1 vs N worker threads over the same
-// synthetic LMSys trace. The batched two-phase pipeline guarantees identical
-// routing decisions at every thread count, so the speedup column isolates the
-// parallel stage-1/stage-2 preparation work (embed + sharded retrieval +
-// proxy scoring) that the ThreadPool accelerates.
+// synthetic LMSys trace, for each configured stage-1 retrieval backend. The
+// batched two-phase pipeline guarantees identical routing decisions at every
+// thread count, so the speedup column isolates the parallel stage-1/stage-2
+// preparation work (embed + sharded retrieval + proxy scoring) that the
+// ThreadPool accelerates.
+//
+// Flags:
+//   --index=flat,hnsw   comma-separated retrieval backends to sweep
+//                       (flat | kmeans | hnsw; default "flat,hnsw")
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <memory>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "bench/bench_common.h"
+#include "src/core/retrieval_backend.h"
 #include "src/serving/driver.h"
 
 namespace iccache {
@@ -20,23 +27,57 @@ namespace {
 constexpr uint64_t kSeed = 0xd21e5;
 constexpr size_t kSeedPool = 2000;
 
-DriverConfig MakeConfig(size_t num_threads) {
+DriverConfig MakeConfig(size_t num_threads, RetrievalBackendKind backend) {
   DriverConfig config;
   config.num_threads = num_threads;
   config.batch_window = 64;
   config.cache.num_shards = 8;
+  config.cache.cache.retrieval.kind = backend;
   config.seed = kSeed;
   return config;
 }
 
 std::unique_ptr<ServingDriver> MakeDriver(const DatasetProfile& profile,
-                                          const ModelCatalog& catalog, size_t num_threads) {
-  auto driver = std::make_unique<ServingDriver>(MakeConfig(num_threads), &catalog);
+                                          const ModelCatalog& catalog, size_t num_threads,
+                                          RetrievalBackendKind backend) {
+  auto driver = std::make_unique<ServingDriver>(MakeConfig(num_threads, backend), &catalog);
   QueryGenerator seeder(profile, kSeed ^ 0x5eedb);
   for (size_t i = 0; i < kSeedPool; ++i) {
     driver->SeedExample(seeder.Next(), 0.0);
   }
   return driver;
+}
+
+std::vector<RetrievalBackendKind> ParseBackends(int argc, char** argv) {
+  std::string list = "flat,hnsw";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--index=", 0) == 0) {
+      list = arg.substr(8);
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+      std::exit(2);
+    }
+  }
+  std::vector<RetrievalBackendKind> backends;
+  size_t start = 0;
+  while (start <= list.size()) {
+    const size_t comma = list.find(',', start);
+    const std::string name =
+        list.substr(start, comma == std::string::npos ? std::string::npos : comma - start);
+    RetrievalBackendKind kind;
+    if (!ParseRetrievalBackendKind(name, &kind)) {
+      std::fprintf(stderr, "unknown retrieval backend: %s (want flat|kmeans|hnsw)\n",
+                   name.c_str());
+      std::exit(2);
+    }
+    backends.push_back(kind);
+    if (comma == std::string::npos) {
+      break;
+    }
+    start = comma + 1;
+  }
+  return backends;
 }
 
 bool SameDecisions(const DriverReport& a, const DriverReport& b) {
@@ -57,8 +98,9 @@ bool SameDecisions(const DriverReport& a, const DriverReport& b) {
 }  // namespace
 }  // namespace iccache
 
-int main() {
+int main(int argc, char** argv) {
   using namespace iccache;
+  const std::vector<RetrievalBackendKind> backends = ParseBackends(argc, argv);
 
   const DatasetProfile profile = benchutil::ScaledProfile(DatasetId::kLmsysChat, kSeedPool);
   TraceConfig trace;
@@ -75,35 +117,39 @@ int main() {
   benchutil::PrintTitle("Serving-driver throughput: 1 thread vs N threads (LMSys trace)");
   std::printf("  requests=%zu  seed_pool=%zu  shards=8  batch_window=64  hw_cores=%u\n",
               requests.size(), kSeedPool, hw);
-  std::printf("  %-8s %10s %12s %9s %10s %10s %9s\n", "threads", "wall (s)", "req/s", "speedup",
-              "p50 (s)", "p99 (s)", "offload%");
+  std::printf("  %-7s %-8s %10s %12s %9s %10s %10s %9s\n", "index", "threads", "wall (s)",
+              "req/s", "speedup", "p50 (s)", "p99 (s)", "offload%");
 
-  DriverReport baseline;
   bool decisions_match = true;
-  for (size_t threads : thread_counts) {
-    const auto driver = MakeDriver(profile, catalog, threads);
-    const DriverReport report = driver->Run(requests);
-    if (threads == 1) {
-      baseline = report;
-    } else {
-      decisions_match = decisions_match && SameDecisions(baseline, report);
+  for (RetrievalBackendKind backend : backends) {
+    DriverReport baseline;
+    for (size_t threads : thread_counts) {
+      const auto driver = MakeDriver(profile, catalog, threads, backend);
+      const DriverReport report = driver->Run(requests);
+      if (threads == thread_counts.front()) {
+        baseline = report;
+      } else {
+        decisions_match = decisions_match && SameDecisions(baseline, report);
+      }
+      const double speedup =
+          baseline.wall_seconds > 0.0 ? baseline.wall_seconds / report.wall_seconds : 0.0;
+      std::printf("  %-7s %-8zu %10.3f %12.0f %8.2fx %10.4f %10.4f %8.1f%%\n",
+                  RetrievalBackendKindName(backend), threads, report.wall_seconds,
+                  report.requests_per_second, speedup, report.p50_latency_s,
+                  report.p99_latency_s,
+                  100.0 * static_cast<double>(report.offloaded_requests) /
+                      static_cast<double>(report.total_requests));
     }
-    const double speedup =
-        baseline.wall_seconds > 0.0 ? baseline.wall_seconds / report.wall_seconds : 0.0;
-    std::printf("  %-8zu %10.3f %12.0f %8.2fx %10.4f %10.4f %8.1f%%\n", threads,
-                report.wall_seconds, report.requests_per_second, speedup, report.p50_latency_s,
-                report.p99_latency_s,
-                100.0 * static_cast<double>(report.offloaded_requests) /
-                    static_cast<double>(report.total_requests));
-  }
 
-  // Amdahl check on the measured phase split: the parallel preparation phase
-  // must dominate for the 8-thread speedup target to be reachable at all.
-  const double parallel_fraction =
-      baseline.wall_seconds > 0.0 ? baseline.prepare_seconds / baseline.wall_seconds : 0.0;
-  const double projected_8t = 1.0 / ((1.0 - parallel_fraction) + parallel_fraction / 8.0);
-  std::printf("  parallel-phase fraction: %.1f%%  (Amdahl-projected 8-thread speedup: %.2fx)\n",
-              100.0 * parallel_fraction, projected_8t);
+    // Amdahl check on the measured phase split: the parallel preparation
+    // phase must dominate for the 8-thread speedup target to be reachable.
+    const double parallel_fraction =
+        baseline.wall_seconds > 0.0 ? baseline.prepare_seconds / baseline.wall_seconds : 0.0;
+    const double projected_8t = 1.0 / ((1.0 - parallel_fraction) + parallel_fraction / 8.0);
+    std::printf(
+        "  [%s] parallel-phase fraction: %.1f%%  (Amdahl-projected 8-thread speedup: %.2fx)\n",
+        RetrievalBackendKindName(backend), 100.0 * parallel_fraction, projected_8t);
+  }
   std::printf("  routing decisions identical across thread counts: %s\n",
               decisions_match ? "yes" : "NO (BUG)");
   if (hw < 2) {

@@ -1,0 +1,224 @@
+// Stage-1 retrieval scaling: build time, search latency, and recall@k for
+// flat vs kmeans vs hnsw at growing pool sizes. This is the bench behind the
+// HNSW acceptance bar: at 100k vectors the graph index must search >= 5x
+// faster than brute force while holding recall@10 >= 0.9.
+//
+// Flags:
+//   --sizes=1000,10000,100000   pool sizes to sweep
+//   --dim=64                    vector dimensionality
+//   --queries=50                query count per measurement
+//   --k=10                      neighbors per query (recall@k)
+//   --kmeans-cap=10000          skip kmeans above this size (Lloyd rebuilds
+//                               are O(N * sqrt(N) * dim) and dominate the
+//                               runtime long before 100k)
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "src/common/mathutil.h"
+#include "src/common/rng.h"
+#include "src/core/retrieval_backend.h"
+
+namespace iccache {
+namespace {
+
+struct Flags {
+  std::vector<size_t> sizes = {1000, 10000, 100000};
+  size_t dim = 64;
+  size_t queries = 50;
+  size_t k = 10;
+  size_t kmeans_cap = 10000;
+  // HNSW tuning overrides; 0 = library default.
+  size_t hnsw_m = 0;
+  size_t hnsw_efc = 0;
+  size_t hnsw_efs = 0;
+};
+
+bool ParseSizeList(const char* text, std::vector<size_t>* out) {
+  std::vector<size_t> sizes;
+  const char* p = text;
+  while (*p != '\0') {
+    char* end = nullptr;
+    const unsigned long long v = std::strtoull(p, &end, 10);
+    if (end == p || v == 0) {
+      return false;
+    }
+    sizes.push_back(static_cast<size_t>(v));
+    p = (*end == ',') ? end + 1 : end;
+    if (*end != ',' && *end != '\0') {
+      return false;
+    }
+  }
+  if (sizes.empty()) {
+    return false;
+  }
+  *out = sizes;
+  return true;
+}
+
+Flags ParseFlags(int argc, char** argv) {
+  Flags flags;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--sizes=", 0) == 0) {
+      if (!ParseSizeList(arg.c_str() + 8, &flags.sizes)) {
+        std::fprintf(stderr, "bad --sizes list: %s\n", arg.c_str());
+        std::exit(2);
+      }
+    } else if (arg.rfind("--dim=", 0) == 0) {
+      flags.dim = std::strtoull(arg.c_str() + 6, nullptr, 10);
+    } else if (arg.rfind("--queries=", 0) == 0) {
+      flags.queries = std::strtoull(arg.c_str() + 10, nullptr, 10);
+    } else if (arg.rfind("--k=", 0) == 0) {
+      flags.k = std::strtoull(arg.c_str() + 4, nullptr, 10);
+    } else if (arg.rfind("--kmeans-cap=", 0) == 0) {
+      flags.kmeans_cap = std::strtoull(arg.c_str() + 13, nullptr, 10);
+    } else if (arg.rfind("--M=", 0) == 0) {
+      flags.hnsw_m = std::strtoull(arg.c_str() + 4, nullptr, 10);
+    } else if (arg.rfind("--efc=", 0) == 0) {
+      flags.hnsw_efc = std::strtoull(arg.c_str() + 6, nullptr, 10);
+    } else if (arg.rfind("--efs=", 0) == 0) {
+      flags.hnsw_efs = std::strtoull(arg.c_str() + 6, nullptr, 10);
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+      std::exit(2);
+    }
+  }
+  return flags;
+}
+
+std::vector<float> RandomUnitVector(Rng& rng, size_t dim) {
+  std::vector<float> v(dim);
+  for (auto& x : v) {
+    x = static_cast<float>(rng.Normal());
+  }
+  NormalizeL2(v);
+  return v;
+}
+
+double SecondsSince(const std::chrono::steady_clock::time_point& start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+}
+
+struct Measurement {
+  double build_s = 0.0;
+  double search_us_per_query = 0.0;
+  double recall = 0.0;
+};
+
+Measurement Measure(VectorIndex& index, const std::vector<std::vector<float>>& vectors,
+                    const std::vector<std::vector<float>>& queries,
+                    const std::vector<std::set<uint64_t>>& truth, size_t k) {
+  Measurement m;
+  const auto build_start = std::chrono::steady_clock::now();
+  for (size_t i = 0; i < vectors.size(); ++i) {
+    index.Add(static_cast<uint64_t>(i), vectors[i]);
+  }
+  m.build_s = SecondsSince(build_start);
+
+  size_t hits = 0;
+  const auto search_start = std::chrono::steady_clock::now();
+  std::vector<std::vector<SearchResult>> found(queries.size());
+  for (size_t q = 0; q < queries.size(); ++q) {
+    found[q] = index.Search(queries[q], k);
+  }
+  const double search_s = SecondsSince(search_start);
+  for (size_t q = 0; q < queries.size(); ++q) {
+    if (truth.empty()) {
+      continue;
+    }
+    for (const auto& result : found[q]) {
+      hits += truth[q].count(result.id);
+    }
+  }
+  m.search_us_per_query = 1e6 * search_s / static_cast<double>(queries.size());
+  m.recall = truth.empty()
+                 ? 1.0
+                 : static_cast<double>(hits) / static_cast<double>(queries.size() * k);
+  return m;
+}
+
+}  // namespace
+}  // namespace iccache
+
+int main(int argc, char** argv) {
+  using namespace iccache;
+  const Flags flags = ParseFlags(argc, argv);
+
+  benchutil::PrintTitle("Stage-1 retrieval scaling: flat vs kmeans vs hnsw");
+  std::printf("  dim=%zu  queries=%zu  k=%zu\n", flags.dim, flags.queries, flags.k);
+  std::printf("  %-9s %-8s %12s %16s %10s %12s\n", "size", "index", "build (s)", "search (us/q)",
+              "recall@k", "vs flat");
+
+  bool acceptance_ok = true;
+  Rng rng(0x5ca1e);
+  for (size_t n : flags.sizes) {
+    std::vector<std::vector<float>> vectors;
+    vectors.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      vectors.push_back(RandomUnitVector(rng, flags.dim));
+    }
+    std::vector<std::vector<float>> queries;
+    for (size_t q = 0; q < flags.queries; ++q) {
+      queries.push_back(RandomUnitVector(rng, flags.dim));
+    }
+
+    // Flat is both a measured backend and the ground truth for recall.
+    FlatIndex flat(flags.dim);
+    const Measurement flat_m = Measure(flat, vectors, queries, {}, flags.k);
+    std::vector<std::set<uint64_t>> truth(queries.size());
+    for (size_t q = 0; q < queries.size(); ++q) {
+      for (const auto& result : flat.Search(queries[q], flags.k)) {
+        truth[q].insert(result.id);
+      }
+    }
+    std::printf("  %-9zu %-8s %12.3f %16.1f %10.3f %11.2fx\n", n, "flat", flat_m.build_s,
+                flat_m.search_us_per_query, 1.0, 1.0);
+
+    for (const RetrievalBackendKind kind :
+         {RetrievalBackendKind::kKMeans, RetrievalBackendKind::kHnsw}) {
+      if (kind == RetrievalBackendKind::kKMeans && n > flags.kmeans_cap) {
+        std::printf("  %-9zu %-8s %12s %16s %10s %12s\n", n, "kmeans", "-", "-", "-",
+                    "(skipped)");
+        continue;
+      }
+      RetrievalBackendConfig config;
+      config.kind = kind;
+      if (flags.hnsw_m != 0) {
+        config.hnsw.max_neighbors = flags.hnsw_m;
+      }
+      if (flags.hnsw_efc != 0) {
+        config.hnsw.ef_construction = flags.hnsw_efc;
+      }
+      if (flags.hnsw_efs != 0) {
+        config.hnsw.ef_search = flags.hnsw_efs;
+      }
+      const auto index = MakeRetrievalIndex(config, flags.dim, 0x5eed ^ n);
+      const Measurement m = Measure(*index, vectors, queries, truth, flags.k);
+      const double speedup =
+          m.search_us_per_query > 0.0 ? flat_m.search_us_per_query / m.search_us_per_query : 0.0;
+      std::printf("  %-9zu %-8s %12.3f %16.1f %10.3f %11.2fx\n", n,
+                  RetrievalBackendKindName(kind), m.build_s, m.search_us_per_query, m.recall,
+                  speedup);
+      if (kind == RetrievalBackendKind::kHnsw && n >= 100000) {
+        acceptance_ok = acceptance_ok && speedup >= 5.0 && m.recall >= 0.9;
+      }
+    }
+  }
+
+  benchutil::PrintNote(
+      "acceptance bar (100k vectors): hnsw search >= 5x flat with recall@10 >= 0.9");
+  benchutil::PrintNote(
+      "kmeans above --kmeans-cap is skipped: incremental Lloyd rebuilds dominate runtime");
+  if (!acceptance_ok) {
+    benchutil::PrintNote("ACCEPTANCE FAILED at 100k vectors");
+    return 1;
+  }
+  return 0;
+}

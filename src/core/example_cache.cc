@@ -9,13 +9,9 @@
 namespace iccache {
 
 ExampleCache::ExampleCache(std::shared_ptr<const Embedder> embedder, ExampleCacheConfig config)
-    : embedder_(std::move(embedder)), config_(config), index_([&] {
-        KMeansIndexConfig index_config;
-        index_config.dim = embedder_->dim();
-        index_config.nprobe = config.index_nprobe;
-        index_config.seed = config.seed;
-        return index_config;
-      }()) {}
+    : embedder_(std::move(embedder)),
+      config_(config),
+      index_(MakeRetrievalIndex(config.retrieval, embedder_->dim(), config.seed)) {}
 
 uint64_t ExampleCache::Put(const Request& request, std::string response_text,
                            double response_quality, double source_capability, int response_tokens,
@@ -49,7 +45,7 @@ uint64_t ExampleCache::PutPrepared(const Request& request, std::string sanitized
   example.replay_gain_ema = (1.0 - response_quality);
 
   used_bytes_ += example.SizeBytes();
-  index_.Add(example.id, std::move(embedding));
+  index_->Add(example.id, std::move(embedding));
   examples_[example.id] = std::move(example);
 
   if (config_.capacity_bytes > 0 &&
@@ -66,7 +62,7 @@ std::vector<SearchResult> ExampleCache::FindSimilar(const Request& request, size
 
 std::vector<SearchResult> ExampleCache::FindSimilar(const std::vector<float>& embedding,
                                                     size_t k) const {
-  return index_.Search(embedding, k);
+  return index_->Search(embedding, k);
 }
 
 const Example* ExampleCache::Get(uint64_t id) const {
@@ -79,13 +75,22 @@ Example* ExampleCache::GetMutable(uint64_t id) {
   return it == examples_.end() ? nullptr : &it->second;
 }
 
+bool ExampleCache::Snapshot(uint64_t id, Example* out) const {
+  const Example* example = Get(id);
+  if (example == nullptr) {
+    return false;
+  }
+  *out = *example;
+  return true;
+}
+
 bool ExampleCache::Remove(uint64_t id) {
   const auto it = examples_.find(id);
   if (it == examples_.end()) {
     return false;
   }
   used_bytes_ -= it->second.SizeBytes();
-  index_.Remove(id);
+  index_->Remove(id);
   examples_.erase(it);
   return true;
 }

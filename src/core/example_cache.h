@@ -13,6 +13,7 @@
 #include "src/common/status.h"
 #include "src/core/example.h"
 #include "src/core/privacy.h"
+#include "src/core/retrieval_backend.h"
 #include "src/embedding/embedder.h"
 #include "src/index/vector_index.h"
 
@@ -29,11 +30,12 @@ struct ExampleCacheConfig {
   // Utility decay applied by DecayTick (0.9 per hour in the paper).
   double decay_factor = 0.9;
   CacheAdmissionMode admission_mode = CacheAdmissionMode::kScrub;
-  size_t index_nprobe = 3;
+  // Stage-1 retrieval backend (flat | kmeans | hnsw) and its tuning knobs.
+  RetrievalBackendConfig retrieval;
   uint64_t seed = 0xcac4e;
 };
 
-class ExampleCache {
+class ExampleCache : public ExampleStore {
  public:
   ExampleCache(std::shared_ptr<const Embedder> embedder, ExampleCacheConfig config = {});
 
@@ -52,16 +54,20 @@ class ExampleCache {
                        double now);
 
   // Stage-1 relevance lookup: top-k most similar cached examples.
-  std::vector<SearchResult> FindSimilar(const Request& request, size_t k) const;
-  std::vector<SearchResult> FindSimilar(const std::vector<float>& embedding, size_t k) const;
+  std::vector<SearchResult> FindSimilar(const Request& request, size_t k) const override;
+  std::vector<SearchResult> FindSimilar(const std::vector<float>& embedding,
+                                        size_t k) const override;
 
   const Example* Get(uint64_t id) const;
   Example* GetMutable(uint64_t id);
   bool Remove(uint64_t id);
 
+  // Copies the example out (ExampleStore); false when absent.
+  bool Snapshot(uint64_t id, Example* out) const override;
+
   // Marks an access (stage-2 consumed this example) for Figure 10 statistics
   // and recency bookkeeping.
-  void RecordAccess(uint64_t id, double now);
+  void RecordAccess(uint64_t id, double now) override;
 
   // Credits the example for a successful offload (knapsack value).
   void RecordOffload(uint64_t id, double gain = 1.0);
@@ -76,7 +82,8 @@ class ExampleCache {
   size_t size() const { return examples_.size(); }
   int64_t used_bytes() const { return used_bytes_; }
   const ExampleCacheConfig& config() const { return config_; }
-  std::shared_ptr<const Embedder> embedder() const { return embedder_; }
+  std::shared_ptr<const Embedder> embedder() const override { return embedder_; }
+  const VectorIndex& index() const { return *index_; }
 
   // Snapshot of ids for iteration (replay scheduling, experiments).
   std::vector<uint64_t> AllIds() const;
@@ -86,7 +93,7 @@ class ExampleCache {
   ExampleCacheConfig config_;
   PiiScrubber scrubber_;
   std::unordered_map<uint64_t, Example> examples_;
-  KMeansIndex index_;
+  std::unique_ptr<VectorIndex> index_;
   int64_t used_bytes_ = 0;
   uint64_t next_id_ = 1;
 };

@@ -1,0 +1,52 @@
+#include "src/core/retrieval_backend.h"
+
+namespace iccache {
+
+std::unique_ptr<VectorIndex> MakeRetrievalIndex(const RetrievalBackendConfig& config, size_t dim,
+                                                uint64_t seed) {
+  switch (config.kind) {
+    case RetrievalBackendKind::kFlat:
+      return std::make_unique<FlatIndex>(dim);
+    case RetrievalBackendKind::kHnsw: {
+      HnswIndexConfig hnsw = config.hnsw;
+      hnsw.dim = dim;
+      hnsw.seed = seed;
+      return std::make_unique<HnswIndex>(hnsw);
+    }
+    case RetrievalBackendKind::kKMeans:
+    default: {
+      KMeansIndexConfig kmeans;
+      kmeans.dim = dim;
+      kmeans.nprobe = config.nprobe;
+      kmeans.seed = seed;
+      return std::make_unique<KMeansIndex>(kmeans);
+    }
+  }
+}
+
+const char* RetrievalBackendKindName(RetrievalBackendKind kind) {
+  switch (kind) {
+    case RetrievalBackendKind::kFlat:
+      return "flat";
+    case RetrievalBackendKind::kHnsw:
+      return "hnsw";
+    case RetrievalBackendKind::kKMeans:
+    default:
+      return "kmeans";
+  }
+}
+
+bool ParseRetrievalBackendKind(const std::string& name, RetrievalBackendKind* out) {
+  if (name == "flat") {
+    *out = RetrievalBackendKind::kFlat;
+  } else if (name == "kmeans") {
+    *out = RetrievalBackendKind::kKMeans;
+  } else if (name == "hnsw") {
+    *out = RetrievalBackendKind::kHnsw;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace iccache

@@ -1,0 +1,84 @@
+// Unified stage-1 retrieval backend.
+//
+// Every component that performs embedding-similarity retrieval — ExampleCache,
+// each ShardedExampleCache shard, the figure benches — routes through one
+// pluggable VectorIndex chosen here:
+//
+//   flat   — exact brute force; the correctness reference and the
+//            determinism-preserving default for small pools.
+//   kmeans — inverted-file over K-Means clusters (the paper's section 4.1
+//            offline clustering); approximate, rebuilds as the pool grows.
+//   hnsw   — incremental graph ANN (src/index/hnsw.h); sub-millisecond
+//            search at pool sizes where flat scans and stale clusters fail.
+//
+// The ExampleStore interface below is the consumer-side half of the
+// unification: ExampleSelector runs against it, so the full selection
+// pipeline (dynamic threshold, diversity, worst-to-best ordering) works
+// identically over a plain ExampleCache and over the concurrent
+// ShardedExampleCache the serving driver uses.
+#ifndef SRC_CORE_RETRIEVAL_BACKEND_H_
+#define SRC_CORE_RETRIEVAL_BACKEND_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/example.h"
+#include "src/embedding/embedder.h"
+#include "src/index/hnsw.h"
+#include "src/index/vector_index.h"
+
+namespace iccache {
+
+enum class RetrievalBackendKind {
+  kFlat,
+  kKMeans,
+  kHnsw,
+};
+
+struct RetrievalBackendConfig {
+  // kKMeans is the seed repo's behavior and stays the default.
+  RetrievalBackendKind kind = RetrievalBackendKind::kKMeans;
+  // K-Means: clusters probed per query.
+  size_t nprobe = 3;
+  // HNSW knobs; `hnsw.dim` and `hnsw.seed` are overridden by the owning
+  // cache (embedder dimension / per-shard seed) at construction.
+  HnswIndexConfig hnsw;
+};
+
+// Builds the configured index with the given vector dimension and seed.
+std::unique_ptr<VectorIndex> MakeRetrievalIndex(const RetrievalBackendConfig& config, size_t dim,
+                                                uint64_t seed);
+
+// "flat" | "kmeans" | "hnsw".
+const char* RetrievalBackendKindName(RetrievalBackendKind kind);
+
+// Parses a backend name (as accepted by bench --index flags); returns false
+// on an unknown name, leaving *out untouched.
+bool ParseRetrievalBackendKind(const std::string& name, RetrievalBackendKind* out);
+
+// Read/annotate surface the selection pipeline needs from an example store.
+// Implemented by ExampleCache (single-threaded) and ShardedExampleCache
+// (concurrent). Snapshot copies the example out so no pointer escapes a
+// shard lock.
+class ExampleStore {
+ public:
+  virtual ~ExampleStore() = default;
+
+  // Stage-1 relevance lookup: top-k most similar cached examples.
+  virtual std::vector<SearchResult> FindSimilar(const Request& request, size_t k) const = 0;
+  virtual std::vector<SearchResult> FindSimilar(const std::vector<float>& embedding,
+                                                size_t k) const = 0;
+
+  // Copies the example for id into *out; false when absent (e.g. evicted).
+  virtual bool Snapshot(uint64_t id, Example* out) const = 0;
+
+  // Marks a stage-2 access for recency/statistics bookkeeping.
+  virtual void RecordAccess(uint64_t id, double now) = 0;
+
+  virtual std::shared_ptr<const Embedder> embedder() const = 0;
+};
+
+}  // namespace iccache
+
+#endif  // SRC_CORE_RETRIEVAL_BACKEND_H_

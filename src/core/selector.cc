@@ -6,76 +6,102 @@
 
 namespace iccache {
 
-ExampleSelector::ExampleSelector(ExampleCache* cache, ProxyUtilityModel* proxy,
+ExampleSelector::ExampleSelector(ExampleStore* store, ProxyUtilityModel* proxy,
                                  SelectorConfig config)
-    : cache_(cache),
+    : store_(store),
       proxy_(proxy),
       config_(config),
       utility_threshold_(config.initial_utility_threshold),
       grid_benefit_(config.threshold_grid.size(), 0.0),
       grid_count_(config.threshold_grid.size(), 0) {}
 
-std::vector<ExampleSelector::Candidate> ExampleSelector::Stage1(const Request& request) const {
-  std::vector<Candidate> candidates;
-  for (const SearchResult& result : cache_->FindSimilar(request, config_.stage1_candidates)) {
-    const Example* example = cache_->Get(result.id);
-    if (example == nullptr || result.score < config_.stage1_min_similarity) {
-      continue;
+std::vector<SelectorCandidate> ExampleSelector::Stage1(
+    const Request& request, const std::vector<float>* query_embedding,
+    bool embed_candidates) const {
+  const auto embedder = store_->embedder();
+  std::vector<float> local_embedding;
+  if (query_embedding == nullptr) {
+    local_embedding = embedder->Embed(request.text);
+    query_embedding = &local_embedding;
+  }
+
+  std::vector<SelectorCandidate> candidates;
+  for (const SearchResult& result :
+       store_->FindSimilar(*query_embedding, config_.stage1_candidates)) {
+    if (result.score < config_.stage1_min_similarity) {
+      continue;  // results are sorted best-first, but keep the scan simple
     }
-    Candidate candidate;
+    SelectorCandidate candidate;
+    if (!store_->Snapshot(result.id, &candidate.example)) {
+      continue;  // evicted between search and snapshot
+    }
     candidate.id = result.id;
     candidate.similarity = result.score;
-    candidate.example = example;
-    candidates.push_back(candidate);
+    if (embed_candidates) {
+      candidate.embedding = embedder->Embed(candidate.example.request.text);
+    }
+    candidates.push_back(std::move(candidate));
   }
   return candidates;
 }
 
-void ExampleSelector::ScoreStage2(const Request& request, const ModelProfile& target_model,
-                                  std::vector<Candidate>& candidates) const {
-  for (Candidate& candidate : candidates) {
-    const Example& example = *candidate.example;
+std::vector<SelectorCandidate> ExampleSelector::PrepareCandidates(
+    const Request& request, const ModelProfile& target_model,
+    const std::vector<float>* query_embedding, bool embed_candidates) const {
+  std::vector<SelectorCandidate> candidates =
+      Stage1(request, query_embedding, embed_candidates);
+  for (SelectorCandidate& candidate : candidates) {
     const ProxyFeatures features = MakeProxyFeatures(
-        candidate.similarity, example.response_quality, example.source_capability,
-        target_model.capability, example.request.task == request.task, example.PromptTokens());
+        candidate.similarity, candidate.example.response_quality,
+        candidate.example.source_capability, target_model.capability,
+        candidate.example.request.task == request.task, candidate.example.PromptTokens());
     candidate.utility = proxy_->Predict(features);
   }
+  return candidates;
 }
 
-std::vector<SelectedExample> ExampleSelector::Combine(const std::vector<Candidate>& candidates,
-                                                      const ModelProfile& target_model,
-                                                      bool apply_threshold, double now) {
-  std::vector<const Candidate*> order;
+std::vector<SelectorCandidate> ExampleSelector::Combine(
+    const std::vector<SelectorCandidate>& candidates, const ModelProfile& target_model,
+    bool apply_threshold, double now) {
+  std::vector<const SelectorCandidate*> order;
   order.reserve(candidates.size());
-  for (const Candidate& candidate : candidates) {
+  for (const SelectorCandidate& candidate : candidates) {
     order.push_back(&candidate);
   }
-  std::sort(order.begin(), order.end(),
-            [](const Candidate* a, const Candidate* b) { return a->utility > b->utility; });
+  std::sort(order.begin(), order.end(), [](const SelectorCandidate* a,
+                                           const SelectorCandidate* b) {
+    if (a->utility != b->utility) {
+      return a->utility > b->utility;
+    }
+    return a->id < b->id;  // deterministic tie-break
+  });
 
   const int token_budget = static_cast<int>(config_.context_budget_fraction *
                                             static_cast<double>(target_model.context_window));
   int tokens_used = 0;
 
-  std::vector<SelectedExample> selected;
-  std::vector<std::vector<float>> selected_embeddings;
-  const auto embedder = cache_->embedder();
-  for (const Candidate* candidate : order) {
+  const auto embedder = store_->embedder();
+  std::vector<SelectorCandidate> selected;
+  for (const SelectorCandidate* candidate : order) {
     if (selected.size() >= config_.max_examples) {
       break;
     }
     if (apply_threshold && candidate->utility < utility_threshold_) {
       continue;
     }
-    const int tokens = candidate->example->PromptTokens();
+    const int tokens = candidate->example.PromptTokens();
     if (tokens_used + tokens > token_budget) {
       continue;
     }
     // Diversity: reject near-duplicates of already selected examples.
-    const std::vector<float> embedding = embedder->Embed(candidate->example->request.text);
+    // Embed lazily when the preparation phase did not: only candidates that
+    // survive the threshold/budget filters pay for an embedding.
+    std::vector<float> embedding =
+        candidate->embedding.empty() ? embedder->Embed(candidate->example.request.text)
+                                     : candidate->embedding;
     bool duplicate = false;
-    for (const auto& prior : selected_embeddings) {
-      if (CosineSimilarity(embedding, prior) > config_.diversity_max_similarity) {
+    for (const SelectorCandidate& prior : selected) {
+      if (CosineSimilarity(embedding, prior.embedding) > config_.diversity_max_similarity) {
         duplicate = true;
         break;
       }
@@ -84,14 +110,10 @@ std::vector<SelectedExample> ExampleSelector::Combine(const std::vector<Candidat
       continue;
     }
 
-    SelectedExample chosen;
-    chosen.example_id = candidate->id;
-    chosen.similarity = candidate->similarity;
-    chosen.predicted_utility = candidate->utility;
-    selected.push_back(chosen);
-    selected_embeddings.push_back(embedding);
+    selected.push_back(*candidate);
+    selected.back().embedding = std::move(embedding);
     tokens_used += tokens;
-    cache_->RecordAccess(candidate->id, now);
+    store_->RecordAccess(candidate->id, now);
   }
 
   // Present worst-to-best: the strongest example ends up adjacent to the
@@ -100,25 +122,45 @@ std::vector<SelectedExample> ExampleSelector::Combine(const std::vector<Candidat
   return selected;
 }
 
+std::vector<SelectorCandidate> ExampleSelector::CommitSelection(
+    const std::vector<SelectorCandidate>& candidates, const ModelProfile& target_model,
+    double now) {
+  ++requests_seen_;
+  MaybeAdaptThreshold();
+  return Combine(candidates, target_model, /*apply_threshold=*/true, now);
+}
+
+std::vector<SelectedExample> ExampleSelector::ToSelected(
+    const std::vector<SelectorCandidate>& picked) {
+  std::vector<SelectedExample> selected;
+  selected.reserve(picked.size());
+  for (const SelectorCandidate& candidate : picked) {
+    SelectedExample chosen;
+    chosen.example_id = candidate.id;
+    chosen.similarity = candidate.similarity;
+    chosen.predicted_utility = candidate.utility;
+    selected.push_back(chosen);
+  }
+  return selected;
+}
+
 std::vector<SelectedExample> ExampleSelector::Select(const Request& request,
                                                      const ModelProfile& target_model,
                                                      double now) {
-  ++requests_seen_;
-  MaybeAdaptThreshold();
-  std::vector<Candidate> candidates = Stage1(request);
-  ScoreStage2(request, target_model, candidates);
-  return Combine(candidates, target_model, /*apply_threshold=*/true, now);
+  const std::vector<SelectorCandidate> candidates = PrepareCandidates(request, target_model);
+  return ToSelected(CommitSelection(candidates, target_model, now));
 }
 
 std::vector<SelectedExample> ExampleSelector::SelectStage1Only(const Request& request,
                                                                const ModelProfile& target_model,
                                                                double now) {
-  std::vector<Candidate> candidates = Stage1(request);
-  // Rank purely by similarity; no utility filtering.
-  for (Candidate& candidate : candidates) {
+  // Rank purely by similarity; stage-2 scoring and utility filtering skipped.
+  std::vector<SelectorCandidate> candidates =
+      Stage1(request, /*query_embedding=*/nullptr, /*embed_candidates=*/false);
+  for (SelectorCandidate& candidate : candidates) {
     candidate.utility = candidate.similarity;
   }
-  return Combine(candidates, target_model, /*apply_threshold=*/false, now);
+  return ToSelected(Combine(candidates, target_model, /*apply_threshold=*/false, now));
 }
 
 void ExampleSelector::OnFeedback(const Request& request, const std::vector<SelectedExample>& used,
@@ -131,14 +173,16 @@ void ExampleSelector::OnFeedback(const Request& request, const std::vector<Selec
   // per-request gains still carry gradient signal.
   const double label =
       Clamp(0.5 + config_.feedback_gain_scale * observed_quality_gain, 0.0, 1.0);
-  for (const SelectedExample& sel : used) {
-    const Example* example = cache_->Get(sel.example_id);
-    if (example == nullptr) {
+  std::vector<int> used_tokens(used.size(), 0);
+  for (size_t i = 0; i < used.size(); ++i) {
+    Example example;
+    if (!store_->Snapshot(used[i].example_id, &example)) {
       continue;
     }
+    used_tokens[i] = example.PromptTokens();
     const ProxyFeatures features = MakeProxyFeatures(
-        sel.similarity, example->response_quality, example->source_capability,
-        target_model.capability, example->request.task == request.task, example->PromptTokens());
+        used[i].similarity, example.response_quality, example.source_capability,
+        target_model.capability, example.request.task == request.task, example.PromptTokens());
     proxy_->Update(features, label);
   }
 
@@ -156,11 +200,10 @@ void ExampleSelector::OnFeedback(const Request& request, const std::vector<Selec
     const double threshold = config_.threshold_grid[g];
     double kept_utility = 0.0;
     double kept_tokens = 0.0;
-    for (const SelectedExample& sel : used) {
-      if (sel.predicted_utility >= threshold) {
-        kept_utility += sel.predicted_utility;
-        const Example* example = cache_->Get(sel.example_id);
-        kept_tokens += example != nullptr ? example->PromptTokens() : 0;
+    for (size_t i = 0; i < used.size(); ++i) {
+      if (used[i].predicted_utility >= threshold) {
+        kept_utility += used[i].predicted_utility;
+        kept_tokens += used_tokens[i];
       }
     }
     const double benefit = observed_quality_gain * (kept_utility / total_utility) -

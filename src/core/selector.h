@@ -1,25 +1,39 @@
 // Two-stage example selector (section 4.1, Algorithm 1 lines 7-13).
 //
 // Stage 1 narrows the candidate pool with cheap embedding similarity against
-// the clustered cache index; stage 2 scores each survivor with the proxy
-// utility model. The combination step then assembles the final example list:
-// it filters by the current dynamic utility threshold, deduplicates
-// near-identical candidates (diversity), respects the prompt-token budget of
-// the target model, and orders examples worst-to-best so the most helpful
-// example sits adjacent to the question.
+// the cache's retrieval backend (flat | kmeans | hnsw); stage 2 scores each
+// survivor with the proxy utility model. The combination step then assembles
+// the final example list: it filters by the current dynamic utility
+// threshold, deduplicates near-identical candidates (diversity), respects the
+// prompt-token budget of the target model, and orders examples worst-to-best
+// so the most helpful example sits adjacent to the question.
 //
 // The dynamic threshold adapts online: the selector periodically probes a
 // grid of thresholds on sampled traffic and keeps the one with the best
 // observed net benefit (quality gain minus token cost), per the paper's
 // "Selecting Example Combinations".
+//
+// The selector runs against the ExampleStore interface, so the same pipeline
+// serves the single-threaded ExampleCache and the concurrent
+// ShardedExampleCache. For concurrent drivers the work is split in two:
+//
+//   PrepareCandidates  — stage 1 + stage 2, const and side-effect free; safe
+//                        to fan out across worker threads (candidates are
+//                        snapshot copies, no pointer escapes a shard lock).
+//   CommitSelection    — the stateful combination step (threshold adaptation
+//                        cadence, dynamic-threshold filter, diversity, token
+//                        budget, worst-to-best ordering, access accounting);
+//                        must run serially in arrival order.
+//
+// Select() composes the two for synchronous callers.
 #ifndef SRC_CORE_SELECTOR_H_
 #define SRC_CORE_SELECTOR_H_
 
 #include <cstdint>
 #include <vector>
 
-#include "src/core/example_cache.h"
 #include "src/core/proxy_model.h"
+#include "src/core/retrieval_backend.h"
 #include "src/llm/model_profile.h"
 #include "src/workload/request.h"
 
@@ -29,6 +43,20 @@ struct SelectedExample {
   uint64_t example_id = 0;
   double similarity = 0.0;         // stage-1 score
   double predicted_utility = 0.0;  // stage-2 score
+};
+
+// A stage-1 survivor with everything the combination step (and a concurrent
+// driver) needs: the scored example snapshot.
+struct SelectorCandidate {
+  uint64_t id = 0;
+  double similarity = 0.0;  // stage-1 cosine
+  double utility = 0.0;     // stage-2 proxy score
+  Example example;          // snapshot copy (safe across shard locks)
+  // Example-text embedding for the diversity guard. Empty until needed:
+  // Combine embeds lazily, so serial callers only pay for candidates that
+  // clear the threshold/budget filters; a concurrent driver prefills it in
+  // the parallel phase via PrepareCandidates(embed_candidates=true).
+  std::vector<float> embedding;
 };
 
 struct SelectorConfig {
@@ -59,7 +87,7 @@ struct SelectorConfig {
 
 class ExampleSelector {
  public:
-  ExampleSelector(ExampleCache* cache, ProxyUtilityModel* proxy, SelectorConfig config = {});
+  ExampleSelector(ExampleStore* store, ProxyUtilityModel* proxy, SelectorConfig config = {});
 
   // Full two-stage selection for `request` targeting `target_model`.
   std::vector<SelectedExample> Select(const Request& request, const ModelProfile& target_model,
@@ -68,6 +96,26 @@ class ExampleSelector {
   // Stage 1 only (exposed for the Figure 9 ablation).
   std::vector<SelectedExample> SelectStage1Only(const Request& request,
                                                 const ModelProfile& target_model, double now);
+
+  // --- Two-phase API for concurrent drivers --------------------------------
+
+  // Pure preparation half: stage-1 retrieval + stage-2 proxy scoring.
+  // Thread-safe (reads the store and the proxy, mutates nothing). Pass
+  // `query_embedding` when the caller already embedded request.text to skip
+  // the duplicate embedding pass; pass embed_candidates=true to also embed
+  // every candidate's text here (moves the diversity-guard embedding work
+  // into the parallel phase of a concurrent driver).
+  std::vector<SelectorCandidate> PrepareCandidates(
+      const Request& request, const ModelProfile& target_model,
+      const std::vector<float>* query_embedding = nullptr,
+      bool embed_candidates = false) const;
+
+  // Stateful combination half: advances the adaptation cadence, applies the
+  // current dynamic threshold, diversity guard, token budget, worst-to-best
+  // ordering, and records accesses. Returns the picked candidates in
+  // presentation (worst-to-best) order. Serial callers only.
+  std::vector<SelectorCandidate> CommitSelection(const std::vector<SelectorCandidate>& candidates,
+                                                 const ModelProfile& target_model, double now);
 
   // Feeds an observed helpfulness label back into the proxy model and the
   // threshold adaptation accounting.
@@ -78,23 +126,19 @@ class ExampleSelector {
   void set_utility_threshold(double threshold) { utility_threshold_ = threshold; }
   const SelectorConfig& config() const { return config_; }
 
- private:
-  struct Candidate {
-    uint64_t id = 0;
-    double similarity = 0.0;
-    double utility = 0.0;
-    const Example* example = nullptr;
-  };
+  // Converts committed candidates into the wire-level selection records.
+  static std::vector<SelectedExample> ToSelected(const std::vector<SelectorCandidate>& picked);
 
-  std::vector<Candidate> Stage1(const Request& request) const;
-  void ScoreStage2(const Request& request, const ModelProfile& target_model,
-                   std::vector<Candidate>& candidates) const;
-  std::vector<SelectedExample> Combine(const std::vector<Candidate>& candidates,
-                                       const ModelProfile& target_model, bool apply_threshold,
-                                       double now);
+ private:
+  std::vector<SelectorCandidate> Stage1(const Request& request,
+                                        const std::vector<float>* query_embedding,
+                                        bool embed_candidates) const;
+  std::vector<SelectorCandidate> Combine(const std::vector<SelectorCandidate>& candidates,
+                                         const ModelProfile& target_model, bool apply_threshold,
+                                         double now);
   void MaybeAdaptThreshold();
 
-  ExampleCache* cache_;
+  ExampleStore* store_;
   ProxyUtilityModel* proxy_;
   SelectorConfig config_;
   double utility_threshold_;

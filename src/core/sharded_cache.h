@@ -44,7 +44,7 @@ struct PreparedAdmission {
   std::vector<float> embedding;
 };
 
-class ShardedExampleCache {
+class ShardedExampleCache : public ExampleStore {
  public:
   ShardedExampleCache(std::shared_ptr<const Embedder> embedder, ShardedCacheConfig config = {});
 
@@ -72,18 +72,19 @@ class ShardedExampleCache {
 
   // Global top-k: per-shard search under shared locks, merged best-first
   // (ties broken by id so results are deterministic).
-  std::vector<SearchResult> FindSimilar(const Request& request, size_t k) const;
-  std::vector<SearchResult> FindSimilar(const std::vector<float>& embedding, size_t k) const;
+  std::vector<SearchResult> FindSimilar(const Request& request, size_t k) const override;
+  std::vector<SearchResult> FindSimilar(const std::vector<float>& embedding,
+                                        size_t k) const override;
 
   // Copies the example out under the shard lock (a pointer would dangle once
   // the lock drops). Returns false when absent.
-  bool Snapshot(uint64_t id, Example* out) const;
+  bool Snapshot(uint64_t id, Example* out) const override;
   bool Contains(uint64_t id) const;
 
   // --- Bookkeeping ---------------------------------------------------------
 
   bool Remove(uint64_t id);
-  void RecordAccess(uint64_t id, double now);
+  void RecordAccess(uint64_t id, double now) override;
   void RecordOffload(uint64_t id, double gain = 1.0);
   void DecayTick();
   std::vector<uint64_t> EnforceCapacity();
@@ -93,7 +94,7 @@ class ShardedExampleCache {
   std::vector<uint64_t> AllIds() const;
 
   size_t num_shards() const { return shards_.size(); }
-  std::shared_ptr<const Embedder> embedder() const { return embedder_; }
+  std::shared_ptr<const Embedder> embedder() const override { return embedder_; }
   const ShardedCacheConfig& config() const { return config_; }
 
  private:

@@ -1,0 +1,375 @@
+#include "src/index/hnsw.h"
+
+#include <algorithm>
+#include <cmath>
+#include <mutex>
+#include <queue>
+#include <utility>
+
+#include "src/common/mathutil.h"
+#include "src/common/topk.h"
+
+namespace iccache {
+
+namespace {
+
+// Hard cap on sampled levels; with mL = 1/ln(16) the probability of level 24
+// is ~16^-24, so this only guards against pathological rng output.
+constexpr int kMaxLevel = 24;
+
+// Inner product with float accumulators, unrolled 4-wide. The shared
+// mathutil Dot() accumulates in double, which forces a convert-per-element
+// dependency chain; this kernel is what every graph hop pays, so it gets the
+// vectorizable form (the ~1e-7 float rounding is far below ANN noise).
+double DotFast(const float* x, const float* y, size_t n) {
+  float acc0 = 0.0f, acc1 = 0.0f, acc2 = 0.0f, acc3 = 0.0f;
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    acc0 += x[i] * y[i];
+    acc1 += x[i + 1] * y[i + 1];
+    acc2 += x[i + 2] * y[i + 2];
+    acc3 += x[i + 3] * y[i + 3];
+  }
+  for (; i < n; ++i) {
+    acc0 += x[i] * y[i];
+  }
+  return static_cast<double>((acc0 + acc1) + (acc2 + acc3));
+}
+
+inline void PrefetchVec(const float* p) {
+#if defined(__GNUC__) || defined(__clang__)
+  __builtin_prefetch(p);
+  __builtin_prefetch(p + 16);
+#else
+  (void)p;
+#endif
+}
+
+}  // namespace
+
+HnswIndex::HnswIndex(HnswIndexConfig config)
+    : config_(config),
+      level_multiplier_(1.0 /
+                        std::log(static_cast<double>(std::max<size_t>(2, config.max_neighbors)))),
+      rng_(config.seed) {}
+
+int HnswIndex::SampleLevel() {
+  // Geometric-ish level distribution: floor(-ln(U) * mL), U in (0, 1].
+  const double u = std::max(1e-12, 1.0 - rng_.Uniform());
+  const int level = static_cast<int>(-std::log(u) * level_multiplier_);
+  return std::min(level, kMaxLevel);
+}
+
+double HnswIndex::Sim(const float* a, const float* b) const {
+  return DotFast(a, b, config_.dim);
+}
+
+uint32_t HnswIndex::GreedyStep(const float* query, uint32_t slot, int layer) const {
+  double best = Sim(query, VecOf(slot));
+  bool improved = true;
+  while (improved) {
+    improved = false;
+    for (uint32_t neighbor : nodes_[slot].links[layer]) {
+      const double sim = Sim(query, VecOf(neighbor));
+      if (sim > best) {
+        best = sim;
+        slot = neighbor;
+        improved = true;
+      }
+    }
+  }
+  return slot;
+}
+
+std::vector<HnswIndex::ScoredSlot> HnswIndex::SearchLayer(const float* query, uint32_t entry,
+                                                          int layer, size_t ef,
+                                                          std::vector<uint32_t>& epochs,
+                                                          uint32_t epoch) const {
+  // candidates: max-heap on similarity (frontier to expand).
+  std::priority_queue<std::pair<double, uint32_t>> candidates;
+  // results: min-heap on similarity, bounded to ef (current best set).
+  std::priority_queue<std::pair<double, uint32_t>, std::vector<std::pair<double, uint32_t>>,
+                      std::greater<std::pair<double, uint32_t>>>
+      results;
+
+  const double entry_sim = Sim(query, VecOf(entry));
+  candidates.emplace(entry_sim, entry);
+  results.emplace(entry_sim, entry);
+  epochs[entry] = epoch;
+
+  while (!candidates.empty()) {
+    const auto [sim, slot] = candidates.top();
+    candidates.pop();
+    if (results.size() >= ef && sim < results.top().first) {
+      break;  // frontier can no longer improve the result set
+    }
+    const std::vector<uint32_t>& links = nodes_[slot].links[layer];
+    // Warm the arena lines for the whole neighborhood before evaluating it:
+    // graph hops are random access, and the evaluation loop would otherwise
+    // stall on every line.
+    for (uint32_t neighbor : links) {
+      if (epochs[neighbor] != epoch) {
+        PrefetchVec(VecOf(neighbor));
+      }
+    }
+    for (uint32_t neighbor : links) {
+      if (epochs[neighbor] == epoch) {
+        continue;
+      }
+      epochs[neighbor] = epoch;
+      const double neighbor_sim = Sim(query, VecOf(neighbor));
+      if (results.size() < ef || neighbor_sim > results.top().first) {
+        candidates.emplace(neighbor_sim, neighbor);
+        results.emplace(neighbor_sim, neighbor);
+        if (results.size() > ef) {
+          results.pop();
+        }
+      }
+    }
+  }
+
+  std::vector<ScoredSlot> out;
+  out.reserve(results.size());
+  while (!results.empty()) {
+    out.push_back(ScoredSlot{results.top().first, results.top().second});
+    results.pop();
+  }
+  std::reverse(out.begin(), out.end());  // best-first
+  return out;
+}
+
+std::vector<uint32_t> HnswIndex::SelectNeighbors(const std::vector<ScoredSlot>& candidates,
+                                                 size_t max_count) const {
+  std::vector<uint32_t> selected;
+  selected.reserve(max_count);
+  for (const ScoredSlot& candidate : candidates) {
+    if (selected.size() >= max_count) {
+      break;
+    }
+    // Keep only candidates closer to the query than to any kept neighbor:
+    // this spreads links across directions instead of clustering them on the
+    // nearest blob (no backfill of pruned candidates — redundant links waste
+    // degree slots that long-range edges need).
+    bool diverse = true;
+    for (uint32_t kept : selected) {
+      if (Sim(VecOf(candidate.slot), VecOf(kept)) > candidate.sim) {
+        diverse = false;
+        break;
+      }
+    }
+    if (diverse) {
+      selected.push_back(candidate.slot);
+    }
+  }
+  return selected;
+}
+
+void HnswIndex::ShrinkLinks(uint32_t slot, int layer) {
+  std::vector<uint32_t>& links = nodes_[slot].links[layer];
+  const size_t cap = LayerCap(layer);
+  if (links.size() <= cap) {
+    return;
+  }
+  std::vector<ScoredSlot> scored;
+  scored.reserve(links.size());
+  for (uint32_t neighbor : links) {
+    scored.push_back(ScoredSlot{Sim(VecOf(slot), VecOf(neighbor)), neighbor});
+  }
+  std::sort(scored.begin(), scored.end(), [](const ScoredSlot& a, const ScoredSlot& b) {
+    if (a.sim != b.sim) {
+      return a.sim > b.sim;
+    }
+    return a.slot < b.slot;
+  });
+  links = SelectNeighbors(scored, cap);
+}
+
+void HnswIndex::InsertLocked(uint64_t id, std::vector<float> vec) {
+  const int level = SampleLevel();
+  const uint32_t slot = static_cast<uint32_t>(nodes_.size());
+  Node node;
+  node.id = id;
+  node.level = level;
+  node.links.resize(static_cast<size_t>(level) + 1);
+  nodes_.push_back(std::move(node));
+  arena_.insert(arena_.end(), vec.begin(), vec.end());
+  slot_of_[id] = slot;
+  ++live_;
+  insert_epochs_.push_back(0);
+
+  if (entry_level_ < 0) {
+    entry_ = slot;
+    entry_level_ = level;
+    return;
+  }
+
+  // Stable for the duration of this insert: arena_ only grows on the next Add.
+  const float* query = VecOf(slot);
+  uint32_t cur = entry_;
+  for (int layer = entry_level_; layer > level; --layer) {
+    cur = GreedyStep(query, cur, layer);
+  }
+  for (int layer = std::min(level, entry_level_); layer >= 0; --layer) {
+    ++insert_epoch_;
+    const std::vector<ScoredSlot> found =
+        SearchLayer(query, cur, layer, std::max<size_t>(1, config_.ef_construction),
+                    insert_epochs_, insert_epoch_);
+    cur = found.empty() ? cur : found[0].slot;
+    const std::vector<uint32_t> neighbors = SelectNeighbors(found, config_.max_neighbors);
+    for (uint32_t neighbor : neighbors) {
+      nodes_[slot].links[layer].push_back(neighbor);
+      nodes_[neighbor].links[layer].push_back(slot);
+      ShrinkLinks(neighbor, layer);
+    }
+  }
+  if (level > entry_level_) {
+    entry_ = slot;
+    entry_level_ = level;
+  }
+}
+
+Status HnswIndex::Add(uint64_t id, std::vector<float> vec) {
+  if (vec.size() != config_.dim) {
+    return Status::InvalidArgument("vector dimension mismatch");
+  }
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  RemoveLocked(id);  // overwrite semantics, matching FlatIndex
+  InsertLocked(id, std::move(vec));
+  MaybeCompactLocked();
+  return Status::Ok();
+}
+
+bool HnswIndex::RemoveLocked(uint64_t id) {
+  const auto it = slot_of_.find(id);
+  if (it == slot_of_.end()) {
+    return false;
+  }
+  nodes_[it->second].deleted = true;
+  slot_of_.erase(it);
+  --live_;
+  if (live_ == 0) {
+    // Nothing left to preserve: drop the whole graph instead of keeping a
+    // structure made purely of tombstones.
+    nodes_.clear();
+    arena_.clear();
+    insert_epochs_.clear();
+    insert_epoch_ = 0;
+    entry_ = 0;
+    entry_level_ = -1;
+  }
+  return true;
+}
+
+bool HnswIndex::Remove(uint64_t id) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  if (!RemoveLocked(id)) {
+    return false;
+  }
+  MaybeCompactLocked();
+  return true;
+}
+
+void HnswIndex::MaybeCompactLocked() {
+  const size_t dead = nodes_.size() - live_;
+  if (dead < config_.min_tombstones_to_compact) {
+    return;
+  }
+  if (static_cast<double>(dead) <=
+      config_.max_tombstone_fraction * static_cast<double>(nodes_.size())) {
+    return;
+  }
+  CompactLocked();
+}
+
+void HnswIndex::CompactLocked() {
+  std::vector<std::pair<uint64_t, std::vector<float>>> survivors;
+  survivors.reserve(live_);
+  for (uint32_t slot = 0; slot < nodes_.size(); ++slot) {
+    if (!nodes_[slot].deleted) {
+      survivors.emplace_back(nodes_[slot].id,
+                             std::vector<float>(VecOf(slot), VecOf(slot) + config_.dim));
+    }
+  }
+  nodes_.clear();
+  arena_.clear();
+  slot_of_.clear();
+  insert_epochs_.clear();
+  insert_epoch_ = 0;
+  entry_ = 0;
+  entry_level_ = -1;
+  live_ = 0;
+  for (auto& [id, vec] : survivors) {
+    InsertLocked(id, std::move(vec));
+  }
+}
+
+void HnswIndex::Compact() {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  CompactLocked();
+}
+
+std::vector<SearchResult> HnswIndex::SearchLocked(const std::vector<float>& query, size_t k,
+                                                  size_t ef) const {
+  std::vector<SearchResult> results;
+  if (k == 0 || entry_level_ < 0 || query.size() != config_.dim) {
+    return results;
+  }
+  uint32_t cur = entry_;
+  for (int layer = entry_level_; layer >= 1; --layer) {
+    cur = GreedyStep(query.data(), cur, layer);
+  }
+  // Reader-side visited scratch: thread_local so concurrent searches under
+  // the shared lock never share it, epoch-reset so a query costs O(ef*degree)
+  // instead of an O(N) clear. The buffer is shared across index instances on
+  // a thread, which is safe: the epoch counter is monotonic, so marks from
+  // any earlier search can never equal the current epoch.
+  static thread_local std::vector<uint32_t> epochs;
+  static thread_local uint32_t epoch = 0;
+  if (epochs.size() < nodes_.size()) {
+    epochs.resize(nodes_.size(), 0);
+  }
+  if (++epoch == 0) {  // wrap-around: stale marks would alias, clear once
+    std::fill(epochs.begin(), epochs.end(), 0);
+    epoch = 1;
+  }
+  const std::vector<ScoredSlot> found =
+      SearchLayer(query.data(), cur, 0, std::max(ef, k), epochs, epoch);
+  TopK<uint64_t> top(k);
+  for (const ScoredSlot& scored : found) {
+    if (!nodes_[scored.slot].deleted) {
+      top.Push(scored.sim, nodes_[scored.slot].id);
+    }
+  }
+  for (auto& [score, id] : top.TakeSortedDescending()) {
+    results.push_back(SearchResult{id, score});
+  }
+  return results;
+}
+
+std::vector<SearchResult> HnswIndex::Search(const std::vector<float>& query, size_t k) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return SearchLocked(query, k, config_.ef_search);
+}
+
+std::vector<SearchResult> HnswIndex::SearchEf(const std::vector<float>& query, size_t k,
+                                              size_t ef) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return SearchLocked(query, k, ef);
+}
+
+size_t HnswIndex::size() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return live_;
+}
+
+size_t HnswIndex::tombstones() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return nodes_.size() - live_;
+}
+
+int HnswIndex::max_level() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return entry_level_;
+}
+
+}  // namespace iccache

@@ -1,0 +1,159 @@
+// Hierarchical Navigable Small World (HNSW) graph index — the online ANN
+// substrate for stage-1 retrieval at cache sizes where brute force and static
+// K-Means clustering stop being viable (millions of cached examples; cf. the
+// paper's GPU FAISS deployment, section 5).
+//
+// Properties the serving path relies on:
+//
+//  * Incremental Add: each insert wires the new vector into the multi-layer
+//    graph in O(ef_construction * degree) distance evaluations — no global
+//    rebuild, so the index never goes stale under churn (unlike KMeansIndex,
+//    whose clusters drift between rebuilds).
+//  * Tombstone Remove: deletion marks the node and keeps it as a traversal
+//    waypoint (removing it outright would tear holes in the graph). Search
+//    filters tombstones from results; when tombstones exceed
+//    `max_tombstone_fraction` of all slots the graph is compacted by
+//    re-inserting the live nodes.
+//  * Concurrent readers: Search takes a shared lock and uses thread-local
+//    scratch, so any number of threads may search while at most one mutates
+//    (Add/Remove/Compact take the exclusive lock). This matches the sharded
+//    cache's locking discipline but also makes the index safe standalone.
+//
+// Vectors are expected L2-normalized (HashingEmbedder output); similarity is
+// the inner product == cosine, higher is better, consistent with FlatIndex.
+#ifndef SRC_INDEX_HNSW_H_
+#define SRC_INDEX_HNSW_H_
+
+#include <cstdint>
+#include <shared_mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/index/vector_index.h"
+
+namespace iccache {
+
+struct HnswIndexConfig {
+  size_t dim = 128;
+  // Degree bound M: layers >= 1 keep at most M links per node, layer 0 keeps
+  // 2M (the standard HNSW setting; layer 0 holds every node).
+  size_t max_neighbors = 32;
+  // Beam width while wiring a new node in. Larger = better graph, slower Add.
+  size_t ef_construction = 200;
+  // Default beam width for Search; raise for recall, lower for latency.
+  // SearchEf overrides per call.
+  size_t ef_search = 192;
+  // Compact (rebuild from live nodes) when tombstones exceed this fraction of
+  // total slots and there are at least `min_tombstones_to_compact` of them.
+  double max_tombstone_fraction = 0.25;
+  size_t min_tombstones_to_compact = 64;
+  uint64_t seed = 0x9f5eed;
+};
+
+class HnswIndex : public VectorIndex {
+ public:
+  explicit HnswIndex(HnswIndexConfig config = {});
+
+  // Inserts (or overwrites) the vector for id. Takes the exclusive lock.
+  Status Add(uint64_t id, std::vector<float> vec) override;
+
+  // Tombstones id; returns false when absent. May trigger compaction.
+  bool Remove(uint64_t id) override;
+
+  // Top-k by cosine similarity with beam width ef_search. Shared lock;
+  // safe to call from many threads concurrently with one writer.
+  std::vector<SearchResult> Search(const std::vector<float>& query, size_t k) const override;
+
+  // Search with an explicit beam width (recall/latency sweeps).
+  std::vector<SearchResult> SearchEf(const std::vector<float>& query, size_t k, size_t ef) const;
+
+  size_t size() const override;  // live (non-tombstoned) vectors
+
+  // Diagnostics.
+  size_t tombstones() const;
+  int max_level() const;
+
+  // Rebuilds the graph from the live nodes, dropping every tombstone.
+  // Normally triggered automatically by Remove; exposed for tests and for
+  // maintenance windows.
+  void Compact();
+
+  const HnswIndexConfig& config() const { return config_; }
+
+ private:
+  struct Node {
+    uint64_t id = 0;
+    int level = 0;
+    bool deleted = false;
+    // links[l] = neighbor slots at layer l, 0 <= l <= level.
+    std::vector<std::vector<uint32_t>> links;
+  };
+
+  // (similarity, slot) scored candidate; ordered best-first where sorted.
+  struct ScoredSlot {
+    double sim = 0.0;
+    uint32_t slot = 0;
+  };
+
+  size_t LayerCap(int layer) const {
+    return layer == 0 ? 2 * config_.max_neighbors : config_.max_neighbors;
+  }
+
+  int SampleLevel();
+
+  // Vectors live in one flat arena (slot-major, `dim` floats per slot): one
+  // indirection per distance evaluation and prefetchable by address
+  // arithmetic, which is what makes graph hops cheap at 100k+ vectors.
+  const float* VecOf(uint32_t slot) const { return arena_.data() + slot * config_.dim; }
+  double Sim(const float* a, const float* b) const;
+
+  // Greedy hill-climb at `layer` starting from `slot`; returns the local
+  // optimum slot for `query`.
+  uint32_t GreedyStep(const float* query, uint32_t slot, int layer) const;
+
+  // Beam search at one layer. `epochs`/`epoch` implement an O(1)-reset
+  // visited set (slot visited iff epochs[slot] == epoch). Traverses through
+  // tombstones (they remain waypoints); the caller filters them.
+  std::vector<ScoredSlot> SearchLayer(const float* query, uint32_t entry, int layer, size_t ef,
+                                      std::vector<uint32_t>& epochs, uint32_t epoch) const;
+
+  // The HNSW diversity heuristic (Malkov & Yashunin, Alg. 4): scanning
+  // best-first, keep a candidate only if it is closer to the query than to
+  // every already-kept neighbor (no backfill — redundant links waste degree
+  // slots that long-range edges need).
+  std::vector<uint32_t> SelectNeighbors(const std::vector<ScoredSlot>& candidates,
+                                        size_t max_count) const;
+
+  // Re-prunes `slot`'s layer-`layer` neighbor list down to LayerCap.
+  void ShrinkLinks(uint32_t slot, int layer);
+
+  void InsertLocked(uint64_t id, std::vector<float> vec);
+  bool RemoveLocked(uint64_t id);
+  void CompactLocked();
+  void MaybeCompactLocked();
+  std::vector<SearchResult> SearchLocked(const std::vector<float>& query, size_t k,
+                                         size_t ef) const;
+
+  mutable std::shared_mutex mu_;
+  HnswIndexConfig config_;
+  double level_multiplier_;  // 1 / ln(M)
+  Rng rng_;
+
+  std::vector<Node> nodes_;
+  std::vector<float> arena_;  // nodes_[s]'s vector at [s*dim, (s+1)*dim)
+  std::unordered_map<uint64_t, uint32_t> slot_of_;  // live ids only
+  uint32_t entry_ = 0;
+  int entry_level_ = -1;  // -1 == empty graph
+  size_t live_ = 0;
+
+  // Writer-side visited scratch (Add/Compact hold the exclusive lock, so a
+  // shared buffer is safe there; Search uses a thread_local one so concurrent
+  // readers never share state).
+  std::vector<uint32_t> insert_epochs_;
+  uint32_t insert_epoch_ = 0;
+};
+
+}  // namespace iccache
+
+#endif  // SRC_INDEX_HNSW_H_

@@ -46,6 +46,7 @@ ServingDriver::ServingDriver(DriverConfig config, const ModelCatalog* catalog)
       embedder_(std::make_shared<HashingEmbedder>()),
       cache_(embedder_, SeededCacheConfig(config.cache, config.seed)),
       proxy_(),
+      selector_(&cache_, &proxy_, config.selector),
       router_(MakeArms(small_, large_), SeededRouterConfig(config.router, config.seed)),
       generator_(Mix64(config.seed ^ 0x6e4ull)) {
   cluster_.AddPool(small_, config_.small_replicas, config_.server);
@@ -74,76 +75,13 @@ uint64_t ServingDriver::SeedExample(const Request& request, double now) {
 ServingDriver::Prepared ServingDriver::PrepareRequest(const Request& request) const {
   Prepared prepared;
   const std::vector<float> embedding = embedder_->Embed(request.text);
-  const std::vector<SearchResult> candidates =
-      cache_.FindSimilar(embedding, config_.stage1_candidates);
-
-  // Stage 2: proxy-score every stage-1 survivor, then combine.
-  struct Scored {
-    SelectedExample selected;
-    Example example;
-    ProxyFeatures features;
-  };
-  std::vector<Scored> scored;
-  scored.reserve(candidates.size());
-  for (const SearchResult& candidate : candidates) {
-    if (candidate.score < config_.stage1_min_similarity) {
-      continue;  // results are sorted best-first, but keep the scan simple
-    }
-    Scored entry;
-    if (!cache_.Snapshot(candidate.id, &entry.example)) {
-      continue;  // evicted between search and snapshot
-    }
-    entry.features = MakeProxyFeatures(
-        candidate.score, entry.example.response_quality, entry.example.source_capability,
-        small_.capability, entry.example.request.task == request.task,
-        entry.example.PromptTokens());
-    entry.selected.example_id = candidate.id;
-    entry.selected.similarity = candidate.score;
-    entry.selected.predicted_utility = proxy_.Predict(entry.features);
-    if (entry.selected.predicted_utility < config_.utility_threshold) {
-      continue;
-    }
-    scored.push_back(std::move(entry));
-  }
-  std::sort(scored.begin(), scored.end(), [](const Scored& a, const Scored& b) {
-    if (a.selected.predicted_utility != b.selected.predicted_utility) {
-      return a.selected.predicted_utility > b.selected.predicted_utility;
-    }
-    return a.selected.example_id < b.selected.example_id;  // deterministic tie-break
-  });
-
-  const int token_budget = static_cast<int>(static_cast<double>(small_.context_window) *
-                                            config_.context_budget_fraction);
-  int used_tokens = 0;
-  bool have_query_near_copy = false;
-  Rng view_rng(Mix64(request.id ^ config_.seed ^ 0x71e35ull));
-  for (Scored& entry : scored) {
-    if (prepared.selected.size() >= config_.max_examples) {
-      break;
-    }
-    const int tokens = entry.example.PromptTokens();
-    if (used_tokens + tokens > token_budget) {
-      continue;
-    }
-    // Diversity guard: two candidates this close to the query are near-copies
-    // of each other; keep only the best-scored one.
-    if (entry.selected.similarity >= config_.diversity_max_similarity) {
-      if (have_query_near_copy) {
-        continue;
-      }
-      have_query_near_copy = true;
-    }
-    used_tokens += tokens;
-    ExampleView view;
-    view.relevance = StructuralRelevance(request, entry.example.request, view_rng);
-    view.quality = entry.example.response_quality;
-    view.source_capability = entry.example.source_capability;
-    view.tokens = tokens;
-    prepared.views.push_back(view);
-    prepared.features.push_back(entry.features);
-    prepared.selected.push_back(entry.selected);
-  }
-
+  // Pure selector half: stage-1 sharded retrieval + stage-2 proxy scoring,
+  // with candidate embeddings prefilled so the serial phase's diversity guard
+  // does no embedding work. The dynamic utility threshold is applied later,
+  // in the serial phase, so every request in the window sees the same
+  // adaptation state.
+  prepared.candidates =
+      selector_.PrepareCandidates(request, small_, &embedding, /*embed_candidates=*/true);
   if (config_.admit_large_responses) {
     prepared.admission = cache_.PrepareAdmission(request, &embedding);
   }
@@ -193,12 +131,30 @@ DriverReport ServingDriver::Run(const std::vector<Request>& requests) {
           pool_capacity;
       router_.ObserveLoad(load);
 
-      const RouteDecision decision = router_.Route(request, prep.selected);
+      // Stateful selector half: dynamic-threshold filter, diversity guard,
+      // token budget, worst-to-best ordering, access accounting.
+      const std::vector<SelectorCandidate> picked =
+          selector_.CommitSelection(prep.candidates, small_, request.arrival_time);
+      const std::vector<SelectedExample> selected = ExampleSelector::ToSelected(picked);
+
+      const RouteDecision decision = router_.Route(request, selected);
       const bool offloaded = decision.uses_examples;
       const ModelProfile& model = offloaded ? small_ : large_;
-      static const std::vector<ExampleView> kNoViews;
-      const GenerationResult generation =
-          generator_.Generate(model, request, offloaded ? prep.views : kNoViews);
+
+      std::vector<ExampleView> views;
+      if (offloaded) {
+        views.reserve(picked.size());
+        Rng view_rng(Mix64(request.id ^ config_.seed ^ 0x71e35ull));
+        for (const SelectorCandidate& candidate : picked) {
+          ExampleView view;
+          view.relevance = StructuralRelevance(request, candidate.example.request, view_rng);
+          view.quality = candidate.example.response_quality;
+          view.source_capability = candidate.example.source_capability;
+          view.tokens = candidate.example.PromptTokens();
+          views.push_back(view);
+        }
+      }
+      const GenerationResult generation = generator_.Generate(model, request, views);
 
       ServingRequest serving;
       serving.id = request.id;
@@ -210,16 +166,22 @@ DriverReport ServingDriver::Run(const std::vector<Request>& requests) {
       router_.UpdateReward(decision, generation.latent_quality);
       if (offloaded) {
         ++report.offloaded_requests;
-        for (size_t e = 0; e < prep.selected.size(); ++e) {
-          const SelectedExample& used = prep.selected[e];
-          cache_.RecordAccess(used.example_id, request.arrival_time);
+        for (const SelectedExample& used : selected) {
           if (generation.latent_quality > 0.5) {
             cache_.RecordOffload(used.example_id, generation.latent_quality);
           }
-          // Online proxy feedback: the observed quality of the offloaded
-          // response is the helpfulness label for every example that served
-          // it (same signal IcCacheService feeds the selector).
-          proxy_.Update(prep.features[e], generation.latent_quality);
+        }
+        // Probe sampling: on a deterministic per-request slice of offloaded
+        // traffic, shadow-generate the plain small-model response so the
+        // selector's feedback (proxy updates + threshold adaptation) uses a
+        // genuine counterfactual quality gain, as in IcCacheService.
+        if (!selected.empty()) {
+          Rng probe_rng(Mix64(request.id ^ config_.seed ^ 0x9a0beull));
+          if (probe_rng.Uniform() < config_.selector_probe_rate) {
+            const GenerationResult plain = generator_.Generate(small_, request, {});
+            selector_.OnFeedback(request, selected, small_,
+                                 generation.latent_quality - plain.latent_quality);
+          }
         }
       } else if (prep.admission.admit && config_.admit_large_responses) {
         const uint64_t admitted = cache_.PutPrepared(
@@ -235,7 +197,7 @@ DriverReport ServingDriver::Run(const std::vector<Request>& requests) {
       row.request_id = request.id;
       row.model_name = model.name;
       row.offloaded = offloaded;
-      row.num_examples = offloaded ? prep.selected.size() : 0;
+      row.num_examples = offloaded ? picked.size() : 0;
       row.latent_quality = generation.latent_quality;
       report.decisions.push_back(std::move(row));
     }

@@ -5,18 +5,26 @@
 // admission — over a stream of arrival-stamped requests, using a ThreadPool
 // to exploit parallel hardware.
 //
+// Selection runs through the real ExampleSelector pipeline (dynamic threshold
+// adaptation, diversity guard, worst-to-best ordering) against the sharded
+// cache via the unified ExampleStore/RetrievalBackend abstraction; the
+// stage-1 index (flat | kmeans | hnsw) and the shard count are both chosen
+// through DriverConfig.
+//
 // Concurrency model (vLLM-style batched lookahead, determinism-preserving):
 // the stream is processed in fixed `batch_window` batches. Phase 1 fans the
 // batch out across the pool and performs only PURE per-request work (embed
-// the query, search the sharded cache, snapshot candidates, score them with
-// the proxy, pre-scrub/embed the admission payload) into per-request slots.
-// Phase 2 walks the batch in arrival order on the driver thread and applies
-// every stateful step: route (bandit sampling + reward updates), generation,
-// cluster submit, example access/offload accounting, proxy updates, and the
-// admission insert. Because phase 1 never mutates shared state and phase 2
-// order is independent of worker scheduling, a fixed seed produces identical
-// routing decisions and completions at ANY thread count — `num_threads` only
-// changes wall-clock time.
+// the query, ExampleSelector::PrepareCandidates — sharded stage-1 search,
+// candidate snapshot, stage-2 proxy scoring — and pre-scrub/embed of the
+// admission payload) into per-request slots. Phase 2 walks the batch in
+// arrival order on the driver thread and applies every stateful step:
+// ExampleSelector::CommitSelection (threshold adaptation + combination +
+// access accounting), route (bandit sampling + reward updates), generation,
+// cluster submit, offload accounting, probe-sampled selector feedback, and
+// the admission insert. Because phase 1 never mutates shared state and phase
+// 2 order is independent of worker scheduling, a fixed seed produces
+// identical routing decisions and completions at ANY thread count —
+// `num_threads` only changes wall-clock time.
 #ifndef SRC_SERVING_DRIVER_H_
 #define SRC_SERVING_DRIVER_H_
 
@@ -52,22 +60,18 @@ struct DriverConfig {
   size_t num_threads = 1;
   size_t batch_window = 64;
 
-  // Two-stage selection knobs. This is a deliberately simplified variant of
-  // ExampleSelector (no dynamic threshold adaptation or worst-to-best
-  // reordering; diversity is a query-anchored near-duplicate guard) so the
-  // whole selection can run lock-free in the parallel phase; unifying
-  // ExampleSelector with the sharded cache is a ROADMAP item.
-  size_t stage1_candidates = 16;
-  double stage1_min_similarity = 0.70;
-  size_t max_examples = 4;
-  double utility_threshold = 0.45;
-  double context_budget_fraction = 0.5;
-  // At most one selected example may sit this close to the query: candidates
-  // at >= this cosine are near-copies of the query and therefore of each
-  // other, and duplicates add prompt tokens without signal.
-  double diversity_max_similarity = 0.985;
+  // Full two-stage selection pipeline (stage-1 pool size, dynamic threshold
+  // grid, diversity, context budget, ...).
+  SelectorConfig selector;
+
+  // Fraction of offloaded requests that shadow-generate the plain small-model
+  // response so the selector gets a genuine counterfactual quality-gain label
+  // (probe sampling, section 4.1). Sampled per request id, deterministically.
+  double selector_probe_rate = 0.08;
 
   RouterConfig router;
+  // Sharded cache: `cache.num_shards` picks the shard count and
+  // `cache.cache.retrieval` the stage-1 backend (flat | kmeans | hnsw).
   ShardedCacheConfig cache;
 
   // Responses produced by the large model are admitted as future examples.
@@ -125,15 +129,14 @@ class ServingDriver {
   ShardedExampleCache& cache() { return cache_; }
   RequestRouter& router() { return router_; }
   ProxyUtilityModel& proxy() { return proxy_; }
+  ExampleSelector& selector() { return selector_; }
   ClusterSim& cluster() { return cluster_; }
   const DriverConfig& config() const { return config_; }
 
  private:
   // Phase-1 output: everything the serial phase needs, computed purely.
   struct Prepared {
-    std::vector<SelectedExample> selected;
-    std::vector<ExampleView> views;        // aligned with `selected`
-    std::vector<ProxyFeatures> features;   // aligned with `selected`
+    std::vector<SelectorCandidate> candidates;
     PreparedAdmission admission;
   };
 
@@ -145,6 +148,7 @@ class ServingDriver {
   std::shared_ptr<const Embedder> embedder_;
   ShardedExampleCache cache_;
   ProxyUtilityModel proxy_;
+  ExampleSelector selector_;
   RequestRouter router_;
   GenerationSimulator generator_;
   ClusterSim cluster_;

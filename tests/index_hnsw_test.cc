@@ -1,0 +1,294 @@
+#include "src/index/hnsw.h"
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/common/mathutil.h"
+#include "src/common/rng.h"
+
+namespace iccache {
+namespace {
+
+std::vector<float> RandomUnitVector(Rng& rng, size_t dim) {
+  std::vector<float> v(dim);
+  for (auto& x : v) {
+    x = static_cast<float>(rng.Normal());
+  }
+  NormalizeL2(v);
+  return v;
+}
+
+TEST(HnswIndexTest, AddSearchRemove) {
+  HnswIndexConfig config;
+  config.dim = 4;
+  HnswIndex index(config);
+  EXPECT_TRUE(index.Add(1, {1.0f, 0.0f, 0.0f, 0.0f}).ok());
+  EXPECT_TRUE(index.Add(2, {0.0f, 1.0f, 0.0f, 0.0f}).ok());
+  EXPECT_EQ(index.size(), 2u);
+
+  const auto results = index.Search({1.0f, 0.0f, 0.0f, 0.0f}, 1);
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0].id, 1u);
+  EXPECT_NEAR(results[0].score, 1.0, 1e-6);
+
+  EXPECT_TRUE(index.Remove(1));
+  EXPECT_FALSE(index.Remove(1));
+  EXPECT_EQ(index.size(), 1u);
+  EXPECT_EQ(index.Search({1.0f, 0.0f, 0.0f, 0.0f}, 1)[0].id, 2u);
+}
+
+TEST(HnswIndexTest, DimensionMismatchRejected) {
+  HnswIndexConfig config;
+  config.dim = 4;
+  HnswIndex index(config);
+  EXPECT_FALSE(index.Add(1, {1.0f}).ok());
+  EXPECT_TRUE(index.Search({1.0f}, 3).empty());  // malformed query: no results
+}
+
+TEST(HnswIndexTest, OverwriteExistingId) {
+  HnswIndexConfig config;
+  config.dim = 2;
+  HnswIndex index(config);
+  ASSERT_TRUE(index.Add(1, {1.0f, 0.0f}).ok());
+  ASSERT_TRUE(index.Add(1, {0.0f, 1.0f}).ok());
+  EXPECT_EQ(index.size(), 1u);
+  const auto results = index.Search({0.0f, 1.0f}, 1);
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0].id, 1u);
+  EXPECT_NEAR(results[0].score, 1.0, 1e-6);
+}
+
+TEST(HnswIndexTest, ResultsSortedDescendingAndUnique) {
+  HnswIndexConfig config;
+  config.dim = 8;
+  HnswIndex index(config);
+  Rng rng(21);
+  for (uint64_t i = 0; i < 200; ++i) {
+    ASSERT_TRUE(index.Add(i, RandomUnitVector(rng, 8)).ok());
+  }
+  const auto results = index.Search(RandomUnitVector(rng, 8), 20);
+  ASSERT_EQ(results.size(), 20u);
+  std::set<uint64_t> unique;
+  for (size_t i = 0; i < results.size(); ++i) {
+    unique.insert(results[i].id);
+    if (i > 0) {
+      EXPECT_GE(results[i - 1].score, results[i].score);
+    }
+  }
+  EXPECT_EQ(unique.size(), results.size());
+}
+
+TEST(HnswIndexTest, KLargerThanSize) {
+  HnswIndexConfig config;
+  config.dim = 2;
+  HnswIndex index(config);
+  index.Add(1, {1.0f, 0.0f});
+  EXPECT_EQ(index.Search({1.0f, 0.0f}, 10).size(), 1u);
+  EXPECT_TRUE(index.Search({1.0f, 0.0f}, 0).empty());
+}
+
+TEST(HnswIndexTest, EmptyIndexSearch) {
+  HnswIndex index;
+  EXPECT_TRUE(index.Search(std::vector<float>(128, 0.0f), 5).empty());
+}
+
+// Satellite acceptance: recall@10 >= 0.9 against FlatIndex ground truth on
+// 10k synthetic normalized vectors.
+TEST(HnswIndexTest, RecallAtTenAgainstFlatGroundTruth) {
+  const size_t dim = 64;
+  const size_t n = 10000;
+  const size_t k = 10;
+  const int queries = 100;
+
+  HnswIndexConfig config;
+  config.dim = dim;
+  HnswIndex approx(config);
+  FlatIndex exact(dim);
+  Rng rng(31);
+  for (uint64_t i = 0; i < n; ++i) {
+    const auto v = RandomUnitVector(rng, dim);
+    ASSERT_TRUE(approx.Add(i, v).ok());
+    ASSERT_TRUE(exact.Add(i, v).ok());
+  }
+
+  size_t hits = 0;
+  for (int q = 0; q < queries; ++q) {
+    const auto query = RandomUnitVector(rng, dim);
+    const auto truth = exact.Search(query, k);
+    const auto found = approx.Search(query, k);
+    std::set<uint64_t> truth_ids;
+    for (const auto& r : truth) {
+      truth_ids.insert(r.id);
+    }
+    for (const auto& r : found) {
+      hits += truth_ids.count(r.id);
+    }
+  }
+  const double recall = static_cast<double>(hits) / static_cast<double>(queries * k);
+  EXPECT_GE(recall, 0.9) << "recall@10 = " << recall;
+}
+
+// Self-recall: querying with a stored vector must find it (the stage-1
+// retrieval common case — a paraphrase of a cached request).
+TEST(HnswIndexTest, NearDuplicateQueryAlwaysFound) {
+  const size_t dim = 16;
+  HnswIndexConfig config;
+  config.dim = dim;
+  HnswIndex index(config);
+  Rng rng(32);
+  std::vector<std::vector<float>> stored;
+  for (uint64_t i = 0; i < 500; ++i) {
+    stored.push_back(RandomUnitVector(rng, dim));
+    ASSERT_TRUE(index.Add(i, stored.back()).ok());
+  }
+  int hits = 0;
+  for (uint64_t i = 0; i < 500; ++i) {
+    const auto results = index.Search(stored[i], 1);
+    if (!results.empty() && results[0].id == i) {
+      ++hits;
+    }
+  }
+  EXPECT_GE(hits, 495);
+}
+
+// Satellite acceptance: tombstoned ids never appear in search results, at any
+// k, before and after the automatic compaction kicks in.
+TEST(HnswIndexTest, DeletedIdsNeverReturned) {
+  const size_t dim = 16;
+  HnswIndexConfig config;
+  config.dim = dim;
+  config.min_tombstones_to_compact = 64;
+  HnswIndex index(config);
+  Rng rng(33);
+  const size_t n = 600;
+  for (uint64_t i = 0; i < n; ++i) {
+    ASSERT_TRUE(index.Add(i, RandomUnitVector(rng, dim)).ok());
+  }
+  // Delete every third id, probing after each batch of deletions.
+  std::set<uint64_t> deleted;
+  for (uint64_t i = 0; i < n; i += 3) {
+    ASSERT_TRUE(index.Remove(i));
+    deleted.insert(i);
+    if (i % 60 == 0) {
+      for (const auto& result : index.Search(RandomUnitVector(rng, dim), 25)) {
+        EXPECT_EQ(deleted.count(result.id), 0u) << "tombstoned id " << result.id << " returned";
+      }
+    }
+  }
+  EXPECT_EQ(index.size(), n - deleted.size());
+  // Deleting a third of the index crosses max_tombstone_fraction = 0.25, so
+  // compaction must have run at least once along the way.
+  EXPECT_LE(index.tombstones(),
+            static_cast<size_t>(config.max_tombstone_fraction *
+                                static_cast<double>(index.size() + index.tombstones())) +
+                1);
+  for (const auto& result : index.Search(RandomUnitVector(rng, dim), n)) {
+    EXPECT_EQ(deleted.count(result.id), 0u);
+  }
+}
+
+TEST(HnswIndexTest, CompactDropsAllTombstonesAndPreservesRecall) {
+  const size_t dim = 16;
+  HnswIndexConfig config;
+  config.dim = dim;
+  config.min_tombstones_to_compact = 1 << 30;  // disable auto-compaction
+  HnswIndex index(config);
+  Rng rng(34);
+  std::vector<std::vector<float>> stored;
+  for (uint64_t i = 0; i < 400; ++i) {
+    stored.push_back(RandomUnitVector(rng, dim));
+    ASSERT_TRUE(index.Add(i, stored[i]).ok());
+  }
+  for (uint64_t i = 0; i < 400; i += 2) {
+    ASSERT_TRUE(index.Remove(i));
+  }
+  EXPECT_EQ(index.tombstones(), 200u);
+  index.Compact();
+  EXPECT_EQ(index.tombstones(), 0u);
+  EXPECT_EQ(index.size(), 200u);
+  int hits = 0;
+  for (uint64_t i = 1; i < 400; i += 2) {
+    const auto results = index.Search(stored[i], 1);
+    if (!results.empty() && results[0].id == i) {
+      ++hits;
+    }
+  }
+  EXPECT_GE(hits, 195);
+}
+
+TEST(HnswIndexTest, RemoveAllThenReuse) {
+  HnswIndexConfig config;
+  config.dim = 4;
+  HnswIndex index(config);
+  Rng rng(35);
+  for (uint64_t i = 0; i < 50; ++i) {
+    ASSERT_TRUE(index.Add(i, RandomUnitVector(rng, 4)).ok());
+  }
+  for (uint64_t i = 0; i < 50; ++i) {
+    ASSERT_TRUE(index.Remove(i));
+  }
+  EXPECT_EQ(index.size(), 0u);
+  EXPECT_EQ(index.tombstones(), 0u);
+  EXPECT_TRUE(index.Search(RandomUnitVector(rng, 4), 5).empty());
+  ASSERT_TRUE(index.Add(99, RandomUnitVector(rng, 4)).ok());
+  EXPECT_EQ(index.Search(RandomUnitVector(rng, 4), 5).size(), 1u);
+}
+
+TEST(HnswIndexTest, WiderBeamNeverHurtsRecall) {
+  const size_t dim = 32;
+  HnswIndexConfig config;
+  config.dim = dim;
+  HnswIndex index(config);
+  FlatIndex exact(dim);
+  Rng rng(36);
+  for (uint64_t i = 0; i < 2000; ++i) {
+    const auto v = RandomUnitVector(rng, dim);
+    ASSERT_TRUE(index.Add(i, v).ok());
+    ASSERT_TRUE(exact.Add(i, v).ok());
+  }
+  size_t narrow_hits = 0;
+  size_t wide_hits = 0;
+  for (int q = 0; q < 40; ++q) {
+    const auto query = RandomUnitVector(rng, dim);
+    std::set<uint64_t> truth;
+    for (const auto& r : exact.Search(query, 10)) {
+      truth.insert(r.id);
+    }
+    for (const auto& r : index.SearchEf(query, 10, 16)) {
+      narrow_hits += truth.count(r.id);
+    }
+    for (const auto& r : index.SearchEf(query, 10, 256)) {
+      wide_hits += truth.count(r.id);
+    }
+  }
+  EXPECT_GE(wide_hits, narrow_hits);
+  EXPECT_GE(wide_hits, static_cast<size_t>(40 * 10 * 0.95));
+}
+
+class HnswSizeSweep : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(HnswSizeSweep, SearchReturnsRequestedK) {
+  const size_t n = GetParam();
+  HnswIndexConfig config;
+  config.dim = 8;
+  HnswIndex index(config);
+  Rng rng(37);
+  for (uint64_t i = 0; i < n; ++i) {
+    index.Add(i, RandomUnitVector(rng, 8));
+  }
+  const auto results = index.Search(RandomUnitVector(rng, 8), 5);
+  EXPECT_EQ(results.size(), std::min<size_t>(5, n));
+  std::set<uint64_t> unique;
+  for (const auto& r : results) {
+    unique.insert(r.id);
+  }
+  EXPECT_EQ(unique.size(), results.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, HnswSizeSweep, ::testing::Values(0u, 1u, 2u, 7u, 63u, 100u, 333u));
+
+}  // namespace
+}  // namespace iccache

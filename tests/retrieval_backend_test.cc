@@ -1,0 +1,153 @@
+#include "src/core/retrieval_backend.h"
+
+#include <memory>
+#include <set>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "src/core/example_cache.h"
+#include "src/core/selector.h"
+#include "src/core/sharded_cache.h"
+#include "src/embedding/embedder.h"
+
+namespace iccache {
+namespace {
+
+Request MakeRequest(uint64_t id, const std::string& text) {
+  Request request;
+  request.id = id;
+  request.text = text;
+  request.input_tokens = static_cast<int>(text.size() / 4 + 1);
+  return request;
+}
+
+TEST(RetrievalBackendTest, KindNameRoundTrip) {
+  for (RetrievalBackendKind kind : {RetrievalBackendKind::kFlat, RetrievalBackendKind::kKMeans,
+                                    RetrievalBackendKind::kHnsw}) {
+    RetrievalBackendKind parsed;
+    ASSERT_TRUE(ParseRetrievalBackendKind(RetrievalBackendKindName(kind), &parsed));
+    EXPECT_EQ(parsed, kind);
+  }
+  RetrievalBackendKind parsed = RetrievalBackendKind::kFlat;
+  EXPECT_FALSE(ParseRetrievalBackendKind("faiss", &parsed));
+  EXPECT_EQ(parsed, RetrievalBackendKind::kFlat);  // untouched on failure
+}
+
+TEST(RetrievalBackendTest, FactoryBuildsEachKind) {
+  RetrievalBackendConfig config;
+  config.kind = RetrievalBackendKind::kFlat;
+  auto flat = MakeRetrievalIndex(config, 8, 1);
+  ASSERT_NE(flat, nullptr);
+  EXPECT_NE(dynamic_cast<FlatIndex*>(flat.get()), nullptr);
+
+  config.kind = RetrievalBackendKind::kKMeans;
+  auto kmeans = MakeRetrievalIndex(config, 8, 1);
+  EXPECT_NE(dynamic_cast<KMeansIndex*>(kmeans.get()), nullptr);
+
+  config.kind = RetrievalBackendKind::kHnsw;
+  config.hnsw.max_neighbors = 12;
+  auto hnsw = MakeRetrievalIndex(config, 8, 7);
+  auto* as_hnsw = dynamic_cast<HnswIndex*>(hnsw.get());
+  ASSERT_NE(as_hnsw, nullptr);
+  // Factory overrides dim/seed, preserves tuning knobs.
+  EXPECT_EQ(as_hnsw->config().dim, 8u);
+  EXPECT_EQ(as_hnsw->config().seed, 7u);
+  EXPECT_EQ(as_hnsw->config().max_neighbors, 12u);
+}
+
+class BackendSweep : public ::testing::TestWithParam<RetrievalBackendKind> {};
+
+// The cache behaves identically (same store/lookup contract) under every
+// backend; approximate backends may rank differently, but a near-duplicate
+// query must always surface its source example.
+TEST_P(BackendSweep, ExampleCacheFindsNearDuplicates) {
+  ExampleCacheConfig config;
+  config.retrieval.kind = GetParam();
+  ExampleCache cache(std::make_shared<HashingEmbedder>(), config);
+
+  std::vector<uint64_t> ids;
+  std::vector<std::string> texts;
+  for (int i = 0; i < 200; ++i) {
+    texts.push_back("how do i sort a list of " + std::to_string(i) + " items in python");
+    const uint64_t id =
+        cache.Put(MakeRequest(static_cast<uint64_t>(i + 1), texts.back()), "resp", 0.8, 0.9, 16,
+                  0.0);
+    ASSERT_NE(id, 0u);
+    ids.push_back(id);
+  }
+  int hits = 0;
+  for (size_t i = 0; i < ids.size(); ++i) {
+    const auto results = cache.FindSimilar(MakeRequest(9999, texts[i]), 1);
+    if (!results.empty() && results[0].id == ids[i]) {
+      ++hits;
+    }
+  }
+  EXPECT_GE(hits, 195) << "backend " << RetrievalBackendKindName(GetParam());
+}
+
+TEST_P(BackendSweep, RemoveDropsFromRetrieval) {
+  ExampleCacheConfig config;
+  config.retrieval.kind = GetParam();
+  ExampleCache cache(std::make_shared<HashingEmbedder>(), config);
+  std::vector<uint64_t> ids;
+  for (int i = 0; i < 120; ++i) {
+    ids.push_back(cache.Put(
+        MakeRequest(static_cast<uint64_t>(i + 1), "question about topic " + std::to_string(i)),
+        "resp", 0.8, 0.9, 16, 0.0));
+  }
+  for (size_t i = 0; i < ids.size(); i += 2) {
+    ASSERT_TRUE(cache.Remove(ids[i]));
+  }
+  const auto results =
+      cache.FindSimilar(MakeRequest(9999, "question about topic 4"), cache.size());
+  for (const auto& result : results) {
+    Example example;
+    EXPECT_TRUE(cache.Snapshot(result.id, &example)) << "stale id " << result.id;
+  }
+}
+
+// The full selection pipeline runs unchanged over the sharded cache with any
+// backend — the ExampleStore unification the driver relies on.
+TEST_P(BackendSweep, SelectorRunsOverShardedCache) {
+  ShardedCacheConfig config;
+  config.num_shards = 4;
+  config.cache.retrieval.kind = GetParam();
+  ShardedExampleCache cache(std::make_shared<HashingEmbedder>(), config);
+  ProxyUtilityModel proxy;
+  ExampleSelector selector(&cache, &proxy);
+
+  for (int i = 0; i < 150; ++i) {
+    cache.Put(MakeRequest(static_cast<uint64_t>(i + 1),
+                          "explain recursion with example number " + std::to_string(i % 10)),
+              "resp", 0.9, 0.95, 16, 0.0);
+  }
+  ModelCatalog catalog;
+  const ModelProfile& model = catalog.Get("gemma-2-2b");
+  size_t total_selected = 0;
+  for (int q = 0; q < 20; ++q) {
+    const Request request =
+        MakeRequest(static_cast<uint64_t>(1000 + q),
+                    "explain recursion with example number " + std::to_string(q % 10));
+    const auto selected = selector.Select(request, model, 0.0);
+    EXPECT_LE(selected.size(), selector.config().max_examples);
+    for (const auto& sel : selected) {
+      Example example;
+      EXPECT_TRUE(cache.Snapshot(sel.example_id, &example));
+      EXPECT_GE(sel.similarity, selector.config().stage1_min_similarity);
+    }
+    total_selected += selected.size();
+  }
+  EXPECT_GT(total_selected, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Kinds, BackendSweep,
+                         ::testing::Values(RetrievalBackendKind::kFlat,
+                                           RetrievalBackendKind::kKMeans,
+                                           RetrievalBackendKind::kHnsw),
+                         [](const ::testing::TestParamInfo<RetrievalBackendKind>& info) {
+                           return RetrievalBackendKindName(info.param);
+                         });
+
+}  // namespace
+}  // namespace iccache

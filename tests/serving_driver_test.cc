@@ -31,12 +31,9 @@ std::vector<Request> SmallWorkload(size_t approx_requests = 400) {
   return ServingDriver::MakeWorkload(SmallProfile(), trace, kSeed ^ 0x9e4);
 }
 
-std::unique_ptr<ServingDriver> MakeDriver(const ModelCatalog& catalog, size_t num_threads,
-                                          size_t seed_pool = 300) {
-  DriverConfig config;
-  config.num_threads = num_threads;
-  config.batch_window = 32;
-  config.cache.num_shards = 4;
+std::unique_ptr<ServingDriver> MakeDriverWithConfig(const ModelCatalog& catalog,
+                                                    DriverConfig config,
+                                                    size_t seed_pool = 300) {
   config.seed = kSeed;
   auto driver = std::make_unique<ServingDriver>(config, &catalog);
   QueryGenerator seeder(SmallProfile(), kSeed ^ 0x5eedb);
@@ -44,6 +41,26 @@ std::unique_ptr<ServingDriver> MakeDriver(const ModelCatalog& catalog, size_t nu
     driver->SeedExample(seeder.Next(), 0.0);
   }
   return driver;
+}
+
+std::unique_ptr<ServingDriver> MakeDriver(const ModelCatalog& catalog, size_t num_threads,
+                                          size_t seed_pool = 300) {
+  DriverConfig config;
+  config.num_threads = num_threads;
+  config.batch_window = 32;
+  config.cache.num_shards = 4;
+  return MakeDriverWithConfig(catalog, config, seed_pool);
+}
+
+void ExpectSameDecisions(const DriverReport& a, const DriverReport& b) {
+  ASSERT_EQ(a.decisions.size(), b.decisions.size());
+  for (size_t i = 0; i < a.decisions.size(); ++i) {
+    EXPECT_EQ(a.decisions[i].request_id, b.decisions[i].request_id);
+    EXPECT_EQ(a.decisions[i].model_name, b.decisions[i].model_name);
+    EXPECT_EQ(a.decisions[i].offloaded, b.decisions[i].offloaded);
+    EXPECT_EQ(a.decisions[i].num_examples, b.decisions[i].num_examples);
+    EXPECT_DOUBLE_EQ(a.decisions[i].latent_quality, b.decisions[i].latent_quality);
+  }
 }
 
 TEST(ServingDriverTest, MakeWorkloadIsDeterministic) {
@@ -86,6 +103,62 @@ TEST(ServingDriverTest, IdenticalDecisionsAtOneAndEightThreads) {
   }
   EXPECT_EQ(single.offloaded_requests, eight.offloaded_requests);
   EXPECT_EQ(single.admitted_examples, eight.admitted_examples);
+}
+
+// Thread-count invariance must hold for every retrieval backend the driver
+// can be configured with, not just the default: the HNSW graph is built
+// serially in phase 2 (admissions) and searched concurrently in phase 1, so
+// a fixed seed must still yield identical decisions at 1 and 8 threads.
+TEST(ServingDriverTest, HnswBackendIsThreadCountInvariant) {
+  const std::vector<Request> requests = SmallWorkload();
+  ModelCatalog catalog;
+  DriverConfig config;
+  config.batch_window = 32;
+  config.cache.num_shards = 4;
+  config.cache.cache.retrieval.kind = RetrievalBackendKind::kHnsw;
+
+  config.num_threads = 1;
+  const DriverReport single = MakeDriverWithConfig(catalog, config)->Run(requests);
+  config.num_threads = 8;
+  const DriverReport eight = MakeDriverWithConfig(catalog, config)->Run(requests);
+
+  ExpectSameDecisions(single, eight);
+  EXPECT_EQ(single.offloaded_requests, eight.offloaded_requests);
+  EXPECT_EQ(single.admitted_examples, eight.admitted_examples);
+  EXPECT_GT(single.offloaded_requests, 0u);
+}
+
+// Satellite: shard count and retrieval backend are plain DriverConfig knobs.
+// A single-shard flat configuration must reproduce the exact-search behavior
+// (flat search is exact, so sharding only changes id encoding, not which
+// examples are retrieved) and stay deterministic across runs and threads.
+TEST(ServingDriverTest, SingleShardFlatConfigReproducesExactPath) {
+  const std::vector<Request> requests = SmallWorkload();
+  ModelCatalog catalog;
+  DriverConfig config;
+  config.batch_window = 32;
+  config.cache.num_shards = 1;
+  config.cache.cache.retrieval.kind = RetrievalBackendKind::kFlat;
+
+  config.num_threads = 1;
+  const DriverReport a = MakeDriverWithConfig(catalog, config)->Run(requests);
+  config.num_threads = 8;
+  const DriverReport b = MakeDriverWithConfig(catalog, config)->Run(requests);
+  ExpectSameDecisions(a, b);
+  EXPECT_GT(a.offloaded_requests, 0u);
+  EXPECT_LT(a.offloaded_requests, a.total_requests);
+
+  // Exact-path shard invariance: the flat backend retrieves the same example
+  // set no matter how many shards the cache is split into.
+  config.cache.num_shards = 4;
+  config.num_threads = 2;
+  const DriverReport sharded = MakeDriverWithConfig(catalog, config)->Run(requests);
+  ASSERT_EQ(a.decisions.size(), sharded.decisions.size());
+  for (size_t i = 0; i < a.decisions.size(); ++i) {
+    EXPECT_EQ(a.decisions[i].offloaded, sharded.decisions[i].offloaded) << "request " << i;
+    EXPECT_EQ(a.decisions[i].num_examples, sharded.decisions[i].num_examples)
+        << "request " << i;
+  }
 }
 
 TEST(ServingDriverTest, EveryRequestCompletesExactlyOnce) {
