@@ -1,14 +1,28 @@
 // Concurrent serving-driver throughput: host-side pipeline requests/sec and
-// simulated p50/p99 completion latency at 1 vs N worker threads over the same
-// synthetic LMSys trace, for each configured stage-1 retrieval backend. The
-// batched two-phase pipeline guarantees identical routing decisions at every
-// thread count, so the speedup column isolates the parallel stage-1/stage-2
-// preparation work (embed + sharded retrieval + proxy scoring) that the
-// ThreadPool accelerates.
+// simulated completion-latency percentiles (E2E, TTFT, scheduler queue delay)
+// at 1 vs N worker threads over the same synthetic LMSys trace, for each
+// configured stage-1 retrieval backend. The batched two-phase pipeline
+// guarantees identical routing decisions at every thread count, so the
+// speedup column isolates the parallel stage-1/stage-2 preparation work
+// (embed + sharded retrieval + proxy scoring) that the ThreadPool
+// accelerates.
+//
+// A second section demonstrates the example lifecycle under a byte budget:
+// with maintenance ON the decay + knapsack-eviction ticks (plus automatic
+// enforcement on insert) hold the sharded pool at <= capacity *
+// high_watermark for the whole trace; with maintenance OFF and no budget the
+// pool grows without bound. Use --requests=50000 to reproduce the
+// long-trace acceptance run.
 //
 // Flags:
-//   --index=flat,hnsw   comma-separated retrieval backends to sweep
-//                       (flat | kmeans | hnsw; default "flat,hnsw")
+//   --index=flat,hnsw     comma-separated retrieval backends to sweep
+//                         (flat | kmeans | hnsw; default "flat,hnsw")
+//   --requests=N          approximate trace length (default 4000)
+//   --sweep=on|off        run the thread-count sweep (default on; off runs
+//                         only the lifecycle demo, e.g. for --requests=50000)
+//   --maintenance=on|off  lifecycle demo mode (default on: bounded pool;
+//                         off: unbounded growth baseline)
+//   --capacity-kb=N       byte budget for the maintenance demo (default 256)
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
@@ -27,6 +41,15 @@ namespace {
 constexpr uint64_t kSeed = 0xd21e5;
 constexpr size_t kSeedPool = 2000;
 
+struct Options {
+  std::vector<RetrievalBackendKind> backends = {RetrievalBackendKind::kFlat,
+                                                RetrievalBackendKind::kHnsw};
+  size_t requests = 4000;
+  bool sweep = true;
+  bool maintenance = true;
+  int64_t capacity_kb = 256;
+};
+
 DriverConfig MakeConfig(size_t num_threads, RetrievalBackendKind backend) {
   DriverConfig config;
   config.num_threads = num_threads;
@@ -38,9 +61,8 @@ DriverConfig MakeConfig(size_t num_threads, RetrievalBackendKind backend) {
 }
 
 std::unique_ptr<ServingDriver> MakeDriver(const DatasetProfile& profile,
-                                          const ModelCatalog& catalog, size_t num_threads,
-                                          RetrievalBackendKind backend) {
-  auto driver = std::make_unique<ServingDriver>(MakeConfig(num_threads, backend), &catalog);
+                                          const ModelCatalog& catalog, DriverConfig config) {
+  auto driver = std::make_unique<ServingDriver>(config, &catalog);
   QueryGenerator seeder(profile, kSeed ^ 0x5eedb);
   for (size_t i = 0; i < kSeedPool; ++i) {
     driver->SeedExample(seeder.Next(), 0.0);
@@ -48,36 +70,48 @@ std::unique_ptr<ServingDriver> MakeDriver(const DatasetProfile& profile,
   return driver;
 }
 
-std::vector<RetrievalBackendKind> ParseBackends(int argc, char** argv) {
-  std::string list = "flat,hnsw";
+Options ParseOptions(int argc, char** argv) {
+  Options options;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg.rfind("--index=", 0) == 0) {
-      list = arg.substr(8);
+      options.backends.clear();
+      const std::string list = arg.substr(8);
+      size_t start = 0;
+      while (start <= list.size()) {
+        const size_t comma = list.find(',', start);
+        const std::string name =
+            list.substr(start, comma == std::string::npos ? std::string::npos : comma - start);
+        RetrievalBackendKind kind;
+        if (!ParseRetrievalBackendKind(name, &kind)) {
+          std::fprintf(stderr, "unknown retrieval backend: %s (want flat|kmeans|hnsw)\n",
+                       name.c_str());
+          std::exit(2);
+        }
+        options.backends.push_back(kind);
+        if (comma == std::string::npos) {
+          break;
+        }
+        start = comma + 1;
+      }
+    } else if (arg.rfind("--requests=", 0) == 0) {
+      options.requests = static_cast<size_t>(std::strtoull(arg.c_str() + 11, nullptr, 10));
+    } else if (arg == "--sweep=on") {
+      options.sweep = true;
+    } else if (arg == "--sweep=off") {
+      options.sweep = false;
+    } else if (arg == "--maintenance=on") {
+      options.maintenance = true;
+    } else if (arg == "--maintenance=off") {
+      options.maintenance = false;
+    } else if (arg.rfind("--capacity-kb=", 0) == 0) {
+      options.capacity_kb = std::strtoll(arg.c_str() + 14, nullptr, 10);
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
       std::exit(2);
     }
   }
-  std::vector<RetrievalBackendKind> backends;
-  size_t start = 0;
-  while (start <= list.size()) {
-    const size_t comma = list.find(',', start);
-    const std::string name =
-        list.substr(start, comma == std::string::npos ? std::string::npos : comma - start);
-    RetrievalBackendKind kind;
-    if (!ParseRetrievalBackendKind(name, &kind)) {
-      std::fprintf(stderr, "unknown retrieval backend: %s (want flat|kmeans|hnsw)\n",
-                   name.c_str());
-      std::exit(2);
-    }
-    backends.push_back(kind);
-    if (comma == std::string::npos) {
-      break;
-    }
-    start = comma + 1;
-  }
-  return backends;
+  return options;
 }
 
 bool SameDecisions(const DriverReport& a, const DriverReport& b) {
@@ -100,13 +134,13 @@ bool SameDecisions(const DriverReport& a, const DriverReport& b) {
 
 int main(int argc, char** argv) {
   using namespace iccache;
-  const std::vector<RetrievalBackendKind> backends = ParseBackends(argc, argv);
+  const Options options = ParseOptions(argc, argv);
 
   const DatasetProfile profile = benchutil::ScaledProfile(DatasetId::kLmsysChat, kSeedPool);
   TraceConfig trace;
   trace.kind = TraceKind::kPoisson;
   trace.mean_rps = 8.0;
-  trace.duration_s = 500.0;  // ~4000 requests
+  trace.duration_s = static_cast<double>(options.requests) / trace.mean_rps;
   trace.seed = kSeed ^ 0x7ace;
   const std::vector<Request> requests = ServingDriver::MakeWorkload(profile, trace, kSeed ^ 0x9e4);
 
@@ -117,14 +151,19 @@ int main(int argc, char** argv) {
   benchutil::PrintTitle("Serving-driver throughput: 1 thread vs N threads (LMSys trace)");
   std::printf("  requests=%zu  seed_pool=%zu  shards=8  batch_window=64  hw_cores=%u\n",
               requests.size(), kSeedPool, hw);
-  std::printf("  %-7s %-8s %10s %12s %9s %10s %10s %9s\n", "index", "threads", "wall (s)",
-              "req/s", "speedup", "p50 (s)", "p99 (s)", "offload%");
+  std::printf("  %-7s %-8s %9s %10s %8s %9s %9s %9s %9s %9s %8s\n", "index", "threads",
+              "wall (s)", "req/s", "speedup", "e2e p50", "e2e p99", "ttft p50", "ttft p99",
+              "qdly p99", "offload%");
 
   bool decisions_match = true;
-  for (RetrievalBackendKind backend : backends) {
+  for (RetrievalBackendKind backend : options.backends) {
+    if (!options.sweep) {
+      std::printf("  (sweep disabled)\n");
+      break;
+    }
     DriverReport baseline;
     for (size_t threads : thread_counts) {
-      const auto driver = MakeDriver(profile, catalog, threads, backend);
+      const auto driver = MakeDriver(profile, catalog, MakeConfig(threads, backend));
       const DriverReport report = driver->Run(requests);
       if (threads == thread_counts.front()) {
         baseline = report;
@@ -133,12 +172,13 @@ int main(int argc, char** argv) {
       }
       const double speedup =
           baseline.wall_seconds > 0.0 ? baseline.wall_seconds / report.wall_seconds : 0.0;
-      std::printf("  %-7s %-8zu %10.3f %12.0f %8.2fx %10.4f %10.4f %8.1f%%\n",
-                  RetrievalBackendKindName(backend), threads, report.wall_seconds,
-                  report.requests_per_second, speedup, report.p50_latency_s,
-                  report.p99_latency_s,
-                  100.0 * static_cast<double>(report.offloaded_requests) /
-                      static_cast<double>(report.total_requests));
+      std::printf(
+          "  %-7s %-8zu %9.3f %10.0f %7.2fx %9.4f %9.4f %9.4f %9.4f %9.4f %7.1f%%\n",
+          RetrievalBackendKindName(backend), threads, report.wall_seconds,
+          report.requests_per_second, speedup, report.p50_latency_s, report.p99_latency_s,
+          report.p50_ttft_s, report.p99_ttft_s, report.p99_queue_delay_s,
+          100.0 * static_cast<double>(report.offloaded_requests) /
+              static_cast<double>(report.total_requests));
     }
 
     // Amdahl check on the measured phase split: the parallel preparation
@@ -150,13 +190,60 @@ int main(int argc, char** argv) {
         "  [%s] parallel-phase fraction: %.1f%%  (Amdahl-projected 8-thread speedup: %.2fx)\n",
         RetrievalBackendKindName(backend), 100.0 * parallel_fraction, projected_8t);
   }
-  std::printf("  routing decisions identical across thread counts: %s\n",
-              decisions_match ? "yes" : "NO (BUG)");
+  if (options.sweep) {
+    std::printf("  routing decisions identical across thread counts: %s\n",
+                decisions_match ? "yes" : "NO (BUG)");
+  } else {
+    std::printf("  routing-decision determinism check: skipped (sweep disabled)\n");
+  }
+
+  // --- Lifecycle maintenance demo: eviction holds the pool at capacity ----
+  benchutil::PrintTitle("Example lifecycle under a byte budget (sharded pool)");
+  const int64_t capacity = options.capacity_kb * 1024;
+  DriverConfig lifecycle_config = MakeConfig(/*num_threads=*/8, options.backends.front());
+  bool capacity_held = true;
+  if (options.maintenance) {
+    lifecycle_config.cache.cache.capacity_bytes = capacity;
+    // Tick cadence scaled to the trace so decay/eviction and off-peak replay
+    // are visible within the default 500-second run (production default is
+    // hourly). The synthetic trace keeps the cluster saturated (load > 1),
+    // so the off-peak gate is relaxed here or replay would never fire.
+    lifecycle_config.manager.decay_interval_s = 60.0;
+    lifecycle_config.replay_min_interval_s = 120.0;
+    lifecycle_config.replay_load_threshold = 1e9;
+  } else {
+    // Footgun baseline: no budget, no decay/eviction ticks — unbounded growth.
+    lifecycle_config.lifecycle_maintenance = false;
+    lifecycle_config.offpeak_replay = false;
+  }
+  const auto driver = MakeDriver(profile, catalog, lifecycle_config);
+  const DriverReport report = driver->Run(requests);
+  const int64_t used = driver->cache().used_bytes();
+  const double watermark_bytes = static_cast<double>(capacity) *
+                                 lifecycle_config.cache.cache.high_watermark;
+  std::printf("  maintenance=%s  capacity=%lld KB  requests=%zu\n",
+              options.maintenance ? "on" : "off",
+              static_cast<long long>(options.maintenance ? options.capacity_kb : -1),
+              requests.size());
+  std::printf(
+      "  pool: %zu examples, %.0f KB used  admitted=%zu evicted=%zu  "
+      "maintenance_runs=%zu replay_passes=%zu (replayed=%zu improved=%zu)\n",
+      driver->cache().size(), static_cast<double>(used) / 1024.0, report.admitted_examples,
+      report.evicted_examples, report.maintenance_runs, report.replay_passes,
+      report.replayed_examples, report.improved_examples);
+  if (options.maintenance) {
+    capacity_held = static_cast<double>(used) <= watermark_bytes;
+    std::printf("  pool held at <= capacity * high_watermark (%.0f KB): %s\n",
+                watermark_bytes / 1024.0, capacity_held ? "yes" : "NO (BUG)");
+  } else {
+    benchutil::PrintNote("no budget: pool grows with every admission (the pre-lifecycle footgun)");
+  }
+
   if (hw < 2) {
     benchutil::PrintNote(
         "single hardware core visible: measured speedup is bounded at ~1x here; "
         "the projected column shows the multi-core expectation");
   }
   benchutil::PrintNote("host pipeline throughput only; simulated latency is thread-invariant");
-  return decisions_match ? 0 : 1;
+  return decisions_match && capacity_held ? 0 : 1;
 }

@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
-# CI entry point: configure, build, run the full test suite, then smoke-run
-# one benchmark under a 2-second cap. Mirrors the tier-1 verify line in
-# ROADMAP.md; keep the two in sync.
+# CI entry point: configure, build, run the labelled test suite (unit /
+# concurrency / integration, each with its own timeout), smoke-run the four
+# examples/ binaries, then smoke one benchmark under a 2-second cap. Mirrors
+# the tier-1 verify line in ROADMAP.md; keep the two in sync.
 set -euo pipefail
 
 cd "$(dirname "$0")"
@@ -15,8 +16,24 @@ cmake -B "${BUILD_DIR}" -S .
 echo "== build (-j${JOBS}) =="
 cmake --build "${BUILD_DIR}" -j "${JOBS}"
 
-echo "== ctest =="
-ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "${JOBS}"
+# Per-label runs with per-label timeouts (labels assigned in CMakeLists.txt).
+# The per-test TIMEOUT property is the hard cap; --timeout is the ctest-side
+# guard so a wedged binary cannot stall the whole job.
+echo "== ctest: unit (120s/test) =="
+ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "${JOBS}" -L unit --timeout 120
+
+echo "== ctest: concurrency (300s/test) =="
+ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "${JOBS}" -L concurrency --timeout 300
+
+echo "== ctest: integration (600s/test) =="
+ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "${JOBS}" -L integration --timeout 600
+
+echo "== examples smoke =="
+# The examples/ binaries are runnable documentation; each must exit 0.
+for example in quickstart cloud_serving offline_replay edge_assistant; do
+  echo "-- ${example}"
+  timeout 300 "${BUILD_DIR}/${example}" > /dev/null
+done
 
 echo "== smoke bench (2s cap) =="
 # Smoke only proves the harness binary starts and emits output; hitting the

@@ -16,13 +16,23 @@ ExampleCache::ExampleCache(std::shared_ptr<const Embedder> embedder, ExampleCach
 uint64_t ExampleCache::Put(const Request& request, std::string response_text,
                            double response_quality, double source_capability, int response_tokens,
                            double now) {
-  const AdmissionDecision decision =
-      DecideAdmission(scrubber_, config_.admission_mode, request.text);
-  if (!decision.admit) {
+  return PutPrepared(request, PrepareAdmission(request), std::move(response_text),
+                     response_quality, source_capability, response_tokens, now);
+}
+
+PreparedAdmission ExampleCache::PrepareAdmission(const Request& request,
+                                                 const std::vector<float>* text_embedding) const {
+  return PrepareAdmissionPayload(scrubber_, config_.admission_mode, *embedder_, request,
+                                 text_embedding);
+}
+
+uint64_t ExampleCache::PutPrepared(const Request& request, PreparedAdmission prepared,
+                                   std::string response_text, double response_quality,
+                                   double source_capability, int response_tokens, double now) {
+  if (!prepared.admit) {
     return 0;
   }
-  std::vector<float> embedding = embedder_->Embed(decision.sanitized_text);
-  return PutPrepared(request, decision.sanitized_text, std::move(embedding),
+  return PutPrepared(request, std::move(prepared.sanitized_text), std::move(prepared.embedding),
                      std::move(response_text), response_quality, source_capability,
                      response_tokens, now);
 }
@@ -95,6 +105,17 @@ bool ExampleCache::Remove(uint64_t id) {
   return true;
 }
 
+bool ExampleCache::UpdateExample(uint64_t id, const std::function<void(Example&)>& mutate) {
+  Example* example = GetMutable(id);
+  if (example == nullptr) {
+    return false;
+  }
+  const int64_t before = example->SizeBytes();
+  mutate(*example);
+  used_bytes_ += example->SizeBytes() - before;
+  return true;
+}
+
 void ExampleCache::RecordAccess(uint64_t id, double now) {
   Example* example = GetMutable(id);
   if (example == nullptr) {
@@ -120,8 +141,20 @@ void ExampleCache::DecayTick() {
 }
 
 std::vector<uint64_t> ExampleCache::EnforceCapacity() {
+  // Evict once usage passes the high watermark; a watermark above 1.0 (used
+  // by tests to disable auto-eviction) still enforces at the capacity line.
+  const double trigger = static_cast<double>(config_.capacity_bytes) *
+                         std::min(1.0, config_.high_watermark);
+  if (config_.capacity_bytes <= 0 || static_cast<double>(used_bytes_) <= trigger) {
+    return {};
+  }
+  return EvictToBytes(static_cast<int64_t>(static_cast<double>(config_.capacity_bytes) *
+                                           Clamp(config_.low_watermark, 0.1, 1.0)));
+}
+
+std::vector<uint64_t> ExampleCache::EvictToBytes(int64_t target_bytes) {
   std::vector<uint64_t> evicted;
-  if (config_.capacity_bytes <= 0 || used_bytes_ <= config_.capacity_bytes) {
+  if (used_bytes_ <= target_bytes) {
     return evicted;
   }
 
@@ -140,8 +173,6 @@ std::vector<uint64_t> ExampleCache::EnforceCapacity() {
     items.push_back(item);
   }
 
-  const int64_t target_bytes = static_cast<int64_t>(
-      static_cast<double>(config_.capacity_bytes) * Clamp(config_.low_watermark, 0.1, 1.0));
   const KnapsackSolution solution = SolveKnapsack(items, target_bytes);
   std::vector<bool> keep(ids.size(), false);
   for (size_t idx : solution.selected) {

@@ -6,6 +6,7 @@
 #define SRC_CORE_EXAMPLE_CACHE_H_
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <unordered_map>
 #include <vector>
@@ -44,6 +45,16 @@ class ExampleCache : public ExampleStore {
   uint64_t Put(const Request& request, std::string response_text, double response_quality,
                double source_capability, int response_tokens, double now);
 
+  // Pure half of an admission (ExampleStore): privacy decision + embedding of
+  // the sanitized text. Const and side-effect free.
+  PreparedAdmission PrepareAdmission(
+      const Request& request, const std::vector<float>* text_embedding = nullptr) const override;
+
+  // Stateful half (ExampleStore): inserts a prepared admission.
+  uint64_t PutPrepared(const Request& request, PreparedAdmission prepared,
+                       std::string response_text, double response_quality,
+                       double source_capability, int response_tokens, double now) override;
+
   // Insertion path for callers that already ran the admission decision and
   // embedded the sanitized text (e.g. a concurrent driver moving embedding
   // work off its serial path). `embedding` must be the embedder's output for
@@ -69,24 +80,33 @@ class ExampleCache : public ExampleStore {
   // and recency bookkeeping.
   void RecordAccess(uint64_t id, double now) override;
 
+  // Applies `mutate` to the stored example and refreshes byte accounting
+  // (ExampleStore); false when absent.
+  bool UpdateExample(uint64_t id, const std::function<void(Example&)>& mutate) override;
+
   // Credits the example for a successful offload (knapsack value).
-  void RecordOffload(uint64_t id, double gain = 1.0);
+  void RecordOffload(uint64_t id, double gain = 1.0) override;
 
   // Applies the hourly multiplicative decay to every example's value/gain.
-  void DecayTick();
+  void DecayTick() override;
 
   // Runs knapsack eviction down to capacity; returns evicted ids. No-op when
   // unbounded or under the watermark.
-  std::vector<uint64_t> EnforceCapacity();
+  std::vector<uint64_t> EnforceCapacity() override;
 
-  size_t size() const { return examples_.size(); }
-  int64_t used_bytes() const { return used_bytes_; }
+  // Knapsack-evicts down to an explicit byte target regardless of the
+  // configured budget (used by ShardedExampleCache's global watermark
+  // accounting); returns evicted ids.
+  std::vector<uint64_t> EvictToBytes(int64_t target_bytes);
+
+  size_t size() const override { return examples_.size(); }
+  int64_t used_bytes() const override { return used_bytes_; }
   const ExampleCacheConfig& config() const { return config_; }
   std::shared_ptr<const Embedder> embedder() const override { return embedder_; }
   const VectorIndex& index() const { return *index_; }
 
   // Snapshot of ids for iteration (replay scheduling, experiments).
-  std::vector<uint64_t> AllIds() const;
+  std::vector<uint64_t> AllIds() const override;
 
  private:
   std::shared_ptr<const Embedder> embedder_;

@@ -1,41 +1,67 @@
 #include "src/core/manager.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "src/common/mathutil.h"
 
 namespace iccache {
 
-ExampleManager::ExampleManager(ExampleCache* cache, GenerationSimulator* generator,
+ExampleManager::ExampleManager(ExampleStore* store, GenerationSimulator* generator,
                                const ModelProfile& replay_model, ManagerConfig config)
-    : cache_(cache), generator_(generator), replay_model_(replay_model), config_(config) {}
+    : store_(store), generator_(generator), replay_model_(replay_model), config_(config) {}
+
+PreparedLifecycleAdmission ExampleManager::PrepareAdmission(
+    const Request& request, const std::vector<float>* text_embedding) const {
+  PreparedLifecycleAdmission prepared;
+  // Exact-duplicate suppression: a near-identical cached request adds tokens
+  // to the index without adding coverage. The probe reads the pool as of this
+  // call; in a batched driver two duplicates inside one window both pass —
+  // an accepted (and deterministic) race of the lookahead design.
+  const auto nearest = text_embedding != nullptr ? store_->FindSimilar(*text_embedding, 1)
+                                                 : store_->FindSimilar(request, 1);
+  if (!nearest.empty() && nearest[0].score >= config_.dedupe_similarity) {
+    prepared.duplicate = true;
+    return prepared;
+  }
+  prepared.admission = store_->PrepareAdmission(request, text_embedding);
+  return prepared;
+}
+
+uint64_t ExampleManager::CommitAdmission(const Request& request,
+                                         PreparedLifecycleAdmission prepared,
+                                         const GenerationResult& generation,
+                                         double source_capability, bool from_large_model,
+                                         double now) {
+  if (prepared.duplicate || !prepared.admission.admit) {
+    return 0;
+  }
+  if (!from_large_model && generation.latent_quality < config_.small_model_admit_quality) {
+    return 0;
+  }
+  return store_->PutPrepared(request, std::move(prepared.admission), "[cached-response]",
+                             generation.latent_quality, source_capability,
+                             generation.output_tokens, now);
+}
 
 uint64_t ExampleManager::MaybeAdmit(const Request& request, const GenerationResult& generation,
                                     double source_capability, bool from_large_model, double now) {
   if (!from_large_model && generation.latent_quality < config_.small_model_admit_quality) {
-    return 0;
+    return 0;  // gate first: skip the dedupe probe and scrub/embed entirely
   }
-  // Exact-duplicate suppression: a near-identical cached request adds tokens
-  // to the index without adding coverage.
-  const auto nearest = cache_->FindSimilar(request, 1);
-  if (!nearest.empty() && nearest[0].score >= config_.dedupe_similarity) {
-    return 0;
-  }
-  return cache_->Put(request, "[cached-response]", generation.latent_quality, source_capability,
-                     generation.output_tokens, now);
+  return CommitAdmission(request, PrepareAdmission(request), generation, source_capability,
+                         from_large_model, now);
 }
 
 void ExampleManager::RecordUsage(const std::vector<uint64_t>& example_ids,
                                  double response_quality, double normalized_model_cost) {
   const double gain = (1.0 - Clamp(response_quality, 0.0, 1.0)) *
                       Clamp(normalized_model_cost, 0.0, 1.0);
+  const double alpha = config_.gain_ema_alpha;
   for (uint64_t id : example_ids) {
-    Example* example = cache_->GetMutable(id);
-    if (example == nullptr) {
-      continue;
-    }
-    example->replay_gain_ema = config_.gain_ema_alpha * gain +
-                               (1.0 - config_.gain_ema_alpha) * example->replay_gain_ema;
+    store_->UpdateExample(id, [gain, alpha](Example& example) {
+      example.replay_gain_ema = alpha * gain + (1.0 - alpha) * example.replay_gain_ema;
+    });
   }
 }
 
@@ -48,66 +74,87 @@ ReplayReport ExampleManager::RunReplayPass() {
     double gain;
   };
   std::vector<Ranked> ranked;
-  for (uint64_t id : cache_->AllIds()) {
-    const Example* example = cache_->Get(id);
-    if (example == nullptr || example->replay_count >= config_.max_replays_per_example) {
+  for (uint64_t id : store_->AllIds()) {
+    Example example;
+    if (!store_->Snapshot(id, &example) ||
+        example.replay_count >= config_.max_replays_per_example) {
       continue;
     }
-    ranked.push_back(Ranked{id, example->replay_gain_ema});
+    ranked.push_back(Ranked{id, example.replay_gain_ema});
   }
   report.candidates = ranked.size();
-  std::sort(ranked.begin(), ranked.end(),
-            [](const Ranked& a, const Ranked& b) { return a.gain > b.gain; });
+  std::sort(ranked.begin(), ranked.end(), [](const Ranked& a, const Ranked& b) {
+    if (a.gain != b.gain) {
+      return a.gain > b.gain;
+    }
+    return a.id < b.id;  // deterministic tie-break across shards
+  });
 
   for (const Ranked& candidate : ranked) {
     if (report.replayed >= config_.max_replays_per_pass) {
       break;
     }
+    Example example;
+    if (!store_->Snapshot(candidate.id, &example)) {
+      continue;  // evicted since the ranking snapshot
+    }
     // Cost-aware cutoff: expected savings scale with how often the example is
     // reused; once that falls below the one-time replay cost, every
     // lower-ranked example is below it too — stop the pass.
-    const Example* example = cache_->Get(candidate.id);
     const double reuse_weight =
-        1.0 + std::min<double>(static_cast<double>(example->access_count), 50.0);
+        1.0 + std::min<double>(static_cast<double>(example.access_count), 50.0);
     if (candidate.gain * reuse_weight <= config_.replay_cost) {
       break;
     }
 
     // Best-of-n regeneration on the replay model.
-    double best_quality = example->response_quality;
-    int best_tokens = example->response_tokens;
+    double best_quality = example.response_quality;
+    int best_tokens = example.response_tokens;
     for (int draw = 0; draw < config_.draws_per_replay; ++draw) {
-      const GenerationResult fresh = generator_->Generate(replay_model_, example->request, {});
+      const GenerationResult fresh = generator_->Generate(replay_model_, example.request, {});
       if (fresh.latent_quality > best_quality) {
         best_quality = fresh.latent_quality;
         best_tokens = fresh.output_tokens;
       }
     }
 
-    Example* mutable_example = cache_->GetMutable(candidate.id);
-    ++mutable_example->replay_count;
+    const bool improved = best_quality > example.response_quality;
+    const double improvement = best_quality - example.response_quality;
+    const double replay_capability = replay_model_.capability;
+    store_->UpdateExample(candidate.id, [&](Example& stored) {
+      ++stored.replay_count;
+      if (improved) {
+        stored.response_quality = best_quality;
+        stored.response_tokens = best_tokens;
+        stored.source_capability = std::max(stored.source_capability, replay_capability);
+      }
+      // Refinement reduces the remaining headroom; shrink the gain estimate.
+      stored.replay_gain_ema *= (1.0 - stored.response_quality);
+    });
     ++report.replayed;
-    if (best_quality > mutable_example->response_quality) {
-      report.total_quality_gain += best_quality - mutable_example->response_quality;
-      mutable_example->response_quality = best_quality;
-      mutable_example->response_tokens = best_tokens;
-      mutable_example->source_capability =
-          std::max(mutable_example->source_capability, replay_model_.capability);
+    if (improved) {
+      report.total_quality_gain += improvement;
       ++report.improved;
     }
-    // Refinement reduces the remaining headroom; shrink the gain estimate.
-    mutable_example->replay_gain_ema *= (1.0 - mutable_example->response_quality);
+  }
+  // Replay grows stored responses; re-enforce the byte budget so a pass can
+  // never leave the pool above its watermark.
+  if (report.improved > 0) {
+    store_->EnforceCapacity();
   }
   return report;
 }
 
-void ExampleManager::MaybeRunMaintenance(double now) {
+MaintenanceReport ExampleManager::MaybeRunMaintenance(double now) {
+  MaintenanceReport report;
   if (now - last_decay_time_ < config_.decay_interval_s) {
-    return;
+    return report;
   }
   last_decay_time_ = now;
-  cache_->DecayTick();
-  cache_->EnforceCapacity();
+  store_->DecayTick();
+  report.evicted = store_->EnforceCapacity().size();
+  report.ran = true;
+  return report;
 }
 
 }  // namespace iccache

@@ -1,5 +1,8 @@
-// Example Manager (section 4.3): cache admission, per-use gain accounting,
-// cost-aware example replay, and periodic maintenance (decay + eviction).
+// Example lifecycle layer (section 4.3): cache admission, per-use gain
+// accounting, cost-aware example replay, and periodic maintenance (decay +
+// knapsack eviction) — running against the store-agnostic ExampleStore
+// interface, so the same policy serves the single-threaded ExampleCache
+// (IcCacheService) and the concurrent ShardedExampleCache (ServingDriver).
 //
 // Replay exploits generation variance: re-querying the replay model a few
 // times and keeping the best response measurably improves the stored example
@@ -9,13 +12,22 @@
 // accumulated on every reuse, and the pass stops at the first candidate whose
 // expected savings no longer cover the one-time replay cost. Each example
 // consumes at most five replay iterations in its lifetime (section 5).
+//
+// For concurrent drivers the admission path is split driver-style in two:
+//
+//   PrepareAdmission — dedupe probe + PII scrub + embedding; const and
+//                      side-effect free, safe to fan out across workers
+//                      (reads the store as of the call).
+//   CommitAdmission  — quality gate + the insert; serial phase only.
+//
+// MaybeAdmit composes the two for synchronous callers.
 #ifndef SRC_CORE_MANAGER_H_
 #define SRC_CORE_MANAGER_H_
 
 #include <cstdint>
 #include <vector>
 
-#include "src/core/example_cache.h"
+#include "src/core/retrieval_backend.h"
 #include "src/llm/generation.h"
 #include "src/llm/model_profile.h"
 
@@ -46,14 +58,42 @@ struct ReplayReport {
   double total_quality_gain = 0.0;
 };
 
+struct MaintenanceReport {
+  bool ran = false;       // false while within the decay interval
+  size_t evicted = 0;     // examples removed by the capacity knapsack
+};
+
+// Parallel-phase half of a lifecycle admission.
+struct PreparedLifecycleAdmission {
+  PreparedAdmission admission;  // privacy decision + sanitized-text embedding
+  bool duplicate = false;       // a near-identical example was already cached
+};
+
 class ExampleManager {
  public:
-  ExampleManager(ExampleCache* cache, GenerationSimulator* generator,
+  ExampleManager(ExampleStore* store, GenerationSimulator* generator,
                  const ModelProfile& replay_model, ManagerConfig config = {});
 
-  // Admission after serving: returns the cached example id or 0 when skipped.
+  // --- Two-phase admission (concurrent drivers) ----------------------------
+
+  // Pure half: dedupe probe against the current pool plus the store's
+  // scrub/embed preparation. Thread-safe; pass `text_embedding` when the
+  // caller already embedded request.text (skips a duplicate embedding pass).
+  PreparedLifecycleAdmission PrepareAdmission(
+      const Request& request, const std::vector<float>* text_embedding = nullptr) const;
+
+  // Stateful half: applies the quality gate and inserts. Returns the cached
+  // example id or 0 when skipped.
+  uint64_t CommitAdmission(const Request& request, PreparedLifecycleAdmission prepared,
+                           const GenerationResult& generation, double source_capability,
+                           bool from_large_model, double now);
+
+  // Synchronous admission after serving (composes prepare + commit); returns
+  // the cached example id or 0 when skipped.
   uint64_t MaybeAdmit(const Request& request, const GenerationResult& generation,
                       double source_capability, bool from_large_model, double now);
+
+  // --- Gain accounting, replay, maintenance --------------------------------
 
   // Per-use gain accounting for the examples that served a request:
   // G(e) = (1 - quality) * model_cost, folded into each example's EMA.
@@ -64,12 +104,12 @@ class ExampleManager {
   ReplayReport RunReplayPass();
 
   // Hourly decay + capacity enforcement; call with the current sim time.
-  void MaybeRunMaintenance(double now);
+  MaintenanceReport MaybeRunMaintenance(double now);
 
   const ManagerConfig& config() const { return config_; }
 
  private:
-  ExampleCache* cache_;
+  ExampleStore* store_;
   GenerationSimulator* generator_;
   ModelProfile replay_model_;
   ManagerConfig config_;

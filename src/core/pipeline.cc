@@ -1,0 +1,34 @@
+#include "src/core/pipeline.h"
+
+namespace iccache {
+
+RouteDecision RouteOrBypass(RequestRouter* router, const Request& request,
+                            const std::vector<SelectedExample>& selected, bool router_failed,
+                            const ModelProfile& fallback) {
+  if (!router_failed) {
+    return router->Route(request, selected);
+  }
+  RouteDecision decision;
+  decision.model_name = fallback.name;
+  decision.uses_examples = false;
+  decision.arm = 0;
+  for (size_t i = 0; i < router->num_arms(); ++i) {
+    if (router->arm_spec(i).model_name == fallback.name) {
+      decision.arm = i;
+      break;
+    }
+  }
+  decision.context = RequestRouter::MakeContext(request, selected);
+  return decision;
+}
+
+ExampleView MakeExampleView(const Request& request, const Example& example, Rng& rng) {
+  ExampleView view;
+  view.relevance = StructuralRelevance(request, example.request, rng);
+  view.quality = example.response_quality;
+  view.source_capability = example.source_capability;
+  view.tokens = example.PromptTokens();
+  return view;
+}
+
+}  // namespace iccache

@@ -1,6 +1,26 @@
 #include "src/core/retrieval_backend.h"
 
+#include <utility>
+
 namespace iccache {
+
+PreparedAdmission PrepareAdmissionPayload(const PiiScrubber& scrubber, CacheAdmissionMode mode,
+                                          const Embedder& embedder, const Request& request,
+                                          const std::vector<float>* text_embedding) {
+  PreparedAdmission prepared;
+  AdmissionDecision decision = DecideAdmission(scrubber, mode, request.text);
+  if (!decision.admit) {
+    return prepared;
+  }
+  prepared.admit = true;
+  if (text_embedding != nullptr && decision.sanitized_text == request.text) {
+    prepared.embedding = *text_embedding;
+  } else {
+    prepared.embedding = embedder.Embed(decision.sanitized_text);
+  }
+  prepared.sanitized_text = std::move(decision.sanitized_text);
+  return prepared;
+}
 
 std::unique_ptr<VectorIndex> MakeRetrievalIndex(const RetrievalBackendConfig& config, size_t dim,
                                                 uint64_t seed) {

@@ -19,11 +19,13 @@
 #ifndef SRC_CORE_RETRIEVAL_BACKEND_H_
 #define SRC_CORE_RETRIEVAL_BACKEND_H_
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "src/core/example.h"
+#include "src/core/privacy.h"
 #include "src/embedding/embedder.h"
 #include "src/index/hnsw.h"
 #include "src/index/vector_index.h"
@@ -57,13 +59,33 @@ const char* RetrievalBackendKindName(RetrievalBackendKind kind);
 // on an unknown name, leaving *out untouched.
 bool ParseRetrievalBackendKind(const std::string& name, RetrievalBackendKind* out);
 
-// Read/annotate surface the selection pipeline needs from an example store.
-// Implemented by ExampleCache (single-threaded) and ShardedExampleCache
-// (concurrent). Snapshot copies the example out so no pointer escapes a
-// shard lock.
+// Result of the pure (parallel-phase) half of an admission: the privacy
+// decision plus the embedding of the sanitized text. Produced by
+// ExampleStore::PrepareAdmission, consumed by ExampleStore::PutPrepared.
+struct PreparedAdmission {
+  bool admit = false;
+  std::string sanitized_text;
+  std::vector<float> embedding;
+};
+
+// Shared implementation of PrepareAdmission for every store: privacy
+// decision + embedding of the sanitized text. When the caller already
+// embedded request.text, pass it as `text_embedding`; it is reused whenever
+// scrubbing left the text unchanged (the PII-free common case).
+PreparedAdmission PrepareAdmissionPayload(const PiiScrubber& scrubber, CacheAdmissionMode mode,
+                                          const Embedder& embedder, const Request& request,
+                                          const std::vector<float>* text_embedding);
+
+// Surface the selection pipeline AND the example lifecycle layer
+// (ExampleManager: admission, gain accounting, replay, decay + eviction) need
+// from an example store. Implemented by ExampleCache (single-threaded) and
+// ShardedExampleCache (concurrent). Snapshot copies the example out so no
+// pointer escapes a shard lock; UpdateExample applies a mutation under it.
 class ExampleStore {
  public:
   virtual ~ExampleStore() = default;
+
+  // --- Selection surface ---------------------------------------------------
 
   // Stage-1 relevance lookup: top-k most similar cached examples.
   virtual std::vector<SearchResult> FindSimilar(const Request& request, size_t k) const = 0;
@@ -77,6 +99,44 @@ class ExampleStore {
   virtual void RecordAccess(uint64_t id, double now) = 0;
 
   virtual std::shared_ptr<const Embedder> embedder() const = 0;
+
+  // --- Lifecycle surface (Example Manager, section 4.3) --------------------
+
+  // Pure half of an admission: privacy decision + embedding of the sanitized
+  // text. Const and thread-safe; safe in a concurrent driver's parallel
+  // phase. When the caller already embedded request.text (e.g. for
+  // retrieval), pass it as `text_embedding` to skip a second embedding pass
+  // on the PII-free common case.
+  virtual PreparedAdmission PrepareAdmission(
+      const Request& request, const std::vector<float>* text_embedding = nullptr) const = 0;
+
+  // Stateful half: inserts a prepared admission. Returns the new example id,
+  // or 0 when the preparation was rejected.
+  virtual uint64_t PutPrepared(const Request& request, PreparedAdmission prepared,
+                               std::string response_text, double response_quality,
+                               double source_capability, int response_tokens, double now) = 0;
+
+  // Applies `mutate` to the stored example under the store's write lock (gain
+  // EMAs, replay state). Byte accounting is refreshed afterwards, so mutators
+  // may change token counts. The example's `id` field is store-internal and
+  // must not be read or written by the mutator. Returns false when absent.
+  virtual bool UpdateExample(uint64_t id, const std::function<void(Example&)>& mutate) = 0;
+
+  // Credits the example for a successful offload (knapsack eviction value).
+  virtual void RecordOffload(uint64_t id, double gain) = 0;
+
+  // Hourly multiplicative utility decay over every example.
+  virtual void DecayTick() = 0;
+
+  // Knapsack eviction down to the configured byte budget; returns evicted
+  // ids. No-op when unbounded or under budget.
+  virtual std::vector<uint64_t> EnforceCapacity() = 0;
+
+  // Snapshot of ids for iteration (replay scheduling, experiments); sorted.
+  virtual std::vector<uint64_t> AllIds() const = 0;
+
+  virtual size_t size() const = 0;
+  virtual int64_t used_bytes() const = 0;
 };
 
 }  // namespace iccache

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "src/common/mathutil.h"
+#include "src/core/pipeline.h"
 
 namespace iccache {
 
@@ -100,12 +101,7 @@ std::vector<ExampleView> IcCacheService::BuildExampleViews(
     if (example == nullptr) {
       continue;
     }
-    ExampleView view;
-    view.relevance = StructuralRelevance(request, example->request, rng_);
-    view.quality = example->response_quality;
-    view.source_capability = example->source_capability;
-    view.tokens = example->PromptTokens();
-    views.push_back(view);
+    views.push_back(MakeExampleView(request, *example, rng_));
   }
   return views;
 }
@@ -124,15 +120,12 @@ ServeOutcome IcCacheService::ServeRequest(const Request& request, double now) {
     metrics_.Increment("selector_bypassed");
   }
 
-  // 2. RouteRequest (a failed router falls back to the default backend).
+  // 2. RouteRequest (shared step; a failed router falls back to the default
+  // backend, section 5).
+  outcome.route = RouteOrBypass(&router_, request, selected, router_failed_, large_model_);
   if (!router_failed_) {
-    outcome.route = router_.Route(request, selected);
     outcome.overhead_latency_s += config_.router_latency_s;
   } else {
-    outcome.route.model_name = large_model_.name;
-    outcome.route.arm = 1;
-    outcome.route.uses_examples = false;
-    outcome.route.context = RequestRouter::MakeContext(request, selected);
     metrics_.Increment("router_bypassed");
   }
   outcome.offloaded = outcome.route.uses_examples;

@@ -1,5 +1,10 @@
-// IcCacheService: the Algorithm-1 runtime tying the Example Selector, Request
-// Router, and Example Manager together in front of the model backends.
+// IcCacheService: the synchronous Algorithm-1 facade tying the Example
+// Selector, Request Router, and Example Manager together in front of the
+// model backends. All policy logic is shared with the concurrent
+// ServingDriver: selection in ExampleSelector, routing + fault bypass in
+// src/core/pipeline.h, and the example lifecycle in ExampleManager over the
+// ExampleStore interface — this class only sequences the steps and layers on
+// the observed-feedback model, overhead accounting, and metrics.
 //
 //   ServeRequest:
 //     1. RetrieveExamples  — two-stage selection targeting the small model;

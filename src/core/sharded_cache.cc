@@ -4,6 +4,7 @@
 #include <mutex>
 #include <utility>
 
+#include "src/common/mathutil.h"
 #include "src/common/rng.h"
 
 namespace iccache {
@@ -35,11 +36,10 @@ ShardedExampleCache::ShardedExampleCache(std::shared_ptr<const Embedder> embedde
   shard_bits_ = Log2(n);
   shard_mask_ = n - 1;
 
+  // Shards are unbounded: the byte budget is global (watermark accounting in
+  // this wrapper), so a hot shard may use more than an even split.
   ExampleCacheConfig shard_config = config.cache;
-  if (shard_config.capacity_bytes > 0) {
-    shard_config.capacity_bytes =
-        std::max<int64_t>(1, shard_config.capacity_bytes / static_cast<int64_t>(n));
-  }
+  shard_config.capacity_bytes = -1;
   shards_ = std::vector<Shard>(n);
   for (size_t i = 0; i < n; ++i) {
     ExampleCacheConfig c = shard_config;
@@ -62,20 +62,8 @@ uint64_t ShardedExampleCache::Put(const Request& request, std::string response_t
 
 PreparedAdmission ShardedExampleCache::PrepareAdmission(
     const Request& request, const std::vector<float>* text_embedding) const {
-  PreparedAdmission prepared;
-  AdmissionDecision decision =
-      DecideAdmission(scrubber_, config_.cache.admission_mode, request.text);
-  if (!decision.admit) {
-    return prepared;
-  }
-  prepared.admit = true;
-  if (text_embedding != nullptr && decision.sanitized_text == request.text) {
-    prepared.embedding = *text_embedding;
-  } else {
-    prepared.embedding = embedder_->Embed(decision.sanitized_text);
-  }
-  prepared.sanitized_text = std::move(decision.sanitized_text);
-  return prepared;
+  return PrepareAdmissionPayload(scrubber_, config_.cache.admission_mode, *embedder_, request,
+                                 text_embedding);
 }
 
 uint64_t ShardedExampleCache::PutPrepared(const Request& request, PreparedAdmission prepared,
@@ -86,10 +74,24 @@ uint64_t ShardedExampleCache::PutPrepared(const Request& request, PreparedAdmiss
     return 0;
   }
   const size_t shard = ShardOfRequest(request);
-  std::unique_lock<std::shared_mutex> lock(shards_[shard].mu);
-  const uint64_t inner = shards_[shard].cache->PutPrepared(
-      request, std::move(prepared.sanitized_text), std::move(prepared.embedding),
-      std::move(response_text), response_quality, source_capability, response_tokens, now);
+  uint64_t inner = 0;
+  {
+    std::unique_lock<std::shared_mutex> lock(shards_[shard].mu);
+    const int64_t before = shards_[shard].cache->used_bytes();
+    inner = shards_[shard].cache->PutPrepared(
+        request, std::move(prepared.sanitized_text), std::move(prepared.embedding),
+        std::move(response_text), response_quality, source_capability, response_tokens, now);
+    used_bytes_total_.fetch_add(shards_[shard].cache->used_bytes() - before,
+                                std::memory_order_relaxed);
+  }
+  // Automatic capacity enforcement past the high watermark (the shard lock is
+  // released first: EnforceCapacity re-locks every shard in turn).
+  const int64_t capacity = config_.cache.capacity_bytes;
+  if (capacity > 0 &&
+      static_cast<double>(used_bytes()) >
+          static_cast<double>(capacity) * config_.cache.high_watermark) {
+    EnforceCapacity();
+  }
   return GlobalId(inner, shard);
 }
 
@@ -142,7 +144,22 @@ bool ShardedExampleCache::Contains(uint64_t id) const {
 bool ShardedExampleCache::Remove(uint64_t id) {
   const size_t shard = ShardOfId(id);
   std::unique_lock<std::shared_mutex> lock(shards_[shard].mu);
-  return shards_[shard].cache->Remove(InnerId(id));
+  const int64_t before = shards_[shard].cache->used_bytes();
+  const bool removed = shards_[shard].cache->Remove(InnerId(id));
+  used_bytes_total_.fetch_add(shards_[shard].cache->used_bytes() - before,
+                              std::memory_order_relaxed);
+  return removed;
+}
+
+bool ShardedExampleCache::UpdateExample(uint64_t id,
+                                        const std::function<void(Example&)>& mutate) {
+  const size_t shard = ShardOfId(id);
+  std::unique_lock<std::shared_mutex> lock(shards_[shard].mu);
+  const int64_t before = shards_[shard].cache->used_bytes();
+  const bool updated = shards_[shard].cache->UpdateExample(InnerId(id), mutate);
+  used_bytes_total_.fetch_add(shards_[shard].cache->used_bytes() - before,
+                              std::memory_order_relaxed);
+  return updated;
 }
 
 void ShardedExampleCache::RecordAccess(uint64_t id, double now) {
@@ -166,12 +183,31 @@ void ShardedExampleCache::DecayTick() {
 
 std::vector<uint64_t> ShardedExampleCache::EnforceCapacity() {
   std::vector<uint64_t> evicted;
+  const int64_t capacity = config_.cache.capacity_bytes;
+  const int64_t total = used_bytes();
+  // Evict once usage passes the high watermark; a watermark above 1.0 (used
+  // by tests to disable auto-eviction) still enforces at the capacity line.
+  const double trigger = static_cast<double>(capacity) *
+                         std::min(1.0, config_.cache.high_watermark);
+  if (capacity <= 0 || static_cast<double>(total) <= trigger) {
+    return evicted;
+  }
+  const double target = static_cast<double>(capacity) *
+                        Clamp(config_.cache.low_watermark, 0.1, 1.0);
+  // Apportion the global target across shards in proportion to their usage:
+  // a hot shard keeps a larger slice of the budget than a cold one.
   for (size_t shard = 0; shard < shards_.size(); ++shard) {
     std::unique_lock<std::shared_mutex> lock(shards_[shard].mu);
-    for (uint64_t inner : shards_[shard].cache->EnforceCapacity()) {
+    const int64_t before = shards_[shard].cache->used_bytes();
+    const int64_t shard_target = static_cast<int64_t>(
+        target * static_cast<double>(before) / static_cast<double>(total));
+    for (uint64_t inner : shards_[shard].cache->EvictToBytes(shard_target)) {
       evicted.push_back(GlobalId(inner, shard));
     }
+    used_bytes_total_.fetch_add(shards_[shard].cache->used_bytes() - before,
+                                std::memory_order_relaxed);
   }
+  evicted_total_.fetch_add(evicted.size(), std::memory_order_relaxed);
   return evicted;
 }
 
@@ -180,15 +216,6 @@ size_t ShardedExampleCache::size() const {
   for (const Shard& shard : shards_) {
     std::shared_lock<std::shared_mutex> lock(shard.mu);
     total += shard.cache->size();
-  }
-  return total;
-}
-
-int64_t ShardedExampleCache::used_bytes() const {
-  int64_t total = 0;
-  for (const Shard& shard : shards_) {
-    std::shared_lock<std::shared_mutex> lock(shard.mu);
-    total += shard.cache->used_bytes();
   }
   return total;
 }

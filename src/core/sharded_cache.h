@@ -16,9 +16,19 @@
 // run in a parallel phase: PrepareAdmission() is const and thread-safe;
 // PutPrepared() takes the prepared payload and only pays the index insert
 // under the shard's write lock.
+//
+// Capacity is a GLOBAL byte budget with watermark accounting: the shards
+// themselves are unbounded, and the wrapper tracks total usage in an atomic
+// counter. Any insert that pushes the total past capacity * high_watermark
+// triggers eviction automatically (matching ExampleCache semantics, so no
+// caller can forget it): the global target capacity * low_watermark is
+// apportioned across shards in proportion to their current usage and each
+// shard runs its own knapsack down to its slice — a hot shard keeps more of
+// the budget than a cold one, unlike a fixed per-shard split.
 #ifndef SRC_CORE_SHARDED_CACHE_H_
 #define SRC_CORE_SHARDED_CACHE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <shared_mutex>
@@ -32,16 +42,9 @@ namespace iccache {
 struct ShardedCacheConfig {
   // Rounded up to a power of two; each shard is an independent ExampleCache.
   size_t num_shards = 8;
-  // Per-deployment settings; capacity_bytes is the TOTAL budget and is split
-  // evenly across shards.
+  // Per-deployment settings; capacity_bytes is the TOTAL budget, enforced
+  // globally with watermark accounting (see file comment).
   ExampleCacheConfig cache;
-};
-
-// Result of the parallel-phase half of an admission.
-struct PreparedAdmission {
-  bool admit = false;
-  std::string sanitized_text;
-  std::vector<float> embedding;
 };
 
 class ShardedExampleCache : public ExampleStore {
@@ -59,14 +62,15 @@ class ShardedExampleCache : public ExampleStore {
   // the caller already embedded request.text (e.g. for retrieval), pass it as
   // `text_embedding`: it is reused whenever scrubbing left the text unchanged,
   // saving a second embedding pass on the PII-free common case.
-  PreparedAdmission PrepareAdmission(const Request& request,
-                                     const std::vector<float>* text_embedding = nullptr) const;
+  PreparedAdmission PrepareAdmission(
+      const Request& request, const std::vector<float>* text_embedding = nullptr) const override;
 
-  // Serial-phase half: inserts a prepared admission. Returns 0 when the
-  // preparation was rejected.
+  // Serial-phase half: inserts a prepared admission (and auto-evicts when the
+  // insert pushes total usage past capacity * high_watermark). Returns 0 when
+  // the preparation was rejected.
   uint64_t PutPrepared(const Request& request, PreparedAdmission prepared,
                        std::string response_text, double response_quality,
-                       double source_capability, int response_tokens, double now);
+                       double source_capability, int response_tokens, double now) override;
 
   // --- Lookup --------------------------------------------------------------
 
@@ -85,13 +89,24 @@ class ShardedExampleCache : public ExampleStore {
 
   bool Remove(uint64_t id);
   void RecordAccess(uint64_t id, double now) override;
-  void RecordOffload(uint64_t id, double gain = 1.0);
-  void DecayTick();
-  std::vector<uint64_t> EnforceCapacity();
+  bool UpdateExample(uint64_t id, const std::function<void(Example&)>& mutate) override;
+  void RecordOffload(uint64_t id, double gain = 1.0) override;
+  void DecayTick() override;
 
-  size_t size() const;
-  int64_t used_bytes() const;
-  std::vector<uint64_t> AllIds() const;
+  // Global watermark eviction: when total usage exceeds the byte budget,
+  // apportions capacity * low_watermark across shards in proportion to their
+  // usage and runs each shard's knapsack down to its slice. Returns the
+  // evicted global ids. Called automatically by PutPrepared past the high
+  // watermark; safe (but non-deterministic in outcome order) under
+  // concurrent mutation.
+  std::vector<uint64_t> EnforceCapacity() override;
+
+  size_t size() const override;
+  int64_t used_bytes() const override { return used_bytes_total_.load(std::memory_order_relaxed); }
+  std::vector<uint64_t> AllIds() const override;
+
+  // Lifetime count of knapsack-evicted examples (maintenance observability).
+  uint64_t evicted_total() const { return evicted_total_.load(std::memory_order_relaxed); }
 
   size_t num_shards() const { return shards_.size(); }
   std::shared_ptr<const Embedder> embedder() const override { return embedder_; }
@@ -116,6 +131,10 @@ class ShardedExampleCache : public ExampleStore {
   std::vector<Shard> shards_;
   size_t shard_bits_ = 0;
   uint64_t shard_mask_ = 0;
+  // Global byte accounting; every delta is applied while holding the mutated
+  // shard's write lock, so the counter tracks the exact sum of shard usage.
+  std::atomic<int64_t> used_bytes_total_{0};
+  std::atomic<uint64_t> evicted_total_{0};
 };
 
 }  // namespace iccache

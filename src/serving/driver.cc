@@ -7,6 +7,7 @@
 #include "src/common/rng.h"
 #include "src/common/stats.h"
 #include "src/common/thread_pool.h"
+#include "src/core/pipeline.h"
 #include "src/embedding/embedder.h"
 
 namespace iccache {
@@ -48,7 +49,8 @@ ServingDriver::ServingDriver(DriverConfig config, const ModelCatalog* catalog)
       proxy_(),
       selector_(&cache_, &proxy_, config.selector),
       router_(MakeArms(small_, large_), SeededRouterConfig(config.router, config.seed)),
-      generator_(Mix64(config.seed ^ 0x6e4ull)) {
+      generator_(Mix64(config.seed ^ 0x6e4ull)),
+      manager_(&cache_, &generator_, large_, config.manager) {
   cluster_.AddPool(small_, config_.small_replicas, config_.server);
   cluster_.AddPool(large_, config_.large_replicas, config_.server);
 }
@@ -79,11 +81,16 @@ ServingDriver::Prepared ServingDriver::PrepareRequest(const Request& request) co
   // with candidate embeddings prefilled so the serial phase's diversity guard
   // does no embedding work. The dynamic utility threshold is applied later,
   // in the serial phase, so every request in the window sees the same
-  // adaptation state.
-  prepared.candidates =
-      selector_.PrepareCandidates(request, small_, &embedding, /*embed_candidates=*/true);
-  if (config_.admit_large_responses) {
-    prepared.admission = cache_.PrepareAdmission(request, &embedding);
+  // adaptation state. A bypassed selector (section 5) skips retrieval
+  // entirely — the request is served without examples.
+  if (!config_.selector_fault_bypass) {
+    prepared.candidates =
+        selector_.PrepareCandidates(request, small_, &embedding, /*embed_candidates=*/true);
+  }
+  // Pure lifecycle half: dedupe probe + scrub/embed of the admission payload
+  // (the quality gate needs the generation and runs in the serial phase).
+  if (config_.lifecycle_admission) {
+    prepared.lifecycle = manager_.PrepareAdmission(request, &embedding);
   }
   return prepared;
 }
@@ -92,12 +99,20 @@ DriverReport ServingDriver::Run(const std::vector<Request>& requests) {
   DriverReport report;
   report.total_requests = requests.size();
   report.decisions.reserve(requests.size());
+  const uint64_t evicted_before = cache_.evicted_total();
 
   // ClusterSim::AddPool clamps replica counts to >= 1; mirror that here so
   // the utilization denominator matches the pools that actually exist.
   const double pool_capacity = static_cast<double>(
       (std::max(1, config_.small_replicas) + std::max(1, config_.large_replicas)) *
       std::max(1, config_.server.max_batch_size));
+  // One utilization definition for everything that gates on load (router
+  // ObserveLoad and the off-peak replay threshold).
+  const auto current_load = [this, pool_capacity] {
+    return static_cast<double>(cluster_.PoolInFlight(small_.name) +
+                               cluster_.PoolInFlight(large_.name)) /
+           pool_capacity;
+  };
 
   ThreadPool pool(config_.num_threads);
   const size_t window = std::max<size_t>(1, config_.batch_window);
@@ -125,19 +140,29 @@ DriverReport ServingDriver::Run(const std::vector<Request>& requests) {
       Prepared& prep = prepared[slot];
 
       cluster_.AdvanceTo(request.arrival_time);
-      const double load =
-          static_cast<double>(cluster_.PoolInFlight(small_.name) +
-                              cluster_.PoolInFlight(large_.name)) /
-          pool_capacity;
-      router_.ObserveLoad(load);
+
+      // Maintenance (decay + knapsack eviction) ticks off trace time, so a
+      // long-running pool is periodically refined instead of only growing.
+      if (config_.lifecycle_maintenance) {
+        const MaintenanceReport tick = manager_.MaybeRunMaintenance(request.arrival_time);
+        if (tick.ran) {
+          ++report.maintenance_runs;
+        }
+      }
+
+      router_.ObserveLoad(current_load());
 
       // Stateful selector half: dynamic-threshold filter, diversity guard,
-      // token budget, worst-to-best ordering, access accounting.
+      // token budget, worst-to-best ordering, access accounting. Skipped
+      // entirely when the selector component is bypassed (section 5).
       const std::vector<SelectorCandidate> picked =
-          selector_.CommitSelection(prep.candidates, small_, request.arrival_time);
+          config_.selector_fault_bypass
+              ? std::vector<SelectorCandidate>{}
+              : selector_.CommitSelection(prep.candidates, small_, request.arrival_time);
       const std::vector<SelectedExample> selected = ExampleSelector::ToSelected(picked);
 
-      const RouteDecision decision = router_.Route(request, selected);
+      const RouteDecision decision =
+          RouteOrBypass(&router_, request, selected, config_.router_fault_bypass, large_);
       const bool offloaded = decision.uses_examples;
       const ModelProfile& model = offloaded ? small_ : large_;
 
@@ -146,12 +171,7 @@ DriverReport ServingDriver::Run(const std::vector<Request>& requests) {
         views.reserve(picked.size());
         Rng view_rng(Mix64(request.id ^ config_.seed ^ 0x71e35ull));
         for (const SelectorCandidate& candidate : picked) {
-          ExampleView view;
-          view.relevance = StructuralRelevance(request, candidate.example.request, view_rng);
-          view.quality = candidate.example.response_quality;
-          view.source_capability = candidate.example.source_capability;
-          view.tokens = candidate.example.PromptTokens();
-          views.push_back(view);
+          views.push_back(MakeExampleView(request, candidate.example, view_rng));
         }
       }
       const GenerationResult generation = generator_.Generate(model, request, views);
@@ -163,13 +183,26 @@ DriverReport ServingDriver::Run(const std::vector<Request>& requests) {
       serving.output_tokens = generation.output_tokens;
       cluster_.Submit(model.name, serving);
 
-      router_.UpdateReward(decision, generation.latent_quality);
+      if (!config_.router_fault_bypass) {
+        router_.UpdateReward(decision, generation.latent_quality);
+      }
       if (offloaded) {
         ++report.offloaded_requests;
+        std::vector<uint64_t> used_ids;
+        used_ids.reserve(selected.size());
         for (const SelectedExample& used : selected) {
+          used_ids.push_back(used.example_id);
           if (generation.latent_quality > 0.5) {
             cache_.RecordOffload(used.example_id, generation.latent_quality);
           }
+        }
+        // Per-use gain accounting: G(e) = (1 - quality) * model_cost folded
+        // into each used example's EMA — the replay ranking signal.
+        if (!used_ids.empty()) {
+          manager_.RecordUsage(used_ids, generation.latent_quality,
+                               large_.cost_per_1k_tokens > 0.0
+                                   ? small_.cost_per_1k_tokens / large_.cost_per_1k_tokens
+                                   : 0.1);
         }
         // Probe sampling: on a deterministic per-request slice of offloaded
         // traffic, shadow-generate the plain small-model response so the
@@ -183,10 +216,15 @@ DriverReport ServingDriver::Run(const std::vector<Request>& requests) {
                                  generation.latent_quality - plain.latent_quality);
           }
         }
-      } else if (prep.admission.admit && config_.admit_large_responses) {
-        const uint64_t admitted = cache_.PutPrepared(
-            request, std::move(prep.admission), "[driver-response]", generation.latent_quality,
-            large_.capability, generation.output_tokens, request.arrival_time);
+      }
+
+      // Lifecycle admission (shared with IcCacheService): large-model
+      // responses always, offloaded small-model responses above the quality
+      // gate; dedupe decided in phase 1, insert auto-enforces capacity.
+      if (config_.lifecycle_admission) {
+        const uint64_t admitted = manager_.CommitAdmission(
+            request, std::move(prep.lifecycle), generation, model.capability,
+            /*from_large_model=*/!offloaded, request.arrival_time);
         if (admitted != 0) {
           ++report.admitted_examples;
         }
@@ -201,6 +239,22 @@ DriverReport ServingDriver::Run(const std::vector<Request>& requests) {
       row.latent_quality = generation.latent_quality;
       report.decisions.push_back(std::move(row));
     }
+
+    // Off-peak replay (section 4.3): between batch windows, when the cluster
+    // is lightly loaded, spend idle capacity refining the hottest low-quality
+    // examples. Runs on the driver thread — deterministic at any thread
+    // count because it only depends on trace time and serial-phase state.
+    if (config_.offpeak_replay) {
+      const double sim_now = cluster_.now();
+      if (current_load() < config_.replay_load_threshold &&
+          sim_now - last_replay_time_ >= config_.replay_min_interval_s) {
+        last_replay_time_ = sim_now;
+        const ReplayReport replay = manager_.RunReplayPass();
+        ++report.replay_passes;
+        report.replayed_examples += replay.replayed;
+        report.improved_examples += replay.improved;
+      }
+    }
   }
   cluster_.RunUntilIdle();
   const auto wall_end = std::chrono::steady_clock::now();
@@ -212,12 +266,21 @@ DriverReport ServingDriver::Run(const std::vector<Request>& requests) {
       report.wall_seconds > 0.0 ? static_cast<double>(report.total_requests) / report.wall_seconds
                                 : 0.0;
   PercentileTracker latency;
+  PercentileTracker ttft;
+  PercentileTracker queue_delay;
   for (const CompletionRecord& record : report.completions) {
     latency.Add(record.E2eLatency());
+    ttft.Add(record.Ttft());
+    queue_delay.Add(record.QueueDelay());
   }
   report.p50_latency_s = latency.Percentile(50);
   report.p99_latency_s = latency.Percentile(99);
+  report.p50_ttft_s = ttft.Percentile(50);
+  report.p99_ttft_s = ttft.Percentile(99);
+  report.p50_queue_delay_s = queue_delay.Percentile(50);
+  report.p99_queue_delay_s = queue_delay.Percentile(99);
   report.mean_quality = quality.mean();
+  report.evicted_examples = static_cast<size_t>(cache_.evicted_total() - evicted_before);
   return report;
 }
 

@@ -9,22 +9,29 @@
 // adaptation, diversity guard, worst-to-best ordering) against the sharded
 // cache via the unified ExampleStore/RetrievalBackend abstraction; the
 // stage-1 index (flat | kmeans | hnsw) and the shard count are both chosen
-// through DriverConfig.
+// through DriverConfig. The full example lifecycle (section 4.3 + section 5)
+// runs through the shared ExampleManager over the same store: quality-gated
+// dedupe admission replaces the raw insert, per-use gain EMAs accumulate on
+// every offloaded completion, decay + knapsack-eviction maintenance ticks off
+// trace time, cost-aware replay passes run between batch windows when cluster
+// load is low, and selector/router fault bypass is a DriverConfig knob.
 //
 // Concurrency model (vLLM-style batched lookahead, determinism-preserving):
 // the stream is processed in fixed `batch_window` batches. Phase 1 fans the
 // batch out across the pool and performs only PURE per-request work (embed
 // the query, ExampleSelector::PrepareCandidates — sharded stage-1 search,
-// candidate snapshot, stage-2 proxy scoring — and pre-scrub/embed of the
-// admission payload) into per-request slots. Phase 2 walks the batch in
-// arrival order on the driver thread and applies every stateful step:
+// candidate snapshot, stage-2 proxy scoring — and the pure lifecycle half,
+// ExampleManager::PrepareAdmission — dedupe probe + scrub/embed) into
+// per-request slots. Phase 2 walks the batch in arrival order on the driver
+// thread and applies every stateful step: maintenance tick,
 // ExampleSelector::CommitSelection (threshold adaptation + combination +
 // access accounting), route (bandit sampling + reward updates), generation,
-// cluster submit, offload accounting, probe-sampled selector feedback, and
-// the admission insert. Because phase 1 never mutates shared state and phase
-// 2 order is independent of worker scheduling, a fixed seed produces
-// identical routing decisions and completions at ANY thread count —
-// `num_threads` only changes wall-clock time.
+// cluster submit, offload + gain accounting, probe-sampled selector
+// feedback, and ExampleManager::CommitAdmission. Because phase 1 never
+// mutates shared state and phase 2 order is independent of worker
+// scheduling, a fixed seed produces identical routing decisions and
+// completions at ANY thread count — `num_threads` only changes wall-clock
+// time.
 #ifndef SRC_SERVING_DRIVER_H_
 #define SRC_SERVING_DRIVER_H_
 
@@ -33,6 +40,7 @@
 #include <string>
 #include <vector>
 
+#include "src/core/manager.h"
 #include "src/core/proxy_model.h"
 #include "src/core/router.h"
 #include "src/core/selector.h"
@@ -74,8 +82,27 @@ struct DriverConfig {
   // `cache.cache.retrieval` the stage-1 backend (flat | kmeans | hnsw).
   ShardedCacheConfig cache;
 
-  // Responses produced by the large model are admitted as future examples.
-  bool admit_large_responses = true;
+  // Example lifecycle (section 4.3), shared with IcCacheService: admission
+  // quality gate + dedupe, gain EMAs, replay rationing, decay cadence.
+  ManagerConfig manager;
+  // Master switch for lifecycle admission: responses are admitted as future
+  // examples through ExampleManager (large-model responses always, offloaded
+  // small-model responses above the manager's quality gate).
+  bool lifecycle_admission = true;
+  // Maintenance (decay + knapsack eviction) ticks off trace time in the
+  // serial phase, every manager.decay_interval_s of simulated time.
+  bool lifecycle_maintenance = true;
+  // Off-peak replay: between batch windows, when cluster utilization is below
+  // `replay_load_threshold` and at least `replay_min_interval_s` of simulated
+  // time has passed since the last pass, run one cost-aware replay pass.
+  bool offpeak_replay = true;
+  double replay_load_threshold = 0.35;
+  double replay_min_interval_s = 900.0;
+
+  // Fault injection (section 5): bypass the selector (serve without
+  // examples) or the router (direct route to the large backend).
+  bool selector_fault_bypass = false;
+  bool router_fault_bypass = false;
 
   uint64_t seed = 0xd21e5;
 };
@@ -96,6 +123,13 @@ struct DriverReport {
   size_t offloaded_requests = 0;
   size_t admitted_examples = 0;
 
+  // Lifecycle activity (maintenance ticks, eviction, off-peak replay).
+  size_t maintenance_runs = 0;
+  size_t evicted_examples = 0;   // knapsack evictions during this run
+  size_t replay_passes = 0;
+  size_t replayed_examples = 0;
+  size_t improved_examples = 0;
+
   // Host-side pipeline throughput (what the ThreadPool accelerates).
   double wall_seconds = 0.0;
   double requests_per_second = 0.0;
@@ -104,9 +138,14 @@ struct DriverReport {
   double prepare_seconds = 0.0;
   double serial_seconds = 0.0;
 
-  // Simulated serving latency over the completions.
+  // Simulated serving latency over the completions: end-to-end,
+  // time-to-first-token, and scheduler queue delay.
   double p50_latency_s = 0.0;
   double p99_latency_s = 0.0;
+  double p50_ttft_s = 0.0;
+  double p99_ttft_s = 0.0;
+  double p50_queue_delay_s = 0.0;
+  double p99_queue_delay_s = 0.0;
   double mean_quality = 0.0;
 };
 
@@ -130,6 +169,7 @@ class ServingDriver {
   RequestRouter& router() { return router_; }
   ProxyUtilityModel& proxy() { return proxy_; }
   ExampleSelector& selector() { return selector_; }
+  ExampleManager& manager() { return manager_; }
   ClusterSim& cluster() { return cluster_; }
   const DriverConfig& config() const { return config_; }
 
@@ -137,7 +177,7 @@ class ServingDriver {
   // Phase-1 output: everything the serial phase needs, computed purely.
   struct Prepared {
     std::vector<SelectorCandidate> candidates;
-    PreparedAdmission admission;
+    PreparedLifecycleAdmission lifecycle;
   };
 
   Prepared PrepareRequest(const Request& request) const;
@@ -151,7 +191,9 @@ class ServingDriver {
   ExampleSelector selector_;
   RequestRouter router_;
   GenerationSimulator generator_;
+  ExampleManager manager_;
   ClusterSim cluster_;
+  double last_replay_time_ = 0.0;
 };
 
 }  // namespace iccache

@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include "src/core/example_cache.h"
 #include "src/workload/query_generator.h"
 
 namespace iccache {

@@ -145,10 +145,10 @@ TEST(ShardedExampleCacheTest, PutPreparedMatchesOneShotPut) {
   EXPECT_EQ(results[0].id, id);
 }
 
-TEST(ShardedExampleCacheTest, CapacityIsEnforcedPerShard) {
+TEST(ShardedExampleCacheTest, CapacityIsEnforcedGlobally) {
   ShardedCacheConfig config;
   config.num_shards = 2;
-  config.cache.capacity_bytes = 4096;  // total; split across shards
+  config.cache.capacity_bytes = 4096;  // total; global watermark accounting
   ShardedExampleCache cache(std::make_shared<HashingEmbedder>(), config);
   for (uint64_t i = 1; i <= 200; ++i) {
     cache.Put(MakeRequest(i, "filler entry number " + std::to_string(i)), "some response text",

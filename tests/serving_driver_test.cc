@@ -1,6 +1,7 @@
 #include "src/serving/driver.h"
 
 #include <algorithm>
+#include <cmath>
 #include <map>
 #include <memory>
 #include <string>
@@ -232,8 +233,136 @@ TEST(ServingDriverTest, ReportStatisticsAreConsistent) {
   EXPECT_GE(report.serial_seconds, 0.0);
   EXPECT_NEAR(report.prepare_seconds + report.serial_seconds, report.wall_seconds, 1e-9);
   EXPECT_GE(report.p99_latency_s, report.p50_latency_s);
+  EXPECT_GE(report.p99_ttft_s, report.p50_ttft_s);
+  EXPECT_GE(report.p99_queue_delay_s, report.p50_queue_delay_s);
+  EXPECT_GE(report.p50_latency_s, report.p50_ttft_s);  // e2e includes decode
   EXPECT_GT(report.mean_quality, 0.0);
   EXPECT_LE(report.mean_quality, 1.0);
+}
+
+// DriverConfig for the full lifecycle: a tight byte budget, fast decay +
+// eviction ticks, and an always-eligible off-peak replay cadence.
+DriverConfig LifecycleConfig() {
+  DriverConfig config;
+  config.batch_window = 32;
+  config.cache.num_shards = 4;
+  config.cache.cache.capacity_bytes = 48 * 1024;
+  config.manager.decay_interval_s = 10.0;  // trace spans ~100 s of sim time
+  config.replay_min_interval_s = 20.0;
+  config.replay_load_threshold = 1e9;  // any load counts as off-peak
+  return config;
+}
+
+// The tentpole acceptance property: with admission, gain accounting, decay +
+// knapsack eviction, and off-peak replay ALL active through the shared
+// lifecycle layer, a fixed seed must still produce byte-identical decisions
+// and completions at 1 and 8 threads — every lifecycle mutation runs in the
+// serial phase or between windows, never on a worker.
+TEST(ServingDriverLifecycleTest, DeterministicAcrossThreadsWithFullLifecycle) {
+  const std::vector<Request> requests = SmallWorkload();
+  ModelCatalog catalog;
+  DriverConfig config = LifecycleConfig();
+
+  config.num_threads = 1;
+  const DriverReport single = MakeDriverWithConfig(catalog, config)->Run(requests);
+  config.num_threads = 8;
+  const DriverReport eight = MakeDriverWithConfig(catalog, config)->Run(requests);
+
+  ExpectSameDecisions(single, eight);
+  ASSERT_EQ(single.completions.size(), eight.completions.size());
+  for (size_t i = 0; i < single.completions.size(); ++i) {
+    EXPECT_EQ(single.completions[i].id, eight.completions[i].id);
+    EXPECT_DOUBLE_EQ(single.completions[i].completion_time, eight.completions[i].completion_time);
+  }
+  EXPECT_EQ(single.admitted_examples, eight.admitted_examples);
+  EXPECT_EQ(single.maintenance_runs, eight.maintenance_runs);
+  EXPECT_EQ(single.evicted_examples, eight.evicted_examples);
+  EXPECT_EQ(single.replay_passes, eight.replay_passes);
+  EXPECT_EQ(single.replayed_examples, eight.replayed_examples);
+
+  // The lifecycle must have genuinely run, not been configured away.
+  EXPECT_GT(single.maintenance_runs, 0u);
+  EXPECT_GT(single.replay_passes, 0u);
+}
+
+// With a byte budget, the sharded pool must stay at or below it for the
+// whole run: eviction is automatic on insert past the high watermark plus
+// periodic on the maintenance tick, so no driver code path can leak growth.
+TEST(ServingDriverLifecycleTest, CapacityBudgetHeldUnderLoad) {
+  const std::vector<Request> requests = SmallWorkload();
+  ModelCatalog catalog;
+  const auto driver = MakeDriverWithConfig(catalog, LifecycleConfig());
+  const DriverReport report = driver->Run(requests);
+
+  EXPECT_GT(report.admitted_examples, 0u);
+  EXPECT_GT(report.evicted_examples, 0u);  // the budget actually bound
+  EXPECT_LE(static_cast<double>(driver->cache().used_bytes()),
+            static_cast<double>(driver->config().cache.cache.capacity_bytes) *
+                driver->config().cache.cache.high_watermark);
+}
+
+// Section-5 fault tolerance as DriverConfig knobs: a bypassed selector serves
+// every request without examples; a bypassed router sends everything to the
+// large backend. Both must preserve thread-count determinism.
+TEST(ServingDriverLifecycleTest, SelectorFaultBypassServesWithoutExamples) {
+  const std::vector<Request> requests = SmallWorkload(200);
+  ModelCatalog catalog;
+  DriverConfig config = LifecycleConfig();
+  config.selector_fault_bypass = true;
+
+  config.num_threads = 1;
+  const DriverReport single = MakeDriverWithConfig(catalog, config)->Run(requests);
+  config.num_threads = 8;
+  const DriverReport eight = MakeDriverWithConfig(catalog, config)->Run(requests);
+  ExpectSameDecisions(single, eight);
+
+  EXPECT_EQ(single.decisions.size(), requests.size());
+  for (const DriverDecision& decision : single.decisions) {
+    EXPECT_EQ(decision.num_examples, 0u);
+  }
+}
+
+TEST(ServingDriverLifecycleTest, RouterFaultBypassRoutesEverythingToLarge) {
+  const std::vector<Request> requests = SmallWorkload(200);
+  ModelCatalog catalog;
+  DriverConfig config = LifecycleConfig();
+  config.router_fault_bypass = true;
+
+  config.num_threads = 2;
+  const auto driver = MakeDriverWithConfig(catalog, config);
+  const DriverReport report = driver->Run(requests);
+  EXPECT_EQ(report.offloaded_requests, 0u);
+  for (const DriverDecision& decision : report.decisions) {
+    EXPECT_FALSE(decision.offloaded);
+    EXPECT_EQ(decision.model_name, driver->config().large_model);
+  }
+}
+
+// Offloaded completions must feed the gain EMAs (RecordUsage through the
+// shared manager): after a run with offloads, at least one surviving example
+// carries a gain EMA that per-use accounting has moved.
+TEST(ServingDriverLifecycleTest, OffloadedCompletionsFeedGainAccounting) {
+  const std::vector<Request> requests = SmallWorkload();
+  ModelCatalog catalog;
+  DriverConfig config;
+  config.batch_window = 32;
+  config.cache.num_shards = 4;
+  const auto driver = MakeDriverWithConfig(catalog, config);
+  const DriverReport report = driver->Run(requests);
+  ASSERT_GT(report.offloaded_requests, 0u);
+
+  // Fresh examples start at exactly 1 - response_quality; per-use EMA updates
+  // move accessed examples off that initial value.
+  size_t moved = 0;
+  for (uint64_t id : driver->cache().AllIds()) {
+    Example example;
+    ASSERT_TRUE(driver->cache().Snapshot(id, &example));
+    if (example.access_count > 0 &&
+        std::abs(example.replay_gain_ema - (1.0 - example.response_quality)) > 1e-12) {
+      ++moved;
+    }
+  }
+  EXPECT_GT(moved, 0u);
 }
 
 }  // namespace
