@@ -23,7 +23,22 @@
 //   --maintenance=on|off  lifecycle demo mode (default on: bounded pool;
 //                         off: unbounded growth baseline)
 //   --capacity-kb=N       byte budget for the maintenance demo (default 256)
+//   --snapshot=<path>     lifecycle demo: take periodic checkpoints to <path>
+//                         (trace-time cadence, off-peak gated) and report
+//                         checkpoint count + snapshot write p50/p99 ms, then
+//                         leave a final snapshot behind for --restore /
+//                         snapshot_dump
+//   --restore=<path>      lifecycle demo: warm-start the driver from <path>
+//                         instead of re-seeding, reporting restore ms
+//   --snapshot-bench=N    standalone persistence acceptance: build an
+//                         N-example sharded HNSW pool, snapshot it, restore
+//                         it natively (no graph rebuild), report write/read
+//                         ms; exits non-zero when the restore needs a
+//                         rebuild or a 100k-scale pool takes >= 2 s
+#include <unistd.h>
+
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
@@ -33,6 +48,9 @@
 
 #include "bench/bench_common.h"
 #include "src/core/retrieval_backend.h"
+#include "src/core/sharded_cache.h"
+#include "src/persist/pool_codec.h"
+#include "src/persist/snapshot.h"
 #include "src/serving/driver.h"
 
 namespace iccache {
@@ -48,6 +66,9 @@ struct Options {
   bool sweep = true;
   bool maintenance = true;
   int64_t capacity_kb = 256;
+  std::string snapshot_path;
+  std::string restore_path;
+  size_t snapshot_bench = 0;
 };
 
 DriverConfig MakeConfig(size_t num_threads, RetrievalBackendKind backend) {
@@ -106,12 +127,100 @@ Options ParseOptions(int argc, char** argv) {
       options.maintenance = false;
     } else if (arg.rfind("--capacity-kb=", 0) == 0) {
       options.capacity_kb = std::strtoll(arg.c_str() + 14, nullptr, 10);
+    } else if (arg.rfind("--snapshot=", 0) == 0) {
+      options.snapshot_path = arg.substr(11);
+    } else if (arg.rfind("--restore=", 0) == 0) {
+      options.restore_path = arg.substr(10);
+    } else if (arg.rfind("--snapshot-bench=", 0) == 0) {
+      options.snapshot_bench = static_cast<size_t>(std::strtoull(arg.c_str() + 17, nullptr, 10));
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
       std::exit(2);
     }
   }
   return options;
+}
+
+// Standalone persistence acceptance: an N-example sharded HNSW pool must
+// snapshot and restore through the native graph image (no rebuild), and at
+// 100k-example scale the restore must come in under 2 seconds.
+int RunSnapshotBench(size_t n) {
+  benchutil::PrintTitle("Persistence: snapshot/restore of the example pool (8 shards, hnsw)");
+  const std::string path =
+      "/tmp/iccache_snapshot_bench_" + std::to_string(::getpid()) + ".snap";
+  auto embedder = std::make_shared<HashingEmbedder>();
+  ShardedCacheConfig config;
+  config.num_shards = 8;
+  config.cache.retrieval.kind = RetrievalBackendKind::kHnsw;
+  ShardedExampleCache pool(embedder, config);
+
+  const DatasetProfile profile = benchutil::ScaledProfile(DatasetId::kLmsysChat, n);
+  QueryGenerator generator(profile, kSeed ^ 0x5a9);
+  const auto build_start = std::chrono::steady_clock::now();
+  for (size_t i = 0; i < n; ++i) {
+    pool.Put(generator.Next(), "[cached-response]", 0.8, 0.9, 48, 0.0);
+  }
+  const auto build_end = std::chrono::steady_clock::now();
+  std::printf("  build:    %zu examples, %.1f MB pool in %.2f s (incremental hnsw inserts)\n",
+              pool.size(), static_cast<double>(pool.used_bytes()) / (1024.0 * 1024.0),
+              std::chrono::duration<double>(build_end - build_start).count());
+
+  SnapshotWriter writer;
+  const auto write_start = std::chrono::steady_clock::now();
+  EncodePoolSections(pool, {}, /*sim_time=*/0.0, &writer);
+  const Status write_status = writer.WriteToFile(path);
+  const auto write_end = std::chrono::steady_clock::now();
+  if (!write_status.ok()) {
+    std::fprintf(stderr, "snapshot write failed: %s\n", write_status.ToString().c_str());
+    return 1;
+  }
+  const double write_s = std::chrono::duration<double>(write_end - write_start).count();
+
+  ShardedExampleCache restored(embedder, config);
+  SnapshotReader reader;
+  PoolRestoreReport report;
+  const auto restore_start = std::chrono::steady_clock::now();
+  Status restore_status = reader.Open(path);
+  if (restore_status.ok()) {
+    restore_status = DecodePoolSections(reader, &restored, {}, &report);
+  }
+  const auto restore_end = std::chrono::steady_clock::now();
+  std::remove(path.c_str());
+  if (!restore_status.ok()) {
+    std::fprintf(stderr, "restore failed: %s\n", restore_status.ToString().c_str());
+    return 1;
+  }
+  const double restore_s = std::chrono::duration<double>(restore_end - restore_start).count();
+
+  std::printf("  snapshot: %.1f MB written in %.0f ms (atomic: tmp + fsync + rename)\n",
+              static_cast<double>(reader.file_size()) / (1024.0 * 1024.0), 1000.0 * write_s);
+  std::printf("  restore:  %zu examples in %.0f ms  (native hnsw graph load: %s)\n",
+              restored.size(), 1000.0 * restore_s, report.native_index_load ? "yes" : "NO (BUG)");
+
+  // Spot-check: the restored pool answers identically.
+  bool searches_match = true;
+  QueryGenerator probes(profile, kSeed ^ 0x9a0b);
+  for (int q = 0; q < 16; ++q) {
+    const Request query = probes.Next();
+    const auto a = pool.FindSimilar(query, 10);
+    const auto b = restored.FindSimilar(query, 10);
+    searches_match = searches_match && a.size() == b.size();
+    for (size_t i = 0; searches_match && i < a.size(); ++i) {
+      searches_match = a[i].id == b[i].id && a[i].score == b[i].score;
+    }
+  }
+  std::printf("  restored searches identical to original: %s\n",
+              searches_match ? "yes" : "NO (BUG)");
+
+  const bool fast_enough = n < 100000 || restore_s < 2.0;
+  if (n >= 100000) {
+    std::printf("  acceptance (>=100k pool): restore < 2 s: %s\n",
+                fast_enough ? "yes" : "NO (BUG)");
+  }
+  return report.native_index_load && searches_match && fast_enough &&
+                 restored.size() == pool.size() && restored.used_bytes() == pool.used_bytes()
+             ? 0
+             : 1;
 }
 
 bool SameDecisions(const DriverReport& a, const DriverReport& b) {
@@ -135,6 +244,10 @@ bool SameDecisions(const DriverReport& a, const DriverReport& b) {
 int main(int argc, char** argv) {
   using namespace iccache;
   const Options options = ParseOptions(argc, argv);
+
+  if (options.snapshot_bench > 0) {
+    return RunSnapshotBench(options.snapshot_bench);
+  }
 
   const DatasetProfile profile = benchutil::ScaledProfile(DatasetId::kLmsysChat, kSeedPool);
   TraceConfig trace;
@@ -216,7 +329,33 @@ int main(int argc, char** argv) {
     lifecycle_config.lifecycle_maintenance = false;
     lifecycle_config.offpeak_replay = false;
   }
-  const auto driver = MakeDriver(profile, catalog, lifecycle_config);
+  if (!options.snapshot_path.empty()) {
+    // Periodic crash-recovery checkpoints between batch windows; the write
+    // cost surfaces in the p50/p99 columns below.
+    lifecycle_config.snapshot_path = options.snapshot_path;
+    lifecycle_config.checkpoint_interval_s = 60.0;  // trace seconds
+  }
+  std::unique_ptr<ServingDriver> driver;
+  bool persist_ok = true;
+  if (!options.restore_path.empty()) {
+    // Warm start: restore the learned pool instead of re-seeding it.
+    driver = std::make_unique<ServingDriver>(lifecycle_config, &catalog);
+    const auto restore_start = std::chrono::steady_clock::now();
+    const Status restored = driver->RestoreSnapshot(options.restore_path);
+    const auto restore_end = std::chrono::steady_clock::now();
+    if (!restored.ok()) {
+      std::fprintf(stderr, "restore failed: %s\n", restored.ToString().c_str());
+      return 1;
+    }
+    std::printf("  warm start: restored %zu examples (%.0f KB) in %.0f ms from %s "
+                "(native hnsw load: %s)\n",
+                driver->cache().size(), static_cast<double>(driver->cache().used_bytes()) / 1024.0,
+                1000.0 * std::chrono::duration<double>(restore_end - restore_start).count(),
+                options.restore_path.c_str(),
+                driver->restore_report().native_index_load ? "yes" : "no (rebuilt)");
+  } else {
+    driver = MakeDriver(profile, catalog, lifecycle_config);
+  }
   const DriverReport report = driver->Run(requests);
   const int64_t used = driver->cache().used_bytes();
   const double watermark_bytes = static_cast<double>(capacity) *
@@ -238,6 +377,13 @@ int main(int argc, char** argv) {
   } else {
     benchutil::PrintNote("no budget: pool grows with every admission (the pre-lifecycle footgun)");
   }
+  if (!options.snapshot_path.empty()) {
+    const Status saved = driver->SaveSnapshot(options.snapshot_path);
+    persist_ok = saved.ok();
+    std::printf("  checkpoints=%zu  snapshot write p50=%.1f ms p99=%.1f ms  final snapshot: %s\n",
+                report.checkpoints_taken, report.checkpoint_p50_ms, report.checkpoint_p99_ms,
+                saved.ok() ? options.snapshot_path.c_str() : saved.ToString().c_str());
+  }
 
   if (hw < 2) {
     benchutil::PrintNote(
@@ -245,5 +391,5 @@ int main(int argc, char** argv) {
         "the projected column shows the multi-core expectation");
   }
   benchutil::PrintNote("host pipeline throughput only; simulated latency is thread-invariant");
-  return decisions_match && capacity_held ? 0 : 1;
+  return decisions_match && capacity_held && persist_ok ? 0 : 1;
 }

@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
 # CI entry point: configure, build, run the labelled test suite (unit /
-# concurrency / integration, each with its own timeout), smoke-run the four
-# examples/ binaries, then smoke one benchmark under a 2-second cap. Mirrors
-# the tier-1 verify line in ROADMAP.md; keep the two in sync.
+# concurrency / integration, each with its own timeout, plus the persistence
+# label as its own class), smoke-run the four examples/ binaries, smoke one
+# benchmark under a 2-second cap, then snapshot a real driver pool and verify
+# the on-disk format with tools/snapshot_dump. Mirrors the tier-1 verify line
+# in ROADMAP.md; keep the two in sync.
 set -euo pipefail
 
 cd "$(dirname "$0")"
@@ -28,6 +30,11 @@ ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "${JOBS}" -L concurrency 
 echo "== ctest: integration (600s/test) =="
 ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "${JOBS}" -L integration --timeout 600
 
+# The persistence suites also run above via their unit/concurrency labels;
+# this pass exists so snapshot/restore regressions fail under their own name.
+echo "== ctest: persistence (300s/test) =="
+ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "${JOBS}" -L persistence --timeout 300
+
 echo "== examples smoke =="
 # The examples/ binaries are runnable documentation; each must exit 0.
 for example in quickstart cloud_serving offline_replay edge_assistant; do
@@ -44,5 +51,14 @@ if [[ "${rc}" -ne 0 && "${rc}" -ne 124 ]]; then
   echo "smoke bench failed with exit ${rc}" >&2
   exit "${rc}"
 fi
+
+echo "== snapshot format smoke (driver checkpoint -> snapshot_dump) =="
+# A short lifecycle run that takes real checkpoints, then snapshot_dump
+# re-validates every section CRC and walks every example record.
+SNAP="$(mktemp -u /tmp/iccache_ci_pool_XXXXXX.snap)"
+trap 'rm -f "${SNAP}" "${SNAP}.tmp"' EXIT
+timeout 300 "${BUILD_DIR}/bench_driver_throughput" \
+  --requests=600 --sweep=off --snapshot="${SNAP}" > /dev/null
+timeout 60 "${BUILD_DIR}/snapshot_dump" "${SNAP}"
 
 echo "== ci.sh OK =="

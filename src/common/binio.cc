@@ -1,0 +1,159 @@
+#include "src/common/binio.h"
+
+#include <cstring>
+
+namespace iccache {
+
+namespace {
+
+struct Crc32Table {
+  uint32_t entries[256];
+  Crc32Table() {
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t crc = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        crc = (crc & 1) ? (crc >> 1) ^ 0xEDB88320u : crc >> 1;
+      }
+      entries[i] = crc;
+    }
+  }
+};
+
+const Crc32Table& Table() {
+  static const Crc32Table table;
+  return table;
+}
+
+}  // namespace
+
+uint32_t Crc32(const void* data, size_t size, uint32_t seed) {
+  const uint8_t* bytes = static_cast<const uint8_t*>(data);
+  uint32_t crc = ~seed;
+  for (size_t i = 0; i < size; ++i) {
+    crc = (crc >> 8) ^ Table().entries[(crc ^ bytes[i]) & 0xFFu];
+  }
+  return ~crc;
+}
+
+void ByteWriter::PutU8(uint8_t v) { bytes_.push_back(static_cast<char>(v)); }
+
+void ByteWriter::PutU32(uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    bytes_.push_back(static_cast<char>((v >> (8 * i)) & 0xFFu));
+  }
+}
+
+void ByteWriter::PutU64(uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    bytes_.push_back(static_cast<char>((v >> (8 * i)) & 0xFFull));
+  }
+}
+
+void ByteWriter::PutDouble(double v) {
+  uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(v), "IEEE-754 double expected");
+  std::memcpy(&bits, &v, sizeof(bits));
+  PutU64(bits);
+}
+
+void ByteWriter::PutFloat(float v) {
+  uint32_t bits;
+  static_assert(sizeof(bits) == sizeof(v), "IEEE-754 float expected");
+  std::memcpy(&bits, &v, sizeof(bits));
+  PutU32(bits);
+}
+
+void ByteWriter::PutString(const std::string& s) {
+  PutU64(s.size());
+  bytes_.append(s);
+}
+
+void ByteWriter::PutFloats(const std::vector<float>& v) {
+  PutU64(v.size());
+  for (float f : v) {
+    PutFloat(f);
+  }
+}
+
+void ByteWriter::PutBytes(const void* data, size_t size) {
+  bytes_.append(static_cast<const char*>(data), size);
+}
+
+const uint8_t* ByteReader::Take(size_t n) {
+  if (!ok_ || n > size_ - pos_) {
+    ok_ = false;
+    return nullptr;
+  }
+  const uint8_t* p = data_ + pos_;
+  pos_ += n;
+  return p;
+}
+
+uint8_t ByteReader::GetU8() {
+  const uint8_t* p = Take(1);
+  return p == nullptr ? 0 : *p;
+}
+
+uint32_t ByteReader::GetU32() {
+  const uint8_t* p = Take(4);
+  if (p == nullptr) {
+    return 0;
+  }
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<uint32_t>(p[i]) << (8 * i);
+  }
+  return v;
+}
+
+uint64_t ByteReader::GetU64() {
+  const uint8_t* p = Take(8);
+  if (p == nullptr) {
+    return 0;
+  }
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<uint64_t>(p[i]) << (8 * i);
+  }
+  return v;
+}
+
+double ByteReader::GetDouble() {
+  const uint64_t bits = GetU64();
+  double v;
+  std::memcpy(&v, &bits, sizeof(v));
+  return ok_ ? v : 0.0;
+}
+
+float ByteReader::GetFloat() {
+  const uint32_t bits = GetU32();
+  float v;
+  std::memcpy(&v, &bits, sizeof(v));
+  return ok_ ? v : 0.0f;
+}
+
+std::string ByteReader::GetString() {
+  const uint64_t n = GetU64();
+  if (!ok_ || n > size_ - pos_) {
+    ok_ = false;
+    return {};
+  }
+  const uint8_t* p = Take(static_cast<size_t>(n));
+  return p == nullptr ? std::string() : std::string(reinterpret_cast<const char*>(p),
+                                                    static_cast<size_t>(n));
+}
+
+std::vector<float> ByteReader::GetFloats() {
+  const uint64_t n = GetU64();
+  if (!ok_ || n > (size_ - pos_) / 4) {
+    ok_ = false;
+    return {};
+  }
+  std::vector<float> v(static_cast<size_t>(n));
+  for (auto& f : v) {
+    f = GetFloat();
+  }
+  return v;
+}
+
+}  // namespace iccache

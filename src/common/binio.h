@@ -1,0 +1,81 @@
+// Little-endian binary encoding primitives shared by everything that
+// serializes state to bytes (the src/persist snapshot subsystem, the HNSW
+// native graph format). Deliberately tiny: fixed-width integers, IEEE
+// doubles/floats, length-prefixed strings and arrays — no varints, no
+// reflection — so a format stays readable from a hex dump and stable across
+// builds.
+//
+// ByteReader is bounds-checked everywhere and latches a failure flag instead
+// of throwing: a truncated or corrupted buffer makes every subsequent read
+// return zero values and ok() == false, so callers validate once at the end.
+#ifndef SRC_COMMON_BINIO_H_
+#define SRC_COMMON_BINIO_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace iccache {
+
+// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) over the buffer;
+// `seed` allows incremental computation by passing the previous result.
+uint32_t Crc32(const void* data, size_t size, uint32_t seed = 0);
+
+class ByteWriter {
+ public:
+  void PutU8(uint8_t v);
+  void PutU32(uint32_t v);
+  void PutU64(uint64_t v);
+  void PutI32(int32_t v) { PutU32(static_cast<uint32_t>(v)); }
+  void PutI64(int64_t v) { PutU64(static_cast<uint64_t>(v)); }
+  void PutDouble(double v);
+  void PutFloat(float v);
+  // Length-prefixed (u64) string / float array.
+  void PutString(const std::string& s);
+  void PutFloats(const std::vector<float>& v);
+  void PutBytes(const void* data, size_t size);
+
+  const std::string& bytes() const { return bytes_; }
+  std::string TakeBytes() { return std::move(bytes_); }
+  size_t size() const { return bytes_.size(); }
+
+ private:
+  std::string bytes_;
+};
+
+class ByteReader {
+ public:
+  ByteReader(const void* data, size_t size)
+      : data_(static_cast<const uint8_t*>(data)), size_(size) {}
+  explicit ByteReader(const std::string& bytes) : ByteReader(bytes.data(), bytes.size()) {}
+
+  uint8_t GetU8();
+  uint32_t GetU32();
+  uint64_t GetU64();
+  int32_t GetI32() { return static_cast<int32_t>(GetU32()); }
+  int64_t GetI64() { return static_cast<int64_t>(GetU64()); }
+  double GetDouble();
+  float GetFloat();
+  std::string GetString();
+  std::vector<float> GetFloats();
+
+  // True iff every read so far was in bounds. Check after the final read.
+  bool ok() const { return ok_; }
+  // True when the whole buffer has been consumed (format-exactness check).
+  bool AtEnd() const { return pos_ == size_; }
+  size_t remaining() const { return size_ - pos_; }
+
+ private:
+  // Returns a pointer to `n` readable bytes or nullptr (latching failure).
+  const uint8_t* Take(size_t n);
+
+  const uint8_t* data_;
+  size_t size_;
+  size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+}  // namespace iccache
+
+#endif  // SRC_COMMON_BINIO_H_

@@ -46,6 +46,24 @@ uint64_t Rng::NextU64() {
 
 Rng Rng::Fork() { return Rng(NextU64() ^ 0xa5a5a5a5a5a5a5a5ull); }
 
+RngState Rng::SaveState() const {
+  RngState state;
+  for (size_t i = 0; i < 4; ++i) {
+    state.s[i] = s_[i];
+  }
+  state.cached_normal = cached_normal_;
+  state.has_cached_normal = has_cached_normal_;
+  return state;
+}
+
+void Rng::RestoreState(const RngState& state) {
+  for (size_t i = 0; i < 4; ++i) {
+    s_[i] = state.s[i];
+  }
+  cached_normal_ = state.cached_normal;
+  has_cached_normal_ = state.has_cached_normal;
+}
+
 double Rng::Uniform() {
   // 53 random mantissa bits -> double in [0, 1).
   return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;

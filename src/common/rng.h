@@ -8,6 +8,7 @@
 #ifndef SRC_COMMON_RNG_H_
 #define SRC_COMMON_RNG_H_
 
+#include <array>
 #include <cstddef>
 #include <cstdint>
 #include <vector>
@@ -19,6 +20,16 @@ uint64_t SplitMix64(uint64_t& state);
 
 // Stateless 64-bit mix of a single value (useful for hashing ids to seeds).
 uint64_t Mix64(uint64_t value);
+
+// Complete generator state, exposed so persisted components (snapshot
+// subsystem) can resume their random streams exactly where they stopped.
+// Includes the Box-Muller cache: dropping it would shift every subsequent
+// Normal() draw by one.
+struct RngState {
+  std::array<uint64_t, 4> s{};
+  double cached_normal = 0.0;
+  bool has_cached_normal = false;
+};
 
 // xoshiro256** PRNG. Not thread-safe; fork one per thread via Fork().
 class Rng {
@@ -77,6 +88,10 @@ class Rng {
 
   // Samples k distinct indices from [0, n) (k <= n) in O(k) expected time.
   std::vector<size_t> SampleWithoutReplacement(size_t n, size_t k);
+
+  // Exact stream save/restore (snapshot persistence).
+  RngState SaveState() const;
+  void RestoreState(const RngState& state);
 
  private:
   uint64_t s_[4];

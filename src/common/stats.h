@@ -51,6 +51,13 @@ class Ema {
   // decay in the Example Manager, paper section 4.3).
   void Decay(double factor);
 
+  // Exact state restore (snapshot persistence); the initialized flag matters
+  // because the first Add() assigns rather than blends.
+  void RestoreState(double value, bool initialized) {
+    value_ = value;
+    initialized_ = initialized;
+  }
+
  private:
   double alpha_;
   double value_ = 0.0;

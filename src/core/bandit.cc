@@ -151,6 +151,18 @@ void LinearThompsonArm::Update(const std::vector<double>& x, double reward) {
   fresh_ = false;
 }
 
+bool LinearThompsonArm::RestoreState(const std::vector<double>& precision,
+                                     const std::vector<double>& b, size_t updates) {
+  if (precision.size() != dim_ * dim_ || b.size() != dim_) {
+    return false;
+  }
+  precision_ = precision;
+  b_ = b;
+  updates_ = updates;
+  fresh_ = false;
+  return true;
+}
+
 BetaBernoulliArm::BetaBernoulliArm(double alpha, double beta) : alpha_(alpha), beta_(beta) {}
 
 double BetaBernoulliArm::Sample(Rng& rng) const { return rng.Beta(alpha_, beta_); }

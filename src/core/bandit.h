@@ -44,6 +44,15 @@ class LinearThompsonArm {
   size_t updates() const { return updates_; }
   size_t dim() const { return dim_; }
 
+  // Posterior sufficient statistics (snapshot persistence). The lazily
+  // derived mean/Cholesky are NOT part of the state: RestoreState marks them
+  // stale and they are recomputed on the next score.
+  const std::vector<double>& precision() const { return precision_; }
+  const std::vector<double>& b() const { return b_; }
+  // Returns false (leaving the arm untouched) on a dimension mismatch.
+  bool RestoreState(const std::vector<double>& precision, const std::vector<double>& b,
+                    size_t updates);
+
  private:
   void Refresh() const;
 
@@ -102,6 +111,11 @@ class ContextualBandit {
 
   size_t num_arms() const { return arms_.size(); }
   const LinearThompsonArm& arm(size_t i) const { return arms_[i]; }
+
+  // Snapshot persistence: Thompson-sampling RNG stream + per-arm posteriors.
+  LinearThompsonArm& mutable_arm(size_t i) { return arms_[i]; }
+  RngState rng_state() const { return rng_.SaveState(); }
+  void restore_rng_state(const RngState& state) { rng_.RestoreState(state); }
 
  private:
   std::vector<LinearThompsonArm> arms_;

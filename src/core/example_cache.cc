@@ -160,13 +160,15 @@ std::vector<uint64_t> ExampleCache::EvictToBytes(int64_t target_bytes) {
 
   // Knapsack over retained examples: weight = plaintext bytes, value =
   // decayed offload gain (with a small recency epsilon so fresh, not-yet-used
-  // examples are not starved out immediately).
-  std::vector<uint64_t> ids;
+  // examples are not starved out immediately). Items are fed in ascending-id
+  // order: the solver's tie-breaks depend on item order, so eviction must be
+  // a function of pool CONTENTS, not of hash-map iteration history — a
+  // snapshot-restored pool has to evict exactly what the original would.
+  const std::vector<uint64_t> ids = AllIds();
   std::vector<KnapsackItem> items;
-  ids.reserve(examples_.size());
-  items.reserve(examples_.size());
-  for (const auto& [id, example] : examples_) {
-    ids.push_back(id);
+  items.reserve(ids.size());
+  for (uint64_t id : ids) {
+    const Example& example = examples_.at(id);
     KnapsackItem item;
     item.weight = example.SizeBytes();
     item.value = example.offload_value + 1e-3;
@@ -195,6 +197,73 @@ std::vector<uint64_t> ExampleCache::AllIds() const {
   }
   std::sort(ids.begin(), ids.end());
   return ids;
+}
+
+void ExampleCache::ExportExamples(
+    const std::function<void(const Example&, const std::vector<float>&)>& fn) const {
+  std::vector<float> embedding;
+  for (uint64_t id : AllIds()) {
+    embedding.clear();
+    index_->GetVector(id, &embedding);
+    fn(examples_.at(id), embedding);
+  }
+}
+
+StoreSnapshotCut ExampleCache::ExportSnapshotCut() const {
+  // Single-threaded by contract, so the piecewise reads already form a cut.
+  StoreSnapshotCut cut;
+  cut.examples.reserve(examples_.size());
+  for (uint64_t id : AllIds()) {
+    ExportedExample entry;
+    entry.example = examples_.at(id);
+    index_->GetVector(id, &entry.embedding);
+    cut.examples.push_back(std::move(entry));
+  }
+  cut.next_ids = ExportNextIds();
+  cut.native_index = SaveIndexBlob(&cut.index_blob);
+  if (!cut.native_index) {
+    cut.index_blob.clear();
+  }
+  cut.used_bytes = used_bytes_;
+  return cut;
+}
+
+bool ExampleCache::ImportExample(const Example& example, std::vector<float> embedding,
+                                 bool add_to_index) {
+  if (example.id == 0 || examples_.count(example.id) > 0) {
+    return false;
+  }
+  used_bytes_ += example.SizeBytes();
+  if (add_to_index) {
+    index_->Add(example.id, std::move(embedding));
+  }
+  examples_[example.id] = example;
+  next_id_ = std::max(next_id_, example.id + 1);
+  return true;
+}
+
+std::vector<uint64_t> ExampleCache::ExportNextIds() const { return {next_id_}; }
+
+bool ExampleCache::ImportNextIds(const std::vector<uint64_t>& next_ids) {
+  if (next_ids.size() != 1) {
+    return false;
+  }
+  next_id_ = std::max(next_id_, next_ids[0]);
+  return true;
+}
+
+bool ExampleCache::SaveIndexBlob(std::string* out) const {
+  const auto* hnsw = dynamic_cast<const HnswIndex*>(index_.get());
+  if (hnsw == nullptr) {
+    return false;
+  }
+  hnsw->SaveGraph(out);
+  return true;
+}
+
+bool ExampleCache::LoadIndexBlob(const std::string& blob) {
+  auto* hnsw = dynamic_cast<HnswIndex*>(index_.get());
+  return hnsw != nullptr && hnsw->LoadGraph(blob);
 }
 
 }  // namespace iccache

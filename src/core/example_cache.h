@@ -108,6 +108,17 @@ class ExampleCache : public ExampleStore {
   // Snapshot of ids for iteration (replay scheduling, experiments).
   std::vector<uint64_t> AllIds() const override;
 
+  // --- Persistence surface (ExampleStore) ----------------------------------
+  void ExportExamples(
+      const std::function<void(const Example&, const std::vector<float>&)>& fn) const override;
+  StoreSnapshotCut ExportSnapshotCut() const override;
+  bool ImportExample(const Example& example, std::vector<float> embedding,
+                     bool add_to_index) override;
+  std::vector<uint64_t> ExportNextIds() const override;
+  bool ImportNextIds(const std::vector<uint64_t>& next_ids) override;
+  bool SaveIndexBlob(std::string* out) const override;
+  bool LoadIndexBlob(const std::string& blob) override;
+
  private:
   std::shared_ptr<const Embedder> embedder_;
   ExampleCacheConfig config_;

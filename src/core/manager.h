@@ -108,6 +108,11 @@ class ExampleManager {
 
   const ManagerConfig& config() const { return config_; }
 
+  // Maintenance cursor (snapshot persistence): the trace time of the last
+  // decay tick, so a restored pool neither skips nor double-runs maintenance.
+  double last_decay_time() const { return last_decay_time_; }
+  void set_last_decay_time(double t) { last_decay_time_ = t; }
+
  private:
   ExampleStore* store_;
   GenerationSimulator* generator_;

@@ -46,6 +46,12 @@ class ProxyUtilityModel {
   size_t updates() const { return updates_; }
   const std::array<double, ProxyFeatures::kDim>& weights() const { return weights_; }
 
+  // Exact learned-state restore (snapshot persistence).
+  void RestoreState(const std::array<double, ProxyFeatures::kDim>& weights, size_t updates) {
+    weights_ = weights;
+    updates_ = updates;
+  }
+
  private:
   ProxyModelConfig config_;
   std::array<double, ProxyFeatures::kDim> weights_{};

@@ -76,6 +76,21 @@ PreparedAdmission PrepareAdmissionPayload(const PiiScrubber& scrubber, CacheAdmi
                                           const Embedder& embedder, const Request& request,
                                           const std::vector<float>* text_embedding);
 
+// One exported pool entry: the full lifecycle record plus its index vector.
+struct ExportedExample {
+  Example example;
+  std::vector<float> embedding;
+};
+
+// Result of ExampleStore::ExportSnapshotCut — see that method's contract.
+struct StoreSnapshotCut {
+  std::vector<ExportedExample> examples;  // ascending (global) id order
+  std::vector<uint64_t> next_ids;         // per-shard insertion counters
+  std::string index_blob;                 // empty when no native image
+  bool native_index = false;
+  int64_t used_bytes = 0;
+};
+
 // Surface the selection pipeline AND the example lifecycle layer
 // (ExampleManager: admission, gain accounting, replay, decay + eviction) need
 // from an example store. Implemented by ExampleCache (single-threaded) and
@@ -137,6 +152,52 @@ class ExampleStore {
 
   virtual size_t size() const = 0;
   virtual int64_t used_bytes() const = 0;
+
+  // --- Persistence surface (src/persist: snapshot/restore) -----------------
+
+  // Iterates every live example in ascending id order together with its
+  // stage-1 index embedding. Thread-safe on the sharded store (each example
+  // is copied out under its shard lock) but NOT a consistent cut across
+  // examples — concurrent snapshots must use ExportSnapshotCut.
+  virtual void ExportExamples(
+      const std::function<void(const Example&, const std::vector<float>&)>& fn) const = 0;
+
+  // One atomically consistent export of everything a snapshot needs: the
+  // example records (ascending id), the native index image, the insertion
+  // counters, and the byte accounting all describe the SAME instant. The
+  // sharded store holds every shard lock (shared, ascending order) for the
+  // duration, so a checkpoint taken while other threads serve can never
+  // capture an example the saved index image lacks (which would make it
+  // silently unretrievable after a native-graph restore) or a byte count
+  // that disagrees with the records.
+  virtual StoreSnapshotCut ExportSnapshotCut() const = 0;
+
+  // Re-inserts a previously exported example, preserving its id, every
+  // lifecycle statistic, and byte accounting (the sharded store re-shards by
+  // id and replays the delta through its global watermark counter, so
+  // used_bytes() is exact after a restore). When `add_to_index` is false the
+  // caller has already restored the retrieval index natively
+  // (LoadIndexBlob). Returns false on id 0 or an id collision.
+  virtual bool ImportExample(const Example& example, std::vector<float> embedding,
+                             bool add_to_index) = 0;
+
+  // Store-private insertion counters, one per shard (a plain cache is one
+  // shard). Restoring them exactly — rather than max(id)+1 — is what makes
+  // post-restore admissions assign the same ids the uninterrupted run would
+  // have. ImportNextIds returns false on a shard-count mismatch; the store
+  // then keeps the safe max(id)+1 counters ImportExample maintained.
+  virtual std::vector<uint64_t> ExportNextIds() const = 0;
+  virtual bool ImportNextIds(const std::vector<uint64_t>& next_ids) = 0;
+
+  // Native retrieval-index image (HNSW graph save/load; one sub-blob per
+  // shard). Returns false when the configured backend has no native format
+  // (flat | kmeans) or the image does not match this store's geometry —
+  // callers fall back to rebuilding the index from the exported embeddings,
+  // which always works. A partially applied LoadIndexBlob is safe to follow
+  // with the rebuild fallback: Add() has overwrite semantics in every
+  // backend.
+  virtual bool SaveIndexBlob(std::string* out) const = 0;
+  virtual bool LoadIndexBlob(const std::string& blob) = 0;
 };
 
 }  // namespace iccache

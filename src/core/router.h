@@ -97,6 +97,16 @@ class RequestRouter {
   const RouterConfig& config() const { return config_; }
   const ContextualBandit& bandit() const { return bandit_; }
 
+  // Snapshot persistence: the router's learned/stochastic state is the bandit
+  // posteriors + its sampling RNG, the load EMA, and the exploration RNG.
+  ContextualBandit& mutable_bandit() { return bandit_; }
+  bool load_ema_initialized() const { return load_ema_.initialized(); }
+  void RestoreLoadEma(double value, bool initialized) {
+    load_ema_.RestoreState(value, initialized);
+  }
+  RngState explore_rng_state() const { return explore_rng_.SaveState(); }
+  void restore_explore_rng_state(const RngState& state) { explore_rng_.RestoreState(state); }
+
  private:
   std::vector<RouterArmSpec> arms_;
   RouterConfig config_;

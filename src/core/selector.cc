@@ -213,6 +213,27 @@ void ExampleSelector::OnFeedback(const Request& request, const std::vector<Selec
   }
 }
 
+SelectorAdaptiveState ExampleSelector::SaveAdaptiveState() const {
+  SelectorAdaptiveState state;
+  state.utility_threshold = utility_threshold_;
+  state.requests_seen = requests_seen_;
+  state.grid_benefit = grid_benefit_;
+  state.grid_count = grid_count_;
+  return state;
+}
+
+bool ExampleSelector::RestoreAdaptiveState(const SelectorAdaptiveState& state) {
+  if (state.grid_benefit.size() != config_.threshold_grid.size() ||
+      state.grid_count.size() != config_.threshold_grid.size()) {
+    return false;
+  }
+  utility_threshold_ = state.utility_threshold;
+  requests_seen_ = state.requests_seen;
+  grid_benefit_ = state.grid_benefit;
+  grid_count_ = state.grid_count;
+  return true;
+}
+
 void ExampleSelector::MaybeAdaptThreshold() {
   if (config_.adapt_every_n_requests == 0 ||
       requests_seen_ % config_.adapt_every_n_requests != 0) {

@@ -59,6 +59,16 @@ struct SelectorCandidate {
   std::vector<float> embedding;
 };
 
+// The selector's online-learned state (snapshot persistence): the dynamic
+// utility threshold plus the adaptation cadence counter and per-grid-cell
+// net-benefit accounting that drive MaybeAdaptThreshold.
+struct SelectorAdaptiveState {
+  double utility_threshold = 0.0;
+  uint64_t requests_seen = 0;
+  std::vector<double> grid_benefit;
+  std::vector<uint64_t> grid_count;
+};
+
 struct SelectorConfig {
   size_t stage1_candidates = 24;  // pre-selection pool size
   // Candidates below this cosine never reach stage 2: with anisotropic
@@ -126,6 +136,13 @@ class ExampleSelector {
   void set_utility_threshold(double threshold) { utility_threshold_ = threshold; }
   const SelectorConfig& config() const { return config_; }
 
+  // Snapshot persistence. RestoreAdaptiveState returns false (leaving the
+  // selector untouched) when the saved grid does not match this config's
+  // threshold_grid size — a restored pool with a different grid keeps its
+  // configured defaults instead of inheriting misaligned accounting.
+  SelectorAdaptiveState SaveAdaptiveState() const;
+  bool RestoreAdaptiveState(const SelectorAdaptiveState& state);
+
   // Converts committed candidates into the wire-level selection records.
   static std::vector<SelectedExample> ToSelected(const std::vector<SelectorCandidate>& picked);
 
@@ -142,11 +159,11 @@ class ExampleSelector {
   ProxyUtilityModel* proxy_;
   SelectorConfig config_;
   double utility_threshold_;
-  size_t requests_seen_ = 0;
+  uint64_t requests_seen_ = 0;
 
   // Per-threshold running net benefit from feedback (threshold adaptation).
   std::vector<double> grid_benefit_;
-  std::vector<size_t> grid_count_;
+  std::vector<uint64_t> grid_count_;
 };
 
 }  // namespace iccache

@@ -2,8 +2,11 @@
 
 #include <algorithm>
 
+#include "src/common/binio.h"
 #include "src/common/mathutil.h"
 #include "src/core/pipeline.h"
+#include "src/persist/pool_codec.h"
+#include "src/persist/snapshot.h"
 
 namespace iccache {
 
@@ -39,9 +42,73 @@ IcCacheService::IcCacheService(ServiceConfig config, const ModelCatalog* catalog
       router_(MakeArms(small_model_, large_model_), config.router),
       manager_(&cache_, generator, large_model_, config.manager),
       baseline_quality_(0.02),
-      rng_(config.seed) {}
+      rng_(config.seed) {
+  if (config_.restore_on_start && !config_.snapshot_path.empty()) {
+    const Status status = RestoreSnapshot(config_.snapshot_path);
+    // A missing snapshot is a normal cold start.
+    if (!status.ok() && status.code() != StatusCode::kNotFound) {
+      restore_status_ = status;
+    }
+  }
+}
+
+Status IcCacheService::SaveSnapshot(const std::string& path) {
+  SnapshotWriter writer;
+  PoolComponents components;
+  components.selector = &selector_;
+  components.manager = &manager_;
+  components.proxy = &proxy_;
+  components.router = &router_;
+  // Stamp the snapshot with this service's clock so the manager's decay
+  // cursor and a restoring driver's trace clock stay on the same timeline.
+  EncodePoolSections(cache_, components, /*sim_time=*/last_now_, &writer);
+
+  ByteWriter service;
+  EncodeRngState(rng_.SaveState(), &service);
+  service.PutDouble(baseline_quality_.value());
+  service.PutU8(baseline_quality_.initialized() ? 1 : 0);
+  EncodeRngState(generator_->rng_state(), &service);
+  writer.AddSection(SnapshotSection::kService, service.TakeBytes());
+  return writer.WriteToFile(path);
+}
+
+Status IcCacheService::RestoreSnapshot(const std::string& path) {
+  SnapshotReader reader;
+  Status status = reader.Open(path);
+  if (!status.ok()) {
+    return status;
+  }
+  PoolComponents components;
+  components.selector = &selector_;
+  components.manager = &manager_;
+  components.proxy = &proxy_;
+  components.router = &router_;
+  PoolRestoreReport report;
+  status = DecodePoolSections(reader, &cache_, components, &report);
+  if (!status.ok()) {
+    return status;
+  }
+  const std::string* service = reader.Section(SnapshotSection::kService);
+  if (service != nullptr) {
+    ByteReader r(*service);
+    const RngState service_rng = DecodeRngState(&r);
+    const double baseline = r.GetDouble();
+    const bool baseline_initialized = r.GetU8() != 0;
+    const RngState generator_rng = DecodeRngState(&r);
+    if (!r.ok() || !r.AtEnd()) {
+      return Status::InvalidArgument("malformed service section");
+    }
+    rng_.RestoreState(service_rng);
+    baseline_quality_.RestoreState(baseline, baseline_initialized);
+    generator_->restore_rng_state(generator_rng);
+  }
+  last_now_ = report.sim_time;
+  restored_from_snapshot_ = true;
+  return Status::Ok();
+}
 
 uint64_t IcCacheService::SeedExample(const Request& request, double now) {
+  last_now_ = std::max(last_now_, now);
   const GenerationResult generation = generator_->Generate(large_model_, request, {});
   return cache_.Put(request, "[seed-response]", generation.latent_quality,
                     large_model_.capability, generation.output_tokens, now);
@@ -108,6 +175,7 @@ std::vector<ExampleView> IcCacheService::BuildExampleViews(
 
 ServeOutcome IcCacheService::ServeRequest(const Request& request, double now) {
   ServeOutcome outcome;
+  last_now_ = std::max(last_now_, now);
   metrics_.Increment("requests_total");
 
   // 1. RetrieveExamples (bypassed when the selector component is down).
@@ -214,6 +282,7 @@ ServeOutcome IcCacheService::ServeRequest(const Request& request, double now) {
 void IcCacheService::ObserveLoad(double load) { router_.ObserveLoad(load); }
 
 void IcCacheService::RunMaintenance(double now) {
+  last_now_ = std::max(last_now_, now);
   manager_.MaybeRunMaintenance(now);
   // Asynchronous proxy refresh from freshly sampled feedback (section 4.1).
   PretrainProxy(64);

@@ -26,6 +26,7 @@
 
 #include "src/common/rng.h"
 #include "src/common/stats.h"
+#include "src/common/status.h"
 #include "src/core/example_cache.h"
 #include "src/core/manager.h"
 #include "src/core/metrics.h"
@@ -61,6 +62,14 @@ struct ServiceConfig {
   double selector_stage1_latency_s = 0.020;
   double selector_stage2_latency_s = 0.030;
   double router_latency_s = 0.010;
+
+  // Persistence (src/persist): with `snapshot_path` set, `restore_on_start`
+  // warm-starts the service from that file at construction (missing file =
+  // cold start; other failures surface via restore_status()). SaveSnapshot
+  // writes the same pool format the concurrent ServingDriver uses, so
+  // snapshots interchange between the two stacks.
+  std::string snapshot_path;
+  bool restore_on_start = false;
 
   uint64_t seed = 0x5e41;
 };
@@ -105,6 +114,22 @@ class IcCacheService {
   void set_selector_failed(bool failed) { selector_failed_ = failed; }
   void set_router_failed(bool failed) { router_failed_ = failed; }
 
+  // --- Persistence ---------------------------------------------------------
+
+  // Atomically writes the full learned state: pool, selector/manager/proxy/
+  // router adaptation, the service feedback RNG and baseline-quality EMA,
+  // and the (caller-owned) generator's sampling stream.
+  Status SaveSnapshot(const std::string& path);
+
+  // Restores into this freshly constructed service (the cache must be
+  // empty). A restored service continues byte-identically to the one that
+  // wrote the snapshot. Note the generator stream is restored into the
+  // caller-owned GenerationSimulator.
+  Status RestoreSnapshot(const std::string& path);
+
+  const Status& restore_status() const { return restore_status_; }
+  bool restored_from_snapshot() const { return restored_from_snapshot_; }
+
   ExampleCache& cache() { return cache_; }
   const ExampleCache& cache() const { return cache_; }
   ExampleSelector& selector() { return selector_; }
@@ -137,6 +162,13 @@ class IcCacheService {
 
   bool selector_failed_ = false;
   bool router_failed_ = false;
+
+  // Latest `now` this service has observed; stamps snapshots so a warm
+  // start (service or driver) resumes the maintenance cadence on the same
+  // clock as the manager's decay cursor.
+  double last_now_ = 0.0;
+  Status restore_status_;
+  bool restored_from_snapshot_ = false;
 };
 
 }  // namespace iccache

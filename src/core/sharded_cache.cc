@@ -4,6 +4,7 @@
 #include <mutex>
 #include <utility>
 
+#include "src/common/binio.h"
 #include "src/common/mathutil.h"
 #include "src/common/rng.h"
 
@@ -230,6 +231,153 @@ std::vector<uint64_t> ShardedExampleCache::AllIds() const {
   }
   std::sort(ids.begin(), ids.end());
   return ids;
+}
+
+void ShardedExampleCache::ExportExamples(
+    const std::function<void(const Example&, const std::vector<float>&)>& fn) const {
+  // Global-id order with one shard lock held at a time: a concurrent writer
+  // may mutate between iterations (examples admitted or evicted mid-export
+  // are included on a best-effort basis), but every record handed to `fn` is
+  // a consistent copy taken under its shard lock.
+  std::vector<float> embedding;
+  for (uint64_t id : AllIds()) {
+    const size_t shard = ShardOfId(id);
+    std::shared_lock<std::shared_mutex> lock(shards_[shard].mu);
+    const Example* example = shards_[shard].cache->Get(InnerId(id));
+    if (example == nullptr) {
+      continue;  // evicted since the id snapshot
+    }
+    embedding.clear();
+    shards_[shard].cache->index().GetVector(InnerId(id), &embedding);
+    Example copy = *example;
+    copy.id = id;  // expose the global id, matching Snapshot()
+    fn(copy, embedding);
+  }
+}
+
+StoreSnapshotCut ShardedExampleCache::ExportSnapshotCut() const {
+  // Every shard lock, shared, in ascending order (writers take one unique
+  // shard lock at a time, so this cannot deadlock): for the duration of the
+  // export no admission, mutation, or eviction can slip between the example
+  // records, the saved graphs, the insertion counters, and the byte counts.
+  std::vector<std::shared_lock<std::shared_mutex>> locks;
+  locks.reserve(shards_.size());
+  for (const Shard& shard : shards_) {
+    locks.emplace_back(shard.mu);
+  }
+
+  StoreSnapshotCut cut;
+  ByteWriter index_writer;
+  index_writer.PutU64(shards_.size());
+  bool native = true;
+  for (size_t shard = 0; shard < shards_.size(); ++shard) {
+    const ExampleCache& cache = *shards_[shard].cache;
+    for (uint64_t inner : cache.AllIds()) {
+      ExportedExample entry;
+      entry.example = *cache.Get(inner);
+      entry.example.id = GlobalId(inner, shard);
+      cache.index().GetVector(inner, &entry.embedding);
+      cut.examples.push_back(std::move(entry));
+    }
+    cut.next_ids.push_back(cache.ExportNextIds()[0]);
+    if (native) {
+      std::string blob;
+      native = cache.SaveIndexBlob(&blob);
+      if (native) {
+        index_writer.PutString(blob);
+      }
+    }
+    cut.used_bytes += cache.used_bytes();
+  }
+  std::sort(cut.examples.begin(), cut.examples.end(),
+            [](const ExportedExample& a, const ExportedExample& b) {
+              return a.example.id < b.example.id;
+            });
+  cut.native_index = native;
+  if (native) {
+    cut.index_blob = index_writer.TakeBytes();
+  }
+  return cut;
+}
+
+bool ShardedExampleCache::ImportExample(const Example& example, std::vector<float> embedding,
+                                        bool add_to_index) {
+  const uint64_t inner = InnerId(example.id);
+  if (inner == 0) {
+    return false;  // id 0 is the rejection sentinel; low bits alone are no id
+  }
+  const size_t shard = ShardOfId(example.id);
+  Example local = example;
+  local.id = inner;
+  std::unique_lock<std::shared_mutex> lock(shards_[shard].mu);
+  const int64_t before = shards_[shard].cache->used_bytes();
+  const bool imported =
+      shards_[shard].cache->ImportExample(local, std::move(embedding), add_to_index);
+  used_bytes_total_.fetch_add(shards_[shard].cache->used_bytes() - before,
+                              std::memory_order_relaxed);
+  return imported;
+}
+
+std::vector<uint64_t> ShardedExampleCache::ExportNextIds() const {
+  std::vector<uint64_t> next_ids;
+  next_ids.reserve(shards_.size());
+  for (const Shard& shard : shards_) {
+    std::shared_lock<std::shared_mutex> lock(shard.mu);
+    next_ids.push_back(shard.cache->ExportNextIds()[0]);
+  }
+  return next_ids;
+}
+
+bool ShardedExampleCache::ImportNextIds(const std::vector<uint64_t>& next_ids) {
+  if (next_ids.size() != shards_.size()) {
+    return false;  // shard count changed; keep the max(id)+1 counters
+  }
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    std::unique_lock<std::shared_mutex> lock(shards_[i].mu);
+    shards_[i].cache->ImportNextIds({next_ids[i]});
+  }
+  return true;
+}
+
+bool ShardedExampleCache::SaveIndexBlob(std::string* out) const {
+  ByteWriter writer;
+  writer.PutU64(shards_.size());
+  for (const Shard& shard : shards_) {
+    std::shared_lock<std::shared_mutex> lock(shard.mu);
+    std::string blob;
+    if (!shard.cache->SaveIndexBlob(&blob)) {
+      return false;  // backend has no native image (flat | kmeans)
+    }
+    writer.PutString(blob);
+  }
+  *out = writer.TakeBytes();
+  return true;
+}
+
+bool ShardedExampleCache::LoadIndexBlob(const std::string& blob) {
+  ByteReader reader(blob);
+  const uint64_t shard_count = reader.GetU64();
+  if (!reader.ok() || shard_count != shards_.size()) {
+    return false;  // snapshot taken under a different shard count: rebuild
+  }
+  // Split first so a malformed trailing sub-blob is detected before any
+  // shard is touched; a per-shard graph mismatch after that point still
+  // reports false and the rebuild fallback overwrites cleanly.
+  std::vector<std::string> per_shard;
+  per_shard.reserve(shards_.size());
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    per_shard.push_back(reader.GetString());
+  }
+  if (!reader.ok() || !reader.AtEnd()) {
+    return false;
+  }
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    std::unique_lock<std::shared_mutex> lock(shards_[i].mu);
+    if (!shards_[i].cache->LoadIndexBlob(per_shard[i])) {
+      return false;
+    }
+  }
+  return true;
 }
 
 }  // namespace iccache

@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <mutex>
 #include <queue>
 #include <utility>
 
+#include "src/common/binio.h"
 #include "src/common/mathutil.h"
 #include "src/common/topk.h"
 
@@ -16,6 +18,10 @@ namespace {
 // Hard cap on sampled levels; with mL = 1/ln(16) the probability of level 24
 // is ~16^-24, so this only guards against pathological rng output.
 constexpr int kMaxLevel = 24;
+
+// Version of the SaveGraph byte layout; bump on incompatible change so stale
+// graph images fall back to a rebuild instead of being misread.
+constexpr uint32_t kGraphFormatVersion = 1;
 
 // Inner product with float accumulators, unrolled 4-wide. The shared
 // mathutil Dot() accumulates in double, which forces a convert-per-element
@@ -357,6 +363,16 @@ std::vector<SearchResult> HnswIndex::SearchEf(const std::vector<float>& query, s
   return SearchLocked(query, k, ef);
 }
 
+bool HnswIndex::GetVector(uint64_t id, std::vector<float>* out) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  const auto it = slot_of_.find(id);
+  if (it == slot_of_.end()) {
+    return false;
+  }
+  out->assign(VecOf(it->second), VecOf(it->second) + config_.dim);
+  return true;
+}
+
 size_t HnswIndex::size() const {
   std::shared_lock<std::shared_mutex> lock(mu_);
   return live_;
@@ -370,6 +386,134 @@ size_t HnswIndex::tombstones() const {
 int HnswIndex::max_level() const {
   std::shared_lock<std::shared_mutex> lock(mu_);
   return entry_level_;
+}
+
+void HnswIndex::SaveGraph(std::string* out) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  ByteWriter w;
+  w.PutU32(kGraphFormatVersion);
+  w.PutU64(config_.dim);
+  w.PutU64(config_.max_neighbors);
+  w.PutU64(nodes_.size());
+  w.PutU64(live_);
+  w.PutU32(entry_);
+  w.PutI32(entry_level_);
+  const RngState rng = rng_.SaveState();
+  for (uint64_t s : rng.s) {
+    w.PutU64(s);
+  }
+  w.PutDouble(rng.cached_normal);
+  w.PutU8(rng.has_cached_normal ? 1 : 0);
+  for (const Node& node : nodes_) {
+    w.PutU64(node.id);
+    w.PutI32(node.level);
+    w.PutU8(node.deleted ? 1 : 0);
+    for (const std::vector<uint32_t>& layer : node.links) {
+      w.PutU32(static_cast<uint32_t>(layer.size()));
+      for (uint32_t link : layer) {
+        w.PutU32(link);
+      }
+    }
+  }
+  // Arena as one raw little-endian float block (the dominant payload).
+  w.PutU64(arena_.size());
+  static_assert(sizeof(float) == 4, "IEEE-754 float expected");
+  w.PutBytes(arena_.data(), arena_.size() * sizeof(float));
+  *out = w.TakeBytes();
+}
+
+bool HnswIndex::LoadGraph(const std::string& blob) {
+  // Parse and validate into locals first: a mismatched or corrupted image
+  // must leave the index exactly as it was (the caller rebuilds instead).
+  ByteReader r(blob);
+  const uint32_t version = r.GetU32();
+  const uint64_t dim = r.GetU64();
+  const uint64_t max_neighbors = r.GetU64();
+  const uint64_t node_count = r.GetU64();
+  const uint64_t live = r.GetU64();
+  const uint32_t entry = r.GetU32();
+  const int32_t entry_level = r.GetI32();
+  RngState rng;
+  for (auto& s : rng.s) {
+    s = r.GetU64();
+  }
+  rng.cached_normal = r.GetDouble();
+  rng.has_cached_normal = r.GetU8() != 0;
+  // node_count is also bounded by the blob itself (every node costs >= 13
+  // bytes), which keeps the reserve() below sane on corrupted input.
+  if (!r.ok() || version != kGraphFormatVersion || dim != config_.dim ||
+      max_neighbors != config_.max_neighbors || live > node_count ||
+      node_count > blob.size()) {
+    return false;
+  }
+
+  std::vector<Node> nodes;
+  nodes.reserve(node_count);
+  std::unordered_map<uint64_t, uint32_t> slot_of;
+  slot_of.reserve(live);
+  for (uint64_t slot = 0; slot < node_count; ++slot) {
+    Node node;
+    node.id = r.GetU64();
+    node.level = r.GetI32();
+    node.deleted = r.GetU8() != 0;
+    if (!r.ok() || node.level < 0 || node.level > kMaxLevel) {
+      return false;
+    }
+    node.links.resize(static_cast<size_t>(node.level) + 1);
+    for (auto& layer : node.links) {
+      const uint32_t n = r.GetU32();
+      if (!r.ok() || n > node_count) {
+        return false;
+      }
+      layer.resize(n);
+      for (auto& link : layer) {
+        link = r.GetU32();
+        if (link >= node_count) {
+          return false;
+        }
+      }
+    }
+    if (!node.deleted && !slot_of.emplace(node.id, static_cast<uint32_t>(slot)).second) {
+      return false;  // duplicate live id
+    }
+    nodes.push_back(std::move(node));
+  }
+  // Structural validation pass (needs every node's level, so it runs after
+  // parsing): a link at layer l must target a node whose links reach layer l,
+  // or the first traversal through it would index out of bounds.
+  for (const Node& node : nodes) {
+    for (size_t layer = 0; layer < node.links.size(); ++layer) {
+      for (uint32_t link : node.links[layer]) {
+        if (static_cast<size_t>(nodes[link].level) < layer) {
+          return false;
+        }
+      }
+    }
+  }
+  const uint64_t arena_len = r.GetU64();
+  if (!r.ok() || arena_len != node_count * config_.dim || r.remaining() != arena_len * 4) {
+    return false;
+  }
+  std::vector<float> arena(static_cast<size_t>(arena_len));
+  // Raw block: bulk-copy (writer emitted native little-endian floats).
+  std::memcpy(arena.data(), blob.data() + (blob.size() - r.remaining()), arena_len * 4);
+  if (slot_of.size() != live ||
+      (node_count > 0 && (entry >= node_count || entry_level < 0 || entry_level > kMaxLevel)) ||
+      (node_count == 0 && entry_level != -1)) {
+    return false;
+  }
+
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  nodes_ = std::move(nodes);
+  arena_ = std::move(arena);
+  slot_of_ = std::move(slot_of);
+  entry_ = entry;
+  entry_level_ = entry_level;
+  live_ = static_cast<size_t>(live);
+  rng_.RestoreState(rng);
+  insert_epochs_.assign(nodes_.size(), 0);
+  insert_epoch_ = 0;
+  return true;
 }
 
 }  // namespace iccache

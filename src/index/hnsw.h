@@ -68,7 +68,28 @@ class HnswIndex : public VectorIndex {
   // Search with an explicit beam width (recall/latency sweeps).
   std::vector<SearchResult> SearchEf(const std::vector<float>& query, size_t k, size_t ef) const;
 
+  // Copies the vector for a live id; false for absent or tombstoned ids.
+  bool GetVector(uint64_t id, std::vector<float>* out) const override;
+
   size_t size() const override;  // live (non-tombstoned) vectors
+
+  // --- Native graph persistence (snapshot subsystem) -----------------------
+  //
+  // SaveGraph serializes the complete graph image — nodes with their
+  // per-layer links (tombstones included: they are traversal waypoints),
+  // the vector arena, the entry point, and the level-sampler RNG stream —
+  // so LoadGraph reproduces a BIT-IDENTICAL index: identical searches now
+  // and identical graphs after any sequence of future inserts. Loading is
+  // O(bytes) (no re-insertion), which is what makes restoring a 100k-vector
+  // pool cheap compared to an O(N * ef_construction) rebuild.
+  void SaveGraph(std::string* out) const;
+
+  // Validates the blob's embedded format version, dimension, and degree
+  // bound against this index's config before touching any state; on
+  // mismatch or corruption the index is left untouched and false is
+  // returned (the caller falls back to rebuilding from raw embeddings).
+  // On success the previous contents are replaced wholesale.
+  bool LoadGraph(const std::string& blob);
 
   // Diagnostics.
   size_t tombstones() const;

@@ -56,6 +56,15 @@ std::vector<SearchResult> FlatIndex::Search(const std::vector<float>& query, siz
   return results;
 }
 
+bool FlatIndex::GetVector(uint64_t id, std::vector<float>* out) const {
+  const std::vector<float>* vec = Find(id);
+  if (vec == nullptr) {
+    return false;
+  }
+  *out = *vec;
+  return true;
+}
+
 const std::vector<float>* FlatIndex::Find(uint64_t id) const {
   const auto it = slot_of_.find(id);
   if (it == slot_of_.end()) {
@@ -96,6 +105,15 @@ bool KMeansIndex::Remove(uint64_t id) {
     cluster_of_.erase(cit);
   }
   vectors_.erase(it);
+  return true;
+}
+
+bool KMeansIndex::GetVector(uint64_t id, std::vector<float>* out) const {
+  const auto it = vectors_.find(id);
+  if (it == vectors_.end()) {
+    return false;
+  }
+  *out = it->second;
   return true;
 }
 

@@ -38,6 +38,11 @@ class VectorIndex {
   // Returns up to k nearest neighbours sorted best-first.
   virtual std::vector<SearchResult> Search(const std::vector<float>& query, size_t k) const = 0;
 
+  // Copies the stored vector for id into *out; false when absent. Used by
+  // the persistence subsystem to export each example's embedding alongside
+  // its lifecycle record.
+  virtual bool GetVector(uint64_t id, std::vector<float>* out) const = 0;
+
   virtual size_t size() const = 0;
 };
 
@@ -49,6 +54,7 @@ class FlatIndex : public VectorIndex {
   Status Add(uint64_t id, std::vector<float> vec) override;
   bool Remove(uint64_t id) override;
   std::vector<SearchResult> Search(const std::vector<float>& query, size_t k) const override;
+  bool GetVector(uint64_t id, std::vector<float>* out) const override;
   size_t size() const override { return slot_of_.size(); }
 
   // Direct access for diagnostics.
@@ -82,6 +88,7 @@ class KMeansIndex : public VectorIndex {
   Status Add(uint64_t id, std::vector<float> vec) override;
   bool Remove(uint64_t id) override;
   std::vector<SearchResult> Search(const std::vector<float>& query, size_t k) const override;
+  bool GetVector(uint64_t id, std::vector<float>* out) const override;
   size_t size() const override { return vectors_.size(); }
 
   // Re-runs K-Means over the current contents with K = sqrt(N).

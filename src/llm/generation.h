@@ -91,6 +91,11 @@ class GenerationSimulator {
 
   const GenerationConfig& config() const { return config_; }
 
+  // Snapshot persistence: the sampling stream must resume exactly for a
+  // restored driver to reproduce the uninterrupted run's generations.
+  RngState rng_state() const { return rng_.SaveState(); }
+  void restore_rng_state(const RngState& state) { rng_.RestoreState(state); }
+
  private:
   double EffectiveCapability(const ModelProfile& model, const std::vector<ExampleView>& examples);
 

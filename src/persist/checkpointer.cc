@@ -1,0 +1,22 @@
+#include "src/persist/checkpointer.h"
+
+#include <chrono>
+
+namespace iccache {
+
+Status Checkpointer::Take(double now, const std::function<Status()>& write) {
+  last_time_ = now;
+  const auto start = std::chrono::steady_clock::now();
+  last_status_ = write();
+  const auto end = std::chrono::steady_clock::now();
+  if (last_status_.ok()) {
+    ++taken_;
+    last_write_ms_ = std::chrono::duration<double, std::milli>(end - start).count();
+    write_ms_.Add(last_write_ms_);
+  } else {
+    ++failed_;
+  }
+  return last_status_;
+}
+
+}  // namespace iccache

@@ -1,0 +1,108 @@
+// Section encodings for the learned example-pool state (the policy half of
+// the persistence subsystem; snapshot.h is the container half).
+//
+// A pool snapshot carries the WHOLE learned state, not just the example
+// records: restore-then-serve is only byte-identical to the uninterrupted
+// run if every adaptive component resumes exactly where it stopped —
+//
+//   kExamples  per-example lifecycle records (text, embedding, gain EMA,
+//              use counts, quality, privacy domain, byte weights) plus the
+//              store's per-shard insertion counters,
+//   kIndex     the native HNSW graph image per shard (flat/kmeans rebuild
+//              from the embeddings instead),
+//   kSelector  dynamic utility threshold + adaptation-grid accounting,
+//   kManager   the maintenance (decay) cursor,
+//   kProxy     stage-2 proxy weights,
+//   kRouter    bandit posteriors, Thompson/exploration RNG streams, load EMA.
+//
+// Owners with extra private state (ServingDriver, IcCacheService) append
+// their own kDriver/kService sections using the EncodeRngState/DecodeRngState
+// helpers; DecodePoolSections ignores sections it has no consumer for.
+#ifndef SRC_PERSIST_POOL_CODEC_H_
+#define SRC_PERSIST_POOL_CODEC_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/common/binio.h"
+#include "src/common/rng.h"
+#include "src/common/status.h"
+#include "src/core/manager.h"
+#include "src/core/proxy_model.h"
+#include "src/core/retrieval_backend.h"
+#include "src/core/router.h"
+#include "src/core/selector.h"
+#include "src/persist/snapshot.h"
+
+namespace iccache {
+
+// Adaptive components snapshotted alongside the store. All optional: null
+// members are skipped on save and left untouched on load.
+struct PoolComponents {
+  ExampleSelector* selector = nullptr;
+  ExampleManager* manager = nullptr;
+  ProxyUtilityModel* proxy = nullptr;
+  RequestRouter* router = nullptr;
+};
+
+// kMeta payload: the summary a dump tool or a restore precheck needs without
+// decoding the (much larger) examples section.
+struct PoolMeta {
+  uint64_t example_count = 0;
+  int64_t used_bytes = 0;
+  uint64_t shard_count = 0;
+  uint32_t embed_dim = 0;
+  uint8_t has_native_index = 0;
+  double sim_time = 0.0;
+};
+
+struct PoolRestoreReport {
+  size_t examples = 0;
+  int64_t used_bytes = 0;
+  // True when the retrieval index was restored from its native graph image
+  // (HNSW happy path: no rebuild); false means rebuild-from-embeddings.
+  bool native_index_load = false;
+  // False when the snapshot's shard count differs from the restoring store's
+  // (ids are preserved; insertion counters fall back to max(id)+1).
+  bool next_ids_restored = false;
+  double sim_time = 0.0;
+};
+
+// --- RNG stream helpers (shared with the kDriver/kService sections) --------
+void EncodeRngState(const RngState& state, ByteWriter* writer);
+RngState DecodeRngState(ByteReader* reader);
+
+// --- Single-example record (shared with tools/snapshot_dump) ---------------
+void EncodeExample(const Example& example, const std::vector<float>& embedding,
+                   ByteWriter* writer);
+bool DecodeExample(ByteReader* reader, Example* example, std::vector<float>* embedding);
+
+// --- Whole-pool encode/decode ----------------------------------------------
+
+// Adds kMeta + kExamples (+ kIndex when the backend has a native image) and
+// one section per non-null component to `writer`. `sim_time` stamps the
+// snapshot with the trace clock it was taken at.
+void EncodePoolSections(const ExampleStore& store, const PoolComponents& components,
+                        double sim_time, SnapshotWriter* writer);
+
+// Restores into an EMPTY store (FailedPrecondition otherwise): native index
+// load first when possible, examples re-imported (re-sharded by id) with the
+// byte accounting replayed, insertion counters restored, then each present
+// component section applied. Absent sections leave their component at its
+// configured defaults.
+Status DecodePoolSections(const SnapshotReader& reader, ExampleStore* store,
+                          const PoolComponents& components, PoolRestoreReport* report);
+
+// kMeta alone (dump tool, prechecks).
+Status DecodePoolMeta(const SnapshotReader& reader, PoolMeta* meta);
+
+// Iterates the kExamples section without a store (dump tool, format checks).
+Status ForEachSnapshotExample(
+    const SnapshotReader& reader,
+    const std::function<void(const Example&, const std::vector<float>&)>& fn);
+
+}  // namespace iccache
+
+#endif  // SRC_PERSIST_POOL_CODEC_H_

@@ -1,0 +1,216 @@
+#include "src/persist/snapshot.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <utility>
+
+#include "src/common/binio.h"
+
+namespace iccache {
+
+namespace {
+
+constexpr size_t kHeaderSize = 8 + 4 + 4 + 4;  // magic, version, count, toc crc
+constexpr size_t kTocEntrySize = 4 + 8 + 8 + 4;
+
+std::string ParentDir(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) {
+    return ".";
+  }
+  return slash == 0 ? "/" : path.substr(0, slash);
+}
+
+Status SyncFd(int fd, const std::string& what) {
+  if (::fsync(fd) != 0) {
+    return Status::Internal("fsync failed for " + what + ": " + std::strerror(errno));
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+const char* SnapshotSectionName(SnapshotSection section) {
+  switch (section) {
+    case SnapshotSection::kMeta:
+      return "meta";
+    case SnapshotSection::kExamples:
+      return "examples";
+    case SnapshotSection::kIndex:
+      return "index";
+    case SnapshotSection::kSelector:
+      return "selector";
+    case SnapshotSection::kManager:
+      return "manager";
+    case SnapshotSection::kProxy:
+      return "proxy";
+    case SnapshotSection::kRouter:
+      return "router";
+    case SnapshotSection::kDriver:
+      return "driver";
+    case SnapshotSection::kService:
+      return "service";
+  }
+  return "unknown";
+}
+
+void SnapshotWriter::AddSection(SnapshotSection id, std::string bytes) {
+  sections_[static_cast<uint32_t>(id)] = std::move(bytes);
+}
+
+std::string SnapshotWriter::Encode() const {
+  // TOC first (offsets are absolute, so they depend only on section count).
+  uint64_t offset = kHeaderSize + kTocEntrySize * sections_.size();
+  ByteWriter toc;
+  for (const auto& [id, bytes] : sections_) {
+    toc.PutU32(id);
+    toc.PutU64(offset);
+    toc.PutU64(bytes.size());
+    toc.PutU32(Crc32(bytes.data(), bytes.size()));
+    offset += bytes.size();
+  }
+
+  ByteWriter image;
+  image.PutU64(kSnapshotMagic);
+  image.PutU32(kSnapshotFormatVersion);
+  image.PutU32(static_cast<uint32_t>(sections_.size()));
+  image.PutU32(Crc32(toc.bytes().data(), toc.bytes().size()));
+  image.PutBytes(toc.bytes().data(), toc.bytes().size());
+  for (const auto& [id, bytes] : sections_) {
+    image.PutBytes(bytes.data(), bytes.size());
+  }
+  return image.TakeBytes();
+}
+
+Status SnapshotWriter::WriteToFile(const std::string& path) const {
+  const std::string image = Encode();
+  const std::string tmp = path + ".tmp";
+
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::Internal("cannot open " + tmp + ": " + std::strerror(errno));
+  }
+  const size_t written = std::fwrite(image.data(), 1, image.size(), f);
+  if (written != image.size() || std::fflush(f) != 0) {
+    std::fclose(f);
+    std::remove(tmp.c_str());
+    return Status::Internal("short write to " + tmp);
+  }
+  // The data must be durable BEFORE the rename publishes it: rename-then-sync
+  // could expose a complete-looking file with unwritten pages after a crash.
+  const Status file_sync = SyncFd(fileno(f), tmp);
+  std::fclose(f);
+  if (!file_sync.ok()) {
+    std::remove(tmp.c_str());
+    return file_sync;
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status::Internal("rename " + tmp + " -> " + path + ": " + std::strerror(errno));
+  }
+  // Make the rename itself durable (directory entry update).
+  const int dir_fd = ::open(ParentDir(path).c_str(), O_RDONLY);
+  if (dir_fd >= 0) {
+    const Status dir_sync = SyncFd(dir_fd, "directory of " + path);
+    ::close(dir_fd);
+    if (!dir_sync.ok()) {
+      return dir_sync;
+    }
+  }
+  return Status::Ok();
+}
+
+Status SnapshotReader::Open(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return Status::NotFound("cannot open " + path + ": " + std::strerror(errno));
+  }
+  std::string image;
+  // Reserve from the file size: snapshots reach hundreds of MB (the HNSW
+  // arena dominates) and growing the buffer 64 KB at a time would realloc
+  // the warm-start path dozens of times.
+  if (std::fseek(f, 0, SEEK_END) == 0) {
+    const long size = std::ftell(f);
+    if (size > 0) {
+      image.reserve(static_cast<size_t>(size));
+    }
+    std::rewind(f);
+  }
+  char buf[1 << 16];
+  size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    image.append(buf, n);
+  }
+  const bool read_error = std::ferror(f) != 0;
+  std::fclose(f);
+  if (read_error) {
+    return Status::Internal("read error on " + path);
+  }
+  Status status = Parse(std::move(image));
+  if (!status.ok()) {
+    return Status(status.code(), path + ": " + status.message());
+  }
+  return Status::Ok();
+}
+
+Status SnapshotReader::Parse(std::string image) {
+  format_version_ = 0;
+  image_size_ = image.size();
+  toc_.clear();
+  sections_.clear();
+
+  ByteReader header(image);
+  const uint64_t magic = header.GetU64();
+  const uint32_t version = header.GetU32();
+  const uint32_t count = header.GetU32();
+  const uint32_t toc_crc = header.GetU32();
+  if (!header.ok() || magic != kSnapshotMagic) {
+    return Status::InvalidArgument("not a snapshot (bad magic)");
+  }
+  if (version != kSnapshotFormatVersion) {
+    return Status::InvalidArgument("unsupported snapshot format version " +
+                                   std::to_string(version) + " (reader supports " +
+                                   std::to_string(kSnapshotFormatVersion) + ")");
+  }
+  const size_t toc_bytes = kTocEntrySize * static_cast<size_t>(count);
+  if (image.size() < kHeaderSize + toc_bytes) {
+    return Status::InvalidArgument("truncated snapshot (TOC)");
+  }
+  if (Crc32(image.data() + kHeaderSize, toc_bytes) != toc_crc) {
+    return Status::InvalidArgument("snapshot TOC checksum mismatch");
+  }
+
+  ByteReader toc(image.data() + kHeaderSize, toc_bytes);
+  for (uint32_t i = 0; i < count; ++i) {
+    SnapshotSectionInfo info;
+    info.id = static_cast<SnapshotSection>(toc.GetU32());
+    info.offset = toc.GetU64();
+    info.size = toc.GetU64();
+    info.crc32 = toc.GetU32();
+    if (!toc.ok() || info.offset > image.size() || info.size > image.size() - info.offset) {
+      return Status::InvalidArgument("truncated snapshot (section " +
+                                     std::string(SnapshotSectionName(info.id)) +
+                                     " out of bounds)");
+    }
+    if (Crc32(image.data() + info.offset, static_cast<size_t>(info.size)) != info.crc32) {
+      return Status::InvalidArgument(std::string("snapshot section '") +
+                                     SnapshotSectionName(info.id) + "' checksum mismatch");
+    }
+    toc_.push_back(info);
+    sections_[static_cast<uint32_t>(info.id)] =
+        image.substr(static_cast<size_t>(info.offset), static_cast<size_t>(info.size));
+  }
+  format_version_ = version;
+  return Status::Ok();
+}
+
+const std::string* SnapshotReader::Section(SnapshotSection id) const {
+  const auto it = sections_.find(static_cast<uint32_t>(id));
+  return it == sections_.end() ? nullptr : &it->second;
+}
+
+}  // namespace iccache

@@ -1,0 +1,79 @@
+// SnapshotWriter / SnapshotReader: the container half of the persistence
+// subsystem (see snapshot_format.h for the byte layout and pool_codec.h for
+// the section encodings).
+//
+//   SnapshotWriter writer;
+//   writer.AddSection(SnapshotSection::kExamples, bytes);
+//   Status s = writer.WriteToFile("/var/lib/iccache/pool.snap");  // atomic
+//
+//   SnapshotReader reader;
+//   Status s = reader.Open("/var/lib/iccache/pool.snap");  // validates CRCs
+//   const std::string* examples = reader.Section(SnapshotSection::kExamples);
+//
+// WriteToFile is crash-safe: the image is staged at `path + ".tmp"`,
+// fsync'ed, renamed over `path`, and the parent directory is fsync'ed, so a
+// kill at any instant leaves `path` holding either the previous complete
+// snapshot or the new one. Open re-verifies the magic, format version, TOC
+// checksum, and every section checksum before returning a single byte.
+#ifndef SRC_PERSIST_SNAPSHOT_H_
+#define SRC_PERSIST_SNAPSHOT_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/persist/snapshot_format.h"
+
+namespace iccache {
+
+struct SnapshotSectionInfo {
+  SnapshotSection id;
+  uint64_t offset = 0;
+  uint64_t size = 0;
+  uint32_t crc32 = 0;
+};
+
+class SnapshotWriter {
+ public:
+  // Adds (or replaces) a section payload.
+  void AddSection(SnapshotSection id, std::string bytes);
+
+  // Serializes header + TOC + sections into one contiguous image.
+  std::string Encode() const;
+
+  // Encodes and writes atomically (temp file + fsync + rename + dir fsync).
+  Status WriteToFile(const std::string& path) const;
+
+ private:
+  std::map<uint32_t, std::string> sections_;  // ordered => deterministic image
+};
+
+class SnapshotReader {
+ public:
+  // Reads and validates the whole file; any integrity failure (truncation,
+  // flipped bit, bad magic, unknown format version) is an error and no
+  // section is exposed.
+  Status Open(const std::string& path);
+
+  // Validates an in-memory image (testing, network transport).
+  Status Parse(std::string image);
+
+  // Section payload, or nullptr when the snapshot does not carry it.
+  const std::string* Section(SnapshotSection id) const;
+
+  uint32_t format_version() const { return format_version_; }
+  uint64_t file_size() const { return image_size_; }
+  const std::vector<SnapshotSectionInfo>& sections() const { return toc_; }
+
+ private:
+  uint32_t format_version_ = 0;
+  uint64_t image_size_ = 0;
+  std::vector<SnapshotSectionInfo> toc_;
+  std::map<uint32_t, std::string> sections_;
+};
+
+}  // namespace iccache
+
+#endif  // SRC_PERSIST_SNAPSHOT_H_

@@ -4,11 +4,13 @@
 #include <chrono>
 #include <utility>
 
+#include "src/common/binio.h"
 #include "src/common/rng.h"
 #include "src/common/stats.h"
 #include "src/common/thread_pool.h"
 #include "src/core/pipeline.h"
 #include "src/embedding/embedder.h"
+#include "src/persist/snapshot.h"
 
 namespace iccache {
 
@@ -50,9 +52,20 @@ ServingDriver::ServingDriver(DriverConfig config, const ModelCatalog* catalog)
       selector_(&cache_, &proxy_, config.selector),
       router_(MakeArms(small_, large_), SeededRouterConfig(config.router, config.seed)),
       generator_(Mix64(config.seed ^ 0x6e4ull)),
-      manager_(&cache_, &generator_, large_, config.manager) {
+      manager_(&cache_, &generator_, large_, config.manager),
+      checkpointer_(CheckpointerConfig{config.snapshot_path, config.checkpoint_interval_s,
+                                       config.replay_load_threshold,
+                                       /*force_factor=*/2.0}) {
   cluster_.AddPool(small_, config_.small_replicas, config_.server);
   cluster_.AddPool(large_, config_.large_replicas, config_.server);
+  if (config_.restore_on_start && !config_.snapshot_path.empty()) {
+    const Status status = RestoreSnapshot(config_.snapshot_path);
+    // A missing snapshot is a normal cold start; anything else (corruption,
+    // geometry mismatch) is surfaced through restore_status().
+    if (!status.ok() && status.code() != StatusCode::kNotFound) {
+      restore_status_ = status;
+    }
+  }
 }
 
 std::vector<Request> ServingDriver::MakeWorkload(const DatasetProfile& profile,
@@ -72,6 +85,56 @@ uint64_t ServingDriver::SeedExample(const Request& request, double now) {
   const GenerationResult generation = generator_.Generate(large_, request, {});
   return cache_.Put(request, "[seed-response]", generation.latent_quality, large_.capability,
                     generation.output_tokens, now);
+}
+
+Status ServingDriver::SaveSnapshot(const std::string& path) {
+  SnapshotWriter writer;
+  PoolComponents components;
+  components.selector = &selector_;
+  components.manager = &manager_;
+  components.proxy = &proxy_;
+  components.router = &router_;
+  EncodePoolSections(cache_, components, cluster_.now(), &writer);
+
+  ByteWriter driver;
+  driver.PutDouble(last_replay_time_);
+  EncodeRngState(generator_.rng_state(), &driver);
+  writer.AddSection(SnapshotSection::kDriver, driver.TakeBytes());
+  return writer.WriteToFile(path);
+}
+
+Status ServingDriver::RestoreSnapshot(const std::string& path) {
+  SnapshotReader reader;
+  Status status = reader.Open(path);
+  if (!status.ok()) {
+    return status;
+  }
+  PoolComponents components;
+  components.selector = &selector_;
+  components.manager = &manager_;
+  components.proxy = &proxy_;
+  components.router = &router_;
+  status = DecodePoolSections(reader, &cache_, components, &restore_report_);
+  if (!status.ok()) {
+    return status;
+  }
+  const std::string* driver = reader.Section(SnapshotSection::kDriver);
+  if (driver != nullptr) {
+    ByteReader r(*driver);
+    const double last_replay_time = r.GetDouble();
+    const RngState generator_rng = DecodeRngState(&r);
+    if (!r.ok() || !r.AtEnd()) {
+      return Status::InvalidArgument("malformed driver section");
+    }
+    last_replay_time_ = last_replay_time;
+    generator_.restore_rng_state(generator_rng);
+  }
+  // Fast-forward the (idle) cluster to the snapshot's trace time so load
+  // observations and maintenance cadence resume where the writer stopped.
+  cluster_.AdvanceTo(restore_report_.sim_time);
+  checkpointer_.NoteRestored(restore_report_.sim_time);
+  restored_from_snapshot_ = true;
+  return Status::Ok();
 }
 
 ServingDriver::Prepared ServingDriver::PrepareRequest(const Request& request) const {
@@ -100,6 +163,8 @@ DriverReport ServingDriver::Run(const std::vector<Request>& requests) {
   report.total_requests = requests.size();
   report.decisions.reserve(requests.size());
   const uint64_t evicted_before = cache_.evicted_total();
+  const size_t checkpoints_before = checkpointer_.taken();
+  PercentileTracker run_checkpoint_ms;  // this segment's writes only
 
   // ClusterSim::AddPool clamps replica counts to >= 1; mirror that here so
   // the utilization denominator matches the pools that actually exist.
@@ -255,11 +320,25 @@ DriverReport ServingDriver::Run(const std::vector<Request>& requests) {
         report.improved_examples += replay.improved;
       }
     }
+
+    // Periodic crash-recovery checkpoint (section: persistence): runs between
+    // batch windows — never inside the serial per-request loop — and rides
+    // the same off-peak gate as replay, with a forced write once two
+    // intervals overdue. The write is atomic (temp + fsync + rename), so a
+    // kill mid-checkpoint leaves the previous snapshot intact.
+    if (checkpointer_.enabled() && checkpointer_.Due(cluster_.now(), current_load())) {
+      if (checkpointer_
+              .Take(cluster_.now(), [this] { return SaveSnapshot(config_.snapshot_path); })
+              .ok()) {
+        run_checkpoint_ms.Add(checkpointer_.last_write_ms());
+      }
+    }
   }
   cluster_.RunUntilIdle();
   const auto wall_end = std::chrono::steady_clock::now();
 
-  report.completions = cluster_.completions();
+  // Take (rather than copy) so repeated Run calls report their own segment.
+  report.completions = cluster_.TakeCompletions();
   report.wall_seconds = std::chrono::duration<double>(wall_end - wall_start).count();
   report.serial_seconds = report.wall_seconds - report.prepare_seconds;
   report.requests_per_second =
@@ -281,6 +360,9 @@ DriverReport ServingDriver::Run(const std::vector<Request>& requests) {
   report.p99_queue_delay_s = queue_delay.Percentile(99);
   report.mean_quality = quality.mean();
   report.evicted_examples = static_cast<size_t>(cache_.evicted_total() - evicted_before);
+  report.checkpoints_taken = checkpointer_.taken() - checkpoints_before;
+  report.checkpoint_p50_ms = run_checkpoint_ms.Percentile(50);
+  report.checkpoint_p99_ms = run_checkpoint_ms.Percentile(99);
   return report;
 }
 

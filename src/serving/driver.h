@@ -40,6 +40,7 @@
 #include <string>
 #include <vector>
 
+#include "src/common/status.h"
 #include "src/core/manager.h"
 #include "src/core/proxy_model.h"
 #include "src/core/router.h"
@@ -47,6 +48,8 @@
 #include "src/core/sharded_cache.h"
 #include "src/llm/generation.h"
 #include "src/llm/model_profile.h"
+#include "src/persist/checkpointer.h"
+#include "src/persist/pool_codec.h"
 #include "src/serving/cluster.h"
 #include "src/workload/dataset.h"
 #include "src/workload/query_generator.h"
@@ -104,6 +107,17 @@ struct DriverConfig {
   bool selector_fault_bypass = false;
   bool router_fault_bypass = false;
 
+  // Persistence (src/persist). With `snapshot_path` set, `restore_on_start`
+  // warm-starts the driver from that file at construction (a missing file is
+  // a cold start; any other failure is surfaced by restore_status()), and
+  // `checkpoint_interval_s` > 0 takes periodic crash-recovery checkpoints
+  // between batch windows — off the serial phase, reusing the off-peak gate
+  // (`replay_load_threshold`), with a forced write once a checkpoint is two
+  // intervals overdue so a saturated cluster still bounds staleness.
+  std::string snapshot_path;
+  bool restore_on_start = false;
+  double checkpoint_interval_s = 0.0;
+
   uint64_t seed = 0xd21e5;
 };
 
@@ -129,6 +143,11 @@ struct DriverReport {
   size_t replay_passes = 0;
   size_t replayed_examples = 0;
   size_t improved_examples = 0;
+
+  // Checkpoint activity during this run (snapshot writes between windows).
+  size_t checkpoints_taken = 0;
+  double checkpoint_p50_ms = 0.0;
+  double checkpoint_p99_ms = 0.0;
 
   // Host-side pipeline throughput (what the ThreadPool accelerates).
   double wall_seconds = 0.0;
@@ -161,9 +180,34 @@ class ServingDriver {
   // Seeds the example pool with a large-model response (pool initialization).
   uint64_t SeedExample(const Request& request, double now);
 
-  // Processes the whole stream (must be sorted by arrival_time) and runs the
-  // cluster to completion. May be called once per driver instance.
+  // Processes one stream segment (must be sorted by arrival_time) and runs
+  // the cluster to completion. May be called repeatedly: each call reports
+  // its own segment, and serving state (pool, selector, router, clocks)
+  // carries across calls — Run(a) then Run(b) serves b exactly as a driver
+  // restored from a snapshot taken after Run(a) would.
   DriverReport Run(const std::vector<Request>& requests);
+
+  // --- Persistence ---------------------------------------------------------
+
+  // Writes the complete learned serving state — example pool with native
+  // HNSW graphs, selector/manager/proxy/router adaptation, generator stream,
+  // replay/maintenance cursors, trace clock — as one atomic snapshot.
+  // In-flight simulated requests are NOT captured: a snapshot taken
+  // mid-trace restores the learned pool, not the cluster's transient queue.
+  Status SaveSnapshot(const std::string& path);
+
+  // Restores a SaveSnapshot image into this (freshly constructed, unserved)
+  // driver and fast-forwards the trace clock to the snapshot time. After a
+  // successful restore, serving a stream produces byte-identical decisions
+  // to the driver that wrote the snapshot serving the same stream.
+  Status RestoreSnapshot(const std::string& path);
+
+  // Outcome of the constructor-time restore (restore_on_start): Ok after a
+  // successful warm start AND after a cold start with no snapshot file.
+  const Status& restore_status() const { return restore_status_; }
+  bool restored_from_snapshot() const { return restored_from_snapshot_; }
+  const PoolRestoreReport& restore_report() const { return restore_report_; }
+  const Checkpointer& checkpointer() const { return checkpointer_; }
 
   ShardedExampleCache& cache() { return cache_; }
   RequestRouter& router() { return router_; }
@@ -194,6 +238,11 @@ class ServingDriver {
   ExampleManager manager_;
   ClusterSim cluster_;
   double last_replay_time_ = 0.0;
+
+  Checkpointer checkpointer_;
+  Status restore_status_;
+  bool restored_from_snapshot_ = false;
+  PoolRestoreReport restore_report_;
 };
 
 }  // namespace iccache

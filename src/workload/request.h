@@ -40,6 +40,13 @@ struct Request {
   TaskType task = TaskType::kConversation;
   std::string text;
 
+  // Privacy-domain tag (src/core/privacy.h): cached data derived from this
+  // request may only be shared within the same user domain. 0 is the shared
+  // global domain; multi-tenant deployments assign one id per tenant. Carried
+  // into the cached Example and through snapshots (per-domain byte usage is
+  // reported by tools/snapshot_dump).
+  uint32_t privacy_domain = 0;
+
   // Latent ground truth (generator/simulator only).
   uint32_t topic_id = 0;
   uint32_t intent_id = 0;    // sub-topic; equal intent == semantically equivalent
