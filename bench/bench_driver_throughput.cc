@@ -35,6 +35,17 @@
 //                         it natively (no graph rebuild), report write/read
 //                         ms; exits non-zero when the restore needs a
 //                         rebuild or a 100k-scale pool takes >= 2 s
+//   --acceptance          sharded-commit-pipeline smoke (ci.sh): full
+//                         lifecycle + background maintenance on hnsw at 1
+//                         and 8 threads from the same restored seed
+//                         snapshot; exits non-zero unless decisions match,
+//                         the parallel-phase fraction is >= 0.94, and no
+//                         window stalled waiting on the maintenance planner
+//
+// Every thread-sweep cell starts from an IDENTICAL restored snapshot: the
+// seed pool is built once per backend, snapshotted, and each (backend,
+// threads) run warm-starts from that file — so rows differ only in
+// num_threads, never in pool construction history.
 #include <unistd.h>
 
 #include <algorithm>
@@ -65,6 +76,7 @@ struct Options {
   size_t requests = 4000;
   bool sweep = true;
   bool maintenance = true;
+  bool acceptance = false;
   int64_t capacity_kb = 256;
   std::string snapshot_path;
   std::string restore_path;
@@ -87,6 +99,35 @@ std::unique_ptr<ServingDriver> MakeDriver(const DatasetProfile& profile,
   QueryGenerator seeder(profile, kSeed ^ 0x5eedb);
   for (size_t i = 0; i < kSeedPool; ++i) {
     driver->SeedExample(seeder.Next(), 0.0);
+  }
+  return driver;
+}
+
+// Builds the seed pool ONCE and snapshots it, so every sweep cell (and the
+// acceptance mode) warm-starts from byte-identical learned state — rows of
+// the thread sweep differ only in num_threads, never in pool history.
+std::string WriteSeedSnapshot(const DatasetProfile& profile, const ModelCatalog& catalog,
+                              DriverConfig config, const char* tag) {
+  const std::string path =
+      "/tmp/iccache_seed_" + std::to_string(::getpid()) + "_" + tag + ".snap";
+  const auto driver = MakeDriver(profile, catalog, std::move(config));
+  const Status saved = driver->SaveSnapshot(path);
+  if (!saved.ok()) {
+    std::fprintf(stderr, "seed snapshot failed: %s\n", saved.ToString().c_str());
+    std::exit(1);
+  }
+  return path;
+}
+
+std::unique_ptr<ServingDriver> RestoredDriver(const ModelCatalog& catalog, DriverConfig config,
+                                              const std::string& seed_snapshot) {
+  config.snapshot_path = seed_snapshot;
+  config.restore_on_start = true;  // checkpoint_interval_s stays 0: read-only
+  auto driver = std::make_unique<ServingDriver>(config, &catalog);
+  if (!driver->restore_status().ok() || !driver->restored_from_snapshot()) {
+    std::fprintf(stderr, "seed restore failed: %s\n",
+                 driver->restore_status().ToString().c_str());
+    std::exit(1);
   }
   return driver;
 }
@@ -133,6 +174,8 @@ Options ParseOptions(int argc, char** argv) {
       options.restore_path = arg.substr(10);
     } else if (arg.rfind("--snapshot-bench=", 0) == 0) {
       options.snapshot_bench = static_cast<size_t>(std::strtoull(arg.c_str() + 17, nullptr, 10));
+    } else if (arg == "--acceptance") {
+      options.acceptance = true;
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
       std::exit(2);
@@ -223,6 +266,14 @@ int RunSnapshotBench(size_t n) {
              : 1;
 }
 
+// ci.sh smoke for the sharded commit pipeline: full lifecycle + background
+// maintenance on hnsw, 1 vs 8 threads from the same restored seed snapshot.
+// Exit-enforces the refactor's acceptance criteria: identical decisions, a
+// parallel-phase fraction >= 0.94, and ZERO windows stalled waiting on the
+// background maintenance planner.
+int RunAcceptance(const Options& options, const DatasetProfile& profile,
+                  const ModelCatalog& catalog, const std::vector<Request>& requests);
+
 bool SameDecisions(const DriverReport& a, const DriverReport& b) {
   if (a.decisions.size() != b.decisions.size()) {
     return false;
@@ -236,6 +287,51 @@ bool SameDecisions(const DriverReport& a, const DriverReport& b) {
     }
   }
   return true;
+}
+
+int RunAcceptance(const Options& options, const DatasetProfile& profile,
+                  const ModelCatalog& catalog, const std::vector<Request>& requests) {
+  benchutil::PrintTitle(
+      "Acceptance: sharded commit pipeline + epoch-based background maintenance");
+  DriverConfig config = MakeConfig(/*num_threads=*/8, RetrievalBackendKind::kHnsw);
+  // Full lifecycle with cadences scaled to the trace (as in the demo below),
+  // so decay/eviction/replay ticks genuinely flow through the scheduler.
+  config.cache.cache.capacity_bytes = options.capacity_kb * 1024;
+  config.manager.decay_interval_s = 60.0;
+  config.replay_min_interval_s = 120.0;
+  config.replay_load_threshold = 1e9;
+  const std::string seed_snapshot =
+      WriteSeedSnapshot(profile, catalog, config, "acceptance");
+
+  config.num_threads = 1;
+  const DriverReport single = RestoredDriver(catalog, config, seed_snapshot)->Run(requests);
+  config.num_threads = 8;
+  const DriverReport eight = RestoredDriver(catalog, config, seed_snapshot)->Run(requests);
+  std::remove(seed_snapshot.c_str());
+
+  const bool identical = SameDecisions(single, eight);
+  // Request-path parallel fraction: of the time spent serving requests
+  // (prepare + serial), how much runs on the pool. Maintenance is its own
+  // bucket — measured, overlappable, and policed by the stall counter below
+  // instead of being allowed to masquerade as serial time.
+  const double request_path = eight.prepare_seconds + eight.serial_seconds;
+  const double fraction = request_path > 0.0 ? eight.prepare_seconds / request_path : 0.0;
+  std::printf("  requests=%zu  hnsw  lanes=%zu  maintenance ticks=%zu replay passes=%zu\n",
+              requests.size(), config.commit_lanes, eight.maintenance_runs,
+              eight.replay_passes);
+  std::printf("  wall split (8t): prepare %.3fs | serial %.3fs | maintenance %.3fs\n",
+              eight.prepare_seconds, eight.serial_seconds, eight.maintenance_seconds);
+  std::printf("  1-thread vs 8-thread decisions identical: %s\n",
+              identical ? "yes" : "NO (BUG)");
+  std::printf("  request-path parallel fraction: %.1f%%  (required >= 94%%): %s\n",
+              100.0 * fraction, fraction >= 0.94 ? "ok" : "FAIL");
+  std::printf("  maintenance-stalled windows: %zu  (required 0): %s\n",
+              eight.maintenance_stalled_windows,
+              eight.maintenance_stalled_windows == 0 ? "ok" : "FAIL");
+  return identical && fraction >= 0.94 && eight.maintenance_stalled_windows == 0 &&
+                 eight.maintenance_runs > 0
+             ? 0
+             : 1;
 }
 
 }  // namespace
@@ -257,16 +353,20 @@ int main(int argc, char** argv) {
   trace.seed = kSeed ^ 0x7ace;
   const std::vector<Request> requests = ServingDriver::MakeWorkload(profile, trace, kSeed ^ 0x9e4);
 
+  ModelCatalog catalog;
+  if (options.acceptance) {
+    return RunAcceptance(options, profile, catalog, requests);
+  }
+
   const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
   const std::vector<size_t> thread_counts = {1, 2, 4, 8};
 
-  ModelCatalog catalog;
   benchutil::PrintTitle("Serving-driver throughput: 1 thread vs N threads (LMSys trace)");
   std::printf("  requests=%zu  seed_pool=%zu  shards=8  batch_window=64  hw_cores=%u\n",
               requests.size(), kSeedPool, hw);
-  std::printf("  %-7s %-8s %9s %10s %8s %9s %9s %9s %9s %9s %8s\n", "index", "threads",
-              "wall (s)", "req/s", "speedup", "e2e p50", "e2e p99", "ttft p50", "ttft p99",
-              "qdly p99", "offload%");
+  std::printf("  %-7s %-8s %9s %10s %8s %8s %6s %9s %9s %9s %9s %8s\n", "index", "threads",
+              "wall (s)", "req/s", "speedup", "maint(s)", "stallW", "e2e p50", "e2e p99",
+              "ttft p50", "ttft p99", "offload%");
 
   bool decisions_match = true;
   for (RetrievalBackendKind backend : options.backends) {
@@ -274,9 +374,14 @@ int main(int argc, char** argv) {
       std::printf("  (sweep disabled)\n");
       break;
     }
+    // One seed pool per backend, snapshotted once: every thread-count cell
+    // below restores the SAME file, so rows are comparable by construction.
+    const std::string seed_snapshot =
+        WriteSeedSnapshot(profile, catalog, MakeConfig(1, backend),
+                          RetrievalBackendKindName(backend));
     DriverReport baseline;
     for (size_t threads : thread_counts) {
-      const auto driver = MakeDriver(profile, catalog, MakeConfig(threads, backend));
+      const auto driver = RestoredDriver(catalog, MakeConfig(threads, backend), seed_snapshot);
       const DriverReport report = driver->Run(requests);
       if (threads == thread_counts.front()) {
         baseline = report;
@@ -286,22 +391,31 @@ int main(int argc, char** argv) {
       const double speedup =
           baseline.wall_seconds > 0.0 ? baseline.wall_seconds / report.wall_seconds : 0.0;
       std::printf(
-          "  %-7s %-8zu %9.3f %10.0f %7.2fx %9.4f %9.4f %9.4f %9.4f %9.4f %7.1f%%\n",
+          "  %-7s %-8zu %9.3f %10.0f %7.2fx %8.3f %6zu %9.4f %9.4f %9.4f %9.4f %7.1f%%\n",
           RetrievalBackendKindName(backend), threads, report.wall_seconds,
-          report.requests_per_second, speedup, report.p50_latency_s, report.p99_latency_s,
-          report.p50_ttft_s, report.p99_ttft_s, report.p99_queue_delay_s,
+          report.requests_per_second, speedup, report.maintenance_seconds,
+          report.maintenance_stalled_windows, report.p50_latency_s, report.p99_latency_s,
+          report.p50_ttft_s, report.p99_ttft_s,
           100.0 * static_cast<double>(report.offloaded_requests) /
               static_cast<double>(report.total_requests));
     }
+    std::remove(seed_snapshot.c_str());
 
-    // Amdahl check on the measured phase split: the parallel preparation
-    // phase must dominate for the 8-thread speedup target to be reachable.
+    // Amdahl check on the measured three-bucket split: the pool-parallel
+    // work must dominate for the 8-thread speedup target to be reachable.
     const double parallel_fraction =
         baseline.wall_seconds > 0.0 ? baseline.prepare_seconds / baseline.wall_seconds : 0.0;
     const double projected_8t = 1.0 / ((1.0 - parallel_fraction) + parallel_fraction / 8.0);
     std::printf(
-        "  [%s] parallel-phase fraction: %.1f%%  (Amdahl-projected 8-thread speedup: %.2fx)\n",
-        RetrievalBackendKindName(backend), 100.0 * parallel_fraction, projected_8t);
+        "  [%s] parallel %.1f%% | serial %.1f%% | maintenance %.1f%%  "
+        "(Amdahl-projected 8-thread speedup: %.2fx)\n",
+        RetrievalBackendKindName(backend), 100.0 * parallel_fraction,
+        baseline.wall_seconds > 0.0 ? 100.0 * baseline.serial_seconds / baseline.wall_seconds
+                                    : 0.0,
+        baseline.wall_seconds > 0.0
+            ? 100.0 * baseline.maintenance_seconds / baseline.wall_seconds
+            : 0.0,
+        projected_8t);
   }
   if (options.sweep) {
     std::printf("  routing decisions identical across thread counts: %s\n",
@@ -370,6 +484,8 @@ int main(int argc, char** argv) {
       driver->cache().size(), static_cast<double>(used) / 1024.0, report.admitted_examples,
       report.evicted_examples, report.maintenance_runs, report.replay_passes,
       report.replayed_examples, report.improved_examples);
+  std::printf("  maintenance booked off the serial path: %.3f s  stalled windows=%zu\n",
+              report.maintenance_seconds, report.maintenance_stalled_windows);
   if (options.maintenance) {
     capacity_held = static_cast<double>(used) <= watermark_bytes;
     std::printf("  pool held at <= capacity * high_watermark (%.0f KB): %s\n",

@@ -52,6 +52,13 @@ if [[ "${rc}" -ne 0 && "${rc}" -ne 124 ]]; then
   exit "${rc}"
 fi
 
+echo "== sharded-commit-pipeline acceptance =="
+# Full lifecycle + background maintenance on hnsw at 1 vs 8 threads from the
+# same restored seed snapshot. Exit-enforces: identical decisions, a
+# request-path parallel fraction >= 0.94, and ZERO windows stalled waiting on
+# the background maintenance planner.
+timeout 600 "${BUILD_DIR}/bench_driver_throughput" --acceptance --requests=3000
+
 echo "== snapshot format smoke (driver checkpoint -> snapshot_dump) =="
 # A short lifecycle run that takes real checkpoints, then snapshot_dump
 # re-validates every section CRC and walks every example record.

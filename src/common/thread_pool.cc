@@ -4,6 +4,23 @@
 
 namespace iccache {
 
+void WaitGroup::Add(size_t n) {
+  std::lock_guard<std::mutex> lock(mu_);
+  pending_ += n;
+}
+
+void WaitGroup::Done() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (pending_ > 0 && --pending_ == 0) {
+    done_.notify_all();
+  }
+}
+
+void WaitGroup::Wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  done_.wait(lock, [this] { return pending_ == 0; });
+}
+
 ThreadPool::ThreadPool(size_t num_threads) {
   const size_t n = std::max<size_t>(1, num_threads);
   workers_.reserve(n);

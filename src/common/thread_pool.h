@@ -13,6 +13,24 @@
 
 namespace iccache {
 
+// Join point for a SUBSET of pool tasks. ThreadPool::Wait drains the whole
+// queue; a pipelined caller that keeps two task families in flight at once
+// (e.g. the serving driver's commit lanes overlapping the next window's
+// preparation) attaches a WaitGroup to each family and joins them
+// independently: Add before submitting, Done at the end of each task, Wait
+// to block until that family alone has finished.
+class WaitGroup {
+ public:
+  void Add(size_t n = 1);
+  void Done();
+  void Wait();
+
+ private:
+  std::mutex mu_;
+  std::condition_variable done_;
+  size_t pending_ = 0;
+};
+
 class ThreadPool {
  public:
   explicit ThreadPool(size_t num_threads);

@@ -187,6 +187,18 @@ ContextualBandit::ContextualBandit(size_t num_arms, size_t context_dim, uint64_t
 
 BanditSelection ContextualBandit::Select(const std::vector<double>& context,
                                          const std::vector<double>& biases) {
+  return SelectWithRng(context, biases, rng_);
+}
+
+void ContextualBandit::RefreshAll() const {
+  for (const LinearThompsonArm& arm : arms_) {
+    arm.EnsureFresh();
+  }
+}
+
+BanditSelection ContextualBandit::SelectWithRng(const std::vector<double>& context,
+                                                const std::vector<double>& biases,
+                                                Rng& rng) const {
   BanditSelection selection;
   selection.sampled_scores.resize(arms_.size());
   selection.mean_scores.resize(arms_.size());
@@ -194,7 +206,7 @@ BanditSelection ContextualBandit::Select(const std::vector<double>& context,
   for (size_t i = 0; i < arms_.size(); ++i) {
     const double bias = i < biases.size() ? biases[i] : 0.0;
     unbiased_means[i] = arms_[i].MeanScore(context);
-    selection.sampled_scores[i] = arms_[i].SampleScore(context, rng_) + bias;
+    selection.sampled_scores[i] = arms_[i].SampleScore(context, rng) + bias;
     selection.mean_scores[i] = unbiased_means[i] + bias;
   }
   selection.arm = static_cast<size_t>(
@@ -211,7 +223,7 @@ BanditSelection ContextualBandit::Select(const std::vector<double>& context,
   if (arms_.size() > 1) {
     std::vector<double> weights = selection.confidence;
     weights[selection.arm] = 0.0;
-    selection.second_choice = rng_.Categorical(weights);
+    selection.second_choice = rng.Categorical(weights);
     if (selection.second_choice == selection.arm) {
       selection.second_choice = (selection.arm + 1) % arms_.size();
     }

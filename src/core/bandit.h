@@ -41,6 +41,12 @@ class LinearThompsonArm {
   // Rank-1 posterior update with observed reward for context x.
   void Update(const std::vector<double>& x, double reward);
 
+  // Forces the lazy mean/Cholesky refresh NOW, on the calling thread.
+  // Concurrent const readers (MeanScore/SampleScore from many worker threads)
+  // are race-free only after the posterior has been refreshed since the last
+  // Update/RestoreState; a serial coordinator calls this before fanning out.
+  void EnsureFresh() const { Refresh(); }
+
   size_t updates() const { return updates_; }
   size_t dim() const { return dim_; }
 
@@ -106,6 +112,18 @@ class ContextualBandit {
   // (pass {} for none).
   BanditSelection Select(const std::vector<double>& context,
                          const std::vector<double>& biases);
+
+  // Same selection with an external sampling stream and no internal-state
+  // mutation. Safe to call concurrently from many threads PROVIDED the
+  // posteriors were refreshed (RefreshAll) after the last Update and no
+  // Update runs concurrently — the contract the serving driver's commit
+  // lanes rely on (posteriors frozen per batch window, per-request streams).
+  BanditSelection SelectWithRng(const std::vector<double>& context,
+                                const std::vector<double>& biases, Rng& rng) const;
+
+  // Eagerly refreshes every arm's lazy posterior factorization so subsequent
+  // concurrent const reads do not race on the refresh.
+  void RefreshAll() const;
 
   void Update(size_t arm, const std::vector<double>& context, double reward);
 

@@ -209,6 +209,20 @@ void ExampleCache::ExportExamples(
   }
 }
 
+MaintenanceCut ExampleCache::ExportMaintenanceCut() const {
+  MaintenanceCut cut;
+  cut.examples.reserve(examples_.size());
+  for (uint64_t id : AllIds()) {
+    cut.examples.push_back(examples_.at(id));
+  }
+  cut.used_bytes = used_bytes_;
+  cut.capacity_bytes = config_.capacity_bytes;
+  cut.high_watermark = config_.high_watermark;
+  cut.low_watermark = config_.low_watermark;
+  cut.decay_factor = config_.decay_factor;
+  return cut;
+}
+
 StoreSnapshotCut ExampleCache::ExportSnapshotCut() const {
   // Single-threaded by contract, so the piecewise reads already form a cut.
   StoreSnapshotCut cut;

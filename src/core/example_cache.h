@@ -71,7 +71,7 @@ class ExampleCache : public ExampleStore {
 
   const Example* Get(uint64_t id) const;
   Example* GetMutable(uint64_t id);
-  bool Remove(uint64_t id);
+  bool Remove(uint64_t id) override;
 
   // Copies the example out (ExampleStore); false when absent.
   bool Snapshot(uint64_t id, Example* out) const override;
@@ -111,6 +111,7 @@ class ExampleCache : public ExampleStore {
   // --- Persistence surface (ExampleStore) ----------------------------------
   void ExportExamples(
       const std::function<void(const Example&, const std::vector<float>&)>& fn) const override;
+  MaintenanceCut ExportMaintenanceCut() const override;
   StoreSnapshotCut ExportSnapshotCut() const override;
   bool ImportExample(const Example& example, std::vector<float> embedding,
                      bool add_to_index) override;

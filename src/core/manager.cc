@@ -1,11 +1,24 @@
 #include "src/core/manager.h"
 
 #include <algorithm>
+#include <unordered_set>
 #include <utility>
 
+#include "src/common/knapsack.h"
 #include "src/common/mathutil.h"
 
 namespace iccache {
+
+namespace {
+
+// Shared replay economics (RunReplayPass and PlanMaintenance): expected
+// savings scale with how often the example is reused; once they fall below
+// the one-time replay cost, every lower-ranked candidate is below it too.
+double ReuseWeight(const Example& example) {
+  return 1.0 + std::min<double>(static_cast<double>(example.access_count), 50.0);
+}
+
+}  // namespace
 
 ExampleManager::ExampleManager(ExampleStore* store, GenerationSimulator* generator,
                                const ModelProfile& replay_model, ManagerConfig config)
@@ -98,11 +111,8 @@ ReplayReport ExampleManager::RunReplayPass() {
     if (!store_->Snapshot(candidate.id, &example)) {
       continue;  // evicted since the ranking snapshot
     }
-    // Cost-aware cutoff: expected savings scale with how often the example is
-    // reused; once that falls below the one-time replay cost, every
-    // lower-ranked example is below it too — stop the pass.
-    const double reuse_weight =
-        1.0 + std::min<double>(static_cast<double>(example.access_count), 50.0);
+    // Cost-aware cutoff: see ReuseWeight above — stop the pass.
+    const double reuse_weight = ReuseWeight(example);
     if (candidate.gain * reuse_weight <= config_.replay_cost) {
       break;
     }
@@ -143,6 +153,142 @@ ReplayReport ExampleManager::RunReplayPass() {
     store_->EnforceCapacity();
   }
   return report;
+}
+
+MaintenancePlan ExampleManager::PlanMaintenance(const MaintenanceCut& cut,
+                                                const MaintenanceTickSpec& spec,
+                                                Rng& rng) const {
+  MaintenancePlan plan;
+  plan.spec = spec;
+
+  // Eviction: one global knapsack over the decayed cut. The decay that the
+  // apply step will perform is simulated here (value *= decay_factor when the
+  // tick decays) so the keep/evict decision matches the post-decay pool.
+  std::unordered_set<uint64_t> evicting;
+  if (spec.evict && cut.capacity_bytes > 0 &&
+      static_cast<double>(cut.used_bytes) >
+          static_cast<double>(cut.capacity_bytes) * std::min(1.0, cut.high_watermark)) {
+    const int64_t target = static_cast<int64_t>(static_cast<double>(cut.capacity_bytes) *
+                                                Clamp(cut.low_watermark, 0.1, 1.0));
+    std::vector<KnapsackItem> items;
+    items.reserve(cut.examples.size());
+    const double value_scale = spec.decay ? cut.decay_factor : 1.0;
+    for (const Example& example : cut.examples) {  // cut is ascending-id: stable tie-breaks
+      KnapsackItem item;
+      item.weight = example.SizeBytes();
+      item.value = example.offload_value * value_scale + 1e-3;
+      items.push_back(item);
+    }
+    const KnapsackSolution solution = SolveKnapsack(items, target);
+    std::vector<bool> keep(cut.examples.size(), false);
+    for (size_t idx : solution.selected) {
+      keep[idx] = true;
+    }
+    for (size_t i = 0; i < cut.examples.size(); ++i) {
+      if (!keep[i]) {
+        plan.evict_ids.push_back(cut.examples[i].id);
+        evicting.insert(cut.examples[i].id);
+      }
+    }
+  }
+
+  if (!spec.replay) {
+    return plan;
+  }
+
+  // Replay: identical ranking and economics to RunReplayPass, over the cut.
+  struct Ranked {
+    const Example* example;
+    double gain;
+  };
+  std::vector<Ranked> ranked;
+  for (const Example& example : cut.examples) {
+    if (example.replay_count >= config_.max_replays_per_example ||
+        evicting.count(example.id) > 0) {
+      continue;  // replaying an example this tick evicts would waste the draws
+    }
+    ranked.push_back(Ranked{&example, example.replay_gain_ema});
+  }
+  plan.replay_candidates = ranked.size();
+  std::sort(ranked.begin(), ranked.end(), [](const Ranked& a, const Ranked& b) {
+    if (a.gain != b.gain) {
+      return a.gain > b.gain;
+    }
+    return a.example->id < b.example->id;
+  });
+
+  for (const Ranked& candidate : ranked) {
+    if (plan.replays.size() >= config_.max_replays_per_pass) {
+      break;
+    }
+    if (candidate.gain * ReuseWeight(*candidate.example) <= config_.replay_cost) {
+      break;
+    }
+    MaintenancePlan::PlannedReplay replay;
+    replay.id = candidate.example->id;
+    replay.best_quality = candidate.example->response_quality;
+    replay.best_tokens = candidate.example->response_tokens;
+    for (int draw = 0; draw < config_.draws_per_replay; ++draw) {
+      const GenerationResult fresh =
+          generator_->Generate(replay_model_, candidate.example->request, {}, rng);
+      if (fresh.latent_quality > replay.best_quality) {
+        replay.best_quality = fresh.latent_quality;
+        replay.best_tokens = fresh.output_tokens;
+      }
+    }
+    plan.replays.push_back(replay);
+  }
+  return plan;
+}
+
+MaintenanceApplyOutcome ExampleManager::ApplyMaintenance(const MaintenancePlan& plan) {
+  MaintenanceApplyOutcome outcome;
+  if (plan.spec.decay) {
+    store_->DecayTick();
+    outcome.decay_ran = true;
+  }
+  if (plan.spec.evict) {
+    for (uint64_t id : plan.evict_ids) {
+      if (store_->Remove(id)) {
+        ++outcome.evicted;
+      }
+    }
+  }
+  if (plan.spec.replay) {
+    const double replay_capability = replay_model_.capability;
+    for (const MaintenancePlan::PlannedReplay& replay : plan.replays) {
+      bool improved = false;
+      const bool applied = store_->UpdateExample(replay.id, [&](Example& stored) {
+        ++stored.replay_count;
+        // Re-check against the LIVE quality: only this tick mutates response
+        // quality, so the comparison is deterministic, and a no-op draw still
+        // consumes the lifetime replay slot (as in RunReplayPass).
+        if (replay.best_quality > stored.response_quality) {
+          outcome.total_quality_gain += replay.best_quality - stored.response_quality;
+          stored.response_quality = replay.best_quality;
+          stored.response_tokens = replay.best_tokens;
+          stored.source_capability = std::max(stored.source_capability, replay_capability);
+          improved = true;
+        }
+        stored.replay_gain_ema *= (1.0 - stored.response_quality);
+      });
+      if (applied) {
+        ++outcome.replayed;
+        if (improved) {
+          ++outcome.improved;
+        }
+      }
+    }
+    outcome.replay_ran = true;
+  }
+  // One deterministic budget re-enforcement covers replay token growth AND
+  // any admissions that landed between cut and apply (no-op under the
+  // watermark); its evictions ride the store's own counter, so only the
+  // planned removals are tallied here.
+  if (plan.spec.evict || outcome.improved > 0) {
+    store_->EnforceCapacity();
+  }
+  return outcome;
 }
 
 MaintenanceReport ExampleManager::MaybeRunMaintenance(double now) {

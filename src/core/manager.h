@@ -63,6 +63,53 @@ struct MaintenanceReport {
   size_t evicted = 0;     // examples removed by the capacity knapsack
 };
 
+// --- Epoch-based background maintenance (plan / apply split) ---------------
+//
+// A concurrent driver never runs decay, eviction, or replay inline: at a
+// window boundary it exports an epoch-consistent MaintenanceCut, a background
+// thread PLANS the tick against that frozen view (pure, expensive — replay
+// regenerations and the eviction knapsack), and the resulting mutation batch
+// is APPLIED at a later, deterministic window boundary. Because the plan is
+// a pure function of (cut, spec, rng) and the apply point is fixed by the
+// window schedule, the whole scheme is invariant to thread and lane counts.
+
+// What one tick should do, stamped with its epoch (the tick ordinal, which
+// also derives the tick's private sampling stream).
+struct MaintenanceTickSpec {
+  bool decay = false;   // hourly utility decay
+  bool evict = false;   // capacity knapsack (watermark pressure or post-decay)
+  bool replay = false;  // cost-aware best-of-n example replay
+  double now = 0.0;     // trace time of the cut (the tick's nominal time)
+  uint64_t epoch = 0;
+};
+
+// Planned mutations, all keyed by example id so they survive pool churn
+// between cut and apply (ids that vanished are skipped deterministically).
+struct MaintenancePlan {
+  MaintenanceTickSpec spec;
+  std::vector<uint64_t> evict_ids;  // ascending id order
+  struct PlannedReplay {
+    uint64_t id = 0;
+    double best_quality = 0.0;  // best-of-n outcome on the replay model
+    int best_tokens = 0;
+  };
+  std::vector<PlannedReplay> replays;  // replay-rank order
+  size_t replay_candidates = 0;
+};
+
+// What ApplyMaintenance actually changed.
+struct MaintenanceApplyOutcome {
+  bool decay_ran = false;
+  bool replay_ran = false;
+  // PLANNED removals applied, only. The trailing watermark top-up inside
+  // ApplyMaintenance reports through the store's own eviction counter
+  // instead, so consumers summing both sources never double-count.
+  size_t evicted = 0;
+  size_t replayed = 0;
+  size_t improved = 0;
+  double total_quality_gain = 0.0;
+};
+
 // Parallel-phase half of a lifecycle admission.
 struct PreparedLifecycleAdmission {
   PreparedAdmission admission;  // privacy decision + sanitized-text embedding
@@ -105,6 +152,26 @@ class ExampleManager {
 
   // Hourly decay + capacity enforcement; call with the current sim time.
   MaintenanceReport MaybeRunMaintenance(double now);
+
+  // --- Epoch-based maintenance (background scheduler) ----------------------
+
+  // PURE planning half: ranks and simulates the tick against the frozen cut.
+  // Touches no mutable state (generation uses `rng`, the tick's private
+  // stream), so it is safe on a background thread while the store serves.
+  // Eviction is planned as ONE GLOBAL knapsack over the decayed cut (the
+  // background planner sees the whole pool at once, so it does not need the
+  // per-shard apportioning the inline EnforceCapacity path uses); replay
+  // follows the same ranking, cost cutoff, and per-example lifetime cap as
+  // RunReplayPass. Examples planned for eviction are never replayed.
+  MaintenancePlan PlanMaintenance(const MaintenanceCut& cut, const MaintenanceTickSpec& spec,
+                                  Rng& rng) const;
+
+  // Serial application half: publishes the planned mutations against the
+  // live store — DecayTick, planned removals, replay refinements — then
+  // re-enforces the byte budget once so admissions that landed between cut
+  // and apply (and replay token growth) cannot leave the pool above its
+  // watermark. Ids evicted since the cut are skipped; outcomes are exact.
+  MaintenanceApplyOutcome ApplyMaintenance(const MaintenancePlan& plan);
 
   const ManagerConfig& config() const { return config_; }
 

@@ -8,12 +8,18 @@ RouteDecision RouteOrBypass(RequestRouter* router, const Request& request,
   if (!router_failed) {
     return router->Route(request, selected);
   }
+  return BypassRoute(*router, request, selected, fallback);
+}
+
+RouteDecision BypassRoute(const RequestRouter& router, const Request& request,
+                          const std::vector<SelectedExample>& selected,
+                          const ModelProfile& fallback) {
   RouteDecision decision;
   decision.model_name = fallback.name;
   decision.uses_examples = false;
   decision.arm = 0;
-  for (size_t i = 0; i < router->num_arms(); ++i) {
-    if (router->arm_spec(i).model_name == fallback.name) {
+  for (size_t i = 0; i < router.num_arms(); ++i) {
+    if (router.arm_spec(i).model_name == fallback.name) {
       decision.arm = i;
       break;
     }

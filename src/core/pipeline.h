@@ -30,6 +30,15 @@ RouteDecision RouteOrBypass(RequestRouter* router, const Request& request,
                             const std::vector<SelectedExample>& selected, bool router_failed,
                             const ModelProfile& fallback);
 
+// The bypass leg alone, usable from const/concurrent contexts (it only reads
+// the router's arm table): a direct route to the fallback backend with a
+// well-formed context. The driver's commit lanes call this when the router
+// component is failed; callers must not feed rewards back for bypassed
+// requests (the bandit never chose).
+RouteDecision BypassRoute(const RequestRouter& router, const Request& request,
+                          const std::vector<SelectedExample>& selected,
+                          const ModelProfile& fallback);
+
 // What the generation step is allowed to see about one selected example.
 ExampleView MakeExampleView(const Request& request, const Example& example, Rng& rng);
 

@@ -91,6 +91,22 @@ struct StoreSnapshotCut {
   int64_t used_bytes = 0;
 };
 
+// Epoch-consistent view of the pool for background maintenance planning
+// (ExampleStore::ExportMaintenanceCut): every lifecycle record plus the byte
+// accounting and the capacity/decay policy knobs the planner needs, all
+// describing one instant. Much cheaper than ExportSnapshotCut — no
+// embeddings, no native index image — because decay, knapsack eviction, and
+// replay ranking only read the records.
+struct MaintenanceCut {
+  std::vector<Example> examples;  // ascending (global) id order
+  int64_t used_bytes = 0;
+  // Capacity policy of the owning store at cut time.
+  int64_t capacity_bytes = -1;
+  double high_watermark = 1.0;
+  double low_watermark = 0.9;
+  double decay_factor = 0.9;
+};
+
 // Surface the selection pipeline AND the example lifecycle layer
 // (ExampleManager: admission, gain accounting, replay, decay + eviction) need
 // from an example store. Implemented by ExampleCache (single-threaded) and
@@ -140,6 +156,10 @@ class ExampleStore {
   // Credits the example for a successful offload (knapsack eviction value).
   virtual void RecordOffload(uint64_t id, double gain) = 0;
 
+  // Removes the example (and its index entry); false when absent. Used by
+  // maintenance batches that apply a background-planned eviction set.
+  virtual bool Remove(uint64_t id) = 0;
+
   // Hourly multiplicative utility decay over every example.
   virtual void DecayTick() = 0;
 
@@ -161,6 +181,14 @@ class ExampleStore {
   // examples — concurrent snapshots must use ExportSnapshotCut.
   virtual void ExportExamples(
       const std::function<void(const Example&, const std::vector<float>&)>& fn) const = 0;
+
+  // One atomically consistent export of everything background maintenance
+  // needs: every example record, the byte accounting, and the capacity/decay
+  // policy, all describing one instant (the sharded store holds every shard
+  // lock, shared, for the duration). The epoch scheduler plans decay,
+  // eviction, and replay against this view off the request path and applies
+  // the resulting mutation batch at a later window boundary.
+  virtual MaintenanceCut ExportMaintenanceCut() const = 0;
 
   // One atomically consistent export of everything a snapshot needs: the
   // example records (ascending id), the native index image, the insertion

@@ -42,23 +42,22 @@ double RequestRouter::EstimateDifficulty(const Request& request) {
 
 void RequestRouter::ObserveLoad(double load) { load_ema_.Add(load); }
 
-RouteDecision RequestRouter::Route(const Request& request,
-                                   const std::vector<SelectedExample>& examples) {
-  const std::vector<double> context = MakeContext(request, examples);
-
+std::vector<double> RequestRouter::OverloadBiases(double load, double* overload) const {
   // Theorem-4 overload bias on the positive load deviation only.
-  const double load = load_ema_.value();
   const double deviation = std::max(0.0, load - config_.load_threshold);
-  const double overload = config_.bias_lambda * std::tanh(config_.bias_gamma * deviation);
-
+  *overload = config_.bias_lambda * std::tanh(config_.bias_gamma * deviation);
   std::vector<double> biases(arms_.size(), 0.0);
   for (size_t i = 0; i < arms_.size(); ++i) {
-    biases[i] = -(config_.cost_preference + overload) * arms_[i].normalized_cost;
+    biases[i] = -(config_.cost_preference + *overload) * arms_[i].normalized_cost;
   }
+  return biases;
+}
 
-  BanditSelection selection = bandit_.Select(context, biases);
-  if (arms_.size() > 1 && explore_rng_.Bernoulli(config_.exploration_epsilon)) {
-    selection.arm = explore_rng_.UniformInt(arms_.size());
+RouteDecision RequestRouter::FinishDecision(BanditSelection selection,
+                                            std::vector<double> context, double load,
+                                            double overload, Rng& explore_rng) const {
+  if (arms_.size() > 1 && explore_rng.Bernoulli(config_.exploration_epsilon)) {
+    selection.arm = explore_rng.UniformInt(arms_.size());
     if (selection.second_choice == selection.arm) {
       selection.second_choice = (selection.arm + 1) % arms_.size();
     }
@@ -71,10 +70,31 @@ RouteDecision RequestRouter::Route(const Request& request,
   decision.second_choice = selection.second_choice;
   decision.load_ema = load;
   decision.overload_bias_magnitude = overload;
-  decision.context = context;
-  decision.arm_means = selection.mean_scores;
+  decision.context = std::move(context);
+  decision.arm_means = std::move(selection.mean_scores);
   decision.solicit_feedback = selection.confidence_std < config_.uncertainty_gate;
   return decision;
+}
+
+RouteDecision RequestRouter::Route(const Request& request,
+                                   const std::vector<SelectedExample>& examples) {
+  std::vector<double> context = MakeContext(request, examples);
+  const double load = load_ema_.value();
+  double overload = 0.0;
+  const std::vector<double> biases = OverloadBiases(load, &overload);
+  BanditSelection selection = bandit_.Select(context, biases);
+  return FinishDecision(std::move(selection), std::move(context), load, overload, explore_rng_);
+}
+
+RouteDecision RequestRouter::RouteWithRng(const Request& request,
+                                          const std::vector<SelectedExample>& examples,
+                                          Rng& rng) const {
+  std::vector<double> context = MakeContext(request, examples);
+  const double load = load_ema_.value();
+  double overload = 0.0;
+  const std::vector<double> biases = OverloadBiases(load, &overload);
+  BanditSelection selection = bandit_.SelectWithRng(context, biases, rng);
+  return FinishDecision(std::move(selection), std::move(context), load, overload, rng);
 }
 
 void RequestRouter::UpdateReward(const RouteDecision& decision, double reward) {

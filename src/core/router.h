@@ -85,6 +85,21 @@ class RequestRouter {
   // Chooses the serving arm for the request.
   RouteDecision Route(const Request& request, const std::vector<SelectedExample>& examples);
 
+  // Same decision logic with an external sampling stream and no mutation of
+  // the router: Thompson sampling, exploration, and the runner-up draw all
+  // consume `rng`, and the posteriors/load EMA are read as-is. Used by the
+  // serving driver's commit lanes, which route a whole batch window against
+  // posteriors frozen at the window start (reward updates are merged at the
+  // window boundary) with a per-request stream, so any lane/thread count
+  // reproduces the same decisions. Call PrepareSampling() after the last
+  // posterior update and before fanning out concurrent callers.
+  RouteDecision RouteWithRng(const Request& request,
+                             const std::vector<SelectedExample>& examples, Rng& rng) const;
+
+  // Refreshes the bandit's lazy posterior factorizations on the calling
+  // thread so concurrent RouteWithRng calls are race-free.
+  void PrepareSampling() const { bandit_.RefreshAll(); }
+
   // Reward feedback for a previously routed request (quality signal in [0,1]).
   void UpdateReward(const RouteDecision& decision, double reward);
 
@@ -108,6 +123,14 @@ class RequestRouter {
   void restore_explore_rng_state(const RngState& state) { explore_rng_.RestoreState(state); }
 
  private:
+  // Shared route core: the Theorem-4 bias vector for the current load, and
+  // the exploration override + decision fill applied to a bandit selection.
+  // Route and RouteWithRng differ ONLY in which RNG streams they thread
+  // through these helpers.
+  std::vector<double> OverloadBiases(double load, double* overload) const;
+  RouteDecision FinishDecision(BanditSelection selection, std::vector<double> context,
+                               double load, double overload, Rng& explore_rng) const;
+
   std::vector<RouterArmSpec> arms_;
   RouterConfig config_;
   ContextualBandit bandit_;

@@ -60,9 +60,9 @@ std::vector<SelectorCandidate> ExampleSelector::PrepareCandidates(
   return candidates;
 }
 
-std::vector<SelectorCandidate> ExampleSelector::Combine(
+std::vector<SelectorCandidate> ExampleSelector::CombineCore(
     const std::vector<SelectorCandidate>& candidates, const ModelProfile& target_model,
-    bool apply_threshold, double now) {
+    bool apply_threshold, std::vector<uint64_t>* accessed) const {
   std::vector<const SelectorCandidate*> order;
   order.reserve(candidates.size());
   for (const SelectorCandidate& candidate : candidates) {
@@ -113,12 +113,26 @@ std::vector<SelectorCandidate> ExampleSelector::Combine(
     selected.push_back(*candidate);
     selected.back().embedding = std::move(embedding);
     tokens_used += tokens;
-    store_->RecordAccess(candidate->id, now);
+    if (accessed != nullptr) {
+      accessed->push_back(candidate->id);
+    }
   }
 
   // Present worst-to-best: the strongest example ends up adjacent to the
   // question, where in-context attention is strongest.
   std::reverse(selected.begin(), selected.end());
+  return selected;
+}
+
+std::vector<SelectorCandidate> ExampleSelector::Combine(
+    const std::vector<SelectorCandidate>& candidates, const ModelProfile& target_model,
+    bool apply_threshold, double now) {
+  std::vector<uint64_t> accessed;
+  std::vector<SelectorCandidate> selected =
+      CombineCore(candidates, target_model, apply_threshold, &accessed);
+  for (uint64_t id : accessed) {
+    store_->RecordAccess(id, now);
+  }
   return selected;
 }
 
@@ -128,6 +142,31 @@ std::vector<SelectorCandidate> ExampleSelector::CommitSelection(
   ++requests_seen_;
   MaybeAdaptThreshold();
   return Combine(candidates, target_model, /*apply_threshold=*/true, now);
+}
+
+std::vector<SelectorCandidate> ExampleSelector::CommitSelectionFrozen(
+    const std::vector<SelectorCandidate>& candidates, const ModelProfile& target_model,
+    std::vector<uint64_t>* accessed) const {
+  return CombineCore(candidates, target_model, /*apply_threshold=*/true, accessed);
+}
+
+void ExampleSelector::AdvanceWindow(size_t requests) {
+  if (requests == 0) {
+    return;
+  }
+  const uint64_t before = requests_seen_;
+  requests_seen_ += requests;
+  if (config_.adapt_every_n_requests == 0) {
+    return;
+  }
+  // Adapt once per window that crosses a cadence multiple: the whole window
+  // was served under the window-start threshold, so the grid re-evaluation
+  // lands at the boundary — the batched equivalent of CommitSelection's
+  // per-request check, and independent of lane count by construction.
+  const uint64_t n = config_.adapt_every_n_requests;
+  if (before / n != requests_seen_ / n) {
+    AdaptThresholdFromGrid();
+  }
 }
 
 std::vector<SelectedExample> ExampleSelector::ToSelected(
@@ -239,6 +278,10 @@ void ExampleSelector::MaybeAdaptThreshold() {
       requests_seen_ % config_.adapt_every_n_requests != 0) {
     return;
   }
+  AdaptThresholdFromGrid();
+}
+
+void ExampleSelector::AdaptThresholdFromGrid() {
   double best_benefit = -1e300;
   double best_threshold = utility_threshold_;
   bool any = false;

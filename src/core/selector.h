@@ -127,6 +127,25 @@ class ExampleSelector {
   std::vector<SelectorCandidate> CommitSelection(const std::vector<SelectorCandidate>& candidates,
                                                  const ModelProfile& target_model, double now);
 
+  // Frozen combination half for sharded commit lanes: applies the CURRENT
+  // dynamic threshold, diversity guard, token budget, and worst-to-best
+  // ordering exactly like CommitSelection, but mutates nothing — neither the
+  // adaptation cadence (see AdvanceWindow) nor store access accounting. The
+  // ids the stateful path would have passed to RecordAccess are appended to
+  // `accessed` in recording order so a deterministic merge step can replay
+  // them. Safe to call concurrently from many lanes: every request in a
+  // batch window sees the same threshold (the window-start value), which is
+  // what makes the lane partition invisible in the decisions.
+  std::vector<SelectorCandidate> CommitSelectionFrozen(
+      const std::vector<SelectorCandidate>& candidates, const ModelProfile& target_model,
+      std::vector<uint64_t>* accessed) const;
+
+  // Batched cadence advance for drivers that commit whole windows through
+  // CommitSelectionFrozen: counts `requests` toward the adaptation cadence
+  // and re-evaluates the threshold grid once if the counter crossed an
+  // adapt_every_n_requests multiple. Serial callers only (window boundary).
+  void AdvanceWindow(size_t requests);
+
   // Feeds an observed helpfulness label back into the proxy model and the
   // threshold adaptation accounting.
   void OnFeedback(const Request& request, const std::vector<SelectedExample>& used,
@@ -150,10 +169,17 @@ class ExampleSelector {
   std::vector<SelectorCandidate> Stage1(const Request& request,
                                         const std::vector<float>* query_embedding,
                                         bool embed_candidates) const;
+  // Pure combination core shared by the serial and frozen paths: collects the
+  // ids RecordAccess would receive instead of recording them.
+  std::vector<SelectorCandidate> CombineCore(const std::vector<SelectorCandidate>& candidates,
+                                             const ModelProfile& target_model,
+                                             bool apply_threshold,
+                                             std::vector<uint64_t>* accessed) const;
   std::vector<SelectorCandidate> Combine(const std::vector<SelectorCandidate>& candidates,
                                          const ModelProfile& target_model, bool apply_threshold,
                                          double now);
   void MaybeAdaptThreshold();
+  void AdaptThresholdFromGrid();
 
   ExampleStore* store_;
   ProxyUtilityModel* proxy_;

@@ -86,9 +86,12 @@ uint64_t ShardedExampleCache::PutPrepared(const Request& request, PreparedAdmiss
                                 std::memory_order_relaxed);
   }
   // Automatic capacity enforcement past the high watermark (the shard lock is
-  // released first: EnforceCapacity re-locks every shard in turn).
+  // released first: EnforceCapacity re-locks every shard in turn). Suspended
+  // while a commit pipeline publishes a window from several lanes at once
+  // (set_defer_capacity): the publisher runs one deterministic enforcement
+  // after the lanes join instead.
   const int64_t capacity = config_.cache.capacity_bytes;
-  if (capacity > 0 &&
+  if (capacity > 0 && !defer_capacity_.load(std::memory_order_relaxed) &&
       static_cast<double>(used_bytes()) >
           static_cast<double>(capacity) * config_.cache.high_watermark) {
     EnforceCapacity();
@@ -253,6 +256,35 @@ void ShardedExampleCache::ExportExamples(
     copy.id = id;  // expose the global id, matching Snapshot()
     fn(copy, embedding);
   }
+}
+
+MaintenanceCut ShardedExampleCache::ExportMaintenanceCut() const {
+  // Every shard lock, shared, ascending (same discipline as
+  // ExportSnapshotCut): the records and byte counts form one epoch-consistent
+  // view even while other threads serve.
+  std::vector<std::shared_lock<std::shared_mutex>> locks;
+  locks.reserve(shards_.size());
+  for (const Shard& shard : shards_) {
+    locks.emplace_back(shard.mu);
+  }
+
+  MaintenanceCut cut;
+  for (size_t shard = 0; shard < shards_.size(); ++shard) {
+    const ExampleCache& cache = *shards_[shard].cache;
+    for (uint64_t inner : cache.AllIds()) {
+      Example copy = *cache.Get(inner);
+      copy.id = GlobalId(inner, shard);
+      cut.examples.push_back(std::move(copy));
+    }
+    cut.used_bytes += cache.used_bytes();
+  }
+  std::sort(cut.examples.begin(), cut.examples.end(),
+            [](const Example& a, const Example& b) { return a.id < b.id; });
+  cut.capacity_bytes = config_.cache.capacity_bytes;
+  cut.high_watermark = config_.cache.high_watermark;
+  cut.low_watermark = config_.cache.low_watermark;
+  cut.decay_factor = config_.cache.decay_factor;
+  return cut;
 }
 
 StoreSnapshotCut ShardedExampleCache::ExportSnapshotCut() const {

@@ -87,7 +87,7 @@ class ShardedExampleCache : public ExampleStore {
 
   // --- Bookkeeping ---------------------------------------------------------
 
-  bool Remove(uint64_t id);
+  bool Remove(uint64_t id) override;
   void RecordAccess(uint64_t id, double now) override;
   bool UpdateExample(uint64_t id, const std::function<void(Example&)>& mutate) override;
   void RecordOffload(uint64_t id, double gain = 1.0) override;
@@ -121,6 +121,10 @@ class ShardedExampleCache : public ExampleStore {
   // geometry changed (restore then falls back to rebuild-from-embeddings).
   void ExportExamples(
       const std::function<void(const Example&, const std::vector<float>&)>& fn) const override;
+  // Holds ALL shard locks (shared, ascending) so the records and byte counts
+  // describe one instant — the epoch view background maintenance plans
+  // against. No embeddings or graph image: much cheaper than a snapshot cut.
+  MaintenanceCut ExportMaintenanceCut() const override;
   // Holds ALL shard locks (shared, ascending) so the records, index image,
   // counters, and watermark bytes describe one instant even mid-serving.
   StoreSnapshotCut ExportSnapshotCut() const override;
@@ -133,6 +137,34 @@ class ShardedExampleCache : public ExampleStore {
 
   // Lifetime count of knapsack-evicted examples (maintenance observability).
   uint64_t evicted_total() const { return evicted_total_.load(std::memory_order_relaxed); }
+
+  // --- Per-lane commit surface ---------------------------------------------
+  //
+  // A sharded commit pipeline inserts one window's admissions from several
+  // lanes at once, one lane per shard (per-shard arrival order keeps the id
+  // assignment deterministic). While those lanes run, the automatic
+  // watermark eviction inside PutPrepared must be OFF: a global knapsack
+  // triggered from whichever lane happens to cross the watermark first would
+  // evict under a racing, scheduling-dependent pool view. The publisher
+  // wraps the fan-out in set_defer_capacity(true/false) — the atomic byte
+  // counter still tracks every insert — and is then responsible for
+  // restoring the budget invariant itself at a deterministic point: the
+  // serving driver treats it as a SOFT watermark, requesting a background
+  // eviction tick when the counter is over the trigger and running one
+  // synchronous EnforceCapacity() before Run returns. The store does NOT
+  // self-enforce after a deferred fan-out.
+
+  // Which shard PutPrepared will place this request's admission in. Lanes
+  // and publish tasks group work by this value so each shard only ever sees
+  // inserts from one task at a time.
+  size_t shard_for_request(const Request& request) const { return ShardOfRequest(request); }
+
+  // Suspends (true) / resumes (false) PutPrepared's automatic watermark
+  // eviction. Set and cleared by the serial coordinator around a publish
+  // fan-out; tasks observe it through the pool's synchronization.
+  void set_defer_capacity(bool defer) {
+    defer_capacity_.store(defer, std::memory_order_relaxed);
+  }
 
   size_t num_shards() const { return shards_.size(); }
   std::shared_ptr<const Embedder> embedder() const override { return embedder_; }
@@ -161,6 +193,7 @@ class ShardedExampleCache : public ExampleStore {
   // shard's write lock, so the counter tracks the exact sum of shard usage.
   std::atomic<int64_t> used_bytes_total_{0};
   std::atomic<uint64_t> evicted_total_{0};
+  std::atomic<bool> defer_capacity_{false};
 };
 
 }  // namespace iccache

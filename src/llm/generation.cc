@@ -11,8 +11,9 @@ GenerationSimulator::GenerationSimulator(uint64_t seed, GenerationConfig config)
     : config_(config), rng_(seed) {}
 
 double GenerationSimulator::EffectiveCapability(const ModelProfile& model,
-                                                const std::vector<ExampleView>& examples) {
-  double capability = model.capability + rng_.Normal(0.0, config_.capability_noise);
+                                                const std::vector<ExampleView>& examples,
+                                                Rng& rng) const {
+  double capability = model.capability + rng.Normal(0.0, config_.capability_noise);
   if (examples.empty()) {
     return capability;
   }
@@ -61,14 +62,20 @@ double GenerationSimulator::EffectiveCapability(const ModelProfile& model,
 GenerationResult GenerationSimulator::Generate(const ModelProfile& model, const Request& request,
                                                const std::vector<ExampleView>& examples,
                                                double extra_capability) {
+  return Generate(model, request, examples, rng_, extra_capability);
+}
+
+GenerationResult GenerationSimulator::Generate(const ModelProfile& model, const Request& request,
+                                               const std::vector<ExampleView>& examples, Rng& rng,
+                                               double extra_capability) const {
   GenerationResult result;
   result.request_id = request.id;
   result.model_name = model.name;
 
-  const double capability = EffectiveCapability(model, examples) + extra_capability;
+  const double capability = EffectiveCapability(model, examples, rng) + extra_capability;
   const double margin = capability - request.difficulty;
   result.latent_quality = Clamp(
-      Sigmoid(config_.quality_slope * margin) + rng_.Normal(0.0, config_.quality_noise), 0.0, 1.0);
+      Sigmoid(config_.quality_slope * margin) + rng.Normal(0.0, config_.quality_noise), 0.0, 1.0);
 
   // Accuracy verdict: tasks with an objective notion of correctness (code,
   // math) apply a strictness offset, so raw pass rates sit well below the
@@ -80,7 +87,7 @@ GenerationResult GenerationSimulator::Generate(const ModelProfile& model, const 
     offset = config_.accuracy_offset_math;
   }
   const double p_correct = Sigmoid(config_.quality_slope * margin - offset);
-  result.correct = rng_.Bernoulli(p_correct);
+  result.correct = rng.Bernoulli(p_correct);
 
   // Token accounting and zero-load latency.
   int prompt_tokens = request.input_tokens;
@@ -95,12 +102,12 @@ GenerationResult GenerationSimulator::Generate(const ModelProfile& model, const 
     // meandering decodes (the paper's 3% zero-load speedup, Figure 18).
     decode_len *= config_.decode_shrink_with_ic;
   }
-  decode_len *= std::exp(rng_.Normal(0.0, 0.10));
+  decode_len *= std::exp(rng.Normal(0.0, 0.10));
   result.output_tokens = std::max(4, static_cast<int>(decode_len));
 
   result.ttft_s =
       model.ttft_base_s + static_cast<double>(prompt_tokens) / std::max(model.prefill_tps, 1.0);
-  result.tbt_s = model.Tbt() * std::exp(rng_.Normal(0.0, 0.03));
+  result.tbt_s = model.Tbt() * std::exp(rng.Normal(0.0, 0.03));
   result.e2e_latency_s = result.ttft_s + result.tbt_s * result.output_tokens;
   return result;
 }

@@ -84,6 +84,15 @@ class GenerationSimulator {
                             const std::vector<ExampleView>& examples,
                             double extra_capability = 0.0);
 
+  // Same generation model driven by an EXTERNAL sampling stream, mutating
+  // nothing. Concurrent callers (the serving driver's commit lanes, the
+  // background maintenance planner) each bring a deterministically derived
+  // per-request/per-tick Rng, so results are independent of thread and lane
+  // scheduling.
+  GenerationResult Generate(const ModelProfile& model, const Request& request,
+                            const std::vector<ExampleView>& examples, Rng& rng,
+                            double extra_capability = 0.0) const;
+
   // Latent quality a *reused* cached response achieves on a new request
   // (naive semantic caching, Figure 3b): full quality on an exact intent
   // match, severely degraded on topical-but-different matches.
@@ -97,7 +106,8 @@ class GenerationSimulator {
   void restore_rng_state(const RngState& state) { rng_.RestoreState(state); }
 
  private:
-  double EffectiveCapability(const ModelProfile& model, const std::vector<ExampleView>& examples);
+  double EffectiveCapability(const ModelProfile& model, const std::vector<ExampleView>& examples,
+                             Rng& rng) const;
 
   GenerationConfig config_;
   Rng rng_;

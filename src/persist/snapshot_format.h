@@ -30,7 +30,8 @@ namespace iccache {
 inline constexpr uint64_t kSnapshotMagic = 0x3150414e53434349ull;
 
 // Bump when any section encoding changes incompatibly.
-inline constexpr uint32_t kSnapshotFormatVersion = 1;
+// v2: kDriver section gained the maintenance scheduler's epoch counter.
+inline constexpr uint32_t kSnapshotFormatVersion = 2;
 
 // Section ids. A snapshot holds any subset; readers restore what they
 // recognize and have a consumer for.

@@ -40,6 +40,17 @@ ShardedCacheConfig SeededCacheConfig(ShardedCacheConfig config, uint64_t seed) {
   return config;
 }
 
+MaintenanceSchedulerConfig SchedulerConfig(const DriverConfig& config) {
+  MaintenanceSchedulerConfig scheduler;
+  scheduler.background = config.background_maintenance;
+  scheduler.seed = Mix64(config.seed ^ 0x3a171ull);
+  return scheduler;
+}
+
+double Since(const std::chrono::steady_clock::time_point& start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+}
+
 }  // namespace
 
 ServingDriver::ServingDriver(DriverConfig config, const ModelCatalog* catalog)
@@ -53,6 +64,7 @@ ServingDriver::ServingDriver(DriverConfig config, const ModelCatalog* catalog)
       router_(MakeArms(small_, large_), SeededRouterConfig(config.router, config.seed)),
       generator_(Mix64(config.seed ^ 0x6e4ull)),
       manager_(&cache_, &generator_, large_, config.manager),
+      maintenance_(&manager_, SchedulerConfig(config)),
       checkpointer_(CheckpointerConfig{config.snapshot_path, config.checkpoint_interval_s,
                                        config.replay_load_threshold,
                                        /*force_factor=*/2.0}) {
@@ -96,9 +108,13 @@ Status ServingDriver::SaveSnapshot(const std::string& path) {
   components.router = &router_;
   EncodePoolSections(cache_, components, cluster_.now(), &writer);
 
+  // The maintenance scheduler is idle at every point a snapshot can be taken
+  // (checkpoints flush pending ticks first; Run drains before returning), so
+  // the epoch counter alone captures its state.
   ByteWriter driver;
   driver.PutDouble(last_replay_time_);
   EncodeRngState(generator_.rng_state(), &driver);
+  driver.PutU64(maintenance_.next_epoch());
   writer.AddSection(SnapshotSection::kDriver, driver.TakeBytes());
   return writer.WriteToFile(path);
 }
@@ -123,11 +139,13 @@ Status ServingDriver::RestoreSnapshot(const std::string& path) {
     ByteReader r(*driver);
     const double last_replay_time = r.GetDouble();
     const RngState generator_rng = DecodeRngState(&r);
+    const uint64_t maintenance_epoch = r.GetU64();
     if (!r.ok() || !r.AtEnd()) {
       return Status::InvalidArgument("malformed driver section");
     }
     last_replay_time_ = last_replay_time;
     generator_.restore_rng_state(generator_rng);
+    maintenance_.set_next_epoch(maintenance_epoch);
   }
   // Fast-forward the (idle) cluster to the snapshot's trace time so load
   // observations and maintenance cadence resume where the writer stopped.
@@ -141,21 +159,76 @@ ServingDriver::Prepared ServingDriver::PrepareRequest(const Request& request) co
   Prepared prepared;
   const std::vector<float> embedding = embedder_->Embed(request.text);
   // Pure selector half: stage-1 sharded retrieval + stage-2 proxy scoring,
-  // with candidate embeddings prefilled so the serial phase's diversity guard
-  // does no embedding work. The dynamic utility threshold is applied later,
-  // in the serial phase, so every request in the window sees the same
-  // adaptation state. A bypassed selector (section 5) skips retrieval
-  // entirely — the request is served without examples.
+  // with candidate embeddings prefilled so the commit lanes' diversity guard
+  // does no embedding work. The dynamic utility threshold is applied in the
+  // lane stage, so every request in the window sees the same adaptation
+  // state. A bypassed selector (section 5) skips retrieval entirely — the
+  // request is served without examples.
   if (!config_.selector_fault_bypass) {
     prepared.candidates =
         selector_.PrepareCandidates(request, small_, &embedding, /*embed_candidates=*/true);
   }
   // Pure lifecycle half: dedupe probe + scrub/embed of the admission payload
-  // (the quality gate needs the generation and runs in the serial phase).
+  // (the quality gate needs the generation and runs at publish time).
   if (config_.lifecycle_admission) {
     prepared.lifecycle = manager_.PrepareAdmission(request, &embedding);
   }
   return prepared;
+}
+
+void ServingDriver::CommitLaneRequest(const Request& request, Prepared& prep,
+                                      CommitSlot& slot) const {
+  slot = CommitSlot();
+
+  // Frozen-threshold combination: diversity, token budget, worst-to-best
+  // ordering against the window-start adaptation state. Access accounting is
+  // collected for the merge step instead of applied here.
+  std::vector<SelectorCandidate> picked;
+  if (!config_.selector_fault_bypass) {
+    picked = selector_.CommitSelectionFrozen(prep.candidates, small_, &slot.accessed);
+  }
+  slot.selected = ExampleSelector::ToSelected(picked);
+  slot.num_examples = picked.size();
+
+  // One per-request stream drives every stochastic step of this request —
+  // Thompson sampling, generation, probe shadow generation — so the outcome
+  // is a pure function of (seed, request id, window-start state).
+  Rng commit_rng(Mix64(request.id ^ config_.seed ^ 0x1a9ec0113ull));
+
+  slot.decision = config_.router_fault_bypass
+                      ? BypassRoute(router_, request, slot.selected, large_)
+                      : router_.RouteWithRng(request, slot.selected, commit_rng);
+  slot.offloaded = slot.decision.uses_examples;
+  const ModelProfile& model = slot.offloaded ? small_ : large_;
+
+  std::vector<ExampleView> views;
+  if (slot.offloaded) {
+    views.reserve(picked.size());
+    Rng view_rng(Mix64(request.id ^ config_.seed ^ 0x71e35ull));
+    for (const SelectorCandidate& candidate : picked) {
+      views.push_back(MakeExampleView(request, candidate.example, view_rng));
+    }
+  }
+  slot.generation = generator_.Generate(model, request, views, commit_rng);
+
+  // Probe sampling: on a deterministic per-request slice of offloaded
+  // traffic, shadow-generate the plain small-model response so the
+  // selector's feedback (applied in the merge) uses a genuine counterfactual
+  // quality gain, as in IcCacheService.
+  if (slot.offloaded && !slot.selected.empty()) {
+    Rng probe_rng(Mix64(request.id ^ config_.seed ^ 0x9a0beull));
+    if (probe_rng.Uniform() < config_.selector_probe_rate) {
+      const GenerationResult plain = generator_.Generate(small_, request, {}, commit_rng);
+      slot.probed = true;
+      slot.probe_gain = slot.generation.latent_quality - plain.latent_quality;
+    }
+  }
+
+  // Stage the admission for the per-shard publish step (quality gate and
+  // insert both run there, in per-shard arrival order).
+  if (config_.lifecycle_admission) {
+    slot.lifecycle = std::move(prep.lifecycle);
+  }
 }
 
 DriverReport ServingDriver::Run(const std::vector<Request>& requests) {
@@ -163,6 +236,7 @@ DriverReport ServingDriver::Run(const std::vector<Request>& requests) {
   report.total_requests = requests.size();
   report.decisions.reserve(requests.size());
   const uint64_t evicted_before = cache_.evicted_total();
+  size_t planned_evictions = 0;  // maintenance-batch removals (not in the store counter)
   const size_t checkpoints_before = checkpointer_.taken();
   PercentileTracker run_checkpoint_ms;  // this segment's writes only
 
@@ -172,7 +246,7 @@ DriverReport ServingDriver::Run(const std::vector<Request>& requests) {
       (std::max(1, config_.small_replicas) + std::max(1, config_.large_replicas)) *
       std::max(1, config_.server.max_batch_size));
   // One utilization definition for everything that gates on load (router
-  // ObserveLoad and the off-peak replay threshold).
+  // ObserveLoad, the off-peak replay threshold, the checkpoint gate).
   const auto current_load = [this, pool_capacity] {
     return static_cast<double>(cluster_.PoolInFlight(small_.name) +
                                cluster_.PoolInFlight(large_.name)) /
@@ -181,158 +255,289 @@ DriverReport ServingDriver::Run(const std::vector<Request>& requests) {
 
   ThreadPool pool(config_.num_threads);
   const size_t window = std::max<size_t>(1, config_.batch_window);
+  const size_t lanes = std::max<size_t>(1, config_.commit_lanes);
+  const size_t publish_lag = std::max<size_t>(1, config_.maintenance_publish_lag);
   std::vector<Prepared> prepared(window);
+  std::vector<Prepared> prepared_next(window);
+  std::vector<CommitSlot> slots(window);
   RunningStat quality;
+  double prepare_wall = 0.0;      // driver time blocked on pool task groups
+  double maintenance_wall = 0.0;  // cut exports + plan collection + batch apply
 
-  const auto wall_start = std::chrono::steady_clock::now();
-  for (size_t begin = 0; begin < requests.size(); begin += window) {
-    const size_t count = std::min(window, requests.size() - begin);
+  // Publishes the pending maintenance tick's mutation batch. `forced` marks
+  // the deterministic early-flush points (checkpoint, end of run), where a
+  // blocking wait is expected and not a pipeline stall.
+  const auto publish_tick = [&](bool forced) {
+    const auto start = std::chrono::steady_clock::now();
+    bool stalled = false;
+    const MaintenancePlan plan = maintenance_.Collect(&stalled);
+    if (!forced && stalled) {
+      ++report.maintenance_stalled_windows;
+    }
+    const MaintenanceApplyOutcome outcome = manager_.ApplyMaintenance(plan);
+    planned_evictions += outcome.evicted;
+    if (outcome.decay_ran) {
+      ++report.maintenance_runs;
+    }
+    if (outcome.replay_ran) {
+      ++report.replay_passes;
+      report.replayed_examples += outcome.replayed;
+      report.improved_examples += outcome.improved;
+    }
+    maintenance_wall += Since(start);
+  };
 
-    // Phase 1: pure per-request preparation, fanned out across the pool.
-    const auto phase1_start = std::chrono::steady_clock::now();
+  const auto submit_prepare = [&](size_t begin, size_t count, std::vector<Prepared>* out,
+                                  WaitGroup* wg) {
+    wg->Add(count);
     for (size_t slot = 0; slot < count; ++slot) {
-      pool.Submit([this, &requests, &prepared, begin, slot] {
-        prepared[slot] = PrepareRequest(requests[begin + slot]);
+      pool.Submit([this, &requests, out, wg, begin, slot] {
+        (*out)[slot] = PrepareRequest(requests[begin + slot]);
+        wg->Done();
       });
     }
-    pool.Wait();
-    const auto phase1_end = std::chrono::steady_clock::now();
-    report.prepare_seconds += std::chrono::duration<double>(phase1_end - phase1_start).count();
+  };
 
-    // Phase 2: stateful pipeline steps, strictly in arrival order.
+  const auto wall_start = std::chrono::steady_clock::now();
+
+  // Prologue: prepare window 0 (there is nothing to overlap it with yet).
+  if (!requests.empty()) {
+    WaitGroup wg;
+    const auto start = std::chrono::steady_clock::now();
+    submit_prepare(0, std::min(window, requests.size()), &prepared, &wg);
+    wg.Wait();
+    prepare_wall += Since(start);
+  }
+
+  for (size_t begin = 0; begin < requests.size(); begin += window) {
+    const size_t count = std::min(window, requests.size() - begin);
+    const bool final_window = begin + window >= requests.size();
+    const size_t next_begin = begin + window;
+    const size_t next_count =
+        final_window ? 0 : std::min(window, requests.size() - next_begin);
+
+    // Freeze the routing state for this window's lanes: refresh the bandit's
+    // lazy posterior factorizations on this thread so concurrent frozen
+    // routes are race-free.
+    router_.PrepareSampling();
+
+    // Fan out the sharded commit lanes for THIS window alongside the pure
+    // preparation of the NEXT window (the pipeline overlap). Both task
+    // families only read state frozen at this boundary, so they can share
+    // the pool freely.
+    std::vector<std::vector<size_t>> lane_slots(lanes);
+    for (size_t slot = 0; slot < count; ++slot) {
+      lane_slots[cache_.shard_for_request(requests[begin + slot]) % lanes].push_back(slot);
+    }
+    WaitGroup lanes_wg;
+    WaitGroup prep_wg;
+    const auto fan_start = std::chrono::steady_clock::now();
+    for (size_t lane = 0; lane < lanes; ++lane) {
+      if (lane_slots[lane].empty()) {
+        continue;
+      }
+      lanes_wg.Add(1);
+      pool.Submit([this, &requests, &prepared, &slots, &lane_slots, &lanes_wg, lane, begin] {
+        for (size_t slot : lane_slots[lane]) {
+          CommitLaneRequest(requests[begin + slot], prepared[slot], slots[slot]);
+        }
+        lanes_wg.Done();
+      });
+    }
+    if (next_count > 0) {
+      submit_prepare(next_begin, next_count, &prepared_next, &prep_wg);
+    }
+    lanes_wg.Wait();
+    prep_wg.Wait();
+    prepare_wall += Since(fan_start);
+
+    // Deterministic cross-shard merge: every globally stateful step, applied
+    // strictly in arrival order on the driver thread.
     for (size_t slot = 0; slot < count; ++slot) {
       const Request& request = requests[begin + slot];
-      Prepared& prep = prepared[slot];
+      CommitSlot& c = slots[slot];
+      const ModelProfile& model = c.offloaded ? small_ : large_;
 
       cluster_.AdvanceTo(request.arrival_time);
-
-      // Maintenance (decay + knapsack eviction) ticks off trace time, so a
-      // long-running pool is periodically refined instead of only growing.
-      if (config_.lifecycle_maintenance) {
-        const MaintenanceReport tick = manager_.MaybeRunMaintenance(request.arrival_time);
-        if (tick.ran) {
-          ++report.maintenance_runs;
-        }
-      }
-
       router_.ObserveLoad(current_load());
-
-      // Stateful selector half: dynamic-threshold filter, diversity guard,
-      // token budget, worst-to-best ordering, access accounting. Skipped
-      // entirely when the selector component is bypassed (section 5).
-      const std::vector<SelectorCandidate> picked =
-          config_.selector_fault_bypass
-              ? std::vector<SelectorCandidate>{}
-              : selector_.CommitSelection(prep.candidates, small_, request.arrival_time);
-      const std::vector<SelectedExample> selected = ExampleSelector::ToSelected(picked);
-
-      const RouteDecision decision =
-          RouteOrBypass(&router_, request, selected, config_.router_fault_bypass, large_);
-      const bool offloaded = decision.uses_examples;
-      const ModelProfile& model = offloaded ? small_ : large_;
-
-      std::vector<ExampleView> views;
-      if (offloaded) {
-        views.reserve(picked.size());
-        Rng view_rng(Mix64(request.id ^ config_.seed ^ 0x71e35ull));
-        for (const SelectorCandidate& candidate : picked) {
-          views.push_back(MakeExampleView(request, candidate.example, view_rng));
-        }
+      for (uint64_t id : c.accessed) {
+        cache_.RecordAccess(id, request.arrival_time);
       }
-      const GenerationResult generation = generator_.Generate(model, request, views);
 
       ServingRequest serving;
       serving.id = request.id;
       serving.arrival_time = request.arrival_time;
-      serving.prompt_tokens = generation.prompt_tokens;
-      serving.output_tokens = generation.output_tokens;
+      serving.prompt_tokens = c.generation.prompt_tokens;
+      serving.output_tokens = c.generation.output_tokens;
       cluster_.Submit(model.name, serving);
 
       if (!config_.router_fault_bypass) {
-        router_.UpdateReward(decision, generation.latent_quality);
+        router_.UpdateReward(c.decision, c.generation.latent_quality);
       }
-      if (offloaded) {
+      if (c.offloaded) {
         ++report.offloaded_requests;
         std::vector<uint64_t> used_ids;
-        used_ids.reserve(selected.size());
-        for (const SelectedExample& used : selected) {
+        used_ids.reserve(c.selected.size());
+        for (const SelectedExample& used : c.selected) {
           used_ids.push_back(used.example_id);
-          if (generation.latent_quality > 0.5) {
-            cache_.RecordOffload(used.example_id, generation.latent_quality);
+          if (c.generation.latent_quality > 0.5) {
+            cache_.RecordOffload(used.example_id, c.generation.latent_quality);
           }
         }
         // Per-use gain accounting: G(e) = (1 - quality) * model_cost folded
         // into each used example's EMA — the replay ranking signal.
         if (!used_ids.empty()) {
-          manager_.RecordUsage(used_ids, generation.latent_quality,
+          manager_.RecordUsage(used_ids, c.generation.latent_quality,
                                large_.cost_per_1k_tokens > 0.0
                                    ? small_.cost_per_1k_tokens / large_.cost_per_1k_tokens
                                    : 0.1);
         }
-        // Probe sampling: on a deterministic per-request slice of offloaded
-        // traffic, shadow-generate the plain small-model response so the
-        // selector's feedback (proxy updates + threshold adaptation) uses a
-        // genuine counterfactual quality gain, as in IcCacheService.
-        if (!selected.empty()) {
-          Rng probe_rng(Mix64(request.id ^ config_.seed ^ 0x9a0beull));
-          if (probe_rng.Uniform() < config_.selector_probe_rate) {
-            const GenerationResult plain = generator_.Generate(small_, request, {});
-            selector_.OnFeedback(request, selected, small_,
-                                 generation.latent_quality - plain.latent_quality);
-          }
+        if (c.probed) {
+          selector_.OnFeedback(request, c.selected, small_, c.probe_gain);
         }
       }
 
-      // Lifecycle admission (shared with IcCacheService): large-model
-      // responses always, offloaded small-model responses above the quality
-      // gate; dedupe decided in phase 1, insert auto-enforces capacity.
-      if (config_.lifecycle_admission) {
-        const uint64_t admitted = manager_.CommitAdmission(
-            request, std::move(prep.lifecycle), generation, model.capability,
-            /*from_large_model=*/!offloaded, request.arrival_time);
-        if (admitted != 0) {
-          ++report.admitted_examples;
-        }
-      }
-
-      quality.Add(generation.latent_quality);
+      quality.Add(c.generation.latent_quality);
       DriverDecision row;
       row.request_id = request.id;
       row.model_name = model.name;
-      row.offloaded = offloaded;
-      row.num_examples = offloaded ? picked.size() : 0;
-      row.latent_quality = generation.latent_quality;
+      row.offloaded = c.offloaded;
+      row.num_examples = c.offloaded ? c.num_examples : 0;
+      row.latent_quality = c.generation.latent_quality;
       report.decisions.push_back(std::move(row));
     }
+    // Batched threshold-adaptation cadence: the whole window served under
+    // the frozen threshold; count it and re-evaluate at the boundary.
+    if (!config_.selector_fault_bypass) {
+      selector_.AdvanceWindow(count);
+    }
 
-    // Off-peak replay (section 4.3): between batch windows, when the cluster
-    // is lightly loaded, spend idle capacity refining the hottest low-quality
-    // examples. Runs on the driver thread — deterministic at any thread
-    // count because it only depends on trace time and serial-phase state.
-    if (config_.offpeak_replay) {
-      const double sim_now = cluster_.now();
-      if (current_load() < config_.replay_load_threshold &&
-          sim_now - last_replay_time_ >= config_.replay_min_interval_s) {
-        last_replay_time_ = sim_now;
-        const ReplayReport replay = manager_.RunReplayPass();
-        ++report.replay_passes;
-        report.replayed_examples += replay.replayed;
-        report.improved_examples += replay.improved;
+    // Publish the window's admissions: per-shard tasks, per-shard arrival
+    // order (deterministic id assignment), watermark eviction deferred to
+    // ONE enforcement after the join so no lane can trigger a knapsack under
+    // a racing pool view.
+    if (config_.lifecycle_admission) {
+      std::vector<std::vector<size_t>> shard_slots(cache_.num_shards());
+      for (size_t slot = 0; slot < count; ++slot) {
+        shard_slots[cache_.shard_for_request(requests[begin + slot])].push_back(slot);
+      }
+      std::vector<uint64_t> admitted(count, 0);
+      cache_.set_defer_capacity(true);
+      WaitGroup publish_wg;
+      const auto publish_start = std::chrono::steady_clock::now();
+      for (size_t shard = 0; shard < shard_slots.size(); ++shard) {
+        if (shard_slots[shard].empty()) {
+          continue;
+        }
+        publish_wg.Add(1);
+        pool.Submit([this, &requests, &slots, &shard_slots, &admitted, &publish_wg, shard,
+                     begin] {
+          for (size_t slot : shard_slots[shard]) {
+            const Request& request = requests[begin + slot];
+            CommitSlot& c = slots[slot];
+            admitted[slot] = manager_.CommitAdmission(
+                request, std::move(c.lifecycle), c.generation,
+                (c.offloaded ? small_ : large_).capability,
+                /*from_large_model=*/!c.offloaded, request.arrival_time);
+          }
+          publish_wg.Done();
+        });
+      }
+      publish_wg.Wait();
+      prepare_wall += Since(publish_start);
+      cache_.set_defer_capacity(false);
+      for (size_t slot = 0; slot < count; ++slot) {
+        if (admitted[slot] != 0) {
+          ++report.admitted_examples;
+        }
+      }
+      // No synchronous watermark knapsack here: capacity pressure requests
+      // an eviction tick below, so the knapsack runs on the background
+      // planner instead of the request path (soft watermark — see the
+      // end-of-run enforcement that restores the hard invariant).
+    }
+
+    // --- Window boundary: background maintenance + checkpoint ---
+
+    // 1. Publish a pending tick that reached its lag (or drain at the end of
+    //    the run) — BEFORE any checkpoint, so snapshots never race a tick.
+    if (!maintenance_.idle()) {
+      maintenance_.NoteBoundary();
+      if (maintenance_.boundaries_pending() >= publish_lag) {
+        publish_tick(/*forced=*/false);
+      } else if (final_window) {
+        publish_tick(/*forced=*/true);
       }
     }
 
-    // Periodic crash-recovery checkpoint (section: persistence): runs between
-    // batch windows — never inside the serial per-request loop — and rides
-    // the same off-peak gate as replay, with a forced write once two
-    // intervals overdue. The write is atomic (temp + fsync + rename), so a
-    // kill mid-checkpoint leaves the previous snapshot intact.
+    // 2. Periodic crash-recovery checkpoint: rides the off-peak gate, forced
+    //    once two intervals overdue. A still-pending tick is flushed first at
+    //    this (deterministic) point so the snapshot captures a complete
+    //    state. The write is atomic (temp + fsync + rename).
     if (checkpointer_.enabled() && checkpointer_.Due(cluster_.now(), current_load())) {
+      if (!maintenance_.idle()) {
+        publish_tick(/*forced=*/true);
+      }
       if (checkpointer_
               .Take(cluster_.now(), [this] { return SaveSnapshot(config_.snapshot_path); })
               .ok()) {
         run_checkpoint_ms.Add(checkpointer_.last_write_ms());
       }
     }
+
+    // 3. Request the next tick when decay, watermark eviction, or off-peak
+    //    replay is due. The cut export runs here (cheap: records only, no
+    //    embeddings or graphs) and the expensive planning — including the
+    //    eviction knapsack, which used to run synchronously inside the
+    //    serial phase on every watermark crossing — lands on the background
+    //    thread. At the final boundary the tick is published immediately so
+    //    Run never returns with the scheduler busy (snapshot parity).
+    if (maintenance_.idle()) {
+      const double sim_now = cluster_.now();
+      const bool decay_due =
+          config_.lifecycle_maintenance &&
+          sim_now - manager_.last_decay_time() >= config_.manager.decay_interval_s;
+      const int64_t capacity = config_.cache.cache.capacity_bytes;
+      const bool evict_due =
+          decay_due ||
+          (capacity > 0 && static_cast<double>(cache_.used_bytes()) >
+                               static_cast<double>(capacity) *
+                                   std::min(1.0, config_.cache.cache.high_watermark));
+      const bool replay_due = config_.offpeak_replay &&
+                              current_load() < config_.replay_load_threshold &&
+                              sim_now - last_replay_time_ >= config_.replay_min_interval_s;
+      if (decay_due || evict_due || replay_due) {
+        const auto start = std::chrono::steady_clock::now();
+        MaintenanceTickSpec spec;
+        spec.decay = decay_due;
+        spec.evict = evict_due;
+        spec.replay = replay_due;
+        spec.now = sim_now;
+        spec.epoch = maintenance_.ConsumeEpoch();
+        if (decay_due) {
+          manager_.set_last_decay_time(sim_now);
+        }
+        if (replay_due) {
+          last_replay_time_ = sim_now;
+        }
+        maintenance_.Request(cache_.ExportMaintenanceCut(), spec);
+        maintenance_wall += Since(start);
+        if (final_window) {
+          publish_tick(/*forced=*/true);
+        }
+      }
+    }
+
+    std::swap(prepared, prepared_next);
+  }
+  // Watermark eviction is planned with a publish lag (soft watermark during
+  // the run), so the last windows' admissions may leave the pool above the
+  // trigger with no further boundary to catch it; one synchronous pass
+  // restores the hard capacity invariant before Run returns.
+  if (config_.cache.cache.capacity_bytes > 0) {
+    const auto start = std::chrono::steady_clock::now();
+    cache_.EnforceCapacity();
+    maintenance_wall += Since(start);
   }
   cluster_.RunUntilIdle();
   const auto wall_end = std::chrono::steady_clock::now();
@@ -340,7 +545,9 @@ DriverReport ServingDriver::Run(const std::vector<Request>& requests) {
   // Take (rather than copy) so repeated Run calls report their own segment.
   report.completions = cluster_.TakeCompletions();
   report.wall_seconds = std::chrono::duration<double>(wall_end - wall_start).count();
-  report.serial_seconds = report.wall_seconds - report.prepare_seconds;
+  report.prepare_seconds = prepare_wall;
+  report.maintenance_seconds = maintenance_wall;
+  report.serial_seconds = report.wall_seconds - prepare_wall - maintenance_wall;
   report.requests_per_second =
       report.wall_seconds > 0.0 ? static_cast<double>(report.total_requests) / report.wall_seconds
                                 : 0.0;
@@ -359,7 +566,8 @@ DriverReport ServingDriver::Run(const std::vector<Request>& requests) {
   report.p50_queue_delay_s = queue_delay.Percentile(50);
   report.p99_queue_delay_s = queue_delay.Percentile(99);
   report.mean_quality = quality.mean();
-  report.evicted_examples = static_cast<size_t>(cache_.evicted_total() - evicted_before);
+  report.evicted_examples =
+      static_cast<size_t>(cache_.evicted_total() - evicted_before) + planned_evictions;
   report.checkpoints_taken = checkpointer_.taken() - checkpoints_before;
   report.checkpoint_p50_ms = run_checkpoint_ms.Percentile(50);
   report.checkpoint_p99_ms = run_checkpoint_ms.Percentile(99);

@@ -10,28 +10,45 @@
 // cache via the unified ExampleStore/RetrievalBackend abstraction; the
 // stage-1 index (flat | kmeans | hnsw) and the shard count are both chosen
 // through DriverConfig. The full example lifecycle (section 4.3 + section 5)
-// runs through the shared ExampleManager over the same store: quality-gated
-// dedupe admission replaces the raw insert, per-use gain EMAs accumulate on
-// every offloaded completion, decay + knapsack-eviction maintenance ticks off
-// trace time, cost-aware replay passes run between batch windows when cluster
-// load is low, and selector/router fault bypass is a DriverConfig knob.
+// runs through the shared ExampleManager over the same store.
 //
-// Concurrency model (vLLM-style batched lookahead, determinism-preserving):
-// the stream is processed in fixed `batch_window` batches. Phase 1 fans the
-// batch out across the pool and performs only PURE per-request work (embed
-// the query, ExampleSelector::PrepareCandidates — sharded stage-1 search,
-// candidate snapshot, stage-2 proxy scoring — and the pure lifecycle half,
-// ExampleManager::PrepareAdmission — dedupe probe + scrub/embed) into
-// per-request slots. Phase 2 walks the batch in arrival order on the driver
-// thread and applies every stateful step: maintenance tick,
-// ExampleSelector::CommitSelection (threshold adaptation + combination +
-// access accounting), route (bandit sampling + reward updates), generation,
-// cluster submit, offload + gain accounting, probe-sampled selector
-// feedback, and ExampleManager::CommitAdmission. Because phase 1 never
-// mutates shared state and phase 2 order is independent of worker
-// scheduling, a fixed seed produces identical routing decisions and
-// completions at ANY thread count — `num_threads` only changes wall-clock
-// time.
+// Concurrency model (three-lane pipelined windows, determinism-preserving):
+// the stream is processed in fixed `batch_window` batches, each flowing
+// through three kinds of work:
+//
+//   PREPARE (parallel)  — pure per-request work: embed, stage-1 sharded
+//       retrieval, stage-2 proxy scoring, admission scrub/embed + dedupe
+//       probe. Window N+1's prepare overlaps window N's commit lanes.
+//   SHARDED COMMIT (parallel lanes + serial merge) — the per-request half of
+//       the old serial phase runs on `commit_lanes` actor-style lanes
+//       (requests partitioned by request-key shard, each lane internally
+//       arrival-ordered): frozen-threshold selector combination, bandit
+//       routing against window-start posteriors, generation, and probe
+//       shadow generation, each driven by a per-request RNG stream. Lanes
+//       mutate NOTHING; every globally stateful step — cluster clock +
+//       submit, load observation, bandit reward updates, selector access
+//       accounting + feedback, gain EMAs — is applied afterwards by a
+//       deterministic cross-shard MERGE that walks the window in arrival
+//       order on the driver thread. Admission inserts are then PUBLISHED by
+//       per-shard tasks (per-shard arrival order keeps id assignment exact)
+//       with watermark eviction deferred to one enforcement after the join.
+//   BACKGROUND MAINTENANCE (dedicated thread) — decay, knapsack eviction,
+//       and replay are planned by a MaintenanceScheduler against an
+//       epoch-consistent all-shard cut and applied as a mutation batch at a
+//       later window boundary, so a due tick no longer stalls the window
+//       that triggered it (src/serving/maintenance.h).
+//
+// Determinism contract: every lane-stage computation depends only on the
+// prepared slot, state frozen at the window start, and RNG streams derived
+// from (seed, request id); every mutation is applied at a schedule fixed by
+// the window structure. A fixed seed therefore produces identical routing
+// decisions and completions at ANY thread count AND any lane count —
+// `num_threads` and `commit_lanes` only change wall-clock time. Within a
+// window all requests see the cache/bandit/threshold as of the window start;
+// admissions from window N become retrievable in window N+2, because window
+// N+1's prepare is fanned out (and joined) BEFORE window N's admissions
+// publish — prepare overlaps only the mutation-free lane stage, never a
+// store write.
 #ifndef SRC_SERVING_DRIVER_H_
 #define SRC_SERVING_DRIVER_H_
 
@@ -51,6 +68,7 @@
 #include "src/persist/checkpointer.h"
 #include "src/persist/pool_codec.h"
 #include "src/serving/cluster.h"
+#include "src/serving/maintenance.h"
 #include "src/workload/dataset.h"
 #include "src/workload/query_generator.h"
 #include "src/workload/trace.h"
@@ -64,12 +82,16 @@ struct DriverConfig {
   int large_replicas = 2;
   ServerConfig server;
 
-  // Parallelism. `batch_window` is the lookahead batch fanned out per phase-1
-  // round; it is part of the pipeline semantics (all lookups in a window see
-  // the cache as of the window start), so results depend on it but NOT on
-  // `num_threads`.
+  // Parallelism. `batch_window` is the lookahead batch fanned out per window;
+  // it is part of the pipeline semantics (all lookups in a window see the
+  // cache as of the window start), so results depend on it but NOT on
+  // `num_threads` or `commit_lanes`.
   size_t num_threads = 1;
   size_t batch_window = 64;
+  // Commit lanes: how many actor-style lanes the window's commit stage is
+  // partitioned into (by request-key shard). Results are lane-count
+  // invariant; more lanes expose more parallelism to the pool.
+  size_t commit_lanes = 4;
 
   // Full two-stage selection pipeline (stage-1 pool size, dynamic threshold
   // grid, diversity, context budget, ...).
@@ -92,15 +114,26 @@ struct DriverConfig {
   // examples through ExampleManager (large-model responses always, offloaded
   // small-model responses above the manager's quality gate).
   bool lifecycle_admission = true;
-  // Maintenance (decay + knapsack eviction) ticks off trace time in the
-  // serial phase, every manager.decay_interval_s of simulated time.
+  // Maintenance (decay + knapsack eviction) ticks off trace time, planned by
+  // the background scheduler and published at window boundaries.
   bool lifecycle_maintenance = true;
-  // Off-peak replay: between batch windows, when cluster utilization is below
+  // Off-peak replay: when cluster utilization at a window boundary is below
   // `replay_load_threshold` and at least `replay_min_interval_s` of simulated
-  // time has passed since the last pass, run one cost-aware replay pass.
+  // time has passed since the last pass, the next maintenance tick includes
+  // one cost-aware replay pass.
   bool offpeak_replay = true;
   double replay_load_threshold = 0.35;
   double replay_min_interval_s = 900.0;
+
+  // Background maintenance threading. `background_maintenance = false` plans
+  // ticks inline on the driver thread instead of the dedicated one —
+  // byte-identical results (the publish boundary is the same), useful for
+  // debugging. `maintenance_publish_lag` is how many window boundaries a
+  // requested tick ages before its mutation batch is applied: the planner's
+  // deterministic compute budget. Checkpoints and end-of-run flush pending
+  // ticks early (at equally deterministic points).
+  bool background_maintenance = true;
+  size_t maintenance_publish_lag = 2;
 
   // Fault injection (section 5): bypass the selector (serve without
   // examples) or the router (direct route to the large backend).
@@ -143,6 +176,10 @@ struct DriverReport {
   size_t replay_passes = 0;
   size_t replayed_examples = 0;
   size_t improved_examples = 0;
+  // Boundaries where the driver had to WAIT for the background planner (the
+  // tick reached its publish boundary unfinished). Zero on a healthy
+  // pipeline; the bench --acceptance mode exit-enforces it.
+  size_t maintenance_stalled_windows = 0;
 
   // Checkpoint activity during this run (snapshot writes between windows).
   size_t checkpoints_taken = 0;
@@ -152,10 +189,18 @@ struct DriverReport {
   // Host-side pipeline throughput (what the ThreadPool accelerates).
   double wall_seconds = 0.0;
   double requests_per_second = 0.0;
-  // Wall-clock split between the parallel preparation phase and the serial
-  // ordered phase; prepare_seconds is the part that scales with num_threads.
+  // Wall-clock split, three buckets summing to wall_seconds:
+  //   prepare_seconds     — driver time blocked on pool task groups (the
+  //                         parallel work: prepare, commit lanes, publish
+  //                         fan-outs); scales with num_threads.
+  //   maintenance_seconds — cut exports, plan collection (including stall
+  //                         waits), and mutation-batch application. Booked
+  //                         separately so maintenance cost can no longer
+  //                         masquerade as serial-phase time.
+  //   serial_seconds      — the ordered merge and remaining bookkeeping.
   double prepare_seconds = 0.0;
   double serial_seconds = 0.0;
+  double maintenance_seconds = 0.0;
 
   // Simulated serving latency over the completions: end-to-end,
   // time-to-first-token, and scheduler queue delay.
@@ -184,16 +229,18 @@ class ServingDriver {
   // the cluster to completion. May be called repeatedly: each call reports
   // its own segment, and serving state (pool, selector, router, clocks)
   // carries across calls — Run(a) then Run(b) serves b exactly as a driver
-  // restored from a snapshot taken after Run(a) would.
+  // restored from a snapshot taken after Run(a) would. Run always drains the
+  // maintenance scheduler before returning (any pending tick publishes at
+  // the final boundary), so snapshots between runs capture a complete state.
   DriverReport Run(const std::vector<Request>& requests);
 
   // --- Persistence ---------------------------------------------------------
 
   // Writes the complete learned serving state — example pool with native
   // HNSW graphs, selector/manager/proxy/router adaptation, generator stream,
-  // replay/maintenance cursors, trace clock — as one atomic snapshot.
-  // In-flight simulated requests are NOT captured: a snapshot taken
-  // mid-trace restores the learned pool, not the cluster's transient queue.
+  // replay/maintenance cursors + epoch, trace clock — as one atomic
+  // snapshot. In-flight simulated requests are NOT captured: a snapshot
+  // taken mid-trace restores the learned pool, not the cluster's queue.
   Status SaveSnapshot(const std::string& path);
 
   // Restores a SaveSnapshot image into this (freshly constructed, unserved)
@@ -218,13 +265,31 @@ class ServingDriver {
   const DriverConfig& config() const { return config_; }
 
  private:
-  // Phase-1 output: everything the serial phase needs, computed purely.
+  // Phase-1 output: everything the commit stage needs, computed purely.
   struct Prepared {
     std::vector<SelectorCandidate> candidates;
     PreparedLifecycleAdmission lifecycle;
   };
 
+  // Lane-stage output: everything the deterministic merge and the publish
+  // step apply, computed without touching shared mutable state.
+  struct CommitSlot {
+    std::vector<SelectedExample> selected;  // presentation order
+    std::vector<uint64_t> accessed;         // selector access accounting
+    RouteDecision decision;
+    bool offloaded = false;
+    size_t num_examples = 0;
+    GenerationResult generation;
+    bool probed = false;
+    double probe_gain = 0.0;
+    PreparedLifecycleAdmission lifecycle;  // staged admission (publish step)
+  };
+
   Prepared PrepareRequest(const Request& request) const;
+
+  // Lane stage for one request: frozen selection, frozen-posterior routing,
+  // generation, probe shadow generation. Pure given window-start state.
+  void CommitLaneRequest(const Request& request, Prepared& prep, CommitSlot& slot) const;
 
   DriverConfig config_;
   ModelProfile small_;
@@ -237,6 +302,7 @@ class ServingDriver {
   GenerationSimulator generator_;
   ExampleManager manager_;
   ClusterSim cluster_;
+  MaintenanceScheduler maintenance_;
   double last_replay_time_ = 0.0;
 
   Checkpointer checkpointer_;
