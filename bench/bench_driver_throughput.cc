@@ -35,12 +35,20 @@
 //                         it natively (no graph rebuild), report write/read
 //                         ms; exits non-zero when the restore needs a
 //                         rebuild or a 100k-scale pool takes >= 2 s
+//   --stage0=on|off       enable the stage-0 response tier in the thread
+//                         sweep (default off); adds hit-rate and
+//                         tokens-saved columns to the table
 //   --acceptance          sharded-commit-pipeline smoke (ci.sh): full
 //                         lifecycle + background maintenance on hnsw at 1
 //                         and 8 threads from the same restored seed
 //                         snapshot; exits non-zero unless decisions match,
 //                         the parallel-phase fraction is >= 0.94, and no
-//                         window stalled waiting on the maintenance planner
+//                         window stalled waiting on the maintenance planner.
+//                         A second section replays a duplicate-heavy trace
+//                         with the stage-0 tier on and enforces its gate:
+//                         hit rate above a floor, fewer generated tokens
+//                         than the stage0-off run, identical decisions at
+//                         1 vs 8 threads and 1 vs 4 commit lanes
 //
 // Every thread-sweep cell starts from an IDENTICAL restored snapshot: the
 // seed pool is built once per backend, snapshotted, and each (backend,
@@ -58,6 +66,7 @@
 #include <vector>
 
 #include "bench/bench_common.h"
+#include "src/common/rng.h"
 #include "src/core/retrieval_backend.h"
 #include "src/core/sharded_cache.h"
 #include "src/persist/pool_codec.h"
@@ -77,20 +86,49 @@ struct Options {
   bool sweep = true;
   bool maintenance = true;
   bool acceptance = false;
+  bool stage0 = false;
   int64_t capacity_kb = 256;
   std::string snapshot_path;
   std::string restore_path;
   size_t snapshot_bench = 0;
 };
 
-DriverConfig MakeConfig(size_t num_threads, RetrievalBackendKind backend) {
+DriverConfig MakeConfig(size_t num_threads, RetrievalBackendKind backend,
+                        bool stage0 = false) {
   DriverConfig config;
   config.num_threads = num_threads;
   config.batch_window = 64;
   config.cache.num_shards = 8;
   config.cache.cache.retrieval.kind = backend;
+  config.stage0.enabled = stage0;
   config.seed = kSeed;
   return config;
+}
+
+// Deterministically rewrites a slice of the tail requests into verbatim
+// repeats of earlier ones (fresh ids, arrival times untouched) — the
+// duplicate-heavy trace the stage-0 acceptance gate measures hit rate on.
+std::vector<Request> MakeDuplicateHeavy(std::vector<Request> requests,
+                                        double repeat_fraction) {
+  Rng rng(kSeed ^ 0xd0b1eull);
+  const size_t warmup = requests.size() / 8;
+  for (size_t i = warmup; i < requests.size(); ++i) {
+    if (!rng.Bernoulli(repeat_fraction)) {
+      continue;
+    }
+    const Request& source = requests[rng.UniformInt(static_cast<uint64_t>(i))];
+    Request& repeat = requests[i];
+    repeat.text = source.text;
+    repeat.dataset = source.dataset;
+    repeat.task = source.task;
+    repeat.topic_id = source.topic_id;
+    repeat.intent_id = source.intent_id;
+    repeat.difficulty = source.difficulty;
+    repeat.input_tokens = source.input_tokens;
+    repeat.target_output_tokens = source.target_output_tokens;
+    // id and arrival_time stay the repeat's own.
+  }
+  return requests;
 }
 
 std::unique_ptr<ServingDriver> MakeDriver(const DatasetProfile& profile,
@@ -166,6 +204,10 @@ Options ParseOptions(int argc, char** argv) {
       options.maintenance = true;
     } else if (arg == "--maintenance=off") {
       options.maintenance = false;
+    } else if (arg == "--stage0=on") {
+      options.stage0 = true;
+    } else if (arg == "--stage0=off") {
+      options.stage0 = false;
     } else if (arg.rfind("--capacity-kb=", 0) == 0) {
       options.capacity_kb = std::strtoll(arg.c_str() + 14, nullptr, 10);
     } else if (arg.rfind("--snapshot=", 0) == 0) {
@@ -328,10 +370,66 @@ int RunAcceptance(const Options& options, const DatasetProfile& profile,
   std::printf("  maintenance-stalled windows: %zu  (required 0): %s\n",
               eight.maintenance_stalled_windows,
               eight.maintenance_stalled_windows == 0 ? "ok" : "FAIL");
-  return identical && fraction >= 0.94 && eight.maintenance_stalled_windows == 0 &&
-                 eight.maintenance_runs > 0
-             ? 0
-             : 1;
+  const bool pipeline_ok = identical && fraction >= 0.94 &&
+                           eight.maintenance_stalled_windows == 0 &&
+                           eight.maintenance_runs > 0;
+
+  // --- Stage-0 response tier gate: duplicate-heavy trace -------------------
+  // Half the tail requests are verbatim repeats, so a working response cache
+  // must (a) clear a hit-rate floor, (b) generate measurably fewer tokens
+  // than the stage0-off run, and (c) stay byte-identical across thread and
+  // lane counts — the hit decision runs in the commit lane against the
+  // window-frozen threshold, never in the parallel prepare phase.
+  benchutil::PrintTitle("Acceptance: stage-0 response tier on a duplicate-heavy trace");
+  const std::vector<Request> dup_trace = MakeDuplicateHeavy(requests, 0.5);
+  DriverConfig s0 = MakeConfig(/*num_threads=*/8, RetrievalBackendKind::kHnsw,
+                               /*stage0=*/true);
+  const std::string s0_snapshot = WriteSeedSnapshot(profile, catalog, s0, "stage0");
+
+  s0.num_threads = 1;
+  const DriverReport s0_single = RestoredDriver(catalog, s0, s0_snapshot)->Run(dup_trace);
+  s0.num_threads = 8;
+  const DriverReport s0_eight = RestoredDriver(catalog, s0, s0_snapshot)->Run(dup_trace);
+  s0.commit_lanes = 1;
+  const DriverReport s0_one_lane = RestoredDriver(catalog, s0, s0_snapshot)->Run(dup_trace);
+  s0.commit_lanes = 4;
+  DriverConfig s0_off = s0;
+  s0_off.stage0.enabled = false;
+  const DriverReport off = RestoredDriver(catalog, s0_off, s0_snapshot)->Run(dup_trace);
+  std::remove(s0_snapshot.c_str());
+
+  const double hit_rate = dup_trace.empty()
+                              ? 0.0
+                              : static_cast<double>(s0_eight.stage0_hits) /
+                                    static_cast<double>(dup_trace.size());
+  constexpr double kHitRateFloor = 0.25;  // half the tail repeats verbatim
+  const bool s0_identical =
+      SameDecisions(s0_single, s0_eight) && SameDecisions(s0_single, s0_one_lane);
+  const bool tokens_reduced = s0_eight.generated_tokens < off.generated_tokens;
+  const double s0_request_path = s0_eight.prepare_seconds + s0_eight.serial_seconds;
+  const double s0_fraction =
+      s0_request_path > 0.0 ? s0_eight.prepare_seconds / s0_request_path : 0.0;
+  std::printf("  duplicate-heavy trace: %zu requests (50%% of tail repeats earlier text)\n",
+              dup_trace.size());
+  std::printf("  stage-0 hits: %zu (%.1f%% of trace, floor %.0f%%)  admitted=%zu "
+              "probes=%zu invalidated=%zu expired=%zu\n",
+              s0_eight.stage0_hits, 100.0 * hit_rate, 100.0 * kHitRateFloor,
+              s0_eight.stage0_admitted, s0_eight.stage0_probes,
+              s0_eight.stage0_invalidations, s0_eight.stage0_expired);
+  std::printf("  generated tokens: %lld (stage0 on) vs %lld (off)  saved=%lld: %s\n",
+              static_cast<long long>(s0_eight.generated_tokens),
+              static_cast<long long>(off.generated_tokens),
+              static_cast<long long>(s0_eight.stage0_tokens_saved),
+              tokens_reduced ? "ok" : "FAIL");
+  std::printf("  decisions identical (1t vs 8t, 4 lanes vs 1 lane): %s\n",
+              s0_identical ? "yes" : "NO (BUG)");
+  std::printf("  hit rate >= floor: %s\n", hit_rate >= kHitRateFloor ? "ok" : "FAIL");
+  std::printf("  request-path parallel fraction (stage0 on): %.1f%%  "
+              "(required >= 94%%): %s\n",
+              100.0 * s0_fraction, s0_fraction >= 0.94 ? "ok" : "FAIL");
+  const bool stage0_ok =
+      s0_identical && tokens_reduced && hit_rate >= kHitRateFloor && s0_fraction >= 0.94;
+  return pipeline_ok && stage0_ok ? 0 : 1;
 }
 
 }  // namespace
@@ -362,11 +460,12 @@ int main(int argc, char** argv) {
   const std::vector<size_t> thread_counts = {1, 2, 4, 8};
 
   benchutil::PrintTitle("Serving-driver throughput: 1 thread vs N threads (LMSys trace)");
-  std::printf("  requests=%zu  seed_pool=%zu  shards=8  batch_window=64  hw_cores=%u\n",
-              requests.size(), kSeedPool, hw);
-  std::printf("  %-7s %-8s %9s %10s %8s %8s %6s %9s %9s %9s %9s %8s\n", "index", "threads",
-              "wall (s)", "req/s", "speedup", "maint(s)", "stallW", "e2e p50", "e2e p99",
-              "ttft p50", "ttft p99", "offload%");
+  std::printf("  requests=%zu  seed_pool=%zu  shards=8  batch_window=64  hw_cores=%u  "
+              "stage0=%s\n",
+              requests.size(), kSeedPool, hw, options.stage0 ? "on" : "off");
+  std::printf("  %-7s %-8s %9s %10s %8s %8s %6s %9s %9s %9s %9s %8s %7s %8s\n", "index",
+              "threads", "wall (s)", "req/s", "speedup", "maint(s)", "stallW", "e2e p50",
+              "e2e p99", "ttft p50", "ttft p99", "offload%", "s0hit%", "tokSaved");
 
   bool decisions_match = true;
   for (RetrievalBackendKind backend : options.backends) {
@@ -377,11 +476,12 @@ int main(int argc, char** argv) {
     // One seed pool per backend, snapshotted once: every thread-count cell
     // below restores the SAME file, so rows are comparable by construction.
     const std::string seed_snapshot =
-        WriteSeedSnapshot(profile, catalog, MakeConfig(1, backend),
+        WriteSeedSnapshot(profile, catalog, MakeConfig(1, backend, options.stage0),
                           RetrievalBackendKindName(backend));
     DriverReport baseline;
     for (size_t threads : thread_counts) {
-      const auto driver = RestoredDriver(catalog, MakeConfig(threads, backend), seed_snapshot);
+      const auto driver =
+          RestoredDriver(catalog, MakeConfig(threads, backend, options.stage0), seed_snapshot);
       const DriverReport report = driver->Run(requests);
       if (threads == thread_counts.front()) {
         baseline = report;
@@ -391,13 +491,17 @@ int main(int argc, char** argv) {
       const double speedup =
           baseline.wall_seconds > 0.0 ? baseline.wall_seconds / report.wall_seconds : 0.0;
       std::printf(
-          "  %-7s %-8zu %9.3f %10.0f %7.2fx %8.3f %6zu %9.4f %9.4f %9.4f %9.4f %7.1f%%\n",
+          "  %-7s %-8zu %9.3f %10.0f %7.2fx %8.3f %6zu %9.4f %9.4f %9.4f %9.4f %7.1f%% "
+          "%6.1f%% %8lld\n",
           RetrievalBackendKindName(backend), threads, report.wall_seconds,
           report.requests_per_second, speedup, report.maintenance_seconds,
           report.maintenance_stalled_windows, report.p50_latency_s, report.p99_latency_s,
           report.p50_ttft_s, report.p99_ttft_s,
           100.0 * static_cast<double>(report.offloaded_requests) /
-              static_cast<double>(report.total_requests));
+              static_cast<double>(report.total_requests),
+          100.0 * static_cast<double>(report.stage0_hits) /
+              static_cast<double>(report.total_requests),
+          static_cast<long long>(report.stage0_tokens_saved));
     }
     std::remove(seed_snapshot.c_str());
 
@@ -427,7 +531,8 @@ int main(int argc, char** argv) {
   // --- Lifecycle maintenance demo: eviction holds the pool at capacity ----
   benchutil::PrintTitle("Example lifecycle under a byte budget (sharded pool)");
   const int64_t capacity = options.capacity_kb * 1024;
-  DriverConfig lifecycle_config = MakeConfig(/*num_threads=*/8, options.backends.front());
+  DriverConfig lifecycle_config =
+      MakeConfig(/*num_threads=*/8, options.backends.front(), options.stage0);
   bool capacity_held = true;
   if (options.maintenance) {
     lifecycle_config.cache.cache.capacity_bytes = capacity;

@@ -73,14 +73,23 @@ void Figure3b(DatasetId dataset) {
   }
 
   const std::vector<Request> queries = gen.Generate(400);
+  // Embed each query ONCE for the whole sweep: every threshold probes the
+  // same vectors (the old per-threshold Lookup(request) re-embedded all 400
+  // queries at every sweep point).
+  std::vector<std::vector<float>> query_embeddings;
+  query_embeddings.reserve(queries.size());
+  for (const Request& query : queries) {
+    query_embeddings.push_back(embedder->Embed(query.text));
+  }
   std::printf("  %s:\n", DatasetName(dataset));
   std::printf("    %-12s %-12s %s\n", "threshold", "hit rate", "win rate vs fresh generation");
   for (double threshold : {0.99, 0.92, 0.85, 0.75, 0.55, 0.0}) {
     cache.set_similarity_threshold(threshold);
     int hits = 0;
     SideBySideStats wins;  // cached response vs fresh generation, same model
-    for (const Request& query : queries) {
-      const auto hit = cache.Lookup(query);
+    for (size_t qi = 0; qi < queries.size(); ++qi) {
+      const Request& query = queries[qi];
+      const auto hit = cache.Lookup(query_embeddings[qi]);
       const GenerationResult fresh = sim.Generate(model, query, {});
       if (hit.has_value()) {
         ++hits;

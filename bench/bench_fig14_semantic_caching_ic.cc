@@ -30,6 +30,13 @@ void Evaluate(DatasetId dataset) {
     cache.Put(req, result.latent_quality, result.output_tokens);
   }
   const std::vector<Request> queries = gen.Generate(350);
+  // One embed per query for the whole sweep — the Lookup and LookupK probes
+  // at every threshold reuse the same vector instead of re-embedding.
+  std::vector<std::vector<float>> query_embeddings;
+  query_embeddings.reserve(queries.size());
+  for (const Request& query : queries) {
+    query_embeddings.push_back(embedder->Embed(query.text));
+  }
 
   std::printf("  %s:\n", DatasetName(dataset));
   std::printf("    %-10s %-10s %-18s %-18s\n", "threshold", "hit rate", "w/o IC win%",
@@ -39,9 +46,10 @@ void Evaluate(DatasetId dataset) {
     int hits = 0;
     SideBySideStats without_ic;  // cached response vs large-model generation
     SideBySideStats with_ic;     // small model + retrieved example vs large
-    for (const Request& query : queries) {
+    for (size_t qi = 0; qi < queries.size(); ++qi) {
+      const Request& query = queries[qi];
       const double large_quality = sim.Generate(large, query, {}).latent_quality;
-      const auto hit = cache.Lookup(query);
+      const auto hit = cache.Lookup(query_embeddings[qi]);
       if (!hit.has_value()) {
         // Miss: both deployments fall back to normal (large) generation.
         without_ic.Add(0.0);
@@ -56,7 +64,7 @@ void Evaluate(DatasetId dataset) {
 
       // IC deployment: the retrieved entries become in-context examples.
       std::vector<ExampleView> views;
-      for (const SemanticCacheHit& top : cache.LookupK(query, 4)) {
+      for (const SemanticCacheHit& top : cache.LookupK(query_embeddings[qi], 4)) {
         ExampleView view;
         view.relevance = StructuralRelevance(query, top.entry.request, rng);
         view.quality = top.entry.response_quality;

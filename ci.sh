@@ -52,20 +52,25 @@ if [[ "${rc}" -ne 0 && "${rc}" -ne 124 ]]; then
   exit "${rc}"
 fi
 
-echo "== sharded-commit-pipeline acceptance =="
+echo "== sharded-commit-pipeline + stage-0 acceptance =="
 # Full lifecycle + background maintenance on hnsw at 1 vs 8 threads from the
 # same restored seed snapshot. Exit-enforces: identical decisions, a
 # request-path parallel fraction >= 0.94, and ZERO windows stalled waiting on
-# the background maintenance planner.
+# the background maintenance planner. The second section replays a
+# duplicate-heavy trace with the stage-0 response tier on and exit-enforces
+# its gate: hit rate >= 25%, fewer generated tokens than the stage0-off run,
+# byte-identical decisions at 1 vs 8 threads and 1 vs 4 commit lanes, and
+# the parallel fraction still >= 0.94.
 timeout 600 "${BUILD_DIR}/bench_driver_throughput" --acceptance --requests=3000
 
 echo "== snapshot format smoke (driver checkpoint -> snapshot_dump) =="
-# A short lifecycle run that takes real checkpoints, then snapshot_dump
-# re-validates every section CRC and walks every example record.
+# A short lifecycle run (stage-0 tier on) that takes real checkpoints, then
+# snapshot_dump re-validates every section CRC, walks every example record,
+# and must report the stage-0 response-cache section.
 SNAP="$(mktemp -u /tmp/iccache_ci_pool_XXXXXX.snap)"
 trap 'rm -f "${SNAP}" "${SNAP}.tmp"' EXIT
 timeout 300 "${BUILD_DIR}/bench_driver_throughput" \
-  --requests=600 --sweep=off --snapshot="${SNAP}" > /dev/null
-timeout 60 "${BUILD_DIR}/snapshot_dump" "${SNAP}"
+  --requests=600 --sweep=off --stage0=on --snapshot="${SNAP}" > /dev/null
+timeout 60 "${BUILD_DIR}/snapshot_dump" "${SNAP}" | tee /dev/stderr | grep -q "^stage0:"
 
 echo "== ci.sh OK =="

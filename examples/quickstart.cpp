@@ -7,6 +7,7 @@
 //   $ ./examples/quickstart
 #include <cstdio>
 #include <memory>
+#include <vector>
 
 #include "src/core/client.h"
 #include "src/core/service.h"
@@ -21,6 +22,7 @@ int main() {
   GenerationSimulator backend(/*seed=*/42);
   auto embedder = std::make_shared<HashingEmbedder>();
   ServiceConfig config;  // defaults: gemma-2-27b large, gemma-2-2b small
+  config.stage0.enabled = true;  // stage-0 response tier: repeats cost nothing
   IcCacheService service(config, &catalog, &backend, embedder);
 
   // Populate the example cache with historical traffic answered by the large
@@ -37,8 +39,12 @@ int main() {
   IcCacheClient client(&service);
   QueryGenerator users(GetDatasetProfile(DatasetId::kNaturalQuestions), 99);
 
+  std::vector<Request> session;
   for (int i = 0; i < 10; ++i) {
-    const Request request = users.Next();
+    session.push_back(users.Next());
+  }
+  for (int i = 0; i < 10; ++i) {
+    const Request& request = session[i];
     const GenerationResult response = client.Generate(request);
     const ServeOutcome& outcome = client.last_outcome();
     std::printf("req %2d [%-42.42s] -> %-11s %s examples=%zu quality=%.2f latency=%.2fs\n",
@@ -49,10 +55,24 @@ int main() {
     client.UpdateCache(request, response);
   }
 
+  // Re-serve the SAME requests: each now probes the stage-0 response cache
+  // at similarity 1.0 and comes back with zero generated tokens.
+  std::printf("\nre-serving the same 10 requests (stage-0 response tier):\n");
+  for (int i = 0; i < 10; ++i) {
+    const GenerationResult response = client.Generate(session[i]);
+    const ServeOutcome& outcome = client.last_outcome();
+    std::printf("req %2d -> %-12s %s  tokens=%d latency=%.3fs\n", i,
+                response.model_name.c_str(),
+                outcome.stage0_hit ? "(stage-0 hit) " : "(regenerated) ",
+                response.output_tokens, response.e2e_latency_s);
+  }
+
   client.Stop();
   const MetricsRegistry& metrics = service.metrics();
   std::printf("\nserved %.0f requests, offloaded %.0f (%.0f%%)\n",
               metrics.Get("requests_total"), metrics.Get("requests_offloaded"),
               100.0 * metrics.Ratio("requests_offloaded", "requests_total"));
+  std::printf("stage-0: %.0f hits, %.0f generated tokens saved\n",
+              metrics.Get("stage0_hits"), metrics.Get("stage0_tokens_saved"));
   return 0;
 }

@@ -4,17 +4,26 @@
 // verbatim instead of generating. Raising the hit rate (by lowering the
 // threshold) returns increasingly off-target responses — the quality collapse
 // of Figure 3(b) that motivates in-context reuse instead.
+//
+// The implementation lives in src/core/stage0_cache.h — the same response
+// cache that serves as the serving pipeline's stage-0 tier — configured here
+// as the baseline: fixed (unlearned) threshold, no TTL, no quality gate on
+// insert, exact flat index. The promotion fixed this baseline's original
+// bugs in place: duplicate inserts now dedupe (keeping the better-quality
+// response), an entry bound is enforced, every lookup has an
+// embedding-taking overload, and NearestSimilarity returns
+// std::optional<double> instead of a -1.0 sentinel that collided with
+// legitimately negative cosines.
 #ifndef SRC_BASELINES_SEMANTIC_CACHE_H_
 #define SRC_BASELINES_SEMANTIC_CACHE_H_
 
 #include <cstdint>
 #include <memory>
 #include <optional>
-#include <unordered_map>
 #include <vector>
 
+#include "src/core/stage0_cache.h"
 #include "src/embedding/embedder.h"
-#include "src/index/vector_index.h"
 #include "src/workload/request.h"
 
 namespace iccache {
@@ -32,32 +41,40 @@ struct SemanticCacheHit {
 
 class SemanticCache {
  public:
-  SemanticCache(std::shared_ptr<const Embedder> embedder, double similarity_threshold);
+  // `max_entries` bounds the cache even in this standalone baseline; the
+  // worst-ranked entries (least recently refreshed, then lowest quality) are
+  // evicted when an insert crosses it.
+  SemanticCache(std::shared_ptr<const Embedder> embedder, double similarity_threshold,
+                size_t max_entries = 4096);
 
-  // Inserts a request-response pair.
+  // Inserts a request-response pair. Exact/near-exact duplicates merge into
+  // the existing entry, keeping the better-quality response.
   void Put(const Request& request, double response_quality, int response_tokens);
 
   // Returns the best cached entry when its similarity clears the threshold.
+  // The embedding overload skips the redundant embed when the caller already
+  // computed one for this request.
   std::optional<SemanticCacheHit> Lookup(const Request& request) const;
+  std::optional<SemanticCacheHit> Lookup(const std::vector<float>& embedding) const;
 
   // Top-k entries above the threshold, best first (used when cached entries
   // are repurposed as in-context examples rather than returned verbatim).
   std::vector<SemanticCacheHit> LookupK(const Request& request, size_t k) const;
+  std::vector<SemanticCacheHit> LookupK(const std::vector<float>& embedding, size_t k) const;
 
   // Nearest-neighbour similarity regardless of the threshold (for hit-rate
-  // sweeps); negative when the cache is empty.
-  double NearestSimilarity(const Request& request) const;
+  // sweeps); nullopt when the cache is empty.
+  std::optional<double> NearestSimilarity(const Request& request) const;
+  std::optional<double> NearestSimilarity(const std::vector<float>& embedding) const;
 
-  void set_similarity_threshold(double threshold) { similarity_threshold_ = threshold; }
-  double similarity_threshold() const { return similarity_threshold_; }
-  size_t size() const { return entries_.size(); }
+  void set_similarity_threshold(double threshold) { cache_.set_hit_threshold(threshold); }
+  double similarity_threshold() const { return cache_.hit_threshold(); }
+  size_t size() const { return cache_.size(); }
+
+  const Embedder& embedder() const { return *cache_.embedder(); }
 
  private:
-  std::shared_ptr<const Embedder> embedder_;
-  double similarity_threshold_;
-  FlatIndex index_;
-  std::unordered_map<uint64_t, SemanticCacheEntry> entries_;
-  uint64_t next_key_ = 1;
+  Stage0ResponseCache cache_;
 };
 
 }  // namespace iccache

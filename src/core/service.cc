@@ -26,6 +26,11 @@ std::vector<RouterArmSpec> MakeArms(const ModelProfile& small, const ModelProfil
   return {small_arm, large_arm};
 }
 
+Stage0Config SeededStage0Config(Stage0Config config, uint64_t seed) {
+  config.seed = Mix64(seed ^ 0x57a9e0ull);
+  return config;
+}
+
 }  // namespace
 
 IcCacheService::IcCacheService(ServiceConfig config, const ModelCatalog* catalog,
@@ -37,6 +42,7 @@ IcCacheService::IcCacheService(ServiceConfig config, const ModelCatalog* catalog
       small_model_(catalog->Get(config.small_model)),
       large_model_(catalog->Get(config.large_model)),
       cache_(std::move(embedder), config.cache),
+      stage0_(cache_.embedder(), SeededStage0Config(config.stage0, config.seed)),
       proxy_(),
       selector_(&cache_, &proxy_, config.selector),
       router_(MakeArms(small_model_, large_model_), config.router),
@@ -59,6 +65,7 @@ Status IcCacheService::SaveSnapshot(const std::string& path) {
   components.manager = &manager_;
   components.proxy = &proxy_;
   components.router = &router_;
+  components.stage0 = config_.stage0.enabled ? &stage0_ : nullptr;
   // Stamp the snapshot with this service's clock so the manager's decay
   // cursor and a restoring driver's trace clock stay on the same timeline.
   EncodePoolSections(cache_, components, /*sim_time=*/last_now_, &writer);
@@ -83,6 +90,7 @@ Status IcCacheService::RestoreSnapshot(const std::string& path) {
   components.manager = &manager_;
   components.proxy = &proxy_;
   components.router = &router_;
+  components.stage0 = config_.stage0.enabled ? &stage0_ : nullptr;
   PoolRestoreReport report;
   status = DecodePoolSections(reader, &cache_, components, &report);
   if (!status.ok()) {
@@ -178,10 +186,68 @@ ServeOutcome IcCacheService::ServeRequest(const Request& request, double now) {
   last_now_ = std::max(last_now_, now);
   metrics_.Increment("requests_total");
 
-  // 1. RetrieveExamples (bypassed when the selector component is down).
+  // 0. Stage-0 response-cache probe: one embed, shared with stage-1
+  // retrieval below on a miss. A confident hit serves the cached response
+  // verbatim — no selection, no routing, no generation.
+  std::vector<float> embedding;
+  Stage0DedupeHint dedupe_hint;
+  if (config_.stage0.enabled) {
+    embedding = cache_.embedder()->Embed(request.text);
+    outcome.overhead_latency_s += config_.stage0_probe_latency_s;
+    const std::optional<Stage0Probe> probe = stage0_.Probe(embedding, now);
+    if (probe.has_value()) {
+      dedupe_hint = {probe->entry.id, probe->similarity};
+    }
+    if (probe.has_value() && stage0_.Confident(*probe)) {
+      const Stage0Entry& hit = probe->entry;
+      outcome.stage0_hit = true;
+      outcome.stage0_similarity = probe->similarity;
+      const double relevance = StructuralRelevance(request, hit.request, rng_);
+      outcome.generation.request_id = request.id;
+      outcome.generation.model_name = "stage0-cache";
+      outcome.generation.latent_quality =
+          generator_->ReusedResponseQuality(hit.response_quality, relevance);
+      outcome.generation.prompt_tokens = request.input_tokens;
+      outcome.generation.output_tokens = 0;  // zero generation cost
+      outcome.generation.e2e_latency_s = outcome.overhead_latency_s;
+      outcome.generation.ttft_s = outcome.overhead_latency_s;
+      outcome.observed_quality =
+          Clamp(outcome.generation.latent_quality + rng_.Normal(0.0, config_.feedback_noise),
+                0.0, 1.0);
+
+      stage0_.RecordHit(hit.id, now);
+      int tokens_saved = hit.response_tokens;
+      if (rng_.Bernoulli(config_.stage0.probe_rate)) {
+        // Probe sampling: shadow-generate the fresh response so threshold
+        // adaptation learns from a genuine (reused - fresh) counterfactual.
+        const GenerationResult fresh = generator_->Generate(large_model_, request, {});
+        tokens_saved = fresh.output_tokens;
+        stage0_.OnHitFeedback(probe->similarity, outcome.generation.latent_quality,
+                              fresh.latent_quality, tokens_saved);
+        metrics_.Increment("stage0_probes");
+      }
+      if (stage0_.OnQualityFeedback(hit.id, outcome.generation.latent_quality)) {
+        metrics_.Increment("stage0_invalidations");
+      }
+      stage0_.AdvanceWindow(1);
+      metrics_.Increment("stage0_hits");
+      metrics_.Increment("stage0_tokens_saved", static_cast<double>(tokens_saved));
+      metrics_.Increment("latency_sum_s", outcome.generation.e2e_latency_s);
+      metrics_.Increment("quality_sum", outcome.generation.latent_quality);
+      return outcome;
+    }
+  }
+
+  // 1. RetrieveExamples (bypassed when the selector component is down). With
+  // stage-0 enabled the probe's embedding is reused — no second embed.
   std::vector<SelectedExample> selected;
   if (!selector_failed_) {
-    selected = selector_.Select(request, small_model_, now);
+    if (config_.stage0.enabled) {
+      selected = ExampleSelector::ToSelected(selector_.CommitSelection(
+          selector_.PrepareCandidates(request, small_model_, &embedding), small_model_, now));
+    } else {
+      selected = selector_.Select(request, small_model_, now);
+    }
     outcome.overhead_latency_s +=
         config_.selector_stage1_latency_s + config_.selector_stage2_latency_s;
   } else {
@@ -274,6 +340,17 @@ ServeOutcome IcCacheService::ServeRequest(const Request& request, double now) {
       manager_.MaybeAdmit(request, outcome.generation,
                           serving_model.capability, /*from_large_model=*/!outcome.offloaded, now);
 
+  // Stage-0 insert: every freshly generated response is a candidate cached
+  // answer for future duplicates (deduped and bounded inside Put).
+  if (config_.stage0.enabled) {
+    // The step-0 probe doubles as the dedupe hint: nothing has touched the
+    // stage-0 cache since, so this is exactly the index search Put would run.
+    stage0_.Put(request, std::move(embedding), "[cached-response]",
+                outcome.generation.latent_quality, outcome.generation.output_tokens, now,
+                &dedupe_hint);
+    stage0_.AdvanceWindow(1);
+  }
+
   metrics_.Increment("latency_sum_s", outcome.generation.e2e_latency_s);
   metrics_.Increment("quality_sum", outcome.generation.latent_quality);
   return outcome;
@@ -283,6 +360,9 @@ void IcCacheService::ObserveLoad(double load) { router_.ObserveLoad(load); }
 
 void IcCacheService::RunMaintenance(double now) {
   last_now_ = std::max(last_now_, now);
+  if (config_.stage0.enabled) {
+    metrics_.Increment("stage0_expired", static_cast<double>(stage0_.ExpireStale(now)));
+  }
   manager_.MaybeRunMaintenance(now);
   // Asynchronous proxy refresh from freshly sampled feedback (section 4.1).
   PretrainProxy(64);

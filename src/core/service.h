@@ -33,6 +33,7 @@
 #include "src/core/proxy_model.h"
 #include "src/core/router.h"
 #include "src/core/selector.h"
+#include "src/core/stage0_cache.h"
 #include "src/llm/generation.h"
 #include "src/llm/model_profile.h"
 
@@ -41,6 +42,12 @@ namespace iccache {
 struct ServiceConfig {
   std::string small_model = "gemma-2-2b";
   std::string large_model = "gemma-2-27b";
+
+  // Stage-0 response tier: probe a bounded semantic response cache before
+  // stage-1 retrieval; a confident hit serves the cached response at zero
+  // generation cost. Off by default. The learned hit threshold, TTL, and
+  // quality-feedback invalidation all live in Stage0Config.
+  Stage0Config stage0;
 
   SelectorConfig selector;
   RouterConfig router;
@@ -62,6 +69,7 @@ struct ServiceConfig {
   double selector_stage1_latency_s = 0.020;
   double selector_stage2_latency_s = 0.030;
   double router_latency_s = 0.010;
+  double stage0_probe_latency_s = 0.004;  // embed + ANN probe (stage-0 only)
 
   // Persistence (src/persist): with `snapshot_path` set, `restore_on_start`
   // warm-starts the service from that file at construction (missing file =
@@ -82,6 +90,11 @@ struct ServeOutcome {
   double overhead_latency_s = 0.0;             // selector + router overhead
   uint64_t admitted_example_id = 0;
   double observed_quality = 0.0;               // post-noise feedback signal
+
+  // Stage-0 hit: the response was served from the response cache (zero
+  // generation cost; generation.output_tokens == 0, no routing happened).
+  bool stage0_hit = false;
+  double stage0_similarity = 0.0;
 };
 
 class IcCacheService {
@@ -135,6 +148,7 @@ class IcCacheService {
   ExampleSelector& selector() { return selector_; }
   RequestRouter& router() { return router_; }
   ExampleManager& manager() { return manager_; }
+  Stage0ResponseCache& stage0() { return stage0_; }
   ProxyUtilityModel& proxy() { return proxy_; }
   MetricsRegistry& metrics() { return metrics_; }
   const ServiceConfig& config() const { return config_; }
@@ -152,6 +166,7 @@ class IcCacheService {
   ModelProfile large_model_;
 
   ExampleCache cache_;
+  Stage0ResponseCache stage0_;
   ProxyUtilityModel proxy_;
   ExampleSelector selector_;
   RequestRouter router_;

@@ -113,11 +113,16 @@ GenerationResult GenerationSimulator::Generate(const ModelProfile& model, const 
 }
 
 double GenerationSimulator::ReusedResponseQuality(double cached_quality, double relevance) {
+  return ReusedResponseQuality(cached_quality, relevance, rng_);
+}
+
+double GenerationSimulator::ReusedResponseQuality(double cached_quality, double relevance,
+                                                  Rng& rng) const {
   double rel = Clamp(relevance, 0.0, 1.0);
   // Semantic equivalence is inherently subjective (section 2.3): a fraction
   // of apparent paraphrases actually ask something subtly different, and the
   // reused answer misses the mark.
-  if (rel >= 0.9 && rng_.Bernoulli(0.15)) {
+  if (rel >= 0.9 && rng.Bernoulli(0.15)) {
     rel = 0.65;
   }
   double fidelity = 0.0;
@@ -131,7 +136,7 @@ double GenerationSimulator::ReusedResponseQuality(double cached_quality, double 
   } else {
     fidelity = 0.04;
   }
-  const double q = cached_quality * fidelity + rng_.Normal(0.0, 0.02);
+  const double q = cached_quality * fidelity + rng.Normal(0.0, 0.02);
   return Clamp(q, 0.0, 1.0);
 }
 

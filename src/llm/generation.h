@@ -98,6 +98,10 @@ class GenerationSimulator {
   // match, severely degraded on topical-but-different matches.
   double ReusedResponseQuality(double cached_quality, double relevance);
 
+  // Same reuse model driven by an EXTERNAL sampling stream (stage-0 hits
+  // inside the driver's commit lanes), mutating nothing.
+  double ReusedResponseQuality(double cached_quality, double relevance, Rng& rng) const;
+
   const GenerationConfig& config() const { return config_; }
 
   // Snapshot persistence: the sampling stream must resume exactly for a

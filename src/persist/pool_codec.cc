@@ -145,6 +145,135 @@ bool DecodeRouterSection(const std::string& bytes, RequestRouter* router) {
   return true;
 }
 
+// kStage0 layout: a summary-friendly header (threshold, cadence counter,
+// entry count, byte accounting, native-index flag) the dump tool can read
+// without an embedder, then the adaptation grid, the id counter, the entry
+// records with their index embeddings, and finally the native index image
+// (HNSW graph) when the backend has one — restoring the image rather than
+// rebuilding keeps post-restore probes byte-identical to the writer's.
+std::string EncodeStage0Section(const Stage0ResponseCache& cache) {
+  const Stage0AdaptiveState state = cache.SaveAdaptiveState();
+  ByteWriter w;
+  w.PutDouble(state.hit_threshold);
+  w.PutU64(state.requests_seen);
+  w.PutU64(cache.size());
+  w.PutI64(cache.used_bytes());
+  std::string index_blob;
+  const bool native = cache.SaveIndexBlob(&index_blob);
+  w.PutU8(native ? 1 : 0);
+
+  w.PutU64(state.grid_benefit.size());
+  for (double benefit : state.grid_benefit) {
+    w.PutDouble(benefit);
+  }
+  for (uint64_t count : state.grid_count) {
+    w.PutU64(count);
+  }
+  w.PutU64(cache.next_id());
+
+  cache.ExportEntries([&w](const Stage0Entry& entry, const std::vector<float>& embedding) {
+    w.PutU64(entry.id);
+    const Request& request = entry.request;
+    w.PutU64(request.id);
+    w.PutU8(static_cast<uint8_t>(request.dataset));
+    w.PutU8(static_cast<uint8_t>(request.task));
+    w.PutString(request.text);
+    w.PutU32(request.topic_id);
+    w.PutU32(request.intent_id);
+    w.PutDouble(request.difficulty);
+    w.PutI32(request.input_tokens);
+    w.PutI32(request.target_output_tokens);
+    w.PutDouble(request.arrival_time);
+    w.PutU32(request.privacy_domain);
+    w.PutString(entry.response_text);
+    w.PutDouble(entry.response_quality);
+    w.PutI32(entry.response_tokens);
+    w.PutDouble(entry.admitted_time);
+    w.PutDouble(entry.last_hit_time);
+    w.PutU64(entry.hit_count);
+    w.PutFloats(embedding);
+  });
+
+  if (native) {
+    w.PutString(index_blob);
+  }
+  return w.TakeBytes();
+}
+
+bool DecodeStage0Section(const std::string& bytes, Stage0ResponseCache* cache) {
+  if (cache->size() != 0) {
+    return false;  // restore requires an empty stage-0 cache
+  }
+  ByteReader r(bytes);
+  Stage0AdaptiveState state;
+  state.hit_threshold = r.GetDouble();
+  state.requests_seen = r.GetU64();
+  const uint64_t entry_count = r.GetU64();
+  const int64_t used_bytes = r.GetI64();
+  const bool native = r.GetU8() != 0;
+  const uint64_t grid = r.GetU64();
+  if (!r.ok() || grid > bytes.size() || entry_count > bytes.size()) {
+    return false;
+  }
+  state.grid_benefit.resize(grid);
+  for (auto& benefit : state.grid_benefit) {
+    benefit = r.GetDouble();
+  }
+  state.grid_count.resize(grid);
+  for (auto& count : state.grid_count) {
+    count = r.GetU64();
+  }
+  const uint64_t next_id = r.GetU64();
+
+  std::vector<Stage0Entry> entries(static_cast<size_t>(entry_count));
+  std::vector<std::vector<float>> embeddings(static_cast<size_t>(entry_count));
+  for (uint64_t i = 0; i < entry_count; ++i) {
+    Stage0Entry& entry = entries[i];
+    entry.id = r.GetU64();
+    Request& request = entry.request;
+    request.id = r.GetU64();
+    request.dataset = static_cast<DatasetId>(r.GetU8());
+    request.task = static_cast<TaskType>(r.GetU8());
+    request.text = r.GetString();
+    request.topic_id = r.GetU32();
+    request.intent_id = r.GetU32();
+    request.difficulty = r.GetDouble();
+    request.input_tokens = r.GetI32();
+    request.target_output_tokens = r.GetI32();
+    request.arrival_time = r.GetDouble();
+    request.privacy_domain = r.GetU32();
+    entry.response_text = r.GetString();
+    entry.response_quality = r.GetDouble();
+    entry.response_tokens = r.GetI32();
+    entry.admitted_time = r.GetDouble();
+    entry.last_hit_time = r.GetDouble();
+    entry.hit_count = r.GetU64();
+    embeddings[i] = r.GetFloats();
+    if (!r.ok()) {
+      return false;
+    }
+  }
+  const bool native_loaded = native && cache->LoadIndexBlob(r.GetString());
+  if (!r.ok() || !r.AtEnd()) {
+    return false;
+  }
+
+  for (uint64_t i = 0; i < entry_count; ++i) {
+    if (!cache->ImportEntry(entries[i], std::move(embeddings[i]),
+                            /*add_to_index=*/!native_loaded)) {
+      return false;
+    }
+  }
+  if (cache->used_bytes() != used_bytes) {
+    return false;  // replayed byte accounting disagrees with the writer's
+  }
+  cache->restore_next_id(next_id);
+  // A grid-size mismatch (restoring under a different threshold_grid config)
+  // keeps the configured defaults, exactly like the selector.
+  cache->RestoreAdaptiveState(state);
+  return true;
+}
+
 }  // namespace
 
 void EncodeRngState(const RngState& state, ByteWriter* writer) {
@@ -268,6 +397,9 @@ void EncodePoolSections(const ExampleStore& store, const PoolComponents& compone
   if (components.router != nullptr) {
     writer->AddSection(SnapshotSection::kRouter, EncodeRouterSection(*components.router));
   }
+  if (components.stage0 != nullptr) {
+    writer->AddSection(SnapshotSection::kStage0, EncodeStage0Section(*components.stage0));
+  }
 }
 
 Status DecodePoolMeta(const SnapshotReader& reader, PoolMeta* meta) {
@@ -284,6 +416,23 @@ Status DecodePoolMeta(const SnapshotReader& reader, PoolMeta* meta) {
   meta->sim_time = r.GetDouble();
   if (!r.ok() || !r.AtEnd()) {
     return Status::InvalidArgument("malformed meta section");
+  }
+  return Status::Ok();
+}
+
+Status DecodeStage0Summary(const SnapshotReader& reader, Stage0Summary* summary) {
+  const std::string* bytes = reader.Section(SnapshotSection::kStage0);
+  if (bytes == nullptr) {
+    return Status::InvalidArgument("snapshot has no stage0 section");
+  }
+  ByteReader r(*bytes);
+  summary->hit_threshold = r.GetDouble();
+  summary->requests_seen = r.GetU64();
+  summary->entry_count = r.GetU64();
+  summary->used_bytes = r.GetI64();
+  summary->has_native_index = r.GetU8();
+  if (!r.ok()) {
+    return Status::InvalidArgument("malformed stage0 section");
   }
   return Status::Ok();
 }
@@ -403,6 +552,11 @@ Status DecodePoolSections(const SnapshotReader& reader, ExampleStore* store,
   if (router != nullptr && components.router != nullptr &&
       !DecodeRouterSection(*router, components.router)) {
     return Status::InvalidArgument("malformed router section");
+  }
+  const std::string* stage0 = reader.Section(SnapshotSection::kStage0);
+  if (stage0 != nullptr && components.stage0 != nullptr &&
+      !DecodeStage0Section(*stage0, components.stage0)) {
+    return Status::InvalidArgument("malformed stage0 section");
   }
 
   if (report != nullptr) {

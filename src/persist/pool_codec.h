@@ -34,6 +34,7 @@
 #include "src/core/retrieval_backend.h"
 #include "src/core/router.h"
 #include "src/core/selector.h"
+#include "src/core/stage0_cache.h"
 #include "src/persist/snapshot.h"
 
 namespace iccache {
@@ -45,6 +46,7 @@ struct PoolComponents {
   ExampleManager* manager = nullptr;
   ProxyUtilityModel* proxy = nullptr;
   RequestRouter* router = nullptr;
+  Stage0ResponseCache* stage0 = nullptr;
 };
 
 // kMeta payload: the summary a dump tool or a restore precheck needs without
@@ -97,6 +99,19 @@ Status DecodePoolSections(const SnapshotReader& reader, ExampleStore* store,
 
 // kMeta alone (dump tool, prechecks).
 Status DecodePoolMeta(const SnapshotReader& reader, PoolMeta* meta);
+
+// kStage0 summary for the dump tool: the header fields without decoding (or
+// needing an embedder for) the entry records.
+struct Stage0Summary {
+  double hit_threshold = 0.0;
+  uint64_t requests_seen = 0;
+  uint64_t entry_count = 0;
+  int64_t used_bytes = 0;
+  uint8_t has_native_index = 0;
+};
+
+// InvalidArgument when the section is absent or malformed.
+Status DecodeStage0Summary(const SnapshotReader& reader, Stage0Summary* summary);
 
 // Iterates the kExamples section without a store (dump tool, format checks).
 Status ForEachSnapshotExample(

@@ -54,6 +54,8 @@ const char* SnapshotSectionName(SnapshotSection section) {
       return "driver";
     case SnapshotSection::kService:
       return "service";
+    case SnapshotSection::kStage0:
+      return "stage0";
   }
   return "unknown";
 }

@@ -40,6 +40,11 @@ ShardedCacheConfig SeededCacheConfig(ShardedCacheConfig config, uint64_t seed) {
   return config;
 }
 
+Stage0Config SeededStage0Config(Stage0Config config, uint64_t seed) {
+  config.seed = Mix64(seed ^ 0x57a9e0ull);
+  return config;
+}
+
 MaintenanceSchedulerConfig SchedulerConfig(const DriverConfig& config) {
   MaintenanceSchedulerConfig scheduler;
   scheduler.background = config.background_maintenance;
@@ -64,6 +69,7 @@ ServingDriver::ServingDriver(DriverConfig config, const ModelCatalog* catalog)
       router_(MakeArms(small_, large_), SeededRouterConfig(config.router, config.seed)),
       generator_(Mix64(config.seed ^ 0x6e4ull)),
       manager_(&cache_, &generator_, large_, config.manager),
+      stage0_(embedder_, SeededStage0Config(config.stage0, config.seed)),
       maintenance_(&manager_, SchedulerConfig(config)),
       checkpointer_(CheckpointerConfig{config.snapshot_path, config.checkpoint_interval_s,
                                        config.replay_load_threshold,
@@ -106,6 +112,7 @@ Status ServingDriver::SaveSnapshot(const std::string& path) {
   components.manager = &manager_;
   components.proxy = &proxy_;
   components.router = &router_;
+  components.stage0 = config_.stage0.enabled ? &stage0_ : nullptr;
   EncodePoolSections(cache_, components, cluster_.now(), &writer);
 
   // The maintenance scheduler is idle at every point a snapshot can be taken
@@ -130,6 +137,7 @@ Status ServingDriver::RestoreSnapshot(const std::string& path) {
   components.manager = &manager_;
   components.proxy = &proxy_;
   components.router = &router_;
+  components.stage0 = config_.stage0.enabled ? &stage0_ : nullptr;
   status = DecodePoolSections(reader, &cache_, components, &restore_report_);
   if (!status.ok()) {
     return status;
@@ -157,7 +165,17 @@ Status ServingDriver::RestoreSnapshot(const std::string& path) {
 
 ServingDriver::Prepared ServingDriver::PrepareRequest(const Request& request) const {
   Prepared prepared;
-  const std::vector<float> embedding = embedder_->Embed(request.text);
+  // One embed shared by every stage: the stage-0 probe, stage-1 retrieval,
+  // and the admission scrub all reuse it.
+  prepared.embedding = embedder_->Embed(request.text);
+  // Stage-0 probe against the window-start response cache (pure read; the
+  // frozen-threshold hit decision happens in the lane). Stage-1 retrieval
+  // still runs below even when the probe looks confident — a hit saves the
+  // generation, and skipping retrieval on a probe that the lane then rejects
+  // would leave the request without candidates.
+  if (config_.stage0.enabled) {
+    prepared.stage0 = stage0_.Probe(prepared.embedding, request.arrival_time);
+  }
   // Pure selector half: stage-1 sharded retrieval + stage-2 proxy scoring,
   // with candidate embeddings prefilled so the commit lanes' diversity guard
   // does no embedding work. The dynamic utility threshold is applied in the
@@ -165,13 +183,13 @@ ServingDriver::Prepared ServingDriver::PrepareRequest(const Request& request) co
   // state. A bypassed selector (section 5) skips retrieval entirely — the
   // request is served without examples.
   if (!config_.selector_fault_bypass) {
-    prepared.candidates =
-        selector_.PrepareCandidates(request, small_, &embedding, /*embed_candidates=*/true);
+    prepared.candidates = selector_.PrepareCandidates(request, small_, &prepared.embedding,
+                                                      /*embed_candidates=*/true);
   }
   // Pure lifecycle half: dedupe probe + scrub/embed of the admission payload
   // (the quality gate needs the generation and runs at publish time).
   if (config_.lifecycle_admission) {
-    prepared.lifecycle = manager_.PrepareAdmission(request, &embedding);
+    prepared.lifecycle = manager_.PrepareAdmission(request, &prepared.embedding);
   }
   return prepared;
 }
@@ -179,6 +197,49 @@ ServingDriver::Prepared ServingDriver::PrepareRequest(const Request& request) co
 void ServingDriver::CommitLaneRequest(const Request& request, Prepared& prep,
                                       CommitSlot& slot) const {
   slot = CommitSlot();
+  slot.embedding = std::move(prep.embedding);
+
+  // Stage-0 hit path: the probe's similarity clears the threshold FROZEN at
+  // the window start (every lane judges against the same value), so the
+  // cached response is served verbatim — no routing, no generation, no
+  // cluster submission. The reuse quality is drawn from a dedicated
+  // per-request stream, so the outcome stays a pure function of
+  // (seed, request id, window-start state).
+  if (config_.stage0.enabled && prep.stage0.has_value() && stage0_.Confident(*prep.stage0)) {
+    const Stage0Entry& hit = prep.stage0->entry;
+    slot.stage0_hit = true;
+    slot.stage0_id = hit.id;
+    slot.stage0_similarity = prep.stage0->similarity;
+
+    Rng reuse_rng(Mix64(request.id ^ config_.seed ^ 0x57a9e17ull));
+    const double relevance = StructuralRelevance(request, hit.request, reuse_rng);
+    slot.generation.request_id = request.id;
+    slot.generation.model_name = "stage0-cache";
+    slot.generation.latent_quality =
+        generator_.ReusedResponseQuality(hit.response_quality, relevance, reuse_rng);
+    slot.generation.prompt_tokens = request.input_tokens;
+    slot.generation.output_tokens = 0;  // zero generation cost
+    slot.stage0_tokens_saved = hit.response_tokens;  // estimate when unprobed
+
+    // Probe sampling for threshold learning: on a deterministic per-request
+    // slice of hits, ALSO generate the response fresh so the merge can credit
+    // the adaptation grid with a genuine (reused - fresh) counterfactual.
+    Rng probe_rng(Mix64(request.id ^ config_.seed ^ 0x57a9ebull));
+    if (probe_rng.Uniform() < config_.stage0.probe_rate) {
+      Rng commit_rng(Mix64(request.id ^ config_.seed ^ 0x1a9ec0113ull));
+      const GenerationResult fresh = generator_.Generate(large_, request, {}, commit_rng);
+      slot.stage0_probed = true;
+      slot.stage0_fresh_quality = fresh.latent_quality;
+      slot.stage0_tokens_saved = fresh.output_tokens;
+    }
+    return;
+  }
+  if (config_.stage0.enabled && prep.stage0.has_value()) {
+    // Miss: carry the probe's top-1 neighbour as the merge's dedupe hint so
+    // the serial admission path never searches the index itself.
+    slot.stage0_id = prep.stage0->entry.id;
+    slot.stage0_similarity = prep.stage0->similarity;
+  }
 
   // Frozen-threshold combination: diversity, token budget, worst-to-best
   // ordering against the window-start adaptation state. Access accounting is
@@ -358,6 +419,35 @@ DriverReport ServingDriver::Run(const std::vector<Request>& requests) {
       CommitSlot& c = slots[slot];
       const ModelProfile& model = c.offloaded ? small_ : large_;
 
+      // Stage-0 hit: the response came from the cache, so nothing downstream
+      // of stage-0 (router, cluster queues, selector accounting, lifecycle)
+      // sees this request. Only the cache's own state advances: hit
+      // recency/count, probe-fed threshold learning, and quality-feedback
+      // invalidation — all on the serial path, ordered against every probe.
+      if (c.stage0_hit) {
+        cluster_.AdvanceTo(request.arrival_time);
+        ++report.stage0_hits;
+        report.stage0_tokens_saved += c.stage0_tokens_saved;
+        stage0_.RecordHit(c.stage0_id, request.arrival_time);
+        if (c.stage0_probed) {
+          ++report.stage0_probes;
+          stage0_.OnHitFeedback(c.stage0_similarity, c.generation.latent_quality,
+                                c.stage0_fresh_quality, c.stage0_tokens_saved);
+        }
+        if (stage0_.OnQualityFeedback(c.stage0_id, c.generation.latent_quality)) {
+          ++report.stage0_invalidations;
+        }
+        quality.Add(c.generation.latent_quality);
+        DriverDecision row;
+        row.request_id = request.id;
+        row.model_name = c.generation.model_name;
+        row.offloaded = false;
+        row.num_examples = 0;
+        row.latent_quality = c.generation.latent_quality;
+        report.decisions.push_back(std::move(row));
+        continue;
+      }
+
       cluster_.AdvanceTo(request.arrival_time);
       router_.ObserveLoad(current_load());
       for (uint64_t id : c.accessed) {
@@ -397,6 +487,21 @@ DriverReport ServingDriver::Run(const std::vector<Request>& requests) {
         }
       }
 
+      // Stage-0 insert (serial, arrival order): every freshly generated
+      // response is a candidate cached answer for future duplicates. The
+      // cache dedupes near-exact repeats and enforces its bounds inside Put;
+      // admissions become probe-visible in window N+2 (same schedule as the
+      // example pool).
+      if (config_.stage0.enabled) {
+        const Stage0DedupeHint hint{c.stage0_id, c.stage0_similarity};
+        if (stage0_.Put(request, std::move(c.embedding), "[cached-response]",
+                        c.generation.latent_quality, c.generation.output_tokens,
+                        request.arrival_time, &hint) != 0) {
+          ++report.stage0_admitted;
+        }
+      }
+      report.generated_tokens += c.generation.output_tokens;
+
       quality.Add(c.generation.latent_quality);
       DriverDecision row;
       row.request_id = request.id;
@@ -410,6 +515,10 @@ DriverReport ServingDriver::Run(const std::vector<Request>& requests) {
     // the frozen threshold; count it and re-evaluate at the boundary.
     if (!config_.selector_fault_bypass) {
       selector_.AdvanceWindow(count);
+    }
+    if (config_.stage0.enabled) {
+      stage0_.AdvanceWindow(count);
+      report.stage0_expired += stage0_.ExpireStale(cluster_.now());
     }
 
     // Publish the window's admissions: per-shard tasks, per-shard arrival
@@ -435,6 +544,9 @@ DriverReport ServingDriver::Run(const std::vector<Request>& requests) {
           for (size_t slot : shard_slots[shard]) {
             const Request& request = requests[begin + slot];
             CommitSlot& c = slots[slot];
+            if (c.stage0_hit) {
+              continue;  // nothing was generated — nothing to admit
+            }
             admitted[slot] = manager_.CommitAdmission(
                 request, std::move(c.lifecycle), c.generation,
                 (c.offloaded ? small_ : large_).capability,

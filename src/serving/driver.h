@@ -54,6 +54,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -63,6 +64,7 @@
 #include "src/core/router.h"
 #include "src/core/selector.h"
 #include "src/core/sharded_cache.h"
+#include "src/core/stage0_cache.h"
 #include "src/llm/generation.h"
 #include "src/llm/model_profile.h"
 #include "src/persist/checkpointer.h"
@@ -92,6 +94,16 @@ struct DriverConfig {
   // partitioned into (by request-key shard). Results are lane-count
   // invariant; more lanes expose more parallelism to the pool.
   size_t commit_lanes = 4;
+
+  // Stage-0 response tier: before stage-1 example retrieval, probe a bounded
+  // semantic response cache; a confident hit (learned embedding-similarity
+  // threshold) serves the cached response at ZERO generation cost — no
+  // routing, no generation, no cluster submission. Probes run in the
+  // parallel prepare phase against the window-start cache; the hit decision
+  // (frozen threshold), insert, invalidation, and threshold adaptation all
+  // run on the serial path, so stage-0 preserves the thread- and
+  // lane-invariance contract. Off by default.
+  Stage0Config stage0;
 
   // Full two-stage selection pipeline (stage-1 pool size, dynamic threshold
   // grid, diversity, context budget, ...).
@@ -169,6 +181,15 @@ struct DriverReport {
   size_t total_requests = 0;
   size_t offloaded_requests = 0;
   size_t admitted_examples = 0;
+
+  // Stage-0 response tier activity (zeros when the tier is disabled).
+  size_t stage0_hits = 0;           // requests served from the response cache
+  size_t stage0_probes = 0;         // hits that also shadow-generated fresh
+  size_t stage0_invalidations = 0;  // entries removed by quality feedback
+  size_t stage0_expired = 0;        // entries removed by TTL
+  size_t stage0_admitted = 0;       // responses inserted (after dedupe/gate)
+  int64_t stage0_tokens_saved = 0;  // output tokens avoided by hits
+  int64_t generated_tokens = 0;     // output tokens actually generated
 
   // Lifecycle activity (maintenance ticks, eviction, off-peak replay).
   size_t maintenance_runs = 0;
@@ -261,14 +282,19 @@ class ServingDriver {
   ProxyUtilityModel& proxy() { return proxy_; }
   ExampleSelector& selector() { return selector_; }
   ExampleManager& manager() { return manager_; }
+  Stage0ResponseCache& stage0() { return stage0_; }
   ClusterSim& cluster() { return cluster_; }
   const DriverConfig& config() const { return config_; }
 
  private:
   // Phase-1 output: everything the commit stage needs, computed purely.
   struct Prepared {
+    std::vector<float> embedding;  // shared by stage-0, selection, admission
     std::vector<SelectorCandidate> candidates;
     PreparedLifecycleAdmission lifecycle;
+    // Stage-0 probe against the window-start cache. The threshold decision
+    // is NOT applied here — the lane judges it against the frozen threshold.
+    std::optional<Stage0Probe> stage0;
   };
 
   // Lane-stage output: everything the deterministic merge and the publish
@@ -283,6 +309,18 @@ class ServingDriver {
     bool probed = false;
     double probe_gain = 0.0;
     PreparedLifecycleAdmission lifecycle;  // staged admission (publish step)
+    std::vector<float> embedding;          // for the merge-time stage-0 insert
+
+    // Stage-0 hit outcome: the request was served from the response cache —
+    // no routing, no generation, no cluster submission, no admission.
+    bool stage0_hit = false;
+    // On a hit: the served entry. On a miss: the probe's top-1 neighbour,
+    // reused by the merge as the admission dedupe hint (no serial search).
+    uint64_t stage0_id = 0;
+    double stage0_similarity = 0.0;
+    bool stage0_probed = false;          // shadow-generated the fresh response
+    double stage0_fresh_quality = 0.0;   // counterfactual (probed hits only)
+    int stage0_tokens_saved = 0;
   };
 
   Prepared PrepareRequest(const Request& request) const;
@@ -301,6 +339,7 @@ class ServingDriver {
   RequestRouter router_;
   GenerationSimulator generator_;
   ExampleManager manager_;
+  Stage0ResponseCache stage0_;
   ClusterSim cluster_;
   MaintenanceScheduler maintenance_;
   double last_replay_time_ = 0.0;

@@ -37,15 +37,19 @@ TEST(SemanticCacheTest, MissBelowThreshold) {
   Request query;
   query.text = "completely different words here";
   EXPECT_FALSE(cache.Lookup(query).has_value());
-  EXPECT_LT(cache.NearestSimilarity(query), 0.95);
+  const std::optional<double> nearest = cache.NearestSimilarity(query);
+  ASSERT_TRUE(nearest.has_value());
+  EXPECT_LT(*nearest, 0.95);
 }
 
 TEST(SemanticCacheTest, EmptyCacheNeverHits) {
+  // Even with a threshold of 0.0 — a legitimately negative cosine would have
+  // cleared the old -1.0 empty-cache sentinel.
   SemanticCache cache(SharedEmbedder(), 0.0);
   Request query;
   query.text = "anything";
   EXPECT_FALSE(cache.Lookup(query).has_value());
-  EXPECT_LT(cache.NearestSimilarity(query), 0.0);
+  EXPECT_FALSE(cache.NearestSimilarity(query).has_value());
 }
 
 TEST(SemanticCacheTest, LoweringThresholdRaisesHitRate) {

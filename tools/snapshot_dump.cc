@@ -93,6 +93,23 @@ int main(int argc, char** argv) {
     std::printf("  domain %-4u %8" PRIu64 " examples %10lld B\n", domain, usage.examples,
                 static_cast<long long>(usage.bytes));
   }
+
+  // Stage-0 response-cache section (present only when the writer served with
+  // the stage-0 tier enabled).
+  if (reader.Section(SnapshotSection::kStage0) != nullptr) {
+    Stage0Summary stage0;
+    const Status stage0_status = DecodeStage0Summary(reader, &stage0);
+    if (!stage0_status.ok()) {
+      std::fprintf(stderr, "snapshot_dump: %s\n", stage0_status.ToString().c_str());
+      return 1;
+    }
+    std::printf("stage0: %" PRIu64 " cached responses, %.1f KB, hit threshold %.3f "
+                "(%" PRIu64 " requests seen), %s\n",
+                stage0.entry_count, static_cast<double>(stage0.used_bytes) / 1024.0,
+                stage0.hit_threshold, stage0.requests_seen,
+                stage0.has_native_index != 0 ? "native hnsw index image"
+                                             : "no native index (rebuild on restore)");
+  }
   std::printf("integrity: OK (all section CRCs verified, %" PRIu64 " records walked)\n", walked);
   return 0;
 }
