@@ -52,7 +52,7 @@ if [[ "${rc}" -ne 0 && "${rc}" -ne 124 ]]; then
   exit "${rc}"
 fi
 
-echo "== sharded-commit-pipeline + stage-0 acceptance =="
+echo "== sharded-commit-pipeline + stage-0 + observability acceptance =="
 # Full lifecycle + background maintenance on hnsw at 1 vs 8 threads from the
 # same restored seed snapshot. Exit-enforces: identical decisions, a
 # request-path parallel fraction >= 0.94, and ZERO windows stalled waiting on
@@ -60,8 +60,22 @@ echo "== sharded-commit-pipeline + stage-0 acceptance =="
 # duplicate-heavy trace with the stage-0 response tier on and exit-enforces
 # its gate: hit rate >= 25%, fewer generated tokens than the stage0-off run,
 # byte-identical decisions at 1 vs 8 threads and 1 vs 4 commit lanes, and
-# the parallel fraction still >= 0.94.
-timeout 600 "${BUILD_DIR}/bench_driver_throughput" --acceptance --requests=3000
+# the parallel fraction still >= 0.94. The third section exit-enforces the
+# flight-recorder gate: decisions byte-identical with tracing on vs off at
+# {1,8} threads x {1,4} lanes, tracing overhead <= 2%, and the exported
+# Chrome trace + Prometheus metrics parse and cover every pipeline stage.
+TRACE_JSON="$(mktemp -u /tmp/iccache_ci_trace_XXXXXX.json)"
+METRICS_PROM="$(mktemp -u /tmp/iccache_ci_metrics_XXXXXX.prom)"
+timeout 600 "${BUILD_DIR}/bench_driver_throughput" --acceptance --requests=3000 \
+  --trace-out="${TRACE_JSON}" --metrics-out="${METRICS_PROM}"
+
+echo "== observability export smoke (trace_dump + metrics grep) =="
+# trace_dump re-parses the exported JSON with the strict in-repo parser and
+# must see the per-request commit span; the Prometheus text must expose the
+# core request counter under the iccache_ prefix.
+timeout 60 "${BUILD_DIR}/trace_dump" "${TRACE_JSON}" | tee /dev/stderr | grep -q "lane_commit"
+grep -q "^iccache_requests_total " "${METRICS_PROM}"
+rm -f "${TRACE_JSON}" "${METRICS_PROM}"
 
 echo "== snapshot format smoke (driver checkpoint -> snapshot_dump) =="
 # A short lifecycle run (stage-0 tier on) that takes real checkpoints, then

@@ -95,6 +95,105 @@ void PercentileTracker::Reset() {
   sorted_ = false;
 }
 
+LatencyHistogram::LatencyHistogram(double lo, double growth, size_t num_buckets)
+    : lo_(std::max(1e-300, lo)),
+      growth_(std::max(1.0 + 1e-9, growth)),
+      buckets_(std::max<size_t>(1, num_buckets), 0) {
+  edges_.reserve(buckets_.size() + 1);
+  double edge = lo_;
+  for (size_t i = 0; i <= buckets_.size(); ++i) {
+    edges_.push_back(edge);
+    edge *= growth_;
+  }
+}
+
+void LatencyHistogram::Add(double x) {
+  if (count_ == 0) {
+    min_ = x;
+    max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  sum_ += x;
+  if (x < edges_.front()) {
+    ++underflow_;
+    return;
+  }
+  if (x >= edges_.back()) {
+    ++overflow_;
+    return;
+  }
+  // log() lands on the right bucket up to floating-point rounding at the
+  // boundaries; the probes below repair an off-by-one either way.
+  size_t bin = static_cast<size_t>(std::log(x / lo_) / std::log(growth_));
+  bin = std::min(bin, buckets_.size() - 1);
+  while (bin > 0 && x < edges_[bin]) {
+    --bin;
+  }
+  while (bin + 1 < buckets_.size() && x >= edges_[bin + 1]) {
+    ++bin;
+  }
+  ++buckets_[bin];
+}
+
+bool LatencyHistogram::Merge(const LatencyHistogram& other) {
+  if (other.lo_ != lo_ || other.growth_ != growth_ ||
+      other.buckets_.size() != buckets_.size()) {
+    return false;
+  }
+  if (other.count_ > 0) {
+    if (count_ == 0) {
+      min_ = other.min_;
+      max_ = other.max_;
+    } else {
+      min_ = std::min(min_, other.min_);
+      max_ = std::max(max_, other.max_);
+    }
+  }
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    buckets_[i] += other.buckets_[i];
+  }
+  underflow_ += other.underflow_;
+  overflow_ += other.overflow_;
+  count_ += other.count_;
+  sum_ += other.sum_;
+  return true;
+}
+
+double LatencyHistogram::Percentile(double p) const {
+  if (count_ == 0) {
+    return 0.0;
+  }
+  const double clamped = std::min(100.0, std::max(0.0, p));
+  // Nearest-rank: the smallest bucket whose cumulative count reaches `rank`.
+  const uint64_t rank = std::max<uint64_t>(
+      1, static_cast<uint64_t>(std::ceil(clamped / 100.0 * static_cast<double>(count_))));
+  uint64_t cumulative = underflow_;
+  if (rank <= cumulative) {
+    return min_;
+  }
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    cumulative += buckets_[i];
+    if (rank <= cumulative) {
+      const double midpoint = std::sqrt(edges_[i] * edges_[i + 1]);
+      return std::min(max_, std::max(min_, midpoint));
+    }
+  }
+  return max_;
+}
+
+void LatencyHistogram::Reset() {
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+  underflow_ = 0;
+  overflow_ = 0;
+  count_ = 0;
+  sum_ = 0.0;
+  min_ = 0.0;
+  max_ = 0.0;
+}
+
 Histogram::Histogram(double lo, double hi, size_t num_bins)
     : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(std::max<size_t>(1, num_bins))),
       bins_(std::max<size_t>(1, num_bins), 0) {}

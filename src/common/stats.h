@@ -81,6 +81,63 @@ class PercentileTracker {
   mutable bool sorted_ = false;
 };
 
+// Bounded log-bucketed latency histogram: constant memory regardless of run
+// length, unlike PercentileTracker which retains every sample. Bucket i spans
+// [lo * growth^i, lo * growth^(i+1)); values below `lo` land in a dedicated
+// underflow bucket and values at or past the top edge in an overflow bucket,
+// while the exact count, sum, min, and max are tracked alongside.
+//
+// Percentile() resolves the requested rank to a bucket and returns the
+// bucket's geometric midpoint, so for in-range values the relative error is
+// bounded by sqrt(growth) - 1 (about 4.9% with the default growth of 1.10).
+// Ranks that land in the underflow/overflow buckets return the exact tracked
+// min/max, and every result is clamped to [min, max]. The defaults cover
+// 1 microsecond to roughly 10 hours when samples are in seconds.
+class LatencyHistogram {
+ public:
+  explicit LatencyHistogram(double lo = 1e-6, double growth = 1.10,
+                            size_t num_buckets = 256);
+
+  void Add(double x);
+  // Sums `other` into this histogram; both must share lo/growth/num_buckets.
+  // Returns false (and leaves this histogram untouched) on a geometry
+  // mismatch.
+  bool Merge(const LatencyHistogram& other);
+
+  // p in [0, 100]; nearest-rank bucket lookup, geometric-midpoint estimate.
+  double Percentile(double p) const;
+
+  size_t count() const { return static_cast<size_t>(count_); }
+  double sum() const { return sum_; }
+  double mean() const { return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_); }
+  double min() const { return count_ == 0 ? 0.0 : min_; }
+  double max() const { return count_ == 0 ? 0.0 : max_; }
+
+  size_t num_buckets() const { return buckets_.size(); }
+  uint64_t bucket_count(size_t i) const { return buckets_[i]; }
+  uint64_t underflow_count() const { return underflow_; }
+  uint64_t overflow_count() const { return overflow_; }
+  // Edges of bucket i: [BucketLowerEdge(i), BucketUpperEdge(i)).
+  double BucketLowerEdge(size_t i) const { return edges_[i]; }
+  double BucketUpperEdge(size_t i) const { return edges_[i + 1]; }
+  double lo() const { return lo_; }
+  double growth() const { return growth_; }
+
+  void Reset();
+
+ private:
+  double lo_;
+  double growth_;
+  std::vector<double> edges_;  // num_buckets + 1 precomputed boundaries
+  std::vector<uint64_t> buckets_;
+  uint64_t underflow_ = 0;
+  uint64_t overflow_ = 0;
+  uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
 // Fixed-width histogram over [lo, hi) with out-of-range clamping.
 class Histogram {
  public:

@@ -1,33 +1,60 @@
 // Lightweight metrics registry for the service: counters and gauges keyed by
-// name, snapshotted by the harnesses and examples. Not a hot path.
+// name, snapshotted by the harnesses and examples. Not a hot path, but the
+// service can be driven from multiple client threads, so every method takes
+// the internal mutex (snapshot() returns a copy rather than a reference for
+// the same reason). Driver-side pipeline metrics use the richer
+// obs::MetricsHub instead; this registry keeps the service's stable,
+// externally-asserted metric names.
 #ifndef SRC_CORE_METRICS_H_
 #define SRC_CORE_METRICS_H_
 
 #include <map>
+#include <mutex>
 #include <string>
 
 namespace iccache {
 
 class MetricsRegistry {
  public:
-  void Increment(const std::string& name, double delta = 1.0) { values_[name] += delta; }
-  void Set(const std::string& name, double value) { values_[name] = value; }
+  void Increment(const std::string& name, double delta = 1.0) {
+    std::lock_guard<std::mutex> lock(mu_);
+    values_[name] += delta;
+  }
+  void Set(const std::string& name, double value) {
+    std::lock_guard<std::mutex> lock(mu_);
+    values_[name] = value;
+  }
 
   double Get(const std::string& name) const {
+    std::lock_guard<std::mutex> lock(mu_);
     const auto it = values_.find(name);
     return it == values_.end() ? 0.0 : it->second;
   }
 
   // Ratio helper: Get(numerator) / Get(denominator), 0 when empty.
   double Ratio(const std::string& numerator, const std::string& denominator) const {
-    const double denom = Get(denominator);
-    return denom > 0.0 ? Get(numerator) / denom : 0.0;
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto den = values_.find(denominator);
+    if (den == values_.end() || den->second <= 0.0) {
+      return 0.0;
+    }
+    const auto num = values_.find(numerator);
+    return num == values_.end() ? 0.0 : num->second / den->second;
   }
 
-  const std::map<std::string, double>& snapshot() const { return values_; }
-  void Reset() { values_.clear(); }
+  // Consistent copy of every metric (by value: the map keeps mutating under
+  // concurrent serving, so a reference would race).
+  std::map<std::string, double> snapshot() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return values_;
+  }
+  void Reset() {
+    std::lock_guard<std::mutex> lock(mu_);
+    values_.clear();
+  }
 
  private:
+  mutable std::mutex mu_;
   std::map<std::string, double> values_;
 };
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "src/common/mathutil.h"
+#include "src/obs/trace.h"
 
 namespace iccache {
 
@@ -18,6 +19,7 @@ ExampleSelector::ExampleSelector(ExampleStore* store, ProxyUtilityModel* proxy,
 std::vector<SelectorCandidate> ExampleSelector::Stage1(
     const Request& request, const std::vector<float>* query_embedding,
     bool embed_candidates) const {
+  TraceSpan span(TraceCategory::kStage1Retrieval, request.id);
   const auto embedder = store_->embedder();
   std::vector<float> local_embedding;
   if (query_embedding == nullptr) {
@@ -42,6 +44,7 @@ std::vector<SelectorCandidate> ExampleSelector::Stage1(
     }
     candidates.push_back(std::move(candidate));
   }
+  span.SetArgs(candidates.size());
   return candidates;
 }
 
@@ -50,6 +53,8 @@ std::vector<SelectorCandidate> ExampleSelector::PrepareCandidates(
     const std::vector<float>* query_embedding, bool embed_candidates) const {
   std::vector<SelectorCandidate> candidates =
       Stage1(request, query_embedding, embed_candidates);
+  TraceSpan span(TraceCategory::kStage2Scoring, request.id);
+  span.SetArgs(candidates.size());
   for (SelectorCandidate& candidate : candidates) {
     const ProxyFeatures features = MakeProxyFeatures(
         candidate.similarity, candidate.example.response_quality,

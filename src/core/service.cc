@@ -5,6 +5,7 @@
 #include "src/common/binio.h"
 #include "src/common/mathutil.h"
 #include "src/core/pipeline.h"
+#include "src/obs/trace.h"
 #include "src/persist/pool_codec.h"
 #include "src/persist/snapshot.h"
 
@@ -182,6 +183,7 @@ std::vector<ExampleView> IcCacheService::BuildExampleViews(
 }
 
 ServeOutcome IcCacheService::ServeRequest(const Request& request, double now) {
+  TraceSpan span(TraceCategory::kServiceRequest, request.id);
   ServeOutcome outcome;
   last_now_ = std::max(last_now_, now);
   metrics_.Increment("requests_total");

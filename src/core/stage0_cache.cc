@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "src/index/hnsw.h"
+#include "src/obs/trace.h"
 
 namespace iccache {
 
@@ -38,6 +39,8 @@ const Stage0Entry* Stage0ResponseCache::Nearest(const std::vector<float>& embedd
 
 std::optional<Stage0Probe> Stage0ResponseCache::Probe(const std::vector<float>& embedding,
                                                       double now) const {
+  // arg0: 1 when a nearest entry was found, arg1: 1 when it was also fresh.
+  TraceSpan span(TraceCategory::kStage0Probe);
   double similarity = 0.0;
   const Stage0Entry* nearest = Nearest(embedding, &similarity);
   if (nearest == nullptr) {
@@ -47,6 +50,7 @@ std::optional<Stage0Probe> Stage0ResponseCache::Probe(const std::vector<float>& 
   probe.entry = *nearest;
   probe.similarity = similarity;
   probe.fresh = config_.ttl_s <= 0.0 || now - nearest->admitted_time <= config_.ttl_s;
+  span.SetArgs(1, probe.fresh ? 1 : 0);
   return probe;
 }
 

@@ -10,6 +10,7 @@
 #include "src/common/binio.h"
 #include "src/common/mathutil.h"
 #include "src/common/topk.h"
+#include "src/obs/trace.h"
 
 namespace iccache {
 
@@ -90,7 +91,8 @@ uint32_t HnswIndex::GreedyStep(const float* query, uint32_t slot, int layer) con
 std::vector<HnswIndex::ScoredSlot> HnswIndex::SearchLayer(const float* query, uint32_t entry,
                                                           int layer, size_t ef,
                                                           std::vector<uint32_t>& epochs,
-                                                          uint32_t epoch) const {
+                                                          uint32_t epoch, uint64_t* visited,
+                                                          uint64_t* hops) const {
   // candidates: max-heap on similarity (frontier to expand).
   std::priority_queue<std::pair<double, uint32_t>> candidates;
   // results: min-heap on similarity, bounded to ef (current best set).
@@ -102,12 +104,18 @@ std::vector<HnswIndex::ScoredSlot> HnswIndex::SearchLayer(const float* query, ui
   candidates.emplace(entry_sim, entry);
   results.emplace(entry_sim, entry);
   epochs[entry] = epoch;
+  if (visited != nullptr) {
+    ++*visited;
+  }
 
   while (!candidates.empty()) {
     const auto [sim, slot] = candidates.top();
     candidates.pop();
     if (results.size() >= ef && sim < results.top().first) {
       break;  // frontier can no longer improve the result set
+    }
+    if (hops != nullptr) {
+      ++*hops;
     }
     const std::vector<uint32_t>& links = nodes_[slot].links[layer];
     // Warm the arena lines for the whole neighborhood before evaluating it:
@@ -123,6 +131,9 @@ std::vector<HnswIndex::ScoredSlot> HnswIndex::SearchLayer(const float* query, ui
         continue;
       }
       epochs[neighbor] = epoch;
+      if (visited != nullptr) {
+        ++*visited;
+      }
       const double neighbor_sim = Sim(query, VecOf(neighbor));
       if (results.size() < ef || neighbor_sim > results.top().first) {
         candidates.emplace(neighbor_sim, neighbor);
@@ -320,6 +331,12 @@ std::vector<SearchResult> HnswIndex::SearchLocked(const std::vector<float>& quer
   if (k == 0 || entry_level_ < 0 || query.size() != config_.dim) {
     return results;
   }
+  // Span args carry the layer-0 visited-node and frontier-expansion counts;
+  // the counters are only maintained while tracing is enabled so the beam
+  // search stays branch-free otherwise.
+  TraceSpan span(TraceCategory::kHnswSearch);
+  uint64_t visited = 0;
+  uint64_t hops = 0;
   uint32_t cur = entry_;
   for (int layer = entry_level_; layer >= 1; --layer) {
     cur = GreedyStep(query.data(), cur, layer);
@@ -339,7 +356,9 @@ std::vector<SearchResult> HnswIndex::SearchLocked(const std::vector<float>& quer
     epoch = 1;
   }
   const std::vector<ScoredSlot> found =
-      SearchLayer(query.data(), cur, 0, std::max(ef, k), epochs, epoch);
+      SearchLayer(query.data(), cur, 0, std::max(ef, k), epochs, epoch,
+                  span.active() ? &visited : nullptr, span.active() ? &hops : nullptr);
+  span.SetArgs(visited, hops);
   TopK<uint64_t> top(k);
   for (const ScoredSlot& scored : found) {
     if (!nodes_[scored.slot].deleted) {

@@ -135,9 +135,14 @@ class HnswIndex : public VectorIndex {
 
   // Beam search at one layer. `epochs`/`epoch` implement an O(1)-reset
   // visited set (slot visited iff epochs[slot] == epoch). Traverses through
-  // tombstones (they remain waypoints); the caller filters them.
+  // tombstones (they remain waypoints); the caller filters them. When
+  // `visited`/`hops` are non-null they accumulate the number of distinct
+  // nodes marked visited and of frontier expansions (tracing only — callers
+  // pass nullptr on the untraced path so the loop stays counter-free).
   std::vector<ScoredSlot> SearchLayer(const float* query, uint32_t entry, int layer, size_t ef,
-                                      std::vector<uint32_t>& epochs, uint32_t epoch) const;
+                                      std::vector<uint32_t>& epochs, uint32_t epoch,
+                                      uint64_t* visited = nullptr,
+                                      uint64_t* hops = nullptr) const;
 
   // The HNSW diversity heuristic (Malkov & Yashunin, Alg. 4): scanning
   // best-first, keep a candidate only if it is closer to the query than to

@@ -1,0 +1,462 @@
+#include "src/obs/export.h"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+namespace iccache {
+
+namespace {
+
+void AppendEscaped(std::ostringstream& out, const std::string& text) {
+  for (char c : text) {
+    switch (c) {
+      case '"':
+        out << "\\\"";
+        break;
+      case '\\':
+        out << "\\\\";
+        break;
+      case '\n':
+        out << "\\n";
+        break;
+      case '\t':
+        out << "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x", c);
+          out << buffer;
+        } else {
+          out << c;
+        }
+    }
+  }
+}
+
+std::string NumberText(double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.9g", value);
+  return buffer;
+}
+
+// ---------------------------------------------------------------------------
+// Minimal recursive-descent JSON parser (objects, arrays, strings, numbers,
+// booleans, null). Strict enough to reject malformed documents; tolerant of
+// whitespace. Used only for validation/summarization, never on a hot path.
+// ---------------------------------------------------------------------------
+
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string str;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  const JsonValue* Find(const std::string& key) const {
+    for (const auto& [name, value] : object) {
+      if (name == key) {
+        return &value;
+      }
+    }
+    return nullptr;
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  bool Parse(JsonValue* out) {
+    SkipWhitespace();
+    if (!ParseValue(out)) {
+      return false;
+    }
+    SkipWhitespace();
+    if (pos_ != text_.size()) {
+      return Fail("trailing characters after document");
+    }
+    return true;
+  }
+
+  const std::string& error() const { return error_; }
+
+ private:
+  bool Fail(const std::string& message) {
+    if (error_.empty()) {
+      error_ = message + " at offset " + std::to_string(pos_);
+    }
+    return false;
+  }
+
+  void SkipWhitespace() {
+    while (pos_ < text_.size() && std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char expected) {
+    if (pos_ < text_.size() && text_[pos_] == expected) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool ParseValue(JsonValue* out) {
+    if (pos_ >= text_.size()) {
+      return Fail("unexpected end of input");
+    }
+    switch (text_[pos_]) {
+      case '{':
+        return ParseObject(out);
+      case '[':
+        return ParseArray(out);
+      case '"':
+        out->kind = JsonValue::Kind::kString;
+        return ParseString(&out->str);
+      case 't':
+      case 'f':
+        return ParseBool(out);
+      case 'n':
+        return ParseNull(out);
+      default:
+        return ParseNumber(out);
+    }
+  }
+
+  bool ParseObject(JsonValue* out) {
+    out->kind = JsonValue::Kind::kObject;
+    ++pos_;  // '{'
+    SkipWhitespace();
+    if (Consume('}')) {
+      return true;
+    }
+    while (true) {
+      SkipWhitespace();
+      std::string key;
+      if (pos_ >= text_.size() || text_[pos_] != '"' || !ParseString(&key)) {
+        return Fail("expected object key");
+      }
+      SkipWhitespace();
+      if (!Consume(':')) {
+        return Fail("expected ':' after object key");
+      }
+      SkipWhitespace();
+      JsonValue value;
+      if (!ParseValue(&value)) {
+        return false;
+      }
+      out->object.emplace_back(std::move(key), std::move(value));
+      SkipWhitespace();
+      if (Consume(',')) {
+        continue;
+      }
+      if (Consume('}')) {
+        return true;
+      }
+      return Fail("expected ',' or '}' in object");
+    }
+  }
+
+  bool ParseArray(JsonValue* out) {
+    out->kind = JsonValue::Kind::kArray;
+    ++pos_;  // '['
+    SkipWhitespace();
+    if (Consume(']')) {
+      return true;
+    }
+    while (true) {
+      SkipWhitespace();
+      JsonValue value;
+      if (!ParseValue(&value)) {
+        return false;
+      }
+      out->array.push_back(std::move(value));
+      SkipWhitespace();
+      if (Consume(',')) {
+        continue;
+      }
+      if (Consume(']')) {
+        return true;
+      }
+      return Fail("expected ',' or ']' in array");
+    }
+  }
+
+  bool ParseString(std::string* out) {
+    ++pos_;  // opening quote
+    out->clear();
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') {
+        return true;
+      }
+      if (c == '\\') {
+        if (pos_ >= text_.size()) {
+          return Fail("unterminated escape");
+        }
+        const char esc = text_[pos_++];
+        switch (esc) {
+          case '"':
+            out->push_back('"');
+            break;
+          case '\\':
+            out->push_back('\\');
+            break;
+          case '/':
+            out->push_back('/');
+            break;
+          case 'b':
+            out->push_back('\b');
+            break;
+          case 'f':
+            out->push_back('\f');
+            break;
+          case 'n':
+            out->push_back('\n');
+            break;
+          case 'r':
+            out->push_back('\r');
+            break;
+          case 't':
+            out->push_back('\t');
+            break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) {
+              return Fail("truncated \\u escape");
+            }
+            for (int i = 0; i < 4; ++i) {
+              if (!std::isxdigit(static_cast<unsigned char>(text_[pos_ + i]))) {
+                return Fail("invalid \\u escape");
+              }
+            }
+            // Validation-only parser: keep the raw escape rather than
+            // decoding UTF-16; none of the summarized fields use \u.
+            out->append("\\u");
+            out->append(text_, pos_, 4);
+            pos_ += 4;
+            break;
+          }
+          default:
+            return Fail("invalid escape character");
+        }
+      } else {
+        out->push_back(c);
+      }
+    }
+    return Fail("unterminated string");
+  }
+
+  bool ParseBool(JsonValue* out) {
+    out->kind = JsonValue::Kind::kBool;
+    if (text_.compare(pos_, 4, "true") == 0) {
+      out->boolean = true;
+      pos_ += 4;
+      return true;
+    }
+    if (text_.compare(pos_, 5, "false") == 0) {
+      out->boolean = false;
+      pos_ += 5;
+      return true;
+    }
+    return Fail("invalid literal");
+  }
+
+  bool ParseNull(JsonValue* out) {
+    out->kind = JsonValue::Kind::kNull;
+    if (text_.compare(pos_, 4, "null") == 0) {
+      pos_ += 4;
+      return true;
+    }
+    return Fail("invalid literal");
+  }
+
+  bool ParseNumber(JsonValue* out) {
+    out->kind = JsonValue::Kind::kNumber;
+    const size_t start = pos_;
+    if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+')) {
+      ++pos_;
+    }
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E' || text_[pos_] == '-' ||
+            text_[pos_] == '+')) {
+      ++pos_;
+    }
+    if (pos_ == start) {
+      return Fail("expected a value");
+    }
+    const std::string token = text_.substr(start, pos_ - start);
+    char* end = nullptr;
+    out->number = std::strtod(token.c_str(), &end);
+    if (end == nullptr || *end != '\0') {
+      return Fail("malformed number '" + token + "'");
+    }
+    return true;
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+  std::string error_;
+};
+
+}  // namespace
+
+std::string ChromeTraceJson(const TraceRecorder::Snapshot& snapshot,
+                            const std::vector<MetricsWindowSample>& series) {
+  std::ostringstream out;
+  out << "{\"traceEvents\":[";
+  bool first = true;
+  auto separator = [&]() {
+    if (!first) {
+      out << ",";
+    }
+    first = false;
+  };
+  for (const TraceRecorder::ThreadEvents& thread : snapshot.threads) {
+    separator();
+    out << "{\"ph\":\"M\",\"pid\":1,\"tid\":" << thread.tid
+        << ",\"name\":\"thread_name\",\"args\":{\"name\":\"ring-" << thread.tid
+        << "\"}}";
+    for (const TraceEvent& event : thread.events) {
+      separator();
+      const double ts_us = static_cast<double>(event.begin_ns) / 1000.0;
+      const uint64_t duration_ns =
+          event.end_ns > event.begin_ns ? event.end_ns - event.begin_ns : 0;
+      const double dur_us = static_cast<double>(duration_ns) / 1000.0;
+      out << "{\"ph\":\"X\",\"pid\":1,\"tid\":" << thread.tid << ",\"name\":\"";
+      AppendEscaped(out, TraceCategoryName(event.category));
+      out << "\",\"cat\":\"iccache\",\"ts\":" << NumberText(ts_us)
+          << ",\"dur\":" << NumberText(dur_us) << ",\"args\":{";
+      out << "\"request_id\":" << event.request_id << ",\"lane\":" << event.lane;
+      if (event.arg0 != 0 || event.arg1 != 0) {
+        out << ",\"arg0\":" << event.arg0 << ",\"arg1\":" << event.arg1;
+      }
+      out << "}}";
+    }
+  }
+  for (const MetricsWindowSample& sample : series) {
+    const double ts_us = static_cast<double>(sample.mono_ns) / 1000.0;
+    for (const auto& [name, value] : sample.values) {
+      separator();
+      out << "{\"ph\":\"C\",\"pid\":1,\"tid\":0,\"name\":\"";
+      AppendEscaped(out, name);
+      out << "\",\"ts\":" << NumberText(ts_us) << ",\"args\":{\"value\":"
+          << NumberText(value) << "}}";
+    }
+  }
+  out << "],\"displayTimeUnit\":\"ms\",\"otherData\":{\"emitted\":" << snapshot.emitted
+      << ",\"dropped\":" << snapshot.dropped << "}}";
+  return out.str();
+}
+
+Status WriteTextFile(const std::string& path, const std::string& contents) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    return Status::Unavailable("cannot open " + path + " for writing");
+  }
+  out.write(contents.data(), static_cast<std::streamsize>(contents.size()));
+  out.flush();
+  if (!out) {
+    return Status::Internal("short write to " + path);
+  }
+  return Status::Ok();
+}
+
+StatusOr<std::string> ReadTextFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status::NotFound("cannot open " + path);
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+Status WriteChromeTraceFile(const std::string& path,
+                            const TraceRecorder::Snapshot& snapshot,
+                            const std::vector<MetricsWindowSample>& series) {
+  return WriteTextFile(path, ChromeTraceJson(snapshot, series));
+}
+
+Status WritePrometheusFile(const std::string& path, const MetricsHub& hub,
+                           const std::string& prefix) {
+  return WriteTextFile(path, hub.PrometheusText(prefix));
+}
+
+bool ParseChromeTrace(const std::string& json, ChromeTraceSummary* summary,
+                      std::string* error) {
+  JsonValue root;
+  JsonParser parser(json);
+  if (!parser.Parse(&root)) {
+    if (error != nullptr) {
+      *error = parser.error();
+    }
+    return false;
+  }
+  if (root.kind != JsonValue::Kind::kObject) {
+    if (error != nullptr) {
+      *error = "root is not an object";
+    }
+    return false;
+  }
+  const JsonValue* events = root.Find("traceEvents");
+  if (events == nullptr || events->kind != JsonValue::Kind::kArray) {
+    if (error != nullptr) {
+      *error = "missing traceEvents array";
+    }
+    return false;
+  }
+  ChromeTraceSummary result;
+  for (const JsonValue& event : events->array) {
+    if (event.kind != JsonValue::Kind::kObject) {
+      if (error != nullptr) {
+        *error = "traceEvents entry is not an object";
+      }
+      return false;
+    }
+    const JsonValue* ph = event.Find("ph");
+    const JsonValue* name = event.Find("name");
+    if (ph == nullptr || ph->kind != JsonValue::Kind::kString || name == nullptr ||
+        name->kind != JsonValue::Kind::kString) {
+      if (error != nullptr) {
+        *error = "traceEvents entry missing ph/name";
+      }
+      return false;
+    }
+    ++result.total_events;
+    if (ph->str == "X") {
+      ++result.span_counts[name->str];
+      const JsonValue* dur = event.Find("dur");
+      if (dur != nullptr && dur->kind == JsonValue::Kind::kNumber) {
+        result.span_duration_us[name->str] += dur->number;
+      }
+    } else if (ph->str == "C") {
+      ++result.counter_counts[name->str];
+    }
+  }
+  const JsonValue* other = root.Find("otherData");
+  if (other != nullptr && other->kind == JsonValue::Kind::kObject) {
+    const JsonValue* emitted = other->Find("emitted");
+    if (emitted != nullptr && emitted->kind == JsonValue::Kind::kNumber) {
+      result.emitted = static_cast<uint64_t>(emitted->number);
+    }
+    const JsonValue* dropped = other->Find("dropped");
+    if (dropped != nullptr && dropped->kind == JsonValue::Kind::kNumber) {
+      result.dropped = static_cast<uint64_t>(dropped->number);
+    }
+  }
+  if (summary != nullptr) {
+    *summary = std::move(result);
+  }
+  return true;
+}
+
+}  // namespace iccache

@@ -1,0 +1,55 @@
+// Export of trace snapshots and metrics: Chrome trace-event JSON (loadable
+// in Perfetto / chrome://tracing), Prometheus-style text files, and a small
+// dependency-free JSON validator used by tools/trace_dump, the acceptance
+// gates, and tests to prove the emitted files parse cleanly.
+#ifndef SRC_OBS_EXPORT_H_
+#define SRC_OBS_EXPORT_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+
+namespace iccache {
+
+// Renders a snapshot as Chrome trace-event JSON: spans become complete ("X")
+// events (ts/dur in microseconds, args carrying request id / lane / span
+// payload), the per-window metric series becomes counter ("C") events, and
+// per-ring thread-name metadata ("M") events label the tracks. Top-level
+// "otherData" records emitted/dropped totals.
+std::string ChromeTraceJson(const TraceRecorder::Snapshot& snapshot,
+                            const std::vector<MetricsWindowSample>& series);
+
+Status WriteChromeTraceFile(const std::string& path,
+                            const TraceRecorder::Snapshot& snapshot,
+                            const std::vector<MetricsWindowSample>& series);
+
+Status WritePrometheusFile(const std::string& path, const MetricsHub& hub,
+                           const std::string& prefix = "iccache_");
+
+Status WriteTextFile(const std::string& path, const std::string& contents);
+StatusOr<std::string> ReadTextFile(const std::string& path);
+
+// Per-name tallies extracted from a parsed Chrome trace.
+struct ChromeTraceSummary {
+  size_t total_events = 0;
+  uint64_t emitted = 0;  // from otherData, 0 when absent
+  uint64_t dropped = 0;
+  std::map<std::string, uint64_t> span_counts;    // "X" events by name
+  std::map<std::string, double> span_duration_us;  // summed dur by name
+  std::map<std::string, uint64_t> counter_counts;  // "C" events by name
+};
+
+// Strict parse + validation of a Chrome trace-event JSON document. Returns
+// false with a diagnostic when the JSON is malformed or the traceEvents
+// shape is wrong.
+bool ParseChromeTrace(const std::string& json, ChromeTraceSummary* summary,
+                      std::string* error);
+
+}  // namespace iccache
+
+#endif  // SRC_OBS_EXPORT_H_

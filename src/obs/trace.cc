@@ -1,0 +1,176 @@
+#include "src/obs/trace.h"
+
+#include <algorithm>
+
+namespace iccache {
+
+const char* TraceCategoryName(TraceCategory category) {
+  switch (category) {
+    case TraceCategory::kWindow:
+      return "window";
+    case TraceCategory::kPrepare:
+      return "prepare";
+    case TraceCategory::kEmbed:
+      return "embed";
+    case TraceCategory::kStage0Probe:
+      return "stage0_probe";
+    case TraceCategory::kStage1Retrieval:
+      return "stage1_retrieval";
+    case TraceCategory::kStage2Scoring:
+      return "stage2_scoring";
+    case TraceCategory::kHnswSearch:
+      return "hnsw_search";
+    case TraceCategory::kCommitLane:
+      return "commit_lane";
+    case TraceCategory::kLaneCommit:
+      return "lane_commit";
+    case TraceCategory::kMerge:
+      return "merge";
+    case TraceCategory::kPublish:
+      return "publish";
+    case TraceCategory::kMaintenancePlan:
+      return "maintenance_plan";
+    case TraceCategory::kMaintenanceApply:
+      return "maintenance_apply";
+    case TraceCategory::kCheckpointWrite:
+      return "checkpoint_write";
+    case TraceCategory::kServiceRequest:
+      return "service_request";
+    case TraceCategory::kNumCategories:
+      break;
+  }
+  return "unknown";
+}
+
+// Single-producer ring: only the owning thread writes slots and bumps the
+// head, so emission needs no CAS. Readers (snapshot) run at quiescence.
+class TraceRecorder::Ring {
+ public:
+  Ring(uint32_t tid, size_t capacity)
+      : tid_(tid), slots_(std::max<size_t>(1, capacity)) {}
+
+  void Emit(const TraceEvent& event) {
+    const uint64_t head = head_.load(std::memory_order_relaxed);
+    slots_[head % slots_.size()] = event;
+    head_.store(head + 1, std::memory_order_release);
+  }
+
+  TraceRecorder::ThreadEvents Snapshot() const {
+    TraceRecorder::ThreadEvents out;
+    out.tid = tid_;
+    const uint64_t head = head_.load(std::memory_order_acquire);
+    out.emitted = head;
+    const uint64_t capacity = slots_.size();
+    out.dropped = head > capacity ? head - capacity : 0;
+    const uint64_t kept = std::min(head, capacity);
+    out.events.reserve(kept);
+    for (uint64_t i = head - kept; i < head; ++i) {
+      out.events.push_back(slots_[i % capacity]);
+    }
+    return out;
+  }
+
+  void Reset() { head_.store(0, std::memory_order_release); }
+
+  uint64_t emitted() const { return head_.load(std::memory_order_acquire); }
+  uint64_t dropped() const {
+    const uint64_t head = head_.load(std::memory_order_acquire);
+    return head > slots_.size() ? head - slots_.size() : 0;
+  }
+
+ private:
+  uint32_t tid_;
+  std::vector<TraceEvent> slots_;
+  std::atomic<uint64_t> head_{0};
+};
+
+TraceRecorder::TraceRecorder(size_t ring_capacity)
+    : epoch_(std::chrono::steady_clock::now()),
+      ring_capacity_(std::max<size_t>(1, ring_capacity)) {
+  static std::atomic<uint64_t> next_id{1};
+  id_ = next_id.fetch_add(1, std::memory_order_relaxed);
+}
+
+TraceRecorder::~TraceRecorder() = default;
+
+TraceRecorder& TraceRecorder::Global() {
+  static TraceRecorder* recorder = new TraceRecorder();
+  return *recorder;
+}
+
+void TraceRecorder::set_ring_capacity(size_t capacity) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ring_capacity_ = std::max<size_t>(1, capacity);
+}
+
+size_t TraceRecorder::ring_capacity() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ring_capacity_;
+}
+
+TraceRecorder::Ring* TraceRecorder::RingForThisThread() {
+  // Cache the ring per (thread, recorder); ring objects are never freed, so
+  // the cached pointer stays valid for the recorder's lifetime even across
+  // Reset(). The cache is keyed by the recorder's never-reused id, not its
+  // address, so a fresh recorder at a recycled address (stack-allocated test
+  // instances) can never resurrect a destroyed recorder's ring.
+  thread_local Ring* cached_ring = nullptr;
+  thread_local uint64_t cached_owner_id = 0;
+  if (cached_ring == nullptr || cached_owner_id != id_) {
+    std::lock_guard<std::mutex> lock(mu_);
+    rings_.push_back(std::make_unique<Ring>(static_cast<uint32_t>(rings_.size()),
+                                            ring_capacity_));
+    cached_ring = rings_.back().get();
+    cached_owner_id = id_;
+  }
+  return cached_ring;
+}
+
+void TraceRecorder::Emit(const TraceEvent& event) {
+  RingForThisThread()->Emit(event);
+}
+
+uint64_t TraceRecorder::NowNs() const {
+  return static_cast<uint64_t>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                   std::chrono::steady_clock::now() - epoch_)
+                                   .count());
+}
+
+TraceRecorder::Snapshot TraceRecorder::TakeSnapshot() const {
+  Snapshot snapshot;
+  std::lock_guard<std::mutex> lock(mu_);
+  snapshot.threads.reserve(rings_.size());
+  for (const auto& ring : rings_) {
+    snapshot.threads.push_back(ring->Snapshot());
+    snapshot.emitted += snapshot.threads.back().emitted;
+    snapshot.dropped += snapshot.threads.back().dropped;
+  }
+  return snapshot;
+}
+
+void TraceRecorder::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& ring : rings_) {
+    ring->Reset();
+  }
+}
+
+uint64_t TraceRecorder::total_emitted() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t total = 0;
+  for (const auto& ring : rings_) {
+    total += ring->emitted();
+  }
+  return total;
+}
+
+uint64_t TraceRecorder::total_dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t total = 0;
+  for (const auto& ring : rings_) {
+    total += ring->dropped();
+  }
+  return total;
+}
+
+}  // namespace iccache

@@ -2,13 +2,17 @@
 
 #include <chrono>
 
+#include "src/obs/trace.h"
+
 namespace iccache {
 
 Status Checkpointer::Take(double now, const std::function<Status()>& write) {
   last_time_ = now;
+  TraceSpan span(TraceCategory::kCheckpointWrite);
   const auto start = std::chrono::steady_clock::now();
   last_status_ = write();
   const auto end = std::chrono::steady_clock::now();
+  span.SetArgs(++take_sequence_, last_status_.ok() ? 1 : 0);
   if (last_status_.ok()) {
     ++taken_;
     last_write_ms_ = std::chrono::duration<double, std::milli>(end - start).count();

@@ -59,10 +59,10 @@ class Checkpointer {
   size_t taken() const { return taken_; }
   size_t failed() const { return failed_; }
   const Status& last_status() const { return last_status_; }
-  // Wall-clock write latencies in milliseconds: lifetime distribution plus
-  // the most recent successful write (callers keeping per-segment stats
-  // sample this after each Take).
-  const PercentileTracker& write_ms() const { return write_ms_; }
+  // Wall-clock write latencies in milliseconds: bounded lifetime histogram
+  // (constant memory however long the run) plus the most recent successful
+  // write (callers keeping per-segment stats sample this after each Take).
+  const LatencyHistogram& write_ms() const { return write_ms_; }
   double last_write_ms() const { return last_write_ms_; }
 
  private:
@@ -71,8 +71,9 @@ class Checkpointer {
   size_t taken_ = 0;
   size_t failed_ = 0;
   Status last_status_;
-  PercentileTracker write_ms_;
+  LatencyHistogram write_ms_;
   double last_write_ms_ = 0.0;
+  uint64_t take_sequence_ = 0;
 };
 
 }  // namespace iccache

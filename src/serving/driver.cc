@@ -10,6 +10,7 @@
 #include "src/common/thread_pool.h"
 #include "src/core/pipeline.h"
 #include "src/embedding/embedder.h"
+#include "src/obs/trace.h"
 #include "src/persist/snapshot.h"
 
 namespace iccache {
@@ -164,10 +165,14 @@ Status ServingDriver::RestoreSnapshot(const std::string& path) {
 }
 
 ServingDriver::Prepared ServingDriver::PrepareRequest(const Request& request) const {
+  TraceSpan span(TraceCategory::kPrepare, request.id);
   Prepared prepared;
   // One embed shared by every stage: the stage-0 probe, stage-1 retrieval,
   // and the admission scrub all reuse it.
-  prepared.embedding = embedder_->Embed(request.text);
+  {
+    TraceSpan embed_span(TraceCategory::kEmbed, request.id);
+    prepared.embedding = embedder_->Embed(request.text);
+  }
   // Stage-0 probe against the window-start response cache (pure read; the
   // frozen-threshold hit decision happens in the lane). Stage-1 retrieval
   // still runs below even when the probe looks confident — a hit saves the
@@ -299,7 +304,40 @@ DriverReport ServingDriver::Run(const std::vector<Request>& requests) {
   const uint64_t evicted_before = cache_.evicted_total();
   size_t planned_evictions = 0;  // maintenance-batch removals (not in the store counter)
   const size_t checkpoints_before = checkpointer_.taken();
-  PercentileTracker run_checkpoint_ms;  // this segment's writes only
+  LatencyHistogram run_checkpoint_ms(1e-3, 1.10, 256);  // this segment's writes only
+
+  // Metric handles, registered once per Run (stable pointers, atomic-add hot
+  // path). Every update below happens on the driver thread's serial path or
+  // at a window boundary — lanes and prepare tasks never touch the hub, and
+  // none of it feeds back into decisions.
+  MetricCounter* m_requests = hub_.Counter("requests_total");
+  MetricCounter* m_windows = hub_.Counter("windows_total");
+  MetricCounter* m_offloaded = hub_.Counter("requests_offloaded_total");
+  MetricCounter* m_stage0_hits = hub_.Counter("stage0_hits_total");
+  MetricCounter* m_stage0_probes = hub_.Counter("stage0_probes_total");
+  MetricCounter* m_stage0_invalidations = hub_.Counter("stage0_invalidations_total");
+  MetricCounter* m_stage0_expired = hub_.Counter("stage0_expired_total");
+  MetricCounter* m_stage0_admitted = hub_.Counter("stage0_admitted_total");
+  MetricCounter* m_stage0_tokens_saved = hub_.Counter("stage0_tokens_saved_total");
+  MetricCounter* m_generated_tokens = hub_.Counter("generated_tokens_total");
+  MetricCounter* m_admitted = hub_.Counter("examples_admitted_total");
+  MetricCounter* m_maintenance_ticks = hub_.Counter("maintenance_ticks_total");
+  MetricCounter* m_replay_passes = hub_.Counter("replay_passes_total");
+  MetricCounter* m_replayed = hub_.Counter("replayed_examples_total");
+  MetricCounter* m_stalled = hub_.Counter("maintenance_stalled_windows_total");
+  MetricCounter* m_checkpoints = hub_.Counter("checkpoints_total");
+  MetricGauge* g_pool_bytes = hub_.Gauge("pool_bytes");
+  MetricGauge* g_pool_examples = hub_.Gauge("pool_examples");
+  MetricGauge* g_stage0_entries = hub_.Gauge("stage0_entries");
+  MetricGauge* g_queue_depth = hub_.Gauge("cluster_inflight");
+  MetricGauge* g_sim_time = hub_.Gauge("sim_time_s");
+  MetricHistogram* h_e2e = hub_.Histogram("e2e_latency_seconds");
+  MetricHistogram* h_ttft = hub_.Histogram("ttft_seconds");
+  MetricHistogram* h_queue = hub_.Histogram("queue_delay_seconds");
+  MetricHistogram* h_prepare = hub_.Histogram("window_prepare_seconds");
+  MetricHistogram* h_merge = hub_.Histogram("window_merge_seconds");
+  MetricHistogram* h_publish = hub_.Histogram("window_publish_seconds");
+  MetricHistogram* h_checkpoint = hub_.Histogram("checkpoint_write_ms", 1e-3, 1.10, 256);
 
   // ClusterSim::AddPool clamps replica counts to >= 1; mirror that here so
   // the utilization denominator matches the pools that actually exist.
@@ -334,16 +372,25 @@ DriverReport ServingDriver::Run(const std::vector<Request>& requests) {
     const MaintenancePlan plan = maintenance_.Collect(&stalled);
     if (!forced && stalled) {
       ++report.maintenance_stalled_windows;
+      m_stalled->Increment();
     }
-    const MaintenanceApplyOutcome outcome = manager_.ApplyMaintenance(plan);
+    MaintenanceApplyOutcome outcome;
+    {
+      TraceSpan span(TraceCategory::kMaintenanceApply);
+      outcome = manager_.ApplyMaintenance(plan);
+      span.SetArgs(outcome.evicted, outcome.replayed);
+    }
     planned_evictions += outcome.evicted;
     if (outcome.decay_ran) {
       ++report.maintenance_runs;
+      m_maintenance_ticks->Increment();
     }
     if (outcome.replay_ran) {
       ++report.replay_passes;
       report.replayed_examples += outcome.replayed;
       report.improved_examples += outcome.improved;
+      m_replay_passes->Increment();
+      m_replayed->Add(static_cast<double>(outcome.replayed));
     }
     maintenance_wall += Since(start);
   };
@@ -372,6 +419,10 @@ DriverReport ServingDriver::Run(const std::vector<Request>& requests) {
 
   for (size_t begin = 0; begin < requests.size(); begin += window) {
     const size_t count = std::min(window, requests.size() - begin);
+    const size_t window_index = begin / window;
+    // Phase span covering the whole window (fan-out through boundary work).
+    TraceSpan window_span(TraceCategory::kWindow);
+    window_span.SetArgs(window_index, count);
     const bool final_window = begin + window >= requests.size();
     const size_t next_begin = begin + window;
     const size_t next_count =
@@ -399,7 +450,11 @@ DriverReport ServingDriver::Run(const std::vector<Request>& requests) {
       }
       lanes_wg.Add(1);
       pool.Submit([this, &requests, &prepared, &slots, &lane_slots, &lanes_wg, lane, begin] {
+        TraceSpan lane_span(TraceCategory::kCommitLane, 0, static_cast<uint32_t>(lane));
+        lane_span.SetArgs(lane_slots[lane].size());
         for (size_t slot : lane_slots[lane]) {
+          TraceSpan commit_span(TraceCategory::kLaneCommit, requests[begin + slot].id,
+                                static_cast<uint32_t>(lane));
           CommitLaneRequest(requests[begin + slot], prepared[slot], slots[slot]);
         }
         lanes_wg.Done();
@@ -411,9 +466,20 @@ DriverReport ServingDriver::Run(const std::vector<Request>& requests) {
     lanes_wg.Wait();
     prep_wg.Wait();
     prepare_wall += Since(fan_start);
+    h_prepare->Observe(Since(fan_start));
 
     // Deterministic cross-shard merge: every globally stateful step, applied
-    // strictly in arrival order on the driver thread.
+    // strictly in arrival order on the driver thread. The span is emitted
+    // manually (not RAII) so it closes exactly at the end of the loop.
+    const auto merge_start = std::chrono::steady_clock::now();
+    TraceEvent merge_event;
+    merge_event.category = TraceCategory::kMerge;
+    merge_event.arg0 = window_index;
+    merge_event.arg1 = count;
+    const bool merge_traced = TraceRecorder::tracing_enabled();
+    if (merge_traced) {
+      merge_event.begin_ns = TraceRecorder::Global().NowNs();
+    }
     for (size_t slot = 0; slot < count; ++slot) {
       const Request& request = requests[begin + slot];
       CommitSlot& c = slots[slot];
@@ -428,14 +494,18 @@ DriverReport ServingDriver::Run(const std::vector<Request>& requests) {
         cluster_.AdvanceTo(request.arrival_time);
         ++report.stage0_hits;
         report.stage0_tokens_saved += c.stage0_tokens_saved;
+        m_stage0_hits->Increment();
+        m_stage0_tokens_saved->Add(static_cast<double>(c.stage0_tokens_saved));
         stage0_.RecordHit(c.stage0_id, request.arrival_time);
         if (c.stage0_probed) {
           ++report.stage0_probes;
+          m_stage0_probes->Increment();
           stage0_.OnHitFeedback(c.stage0_similarity, c.generation.latent_quality,
                                 c.stage0_fresh_quality, c.stage0_tokens_saved);
         }
         if (stage0_.OnQualityFeedback(c.stage0_id, c.generation.latent_quality)) {
           ++report.stage0_invalidations;
+          m_stage0_invalidations->Increment();
         }
         quality.Add(c.generation.latent_quality);
         DriverDecision row;
@@ -466,6 +536,7 @@ DriverReport ServingDriver::Run(const std::vector<Request>& requests) {
       }
       if (c.offloaded) {
         ++report.offloaded_requests;
+        m_offloaded->Increment();
         std::vector<uint64_t> used_ids;
         used_ids.reserve(c.selected.size());
         for (const SelectedExample& used : c.selected) {
@@ -498,9 +569,11 @@ DriverReport ServingDriver::Run(const std::vector<Request>& requests) {
                         c.generation.latent_quality, c.generation.output_tokens,
                         request.arrival_time, &hint) != 0) {
           ++report.stage0_admitted;
+          m_stage0_admitted->Increment();
         }
       }
       report.generated_tokens += c.generation.output_tokens;
+      m_generated_tokens->Add(static_cast<double>(c.generation.output_tokens));
 
       quality.Add(c.generation.latent_quality);
       DriverDecision row;
@@ -511,6 +584,11 @@ DriverReport ServingDriver::Run(const std::vector<Request>& requests) {
       row.latent_quality = c.generation.latent_quality;
       report.decisions.push_back(std::move(row));
     }
+    if (merge_traced) {
+      merge_event.end_ns = TraceRecorder::Global().NowNs();
+      TraceRecorder::Global().Emit(merge_event);
+    }
+    h_merge->Observe(Since(merge_start));
     // Batched threshold-adaptation cadence: the whole window served under
     // the frozen threshold; count it and re-evaluate at the boundary.
     if (!config_.selector_fault_bypass) {
@@ -518,7 +596,9 @@ DriverReport ServingDriver::Run(const std::vector<Request>& requests) {
     }
     if (config_.stage0.enabled) {
       stage0_.AdvanceWindow(count);
-      report.stage0_expired += stage0_.ExpireStale(cluster_.now());
+      const size_t expired = stage0_.ExpireStale(cluster_.now());
+      report.stage0_expired += expired;
+      m_stage0_expired->Add(static_cast<double>(expired));
     }
 
     // Publish the window's admissions: per-shard tasks, per-shard arrival
@@ -533,6 +613,8 @@ DriverReport ServingDriver::Run(const std::vector<Request>& requests) {
       std::vector<uint64_t> admitted(count, 0);
       cache_.set_defer_capacity(true);
       WaitGroup publish_wg;
+      TraceSpan publish_span(TraceCategory::kPublish);
+      publish_span.SetArgs(window_index, count);
       const auto publish_start = std::chrono::steady_clock::now();
       for (size_t shard = 0; shard < shard_slots.size(); ++shard) {
         if (shard_slots[shard].empty()) {
@@ -557,10 +639,12 @@ DriverReport ServingDriver::Run(const std::vector<Request>& requests) {
       }
       publish_wg.Wait();
       prepare_wall += Since(publish_start);
+      h_publish->Observe(Since(publish_start));
       cache_.set_defer_capacity(false);
       for (size_t slot = 0; slot < count; ++slot) {
         if (admitted[slot] != 0) {
           ++report.admitted_examples;
+          m_admitted->Increment();
         }
       }
       // No synchronous watermark knapsack here: capacity pressure requests
@@ -594,6 +678,8 @@ DriverReport ServingDriver::Run(const std::vector<Request>& requests) {
               .Take(cluster_.now(), [this] { return SaveSnapshot(config_.snapshot_path); })
               .ok()) {
         run_checkpoint_ms.Add(checkpointer_.last_write_ms());
+        h_checkpoint->Observe(checkpointer_.last_write_ms());
+        m_checkpoints->Increment();
       }
     }
 
@@ -640,6 +726,20 @@ DriverReport ServingDriver::Run(const std::vector<Request>& requests) {
       }
     }
 
+    // Window-boundary metrics: gauges reflect the post-publish state, and
+    // one row of the per-window series records every counter/gauge (the
+    // exported Chrome-trace counter tracks and the windowed hit-rate /
+    // queue-depth / pool-size time series).
+    m_requests->Add(static_cast<double>(count));
+    m_windows->Increment();
+    g_pool_bytes->Set(static_cast<double>(cache_.used_bytes()));
+    g_pool_examples->Set(static_cast<double>(cache_.size()));
+    g_stage0_entries->Set(config_.stage0.enabled ? static_cast<double>(stage0_.size()) : 0.0);
+    g_queue_depth->Set(static_cast<double>(cluster_.PoolInFlight(small_.name) +
+                                           cluster_.PoolInFlight(large_.name)));
+    g_sim_time->Set(cluster_.now());
+    hub_.SnapshotWindow(window_index, cluster_.now(), TraceRecorder::Global().NowNs());
+
     std::swap(prepared, prepared_next);
   }
   // Watermark eviction is planned with a publish lag (soft watermark during
@@ -663,13 +763,20 @@ DriverReport ServingDriver::Run(const std::vector<Request>& requests) {
   report.requests_per_second =
       report.wall_seconds > 0.0 ? static_cast<double>(report.total_requests) / report.wall_seconds
                                 : 0.0;
-  PercentileTracker latency;
-  PercentileTracker ttft;
-  PercentileTracker queue_delay;
+  // Bounded log-bucket histograms instead of retained-sample trackers: the
+  // report's percentiles carry the histogram's quantile error bound
+  // (relative error <= sqrt(growth) - 1, ~4.9% at growth 1.10) but memory
+  // stays constant however many completions a run produces.
+  LatencyHistogram latency;
+  LatencyHistogram ttft;
+  LatencyHistogram queue_delay;
   for (const CompletionRecord& record : report.completions) {
     latency.Add(record.E2eLatency());
     ttft.Add(record.Ttft());
     queue_delay.Add(record.QueueDelay());
+    h_e2e->Observe(record.E2eLatency());
+    h_ttft->Observe(record.Ttft());
+    h_queue->Observe(record.QueueDelay());
   }
   report.p50_latency_s = latency.Percentile(50);
   report.p99_latency_s = latency.Percentile(99);

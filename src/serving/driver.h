@@ -67,6 +67,7 @@
 #include "src/core/stage0_cache.h"
 #include "src/llm/generation.h"
 #include "src/llm/model_profile.h"
+#include "src/obs/metrics.h"
 #include "src/persist/checkpointer.h"
 #include "src/persist/pool_codec.h"
 #include "src/serving/cluster.h"
@@ -277,6 +278,13 @@ class ServingDriver {
   const PoolRestoreReport& restore_report() const { return restore_report_; }
   const Checkpointer& checkpointer() const { return checkpointer_; }
 
+  // Pipeline metrics: counters/gauges maintained on the serial path plus a
+  // per-window snapshot series, exportable as Prometheus text or Chrome-trace
+  // counter tracks. Always on (passive; cannot influence decisions), and
+  // cumulative across repeated Run calls.
+  MetricsHub& metrics_hub() { return hub_; }
+  const MetricsHub& metrics_hub() const { return hub_; }
+
   ShardedExampleCache& cache() { return cache_; }
   RequestRouter& router() { return router_; }
   ProxyUtilityModel& proxy() { return proxy_; }
@@ -343,6 +351,8 @@ class ServingDriver {
   ClusterSim cluster_;
   MaintenanceScheduler maintenance_;
   double last_replay_time_ = 0.0;
+
+  MetricsHub hub_;
 
   Checkpointer checkpointer_;
   Status restore_status_;

@@ -1,6 +1,7 @@
 #include "src/serving/maintenance.h"
 
 #include "src/common/rng.h"
+#include "src/obs/trace.h"
 
 namespace iccache {
 
@@ -29,6 +30,8 @@ void MaintenanceScheduler::Request(MaintenanceCut cut, const MaintenanceTickSpec
   if (!config_.background) {
     // Inline mode: plan right here on the driver thread. Same inputs, same
     // rng derivation, same publish boundary — byte-identical to background.
+    TraceSpan span(TraceCategory::kMaintenancePlan);
+    span.SetArgs(spec.epoch);
     Rng rng(Mix64(config_.seed ^ Mix64(spec.epoch)));
     inline_plan_ = manager_->PlanMaintenance(cut, spec, rng);
     return;
@@ -77,6 +80,8 @@ void MaintenanceScheduler::WorkerLoop() {
     }
     // Pure planning against the frozen cut; the tick's private stream keeps
     // it independent of every other RNG in the process.
+    TraceSpan span(TraceCategory::kMaintenancePlan);
+    span.SetArgs(spec.epoch);
     Rng rng(Mix64(config_.seed ^ Mix64(spec.epoch)));
     MaintenancePlan plan = manager_->PlanMaintenance(cut, spec, rng);
     {

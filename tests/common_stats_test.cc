@@ -201,5 +201,120 @@ TEST_P(PercentileAgreementSweep, TrackerMatchesCdf) {
 INSTANTIATE_TEST_SUITE_P(Seeds, PercentileAgreementSweep,
                          ::testing::Values(3ull, 7ull, 11ull, 13ull));
 
+TEST(LatencyHistogramTest, EmptyReturnsZero) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.mean(), 0.0);
+  EXPECT_EQ(h.min(), 0.0);
+  EXPECT_EQ(h.max(), 0.0);
+  EXPECT_EQ(h.Percentile(50.0), 0.0);
+}
+
+TEST(LatencyHistogramTest, BucketBoundaries) {
+  LatencyHistogram h(/*lo=*/1.0, /*growth=*/2.0, /*num_buckets=*/4);
+  // Buckets: [1,2) [2,4) [4,8) [8,16); edges are half-open on the right.
+  EXPECT_DOUBLE_EQ(h.BucketLowerEdge(0), 1.0);
+  EXPECT_DOUBLE_EQ(h.BucketUpperEdge(3), 16.0);
+  h.Add(1.0);   // lowest representable value -> bucket 0
+  h.Add(1.99);  // still bucket 0
+  h.Add(2.0);   // exactly on an edge -> bucket 1
+  h.Add(7.99);  // bucket 2
+  h.Add(8.0);   // bucket 3
+  EXPECT_EQ(h.bucket_count(0), 2u);
+  EXPECT_EQ(h.bucket_count(1), 1u);
+  EXPECT_EQ(h.bucket_count(2), 1u);
+  EXPECT_EQ(h.bucket_count(3), 1u);
+  EXPECT_EQ(h.underflow_count(), 0u);
+  EXPECT_EQ(h.overflow_count(), 0u);
+  EXPECT_EQ(h.count(), 5u);
+}
+
+TEST(LatencyHistogramTest, UnderflowAndOverflowKeepExactExtremes) {
+  LatencyHistogram h(/*lo=*/1.0, /*growth=*/2.0, /*num_buckets=*/4);
+  h.Add(0.25);   // below lo -> underflow
+  h.Add(100.0);  // at/past top edge (16) -> overflow
+  EXPECT_EQ(h.underflow_count(), 1u);
+  EXPECT_EQ(h.overflow_count(), 1u);
+  EXPECT_EQ(h.count(), 2u);
+  // Ranks resolving to the underflow/overflow buckets answer with the exact
+  // tracked min/max, not a bucket midpoint.
+  EXPECT_DOUBLE_EQ(h.Percentile(1.0), 0.25);
+  EXPECT_DOUBLE_EQ(h.Percentile(99.0), 100.0);
+  EXPECT_DOUBLE_EQ(h.min(), 0.25);
+  EXPECT_DOUBLE_EQ(h.max(), 100.0);
+}
+
+TEST(LatencyHistogramTest, PercentileErrorBoundHolds) {
+  // The documented contract: in-range relative error <= sqrt(growth) - 1.
+  LatencyHistogram h;  // defaults: lo=1e-6, growth=1.10
+  Rng rng(0x9157);
+  PercentileTracker exact;
+  for (int i = 0; i < 4000; ++i) {
+    const double x = std::exp(rng.Normal(-3.0, 1.5));  // log-normal latencies
+    h.Add(x);
+    exact.Add(x);
+  }
+  const double bound = std::sqrt(1.10) - 1.0;
+  for (double p : {10.0, 50.0, 90.0, 99.0}) {
+    const double estimate = h.Percentile(p);
+    const double truth = exact.Percentile(p);
+    EXPECT_LE(std::abs(estimate - truth) / truth, bound + 0.01)
+        << "p=" << p << " estimate=" << estimate << " truth=" << truth;
+  }
+}
+
+TEST(LatencyHistogramTest, PercentileMonotoneInP) {
+  LatencyHistogram h;
+  Rng rng(42);
+  for (int i = 0; i < 1000; ++i) {
+    h.Add(std::exp(rng.Normal(-2.0, 2.0)));
+  }
+  double previous = 0.0;
+  for (double p = 0.0; p <= 100.0; p += 2.5) {
+    const double value = h.Percentile(p);
+    EXPECT_GE(value, previous) << "p=" << p;
+    previous = value;
+  }
+}
+
+TEST(LatencyHistogramTest, MergeSumsStateAndRejectsGeometryMismatch) {
+  LatencyHistogram a(1.0, 2.0, 4);
+  LatencyHistogram b(1.0, 2.0, 4);
+  a.Add(1.5);
+  a.Add(100.0);
+  b.Add(3.0);
+  b.Add(0.5);
+  ASSERT_TRUE(a.Merge(b));
+  EXPECT_EQ(a.count(), 4u);
+  EXPECT_EQ(a.bucket_count(0), 1u);
+  EXPECT_EQ(a.bucket_count(1), 1u);
+  EXPECT_EQ(a.underflow_count(), 1u);
+  EXPECT_EQ(a.overflow_count(), 1u);
+  EXPECT_DOUBLE_EQ(a.min(), 0.5);
+  EXPECT_DOUBLE_EQ(a.max(), 100.0);
+  EXPECT_DOUBLE_EQ(a.sum(), 105.0);
+
+  LatencyHistogram mismatched(1.0, 4.0, 4);
+  mismatched.Add(2.0);
+  const size_t before = a.count();
+  EXPECT_FALSE(a.Merge(mismatched));
+  EXPECT_EQ(a.count(), before);  // left untouched on mismatch
+}
+
+TEST(LatencyHistogramTest, ResetClears) {
+  LatencyHistogram h(1.0, 2.0, 4);
+  h.Add(0.5);
+  h.Add(3.0);
+  h.Add(50.0);
+  h.Reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.underflow_count(), 0u);
+  EXPECT_EQ(h.overflow_count(), 0u);
+  EXPECT_EQ(h.Percentile(50.0), 0.0);
+  h.Add(2.5);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.bucket_count(1), 1u);
+}
+
 }  // namespace
 }  // namespace iccache

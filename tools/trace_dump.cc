@@ -1,0 +1,61 @@
+// Offline inspector/validator for exported Chrome trace-event JSON
+// (bench_driver_throughput --trace-out=..., or any Perfetto-loadable file
+// this repo writes). Parses the document with the dependency-free JSON
+// parser, then prints a per-span summary table: count, total duration, and
+// mean duration per span name, plus counter-track and drop accounting.
+//
+//   trace_dump <trace.json>
+//
+// Exit codes: 0 parsed cleanly, 1 malformed/unreadable trace, 2 usage.
+// ci.sh uses this as the "emitted JSON parses" gate for the observability
+// export smoke.
+#include <cstdio>
+#include <string>
+
+#include "src/obs/export.h"
+
+int main(int argc, char** argv) {
+  using namespace iccache;
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: %s <trace.json>\n", argv[0]);
+    return 2;
+  }
+  const std::string path = argv[1];
+  StatusOr<std::string> contents = ReadTextFile(path);
+  if (!contents.ok()) {
+    std::fprintf(stderr, "trace_dump: %s\n", contents.status().ToString().c_str());
+    return 1;
+  }
+
+  ChromeTraceSummary summary;
+  std::string error;
+  if (!ParseChromeTrace(contents.value(), &summary, &error)) {
+    std::fprintf(stderr, "trace_dump: %s: invalid trace JSON: %s\n", path.c_str(),
+                 error.c_str());
+    return 1;
+  }
+
+  std::printf("trace: %s\n", path.c_str());
+  std::printf("  events: %zu total  (emitted=%llu dropped=%llu)\n", summary.total_events,
+              static_cast<unsigned long long>(summary.emitted),
+              static_cast<unsigned long long>(summary.dropped));
+
+  if (!summary.span_counts.empty()) {
+    std::printf("  %-20s %10s %14s %12s\n", "span", "count", "total (ms)", "mean (us)");
+    for (const auto& [name, count] : summary.span_counts) {
+      const auto duration = summary.span_duration_us.find(name);
+      const double total_us = duration == summary.span_duration_us.end() ? 0.0 : duration->second;
+      std::printf("  %-20s %10llu %14.3f %12.2f\n", name.c_str(),
+                  static_cast<unsigned long long>(count), total_us / 1000.0,
+                  count > 0 ? total_us / static_cast<double>(count) : 0.0);
+    }
+  }
+  if (!summary.counter_counts.empty()) {
+    std::printf("  counter tracks (per-window series samples):\n");
+    for (const auto& [name, count] : summary.counter_counts) {
+      std::printf("  %-28s %10llu samples\n", name.c_str(),
+                  static_cast<unsigned long long>(count));
+    }
+  }
+  return 0;
+}
