@@ -2,9 +2,13 @@
 # CI entry point: configure, build, run the labelled test suite (unit /
 # concurrency / integration, each with its own timeout, plus the persistence
 # label as its own class), smoke-run the four examples/ binaries, smoke one
-# benchmark under a 2-second cap, then snapshot a real driver pool and verify
-# the on-disk format with tools/snapshot_dump. Mirrors the tier-1 verify line
-# in ROADMAP.md; keep the two in sync.
+# benchmark under a 2-second cap, rerun the SIMD kernel + quantization suites
+# under the forced-scalar dispatch path, exit-enforce the stage-1 retrieval
+# scaling bars at 100k vectors (float hnsw vs flat, int8 vs float), then
+# snapshot a real driver pool and verify the on-disk format with
+# tools/snapshot_dump. Set ICCACHE_CI_SCALE=full to also run the 1M-vector
+# full-scale retrieval gate (~20 min single-core). Mirrors the tier-1 verify
+# line in ROADMAP.md; keep the two in sync.
 set -euo pipefail
 
 cd "$(dirname "$0")"
@@ -50,6 +54,43 @@ timeout 2 "${BUILD_DIR}/bench_driver_throughput" || rc=$?
 if [[ "${rc}" -ne 0 && "${rc}" -ne 124 ]]; then
   echo "smoke bench failed with exit ${rc}" >&2
   exit "${rc}"
+fi
+
+echo "== simd kernel + quantization suites: forced-scalar dispatch =="
+# The unit label above already runs both suites under the best kernel the
+# box offers (avx2 where available); this rerun pins the portable scalar
+# fallback so both dispatch paths stay green everywhere. The override is
+# read once at first kernel use, so each rerun needs a fresh process.
+ICCACHE_FORCE_SCALAR=1 timeout 120 "${BUILD_DIR}/common_simd_test" > /dev/null
+ICCACHE_FORCE_SCALAR=1 timeout 300 "${BUILD_DIR}/index_quantized_test" > /dev/null
+
+echo "== retrieval scaling acceptance (100k, int8 vs float hnsw) =="
+# Exit-enforces the stage-1 retrieval bars on a clustered 128-d corpus:
+# float hnsw >= 5x flat at recall@10 >= 0.9; int8 hnsw >= 1.3x the float
+# graph at recall@10 >= 0.95 with <= 160 B/vec of vector arena; and the
+# quantized graph image round-trips through save/restore. ~90 s: the two
+# 100k graph builds dominate, the 1000-query search windows keep the
+# timing comparison out of the noise floor.
+timeout 900 "${BUILD_DIR}/bench_retrieval_scaling" \
+  --sizes=100000 --dim=128 --queries=1000 --M=16 --efc=100 --efs=192 \
+  --sigma=0.12 --acceptance
+
+# Forced-scalar end-to-end smoke: the same harness must stay correct (not
+# fast) when dispatch is pinned to the fallback kernels.
+ICCACHE_FORCE_SCALAR=1 timeout 300 "${BUILD_DIR}/bench_retrieval_scaling" \
+  --sizes=10000 --dim=128 --queries=100 --M=16 --efc=100 --efs=96 \
+  --sigma=0.12 > /dev/null
+
+if [[ "${ICCACHE_CI_SCALE:-}" == "full" ]]; then
+  echo "== retrieval scaling acceptance (1M full-scale) =="
+  # The million-example proof: same bars at 1M vectors plus the snapshot
+  # save/restore round-trip at that scale. ~20 min single-core; run on
+  # demand and before cutting a release.
+  timeout 3600 "${BUILD_DIR}/bench_retrieval_scaling" \
+    --sizes=1000000 --dim=128 --queries=400 --M=16 --efc=100 --efs=192 \
+    --sigma=0.12 --acceptance
+else
+  echo "== retrieval scaling (1M) skipped: set ICCACHE_CI_SCALE=full to run =="
 fi
 
 echo "== sharded-commit-pipeline + stage-0 + observability acceptance =="

@@ -143,6 +143,15 @@ std::string ByteReader::GetString() {
                                                     static_cast<size_t>(n));
 }
 
+bool ByteReader::GetBytes(void* dst, size_t size) {
+  const uint8_t* p = Take(size);
+  if (p == nullptr) {
+    return false;
+  }
+  std::memcpy(dst, p, size);
+  return true;
+}
+
 std::vector<float> ByteReader::GetFloats() {
   const uint64_t n = GetU64();
   if (!ok_ || n > (size_ - pos_) / 4) {

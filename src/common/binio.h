@@ -59,6 +59,9 @@ class ByteReader {
   float GetFloat();
   std::string GetString();
   std::vector<float> GetFloats();
+  // Bulk copy of `size` raw bytes into dst; false (latching failure) when out
+  // of bounds. Used for arena-sized blocks where per-element reads would cost.
+  bool GetBytes(void* dst, size_t size);
 
   // True iff every read so far was in bounds. Check after the final read.
   bool ok() const { return ok_; }

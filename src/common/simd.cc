@@ -1,0 +1,322 @@
+#include "src/common/simd.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define ICCACHE_SIMD_X86 1
+#include <immintrin.h>
+#endif
+
+namespace iccache {
+namespace simd {
+
+// --- Scalar reference kernels ----------------------------------------------
+
+double ScalarDot(const float* a, const float* b, size_t n) {
+  // 4-accumulator unroll: breaks the serial dependency chain so the
+  // auto-vectorizer (and out-of-order hardware) can overlap the multiplies.
+  // This is byte-for-byte the historical hnsw.cc DotFast kernel.
+  float acc0 = 0.0f, acc1 = 0.0f, acc2 = 0.0f, acc3 = 0.0f;
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    acc0 += a[i] * b[i];
+    acc1 += a[i + 1] * b[i + 1];
+    acc2 += a[i + 2] * b[i + 2];
+    acc3 += a[i + 3] * b[i + 3];
+  }
+  for (; i < n; ++i) {
+    acc0 += a[i] * b[i];
+  }
+  return static_cast<double>((acc0 + acc1) + (acc2 + acc3));
+}
+
+double ScalarL2Sq(const float* a, const float* b, size_t n) {
+  float acc0 = 0.0f, acc1 = 0.0f, acc2 = 0.0f, acc3 = 0.0f;
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const float d0 = a[i] - b[i];
+    const float d1 = a[i + 1] - b[i + 1];
+    const float d2 = a[i + 2] - b[i + 2];
+    const float d3 = a[i + 3] - b[i + 3];
+    acc0 += d0 * d0;
+    acc1 += d1 * d1;
+    acc2 += d2 * d2;
+    acc3 += d3 * d3;
+  }
+  for (; i < n; ++i) {
+    const float d = a[i] - b[i];
+    acc0 += d * d;
+  }
+  return static_cast<double>((acc0 + acc1) + (acc2 + acc3));
+}
+
+int32_t ScalarDotI8(const int8_t* a, const int8_t* b, size_t n) {
+  int32_t acc = 0;
+  for (size_t i = 0; i < n; ++i) {
+    acc += static_cast<int32_t>(a[i]) * static_cast<int32_t>(b[i]);
+  }
+  return acc;
+}
+
+double ScalarDotF32I8(const float* a, const int8_t* b, size_t n) {
+  float acc0 = 0.0f, acc1 = 0.0f, acc2 = 0.0f, acc3 = 0.0f;
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    acc0 += a[i] * static_cast<float>(b[i]);
+    acc1 += a[i + 1] * static_cast<float>(b[i + 1]);
+    acc2 += a[i + 2] * static_cast<float>(b[i + 2]);
+    acc3 += a[i + 3] * static_cast<float>(b[i + 3]);
+  }
+  for (; i < n; ++i) {
+    acc0 += a[i] * static_cast<float>(b[i]);
+  }
+  return static_cast<double>((acc0 + acc1) + (acc2 + acc3));
+}
+
+// --- AVX2 + FMA kernels -----------------------------------------------------
+//
+// Compiled with per-function target attributes so the translation unit builds
+// on any x86-64 toolchain without global -mavx2 flags; the dispatcher only
+// calls them after cpuid reports both features.
+
+#ifdef ICCACHE_SIMD_X86
+
+namespace {
+
+__attribute__((target("avx2"))) inline float HSum256(__m256 v) {
+  const __m128 lo = _mm256_castps256_ps128(v);
+  const __m128 hi = _mm256_extractf128_ps(v, 1);
+  __m128 s = _mm_add_ps(lo, hi);
+  s = _mm_add_ps(s, _mm_movehl_ps(s, s));
+  s = _mm_add_ss(s, _mm_shuffle_ps(s, s, 1));
+  return _mm_cvtss_f32(s);
+}
+
+__attribute__((target("avx2"))) inline int32_t HSum256i(__m256i v) {
+  const __m128i lo = _mm256_castsi256_si128(v);
+  const __m128i hi = _mm256_extracti128_si256(v, 1);
+  __m128i s = _mm_add_epi32(lo, hi);
+  s = _mm_add_epi32(s, _mm_srli_si128(s, 8));
+  s = _mm_add_epi32(s, _mm_srli_si128(s, 4));
+  return _mm_cvtsi128_si32(s);
+}
+
+__attribute__((target("avx2,fma"))) double DotAvx2(const float* a, const float* b, size_t n) {
+  __m256 acc0 = _mm256_setzero_ps();
+  __m256 acc1 = _mm256_setzero_ps();
+  size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    acc0 = _mm256_fmadd_ps(_mm256_loadu_ps(a + i), _mm256_loadu_ps(b + i), acc0);
+    acc1 = _mm256_fmadd_ps(_mm256_loadu_ps(a + i + 8), _mm256_loadu_ps(b + i + 8), acc1);
+  }
+  for (; i + 8 <= n; i += 8) {
+    acc0 = _mm256_fmadd_ps(_mm256_loadu_ps(a + i), _mm256_loadu_ps(b + i), acc0);
+  }
+  float total = HSum256(_mm256_add_ps(acc0, acc1));
+  for (; i < n; ++i) {
+    total += a[i] * b[i];
+  }
+  return static_cast<double>(total);
+}
+
+__attribute__((target("avx2,fma"))) double L2SqAvx2(const float* a, const float* b, size_t n) {
+  __m256 acc0 = _mm256_setzero_ps();
+  __m256 acc1 = _mm256_setzero_ps();
+  size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const __m256 d0 = _mm256_sub_ps(_mm256_loadu_ps(a + i), _mm256_loadu_ps(b + i));
+    const __m256 d1 = _mm256_sub_ps(_mm256_loadu_ps(a + i + 8), _mm256_loadu_ps(b + i + 8));
+    acc0 = _mm256_fmadd_ps(d0, d0, acc0);
+    acc1 = _mm256_fmadd_ps(d1, d1, acc1);
+  }
+  for (; i + 8 <= n; i += 8) {
+    const __m256 d = _mm256_sub_ps(_mm256_loadu_ps(a + i), _mm256_loadu_ps(b + i));
+    acc0 = _mm256_fmadd_ps(d, d, acc0);
+  }
+  float total = HSum256(_mm256_add_ps(acc0, acc1));
+  for (; i < n; ++i) {
+    const float d = a[i] - b[i];
+    total += d * d;
+  }
+  return static_cast<double>(total);
+}
+
+__attribute__((target("avx2"))) int32_t DotI8Avx2(const int8_t* a, const int8_t* b, size_t n) {
+  // Widen int8 -> int16 and use the pairwise multiply-add: every product is
+  // exact in int16 x int16 -> int32, so this path is bit-identical to the
+  // scalar reference (determinism relies on that for graph traversal).
+  __m256i acc = _mm256_setzero_si256();
+  size_t i = 0;
+  for (; i + 32 <= n; i += 32) {
+    const __m256i va = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+    const __m256i vb = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i));
+    const __m256i a_lo = _mm256_cvtepi8_epi16(_mm256_castsi256_si128(va));
+    const __m256i a_hi = _mm256_cvtepi8_epi16(_mm256_extracti128_si256(va, 1));
+    const __m256i b_lo = _mm256_cvtepi8_epi16(_mm256_castsi256_si128(vb));
+    const __m256i b_hi = _mm256_cvtepi8_epi16(_mm256_extracti128_si256(vb, 1));
+    acc = _mm256_add_epi32(acc, _mm256_madd_epi16(a_lo, b_lo));
+    acc = _mm256_add_epi32(acc, _mm256_madd_epi16(a_hi, b_hi));
+  }
+  for (; i + 16 <= n; i += 16) {
+    const __m256i a16 =
+        _mm256_cvtepi8_epi16(_mm_loadu_si128(reinterpret_cast<const __m128i*>(a + i)));
+    const __m256i b16 =
+        _mm256_cvtepi8_epi16(_mm_loadu_si128(reinterpret_cast<const __m128i*>(b + i)));
+    acc = _mm256_add_epi32(acc, _mm256_madd_epi16(a16, b16));
+  }
+  int32_t total = HSum256i(acc);
+  for (; i < n; ++i) {
+    total += static_cast<int32_t>(a[i]) * static_cast<int32_t>(b[i]);
+  }
+  return total;
+}
+
+__attribute__((target("avx2,fma"))) double DotF32I8Avx2(const float* a, const int8_t* b,
+                                                        size_t n) {
+  __m256 acc = _mm256_setzero_ps();
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m128i q8 = _mm_loadl_epi64(reinterpret_cast<const __m128i*>(b + i));
+    const __m256 qf = _mm256_cvtepi32_ps(_mm256_cvtepi8_epi32(q8));
+    acc = _mm256_fmadd_ps(_mm256_loadu_ps(a + i), qf, acc);
+  }
+  float total = HSum256(acc);
+  for (; i < n; ++i) {
+    total += a[i] * static_cast<float>(b[i]);
+  }
+  return static_cast<double>(total);
+}
+
+}  // namespace
+
+#endif  // ICCACHE_SIMD_X86
+
+// --- Dispatch ----------------------------------------------------------------
+
+KernelLevel ResolveKernelLevel(bool cpu_has_avx2_fma, bool force_scalar) {
+  if (force_scalar || !cpu_has_avx2_fma) {
+    return KernelLevel::kScalar;
+  }
+  return KernelLevel::kAvx2;
+}
+
+namespace {
+
+bool ForceScalarFromEnv() {
+  const char* value = std::getenv("ICCACHE_FORCE_SCALAR");
+  return value != nullptr && value[0] != '\0' &&
+         !(value[0] == '0' && value[1] == '\0');
+}
+
+bool CpuHasAvx2Fma() {
+#ifdef ICCACHE_SIMD_X86
+  return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+#else
+  return false;
+#endif
+}
+
+struct Dispatch {
+  KernelLevel level;
+  bool forced_scalar;
+  double (*dot)(const float*, const float*, size_t);
+  double (*l2sq)(const float*, const float*, size_t);
+  int32_t (*dot_i8)(const int8_t*, const int8_t*, size_t);
+  double (*dot_f32_i8)(const float*, const int8_t*, size_t);
+};
+
+Dispatch MakeDispatch() {
+  Dispatch d;
+  d.forced_scalar = ForceScalarFromEnv();
+  d.level = ResolveKernelLevel(CpuHasAvx2Fma(), d.forced_scalar);
+#ifdef ICCACHE_SIMD_X86
+  if (d.level == KernelLevel::kAvx2) {
+    d.dot = &DotAvx2;
+    d.l2sq = &L2SqAvx2;
+    d.dot_i8 = &DotI8Avx2;
+    d.dot_f32_i8 = &DotF32I8Avx2;
+    return d;
+  }
+#endif
+  d.dot = &ScalarDot;
+  d.l2sq = &ScalarL2Sq;
+  d.dot_i8 = &ScalarDotI8;
+  d.dot_f32_i8 = &ScalarDotF32I8;
+  return d;
+}
+
+// Resolved once (thread-safe magic static); constant for the process life.
+const Dispatch& GetDispatch() {
+  static const Dispatch dispatch = MakeDispatch();
+  return dispatch;
+}
+
+}  // namespace
+
+KernelLevel ActiveKernelLevel() { return GetDispatch().level; }
+
+bool ScalarForced() { return GetDispatch().forced_scalar; }
+
+const char* KernelLevelName(KernelLevel level) {
+  switch (level) {
+    case KernelLevel::kAvx2:
+      return "avx2";
+    case KernelLevel::kScalar:
+    default:
+      return "scalar";
+  }
+}
+
+double Dot(const float* a, const float* b, size_t n) { return GetDispatch().dot(a, b, n); }
+
+double L2Sq(const float* a, const float* b, size_t n) { return GetDispatch().l2sq(a, b, n); }
+
+int32_t DotI8(const int8_t* a, const int8_t* b, size_t n) {
+  return GetDispatch().dot_i8(a, b, n);
+}
+
+double DotF32I8(const float* a, const int8_t* b, size_t n) {
+  return GetDispatch().dot_f32_i8(a, b, n);
+}
+
+double Cosine(const float* a, const float* b, size_t n) {
+  const double na = Dot(a, a, n);
+  const double nb = Dot(b, b, n);
+  if (na <= 0.0 || nb <= 0.0) {
+    return 0.0;
+  }
+  const double cosine = Dot(a, b, n) / std::sqrt(na * nb);
+  return std::min(1.0, std::max(-1.0, cosine));
+}
+
+void QuantizeI8(const float* src, size_t n, int8_t* dst, float* scale) {
+  float max_abs = 0.0f;
+  for (size_t i = 0; i < n; ++i) {
+    max_abs = std::max(max_abs, std::fabs(src[i]));
+  }
+  if (max_abs <= 0.0f) {
+    std::fill(dst, dst + n, static_cast<int8_t>(0));
+    *scale = 0.0f;
+    return;
+  }
+  const float s = max_abs / 127.0f;
+  const float inv = 127.0f / max_abs;
+  for (size_t i = 0; i < n; ++i) {
+    // lround ties away from zero; any consistent rounding works, it only has
+    // to be the SAME everywhere (quantization runs on one path, unvectorized).
+    const long q = std::lround(src[i] * inv);
+    dst[i] = static_cast<int8_t>(std::min(127l, std::max(-127l, q)));
+  }
+  *scale = s;
+}
+
+void DequantizeI8(const int8_t* src, size_t n, float scale, float* dst) {
+  for (size_t i = 0; i < n; ++i) {
+    dst[i] = static_cast<float>(src[i]) * scale;
+  }
+}
+
+}  // namespace simd
+}  // namespace iccache

@@ -31,6 +31,8 @@ std::unique_ptr<VectorIndex> MakeRetrievalIndex(const RetrievalBackendConfig& co
       HnswIndexConfig hnsw = config.hnsw;
       hnsw.dim = dim;
       hnsw.seed = seed;
+      hnsw.quantize_int8 = config.quantize == QuantizationKind::kInt8;
+      hnsw.rerank_k = config.rerank_k;
       return std::make_unique<HnswIndex>(hnsw);
     }
     case RetrievalBackendKind::kKMeans:
@@ -63,6 +65,27 @@ bool ParseRetrievalBackendKind(const std::string& name, RetrievalBackendKind* ou
     *out = RetrievalBackendKind::kKMeans;
   } else if (name == "hnsw") {
     *out = RetrievalBackendKind::kHnsw;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+const char* QuantizationKindName(QuantizationKind kind) {
+  switch (kind) {
+    case QuantizationKind::kInt8:
+      return "int8";
+    case QuantizationKind::kNone:
+    default:
+      return "none";
+  }
+}
+
+bool ParseQuantizationKind(const std::string& name, QuantizationKind* out) {
+  if (name == "none") {
+    *out = QuantizationKind::kNone;
+  } else if (name == "int8") {
+    *out = QuantizationKind::kInt8;
   } else {
     return false;
   }

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "src/common/mathutil.h"
+#include "src/common/simd.h"
 #include "src/obs/trace.h"
 
 namespace iccache {
@@ -106,7 +107,9 @@ std::vector<SelectorCandidate> ExampleSelector::CombineCore(
                                      : candidate->embedding;
     bool duplicate = false;
     for (const SelectorCandidate& prior : selected) {
-      if (CosineSimilarity(embedding, prior.embedding) > config_.diversity_max_similarity) {
+      if (simd::Cosine(embedding.data(), prior.embedding.data(),
+                       std::min(embedding.size(), prior.embedding.size())) >
+          config_.diversity_max_similarity) {
         duplicate = true;
         break;
       }

@@ -1,6 +1,7 @@
 #include "src/index/hnsw.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <cstring>
 #include <mutex>
@@ -8,7 +9,7 @@
 #include <utility>
 
 #include "src/common/binio.h"
-#include "src/common/mathutil.h"
+#include "src/common/simd.h"
 #include "src/common/topk.h"
 #include "src/obs/trace.h"
 
@@ -22,37 +23,32 @@ constexpr int kMaxLevel = 24;
 
 // Version of the SaveGraph byte layout; bump on incompatible change so stale
 // graph images fall back to a rebuild instead of being misread.
-constexpr uint32_t kGraphFormatVersion = 1;
+//   v1: float arena only.
+//   v2: adds a quantization-mode byte; quantized images carry the int8 code
+//       arena plus per-slot scales instead of the float arena. v1 images are
+//       still accepted by float-mode indexes.
+constexpr uint32_t kGraphFormatVersion = 2;
 
-// Inner product with float accumulators, unrolled 4-wide. The shared
-// mathutil Dot() accumulates in double, which forces a convert-per-element
-// dependency chain; this kernel is what every graph hop pays, so it gets the
-// vectorizable form (the ~1e-7 float rounding is far below ANN noise).
-double DotFast(const float* x, const float* y, size_t n) {
-  float acc0 = 0.0f, acc1 = 0.0f, acc2 = 0.0f, acc3 = 0.0f;
-  size_t i = 0;
-  for (; i + 4 <= n; i += 4) {
-    acc0 += x[i] * y[i];
-    acc1 += x[i + 1] * y[i + 1];
-    acc2 += x[i + 2] * y[i + 2];
-    acc3 += x[i + 3] * y[i + 3];
-  }
-  for (; i < n; ++i) {
-    acc0 += x[i] * y[i];
-  }
-  return static_cast<double>((acc0 + acc1) + (acc2 + acc3));
-}
+// Process-wide rerank telemetry (relaxed: these are monotonic counters the
+// driver reads as deltas; no ordering is implied with index state).
+std::atomic<uint64_t> g_rerank_queries{0};
+std::atomic<uint64_t> g_rerank_candidates{0};
 
-inline void PrefetchVec(const float* p) {
+inline void PrefetchLine(const void* p) {
 #if defined(__GNUC__) || defined(__clang__)
   __builtin_prefetch(p);
-  __builtin_prefetch(p + 16);
+  __builtin_prefetch(static_cast<const char*>(p) + 64);
 #else
   (void)p;
 #endif
 }
 
 }  // namespace
+
+uint64_t HnswRerankQueriesTotal() { return g_rerank_queries.load(std::memory_order_relaxed); }
+uint64_t HnswRerankCandidatesTotal() {
+  return g_rerank_candidates.load(std::memory_order_relaxed);
+}
 
 HnswIndex::HnswIndex(HnswIndexConfig config)
     : config_(config),
@@ -67,17 +63,32 @@ int HnswIndex::SampleLevel() {
   return std::min(level, kMaxLevel);
 }
 
-double HnswIndex::Sim(const float* a, const float* b) const {
-  return DotFast(a, b, config_.dim);
+double HnswIndex::SimQ(const QueryRef& query, uint32_t slot) const {
+  if (config_.quantize_int8) {
+    // Symmetric quantized inner product. DotI8 is bit-exact across dispatch
+    // levels, so traversal order is deterministic per process and across
+    // machines.
+    return static_cast<double>(simd::DotI8(query.i8, QVecOf(slot), config_.dim)) *
+           static_cast<double>(query.scale) * static_cast<double>(scales_[slot]);
+  }
+  return simd::Dot(query.f32, VecOf(slot), config_.dim);
 }
 
-uint32_t HnswIndex::GreedyStep(const float* query, uint32_t slot, int layer) const {
-  double best = Sim(query, VecOf(slot));
+double HnswIndex::SimSlots(uint32_t a, uint32_t b) const {
+  if (config_.quantize_int8) {
+    return static_cast<double>(simd::DotI8(QVecOf(a), QVecOf(b), config_.dim)) *
+           static_cast<double>(scales_[a]) * static_cast<double>(scales_[b]);
+  }
+  return simd::Dot(VecOf(a), VecOf(b), config_.dim);
+}
+
+uint32_t HnswIndex::GreedyStep(const QueryRef& query, uint32_t slot, int layer) const {
+  double best = SimQ(query, slot);
   bool improved = true;
   while (improved) {
     improved = false;
     for (uint32_t neighbor : nodes_[slot].links[layer]) {
-      const double sim = Sim(query, VecOf(neighbor));
+      const double sim = SimQ(query, neighbor);
       if (sim > best) {
         best = sim;
         slot = neighbor;
@@ -88,7 +99,7 @@ uint32_t HnswIndex::GreedyStep(const float* query, uint32_t slot, int layer) con
   return slot;
 }
 
-std::vector<HnswIndex::ScoredSlot> HnswIndex::SearchLayer(const float* query, uint32_t entry,
+std::vector<HnswIndex::ScoredSlot> HnswIndex::SearchLayer(const QueryRef& query, uint32_t entry,
                                                           int layer, size_t ef,
                                                           std::vector<uint32_t>& epochs,
                                                           uint32_t epoch, uint64_t* visited,
@@ -100,7 +111,7 @@ std::vector<HnswIndex::ScoredSlot> HnswIndex::SearchLayer(const float* query, ui
                       std::greater<std::pair<double, uint32_t>>>
       results;
 
-  const double entry_sim = Sim(query, VecOf(entry));
+  const double entry_sim = SimQ(query, entry);
   candidates.emplace(entry_sim, entry);
   results.emplace(entry_sim, entry);
   epochs[entry] = epoch;
@@ -123,7 +134,8 @@ std::vector<HnswIndex::ScoredSlot> HnswIndex::SearchLayer(const float* query, ui
     // stall on every line.
     for (uint32_t neighbor : links) {
       if (epochs[neighbor] != epoch) {
-        PrefetchVec(VecOf(neighbor));
+        PrefetchLine(config_.quantize_int8 ? static_cast<const void*>(QVecOf(neighbor))
+                                           : static_cast<const void*>(VecOf(neighbor)));
       }
     }
     for (uint32_t neighbor : links) {
@@ -134,7 +146,7 @@ std::vector<HnswIndex::ScoredSlot> HnswIndex::SearchLayer(const float* query, ui
       if (visited != nullptr) {
         ++*visited;
       }
-      const double neighbor_sim = Sim(query, VecOf(neighbor));
+      const double neighbor_sim = SimQ(query, neighbor);
       if (results.size() < ef || neighbor_sim > results.top().first) {
         candidates.emplace(neighbor_sim, neighbor);
         results.emplace(neighbor_sim, neighbor);
@@ -169,7 +181,7 @@ std::vector<uint32_t> HnswIndex::SelectNeighbors(const std::vector<ScoredSlot>& 
     // degree slots that long-range edges need).
     bool diverse = true;
     for (uint32_t kept : selected) {
-      if (Sim(VecOf(candidate.slot), VecOf(kept)) > candidate.sim) {
+      if (SimSlots(candidate.slot, kept) > candidate.sim) {
         diverse = false;
         break;
       }
@@ -190,7 +202,7 @@ void HnswIndex::ShrinkLinks(uint32_t slot, int layer) {
   std::vector<ScoredSlot> scored;
   scored.reserve(links.size());
   for (uint32_t neighbor : links) {
-    scored.push_back(ScoredSlot{Sim(VecOf(slot), VecOf(neighbor)), neighbor});
+    scored.push_back(ScoredSlot{SimSlots(slot, neighbor), neighbor});
   }
   std::sort(scored.begin(), scored.end(), [](const ScoredSlot& a, const ScoredSlot& b) {
     if (a.sim != b.sim) {
@@ -209,7 +221,21 @@ void HnswIndex::InsertLocked(uint64_t id, std::vector<float> vec) {
   node.level = level;
   node.links.resize(static_cast<size_t>(level) + 1);
   nodes_.push_back(std::move(node));
-  arena_.insert(arena_.end(), vec.begin(), vec.end());
+  QueryRef query;
+  query.f32 = vec.data();
+  if (config_.quantize_int8) {
+    qarena_.resize(qarena_.size() + config_.dim);
+    float scale = 0.0f;
+    simd::QuantizeI8(vec.data(), config_.dim, qarena_.data() + slot * config_.dim, &scale);
+    scales_.push_back(scale);
+    // Stable for the duration of this insert: qarena_ only grows on the next
+    // Add.
+    query.i8 = QVecOf(slot);
+    query.scale = scale;
+  } else {
+    arena_.insert(arena_.end(), vec.begin(), vec.end());
+    query.f32 = VecOf(slot);  // same stability argument as the int8 arena
+  }
   slot_of_[id] = slot;
   ++live_;
   insert_epochs_.push_back(0);
@@ -220,8 +246,6 @@ void HnswIndex::InsertLocked(uint64_t id, std::vector<float> vec) {
     return;
   }
 
-  // Stable for the duration of this insert: arena_ only grows on the next Add.
-  const float* query = VecOf(slot);
   uint32_t cur = entry_;
   for (int layer = entry_level_; layer > level; --layer) {
     cur = GreedyStep(query, cur, layer);
@@ -269,6 +293,8 @@ bool HnswIndex::RemoveLocked(uint64_t id) {
     // structure made purely of tombstones.
     nodes_.clear();
     arena_.clear();
+    qarena_.clear();
+    scales_.clear();
     insert_epochs_.clear();
     insert_epoch_ = 0;
     entry_ = 0;
@@ -299,16 +325,28 @@ void HnswIndex::MaybeCompactLocked() {
 }
 
 void HnswIndex::CompactLocked() {
+  // Survivors are re-inserted from the float form. In quantized mode the
+  // dequantized values are exact multiples of the slot scale with the max
+  // element on the ±127 rail, so requantization reproduces the identical
+  // codes and scale — compaction is lossless either way.
   std::vector<std::pair<uint64_t, std::vector<float>>> survivors;
   survivors.reserve(live_);
   for (uint32_t slot = 0; slot < nodes_.size(); ++slot) {
-    if (!nodes_[slot].deleted) {
-      survivors.emplace_back(nodes_[slot].id,
-                             std::vector<float>(VecOf(slot), VecOf(slot) + config_.dim));
+    if (nodes_[slot].deleted) {
+      continue;
     }
+    std::vector<float> vec(config_.dim);
+    if (config_.quantize_int8) {
+      simd::DequantizeI8(QVecOf(slot), config_.dim, scales_[slot], vec.data());
+    } else {
+      std::copy(VecOf(slot), VecOf(slot) + config_.dim, vec.begin());
+    }
+    survivors.emplace_back(nodes_[slot].id, std::move(vec));
   }
   nodes_.clear();
   arena_.clear();
+  qarena_.clear();
+  scales_.clear();
   slot_of_.clear();
   insert_epochs_.clear();
   insert_epoch_ = 0;
@@ -331,6 +369,21 @@ std::vector<SearchResult> HnswIndex::SearchLocked(const std::vector<float>& quer
   if (k == 0 || entry_level_ < 0 || query.size() != config_.dim) {
     return results;
   }
+  QueryRef q;
+  q.f32 = query.data();
+  // Reader-side scratch is thread_local so concurrent searches under the
+  // shared lock never share state (the quantized-query buffer below and the
+  // visited set both follow this rule).
+  static thread_local std::vector<int8_t> q8;
+  if (config_.quantize_int8) {
+    if (q8.size() < config_.dim) {
+      q8.resize(config_.dim);
+    }
+    float scale = 0.0f;
+    simd::QuantizeI8(query.data(), config_.dim, q8.data(), &scale);
+    q.i8 = q8.data();
+    q.scale = scale;
+  }
   // Span args carry the layer-0 visited-node and frontier-expansion counts;
   // the counters are only maintained while tracing is enabled so the beam
   // search stays branch-free otherwise.
@@ -339,13 +392,12 @@ std::vector<SearchResult> HnswIndex::SearchLocked(const std::vector<float>& quer
   uint64_t hops = 0;
   uint32_t cur = entry_;
   for (int layer = entry_level_; layer >= 1; --layer) {
-    cur = GreedyStep(query.data(), cur, layer);
+    cur = GreedyStep(q, cur, layer);
   }
-  // Reader-side visited scratch: thread_local so concurrent searches under
-  // the shared lock never share it, epoch-reset so a query costs O(ef*degree)
-  // instead of an O(N) clear. The buffer is shared across index instances on
-  // a thread, which is safe: the epoch counter is monotonic, so marks from
-  // any earlier search can never equal the current epoch.
+  // Visited scratch: epoch-reset so a query costs O(ef*degree) instead of an
+  // O(N) clear. The buffer is shared across index instances on a thread,
+  // which is safe: the epoch counter is monotonic, so marks from any earlier
+  // search can never equal the current epoch.
   static thread_local std::vector<uint32_t> epochs;
   static thread_local uint32_t epoch = 0;
   if (epochs.size() < nodes_.size()) {
@@ -356,13 +408,36 @@ std::vector<SearchResult> HnswIndex::SearchLocked(const std::vector<float>& quer
     epoch = 1;
   }
   const std::vector<ScoredSlot> found =
-      SearchLayer(query.data(), cur, 0, std::max(ef, k), epochs, epoch,
+      SearchLayer(q, cur, 0, std::max(ef, k), epochs, epoch,
                   span.active() ? &visited : nullptr, span.active() ? &hops : nullptr);
   span.SetArgs(visited, hops);
   TopK<uint64_t> top(k);
-  for (const ScoredSlot& scored : found) {
-    if (!nodes_[scored.slot].deleted) {
-      top.Push(scored.sim, nodes_[scored.slot].id);
+  if (config_.quantize_int8 && config_.rerank_k > 0) {
+    // Exact re-rank: the beam ordered candidates by the quantized metric;
+    // re-score the best rerank_k live ones against the full-precision query
+    // (asymmetric f32 x i8 dot) so the final top-k ordering is free of
+    // quantization noise on the query side.
+    const size_t budget = std::max(config_.rerank_k, k);
+    size_t rescored = 0;
+    for (const ScoredSlot& scored : found) {
+      if (nodes_[scored.slot].deleted) {
+        continue;
+      }
+      if (rescored >= budget) {
+        break;
+      }
+      const double exact = simd::DotF32I8(query.data(), QVecOf(scored.slot), config_.dim) *
+                           static_cast<double>(scales_[scored.slot]);
+      top.Push(exact, nodes_[scored.slot].id);
+      ++rescored;
+    }
+    g_rerank_queries.fetch_add(1, std::memory_order_relaxed);
+    g_rerank_candidates.fetch_add(rescored, std::memory_order_relaxed);
+  } else {
+    for (const ScoredSlot& scored : found) {
+      if (!nodes_[scored.slot].deleted) {
+        top.Push(scored.sim, nodes_[scored.slot].id);
+      }
     }
   }
   for (auto& [score, id] : top.TakeSortedDescending()) {
@@ -388,7 +463,12 @@ bool HnswIndex::GetVector(uint64_t id, std::vector<float>* out) const {
   if (it == slot_of_.end()) {
     return false;
   }
-  out->assign(VecOf(it->second), VecOf(it->second) + config_.dim);
+  if (config_.quantize_int8) {
+    out->resize(config_.dim);
+    simd::DequantizeI8(QVecOf(it->second), config_.dim, scales_[it->second], out->data());
+  } else {
+    out->assign(VecOf(it->second), VecOf(it->second) + config_.dim);
+  }
   return true;
 }
 
@@ -407,10 +487,17 @@ int HnswIndex::max_level() const {
   return entry_level_;
 }
 
+size_t HnswIndex::arena_bytes() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return arena_.size() * sizeof(float) + qarena_.size() * sizeof(int8_t) +
+         scales_.size() * sizeof(float);
+}
+
 void HnswIndex::SaveGraph(std::string* out) const {
   std::shared_lock<std::shared_mutex> lock(mu_);
   ByteWriter w;
   w.PutU32(kGraphFormatVersion);
+  w.PutU8(config_.quantize_int8 ? 1 : 0);
   w.PutU64(config_.dim);
   w.PutU64(config_.max_neighbors);
   w.PutU64(nodes_.size());
@@ -434,10 +521,18 @@ void HnswIndex::SaveGraph(std::string* out) const {
       }
     }
   }
-  // Arena as one raw little-endian float block (the dominant payload).
-  w.PutU64(arena_.size());
   static_assert(sizeof(float) == 4, "IEEE-754 float expected");
-  w.PutBytes(arena_.data(), arena_.size() * sizeof(float));
+  if (config_.quantize_int8) {
+    // Quantized image: the raw code arena plus per-slot scales. Storing the
+    // codes (not dequantized floats) makes restore exact by construction.
+    w.PutU64(qarena_.size());
+    w.PutBytes(qarena_.data(), qarena_.size());
+    w.PutBytes(scales_.data(), scales_.size() * sizeof(float));
+  } else {
+    // Arena as one raw little-endian float block (the dominant payload).
+    w.PutU64(arena_.size());
+    w.PutBytes(arena_.data(), arena_.size() * sizeof(float));
+  }
   *out = w.TakeBytes();
 }
 
@@ -446,6 +541,15 @@ bool HnswIndex::LoadGraph(const std::string& blob) {
   // must leave the index exactly as it was (the caller rebuilds instead).
   ByteReader r(blob);
   const uint32_t version = r.GetU32();
+  if (version != kGraphFormatVersion && version != 1) {
+    return false;
+  }
+  // v1 images predate quantization and are implicitly float; a quantized
+  // index cannot adopt one (the caller rebuilds, requantizing as it goes).
+  const bool quantized = version >= 2 && r.GetU8() != 0;
+  if (quantized != config_.quantize_int8) {
+    return false;
+  }
   const uint64_t dim = r.GetU64();
   const uint64_t max_neighbors = r.GetU64();
   const uint64_t node_count = r.GetU64();
@@ -460,9 +564,8 @@ bool HnswIndex::LoadGraph(const std::string& blob) {
   rng.has_cached_normal = r.GetU8() != 0;
   // node_count is also bounded by the blob itself (every node costs >= 13
   // bytes), which keeps the reserve() below sane on corrupted input.
-  if (!r.ok() || version != kGraphFormatVersion || dim != config_.dim ||
-      max_neighbors != config_.max_neighbors || live > node_count ||
-      node_count > blob.size()) {
+  if (!r.ok() || dim != config_.dim || max_neighbors != config_.max_neighbors ||
+      live > node_count || node_count > blob.size()) {
     return false;
   }
 
@@ -510,12 +613,31 @@ bool HnswIndex::LoadGraph(const std::string& blob) {
     }
   }
   const uint64_t arena_len = r.GetU64();
-  if (!r.ok() || arena_len != node_count * config_.dim || r.remaining() != arena_len * 4) {
+  if (!r.ok() || arena_len != node_count * config_.dim) {
     return false;
   }
-  std::vector<float> arena(static_cast<size_t>(arena_len));
-  // Raw block: bulk-copy (writer emitted native little-endian floats).
-  std::memcpy(arena.data(), blob.data() + (blob.size() - r.remaining()), arena_len * 4);
+  std::vector<float> arena;
+  std::vector<int8_t> qarena;
+  std::vector<float> scales;
+  if (quantized) {
+    if (r.remaining() != arena_len + node_count * 4) {
+      return false;
+    }
+    qarena.resize(static_cast<size_t>(arena_len));
+    scales.resize(static_cast<size_t>(node_count));
+    if (!r.GetBytes(qarena.data(), qarena.size()) ||
+        !r.GetBytes(scales.data(), scales.size() * sizeof(float))) {
+      return false;
+    }
+  } else {
+    if (r.remaining() != arena_len * 4) {
+      return false;
+    }
+    arena.resize(static_cast<size_t>(arena_len));
+    if (!r.GetBytes(arena.data(), arena.size() * sizeof(float))) {
+      return false;
+    }
+  }
   if (slot_of.size() != live ||
       (node_count > 0 && (entry >= node_count || entry_level < 0 || entry_level > kMaxLevel)) ||
       (node_count == 0 && entry_level != -1)) {
@@ -525,6 +647,8 @@ bool HnswIndex::LoadGraph(const std::string& blob) {
   std::unique_lock<std::shared_mutex> lock(mu_);
   nodes_ = std::move(nodes);
   arena_ = std::move(arena);
+  qarena_ = std::move(qarena);
+  scales_ = std::move(scales);
   slot_of_ = std::move(slot_of);
   entry_ = entry;
   entry_level_ = entry_level;

@@ -4,7 +4,7 @@
 #include <cmath>
 #include <limits>
 
-#include "src/common/mathutil.h"
+#include "src/common/simd.h"
 
 namespace iccache {
 
@@ -15,7 +15,7 @@ size_t NearestCentroid(const std::vector<float>& point,
   size_t best = 0;
   double best_d = std::numeric_limits<double>::infinity();
   for (size_t c = 0; c < centroids.size(); ++c) {
-    const double d = SquaredL2Distance(point, centroids[c]);
+    const double d = simd::L2Sq(point.data(), centroids[c].data(), point.size());
     if (d < best_d) {
       best_d = d;
       best = c;
@@ -38,7 +38,7 @@ std::vector<std::vector<float>> SeedCentroids(const std::vector<std::vector<floa
   while (centroids.size() < k) {
     double total = 0.0;
     for (size_t i = 0; i < points.size(); ++i) {
-      const double d = SquaredL2Distance(points[i], centroids.back());
+      const double d = simd::L2Sq(points[i].data(), centroids.back().data(), points[i].size());
       if (centroids.size() == 1 || d < dist_sq[i]) {
         dist_sq[i] = d;
       }

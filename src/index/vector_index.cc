@@ -3,7 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
-#include "src/common/mathutil.h"
+#include "src/common/simd.h"
 #include "src/common/topk.h"
 #include "src/index/kmeans.h"
 
@@ -17,12 +17,12 @@ Status FlatIndex::Add(uint64_t id, std::vector<float> vec) {
   }
   const auto it = slot_of_.find(id);
   if (it != slot_of_.end()) {
-    vectors_[it->second] = std::move(vec);
+    std::copy(vec.begin(), vec.end(), arena_.begin() + it->second * dim_);
     return Status::Ok();
   }
   slot_of_[id] = ids_.size();
   ids_.push_back(id);
-  vectors_.push_back(std::move(vec));
+  arena_.insert(arena_.end(), vec.begin(), vec.end());
   return Status::Ok();
 }
 
@@ -35,19 +35,22 @@ bool FlatIndex::Remove(uint64_t id) {
   const size_t last = ids_.size() - 1;
   if (slot != last) {
     ids_[slot] = ids_[last];
-    vectors_[slot] = std::move(vectors_[last]);
+    std::copy(arena_.begin() + last * dim_, arena_.begin() + (last + 1) * dim_,
+              arena_.begin() + slot * dim_);
     slot_of_[ids_[slot]] = slot;
   }
   ids_.pop_back();
-  vectors_.pop_back();
+  arena_.resize(arena_.size() - dim_);
   slot_of_.erase(it);
   return true;
 }
 
 std::vector<SearchResult> FlatIndex::Search(const std::vector<float>& query, size_t k) const {
   TopK<uint64_t> top(k);
+  const float* q = query.data();
+  const size_t n = std::min(query.size(), dim_);
   for (size_t i = 0; i < ids_.size(); ++i) {
-    top.Push(Dot(query, vectors_[i]), ids_[i]);
+    top.Push(simd::Dot(q, VecOf(i), n), ids_[i]);
   }
   std::vector<SearchResult> results;
   for (auto& [score, id] : top.TakeSortedDescending()) {
@@ -57,20 +60,20 @@ std::vector<SearchResult> FlatIndex::Search(const std::vector<float>& query, siz
 }
 
 bool FlatIndex::GetVector(uint64_t id, std::vector<float>* out) const {
-  const std::vector<float>* vec = Find(id);
+  const float* vec = Find(id);
   if (vec == nullptr) {
     return false;
   }
-  *out = *vec;
+  out->assign(vec, vec + dim_);
   return true;
 }
 
-const std::vector<float>* FlatIndex::Find(uint64_t id) const {
+const float* FlatIndex::Find(uint64_t id) const {
   const auto it = slot_of_.find(id);
   if (it == slot_of_.end()) {
     return nullptr;
   }
-  return &vectors_[it->second];
+  return VecOf(it->second);
 }
 
 KMeansIndex::KMeansIndex(KMeansIndexConfig config) : config_(config), rng_(config.seed) {}
@@ -79,23 +82,24 @@ Status KMeansIndex::Add(uint64_t id, std::vector<float> vec) {
   if (vec.size() != config_.dim) {
     return Status::InvalidArgument("vector dimension mismatch");
   }
-  const bool existed = vectors_.count(id) > 0;
-  if (existed) {
+  if (slot_of_.count(id) > 0) {
     Remove(id);
   }
   if (clustered()) {
-    const size_t cluster = NearestCluster(vec);
+    const size_t cluster = NearestCluster(vec.data());
     cluster_of_[id] = cluster;
     cluster_members_[cluster].push_back(id);
   }
-  vectors_[id] = std::move(vec);
+  slot_of_[id] = ids_.size();
+  ids_.push_back(id);
+  arena_.insert(arena_.end(), vec.begin(), vec.end());
   MaybeRebuild();
   return Status::Ok();
 }
 
 bool KMeansIndex::Remove(uint64_t id) {
-  const auto it = vectors_.find(id);
-  if (it == vectors_.end()) {
+  const auto it = slot_of_.find(id);
+  if (it == slot_of_.end()) {
     return false;
   }
   const auto cit = cluster_of_.find(id);
@@ -104,25 +108,35 @@ bool KMeansIndex::Remove(uint64_t id) {
     members.erase(std::remove(members.begin(), members.end(), id), members.end());
     cluster_of_.erase(cit);
   }
-  vectors_.erase(it);
+  const size_t slot = it->second;
+  const size_t last = ids_.size() - 1;
+  if (slot != last) {
+    ids_[slot] = ids_[last];
+    std::copy(arena_.begin() + last * config_.dim, arena_.begin() + (last + 1) * config_.dim,
+              arena_.begin() + slot * config_.dim);
+    slot_of_[ids_[slot]] = slot;
+  }
+  ids_.pop_back();
+  arena_.resize(arena_.size() - config_.dim);
+  slot_of_.erase(it);
   return true;
 }
 
 bool KMeansIndex::GetVector(uint64_t id, std::vector<float>* out) const {
-  const auto it = vectors_.find(id);
-  if (it == vectors_.end()) {
+  const auto it = slot_of_.find(id);
+  if (it == slot_of_.end()) {
     return false;
   }
-  *out = it->second;
+  out->assign(VecOf(it->second), VecOf(it->second) + config_.dim);
   return true;
 }
 
 void KMeansIndex::MaybeRebuild() {
-  if (vectors_.size() < config_.min_points_to_cluster) {
+  if (ids_.size() < config_.min_points_to_cluster) {
     return;
   }
   if (clustered() &&
-      static_cast<double>(vectors_.size()) <
+      static_cast<double>(ids_.size()) <
           config_.rebuild_growth_factor * static_cast<double>(size_at_last_build_)) {
     return;
   }
@@ -130,39 +144,38 @@ void KMeansIndex::MaybeRebuild() {
 }
 
 void KMeansIndex::Rebuild() {
-  if (vectors_.empty()) {
+  if (ids_.empty()) {
     centroids_.clear();
     cluster_members_.clear();
     cluster_of_.clear();
     size_at_last_build_ = 0;
     return;
   }
-  std::vector<uint64_t> ids;
+  // Points are handed to the clusterer in slot (insertion) order, which is a
+  // deterministic function of the Add/Remove history.
   std::vector<std::vector<float>> points;
-  ids.reserve(vectors_.size());
-  points.reserve(vectors_.size());
-  for (const auto& [id, vec] : vectors_) {
-    ids.push_back(id);
-    points.push_back(vec);
+  points.reserve(ids_.size());
+  for (size_t slot = 0; slot < ids_.size(); ++slot) {
+    points.emplace_back(VecOf(slot), VecOf(slot) + config_.dim);
   }
   const size_t k = OptimalClusterCount(points.size());
   const KMeansResult clustering = KMeansCluster(points, k, rng_);
   centroids_ = clustering.centroids;
   cluster_members_.assign(centroids_.size(), {});
   cluster_of_.clear();
-  for (size_t i = 0; i < ids.size(); ++i) {
-    const size_t c = clustering.assignments[i];
-    cluster_of_[ids[i]] = c;
-    cluster_members_[c].push_back(ids[i]);
+  for (size_t slot = 0; slot < ids_.size(); ++slot) {
+    const size_t c = clustering.assignments[slot];
+    cluster_of_[ids_[slot]] = c;
+    cluster_members_[c].push_back(ids_[slot]);
   }
-  size_at_last_build_ = vectors_.size();
+  size_at_last_build_ = ids_.size();
 }
 
-size_t KMeansIndex::NearestCluster(const std::vector<float>& vec) const {
+size_t KMeansIndex::NearestCluster(const float* vec) const {
   size_t best = 0;
   double best_d = std::numeric_limits<double>::infinity();
   for (size_t c = 0; c < centroids_.size(); ++c) {
-    const double d = SquaredL2Distance(vec, centroids_[c]);
+    const double d = simd::L2Sq(vec, centroids_[c].data(), config_.dim);
     if (d < best_d) {
       best_d = d;
       best = c;
@@ -174,7 +187,7 @@ size_t KMeansIndex::NearestCluster(const std::vector<float>& vec) const {
 std::vector<size_t> KMeansIndex::NearestClusters(const std::vector<float>& vec, size_t n) const {
   TopK<size_t> top(n);
   for (size_t c = 0; c < centroids_.size(); ++c) {
-    top.Push(-SquaredL2Distance(vec, centroids_[c]), c);
+    top.Push(-simd::L2Sq(vec.data(), centroids_[c].data(), config_.dim), c);
   }
   std::vector<size_t> clusters;
   for (auto& [neg_dist, c] : top.TakeSortedDescending()) {
@@ -186,17 +199,18 @@ std::vector<size_t> KMeansIndex::NearestClusters(const std::vector<float>& vec, 
 
 std::vector<SearchResult> KMeansIndex::Search(const std::vector<float>& query, size_t k) const {
   TopK<uint64_t> top(k);
+  const size_t n = std::min(query.size(), config_.dim);
   if (!clustered()) {
-    // Flat fallback below the clustering threshold.
-    for (const auto& [id, vec] : vectors_) {
-      top.Push(Dot(query, vec), id);
+    // Flat fallback below the clustering threshold: one sequential arena scan.
+    for (size_t slot = 0; slot < ids_.size(); ++slot) {
+      top.Push(simd::Dot(query.data(), VecOf(slot), n), ids_[slot]);
     }
   } else {
     for (size_t cluster : NearestClusters(query, config_.nprobe)) {
       for (uint64_t id : cluster_members_[cluster]) {
-        const auto it = vectors_.find(id);
-        if (it != vectors_.end()) {
-          top.Push(Dot(query, it->second), id);
+        const auto it = slot_of_.find(id);
+        if (it != slot_of_.end()) {
+          top.Push(simd::Dot(query.data(), VecOf(it->second), n), id);
         }
       }
     }

@@ -46,7 +46,10 @@ class VectorIndex {
   virtual size_t size() const = 0;
 };
 
-// Exact brute-force index.
+// Exact brute-force index. Vectors live in one contiguous slot-major arena
+// (`dim` floats per slot, swap-to-back removal), so the scan is a single
+// sequential sweep the shared SIMD dot kernel can stream through — the same
+// layout discipline as the HNSW arena.
 class FlatIndex : public VectorIndex {
  public:
   explicit FlatIndex(size_t dim);
@@ -57,14 +60,20 @@ class FlatIndex : public VectorIndex {
   bool GetVector(uint64_t id, std::vector<float>* out) const override;
   size_t size() const override { return slot_of_.size(); }
 
-  // Direct access for diagnostics.
-  const std::vector<float>* Find(uint64_t id) const;
+  // Direct access for diagnostics: the contiguous dim()-length vector for id,
+  // nullptr when absent. Invalidated by the next Add/Remove.
+  const float* Find(uint64_t id) const;
+
+  size_t dim() const { return dim_; }
 
  private:
+  const float* VecOf(size_t slot) const { return arena_.data() + slot * dim_; }
+
   size_t dim_;
-  // Dense storage with swap-to-back removal.
+  // Dense storage with swap-to-back removal; ids_[s]'s vector occupies
+  // arena_[s*dim, (s+1)*dim).
   std::vector<uint64_t> ids_;
-  std::vector<std::vector<float>> vectors_;
+  std::vector<float> arena_;
   std::unordered_map<uint64_t, size_t> slot_of_;
 };
 
@@ -81,6 +90,9 @@ struct KMeansIndexConfig {
 };
 
 // Inverted-file index over K-Means clusters (K = sqrt(N) at build time).
+// Vector storage is the same contiguous slot-major arena as FlatIndex (the
+// old map-of-vectors layout defeated prefetching and SIMD loads); the
+// cluster structures only hold ids.
 class KMeansIndex : public VectorIndex {
  public:
   explicit KMeansIndex(KMeansIndexConfig config = {});
@@ -89,7 +101,7 @@ class KMeansIndex : public VectorIndex {
   bool Remove(uint64_t id) override;
   std::vector<SearchResult> Search(const std::vector<float>& query, size_t k) const override;
   bool GetVector(uint64_t id, std::vector<float>* out) const override;
-  size_t size() const override { return vectors_.size(); }
+  size_t size() const override { return ids_.size(); }
 
   // Re-runs K-Means over the current contents with K = sqrt(N).
   void Rebuild();
@@ -98,13 +110,17 @@ class KMeansIndex : public VectorIndex {
   bool clustered() const { return !centroids_.empty(); }
 
  private:
+  const float* VecOf(size_t slot) const { return arena_.data() + slot * config_.dim; }
   void MaybeRebuild();
-  size_t NearestCluster(const std::vector<float>& vec) const;
+  size_t NearestCluster(const float* vec) const;
   std::vector<size_t> NearestClusters(const std::vector<float>& vec, size_t n) const;
 
   KMeansIndexConfig config_;
   Rng rng_;
-  std::unordered_map<uint64_t, std::vector<float>> vectors_;
+  // Dense arena with swap-to-back removal (same discipline as FlatIndex).
+  std::vector<uint64_t> ids_;
+  std::vector<float> arena_;
+  std::unordered_map<uint64_t, size_t> slot_of_;
   std::unordered_map<uint64_t, size_t> cluster_of_;
   std::vector<std::vector<float>> centroids_;
   std::vector<std::vector<uint64_t>> cluster_members_;

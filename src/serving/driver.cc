@@ -6,6 +6,7 @@
 
 #include "src/common/binio.h"
 #include "src/common/rng.h"
+#include "src/common/simd.h"
 #include "src/common/stats.h"
 #include "src/common/thread_pool.h"
 #include "src/core/pipeline.h"
@@ -338,6 +339,19 @@ DriverReport ServingDriver::Run(const std::vector<Request>& requests) {
   MetricHistogram* h_merge = hub_.Histogram("window_merge_seconds");
   MetricHistogram* h_publish = hub_.Histogram("window_publish_seconds");
   MetricHistogram* h_checkpoint = hub_.Histogram("checkpoint_write_ms", 1e-3, 1.10, 256);
+  // Determinism guard: the distance-kernel dispatch level is resolved once at
+  // process startup and never changes; publish it so any decision mismatch
+  // between runs can be checked against the kernel in one glance.
+  MetricGauge* g_simd_level = hub_.Gauge("simd_kernel_level");
+  g_simd_level->Set(static_cast<double>(static_cast<int>(simd::ActiveKernelLevel())));
+  MetricCounter* m_rerank_queries = hub_.Counter("hnsw_rerank_queries_total");
+  MetricCounter* m_rerank_candidates = hub_.Counter("hnsw_rerank_candidates_total");
+  // The HNSW rerank counters are process-global; sample them as deltas at
+  // window boundaries so the hub's windowed series stays per-run.
+  const uint64_t rerank_queries_before = HnswRerankQueriesTotal();
+  const uint64_t rerank_candidates_before = HnswRerankCandidatesTotal();
+  uint64_t rerank_queries_seen = rerank_queries_before;
+  uint64_t rerank_candidates_seen = rerank_candidates_before;
 
   // ClusterSim::AddPool clamps replica counts to >= 1; mirror that here so
   // the utilization denominator matches the pools that actually exist.
@@ -738,6 +752,14 @@ DriverReport ServingDriver::Run(const std::vector<Request>& requests) {
     g_queue_depth->Set(static_cast<double>(cluster_.PoolInFlight(small_.name) +
                                            cluster_.PoolInFlight(large_.name)));
     g_sim_time->Set(cluster_.now());
+    {
+      const uint64_t q_now = HnswRerankQueriesTotal();
+      const uint64_t c_now = HnswRerankCandidatesTotal();
+      m_rerank_queries->Add(static_cast<double>(q_now - rerank_queries_seen));
+      m_rerank_candidates->Add(static_cast<double>(c_now - rerank_candidates_seen));
+      rerank_queries_seen = q_now;
+      rerank_candidates_seen = c_now;
+    }
     hub_.SnapshotWindow(window_index, cluster_.now(), TraceRecorder::Global().NowNs());
 
     std::swap(prepared, prepared_next);
@@ -790,6 +812,11 @@ DriverReport ServingDriver::Run(const std::vector<Request>& requests) {
   report.checkpoints_taken = checkpointer_.taken() - checkpoints_before;
   report.checkpoint_p50_ms = run_checkpoint_ms.Percentile(50);
   report.checkpoint_p99_ms = run_checkpoint_ms.Percentile(99);
+  report.simd_kernel = simd::KernelLevelName(simd::ActiveKernelLevel());
+  report.hnsw_rerank_queries =
+      static_cast<size_t>(HnswRerankQueriesTotal() - rerank_queries_before);
+  report.hnsw_rerank_candidates =
+      static_cast<size_t>(HnswRerankCandidatesTotal() - rerank_candidates_before);
   return report;
 }
 

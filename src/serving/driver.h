@@ -233,6 +233,17 @@ struct DriverReport {
   double p50_queue_delay_s = 0.0;
   double p99_queue_delay_s = 0.0;
   double mean_quality = 0.0;
+
+  // Distance-kernel dispatch level used for every similarity computation in
+  // this run ("avx2" | "scalar"). Resolved once at process startup, so all
+  // threads and lanes of a run share one kernel — the determinism contract
+  // (byte-identical decisions at any thread/lane count) holds per process.
+  std::string simd_kernel;
+  // HNSW exact re-rank activity (zeros unless the retrieval backend runs the
+  // int8-quantized arena): queries that took the re-rank pass and candidates
+  // re-scored at full precision.
+  size_t hnsw_rerank_queries = 0;
+  size_t hnsw_rerank_candidates = 0;
 };
 
 class ServingDriver {

@@ -121,9 +121,9 @@ TEST(FlatIndexTest, OverwriteExistingId) {
   ASSERT_TRUE(index.Add(1, {1.0f, 0.0f}).ok());
   ASSERT_TRUE(index.Add(1, {0.0f, 1.0f}).ok());
   EXPECT_EQ(index.size(), 1u);
-  const auto* v = index.Find(1);
+  const float* v = index.Find(1);
   ASSERT_NE(v, nullptr);
-  EXPECT_EQ((*v)[1], 1.0f);
+  EXPECT_EQ(v[1], 1.0f);
 }
 
 TEST(FlatIndexTest, ResultsSortedDescending) {

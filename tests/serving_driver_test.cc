@@ -129,6 +129,47 @@ TEST(ServingDriverTest, HnswBackendIsThreadCountInvariant) {
   EXPECT_GT(single.offloaded_requests, 0u);
 }
 
+// Determinism guard for the int8-quantized arena: the kernel dispatch level
+// is fixed per process and the quantized traversal uses the bit-exact integer
+// dot, so decisions must stay byte-identical across the full {1,8} threads x
+// {1,4} commit-lanes matrix with quantization on.
+TEST(ServingDriverTest, QuantizedHnswIsThreadAndLaneCountInvariant) {
+  const std::vector<Request> requests = SmallWorkload();
+  ModelCatalog catalog;
+  DriverConfig base;
+  base.batch_window = 32;
+  base.cache.num_shards = 4;
+  base.cache.cache.retrieval.kind = RetrievalBackendKind::kHnsw;
+  base.cache.cache.retrieval.quantize = QuantizationKind::kInt8;
+
+  const DriverReport* reference = nullptr;
+  std::vector<DriverReport> reports;
+  reports.reserve(4);
+  for (size_t threads : {1u, 8u}) {
+    for (size_t lanes : {1u, 4u}) {
+      DriverConfig config = base;
+      config.num_threads = threads;
+      config.commit_lanes = lanes;
+      reports.push_back(MakeDriverWithConfig(catalog, config)->Run(requests));
+      // Every run reports the same (process-fixed) kernel level.
+      EXPECT_EQ(reports.back().simd_kernel, reports.front().simd_kernel);
+      if (reference == nullptr) {
+        reference = &reports.back();
+        continue;
+      }
+      ExpectSameDecisions(*reference, reports.back());
+      EXPECT_EQ(reference->offloaded_requests, reports.back().offloaded_requests);
+      EXPECT_EQ(reference->admitted_examples, reports.back().admitted_examples);
+    }
+  }
+  ASSERT_NE(reference, nullptr);
+  EXPECT_GT(reference->offloaded_requests, 0u);
+  // Quantized retrieval actually exercised the rerank pass.
+  EXPECT_GT(reference->hnsw_rerank_queries, 0u);
+  EXPECT_GE(reference->hnsw_rerank_candidates, reference->hnsw_rerank_queries);
+  EXPECT_TRUE(reference->simd_kernel == "avx2" || reference->simd_kernel == "scalar");
+}
+
 // Satellite: shard count and retrieval backend are plain DriverConfig knobs.
 // A single-shard flat configuration must reproduce the exact-search behavior
 // (flat search is exact, so sharding only changes id encoding, not which
