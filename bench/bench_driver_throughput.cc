@@ -50,11 +50,19 @@
 //                         than the stage0-off run, identical decisions at
 //                         1 vs 8 threads and 1 vs 4 commit lanes.
 //                         A third section enforces the observability gate:
-//                         decisions byte-identical with tracing on vs off at
-//                         {1,8} threads x {1,4} lanes, tracing overhead
-//                         <= 2% (best of 4 paired cpu-time runs), and the
+//                         decisions AND tail exemplars byte-identical with
+//                         tracing + the SLO watchdog on vs off at {1,8}
+//                         threads x {1,4} lanes, tracing+watchdog overhead
+//                         <= 3% (best of 4 paired cpu-time runs), the
 //                         exported Chrome trace + Prometheus metrics parse
-//                         cleanly and contain spans for every pipeline stage
+//                         cleanly (histogram families validated end to end)
+//                         and contain spans for every pipeline stage, the
+//                         assembled per-request timelines attribute >= 90%
+//                         of the tail cohort's wall time to named stages,
+//                         the armed watchdog stays silent on the clean run,
+//                         and a fourth section injects a stage-0 hit-rate
+//                         collapse (all-unique tail) that the watchdog MUST
+//                         flag
 //   --trace-out=<path>    write a Chrome trace-event JSON (Perfetto-loadable)
 //                         of the run: acceptance mode writes the
 //                         observability-section export run; otherwise the
@@ -62,6 +70,12 @@
 //                         exported
 //   --metrics-out=<path>  write the Prometheus-style metrics snapshot of the
 //                         same run the trace export covers
+//   --json-out=<path>     write the run's BENCH json record (schema
+//                         "iccache-bench/1", see src/obs/bench_json.h):
+//                         acceptance mode records the observability export
+//                         run, otherwise the lifecycle demo —
+//                         tools/bench_compare gates CI against the committed
+//                         baseline with these records
 //
 // Every thread-sweep cell starts from an IDENTICAL restored snapshot: the
 // seed pool is built once per backend, snapshotted, and each (backend,
@@ -83,7 +97,9 @@
 #include "src/common/rng.h"
 #include "src/core/retrieval_backend.h"
 #include "src/core/sharded_cache.h"
+#include "src/obs/bench_json.h"
 #include "src/obs/export.h"
+#include "src/obs/timeline.h"
 #include "src/obs/trace.h"
 #include "src/persist/pool_codec.h"
 #include "src/persist/snapshot.h"
@@ -120,6 +136,7 @@ struct Options {
   std::string restore_path;
   std::string trace_out;
   std::string metrics_out;
+  std::string json_out;
   size_t snapshot_bench = 0;
 };
 
@@ -159,6 +176,63 @@ std::vector<Request> MakeDuplicateHeavy(std::vector<Request> requests,
     // id and arrival_time stay the repeat's own.
   }
   return requests;
+}
+
+// Duplicate-heavy head, then an all-unique tail: the stage-0 hit rate climbs
+// as the cache warms, then collapses when the last 40% of requests stop
+// repeating — the injected fault the watchdog's hit-rate-drop rule must
+// catch.
+std::vector<Request> MakeCollapseTrace(std::vector<Request> requests) {
+  Rng rng(kSeed ^ 0xc011a5eull);
+  const size_t warmup = requests.size() / 8;
+  const size_t cliff = (requests.size() * 3) / 5;
+  for (size_t i = warmup; i < requests.size(); ++i) {
+    if (i >= cliff) {
+      requests[i].text += " #unique-" + std::to_string(i);
+      continue;
+    }
+    if (!rng.Bernoulli(0.6)) {
+      continue;
+    }
+    const Request& source = requests[rng.UniformInt(static_cast<uint64_t>(i))];
+    Request& repeat = requests[i];
+    repeat.text = source.text;
+    repeat.dataset = source.dataset;
+    repeat.task = source.task;
+    repeat.topic_id = source.topic_id;
+    repeat.intent_id = source.intent_id;
+    repeat.difficulty = source.difficulty;
+    repeat.input_tokens = source.input_tokens;
+    repeat.target_output_tokens = source.target_output_tokens;
+  }
+  return requests;
+}
+
+// The SLO-watchdog rule set the acceptance runs arm: the rules whose inputs
+// are deterministic in simulation (stage-0 hit-rate collapse, maintenance
+// stalls), so a clean run is provably silent at any thread count. The
+// wall-clock rules (e2e SLO, queue growth) stay off here — simulated
+// latencies don't breach and arming them adds nothing to the gate.
+WatchdogConfig ArmedWatchdog() {
+  WatchdogConfig watchdog;
+  watchdog.stage0_drop_fraction = 0.5;
+  watchdog.maintenance_stall_rule = true;
+  return watchdog;
+}
+
+bool SameTailExemplars(const DriverReport& a, const DriverReport& b) {
+  if (a.tail_exemplars.size() != b.tail_exemplars.size()) {
+    return false;
+  }
+  for (size_t i = 0; i < a.tail_exemplars.size(); ++i) {
+    if (a.tail_exemplars[i].request_id != b.tail_exemplars[i].request_id ||
+        a.tail_exemplars[i].window != b.tail_exemplars[i].window ||
+        a.tail_exemplars[i].e2e_latency_s != b.tail_exemplars[i].e2e_latency_s ||
+        a.tail_exemplars[i].slowest != b.tail_exemplars[i].slowest) {
+      return false;
+    }
+  }
+  return true;
 }
 
 std::unique_ptr<ServingDriver> MakeDriver(const DatasetProfile& profile,
@@ -248,6 +322,8 @@ Options ParseOptions(int argc, char** argv) {
       options.trace_out = arg.substr(12);
     } else if (arg.rfind("--metrics-out=", 0) == 0) {
       options.metrics_out = arg.substr(14);
+    } else if (arg.rfind("--json-out=", 0) == 0) {
+      options.json_out = arg.substr(11);
     } else if (arg.rfind("--snapshot-bench=", 0) == 0) {
       options.snapshot_bench = static_cast<size_t>(std::strtoull(arg.c_str() + 17, nullptr, 10));
     } else if (arg == "--acceptance") {
@@ -365,6 +441,58 @@ bool SameDecisions(const DriverReport& a, const DriverReport& b) {
   return true;
 }
 
+// BENCH json record for a driver run (schema "iccache-bench/1"). Simulated
+// metrics (latency percentiles, hit rates, token counts, anomaly count) are
+// seed-deterministic and gate against the committed baseline on any machine;
+// wall-clock-derived metrics are marked machine_dependent and gate only
+// under bench_compare --strict. Pass tail_attribution < 0 when no trace was
+// recorded for the run.
+BenchRunRecord MakeBenchRecord(const std::string& bench, const DriverConfig& config,
+                               const DriverReport& report, size_t trace_size,
+                               double tail_attribution) {
+  BenchRunRecord record;
+  record.bench = bench;
+  record.AddConfig("requests", std::to_string(trace_size));
+  record.AddConfig("threads", std::to_string(config.num_threads));
+  record.AddConfig("lanes", std::to_string(config.commit_lanes));
+  record.AddConfig("batch_window", std::to_string(config.batch_window));
+  record.AddConfig("backend", RetrievalBackendKindName(config.cache.cache.retrieval.kind));
+  record.AddConfig("stage0", config.stage0.enabled ? "on" : "off");
+  record.AddConfig("seed", std::to_string(config.seed));
+  record.AddConfig("simd_kernel", report.simd_kernel);
+  record.AddMetric("requests_per_second", report.requests_per_second, 0.15, +1, true);
+  record.AddMetric("wall_seconds", report.wall_seconds, 0.15, -1, true);
+  const double request_path = report.prepare_seconds + report.serial_seconds;
+  record.AddMetric("parallel_fraction",
+                   request_path > 0.0 ? report.prepare_seconds / request_path : 0.0, 0.05,
+                   +1, true);
+  if (tail_attribution >= 0.0) {
+    record.AddMetric("tail_attribution_fraction", tail_attribution, 0.08, +1, true);
+  }
+  record.AddMetric("maintenance_stalled_windows",
+                   static_cast<double>(report.maintenance_stalled_windows), 0.0, -1, true);
+  record.AddMetric("p50_latency_s", report.p50_latency_s, 0.10, -1);
+  record.AddMetric("p99_latency_s", report.p99_latency_s, 0.10, -1);
+  record.AddMetric("p50_ttft_s", report.p50_ttft_s, 0.10, -1);
+  record.AddMetric("p99_ttft_s", report.p99_ttft_s, 0.10, -1);
+  record.AddMetric("p50_queue_delay_s", report.p50_queue_delay_s, 0.10, -1);
+  record.AddMetric("p99_queue_delay_s", report.p99_queue_delay_s, 0.10, -1);
+  record.AddMetric("mean_quality", report.mean_quality, 0.05, +1);
+  record.AddMetric("stage0_hit_rate",
+                   trace_size > 0 ? static_cast<double>(report.stage0_hits) /
+                                        static_cast<double>(trace_size)
+                                  : 0.0,
+                   0.10, +1);
+  record.AddMetric("stage0_tokens_saved", static_cast<double>(report.stage0_tokens_saved),
+                   0.10, +1);
+  record.AddMetric("generated_tokens", static_cast<double>(report.generated_tokens), 0.10, -1);
+  record.AddMetric("anomaly_count", static_cast<double>(report.anomalies.size()), 0.0, -1);
+  record.AddMetric("offloaded_requests", static_cast<double>(report.offloaded_requests), 0.0, 0);
+  record.AddMetric("admitted_examples", static_cast<double>(report.admitted_examples), 0.0, 0);
+  record.AddMetric("tail_exemplars", static_cast<double>(report.tail_exemplars.size()), 0.0, 0);
+  return record;
+}
+
 // Writes the flight-recorder trace (Chrome trace-event JSON) and the driver's
 // metrics hub (Prometheus text) for a finished run, then validates both
 // artifacts end to end: the JSON must survive the strict in-repo parser, and
@@ -403,9 +531,11 @@ bool ExportObservability(const ServingDriver& driver, const std::string& trace_p
           TraceCategory::kEmbed,           TraceCategory::kStage0Probe,
           TraceCategory::kStage1Retrieval, TraceCategory::kStage2Scoring,
           TraceCategory::kHnswSearch,      TraceCategory::kCommitLane,
-          TraceCategory::kLaneCommit,      TraceCategory::kMerge,
-          TraceCategory::kPublish,         TraceCategory::kMaintenancePlan,
-          TraceCategory::kMaintenanceApply, TraceCategory::kCheckpointWrite};
+          TraceCategory::kLaneCommit,      TraceCategory::kRoute,
+          TraceCategory::kGenerate,        TraceCategory::kMerge,
+          TraceCategory::kMergeStep,       TraceCategory::kPublish,
+          TraceCategory::kMaintenancePlan, TraceCategory::kMaintenanceApply,
+          TraceCategory::kCheckpointWrite};
       bool all_stages = true;
       for (const TraceCategory category : kRequired) {
         const char* name = TraceCategoryName(category);
@@ -431,9 +561,20 @@ bool ExportObservability(const ServingDriver& driver, const std::string& trace_p
                                "iccache_pool_bytes"}) {
       metrics_ok = metrics_ok && prom.value().find(family) != std::string::npos;
     }
-    std::printf("  metrics export: %s  core families present: %s\n", metrics_path.c_str(),
-                metrics_ok ? "yes" : "NO (BUG)");
-    ok = ok && metrics_ok;
+    // Round-trip: the exposition must parse back, and every histogram family
+    // must be internally coherent (cumulative buckets, +Inf == _count).
+    PrometheusSummary parsed_prom;
+    std::string prom_error;
+    const bool prom_valid =
+        prom.ok() && ParsePrometheusText(prom.value(), &parsed_prom, &prom_error) &&
+        ValidatePrometheusHistograms(parsed_prom, &prom_error);
+    if (!prom_valid && prom.ok()) {
+      std::fprintf(stderr, "prometheus validation failed: %s\n", prom_error.c_str());
+    }
+    std::printf("  metrics export: %s  core families present: %s  round-trip valid: %s\n",
+                metrics_path.c_str(), metrics_ok ? "yes" : "NO (BUG)",
+                prom_valid ? "yes" : "NO (BUG)");
+    ok = ok && metrics_ok && prom_valid;
   }
   return ok;
 }
@@ -538,14 +679,18 @@ int RunAcceptance(const Options& options, const DatasetProfile& profile,
       s0_identical && tokens_reduced && hit_rate >= kHitRateFloor && s0_fraction >= 0.94;
 
   // --- Observability gate: the flight recorder must be passive -------------
-  // Tracing may never change a decision: runs with tracing on must be
-  // byte-identical to runs with it off at every thread and lane count, and
-  // its wall-clock cost must stay under 2% (min-of-3 walls, interleaved so
-  // machine drift hits both sides). A final export run — 8 threads, 4 lanes,
-  // stage-0 on, checkpointing enabled so checkpoint_write spans exist —
-  // feeds the Chrome-trace and Prometheus writers, and both artifacts must
-  // parse and cover every pipeline stage.
-  benchutil::PrintTitle("Acceptance: flight-recorder observability (tracing on vs off)");
+  // Tracing and the SLO watchdog may never change a decision: runs with both
+  // on must be byte-identical — decisions AND the deterministic tail-exemplar
+  // set — to runs with both off at every thread and lane count, and their
+  // combined CPU cost must stay under 3% (best of 4 paired runs). A final
+  // export run — 8 threads, 4 lanes, stage-0 on, watchdog armed,
+  // checkpointing enabled so checkpoint_write spans exist — feeds the
+  // Chrome-trace and Prometheus writers; both artifacts must parse, cover
+  // every pipeline stage, the assembled per-request timelines must attribute
+  // >= 90% of the tail cohort's wall time, and the armed watchdog must stay
+  // silent on this clean trace.
+  benchutil::PrintTitle(
+      "Acceptance: flight-recorder observability (tracing + watchdog on vs off)");
   TraceRecorder& recorder = TraceRecorder::Global();
   recorder.set_ring_capacity(8192);  // bounds resident ring memory across the grid
   DriverConfig obs = MakeConfig(/*num_threads=*/8, RetrievalBackendKind::kHnsw,
@@ -554,27 +699,46 @@ int RunAcceptance(const Options& options, const DatasetProfile& profile,
   obs.manager.decay_interval_s = 60.0;
   obs.replay_min_interval_s = 120.0;
   obs.replay_load_threshold = 1e9;
+  obs.tail_sample_every = 97;  // fixed-rate exemplars on top of slowest-2/window
+  // The "on" side of every comparison: same run with the watchdog armed.
+  DriverConfig obs_on = obs;
+  obs_on.watchdog = ArmedWatchdog();
   const std::string obs_snapshot = WriteSeedSnapshot(profile, catalog, obs, "obs");
 
   bool obs_identical = true;
+  bool tails_identical = true;
+  bool have_tail_reference = false;
+  DriverReport tail_reference;
   for (const size_t threads : {size_t{1}, size_t{8}}) {
     for (const size_t lanes : {size_t{1}, size_t{4}}) {
-      obs.num_threads = threads;
-      obs.commit_lanes = lanes;
+      obs.num_threads = obs_on.num_threads = threads;
+      obs.commit_lanes = obs_on.commit_lanes = lanes;
       recorder.set_enabled(false);
       const DriverReport off_run = RestoredDriver(catalog, obs, obs_snapshot)->Run(dup_trace);
       recorder.Reset();
       recorder.set_enabled(true);
-      const DriverReport on_run = RestoredDriver(catalog, obs, obs_snapshot)->Run(dup_trace);
+      DriverReport on_run = RestoredDriver(catalog, obs_on, obs_snapshot)->Run(dup_trace);
       recorder.set_enabled(false);
-      obs_identical = obs_identical && SameDecisions(off_run, on_run);
+      obs_identical = obs_identical && SameDecisions(off_run, on_run) &&
+                      on_run.anomalies.empty();
+      // The tail-exemplar set keys on simulated latency and request ids
+      // only, so it must match between on/off and across the whole grid.
+      tails_identical = tails_identical && SameTailExemplars(off_run, on_run);
+      if (!have_tail_reference) {
+        tail_reference = std::move(on_run);
+        have_tail_reference = true;
+      } else {
+        tails_identical = tails_identical && SameTailExemplars(tail_reference, on_run);
+      }
     }
   }
-  std::printf("  decisions identical, tracing on vs off ({1,8} threads x {1,4} lanes): %s\n",
+  std::printf("  decisions identical, obs on vs off ({1,8} threads x {1,4} lanes): %s\n",
               obs_identical ? "yes" : "NO (BUG)");
+  std::printf("  tail exemplars identical across the grid (%zu exemplars): %s\n",
+              tail_reference.tail_exemplars.size(), tails_identical ? "yes" : "NO (BUG)");
 
-  obs.num_threads = 8;
-  obs.commit_lanes = 4;
+  obs.num_threads = obs_on.num_threads = 8;
+  obs.commit_lanes = obs_on.commit_lanes = 4;
   // Overhead is estimated per back-to-back (off, on) pair and the gate takes
   // the MINIMUM over pairs: co-tenant noise on a shared CI box can only
   // inflate a measurement (tracing never makes identical work faster), so
@@ -591,8 +755,9 @@ int RunAcceptance(const Options& options, const DatasetProfile& profile,
       recorder.Reset();
       recorder.set_enabled(traced == 1);
       // Construct the driver outside the timed region: restore cost is not
-      // tracing overhead.
-      const auto driver = RestoredDriver(catalog, obs, obs_snapshot);
+      // observability overhead. The "on" side arms the watchdog too, so the
+      // bound covers tracing + watchdog together.
+      const auto driver = RestoredDriver(catalog, traced == 1 ? obs_on : obs, obs_snapshot);
       const double cpu_start = ProcessCpuSeconds();
       driver->Run(dup_trace);
       pair_cpu[traced] = ProcessCpuSeconds() - cpu_start;
@@ -606,24 +771,46 @@ int RunAcceptance(const Options& options, const DatasetProfile& profile,
       best_on = pair_cpu[1];
     }
   }
-  const bool overhead_ok = overhead <= 0.02;
-  std::printf("  tracing overhead (8t/4l, best of 4 paired runs, cpu-s): %.3f off vs %.3f on "
-              "= %.2f%%  (required <= 2%%): %s\n",
+  const bool overhead_ok = overhead <= 0.03;
+  std::printf("  tracing+watchdog overhead (8t/4l, best of 4 paired runs, cpu-s): %.3f off vs "
+              "%.3f on = %.2f%%  (required <= 3%%): %s\n",
               best_off, best_on, 100.0 * overhead, overhead_ok ? "ok" : "FAIL");
   std::remove(obs_snapshot.c_str());
 
   // The export run checkpoints into (and restores from) its own private seed
   // file — checkpoint writes overwrite the snapshot they restored, so it
-  // cannot share the grid's seed.
-  DriverConfig export_config = obs;
+  // cannot share the grid's seed. Its rings get more headroom (the
+  // per-request route/generate/merge_step spans roughly double the event
+  // volume) so the tail-attribution gate below isn't degraded by drops.
+  DriverConfig export_config = obs_on;
   export_config.checkpoint_interval_s = 60.0;  // trace seconds; off-peak gate relaxed above
   const std::string export_snapshot = WriteSeedSnapshot(profile, catalog, obs, "obsexport");
   recorder.Reset();
+  recorder.set_ring_capacity(1 << 15);
   recorder.set_enabled(true);
   const auto export_driver = RestoredDriver(catalog, export_config, export_snapshot);
   const DriverReport export_report = export_driver->Run(dup_trace);
   recorder.set_enabled(false);
   std::remove(export_snapshot.c_str());
+
+  // Tail attribution over the recorded spans: stitch every request's
+  // prepare/lane/merge spans into a timeline and demand that >= 90% of the
+  // tail (p99) cohort's wall time lands in named stages — the "can the trace
+  // explain the p99" contract ci.sh re-checks offline via tail_report.
+  const TraceRecorder::Snapshot obs_snapshot_events = recorder.TakeSnapshot();
+  const std::vector<RequestTimeline> timelines =
+      AssembleTimelines(FlattenSnapshot(obs_snapshot_events));
+  const TailAttribution attribution = AttributeTails(timelines);
+  const bool attribution_ok = attribution.tail_attribution_fraction >= 0.90;
+  std::printf("  per-request timelines assembled: %zu  (of %zu requests)\n",
+              timelines.size(), dup_trace.size());
+  std::printf("  tail attribution (p99 cohort, %zu requests): %.1f%% of wall time in named "
+              "stages  (required >= 90%%): %s\n",
+              attribution.tail_count, 100.0 * attribution.tail_attribution_fraction,
+              attribution_ok ? "ok" : "FAIL");
+  const bool silent_ok = export_report.anomalies.empty();
+  std::printf("  armed watchdog silent on the clean run: %s  (tail exemplars: %zu)\n",
+              silent_ok ? "yes" : "NO (BUG)", export_report.tail_exemplars.size());
 
   const std::string trace_path =
       options.trace_out.empty()
@@ -639,9 +826,49 @@ int RunAcceptance(const Options& options, const DatasetProfile& profile,
               export_report.checkpoints_taken,
               export_report.checkpoints_taken > 0 ? "ok" : "FAIL");
 
-  const bool obs_ok =
-      obs_identical && overhead_ok && export_ok && export_report.checkpoints_taken > 0;
-  return pipeline_ok && stage0_ok && obs_ok ? 0 : 1;
+  if (!options.json_out.empty()) {
+    const BenchRunRecord record =
+        MakeBenchRecord("driver_throughput_acceptance", export_config, export_report,
+                        dup_trace.size(), attribution.tail_attribution_fraction);
+    const Status written = WriteBenchRun(options.json_out, record);
+    std::printf("  bench json: %s  (%zu metrics): %s\n", options.json_out.c_str(),
+                record.metrics.size(), written.ok() ? "ok" : written.ToString().c_str());
+    if (!written.ok()) {
+      return 1;
+    }
+  }
+
+  const bool obs_ok = obs_identical && tails_identical && overhead_ok && export_ok &&
+                      attribution_ok && silent_ok && export_report.checkpoints_taken > 0;
+
+  // --- Watchdog gate: injected stage-0 hit-rate collapse -------------------
+  // The same armed rule set that stayed silent above must fire when the
+  // trace's tail goes all-unique and the hit rate falls off a cliff.
+  benchutil::PrintTitle("Acceptance: SLO watchdog flags an injected stage-0 collapse");
+  const std::vector<Request> collapse_trace = MakeCollapseTrace(requests);
+  DriverConfig collapse_config = obs_on;
+  collapse_config.num_threads = 8;
+  collapse_config.commit_lanes = 4;
+  const std::string collapse_snapshot =
+      WriteSeedSnapshot(profile, catalog, obs, "collapse");
+  const DriverReport collapse_report =
+      RestoredDriver(catalog, collapse_config, collapse_snapshot)->Run(collapse_trace);
+  std::remove(collapse_snapshot.c_str());
+  size_t collapse_anomalies = 0;
+  for (const WatchdogEvent& event : collapse_report.anomalies) {
+    if (event.rule == WatchdogRule::kStage0HitRateDrop) {
+      ++collapse_anomalies;
+      std::printf("  anomaly @ window %llu: %s\n",
+                  static_cast<unsigned long long>(event.window), event.detail.c_str());
+    }
+  }
+  const bool collapse_ok = collapse_anomalies > 0;
+  std::printf("  injected collapse (all-unique tail from request %zu): hit-rate-drop "
+              "anomalies=%zu  (required > 0): %s\n",
+              (collapse_trace.size() * 3) / 5, collapse_anomalies,
+              collapse_ok ? "ok" : "FAIL");
+
+  return pipeline_ok && stage0_ok && obs_ok && collapse_ok ? 0 : 1;
 }
 
 }  // namespace
@@ -833,6 +1060,15 @@ int main(int argc, char** argv) {
     // may be off), so only the acceptance mode demands every span category.
     obs_export_ok = ExportObservability(*driver, options.trace_out, options.metrics_out,
                                         /*expect_all_stages=*/false);
+  }
+  if (!options.json_out.empty()) {
+    const BenchRunRecord record =
+        MakeBenchRecord("driver_throughput_lifecycle", lifecycle_config, report,
+                        requests.size(), /*tail_attribution=*/-1.0);
+    const Status written = WriteBenchRun(options.json_out, record);
+    std::printf("  bench json: %s  (%zu metrics): %s\n", options.json_out.c_str(),
+                record.metrics.size(), written.ok() ? "ok" : written.ToString().c_str());
+    obs_export_ok = obs_export_ok && written.ok();
   }
 
   if (hw < 2) {

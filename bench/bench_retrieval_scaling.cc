@@ -31,6 +31,13 @@
 //   --quantize=both             hnsw arena variants: none | int8 | both
 //   --rerank=64                 int8 exact re-rank depth
 //   --acceptance                exit 1 unless every acceptance bar holds
+//   --json-out=<path>           write the sweep as a BENCH json record
+//                               (schema "iccache-bench/1"): one
+//                               <index>_<size>_* metric row per cell —
+//                               recall and bytes/vec are seed-deterministic
+//                               and gate everywhere, build/search wall time
+//                               is machine-dependent and gates only under
+//                               bench_compare --strict
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -46,6 +53,7 @@
 #include "src/common/simd.h"
 #include "src/core/retrieval_backend.h"
 #include "src/index/hnsw.h"
+#include "src/obs/bench_json.h"
 
 namespace iccache {
 namespace {
@@ -72,6 +80,7 @@ struct Flags {
   bool hnsw_int8 = true;
   size_t rerank = 64;
   bool acceptance = false;
+  std::string json_out;
 };
 
 bool ParseSizeList(const char* text, std::vector<size_t>* out) {
@@ -135,6 +144,8 @@ Flags ParseFlags(int argc, char** argv) {
         std::fprintf(stderr, "bad --quantize mode (none|int8|both): %s\n", arg.c_str());
         std::exit(2);
       }
+    } else if (arg.rfind("--json-out=", 0) == 0) {
+      flags.json_out = arg.substr(11);
     } else if (arg == "--acceptance") {
       flags.acceptance = true;
     } else {
@@ -237,6 +248,31 @@ int main(int argc, char** argv) {
 
   bool acceptance_ok = true;
   const size_t largest = *std::max_element(flags.sizes.begin(), flags.sizes.end());
+
+  // One BENCH json row per (size, index) cell. Recall and bytes/vec are
+  // seed-deterministic and gate everywhere; build/search wall time only
+  // gates under bench_compare --strict.
+  BenchRunRecord bench;
+  bench.bench = "retrieval_scaling";
+  bench.AddConfig("dim", std::to_string(flags.dim));
+  bench.AddConfig("queries", std::to_string(flags.queries));
+  bench.AddConfig("k", std::to_string(flags.k));
+  bench.AddConfig("rerank", std::to_string(flags.rerank));
+  bench.AddConfig("simd_kernel", simd::KernelLevelName(simd::ActiveKernelLevel()));
+  const auto add_rows = [&bench](size_t n, const char* name, const Measurement& m,
+                                 double speedup, bool measure_recall) {
+    const std::string prefix = std::string(name) + "_" + std::to_string(n) + "_";
+    bench.AddMetric(prefix + "build_s", m.build_s, 0.25, -1, true);
+    bench.AddMetric(prefix + "search_us", m.search_us_per_query, 0.25, -1, true);
+    if (measure_recall) {
+      bench.AddMetric(prefix + "recall", m.recall, 0.03, +1);
+      bench.AddMetric(prefix + "vs_flat", speedup, 0.0, 0, true);
+    }
+    if (m.bytes_per_vec > 0.0) {
+      bench.AddMetric(prefix + "bytes_per_vec", m.bytes_per_vec, 0.05, -1);
+    }
+  };
+
   Rng rng(0x5ca1e);
   for (size_t n : flags.sizes) {
     // Corpus: perturbations of shared cluster centers (see --clusters above);
@@ -274,15 +310,17 @@ int main(int argc, char** argv) {
       }
     }
     PrintRow(n, "flat", flat_m, 1.0);
+    add_rows(n, "flat", flat_m, 1.0, false);
 
     if (n <= flags.kmeans_cap) {
       RetrievalBackendConfig config;
       config.kind = RetrievalBackendKind::kKMeans;
       const auto index = MakeRetrievalIndex(config, flags.dim, 0x5eed ^ n);
       const Measurement m = Measure(*index, vectors, queries, truth, flags.k);
-      PrintRow(n, "kmeans", m,
-               m.search_us_per_query > 0.0 ? flat_m.search_us_per_query / m.search_us_per_query
-                                           : 0.0);
+      const double kmeans_speedup =
+          m.search_us_per_query > 0.0 ? flat_m.search_us_per_query / m.search_us_per_query : 0.0;
+      PrintRow(n, "kmeans", m, kmeans_speedup);
+      add_rows(n, "kmeans", m, kmeans_speedup, true);
     } else {
       std::printf("  %-9zu %-10s %12s %16s %10s %9s %12s\n", n, "kmeans", "-", "-", "-", "-",
                   "(skipped)");
@@ -312,6 +350,7 @@ int main(int argc, char** argv) {
       const double speedup =
           m.search_us_per_query > 0.0 ? flat_m.search_us_per_query / m.search_us_per_query : 0.0;
       PrintRow(n, int8 ? "hnsw-int8" : "hnsw", m, speedup);
+      add_rows(n, int8 ? "hnsw_int8" : "hnsw", m, speedup, true);
       if (!int8) {
         float_m = m;
         have_float = true;
@@ -381,6 +420,15 @@ int main(int argc, char** argv) {
       "B/vec, and the graph image round-trips");
   benchutil::PrintNote(
       "kmeans above --kmeans-cap is skipped: incremental Lloyd rebuilds dominate runtime");
+  if (!flags.json_out.empty()) {
+    const Status written = WriteBenchRun(flags.json_out, bench);
+    if (!written.ok()) {
+      std::fprintf(stderr, "bench json: %s\n", written.ToString().c_str());
+      return 1;
+    }
+    std::printf("\nbench json: wrote %s (%zu metrics)\n", flags.json_out.c_str(),
+                bench.metrics.size());
+  }
   if (!acceptance_ok) {
     benchutil::PrintNote("ACCEPTANCE FAILED");
     return 1;

@@ -6,15 +6,25 @@
 # under the forced-scalar dispatch path, exit-enforce the stage-1 retrieval
 # scaling bars at 100k vectors (float hnsw vs flat, int8 vs float), then
 # snapshot a real driver pool and verify the on-disk format with
-# tools/snapshot_dump. Set ICCACHE_CI_SCALE=full to also run the 1M-vector
-# full-scale retrieval gate (~20 min single-core). Mirrors the tier-1 verify
-# line in ROADMAP.md; keep the two in sync.
+# tools/snapshot_dump. The observability acceptance additionally exit-enforces
+# the perf-trajectory gate: the run's BENCH json must stay inside the
+# committed baseline's tolerance bands (tools/bench_compare), and a doctored
+# -20% throughput copy must make the strict gate fail (red-path self-test).
+# Set ICCACHE_CI_SCALE=full to also run the 1M-vector full-scale retrieval
+# gate (~20 min single-core). Set ICCACHE_CI_ARTIFACT_DIR to keep the trace /
+# metrics / BENCH json exports instead of deleting them (the GitHub workflow
+# uploads that directory as a build artifact). Mirrors the tier-1 verify line
+# in ROADMAP.md; keep the two in sync.
 set -euo pipefail
 
 cd "$(dirname "$0")"
 
 BUILD_DIR="${BUILD_DIR:-build}"
 JOBS="${JOBS:-$(nproc)}"
+ARTIFACT_DIR="${ICCACHE_CI_ARTIFACT_DIR:-}"
+if [[ -n "${ARTIFACT_DIR}" ]]; then
+  mkdir -p "${ARTIFACT_DIR}"
+fi
 
 echo "== configure =="
 cmake -B "${BUILD_DIR}" -S .
@@ -71,9 +81,14 @@ echo "== retrieval scaling acceptance (100k, int8 vs float hnsw) =="
 # quantized graph image round-trips through save/restore. ~90 s: the two
 # 100k graph builds dominate, the 1000-query search windows keep the
 # timing comparison out of the noise floor.
+RETRIEVAL_JSON="$(mktemp -u /tmp/iccache_ci_retrieval_XXXXXX.json)"
 timeout 900 "${BUILD_DIR}/bench_retrieval_scaling" \
   --sizes=100000 --dim=128 --queries=1000 --M=16 --efc=100 --efs=192 \
-  --sigma=0.12 --acceptance
+  --sigma=0.12 --acceptance --json-out="${RETRIEVAL_JSON}"
+if [[ -n "${ARTIFACT_DIR}" ]]; then
+  cp "${RETRIEVAL_JSON}" "${ARTIFACT_DIR}/BENCH_retrieval_scaling.json"
+fi
+rm -f "${RETRIEVAL_JSON}"
 
 # Forced-scalar end-to-end smoke: the same harness must stay correct (not
 # fast) when dispatch is pinned to the fallback kernels.
@@ -102,21 +117,62 @@ echo "== sharded-commit-pipeline + stage-0 + observability acceptance =="
 # its gate: hit rate >= 25%, fewer generated tokens than the stage0-off run,
 # byte-identical decisions at 1 vs 8 threads and 1 vs 4 commit lanes, and
 # the parallel fraction still >= 0.94. The third section exit-enforces the
-# flight-recorder gate: decisions byte-identical with tracing on vs off at
-# {1,8} threads x {1,4} lanes, tracing overhead <= 2%, and the exported
+# flight-recorder gate: decisions AND tail exemplars byte-identical with
+# tracing + armed watchdog on vs off at {1,8} threads x {1,4} lanes,
+# observability overhead <= 3%, tail attribution >= 90% of the p99 cohort's
+# wall time, the armed watchdog silent on the clean run, and the exported
 # Chrome trace + Prometheus metrics parse and cover every pipeline stage.
+# The fourth section injects a stage-0 hit-rate collapse and requires the
+# watchdog to flag it.
 TRACE_JSON="$(mktemp -u /tmp/iccache_ci_trace_XXXXXX.json)"
 METRICS_PROM="$(mktemp -u /tmp/iccache_ci_metrics_XXXXXX.prom)"
+BENCH_JSON="$(mktemp -u /tmp/iccache_ci_bench_XXXXXX.json)"
 timeout 600 "${BUILD_DIR}/bench_driver_throughput" --acceptance --requests=3000 \
-  --trace-out="${TRACE_JSON}" --metrics-out="${METRICS_PROM}"
+  --trace-out="${TRACE_JSON}" --metrics-out="${METRICS_PROM}" --json-out="${BENCH_JSON}"
 
-echo "== observability export smoke (trace_dump + metrics grep) =="
-# trace_dump re-parses the exported JSON with the strict in-repo parser and
-# must see the per-request commit span; the Prometheus text must expose the
-# core request counter under the iccache_ prefix.
-timeout 60 "${BUILD_DIR}/trace_dump" "${TRACE_JSON}" | tee /dev/stderr | grep -q "lane_commit"
+echo "== observability export smoke (trace_dump + tail_report + metrics grep) =="
+# trace_dump re-parses the exported JSON with the strict in-repo parser,
+# lints window-parent integrity, and must see the per-request commit span;
+# the Prometheus text must expose the core request counter under the
+# iccache_ prefix.
+# No `grep -q` under pipefail: an early-exit grep SIGPIPEs the dump binary.
+timeout 60 "${BUILD_DIR}/trace_dump" "${TRACE_JSON}" | grep "lane_commit" > /dev/null
+# Per-request timeline mode: any request id that appears in the trace must
+# assemble into a renderable cross-thread timeline.
+# Single-process extraction: the trace is one giant JSON line, so any
+# grep|head pipe either SIGPIPEs under pipefail or returns every id at once.
+REQ_ID="$(awk 'match($0, /"request_id":[1-9][0-9]*/) { print substr($0, RSTART + 13, RLENGTH - 13); exit }' "${TRACE_JSON}")"
+timeout 60 "${BUILD_DIR}/trace_dump" --request="${REQ_ID}" "${TRACE_JSON}" \
+  | grep "request ${REQ_ID}" > /dev/null
+# Offline tail-attribution gate over the same trace: >= 90% of the p99
+# cohort's wall time must land in named stages.
+timeout 60 "${BUILD_DIR}/tail_report" --min-attribution=0.9 "${TRACE_JSON}" > /dev/null
 grep -q "^iccache_requests_total " "${METRICS_PROM}"
-rm -f "${TRACE_JSON}" "${METRICS_PROM}"
+
+echo "== perf trajectory gate (bench_compare vs committed baseline) =="
+# Green path: this run's BENCH json must stay inside the committed
+# baseline's tolerance bands. Machine-dependent metrics (req/s, wall clock)
+# report but do not gate across machines; the simulated metrics are
+# seed-deterministic and gate everywhere.
+timeout 60 "${BUILD_DIR}/bench_compare" bench/baselines/BENCH_driver.json "${BENCH_JSON}"
+# Red-path self-test: doctor a 20% throughput drop into a copy of this run
+# and require the strict gate (same machine, so machine metrics gate too) to
+# FAIL — a gate that cannot fire protects nothing.
+DOCTORED_JSON="$(mktemp -u /tmp/iccache_ci_doctored_XXXXXX.json)"
+timeout 60 "${BUILD_DIR}/bench_compare" --scale=requests_per_second=0.8 \
+  "${BENCH_JSON}" "${DOCTORED_JSON}" > /dev/null
+if timeout 60 "${BUILD_DIR}/bench_compare" --strict "${BENCH_JSON}" "${DOCTORED_JSON}" > /dev/null; then
+  echo "bench_compare failed to flag a doctored 20% throughput regression" >&2
+  exit 1
+fi
+echo "doctored -20% req/s correctly rejected by bench_compare --strict"
+
+if [[ -n "${ARTIFACT_DIR}" ]]; then
+  cp "${TRACE_JSON}" "${ARTIFACT_DIR}/trace.json"
+  cp "${METRICS_PROM}" "${ARTIFACT_DIR}/metrics.prom"
+  cp "${BENCH_JSON}" "${ARTIFACT_DIR}/BENCH_driver.json"
+fi
+rm -f "${TRACE_JSON}" "${METRICS_PROM}" "${BENCH_JSON}" "${DOCTORED_JSON}"
 
 echo "== snapshot format smoke (driver checkpoint -> snapshot_dump) =="
 # A short lifecycle run (stage-0 tier on) that takes real checkpoints, then
@@ -126,6 +182,6 @@ SNAP="$(mktemp -u /tmp/iccache_ci_pool_XXXXXX.snap)"
 trap 'rm -f "${SNAP}" "${SNAP}.tmp"' EXIT
 timeout 300 "${BUILD_DIR}/bench_driver_throughput" \
   --requests=600 --sweep=off --stage0=on --snapshot="${SNAP}" > /dev/null
-timeout 60 "${BUILD_DIR}/snapshot_dump" "${SNAP}" | tee /dev/stderr | grep -q "^stage0:"
+timeout 60 "${BUILD_DIR}/snapshot_dump" "${SNAP}" | grep "^stage0:" > /dev/null
 
 echo "== ci.sh OK =="

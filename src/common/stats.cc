@@ -117,13 +117,22 @@ void LatencyHistogram::Add(double x) {
   }
   ++count_;
   sum_ += x;
-  if (x < edges_.front()) {
+  const int bin = BucketIndex(x);
+  if (bin < 0) {
     ++underflow_;
-    return;
+  } else if (static_cast<size_t>(bin) >= buckets_.size()) {
+    ++overflow_;
+  } else {
+    ++buckets_[bin];
+  }
+}
+
+int LatencyHistogram::BucketIndex(double x) const {
+  if (x < edges_.front()) {
+    return -1;
   }
   if (x >= edges_.back()) {
-    ++overflow_;
-    return;
+    return static_cast<int>(buckets_.size());
   }
   // log() lands on the right bucket up to floating-point rounding at the
   // boundaries; the probes below repair an off-by-one either way.
@@ -135,7 +144,7 @@ void LatencyHistogram::Add(double x) {
   while (bin + 1 < buckets_.size() && x >= edges_[bin + 1]) {
     ++bin;
   }
-  ++buckets_[bin];
+  return static_cast<int>(bin);
 }
 
 bool LatencyHistogram::Merge(const LatencyHistogram& other) {
@@ -160,6 +169,28 @@ bool LatencyHistogram::Merge(const LatencyHistogram& other) {
   count_ += other.count_;
   sum_ += other.sum_;
   return true;
+}
+
+LatencyHistogram LatencyHistogram::Delta(const LatencyHistogram& now,
+                                         const LatencyHistogram& prev) {
+  if (prev.lo_ != now.lo_ || prev.growth_ != now.growth_ ||
+      prev.buckets_.size() != now.buckets_.size() || prev.count_ > now.count_) {
+    return now;
+  }
+  LatencyHistogram delta = now;
+  for (size_t i = 0; i < delta.buckets_.size(); ++i) {
+    delta.buckets_[i] -= prev.buckets_[i];
+  }
+  delta.underflow_ -= prev.underflow_;
+  delta.overflow_ -= prev.overflow_;
+  delta.count_ -= prev.count_;
+  delta.sum_ -= prev.sum_;
+  if (delta.count_ == 0) {
+    delta.sum_ = 0.0;
+    delta.min_ = 0.0;
+    delta.max_ = 0.0;
+  }
+  return delta;
 }
 
 double LatencyHistogram::Percentile(double p) const {

@@ -104,6 +104,20 @@ class LatencyHistogram {
   // mismatch.
   bool Merge(const LatencyHistogram& other);
 
+  // Bucket a value would land in: -1 for underflow, num_buckets() for
+  // overflow, otherwise the in-range bucket index.
+  int BucketIndex(double x) const;
+
+  // Bucket-wise difference `now - prev`, where `prev` is an earlier snapshot
+  // of the same histogram (the per-window delta the SLO watchdog evaluates).
+  // Returns `now` unchanged when the geometries differ or `prev` is not a
+  // prefix (its count exceeds now's). The delta keeps now's lifetime min/max
+  // — exact per-window extremes are not recoverable from bucket counts — so
+  // Percentile() on a delta is only approximate for ranks landing in the
+  // underflow/overflow buckets.
+  static LatencyHistogram Delta(const LatencyHistogram& now,
+                                const LatencyHistogram& prev);
+
   // p in [0, 100]; nearest-rank bucket lookup, geometric-midpoint estimate.
   double Percentile(double p) const;
 

@@ -1,61 +1,64 @@
-// Lightweight metrics registry for the service: counters and gauges keyed by
-// name, snapshotted by the harnesses and examples. Not a hot path, but the
-// service can be driven from multiple client threads, so every method takes
-// the internal mutex (snapshot() returns a copy rather than a reference for
-// the same reason). Driver-side pipeline metrics use the richer
-// obs::MetricsHub instead; this registry keeps the service's stable,
-// externally-asserted metric names.
+// Thin facade keeping the service's stable, externally-asserted metric names
+// (Increment/Set/Get/Ratio/snapshot) while the storage lives in an
+// obs::MetricsHub — the same counters/gauges/histograms, window-snapshot
+// series, and Prometheus exposition the driver uses. Existing callers and
+// tests keep working unchanged; new code should prefer the hub directly.
+//
+// Semantics note: Increment() registers a counter and Set() a gauge. Using
+// both verbs on the same name would create two entries (Get() prefers the
+// counter); no caller does.
 #ifndef SRC_CORE_METRICS_H_
 #define SRC_CORE_METRICS_H_
 
 #include <map>
-#include <mutex>
+#include <memory>
 #include <string>
+
+#include "src/obs/metrics.h"
 
 namespace iccache {
 
 class MetricsRegistry {
  public:
-  void Increment(const std::string& name, double delta = 1.0) {
-    std::lock_guard<std::mutex> lock(mu_);
-    values_[name] += delta;
-  }
-  void Set(const std::string& name, double value) {
-    std::lock_guard<std::mutex> lock(mu_);
-    values_[name] = value;
-  }
+  // Standalone registry owning its hub (tests, ad-hoc callers).
+  MetricsRegistry() : owned_(std::make_unique<MetricsHub>()), hub_(owned_.get()) {}
+  // Facade over an externally-owned hub (IcCacheService); `hub` must outlive
+  // the registry.
+  explicit MetricsRegistry(MetricsHub* hub) : hub_(hub) {}
 
-  double Get(const std::string& name) const {
-    std::lock_guard<std::mutex> lock(mu_);
-    const auto it = values_.find(name);
-    return it == values_.end() ? 0.0 : it->second;
+  void Increment(const std::string& name, double delta = 1.0) {
+    hub_->Counter(name)->Add(delta);
   }
+  void Set(const std::string& name, double value) { hub_->Gauge(name)->Set(value); }
+
+  double Get(const std::string& name) const { return hub_->Value(name); }
 
   // Ratio helper: Get(numerator) / Get(denominator), 0 when empty.
   double Ratio(const std::string& numerator, const std::string& denominator) const {
-    std::lock_guard<std::mutex> lock(mu_);
-    const auto den = values_.find(denominator);
-    if (den == values_.end() || den->second <= 0.0) {
+    const double den = hub_->Value(denominator);
+    if (den <= 0.0) {
       return 0.0;
     }
-    const auto num = values_.find(numerator);
-    return num == values_.end() ? 0.0 : num->second / den->second;
+    return hub_->Value(numerator) / den;
   }
 
-  // Consistent copy of every metric (by value: the map keeps mutating under
-  // concurrent serving, so a reference would race).
+  // Consistent copy of every counter/gauge (by value: values keep mutating
+  // under concurrent serving, so a reference would race).
   std::map<std::string, double> snapshot() const {
-    std::lock_guard<std::mutex> lock(mu_);
-    return values_;
+    std::map<std::string, double> values;
+    for (const auto& [name, value] : hub_->CountersAndGauges()) {
+      values.emplace(name, value);
+    }
+    return values;
   }
-  void Reset() {
-    std::lock_guard<std::mutex> lock(mu_);
-    values_.clear();
-  }
+  void Reset() { hub_->Reset(); }
+
+  MetricsHub& hub() { return *hub_; }
+  const MetricsHub& hub() const { return *hub_; }
 
  private:
-  mutable std::mutex mu_;
-  std::map<std::string, double> values_;
+  std::unique_ptr<MetricsHub> owned_;  // null when wrapping an external hub
+  MetricsHub* hub_;
 };
 
 }  // namespace iccache

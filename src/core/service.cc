@@ -32,6 +32,15 @@ Stage0Config SeededStage0Config(Stage0Config config, uint64_t seed) {
   return config;
 }
 
+WatchdogConfig ServiceWatchdogConfig(WatchdogConfig config) {
+  // The service's legacy metric names carry no `_total` suffix.
+  config.requests_counter = "requests_total";
+  config.stage0_hits_counter = "stage0_hits";
+  config.evictions_counter = "examples_evicted";
+  config.stalled_counter = "maintenance_stalled_windows";
+  return config;
+}
+
 }  // namespace
 
 IcCacheService::IcCacheService(ServiceConfig config, const ModelCatalog* catalog,
@@ -48,6 +57,7 @@ IcCacheService::IcCacheService(ServiceConfig config, const ModelCatalog* catalog
       selector_(&cache_, &proxy_, config.selector),
       router_(MakeArms(small_model_, large_model_), config.router),
       manager_(&cache_, generator, large_model_, config.manager),
+      watchdog_(ServiceWatchdogConfig(config.watchdog)),
       baseline_quality_(0.02),
       rng_(config.seed) {
   if (config_.restore_on_start && !config_.snapshot_path.empty()) {
@@ -236,6 +246,7 @@ ServeOutcome IcCacheService::ServeRequest(const Request& request, double now) {
       metrics_.Increment("stage0_tokens_saved", static_cast<double>(tokens_saved));
       metrics_.Increment("latency_sum_s", outcome.generation.e2e_latency_s);
       metrics_.Increment("quality_sum", outcome.generation.latent_quality);
+      FinishRequest(outcome);
       return outcome;
     }
   }
@@ -355,7 +366,41 @@ ServeOutcome IcCacheService::ServeRequest(const Request& request, double now) {
 
   metrics_.Increment("latency_sum_s", outcome.generation.e2e_latency_s);
   metrics_.Increment("quality_sum", outcome.generation.latent_quality);
+  FinishRequest(outcome);
   return outcome;
+}
+
+void IcCacheService::FinishRequest(const ServeOutcome& outcome) {
+  hub_.Histogram("e2e_latency_seconds")
+      ->Observe(outcome.generation.e2e_latency_s, outcome.generation.request_id);
+  ++requests_in_window_;
+  if (config_.metrics_window == 0 || requests_in_window_ < config_.metrics_window) {
+    return;
+  }
+  requests_in_window_ = 0;
+  const MetricsWindowSample sample = hub_.SnapshotWindow(
+      window_index_++, last_now_, TraceRecorder::Global().NowNs());
+  if (!watchdog_.armed()) {
+    return;
+  }
+  const std::vector<WatchdogEvent> fired =
+      watchdog_.OnWindow(sample, hub_.HistogramSnapshot("e2e_latency_seconds"));
+  if (fired.empty()) {
+    return;
+  }
+  metrics_.Increment("watchdog_anomalies", static_cast<double>(fired.size()));
+  if (TraceRecorder::tracing_enabled()) {
+    TraceRecorder& recorder = TraceRecorder::Global();
+    for (const WatchdogEvent& event : fired) {
+      TraceEvent trace_event;
+      trace_event.category = TraceCategory::kAnomaly;
+      trace_event.begin_ns = recorder.NowNs();
+      trace_event.end_ns = trace_event.begin_ns;
+      trace_event.arg0 = static_cast<uint64_t>(event.rule);
+      trace_event.arg1 = event.window;
+      recorder.Emit(trace_event);
+    }
+  }
 }
 
 void IcCacheService::ObserveLoad(double load) { router_.ObserveLoad(load); }

@@ -36,6 +36,7 @@
 #include "src/core/stage0_cache.h"
 #include "src/llm/generation.h"
 #include "src/llm/model_profile.h"
+#include "src/obs/watchdog.h"
 
 namespace iccache {
 
@@ -78,6 +79,14 @@ struct ServiceConfig {
   // snapshots interchange between the two stacks.
   std::string snapshot_path;
   bool restore_on_start = false;
+
+  // Observability: the service snapshots its MetricsHub every
+  // `metrics_window` requests (0 disables) and evaluates the SLO watchdog on
+  // each snapshot. All watchdog rules default to disabled; note the service
+  // exposes stage-0 counters without the `_total` suffix, which the
+  // constructor rewires automatically.
+  size_t metrics_window = 64;
+  WatchdogConfig watchdog;
 
   uint64_t seed = 0x5e41;
 };
@@ -151,6 +160,11 @@ class IcCacheService {
   Stage0ResponseCache& stage0() { return stage0_; }
   ProxyUtilityModel& proxy() { return proxy_; }
   MetricsRegistry& metrics() { return metrics_; }
+  // The hub behind metrics(): histograms, window series, Prometheus export.
+  MetricsHub& metrics_hub() { return hub_; }
+  const MetricsHub& metrics_hub() const { return hub_; }
+  // Anomalies the SLO watchdog has fired so far (empty unless configured).
+  const std::vector<WatchdogEvent>& anomalies() const { return watchdog_.events(); }
   const ServiceConfig& config() const { return config_; }
   const ModelProfile& small_model() const { return small_model_; }
   const ModelProfile& large_model() const { return large_model_; }
@@ -158,6 +172,11 @@ class IcCacheService {
  private:
   std::vector<ExampleView> BuildExampleViews(const Request& request,
                                              const std::vector<SelectedExample>& selected);
+
+  // Per-request epilogue: e2e histogram observation (with the request id as
+  // the bucket exemplar), window-cadence hub snapshots, and watchdog
+  // evaluation. Strictly passive — no RNG, no effect on serving decisions.
+  void FinishRequest(const ServeOutcome& outcome);
 
   ServiceConfig config_;
   const ModelCatalog* catalog_;
@@ -171,9 +190,14 @@ class IcCacheService {
   ExampleSelector selector_;
   RequestRouter router_;
   ExampleManager manager_;
-  MetricsRegistry metrics_;
+  MetricsHub hub_;
+  MetricsRegistry metrics_{&hub_};  // legacy-name facade over hub_
+  SloWatchdog watchdog_;
   Ema baseline_quality_;
   Rng rng_;
+
+  size_t requests_in_window_ = 0;
+  uint64_t window_index_ = 0;
 
   bool selector_failed_ = false;
   bool router_failed_ = false;

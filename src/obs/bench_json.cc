@@ -1,0 +1,233 @@
+#include "src/obs/bench_json.h"
+
+#include <cmath>
+#include <cstdio>
+#include <set>
+#include <sstream>
+
+#include "src/obs/export.h"
+#include "src/obs/json.h"
+
+namespace iccache {
+
+namespace {
+
+const char* DirectionText(int direction) {
+  if (direction > 0) {
+    return "higher";
+  }
+  if (direction < 0) {
+    return "lower";
+  }
+  return "none";
+}
+
+}  // namespace
+
+std::string BenchRunJson(const BenchRunRecord& record) {
+  std::ostringstream out;
+  out << "{\n  \"schema\": \"";
+  JsonAppendEscaped(out, record.schema);
+  out << "\",\n  \"bench\": \"";
+  JsonAppendEscaped(out, record.bench);
+  out << "\",\n  \"config\": {";
+  bool first = true;
+  for (const auto& [key, value] : record.config) {
+    out << (first ? "\n" : ",\n") << "    \"";
+    JsonAppendEscaped(out, key);
+    out << "\": \"";
+    JsonAppendEscaped(out, value);
+    out << "\"";
+    first = false;
+  }
+  out << (first ? "" : "\n  ") << "},\n  \"metrics\": {";
+  first = true;
+  for (const auto& [name, metric] : record.metrics) {
+    out << (first ? "\n" : ",\n") << "    \"";
+    JsonAppendEscaped(out, name);
+    out << "\": {\"value\": " << JsonNumberText(metric.value)
+        << ", \"tolerance\": " << JsonNumberText(metric.tolerance)
+        << ", \"direction\": \"" << DirectionText(metric.direction)
+        << "\", \"machine_dependent\": "
+        << (metric.machine_dependent ? "true" : "false") << "}";
+    first = false;
+  }
+  out << (first ? "" : "\n  ") << "}\n}\n";
+  return out.str();
+}
+
+Status WriteBenchRun(const std::string& path, const BenchRunRecord& record) {
+  return WriteTextFile(path, BenchRunJson(record));
+}
+
+StatusOr<BenchRunRecord> ParseBenchRun(const std::string& json) {
+  JsonValue root;
+  JsonParser parser(json);
+  if (!parser.Parse(&root)) {
+    return Status::InvalidArgument("bench json: " + parser.error());
+  }
+  if (root.kind != JsonValue::Kind::kObject) {
+    return Status::InvalidArgument("bench json: root is not an object");
+  }
+  BenchRunRecord record;
+  const JsonValue* schema = root.Find("schema");
+  if (schema == nullptr || schema->kind != JsonValue::Kind::kString) {
+    return Status::InvalidArgument("bench json: missing schema string");
+  }
+  record.schema = schema->str;
+  const JsonValue* bench = root.Find("bench");
+  if (bench != nullptr && bench->kind == JsonValue::Kind::kString) {
+    record.bench = bench->str;
+  }
+  const JsonValue* config = root.Find("config");
+  if (config != nullptr && config->kind == JsonValue::Kind::kObject) {
+    for (const auto& [key, value] : config->object) {
+      if (value.kind == JsonValue::Kind::kString) {
+        record.AddConfig(key, value.str);
+      } else if (value.kind == JsonValue::Kind::kNumber) {
+        record.AddConfig(key, JsonNumberText(value.number));
+      }
+    }
+  }
+  const JsonValue* metrics = root.Find("metrics");
+  if (metrics == nullptr || metrics->kind != JsonValue::Kind::kObject) {
+    return Status::InvalidArgument("bench json: missing metrics object");
+  }
+  for (const auto& [name, entry] : metrics->object) {
+    if (entry.kind != JsonValue::Kind::kObject) {
+      return Status::InvalidArgument("bench json: metric '" + name +
+                                     "' is not an object");
+    }
+    const JsonValue* value = entry.Find("value");
+    if (value == nullptr || value->kind != JsonValue::Kind::kNumber) {
+      return Status::InvalidArgument("bench json: metric '" + name +
+                                     "' missing numeric value");
+    }
+    BenchMetric metric;
+    metric.value = value->number;
+    const JsonValue* tolerance = entry.Find("tolerance");
+    if (tolerance != nullptr && tolerance->kind == JsonValue::Kind::kNumber) {
+      metric.tolerance = tolerance->number;
+    }
+    const JsonValue* direction = entry.Find("direction");
+    if (direction != nullptr && direction->kind == JsonValue::Kind::kString) {
+      if (direction->str == "higher") {
+        metric.direction = 1;
+      } else if (direction->str == "lower") {
+        metric.direction = -1;
+      } else if (direction->str == "none") {
+        metric.direction = 0;
+      } else {
+        return Status::InvalidArgument("bench json: metric '" + name +
+                                       "' has unknown direction '" +
+                                       direction->str + "'");
+      }
+    }
+    const JsonValue* machine = entry.Find("machine_dependent");
+    if (machine != nullptr && machine->kind == JsonValue::Kind::kBool) {
+      metric.machine_dependent = machine->boolean;
+    }
+    record.metrics.emplace_back(name, metric);
+  }
+  return record;
+}
+
+StatusOr<BenchRunRecord> ReadBenchRun(const std::string& path) {
+  StatusOr<std::string> text = ReadTextFile(path);
+  if (!text.ok()) {
+    return text.status();
+  }
+  return ParseBenchRun(text.value());
+}
+
+BenchCompareResult CompareBenchRuns(const BenchRunRecord& baseline,
+                                    const BenchRunRecord& run, bool strict) {
+  BenchCompareResult result;
+  result.schema_mismatch = baseline.schema != run.schema;
+  result.bench_mismatch =
+      !baseline.bench.empty() && !run.bench.empty() && baseline.bench != run.bench;
+
+  std::set<std::string> baseline_names;
+  for (const auto& [name, metric] : baseline.metrics) {
+    baseline_names.insert(name);
+    BenchCompareRow row;
+    row.name = name;
+    row.baseline = metric.value;
+    row.tolerance = metric.tolerance;
+    row.direction = metric.direction;
+    row.machine_dependent = metric.machine_dependent;
+    row.checked =
+        metric.direction != 0 && (!metric.machine_dependent || strict);
+    const BenchMetric* observed = run.Find(name);
+    if (observed == nullptr) {
+      if (row.checked) {
+        result.missing_metrics.push_back(name);
+      }
+      continue;
+    }
+    row.run = observed->value;
+    if (metric.value != 0.0) {
+      row.delta = (observed->value - metric.value) / std::fabs(metric.value);
+    }
+    if (row.checked) {
+      if (metric.value != 0.0) {
+        // Relative band on the bad side only: improvements never fail.
+        if (metric.direction > 0) {
+          row.regression = observed->value < metric.value * (1.0 - metric.tolerance);
+        } else {
+          row.regression = observed->value > metric.value * (1.0 + metric.tolerance);
+        }
+      } else {
+        // Zero baseline: the tolerance acts as an absolute allowance.
+        if (metric.direction > 0) {
+          row.regression = observed->value < -metric.tolerance;
+        } else {
+          row.regression = observed->value > metric.tolerance;
+        }
+      }
+    }
+    result.rows.push_back(std::move(row));
+  }
+  for (const auto& [name, metric] : run.metrics) {
+    (void)metric;
+    if (baseline_names.count(name) == 0) {
+      result.new_metrics.push_back(name);
+    }
+  }
+  return result;
+}
+
+std::string RenderBenchCompare(const BenchCompareResult& result) {
+  std::ostringstream out;
+  char line[200];
+  std::snprintf(line, sizeof(line), "%-28s %14s %14s %9s %7s  %s\n", "metric",
+                "baseline", "run", "delta", "band", "status");
+  out << line;
+  for (const BenchCompareRow& row : result.rows) {
+    const char* status = !row.checked
+                             ? (row.direction == 0 ? "info" : "machine")
+                             : (row.regression ? "FAIL" : "ok");
+    std::snprintf(line, sizeof(line), "%-28s %14.6g %14.6g %+8.1f%% %6.0f%%  %s\n",
+                  row.name.c_str(), row.baseline, row.run, 100.0 * row.delta,
+                  100.0 * row.tolerance, status);
+    out << line;
+  }
+  for (const std::string& name : result.missing_metrics) {
+    out << "MISSING gated metric in run: " << name << "\n";
+  }
+  for (const std::string& name : result.new_metrics) {
+    out << "new metric (not in baseline): " << name << "\n";
+  }
+  if (result.schema_mismatch) {
+    out << "SCHEMA MISMATCH between baseline and run\n";
+  }
+  if (result.bench_mismatch) {
+    out << "BENCH NAME MISMATCH between baseline and run\n";
+  }
+  out << (result.ok() ? "PASS" : "FAIL") << ": " << result.regressions()
+      << " regression(s), " << result.missing_metrics.size()
+      << " missing gated metric(s)\n";
+  return out.str();
+}
+
+}  // namespace iccache

@@ -1,0 +1,126 @@
+// Machine-readable benchmark trajectory: a versioned BENCH_*.json schema the
+// benches emit via --json-out, and the comparison engine tools/bench_compare
+// uses to gate CI against a committed baseline with per-metric tolerance
+// bands.
+//
+// Schema "iccache-bench/1":
+//   {
+//     "schema": "iccache-bench/1",
+//     "bench": "<bench name>",
+//     "config": {"<key>": "<string value>", ...},
+//     "metrics": {
+//       "<name>": {"value": <number>, "tolerance": <relative band>,
+//                   "direction": "higher"|"lower"|"none",
+//                   "machine_dependent": true|false},
+//       ...
+//     }
+//   }
+//
+// "direction" states which way is better; "none" marks informational metrics
+// that never gate. "machine_dependent" marks wall-clock-derived metrics
+// (req/s, wall seconds): they are reported but only gate under --strict,
+// since a committed baseline crosses machines while the simulated metrics
+// (percentiles of simulated latency, hit rates, token counts) are
+// deterministic for a given seed and gate everywhere.
+#ifndef SRC_OBS_BENCH_JSON_H_
+#define SRC_OBS_BENCH_JSON_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace iccache {
+
+struct BenchMetric {
+  double value = 0.0;
+  double tolerance = 0.10;  // relative band vs baseline (absolute when baseline is 0)
+  int direction = 0;        // +1 higher-is-better, -1 lower-is-better, 0 informational
+  bool machine_dependent = false;
+};
+
+struct BenchRunRecord {
+  std::string schema = "iccache-bench/1";
+  std::string bench;
+  std::vector<std::pair<std::string, std::string>> config;
+  std::vector<std::pair<std::string, BenchMetric>> metrics;
+
+  void AddConfig(const std::string& key, const std::string& value) {
+    config.emplace_back(key, value);
+  }
+  void AddMetric(const std::string& name, double value, double tolerance,
+                 int direction, bool machine_dependent = false) {
+    BenchMetric metric;
+    metric.value = value;
+    metric.tolerance = tolerance;
+    metric.direction = direction;
+    metric.machine_dependent = machine_dependent;
+    metrics.emplace_back(name, metric);
+  }
+  const BenchMetric* Find(const std::string& name) const {
+    for (const auto& [metric_name, metric] : metrics) {
+      if (metric_name == name) {
+        return &metric;
+      }
+    }
+    return nullptr;
+  }
+  BenchMetric* Find(const std::string& name) {
+    return const_cast<BenchMetric*>(
+        static_cast<const BenchRunRecord*>(this)->Find(name));
+  }
+};
+
+std::string BenchRunJson(const BenchRunRecord& record);
+Status WriteBenchRun(const std::string& path, const BenchRunRecord& record);
+StatusOr<BenchRunRecord> ReadBenchRun(const std::string& path);
+StatusOr<BenchRunRecord> ParseBenchRun(const std::string& json);
+
+struct BenchCompareRow {
+  std::string name;
+  double baseline = 0.0;
+  double run = 0.0;
+  double delta = 0.0;  // relative change vs baseline (0 when baseline is 0)
+  double tolerance = 0.0;
+  int direction = 0;
+  bool machine_dependent = false;
+  bool checked = false;     // participated in gating
+  bool regression = false;  // outside the band in the bad direction
+};
+
+struct BenchCompareResult {
+  std::vector<BenchCompareRow> rows;
+  std::vector<std::string> missing_metrics;  // in baseline, absent from run
+  std::vector<std::string> new_metrics;      // in run only (informational)
+  bool schema_mismatch = false;
+  bool bench_mismatch = false;
+
+  size_t regressions() const {
+    size_t count = 0;
+    for (const BenchCompareRow& row : rows) {
+      count += row.regression ? 1 : 0;
+    }
+    return count;
+  }
+  bool ok() const {
+    return !schema_mismatch && !bench_mismatch && missing_metrics.empty() &&
+           regressions() == 0;
+  }
+};
+
+// Diffs `run` against `baseline` using the BASELINE's tolerance/direction
+// metadata (the committed file owns the contract). Gated metrics must stay
+// within baseline*(1 +/- tolerance) on the bad side; informational
+// (direction "none") never gate; machine-dependent metrics gate only when
+// `strict`. A gated baseline metric missing from the run is a failure; extra
+// run metrics are reported but never fail.
+BenchCompareResult CompareBenchRuns(const BenchRunRecord& baseline,
+                                    const BenchRunRecord& run, bool strict);
+
+// Human-readable comparison table with a PASS/FAIL verdict line.
+std::string RenderBenchCompare(const BenchCompareResult& result);
+
+}  // namespace iccache
+
+#endif  // SRC_OBS_BENCH_JSON_H_

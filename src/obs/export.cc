@@ -1,311 +1,28 @@
 #include "src/obs/export.h"
 
-#include <cctype>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
-#include <cstring>
 #include <fstream>
+#include <limits>
 #include <sstream>
+
+#include "src/obs/json.h"
 
 namespace iccache {
 
 namespace {
 
-void AppendEscaped(std::ostringstream& out, const std::string& text) {
-  for (char c : text) {
-    switch (c) {
-      case '"':
-        out << "\\\"";
-        break;
-      case '\\':
-        out << "\\\\";
-        break;
-      case '\n':
-        out << "\\n";
-        break;
-      case '\t':
-        out << "\\t";
-        break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buffer[8];
-          std::snprintf(buffer, sizeof(buffer), "\\u%04x", c);
-          out << buffer;
-        } else {
-          out << c;
-        }
-    }
-  }
-}
-
-std::string NumberText(double value) {
+// Microseconds with fixed 3-decimal precision: the recorder ticks in integer
+// nanoseconds, so this is exact no matter how far from the epoch the span
+// sits ("%.9g" would quantize long-run timestamps to whole microseconds).
+std::string MicrosText(uint64_t ns) {
   char buffer[64];
-  std::snprintf(buffer, sizeof(buffer), "%.9g", value);
+  std::snprintf(buffer, sizeof(buffer), "%llu.%03u",
+                static_cast<unsigned long long>(ns / 1000),
+                static_cast<unsigned>(ns % 1000));
   return buffer;
 }
-
-// ---------------------------------------------------------------------------
-// Minimal recursive-descent JSON parser (objects, arrays, strings, numbers,
-// booleans, null). Strict enough to reject malformed documents; tolerant of
-// whitespace. Used only for validation/summarization, never on a hot path.
-// ---------------------------------------------------------------------------
-
-struct JsonValue {
-  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
-  Kind kind = Kind::kNull;
-  bool boolean = false;
-  double number = 0.0;
-  std::string str;
-  std::vector<JsonValue> array;
-  std::vector<std::pair<std::string, JsonValue>> object;
-
-  const JsonValue* Find(const std::string& key) const {
-    for (const auto& [name, value] : object) {
-      if (name == key) {
-        return &value;
-      }
-    }
-    return nullptr;
-  }
-};
-
-class JsonParser {
- public:
-  explicit JsonParser(const std::string& text) : text_(text) {}
-
-  bool Parse(JsonValue* out) {
-    SkipWhitespace();
-    if (!ParseValue(out)) {
-      return false;
-    }
-    SkipWhitespace();
-    if (pos_ != text_.size()) {
-      return Fail("trailing characters after document");
-    }
-    return true;
-  }
-
-  const std::string& error() const { return error_; }
-
- private:
-  bool Fail(const std::string& message) {
-    if (error_.empty()) {
-      error_ = message + " at offset " + std::to_string(pos_);
-    }
-    return false;
-  }
-
-  void SkipWhitespace() {
-    while (pos_ < text_.size() && std::isspace(static_cast<unsigned char>(text_[pos_]))) {
-      ++pos_;
-    }
-  }
-
-  bool Consume(char expected) {
-    if (pos_ < text_.size() && text_[pos_] == expected) {
-      ++pos_;
-      return true;
-    }
-    return false;
-  }
-
-  bool ParseValue(JsonValue* out) {
-    if (pos_ >= text_.size()) {
-      return Fail("unexpected end of input");
-    }
-    switch (text_[pos_]) {
-      case '{':
-        return ParseObject(out);
-      case '[':
-        return ParseArray(out);
-      case '"':
-        out->kind = JsonValue::Kind::kString;
-        return ParseString(&out->str);
-      case 't':
-      case 'f':
-        return ParseBool(out);
-      case 'n':
-        return ParseNull(out);
-      default:
-        return ParseNumber(out);
-    }
-  }
-
-  bool ParseObject(JsonValue* out) {
-    out->kind = JsonValue::Kind::kObject;
-    ++pos_;  // '{'
-    SkipWhitespace();
-    if (Consume('}')) {
-      return true;
-    }
-    while (true) {
-      SkipWhitespace();
-      std::string key;
-      if (pos_ >= text_.size() || text_[pos_] != '"' || !ParseString(&key)) {
-        return Fail("expected object key");
-      }
-      SkipWhitespace();
-      if (!Consume(':')) {
-        return Fail("expected ':' after object key");
-      }
-      SkipWhitespace();
-      JsonValue value;
-      if (!ParseValue(&value)) {
-        return false;
-      }
-      out->object.emplace_back(std::move(key), std::move(value));
-      SkipWhitespace();
-      if (Consume(',')) {
-        continue;
-      }
-      if (Consume('}')) {
-        return true;
-      }
-      return Fail("expected ',' or '}' in object");
-    }
-  }
-
-  bool ParseArray(JsonValue* out) {
-    out->kind = JsonValue::Kind::kArray;
-    ++pos_;  // '['
-    SkipWhitespace();
-    if (Consume(']')) {
-      return true;
-    }
-    while (true) {
-      SkipWhitespace();
-      JsonValue value;
-      if (!ParseValue(&value)) {
-        return false;
-      }
-      out->array.push_back(std::move(value));
-      SkipWhitespace();
-      if (Consume(',')) {
-        continue;
-      }
-      if (Consume(']')) {
-        return true;
-      }
-      return Fail("expected ',' or ']' in array");
-    }
-  }
-
-  bool ParseString(std::string* out) {
-    ++pos_;  // opening quote
-    out->clear();
-    while (pos_ < text_.size()) {
-      const char c = text_[pos_++];
-      if (c == '"') {
-        return true;
-      }
-      if (c == '\\') {
-        if (pos_ >= text_.size()) {
-          return Fail("unterminated escape");
-        }
-        const char esc = text_[pos_++];
-        switch (esc) {
-          case '"':
-            out->push_back('"');
-            break;
-          case '\\':
-            out->push_back('\\');
-            break;
-          case '/':
-            out->push_back('/');
-            break;
-          case 'b':
-            out->push_back('\b');
-            break;
-          case 'f':
-            out->push_back('\f');
-            break;
-          case 'n':
-            out->push_back('\n');
-            break;
-          case 'r':
-            out->push_back('\r');
-            break;
-          case 't':
-            out->push_back('\t');
-            break;
-          case 'u': {
-            if (pos_ + 4 > text_.size()) {
-              return Fail("truncated \\u escape");
-            }
-            for (int i = 0; i < 4; ++i) {
-              if (!std::isxdigit(static_cast<unsigned char>(text_[pos_ + i]))) {
-                return Fail("invalid \\u escape");
-              }
-            }
-            // Validation-only parser: keep the raw escape rather than
-            // decoding UTF-16; none of the summarized fields use \u.
-            out->append("\\u");
-            out->append(text_, pos_, 4);
-            pos_ += 4;
-            break;
-          }
-          default:
-            return Fail("invalid escape character");
-        }
-      } else {
-        out->push_back(c);
-      }
-    }
-    return Fail("unterminated string");
-  }
-
-  bool ParseBool(JsonValue* out) {
-    out->kind = JsonValue::Kind::kBool;
-    if (text_.compare(pos_, 4, "true") == 0) {
-      out->boolean = true;
-      pos_ += 4;
-      return true;
-    }
-    if (text_.compare(pos_, 5, "false") == 0) {
-      out->boolean = false;
-      pos_ += 5;
-      return true;
-    }
-    return Fail("invalid literal");
-  }
-
-  bool ParseNull(JsonValue* out) {
-    out->kind = JsonValue::Kind::kNull;
-    if (text_.compare(pos_, 4, "null") == 0) {
-      pos_ += 4;
-      return true;
-    }
-    return Fail("invalid literal");
-  }
-
-  bool ParseNumber(JsonValue* out) {
-    out->kind = JsonValue::Kind::kNumber;
-    const size_t start = pos_;
-    if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+')) {
-      ++pos_;
-    }
-    while (pos_ < text_.size() &&
-           (std::isdigit(static_cast<unsigned char>(text_[pos_])) || text_[pos_] == '.' ||
-            text_[pos_] == 'e' || text_[pos_] == 'E' || text_[pos_] == '-' ||
-            text_[pos_] == '+')) {
-      ++pos_;
-    }
-    if (pos_ == start) {
-      return Fail("expected a value");
-    }
-    const std::string token = text_.substr(start, pos_ - start);
-    char* end = nullptr;
-    out->number = std::strtod(token.c_str(), &end);
-    if (end == nullptr || *end != '\0') {
-      return Fail("malformed number '" + token + "'");
-    }
-    return true;
-  }
-
-  const std::string& text_;
-  size_t pos_ = 0;
-  std::string error_;
-};
 
 }  // namespace
 
@@ -327,14 +44,12 @@ std::string ChromeTraceJson(const TraceRecorder::Snapshot& snapshot,
         << "\"}}";
     for (const TraceEvent& event : thread.events) {
       separator();
-      const double ts_us = static_cast<double>(event.begin_ns) / 1000.0;
       const uint64_t duration_ns =
           event.end_ns > event.begin_ns ? event.end_ns - event.begin_ns : 0;
-      const double dur_us = static_cast<double>(duration_ns) / 1000.0;
       out << "{\"ph\":\"X\",\"pid\":1,\"tid\":" << thread.tid << ",\"name\":\"";
-      AppendEscaped(out, TraceCategoryName(event.category));
-      out << "\",\"cat\":\"iccache\",\"ts\":" << NumberText(ts_us)
-          << ",\"dur\":" << NumberText(dur_us) << ",\"args\":{";
+      JsonAppendEscaped(out, TraceCategoryName(event.category));
+      out << "\",\"cat\":\"iccache\",\"ts\":" << MicrosText(event.begin_ns)
+          << ",\"dur\":" << MicrosText(duration_ns) << ",\"args\":{";
       out << "\"request_id\":" << event.request_id << ",\"lane\":" << event.lane;
       if (event.arg0 != 0 || event.arg1 != 0) {
         out << ",\"arg0\":" << event.arg0 << ",\"arg1\":" << event.arg1;
@@ -343,13 +58,12 @@ std::string ChromeTraceJson(const TraceRecorder::Snapshot& snapshot,
     }
   }
   for (const MetricsWindowSample& sample : series) {
-    const double ts_us = static_cast<double>(sample.mono_ns) / 1000.0;
     for (const auto& [name, value] : sample.values) {
       separator();
       out << "{\"ph\":\"C\",\"pid\":1,\"tid\":0,\"name\":\"";
-      AppendEscaped(out, name);
-      out << "\",\"ts\":" << NumberText(ts_us) << ",\"args\":{\"value\":"
-          << NumberText(value) << "}}";
+      JsonAppendEscaped(out, name);
+      out << "\",\"ts\":" << MicrosText(sample.mono_ns) << ",\"args\":{\"value\":"
+          << JsonNumberText(value) << "}}";
     }
   }
   out << "],\"displayTimeUnit\":\"ms\",\"otherData\":{\"emitted\":" << snapshot.emitted
@@ -455,6 +169,198 @@ bool ParseChromeTrace(const std::string& json, ChromeTraceSummary* summary,
   }
   if (summary != nullptr) {
     *summary = std::move(result);
+  }
+  return true;
+}
+
+namespace {
+
+bool PrometheusFail(std::string* error, size_t line_no, const std::string& message) {
+  if (error != nullptr) {
+    *error = "line " + std::to_string(line_no) + ": " + message;
+  }
+  return false;
+}
+
+bool ParsePrometheusNumber(const std::string& token, double* out) {
+  if (token == "+Inf" || token == "Inf") {
+    *out = std::numeric_limits<double>::infinity();
+    return true;
+  }
+  if (token == "-Inf") {
+    *out = -std::numeric_limits<double>::infinity();
+    return true;
+  }
+  char* end = nullptr;
+  *out = std::strtod(token.c_str(), &end);
+  return end != nullptr && *end == '\0' && !token.empty();
+}
+
+// Strips a known histogram-series suffix so the sample maps back onto its
+// declared family. Returns the family name, or `name` itself when no suffix
+// matches.
+std::string FamilyNameFor(const std::string& name,
+                          const std::map<std::string, PrometheusFamily>& families) {
+  if (families.count(name) > 0) {
+    return name;
+  }
+  static const char* kSuffixes[] = {"_bucket", "_sum", "_count"};
+  for (const char* suffix : kSuffixes) {
+    const size_t len = std::char_traits<char>::length(suffix);
+    if (name.size() > len && name.compare(name.size() - len, len, suffix) == 0) {
+      const std::string base = name.substr(0, name.size() - len);
+      auto it = families.find(base);
+      if (it != families.end() && it->second.type == "histogram") {
+        return base;
+      }
+    }
+  }
+  return name;
+}
+
+}  // namespace
+
+bool ParsePrometheusText(const std::string& text, PrometheusSummary* summary,
+                         std::string* error) {
+  PrometheusSummary result;
+  std::istringstream in(text);
+  std::string line;
+  size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) {
+      continue;
+    }
+    if (line[0] == '#') {
+      std::istringstream comment(line);
+      std::string hash, keyword, name, type;
+      comment >> hash >> keyword;
+      if (keyword == "TYPE") {
+        if (!(comment >> name >> type)) {
+          return PrometheusFail(error, line_no, "malformed # TYPE line");
+        }
+        PrometheusFamily& family = result.families[name];
+        family.name = name;
+        family.type = type;
+      }
+      continue;  // HELP and free-form comments are ignored
+    }
+    // Sample line: name[{labels}] value
+    const size_t brace = line.find('{');
+    const size_t space = line.find(' ');
+    if (space == std::string::npos) {
+      return PrometheusFail(error, line_no, "sample line without a value");
+    }
+    std::string name;
+    std::string le_label;
+    size_t value_start = 0;
+    if (brace != std::string::npos && brace < space) {
+      name = line.substr(0, brace);
+      const size_t close = line.find('}', brace);
+      if (close == std::string::npos) {
+        return PrometheusFail(error, line_no, "unterminated label set");
+      }
+      const std::string labels = line.substr(brace + 1, close - brace - 1);
+      const std::string kLe = "le=\"";
+      const size_t le_pos = labels.find(kLe);
+      if (le_pos != std::string::npos) {
+        const size_t le_end = labels.find('"', le_pos + kLe.size());
+        if (le_end == std::string::npos) {
+          return PrometheusFail(error, line_no, "unterminated le label");
+        }
+        le_label = labels.substr(le_pos + kLe.size(), le_end - le_pos - kLe.size());
+      }
+      value_start = close + 1;
+    } else {
+      name = line.substr(0, space);
+      value_start = space;
+    }
+    while (value_start < line.size() && line[value_start] == ' ') {
+      ++value_start;
+    }
+    double value = 0.0;
+    if (!ParsePrometheusNumber(line.substr(value_start), &value)) {
+      return PrometheusFail(error, line_no, "malformed sample value");
+    }
+    ++result.samples;
+    const std::string family_name = FamilyNameFor(name, result.families);
+    auto family_it = result.families.find(family_name);
+    if (family_it == result.families.end()) {
+      return PrometheusFail(error, line_no,
+                            "sample '" + name + "' has no # TYPE declaration");
+    }
+    PrometheusFamily& family = family_it->second;
+    if (family.type == "histogram") {
+      if (name == family.name + "_bucket") {
+        double le = 0.0;
+        if (le_label.empty() || !ParsePrometheusNumber(le_label, &le)) {
+          return PrometheusFail(error, line_no, "histogram bucket without le label");
+        }
+        family.buckets.emplace_back(le, value);
+      } else if (name == family.name + "_sum") {
+        family.sum = value;
+        family.has_sum = true;
+      } else if (name == family.name + "_count") {
+        family.count = value;
+        family.has_count = true;
+      } else {
+        return PrometheusFail(error, line_no,
+                              "unexpected sample '" + name + "' in histogram family");
+      }
+    } else {
+      family.value = value;
+      family.has_value = true;
+    }
+  }
+  if (summary != nullptr) {
+    *summary = std::move(result);
+  }
+  return true;
+}
+
+bool ValidatePrometheusHistograms(const PrometheusSummary& summary,
+                                  std::string* error) {
+  for (const auto& [name, family] : summary.families) {
+    if (family.type != "histogram") {
+      continue;
+    }
+    if (!family.has_sum || !family.has_count) {
+      if (error != nullptr) {
+        *error = name + ": histogram missing _sum/_count";
+      }
+      return false;
+    }
+    if (family.buckets.empty() ||
+        !std::isinf(family.buckets.back().first)) {
+      if (error != nullptr) {
+        *error = name + ": histogram must end with a +Inf bucket";
+      }
+      return false;
+    }
+    double prev_le = -std::numeric_limits<double>::infinity();
+    double prev_cumulative = -1.0;
+    for (const auto& [le, cumulative] : family.buckets) {
+      if (le <= prev_le) {
+        if (error != nullptr) {
+          *error = name + ": bucket le edges must be strictly increasing";
+        }
+        return false;
+      }
+      if (cumulative < prev_cumulative) {
+        if (error != nullptr) {
+          *error = name + ": cumulative bucket counts decreased";
+        }
+        return false;
+      }
+      prev_le = le;
+      prev_cumulative = cumulative;
+    }
+    if (family.buckets.back().second != family.count) {
+      if (error != nullptr) {
+        *error = name + ": +Inf bucket does not equal _count";
+      }
+      return false;
+    }
   }
   return true;
 }

@@ -1,7 +1,7 @@
 // Export of trace snapshots and metrics: Chrome trace-event JSON (loadable
-// in Perfetto / chrome://tracing), Prometheus-style text files, and a small
-// dependency-free JSON validator used by tools/trace_dump, the acceptance
-// gates, and tests to prove the emitted files parse cleanly.
+// in Perfetto / chrome://tracing), Prometheus-style text files, and strict
+// validators for both formats used by tools/trace_dump, the acceptance
+// gates, and tests to prove the emitted files parse cleanly and round-trip.
 #ifndef SRC_OBS_EXPORT_H_
 #define SRC_OBS_EXPORT_H_
 
@@ -17,10 +17,11 @@
 namespace iccache {
 
 // Renders a snapshot as Chrome trace-event JSON: spans become complete ("X")
-// events (ts/dur in microseconds, args carrying request id / lane / span
-// payload), the per-window metric series becomes counter ("C") events, and
-// per-ring thread-name metadata ("M") events label the tracks. Top-level
-// "otherData" records emitted/dropped totals.
+// events (ts/dur in microseconds with fixed 3-decimal precision, so the
+// recorder's nanosecond ticks survive the round-trip exactly; args carrying
+// request id / lane / span payload), the per-window metric series becomes
+// counter ("C") events, and per-ring thread-name metadata ("M") events label
+// the tracks. Top-level "otherData" records emitted/dropped totals.
 std::string ChromeTraceJson(const TraceRecorder::Snapshot& snapshot,
                             const std::vector<MetricsWindowSample>& series);
 
@@ -49,6 +50,40 @@ struct ChromeTraceSummary {
 // shape is wrong.
 bool ParseChromeTrace(const std::string& json, ChromeTraceSummary* summary,
                       std::string* error);
+
+// One metric family reconstructed from Prometheus text exposition.
+struct PrometheusFamily {
+  std::string name;            // full exposition name, prefix included
+  std::string type = "untyped";  // from "# TYPE": counter|gauge|histogram
+  double value = 0.0;          // scalar sample (counters/gauges)
+  bool has_value = false;
+  // Histogram series in exposition order: (le upper edge, cumulative count);
+  // the +Inf bucket parses as infinity.
+  std::vector<std::pair<double, double>> buckets;
+  double sum = 0.0;
+  double count = 0.0;
+  bool has_sum = false;
+  bool has_count = false;
+};
+
+struct PrometheusSummary {
+  std::map<std::string, PrometheusFamily> families;
+  size_t samples = 0;  // total sample lines parsed
+};
+
+// Parses Prometheus text exposition (the subset MetricsHub emits: "# TYPE"
+// comments, bare scalar samples, and histogram `_bucket{le=...}`/`_sum`/
+// `_count` series). Returns false with a diagnostic on malformed lines or
+// samples whose family was never declared.
+bool ParsePrometheusText(const std::string& text, PrometheusSummary* summary,
+                         std::string* error);
+
+// Validates every histogram family in a parsed exposition: `_sum`/`_count`
+// present, `le` edges strictly increasing and ending at +Inf, cumulative
+// counts non-decreasing, and the +Inf bucket equal to `_count`. This is the
+// scrapeability contract a Prometheus server expects.
+bool ValidatePrometheusHistograms(const PrometheusSummary& summary,
+                                  std::string* error);
 
 }  // namespace iccache
 

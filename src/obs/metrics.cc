@@ -66,25 +66,47 @@ LatencyHistogram MetricsHub::HistogramSnapshot(const std::string& name) const {
   return it->second->snapshot();
 }
 
-void MetricsHub::SnapshotWindow(uint64_t window, double sim_time_s, uint64_t mono_ns) {
+std::map<int, uint64_t> MetricsHub::HistogramExemplars(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    return {};
+  }
+  return it->second->exemplars();
+}
+
+std::vector<std::pair<std::string, double>> MetricsHub::CountersAndGauges() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return CountersAndGaugesLocked();
+}
+
+std::vector<std::pair<std::string, double>> MetricsHub::CountersAndGaugesLocked() const {
+  std::vector<std::pair<std::string, double>> values;
+  values.reserve(counters_.size() + gauges_.size());
+  for (const auto& [name, counter] : counters_) {
+    values.emplace_back(name, counter->value());
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    values.emplace_back(name, gauge->value());
+  }
+  std::sort(values.begin(), values.end());
+  return values;
+}
+
+MetricsWindowSample MetricsHub::SnapshotWindow(uint64_t window, double sim_time_s,
+                                               uint64_t mono_ns) {
   std::lock_guard<std::mutex> lock(mu_);
   MetricsWindowSample sample;
   sample.window = window;
   sample.sim_time_s = sim_time_s;
   sample.mono_ns = mono_ns;
-  sample.values.reserve(counters_.size() + gauges_.size());
-  for (const auto& [name, counter] : counters_) {
-    sample.values.emplace_back(name, counter->value());
-  }
-  for (const auto& [name, gauge] : gauges_) {
-    sample.values.emplace_back(name, gauge->value());
-  }
-  std::sort(sample.values.begin(), sample.values.end());
-  series_.push_back(std::move(sample));
+  sample.values = CountersAndGaugesLocked();
+  series_.push_back(sample);
   while (series_.size() > series_capacity_) {
     series_.pop_front();
     ++series_dropped_;
   }
+  return sample;
 }
 
 std::vector<MetricsWindowSample> MetricsHub::series() const {

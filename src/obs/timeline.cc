@@ -1,0 +1,460 @@
+#include "src/obs/timeline.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+#include <unordered_map>
+
+#include "src/obs/json.h"
+
+namespace iccache {
+
+namespace {
+
+constexpr size_t kNumStages = static_cast<size_t>(TimelineStage::kNumStages);
+
+uint64_t ClampedGap(uint64_t from_end, uint64_t to_begin) {
+  return to_begin > from_end ? to_begin - from_end : 0;
+}
+
+uint64_t ClampedRemainder(uint64_t whole, uint64_t parts) {
+  return whole > parts ? whole - parts : 0;
+}
+
+// Per-request accumulator while scanning the (unordered) span stream.
+struct RequestAccumulator {
+  bool has_prepare = false;
+  bool has_lane = false;
+  bool has_merge = false;
+  uint64_t prepare_begin = 0, prepare_end = 0;
+  uint64_t lane_begin = 0, lane_end = 0;
+  uint64_t merge_begin = 0, merge_end = 0;
+  uint32_t lane_id = 0;
+  uint64_t embed_ns = 0;
+  uint64_t stage0_ns = 0;
+  uint64_t stage1_ns = 0;
+  uint64_t stage2_ns = 0;
+  uint64_t route_ns = 0;
+  uint64_t generate_ns = 0;
+};
+
+std::string MillisText(double ms) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.3f", ms);
+  return buffer;
+}
+
+}  // namespace
+
+const char* TimelineStageName(TimelineStage stage) {
+  switch (stage) {
+    case TimelineStage::kEmbed:
+      return "embed";
+    case TimelineStage::kStage0Probe:
+      return "stage0_probe";
+    case TimelineStage::kStage1:
+      return "stage1_retrieval";
+    case TimelineStage::kStage2:
+      return "stage2_scoring";
+    case TimelineStage::kPrepareOther:
+      return "prepare_other";
+    case TimelineStage::kLaneWait:
+      return "lane_wait";
+    case TimelineStage::kRoute:
+      return "route";
+    case TimelineStage::kGenerate:
+      return "generate";
+    case TimelineStage::kLaneOther:
+      return "lane_other";
+    case TimelineStage::kMergeWait:
+      return "merge_wait";
+    case TimelineStage::kMerge:
+      return "merge";
+    case TimelineStage::kNumStages:
+      break;
+  }
+  return "unknown";
+}
+
+uint64_t RequestTimeline::attributed_ns() const {
+  uint64_t total = 0;
+  for (uint64_t ns : stage_ns) {
+    total += ns;
+  }
+  return total;
+}
+
+double RequestTimeline::attribution_fraction() const {
+  const uint64_t total = total_ns();
+  if (total == 0) {
+    return 1.0;
+  }
+  const double fraction =
+      static_cast<double>(attributed_ns()) / static_cast<double>(total);
+  return std::min(1.0, fraction);
+}
+
+std::vector<TimelineSpan> FlattenSnapshot(const TraceRecorder::Snapshot& snapshot) {
+  std::vector<TimelineSpan> spans;
+  for (const TraceRecorder::ThreadEvents& thread : snapshot.threads) {
+    for (const TraceEvent& event : thread.events) {
+      TimelineSpan span;
+      span.name = TraceCategoryName(event.category);
+      span.request_id = event.request_id;
+      span.begin_ns = event.begin_ns;
+      span.end_ns = event.end_ns;
+      span.arg0 = event.arg0;
+      span.arg1 = event.arg1;
+      span.lane = event.lane;
+      span.tid = thread.tid;
+      spans.push_back(std::move(span));
+    }
+  }
+  return spans;
+}
+
+bool ParseChromeTraceSpans(const std::string& json,
+                           std::vector<TimelineSpan>* spans, std::string* error) {
+  JsonValue root;
+  JsonParser parser(json);
+  if (!parser.Parse(&root)) {
+    if (error != nullptr) {
+      *error = parser.error();
+    }
+    return false;
+  }
+  const JsonValue* events =
+      root.kind == JsonValue::Kind::kObject ? root.Find("traceEvents") : nullptr;
+  if (events == nullptr || events->kind != JsonValue::Kind::kArray) {
+    if (error != nullptr) {
+      *error = "missing traceEvents array";
+    }
+    return false;
+  }
+  std::vector<TimelineSpan> result;
+  for (const JsonValue& event : events->array) {
+    if (event.kind != JsonValue::Kind::kObject) {
+      continue;
+    }
+    const JsonValue* ph = event.Find("ph");
+    const JsonValue* name = event.Find("name");
+    const JsonValue* ts = event.Find("ts");
+    if (ph == nullptr || ph->kind != JsonValue::Kind::kString || ph->str != "X" ||
+        name == nullptr || name->kind != JsonValue::Kind::kString ||
+        ts == nullptr || ts->kind != JsonValue::Kind::kNumber) {
+      continue;
+    }
+    TimelineSpan span;
+    span.name = name->str;
+    span.begin_ns = static_cast<uint64_t>(std::llround(ts->number * 1000.0));
+    const JsonValue* dur = event.Find("dur");
+    const uint64_t dur_ns =
+        dur != nullptr && dur->kind == JsonValue::Kind::kNumber
+            ? static_cast<uint64_t>(std::llround(dur->number * 1000.0))
+            : 0;
+    span.end_ns = span.begin_ns + dur_ns;
+    const JsonValue* tid = event.Find("tid");
+    if (tid != nullptr && tid->kind == JsonValue::Kind::kNumber) {
+      span.tid = static_cast<uint32_t>(tid->number);
+    }
+    const JsonValue* args = event.Find("args");
+    if (args != nullptr && args->kind == JsonValue::Kind::kObject) {
+      const JsonValue* request_id = args->Find("request_id");
+      if (request_id != nullptr && request_id->kind == JsonValue::Kind::kNumber) {
+        span.request_id = static_cast<uint64_t>(request_id->number);
+      }
+      const JsonValue* lane = args->Find("lane");
+      if (lane != nullptr && lane->kind == JsonValue::Kind::kNumber) {
+        span.lane = static_cast<uint32_t>(lane->number);
+      }
+      const JsonValue* arg0 = args->Find("arg0");
+      if (arg0 != nullptr && arg0->kind == JsonValue::Kind::kNumber) {
+        span.arg0 = static_cast<uint64_t>(arg0->number);
+      }
+      const JsonValue* arg1 = args->Find("arg1");
+      if (arg1 != nullptr && arg1->kind == JsonValue::Kind::kNumber) {
+        span.arg1 = static_cast<uint64_t>(arg1->number);
+      }
+    }
+    result.push_back(std::move(span));
+  }
+  if (spans != nullptr) {
+    *spans = std::move(result);
+  }
+  return true;
+}
+
+std::vector<RequestTimeline> AssembleTimelines(const std::vector<TimelineSpan>& spans) {
+  std::unordered_map<uint64_t, RequestAccumulator> accumulators;
+  for (const TimelineSpan& span : spans) {
+    if (span.request_id == 0) {
+      continue;
+    }
+    RequestAccumulator& acc = accumulators[span.request_id];
+    if (span.name == "prepare") {
+      // Keep the earliest prepare if rings somehow hold duplicates.
+      if (!acc.has_prepare || span.begin_ns < acc.prepare_begin) {
+        acc.prepare_begin = span.begin_ns;
+        acc.prepare_end = span.end_ns;
+      }
+      acc.has_prepare = true;
+    } else if (span.name == "lane_commit") {
+      if (!acc.has_lane || span.begin_ns < acc.lane_begin) {
+        acc.lane_begin = span.begin_ns;
+        acc.lane_end = span.end_ns;
+        acc.lane_id = span.lane;
+      }
+      acc.has_lane = true;
+    } else if (span.name == "merge_step") {
+      if (!acc.has_merge || span.begin_ns < acc.merge_begin) {
+        acc.merge_begin = span.begin_ns;
+        acc.merge_end = span.end_ns;
+      }
+      acc.has_merge = true;
+    } else if (span.name == "embed") {
+      acc.embed_ns += span.duration_ns();
+    } else if (span.name == "stage0_probe") {
+      acc.stage0_ns += span.duration_ns();
+    } else if (span.name == "stage1_retrieval") {
+      acc.stage1_ns += span.duration_ns();
+    } else if (span.name == "stage2_scoring") {
+      acc.stage2_ns += span.duration_ns();
+    } else if (span.name == "route") {
+      acc.route_ns += span.duration_ns();
+    } else if (span.name == "generate") {
+      acc.generate_ns += span.duration_ns();
+    }
+    // hnsw_search spans nest inside stage1_retrieval and service_request
+    // wraps everything in the synchronous stack: both are intentionally
+    // excluded so stages never double-count.
+  }
+
+  std::vector<RequestTimeline> timelines;
+  timelines.reserve(accumulators.size());
+  for (const auto& [request_id, acc] : accumulators) {
+    RequestTimeline timeline;
+    timeline.request_id = request_id;
+    timeline.lane = acc.lane_id;
+    timeline.has_prepare = acc.has_prepare;
+    timeline.has_lane = acc.has_lane;
+    timeline.has_merge = acc.has_merge;
+
+    auto stage = [&timeline](TimelineStage s) -> uint64_t& {
+      return timeline.stage_ns[static_cast<size_t>(s)];
+    };
+    if (acc.has_prepare) {
+      stage(TimelineStage::kEmbed) = acc.embed_ns;
+      stage(TimelineStage::kStage0Probe) = acc.stage0_ns;
+      stage(TimelineStage::kStage1) = acc.stage1_ns;
+      stage(TimelineStage::kStage2) = acc.stage2_ns;
+      stage(TimelineStage::kPrepareOther) =
+          ClampedRemainder(ClampedGap(acc.prepare_begin, acc.prepare_end),
+                           acc.embed_ns + acc.stage0_ns + acc.stage1_ns + acc.stage2_ns);
+    }
+    if (acc.has_lane) {
+      if (acc.has_prepare) {
+        stage(TimelineStage::kLaneWait) = ClampedGap(acc.prepare_end, acc.lane_begin);
+      }
+      stage(TimelineStage::kRoute) = acc.route_ns;
+      stage(TimelineStage::kGenerate) = acc.generate_ns;
+      stage(TimelineStage::kLaneOther) =
+          ClampedRemainder(ClampedGap(acc.lane_begin, acc.lane_end),
+                           acc.route_ns + acc.generate_ns);
+    }
+    if (acc.has_merge) {
+      if (acc.has_lane) {
+        stage(TimelineStage::kMergeWait) = ClampedGap(acc.lane_end, acc.merge_begin);
+      }
+      stage(TimelineStage::kMerge) = ClampedGap(acc.merge_begin, acc.merge_end);
+    }
+
+    // The timeline covers the surviving phases only; dropped phases shrink
+    // the span rather than fabricating time.
+    bool have_bounds = false;
+    auto extend = [&](bool has, uint64_t begin, uint64_t end) {
+      if (!has) {
+        return;
+      }
+      if (!have_bounds) {
+        timeline.begin_ns = begin;
+        timeline.end_ns = end;
+        have_bounds = true;
+      } else {
+        timeline.begin_ns = std::min(timeline.begin_ns, begin);
+        timeline.end_ns = std::max(timeline.end_ns, end);
+      }
+    };
+    extend(acc.has_prepare, acc.prepare_begin, acc.prepare_end);
+    extend(acc.has_lane, acc.lane_begin, acc.lane_end);
+    extend(acc.has_merge, acc.merge_begin, acc.merge_end);
+    if (!have_bounds) {
+      continue;  // only child spans survived; no phase to anchor a timeline
+    }
+    timelines.push_back(timeline);
+  }
+  std::sort(timelines.begin(), timelines.end(),
+            [](const RequestTimeline& a, const RequestTimeline& b) {
+              return a.request_id < b.request_id;
+            });
+  return timelines;
+}
+
+TailAttribution AttributeTails(const std::vector<RequestTimeline>& timelines) {
+  TailAttribution attribution;
+  attribution.requests = timelines.size();
+  if (timelines.empty()) {
+    return attribution;
+  }
+  std::vector<size_t> order(timelines.size());
+  for (size_t i = 0; i < order.size(); ++i) {
+    order[i] = i;
+  }
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return timelines[a].total_ns() < timelines[b].total_ns();
+  });
+  const size_t n = order.size();
+  auto nearest_rank = [&](double p) -> uint64_t {
+    const size_t rank = std::max<size_t>(
+        1, static_cast<size_t>(std::ceil(p / 100.0 * static_cast<double>(n))));
+    return timelines[order[rank - 1]].total_ns();
+  };
+  const uint64_t p50_ns = nearest_rank(50.0);
+  const uint64_t p99_ns = nearest_rank(99.0);
+  attribution.p50_total_ms = static_cast<double>(p50_ns) / 1e6;
+  attribution.p99_total_ms = static_cast<double>(p99_ns) / 1e6;
+
+  uint64_t tail_total = 0;
+  uint64_t tail_attributed = 0;
+  for (const RequestTimeline& timeline : timelines) {
+    const uint64_t total = timeline.total_ns();
+    if (total >= p99_ns) {
+      ++attribution.tail_count;
+      tail_total += total;
+      tail_attributed += std::min(timeline.attributed_ns(), total);
+      for (size_t s = 0; s < kNumStages; ++s) {
+        attribution.tail_stage_ms[s] += static_cast<double>(timeline.stage_ns[s]) / 1e6;
+      }
+    }
+    if (total <= p50_ns) {
+      ++attribution.typical_count;
+      for (size_t s = 0; s < kNumStages; ++s) {
+        attribution.typical_stage_ms[s] +=
+            static_cast<double>(timeline.stage_ns[s]) / 1e6;
+      }
+    }
+  }
+  for (size_t s = 0; s < kNumStages; ++s) {
+    if (attribution.tail_count > 0) {
+      attribution.tail_stage_ms[s] /= static_cast<double>(attribution.tail_count);
+    }
+    if (attribution.typical_count > 0) {
+      attribution.typical_stage_ms[s] /=
+          static_cast<double>(attribution.typical_count);
+    }
+  }
+  attribution.tail_attribution_fraction =
+      tail_total == 0 ? 1.0
+                      : static_cast<double>(tail_attributed) /
+                            static_cast<double>(tail_total);
+  return attribution;
+}
+
+std::string RenderTailAttribution(const TailAttribution& attribution) {
+  std::ostringstream out;
+  out << "requests: " << attribution.requests
+      << "  tail(p99): " << attribution.tail_count
+      << "  typical(<=p50): " << attribution.typical_count << "\n";
+  out << "total wall: p50 " << MillisText(attribution.p50_total_ms)
+      << " ms, p99 " << MillisText(attribution.p99_total_ms) << " ms\n";
+  char line[160];
+  std::snprintf(line, sizeof(line), "%-18s %12s %12s %12s %8s\n", "stage",
+                "tail_ms", "typical_ms", "delta_ms", "tail%");
+  out << line;
+  double tail_sum = 0.0;
+  for (size_t s = 0; s < kNumStages; ++s) {
+    tail_sum += attribution.tail_stage_ms[s];
+  }
+  for (size_t s = 0; s < kNumStages; ++s) {
+    const double tail_ms = attribution.tail_stage_ms[s];
+    const double typical_ms = attribution.typical_stage_ms[s];
+    const double share = tail_sum > 0.0 ? 100.0 * tail_ms / tail_sum : 0.0;
+    std::snprintf(line, sizeof(line), "%-18s %12.3f %12.3f %12.3f %7.1f%%\n",
+                  TimelineStageName(static_cast<TimelineStage>(s)), tail_ms,
+                  typical_ms, tail_ms - typical_ms, share);
+    out << line;
+  }
+  std::snprintf(line, sizeof(line), "tail attribution: %.1f%% of p99 wall time\n",
+                100.0 * attribution.tail_attribution_fraction);
+  out << line;
+  return out.str();
+}
+
+std::string RenderRequestTimeline(const RequestTimeline& timeline) {
+  std::ostringstream out;
+  out << "request " << timeline.request_id << " lane " << timeline.lane
+      << " total " << MillisText(static_cast<double>(timeline.total_ns()) / 1e6)
+      << " ms (attributed "
+      << MillisText(static_cast<double>(timeline.attributed_ns()) / 1e6)
+      << " ms, " << MillisText(100.0 * timeline.attribution_fraction())
+      << "%)\n";
+  out << "phases:";
+  out << (timeline.has_prepare ? " prepare" : " [prepare dropped]");
+  out << (timeline.has_lane ? " lane" : " [lane dropped]");
+  out << (timeline.has_merge ? " merge" : " [merge dropped]");
+  out << "\n";
+  char line[128];
+  for (size_t s = 0; s < kNumStages; ++s) {
+    const uint64_t ns = timeline.stage_ns[s];
+    if (ns == 0) {
+      continue;
+    }
+    std::snprintf(line, sizeof(line), "  %-18s %12.3f ms\n",
+                  TimelineStageName(static_cast<TimelineStage>(s)),
+                  static_cast<double>(ns) / 1e6);
+    out << line;
+  }
+  return out.str();
+}
+
+bool CheckTraceIntegrity(const std::vector<TimelineSpan>& spans,
+                         std::string* error) {
+  std::vector<std::pair<uint64_t, uint64_t>> windows;
+  for (const TimelineSpan& span : spans) {
+    if (span.name == "window") {
+      windows.emplace_back(span.begin_ns, span.end_ns);
+    }
+  }
+  std::sort(windows.begin(), windows.end());
+  auto overlaps_some_window = [&windows](const TimelineSpan& span) {
+    for (const auto& [begin, end] : windows) {
+      if (begin > span.end_ns) {
+        break;  // sorted: no later window can reach back
+      }
+      if (end >= span.begin_ns) {
+        return true;
+      }
+    }
+    return false;
+  };
+  for (const TimelineSpan& span : spans) {
+    if (span.name != "commit_lane" && span.name != "lane_commit" &&
+        span.name != "merge" && span.name != "merge_step" &&
+        span.name != "publish") {
+      continue;
+    }
+    if (!overlaps_some_window(span)) {
+      if (error != nullptr) {
+        std::ostringstream out;
+        out << "span '" << span.name << "' (request " << span.request_id
+            << ", begin " << span.begin_ns
+            << " ns) has no enclosing window span";
+        *error = out.str();
+      }
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace iccache

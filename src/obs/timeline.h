@@ -1,0 +1,126 @@
+// Per-request timeline assembly and tail attribution over flight-recorder
+// spans. Spans carry request ids, so a request's life across the pipelined
+// window machinery (prepare on a pool thread, commit on a lane thread, merge
+// on the driver thread) can be stitched back into one causal breakdown:
+// where did the wall time of THIS request go, and how does the p99 cohort's
+// breakdown differ from the typical request's.
+//
+// Everything here is offline analysis over a snapshot or an exported Chrome
+// trace — nothing touches the serving hot path.
+#ifndef SRC_OBS_TIMELINE_H_
+#define SRC_OBS_TIMELINE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/obs/trace.h"
+
+namespace iccache {
+
+// One span in analysis form, decoupled from TraceEvent so timelines assemble
+// identically from an in-process snapshot or a parsed Chrome trace file.
+struct TimelineSpan {
+  std::string name;
+  uint64_t request_id = 0;
+  uint64_t begin_ns = 0;
+  uint64_t end_ns = 0;
+  uint64_t arg0 = 0;
+  uint64_t arg1 = 0;
+  uint32_t lane = 0;
+  uint32_t tid = 0;
+
+  uint64_t duration_ns() const {
+    return end_ns > begin_ns ? end_ns - begin_ns : 0;
+  }
+};
+
+// Flattens every ring of a recorder snapshot into analysis spans.
+std::vector<TimelineSpan> FlattenSnapshot(const TraceRecorder::Snapshot& snapshot);
+
+// Extracts the "X" spans of a Chrome trace-event JSON document (as written
+// by ChromeTraceJson). Returns false with a diagnostic on malformed JSON.
+bool ParseChromeTraceSpans(const std::string& json,
+                           std::vector<TimelineSpan>* spans, std::string* error);
+
+// The causal stages a request's wall time decomposes into, in pipeline
+// order. "*_wait" stages are gaps between consecutive phases (queueing on
+// the lane / merge boundaries); "*_other" is a phase's self time not covered
+// by its instrumented children.
+enum class TimelineStage : uint8_t {
+  kEmbed = 0,       // embedding lookup inside prepare
+  kStage0Probe,     // stage-0 semantic cache probe
+  kStage1,          // stage-1 ANN retrieval
+  kStage2,          // stage-2 proxy scoring
+  kPrepareOther,    // prepare self time (candidate assembly, lifecycle)
+  kLaneWait,        // gap between prepare end and commit-lane start
+  kRoute,           // bandit routing in the lane
+  kGenerate,        // generation (incl. stage-0 shadow probes) in the lane
+  kLaneOther,       // lane self time (stage-0 hit path, bookkeeping)
+  kMergeWait,       // gap between lane end and this request's merge step
+  kMerge,           // this request's slice of the serial merge
+  kNumStages,
+};
+
+const char* TimelineStageName(TimelineStage stage);
+
+// One request's assembled timeline. Degrades gracefully when spans were
+// dropped by the rings: a missing phase leaves its stages at zero and clears
+// the corresponding has_* flag, and the total span shrinks to the phases
+// that survived.
+struct RequestTimeline {
+  uint64_t request_id = 0;
+  uint64_t begin_ns = 0;  // first surviving phase's begin
+  uint64_t end_ns = 0;    // last surviving phase's end
+  uint32_t lane = 0;
+  bool has_prepare = false;
+  bool has_lane = false;
+  bool has_merge = false;
+  uint64_t stage_ns[static_cast<size_t>(TimelineStage::kNumStages)] = {0};
+
+  uint64_t total_ns() const { return end_ns > begin_ns ? end_ns - begin_ns : 0; }
+  uint64_t attributed_ns() const;
+  // Fraction of total wall time attributed to named stages; 1.0 for an empty
+  // timeline (nothing to attribute).
+  double attribution_fraction() const;
+};
+
+// Groups spans by request id and assembles one timeline per request (only
+// requests with at least one per-request span appear). Handles out-of-order
+// spans across rings; result is sorted by request id.
+std::vector<RequestTimeline> AssembleTimelines(const std::vector<TimelineSpan>& spans);
+
+// "Where does p99 time go vs p50": per-stage mean wall time over the tail
+// cohort (requests with total >= the p99 total) vs the typical cohort
+// (total <= median).
+struct TailAttribution {
+  size_t requests = 0;
+  size_t tail_count = 0;
+  size_t typical_count = 0;
+  double p50_total_ms = 0.0;
+  double p99_total_ms = 0.0;
+  // Attributed share of total wall time, summed over the tail cohort.
+  double tail_attribution_fraction = 0.0;
+  double tail_stage_ms[static_cast<size_t>(TimelineStage::kNumStages)] = {0};
+  double typical_stage_ms[static_cast<size_t>(TimelineStage::kNumStages)] = {0};
+};
+
+TailAttribution AttributeTails(const std::vector<RequestTimeline>& timelines);
+
+// Human-readable table of a tail attribution (tools/tail_report, bench).
+std::string RenderTailAttribution(const TailAttribution& attribution);
+
+// Human-readable dump of one request's timeline (trace_dump --request).
+std::string RenderRequestTimeline(const RequestTimeline& timeline);
+
+// Cheap trace-integrity lint: every span of a category that can only occur
+// inside a driver window (commit_lane, lane_commit, merge, merge_step,
+// publish) must time-overlap some "window" span. Returns false with a
+// diagnostic naming the orphaned category. Traces with no window spans at
+// all pass vacuously only when they also contain no window-scoped spans.
+bool CheckTraceIntegrity(const std::vector<TimelineSpan>& spans,
+                         std::string* error);
+
+}  // namespace iccache
+
+#endif  // SRC_OBS_TIMELINE_H_

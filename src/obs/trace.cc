@@ -36,6 +36,14 @@ const char* TraceCategoryName(TraceCategory category) {
       return "checkpoint_write";
     case TraceCategory::kServiceRequest:
       return "service_request";
+    case TraceCategory::kRoute:
+      return "route";
+    case TraceCategory::kGenerate:
+      return "generate";
+    case TraceCategory::kMergeStep:
+      return "merge_step";
+    case TraceCategory::kAnomaly:
+      return "anomaly";
     case TraceCategory::kNumCategories:
       break;
   }

@@ -43,6 +43,10 @@ enum class TraceCategory : uint8_t {
   kMaintenanceApply,   // applying a collected maintenance plan
   kCheckpointWrite,    // checkpointer snapshot write
   kServiceRequest,     // IcCacheService::ServeRequest end to end
+  kRoute,              // bandit routing inside a commit lane
+  kGenerate,           // generation (incl. shadow probes) inside a commit lane
+  kMergeStep,          // one request's slice of the serial merge
+  kAnomaly,            // SLO-watchdog anomaly (instant; arg0: rule, arg1: window)
   kNumCategories,
 };
 

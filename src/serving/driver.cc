@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <chrono>
+#include <map>
+#include <unordered_map>
 #include <utility>
 
 #include "src/common/binio.h"
@@ -232,6 +234,7 @@ void ServingDriver::CommitLaneRequest(const Request& request, Prepared& prep,
     // the adaptation grid with a genuine (reused - fresh) counterfactual.
     Rng probe_rng(Mix64(request.id ^ config_.seed ^ 0x57a9ebull));
     if (probe_rng.Uniform() < config_.stage0.probe_rate) {
+      TraceSpan generate_span(TraceCategory::kGenerate, request.id);
       Rng commit_rng(Mix64(request.id ^ config_.seed ^ 0x1a9ec0113ull));
       const GenerationResult fresh = generator_.Generate(large_, request, {}, commit_rng);
       slot.stage0_probed = true;
@@ -262,21 +265,27 @@ void ServingDriver::CommitLaneRequest(const Request& request, Prepared& prep,
   // is a pure function of (seed, request id, window-start state).
   Rng commit_rng(Mix64(request.id ^ config_.seed ^ 0x1a9ec0113ull));
 
-  slot.decision = config_.router_fault_bypass
-                      ? BypassRoute(router_, request, slot.selected, large_)
-                      : router_.RouteWithRng(request, slot.selected, commit_rng);
+  {
+    TraceSpan route_span(TraceCategory::kRoute, request.id);
+    slot.decision = config_.router_fault_bypass
+                        ? BypassRoute(router_, request, slot.selected, large_)
+                        : router_.RouteWithRng(request, slot.selected, commit_rng);
+  }
   slot.offloaded = slot.decision.uses_examples;
   const ModelProfile& model = slot.offloaded ? small_ : large_;
 
-  std::vector<ExampleView> views;
-  if (slot.offloaded) {
-    views.reserve(picked.size());
-    Rng view_rng(Mix64(request.id ^ config_.seed ^ 0x71e35ull));
-    for (const SelectorCandidate& candidate : picked) {
-      views.push_back(MakeExampleView(request, candidate.example, view_rng));
+  {
+    TraceSpan generate_span(TraceCategory::kGenerate, request.id);
+    std::vector<ExampleView> views;
+    if (slot.offloaded) {
+      views.reserve(picked.size());
+      Rng view_rng(Mix64(request.id ^ config_.seed ^ 0x71e35ull));
+      for (const SelectorCandidate& candidate : picked) {
+        views.push_back(MakeExampleView(request, candidate.example, view_rng));
+      }
     }
+    slot.generation = generator_.Generate(model, request, views, commit_rng);
   }
-  slot.generation = generator_.Generate(model, request, views, commit_rng);
 
   // Probe sampling: on a deterministic per-request slice of offloaded
   // traffic, shadow-generate the plain small-model response so the
@@ -285,6 +294,7 @@ void ServingDriver::CommitLaneRequest(const Request& request, Prepared& prep,
   if (slot.offloaded && !slot.selected.empty()) {
     Rng probe_rng(Mix64(request.id ^ config_.seed ^ 0x9a0beull));
     if (probe_rng.Uniform() < config_.selector_probe_rate) {
+      TraceSpan generate_span(TraceCategory::kGenerate, request.id);
       const GenerationResult plain = generator_.Generate(small_, request, {}, commit_rng);
       slot.probed = true;
       slot.probe_gain = slot.generation.latent_quality - plain.latent_quality;
@@ -322,6 +332,8 @@ DriverReport ServingDriver::Run(const std::vector<Request>& requests) {
   MetricCounter* m_stage0_tokens_saved = hub_.Counter("stage0_tokens_saved_total");
   MetricCounter* m_generated_tokens = hub_.Counter("generated_tokens_total");
   MetricCounter* m_admitted = hub_.Counter("examples_admitted_total");
+  MetricCounter* m_evicted = hub_.Counter("examples_evicted_total");
+  MetricCounter* m_anomalies = hub_.Counter("watchdog_anomalies_total");
   MetricCounter* m_maintenance_ticks = hub_.Counter("maintenance_ticks_total");
   MetricCounter* m_replay_passes = hub_.Counter("replay_passes_total");
   MetricCounter* m_replayed = hub_.Counter("replayed_examples_total");
@@ -376,6 +388,38 @@ DriverReport ServingDriver::Run(const std::vector<Request>& requests) {
   RunningStat quality;
   double prepare_wall = 0.0;      // driver time blocked on pool task groups
   double maintenance_wall = 0.0;  // cut exports + plan collection + batch apply
+
+  // Per-Run SLO watchdog over the per-window hub snapshots. Passive: it
+  // reads metrics already maintained above, so arming it cannot perturb a
+  // single decision.
+  SloWatchdog watchdog(config_.watchdog);
+  uint64_t evicted_seen = evicted_before;  // store-counter cursor for the window delta
+  size_t planned_seen = 0;                 // maintenance-batch cursor, same delta
+
+  // Bounded log-bucket histograms instead of retained-sample trackers: the
+  // report's percentiles carry the histogram's quantile error bound
+  // (relative error <= sqrt(growth) - 1, ~4.9% at growth 1.10) but memory
+  // stays constant however many completions a run produces.
+  LatencyHistogram latency;
+  LatencyHistogram ttft;
+  LatencyHistogram queue_delay;
+  // Drains the cluster's finished requests into the report at each window
+  // boundary (rather than once at the end) so the per-window hub snapshots
+  // carry live latency histograms for the watchdog. TakeCompletions is
+  // driven purely by the simulated clock, so per-boundary draining yields
+  // the same global completion order as one final take.
+  const auto drain_completions = [&] {
+    for (CompletionRecord& record : cluster_.TakeCompletions()) {
+      const double e2e = record.E2eLatency();
+      latency.Add(e2e);
+      ttft.Add(record.Ttft());
+      queue_delay.Add(record.QueueDelay());
+      h_e2e->Observe(e2e, record.id);  // request id = the bucket's exemplar
+      h_ttft->Observe(record.Ttft());
+      h_queue->Observe(record.QueueDelay());
+      report.completions.push_back(std::move(record));
+    }
+  };
 
   // Publishes the pending maintenance tick's mutation batch. `forced` marks
   // the deterministic early-flush points (checkpoint, end of run), where a
@@ -496,6 +540,9 @@ DriverReport ServingDriver::Run(const std::vector<Request>& requests) {
     }
     for (size_t slot = 0; slot < count; ++slot) {
       const Request& request = requests[begin + slot];
+      // Per-request slice of the serial merge, nested under the manual merge
+      // span — lets the timeline assembler charge merge time to a request.
+      TraceSpan step_span(TraceCategory::kMergeStep, request.id);
       CommitSlot& c = slots[slot];
       const ModelProfile& model = c.offloaded ? small_ : large_;
 
@@ -760,7 +807,34 @@ DriverReport ServingDriver::Run(const std::vector<Request>& requests) {
       rerank_queries_seen = q_now;
       rerank_candidates_seen = c_now;
     }
-    hub_.SnapshotWindow(window_index, cluster_.now(), TraceRecorder::Global().NowNs());
+    {
+      // Evictions as a counter (store watermark + maintenance batches), so
+      // the watchdog's eviction-storm rule sees per-window deltas.
+      const uint64_t store_evicted = cache_.evicted_total();
+      m_evicted->Add(static_cast<double>(store_evicted - evicted_seen) +
+                     static_cast<double>(planned_evictions - planned_seen));
+      evicted_seen = store_evicted;
+      planned_seen = planned_evictions;
+    }
+    drain_completions();
+    const MetricsWindowSample window_sample =
+        hub_.SnapshotWindow(window_index, cluster_.now(), TraceRecorder::Global().NowNs());
+    if (watchdog.armed()) {
+      for (const WatchdogEvent& event :
+           watchdog.OnWindow(window_sample, h_e2e->snapshot(), h_queue->snapshot())) {
+        m_anomalies->Increment();
+        if (TraceRecorder::tracing_enabled()) {
+          TraceEvent anomaly;
+          anomaly.category = TraceCategory::kAnomaly;
+          anomaly.begin_ns = TraceRecorder::Global().NowNs();
+          anomaly.end_ns = anomaly.begin_ns;
+          anomaly.arg0 = static_cast<uint64_t>(event.rule);
+          anomaly.arg1 = event.window;
+          TraceRecorder::Global().Emit(anomaly);
+        }
+        report.anomalies.push_back(event);
+      }
+    }
 
     std::swap(prepared, prepared_next);
   }
@@ -776,8 +850,10 @@ DriverReport ServingDriver::Run(const std::vector<Request>& requests) {
   cluster_.RunUntilIdle();
   const auto wall_end = std::chrono::steady_clock::now();
 
-  // Take (rather than copy) so repeated Run calls report their own segment.
-  report.completions = cluster_.TakeCompletions();
+  // Final drain: whatever finished after the last boundary. Per-boundary
+  // drains already moved earlier completions into the report, in the same
+  // simulated completion order one end-of-run take would have produced.
+  drain_completions();
   report.wall_seconds = std::chrono::duration<double>(wall_end - wall_start).count();
   report.prepare_seconds = prepare_wall;
   report.maintenance_seconds = maintenance_wall;
@@ -785,21 +861,6 @@ DriverReport ServingDriver::Run(const std::vector<Request>& requests) {
   report.requests_per_second =
       report.wall_seconds > 0.0 ? static_cast<double>(report.total_requests) / report.wall_seconds
                                 : 0.0;
-  // Bounded log-bucket histograms instead of retained-sample trackers: the
-  // report's percentiles carry the histogram's quantile error bound
-  // (relative error <= sqrt(growth) - 1, ~4.9% at growth 1.10) but memory
-  // stays constant however many completions a run produces.
-  LatencyHistogram latency;
-  LatencyHistogram ttft;
-  LatencyHistogram queue_delay;
-  for (const CompletionRecord& record : report.completions) {
-    latency.Add(record.E2eLatency());
-    ttft.Add(record.Ttft());
-    queue_delay.Add(record.QueueDelay());
-    h_e2e->Observe(record.E2eLatency());
-    h_ttft->Observe(record.Ttft());
-    h_queue->Observe(record.QueueDelay());
-  }
   report.p50_latency_s = latency.Percentile(50);
   report.p99_latency_s = latency.Percentile(99);
   report.p50_ttft_s = ttft.Percentile(50);
@@ -817,6 +878,61 @@ DriverReport ServingDriver::Run(const std::vector<Request>& requests) {
       static_cast<size_t>(HnswRerankQueriesTotal() - rerank_queries_before);
   report.hnsw_rerank_candidates =
       static_cast<size_t>(HnswRerankCandidatesTotal() - rerank_candidates_before);
+
+  // Deterministic tail-exemplar selection: slowest-K completions per batch
+  // window (ties broken by request id) plus an optional fixed-rate sample.
+  // Everything here keys on simulated latency, request ids, and the window
+  // structure — all thread- and lane-count invariant.
+  if (config_.tail_slowest_per_window > 0 || config_.tail_sample_every > 0) {
+    std::unordered_map<uint64_t, uint64_t> window_of;
+    window_of.reserve(report.decisions.size());
+    for (size_t i = 0; i < report.decisions.size(); ++i) {
+      window_of.emplace(report.decisions[i].request_id, i / window);
+    }
+    std::map<uint64_t, std::vector<const CompletionRecord*>> by_window;
+    for (const CompletionRecord& record : report.completions) {
+      const auto it = window_of.find(record.id);
+      by_window[it == window_of.end() ? 0 : it->second].push_back(&record);
+    }
+    std::map<std::pair<uint64_t, uint64_t>, TailExemplar> picked;
+    const auto add = [&picked](uint64_t win, const CompletionRecord& record, bool slowest) {
+      TailExemplar& exemplar = picked[{win, record.id}];
+      exemplar.request_id = record.id;
+      exemplar.window = win;
+      exemplar.e2e_latency_s = record.E2eLatency();
+      exemplar.slowest = exemplar.slowest || slowest;
+    };
+    for (auto& [win, records] : by_window) {
+      const size_t keep = std::min(config_.tail_slowest_per_window, records.size());
+      if (keep == 0) {
+        continue;
+      }
+      std::partial_sort(records.begin(), records.begin() + keep, records.end(),
+                        [](const CompletionRecord* a, const CompletionRecord* b) {
+                          const double la = a->E2eLatency();
+                          const double lb = b->E2eLatency();
+                          if (la != lb) {
+                            return la > lb;
+                          }
+                          return a->id < b->id;
+                        });
+      for (size_t i = 0; i < keep; ++i) {
+        add(win, *records[i], /*slowest=*/true);
+      }
+    }
+    if (config_.tail_sample_every > 0) {
+      for (const CompletionRecord& record : report.completions) {
+        if (record.id % config_.tail_sample_every == 0) {
+          const auto it = window_of.find(record.id);
+          add(it == window_of.end() ? 0 : it->second, record, /*slowest=*/false);
+        }
+      }
+    }
+    report.tail_exemplars.reserve(picked.size());
+    for (auto& [key, exemplar] : picked) {
+      report.tail_exemplars.push_back(exemplar);
+    }
+  }
   return report;
 }
 

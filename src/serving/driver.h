@@ -68,6 +68,7 @@
 #include "src/llm/generation.h"
 #include "src/llm/model_profile.h"
 #include "src/obs/metrics.h"
+#include "src/obs/watchdog.h"
 #include "src/persist/checkpointer.h"
 #include "src/persist/pool_codec.h"
 #include "src/serving/cluster.h"
@@ -164,7 +165,30 @@ struct DriverConfig {
   bool restore_on_start = false;
   double checkpoint_interval_s = 0.0;
 
+  // Observability (strictly passive — none of it can change a decision).
+  // SLO watchdog rules evaluated on each per-window hub snapshot; all rules
+  // default to disabled. Watchdog state is per Run (trailing EMAs restart
+  // with each segment).
+  WatchdogConfig watchdog;
+  // Tail-exemplar sampling over the run's completions: keep the K slowest
+  // (by simulated e2e latency) per window, plus every request whose id is a
+  // multiple of `tail_sample_every` (0 disables the fixed-rate sample).
+  // Selection keys on simulated latency and request ids only, so the
+  // exemplar set is identical at any thread/lane count.
+  size_t tail_slowest_per_window = 2;
+  uint64_t tail_sample_every = 0;
+
   uint64_t seed = 0xd21e5;
+};
+
+// One completion picked by the deterministic tail sampler: the request to
+// pull from the trace (`trace_dump --request=<id>`) when investigating that
+// window's latency.
+struct TailExemplar {
+  uint64_t request_id = 0;
+  uint64_t window = 0;          // batch window the request was served in
+  double e2e_latency_s = 0.0;   // simulated end-to-end latency
+  bool slowest = false;         // slowest-K pick (vs fixed-rate sample)
 };
 
 // Per-request routing outcome, recorded in arrival order.
@@ -244,6 +268,13 @@ struct DriverReport {
   // re-scored at full precision.
   size_t hnsw_rerank_queries = 0;
   size_t hnsw_rerank_candidates = 0;
+
+  // Deterministic tail exemplars (slowest-K per window + fixed-rate sample),
+  // sorted by (window, request_id). Stage-0 hits never reach the cluster, so
+  // they produce no completion and cannot appear here.
+  std::vector<TailExemplar> tail_exemplars;
+  // SLO-watchdog anomalies fired during this run (empty unless configured).
+  std::vector<WatchdogEvent> anomalies;
 };
 
 class ServingDriver {

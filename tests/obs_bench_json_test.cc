@@ -1,0 +1,185 @@
+// Unit coverage for the perf-trajectory gate: BENCH json round trips and the
+// CompareBenchRuns tolerance-band semantics tools/bench_compare enforces in
+// CI — improvements never fail, regressions beyond the band do, machine-
+// dependent metrics gate only under --strict, and a gated baseline metric
+// missing from the run is itself a failure.
+#include <unistd.h>
+
+#include <cstdio>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "src/obs/bench_json.h"
+
+namespace iccache {
+namespace {
+
+BenchRunRecord MakeRecord() {
+  BenchRunRecord record;
+  record.bench = "driver_throughput";
+  record.AddConfig("requests", "3000");
+  record.AddConfig("backend", "hnsw");
+  record.AddMetric("requests_per_second", 1200.0, 0.15, +1, /*machine_dependent=*/true);
+  record.AddMetric("p99_latency_s", 0.250, 0.10, -1);
+  record.AddMetric("stage0_hit_rate", 0.36, 0.10, +1);
+  record.AddMetric("anomaly_count", 0.0, 0.0, -1);
+  record.AddMetric("tail_exemplars", 113.0, 0.0, 0);  // informational
+  return record;
+}
+
+TEST(BenchJsonTest, JsonRoundTripPreservesEverything) {
+  const BenchRunRecord record = MakeRecord();
+  const StatusOr<BenchRunRecord> parsed = ParseBenchRun(BenchRunJson(record));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed.value().schema, "iccache-bench/1");
+  EXPECT_EQ(parsed.value().bench, "driver_throughput");
+  ASSERT_EQ(parsed.value().config.size(), record.config.size());
+  EXPECT_EQ(parsed.value().config[0].first, "requests");
+  EXPECT_EQ(parsed.value().config[0].second, "3000");
+  ASSERT_EQ(parsed.value().metrics.size(), record.metrics.size());
+  for (size_t i = 0; i < record.metrics.size(); ++i) {
+    EXPECT_EQ(parsed.value().metrics[i].first, record.metrics[i].first);
+    EXPECT_DOUBLE_EQ(parsed.value().metrics[i].second.value,
+                     record.metrics[i].second.value);
+    EXPECT_DOUBLE_EQ(parsed.value().metrics[i].second.tolerance,
+                     record.metrics[i].second.tolerance);
+    EXPECT_EQ(parsed.value().metrics[i].second.direction,
+              record.metrics[i].second.direction);
+    EXPECT_EQ(parsed.value().metrics[i].second.machine_dependent,
+              record.metrics[i].second.machine_dependent);
+  }
+}
+
+TEST(BenchJsonTest, FileWriteReadRoundTrip) {
+  const std::string path =
+      "/tmp/iccache_bench_json_test_" + std::to_string(::getpid()) + ".json";
+  ASSERT_TRUE(WriteBenchRun(path, MakeRecord()).ok());
+  const StatusOr<BenchRunRecord> read = ReadBenchRun(path);
+  std::remove(path.c_str());
+  ASSERT_TRUE(read.ok()) << read.status().ToString();
+  EXPECT_EQ(read.value().bench, "driver_throughput");
+  ASSERT_NE(read.value().Find("p99_latency_s"), nullptr);
+  EXPECT_DOUBLE_EQ(read.value().Find("p99_latency_s")->value, 0.250);
+}
+
+TEST(BenchJsonTest, ParserRejectsMalformedRecords) {
+  EXPECT_FALSE(ParseBenchRun("not json").ok());
+  EXPECT_FALSE(ParseBenchRun("[]").ok());
+  EXPECT_FALSE(
+      ParseBenchRun("{\"schema\": \"iccache-bench/1\", \"metrics\": 3}").ok());
+  // A foreign schema string parses (the record carries it verbatim) — the
+  // version check happens at compare time, where it fails the gate.
+  const StatusOr<BenchRunRecord> foreign =
+      ParseBenchRun("{\"schema\": \"other/9\", \"metrics\": {}}");
+  ASSERT_TRUE(foreign.ok());
+  EXPECT_FALSE(CompareBenchRuns(MakeRecord(), foreign.value(), false).ok());
+}
+
+TEST(BenchCompareTest, IdenticalRunPasses) {
+  const BenchRunRecord record = MakeRecord();
+  const BenchCompareResult result = CompareBenchRuns(record, record, /*strict=*/true);
+  EXPECT_TRUE(result.ok());
+  EXPECT_EQ(result.regressions(), 0u);
+  EXPECT_TRUE(result.missing_metrics.empty());
+}
+
+TEST(BenchCompareTest, ImprovementsNeverFail) {
+  const BenchRunRecord baseline = MakeRecord();
+  BenchRunRecord run = MakeRecord();
+  run.Find("stage0_hit_rate")->value = 0.80;   // higher-is-better, way up
+  run.Find("p99_latency_s")->value = 0.050;    // lower-is-better, way down
+  EXPECT_TRUE(CompareBenchRuns(baseline, run, /*strict=*/false).ok());
+}
+
+TEST(BenchCompareTest, RegressionBeyondTheBandFails) {
+  const BenchRunRecord baseline = MakeRecord();
+  BenchRunRecord run = MakeRecord();
+  // 10% band: -9% squeaks by, -20% fails.
+  run.Find("stage0_hit_rate")->value = 0.36 * 0.91;
+  EXPECT_TRUE(CompareBenchRuns(baseline, run, /*strict=*/false).ok());
+  run.Find("stage0_hit_rate")->value = 0.36 * 0.80;
+  const BenchCompareResult result = CompareBenchRuns(baseline, run, /*strict=*/false);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.regressions(), 1u);
+  EXPECT_NE(RenderBenchCompare(result).find("FAIL"), std::string::npos);
+}
+
+TEST(BenchCompareTest, LowerIsBetterGatesTheUpperSide) {
+  const BenchRunRecord baseline = MakeRecord();
+  BenchRunRecord run = MakeRecord();
+  run.Find("p99_latency_s")->value = 0.250 * 1.25;  // 25% slower vs 10% band
+  EXPECT_FALSE(CompareBenchRuns(baseline, run, /*strict=*/false).ok());
+}
+
+TEST(BenchCompareTest, MachineDependentMetricsGateOnlyUnderStrict) {
+  const BenchRunRecord baseline = MakeRecord();
+  BenchRunRecord run = MakeRecord();
+  run.Find("requests_per_second")->value = 600.0;  // halved throughput
+  // Default mode: reported but not gated (baseline crosses machines).
+  EXPECT_TRUE(CompareBenchRuns(baseline, run, /*strict=*/false).ok());
+  // Strict mode (same machine, the ci.sh red path): gated and failing.
+  EXPECT_FALSE(CompareBenchRuns(baseline, run, /*strict=*/true).ok());
+}
+
+TEST(BenchCompareTest, ZeroBaselineUsesTheToleranceAsAbsoluteAllowance) {
+  BenchRunRecord baseline = MakeRecord();
+  baseline.Find("anomaly_count")->tolerance = 0.5;
+  BenchRunRecord run = MakeRecord();
+  run.Find("anomaly_count")->value = 0.4;  // within the absolute allowance
+  EXPECT_TRUE(CompareBenchRuns(baseline, run, /*strict=*/false).ok());
+  run.Find("anomaly_count")->value = 2.0;  // a clean run grew anomalies
+  EXPECT_FALSE(CompareBenchRuns(baseline, run, /*strict=*/false).ok());
+}
+
+TEST(BenchCompareTest, MissingGatedMetricFailsMissingInfoMetricDoesNot) {
+  const BenchRunRecord baseline = MakeRecord();
+  BenchRunRecord no_gated = MakeRecord();
+  no_gated.metrics.erase(no_gated.metrics.begin() + 1);  // drop p99_latency_s
+  const BenchCompareResult result =
+      CompareBenchRuns(baseline, no_gated, /*strict=*/false);
+  EXPECT_FALSE(result.ok());
+  ASSERT_EQ(result.missing_metrics.size(), 1u);
+  EXPECT_EQ(result.missing_metrics[0], "p99_latency_s");
+
+  BenchRunRecord no_info = MakeRecord();
+  no_info.metrics.pop_back();  // drop the informational tail_exemplars
+  EXPECT_TRUE(CompareBenchRuns(baseline, no_info, /*strict=*/false).ok());
+}
+
+TEST(BenchCompareTest, ExtraRunMetricsAreInformational) {
+  const BenchRunRecord baseline = MakeRecord();
+  BenchRunRecord run = MakeRecord();
+  run.AddMetric("brand_new_metric", 1.0, 0.1, +1);
+  const BenchCompareResult result = CompareBenchRuns(baseline, run, /*strict=*/false);
+  EXPECT_TRUE(result.ok());
+  ASSERT_EQ(result.new_metrics.size(), 1u);
+  EXPECT_EQ(result.new_metrics[0], "brand_new_metric");
+}
+
+TEST(BenchCompareTest, SchemaAndBenchMismatchesFail) {
+  const BenchRunRecord baseline = MakeRecord();
+  BenchRunRecord wrong_schema = MakeRecord();
+  wrong_schema.schema = "iccache-bench/2";
+  EXPECT_FALSE(CompareBenchRuns(baseline, wrong_schema, /*strict=*/false).ok());
+
+  BenchRunRecord wrong_bench = MakeRecord();
+  wrong_bench.bench = "retrieval_scaling";
+  EXPECT_FALSE(CompareBenchRuns(baseline, wrong_bench, /*strict=*/false).ok());
+}
+
+TEST(BenchCompareTest, DoctoredThroughputDropMatchesTheCiRedPath) {
+  // The exact scenario ci.sh exercises with bench_compare --scale: a run
+  // whose requests_per_second was scaled by 0.8 must fail strict comparison
+  // against its own original as baseline.
+  const BenchRunRecord baseline = MakeRecord();
+  BenchRunRecord doctored = MakeRecord();
+  doctored.Find("requests_per_second")->value *= 0.8;
+  EXPECT_TRUE(CompareBenchRuns(baseline, doctored, /*strict=*/false).ok());
+  const BenchCompareResult strict = CompareBenchRuns(baseline, doctored, /*strict=*/true);
+  EXPECT_FALSE(strict.ok());
+  EXPECT_EQ(strict.regressions(), 1u);
+}
+
+}  // namespace
+}  // namespace iccache

@@ -1,0 +1,263 @@
+// Unit coverage for per-request timeline assembly and tail attribution:
+// stitching synthetic span streams into RequestTimelines, graceful
+// degradation when a ring dropped a phase, the p99-vs-p50 cohort math, the
+// window-parent integrity lint, and the Chrome-trace round trip that feeds
+// tools/tail_report and trace_dump --request.
+#include <algorithm>
+#include <random>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/obs/export.h"
+#include "src/obs/timeline.h"
+#include "src/obs/trace.h"
+
+namespace iccache {
+namespace {
+
+TimelineSpan MakeSpan(const std::string& name, uint64_t request_id, uint64_t begin_ns,
+                      uint64_t end_ns, uint32_t lane = 0) {
+  TimelineSpan span;
+  span.name = name;
+  span.request_id = request_id;
+  span.begin_ns = begin_ns;
+  span.end_ns = end_ns;
+  span.lane = lane;
+  return span;
+}
+
+// One request's complete life: prepare with all four instrumented children,
+// a commit lane with route + generate, and a merge step.
+std::vector<TimelineSpan> FullRequestSpans(uint64_t id, uint64_t base_ns = 0) {
+  return {
+      MakeSpan("prepare", id, base_ns + 1000, base_ns + 5000),
+      MakeSpan("embed", id, base_ns + 1100, base_ns + 1600),
+      MakeSpan("stage0_probe", id, base_ns + 1700, base_ns + 1900),
+      MakeSpan("stage1_retrieval", id, base_ns + 2000, base_ns + 3000),
+      MakeSpan("stage2_scoring", id, base_ns + 3100, base_ns + 4000),
+      MakeSpan("lane_commit", id, base_ns + 6000, base_ns + 9000, /*lane=*/2),
+      MakeSpan("route", id, base_ns + 6100, base_ns + 6300),
+      MakeSpan("generate", id, base_ns + 6500, base_ns + 8500),
+      MakeSpan("merge_step", id, base_ns + 9500, base_ns + 9800),
+  };
+}
+
+uint64_t Stage(const RequestTimeline& timeline, TimelineStage stage) {
+  return timeline.stage_ns[static_cast<size_t>(stage)];
+}
+
+TEST(TimelineAssemblyTest, FullRequestDecomposesIntoAllStages) {
+  const std::vector<RequestTimeline> timelines = AssembleTimelines(FullRequestSpans(7));
+  ASSERT_EQ(timelines.size(), 1u);
+  const RequestTimeline& t = timelines[0];
+  EXPECT_EQ(t.request_id, 7u);
+  EXPECT_EQ(t.lane, 2u);
+  EXPECT_TRUE(t.has_prepare);
+  EXPECT_TRUE(t.has_lane);
+  EXPECT_TRUE(t.has_merge);
+  EXPECT_EQ(t.begin_ns, 1000u);
+  EXPECT_EQ(t.end_ns, 9800u);
+  EXPECT_EQ(t.total_ns(), 8800u);
+
+  EXPECT_EQ(Stage(t, TimelineStage::kEmbed), 500u);
+  EXPECT_EQ(Stage(t, TimelineStage::kStage0Probe), 200u);
+  EXPECT_EQ(Stage(t, TimelineStage::kStage1), 1000u);
+  EXPECT_EQ(Stage(t, TimelineStage::kStage2), 900u);
+  // prepare is 4000 ns; children cover 2600, so 1400 is prepare self time.
+  EXPECT_EQ(Stage(t, TimelineStage::kPrepareOther), 1400u);
+  EXPECT_EQ(Stage(t, TimelineStage::kLaneWait), 1000u);
+  EXPECT_EQ(Stage(t, TimelineStage::kRoute), 200u);
+  EXPECT_EQ(Stage(t, TimelineStage::kGenerate), 2000u);
+  EXPECT_EQ(Stage(t, TimelineStage::kLaneOther), 800u);
+  EXPECT_EQ(Stage(t, TimelineStage::kMergeWait), 500u);
+  EXPECT_EQ(Stage(t, TimelineStage::kMerge), 300u);
+
+  // Every nanosecond of the request's wall time lands in a named stage.
+  EXPECT_EQ(t.attributed_ns(), t.total_ns());
+  EXPECT_DOUBLE_EQ(t.attribution_fraction(), 1.0);
+}
+
+TEST(TimelineAssemblyTest, SpanOrderDoesNotMatter) {
+  // Rings from different threads interleave arbitrarily; assembly must be a
+  // pure function of the span set.
+  std::vector<TimelineSpan> spans = FullRequestSpans(3);
+  std::mt19937 shuffle_rng(1234);
+  for (int trial = 0; trial < 5; ++trial) {
+    std::shuffle(spans.begin(), spans.end(), shuffle_rng);
+    const std::vector<RequestTimeline> timelines = AssembleTimelines(spans);
+    ASSERT_EQ(timelines.size(), 1u);
+    EXPECT_EQ(timelines[0].total_ns(), 8800u);
+    EXPECT_EQ(timelines[0].attributed_ns(), 8800u);
+  }
+}
+
+TEST(TimelineAssemblyTest, DroppedPrepareShrinksTheTimeline) {
+  // A wrapped ring lost the prepare phase: the timeline must degrade to the
+  // surviving phases without fabricating a lane_wait against missing data.
+  std::vector<TimelineSpan> spans = {
+      MakeSpan("lane_commit", 9, 6000, 9000, /*lane=*/1),
+      MakeSpan("generate", 9, 6500, 8500),
+      MakeSpan("merge_step", 9, 9500, 9800),
+  };
+  const std::vector<RequestTimeline> timelines = AssembleTimelines(spans);
+  ASSERT_EQ(timelines.size(), 1u);
+  const RequestTimeline& t = timelines[0];
+  EXPECT_FALSE(t.has_prepare);
+  EXPECT_TRUE(t.has_lane);
+  EXPECT_TRUE(t.has_merge);
+  EXPECT_EQ(t.begin_ns, 6000u);
+  EXPECT_EQ(t.end_ns, 9800u);
+  EXPECT_EQ(Stage(t, TimelineStage::kLaneWait), 0u);
+  EXPECT_EQ(Stage(t, TimelineStage::kEmbed), 0u);
+  EXPECT_EQ(Stage(t, TimelineStage::kGenerate), 2000u);
+  EXPECT_EQ(Stage(t, TimelineStage::kMergeWait), 500u);
+}
+
+TEST(TimelineAssemblyTest, RequestlessAndChildOnlySpansProduceNoTimeline) {
+  std::vector<TimelineSpan> spans = {
+      MakeSpan("window", 0, 0, 100000),     // driver-scoped, request_id 0
+      MakeSpan("embed", 5, 1100, 1600),     // child with no surviving phase
+  };
+  EXPECT_TRUE(AssembleTimelines(spans).empty());
+}
+
+TEST(TimelineAssemblyTest, ResultIsSortedByRequestId) {
+  std::vector<TimelineSpan> spans;
+  for (uint64_t id : {42u, 7u, 19u}) {
+    const auto request = FullRequestSpans(id, id * 100000);
+    spans.insert(spans.end(), request.begin(), request.end());
+  }
+  const std::vector<RequestTimeline> timelines = AssembleTimelines(spans);
+  ASSERT_EQ(timelines.size(), 3u);
+  EXPECT_EQ(timelines[0].request_id, 7u);
+  EXPECT_EQ(timelines[1].request_id, 19u);
+  EXPECT_EQ(timelines[2].request_id, 42u);
+}
+
+TEST(TailAttributionTest, CohortsAndAttributionFraction) {
+  // 100 requests with distinct totals 1..100 ms, fully attributed to
+  // generate except the slowest one, which has 1 ms unattributed.
+  std::vector<RequestTimeline> timelines;
+  for (uint64_t i = 1; i <= 100; ++i) {
+    RequestTimeline t;
+    t.request_id = i;
+    t.begin_ns = 0;
+    t.end_ns = i * 1000000;
+    const uint64_t attributed = i == 100 ? (i - 1) * 1000000 : i * 1000000;
+    t.stage_ns[static_cast<size_t>(TimelineStage::kGenerate)] = attributed;
+    timelines.push_back(t);
+  }
+  const TailAttribution attribution = AttributeTails(timelines);
+  EXPECT_EQ(attribution.requests, 100u);
+  // Nearest rank: p99 = 99th smallest = 99 ms, p50 = 50th smallest = 50 ms.
+  EXPECT_DOUBLE_EQ(attribution.p99_total_ms, 99.0);
+  EXPECT_DOUBLE_EQ(attribution.p50_total_ms, 50.0);
+  EXPECT_EQ(attribution.tail_count, 2u);      // totals 99 and 100 ms
+  EXPECT_EQ(attribution.typical_count, 50u);  // totals 1..50 ms
+  // Tail cohort: 199 ms of wall, 198 ms attributed.
+  EXPECT_NEAR(attribution.tail_attribution_fraction, 198.0 / 199.0, 1e-12);
+  EXPECT_NEAR(attribution.tail_stage_ms[static_cast<size_t>(TimelineStage::kGenerate)],
+              (99.0 + 99.0) / 2.0, 1e-9);
+  const std::string rendered = RenderTailAttribution(attribution);
+  EXPECT_NE(rendered.find("tail attribution:"), std::string::npos);
+  EXPECT_NE(rendered.find("generate"), std::string::npos);
+}
+
+TEST(TailAttributionTest, EmptyInputIsWellDefined) {
+  const TailAttribution attribution = AttributeTails({});
+  EXPECT_EQ(attribution.requests, 0u);
+  EXPECT_DOUBLE_EQ(attribution.tail_attribution_fraction, 0.0);
+}
+
+TEST(TraceIntegrityTest, WindowScopedSpansMustOverlapAWindow) {
+  std::vector<TimelineSpan> spans = {
+      MakeSpan("window", 0, 0, 10000),
+      MakeSpan("lane_commit", 1, 2000, 4000),
+      MakeSpan("merge", 0, 9000, 9900),
+  };
+  std::string error;
+  EXPECT_TRUE(CheckTraceIntegrity(spans, &error)) << error;
+
+  // A merge_step past every window is an exporter/recorder bug.
+  spans.push_back(MakeSpan("merge_step", 5, 20000, 21000));
+  EXPECT_FALSE(CheckTraceIntegrity(spans, &error));
+  EXPECT_NE(error.find("merge_step"), std::string::npos);
+}
+
+TEST(TraceIntegrityTest, LaneSpanWithNoWindowsAtAllFails) {
+  std::vector<TimelineSpan> spans = {MakeSpan("lane_commit", 1, 2000, 4000)};
+  std::string error;
+  EXPECT_FALSE(CheckTraceIntegrity(spans, &error));
+  // Spans outside the window-scoped set never need a parent.
+  EXPECT_TRUE(CheckTraceIntegrity({MakeSpan("prepare", 1, 0, 100)}, &error));
+  EXPECT_TRUE(CheckTraceIntegrity({}, &error));
+}
+
+TEST(TimelineChromeRoundTripTest, SnapshotAndParsedTraceAssembleIdentically) {
+  // The same events, read two ways: flattened straight from a recorder
+  // snapshot, and round-tripped through the Chrome JSON exporter + parser.
+  // The fixed-microsecond timestamp format must keep nanosecond exactness.
+  TraceRecorder recorder(/*ring_capacity=*/64);
+  const struct {
+    TraceCategory category;
+    uint64_t request_id;
+    uint64_t begin_ns;
+    uint64_t end_ns;
+    uint32_t lane;
+  } events[] = {
+      {TraceCategory::kWindow, 0, 0, 50000, 0},
+      {TraceCategory::kPrepare, 11, 1000, 5000, 0},
+      {TraceCategory::kEmbed, 11, 1001, 2003, 0},
+      {TraceCategory::kLaneCommit, 11, 6007, 9001, 3},
+      {TraceCategory::kMergeStep, 11, 9500, 9807, 0},
+  };
+  for (const auto& spec : events) {
+    TraceEvent event;
+    event.category = spec.category;
+    event.request_id = spec.request_id;
+    event.begin_ns = spec.begin_ns;
+    event.end_ns = spec.end_ns;
+    event.lane = spec.lane;
+    recorder.Emit(event);
+  }
+  const TraceRecorder::Snapshot snapshot = recorder.TakeSnapshot();
+  const std::vector<TimelineSpan> direct = FlattenSnapshot(snapshot);
+
+  std::vector<TimelineSpan> parsed;
+  std::string error;
+  ASSERT_TRUE(ParseChromeTraceSpans(ChromeTraceJson(snapshot, {}), &parsed, &error))
+      << error;
+  ASSERT_EQ(parsed.size(), direct.size());
+  for (size_t i = 0; i < direct.size(); ++i) {
+    EXPECT_EQ(parsed[i].name, direct[i].name);
+    EXPECT_EQ(parsed[i].request_id, direct[i].request_id);
+    EXPECT_EQ(parsed[i].begin_ns, direct[i].begin_ns);
+    EXPECT_EQ(parsed[i].end_ns, direct[i].end_ns);
+    EXPECT_EQ(parsed[i].lane, direct[i].lane);
+  }
+
+  const std::vector<RequestTimeline> a = AssembleTimelines(direct);
+  const std::vector<RequestTimeline> b = AssembleTimelines(parsed);
+  ASSERT_EQ(a.size(), 1u);
+  ASSERT_EQ(b.size(), 1u);
+  EXPECT_EQ(a[0].total_ns(), b[0].total_ns());
+  EXPECT_EQ(a[0].attributed_ns(), b[0].attributed_ns());
+  EXPECT_TRUE(CheckTraceIntegrity(parsed, &error)) << error;
+}
+
+TEST(TimelineRenderTest, RequestTimelineRendersPhasesAndDrops) {
+  const std::vector<RequestTimeline> timelines = AssembleTimelines({
+      MakeSpan("lane_commit", 4, 6000, 9000, /*lane=*/1),
+      MakeSpan("generate", 4, 6500, 8500),
+  });
+  ASSERT_EQ(timelines.size(), 1u);
+  const std::string rendered = RenderRequestTimeline(timelines[0]);
+  EXPECT_NE(rendered.find("request 4"), std::string::npos);
+  EXPECT_NE(rendered.find("[prepare dropped]"), std::string::npos);
+  EXPECT_NE(rendered.find("generate"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace iccache

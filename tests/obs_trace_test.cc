@@ -4,7 +4,9 @@
 // trace-event JSON writer/parser round trip.
 #include <unistd.h>
 
+#include <cmath>
 #include <cstdio>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -173,6 +175,79 @@ TEST(MetricsHubTest, PrometheusTextExposesAllFamilies) {
   EXPECT_NE(text.find("iccache_latency_seconds_bucket{le=\"+Inf\"} 2"), std::string::npos);
   EXPECT_NE(text.find("iccache_latency_seconds_count 2"), std::string::npos);
   EXPECT_NE(text.find("iccache_latency_seconds_sum"), std::string::npos);
+}
+
+TEST(MetricsHubTest, HistogramExemplarsTrackLastRequestPerBucket) {
+  MetricsHub hub;
+  MetricHistogram* histogram = hub.Histogram("e2e_seconds");
+  histogram->Observe(0.010, /*exemplar_id=*/41);
+  histogram->Observe(0.010, /*exemplar_id=*/42);  // same bucket: last id wins
+  histogram->Observe(5.000, /*exemplar_id=*/77);
+  histogram->Observe(0.500);  // no id: bucket counted but no exemplar recorded
+
+  const std::map<int, uint64_t> exemplars = hub.HistogramExemplars("e2e_seconds");
+  ASSERT_EQ(exemplars.size(), 2u);
+  const LatencyHistogram shape = histogram->snapshot();
+  EXPECT_EQ(shape.count(), 4u);
+  EXPECT_EQ(exemplars.at(shape.BucketIndex(0.010)), 42u);
+  EXPECT_EQ(exemplars.at(shape.BucketIndex(5.000)), 77u);
+  EXPECT_TRUE(hub.HistogramExemplars("never_registered").empty());
+}
+
+TEST(PrometheusRoundTripTest, ExpositionParsesAndValidates) {
+  MetricsHub hub;
+  hub.Add("requests_total", 21.0);
+  hub.Set("pool_bytes", 4096.0);
+  for (const double value : {0.001, 0.010, 0.010, 0.250, 30.0}) {
+    hub.Observe("e2e_seconds", value);
+  }
+  const std::string text = hub.PrometheusText();
+
+  PrometheusSummary summary;
+  std::string error;
+  ASSERT_TRUE(ParsePrometheusText(text, &summary, &error)) << error;
+  ASSERT_TRUE(ValidatePrometheusHistograms(summary, &error)) << error;
+
+  const auto counter = summary.families.find("iccache_requests_total");
+  ASSERT_NE(counter, summary.families.end());
+  EXPECT_EQ(counter->second.type, "counter");
+  EXPECT_DOUBLE_EQ(counter->second.value, 21.0);
+  const auto gauge = summary.families.find("iccache_pool_bytes");
+  ASSERT_NE(gauge, summary.families.end());
+  EXPECT_EQ(gauge->second.type, "gauge");
+  EXPECT_DOUBLE_EQ(gauge->second.value, 4096.0);
+  const auto histogram = summary.families.find("iccache_e2e_seconds");
+  ASSERT_NE(histogram, summary.families.end());
+  EXPECT_EQ(histogram->second.type, "histogram");
+  EXPECT_TRUE(histogram->second.has_sum);
+  EXPECT_TRUE(histogram->second.has_count);
+  EXPECT_DOUBLE_EQ(histogram->second.count, 5.0);
+  ASSERT_FALSE(histogram->second.buckets.empty());
+  // The exposition contract: cumulative counts ending in a +Inf bucket that
+  // equals _count (ValidatePrometheusHistograms checked the monotone part).
+  EXPECT_TRUE(std::isinf(histogram->second.buckets.back().first));
+  EXPECT_DOUBLE_EQ(histogram->second.buckets.back().second, 5.0);
+}
+
+TEST(PrometheusRoundTripTest, ParserAndValidatorRejectBrokenExpositions) {
+  PrometheusSummary summary;
+  std::string error;
+  // A sample whose family was never declared with # TYPE.
+  EXPECT_FALSE(ParsePrometheusText("iccache_mystery 1\n", &summary, &error));
+  EXPECT_FALSE(error.empty());
+
+  // A histogram whose +Inf bucket disagrees with _count must fail
+  // validation even though it parses.
+  const std::string broken =
+      "# TYPE iccache_lat histogram\n"
+      "iccache_lat_bucket{le=\"0.1\"} 1\n"
+      "iccache_lat_bucket{le=\"+Inf\"} 2\n"
+      "iccache_lat_sum 0.3\n"
+      "iccache_lat_count 3\n";
+  summary = PrometheusSummary();
+  ASSERT_TRUE(ParsePrometheusText(broken, &summary, &error)) << error;
+  EXPECT_FALSE(ValidatePrometheusHistograms(summary, &error));
+  EXPECT_FALSE(error.empty());
 }
 
 TEST(ChromeTraceExportTest, JsonRoundTripsThroughTheParser) {

@@ -1,0 +1,100 @@
+// Perf-trajectory gate over the versioned BENCH_*.json records the benches
+// emit with --json-out (schema "iccache-bench/1", see src/obs/bench_json.h).
+//
+//   bench_compare [--strict] <baseline.json> <run.json>
+//       Diffs `run` against `baseline` using the baseline's per-metric
+//       tolerance bands. Exit 0 when every gated metric stays inside its
+//       band (improvements never fail), 1 on any regression / missing gated
+//       metric / schema mismatch. Machine-dependent metrics (wall clock,
+//       req/s) report always but gate only under --strict — a committed
+//       baseline crosses machines, while the simulated metrics are
+//       deterministic for a given seed and gate everywhere.
+//
+//   bench_compare --scale=<metric>=<factor> <in.json> <out.json>
+//       Rewrites one metric's value by `factor` and writes the doctored
+//       record — the ci.sh red-path self-test that proves the gate actually
+//       fails on a regression.
+//
+// Exit codes: 0 pass, 1 regression or bad input, 2 usage.
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "src/obs/bench_json.h"
+
+int main(int argc, char** argv) {
+  using namespace iccache;
+  bool strict = false;
+  std::string scale_spec;
+  std::vector<std::string> paths;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--strict") {
+      strict = true;
+    } else if (arg.rfind("--scale=", 0) == 0) {
+      scale_spec = arg.substr(8);
+    } else if (!arg.empty() && arg[0] != '-') {
+      paths.push_back(arg);
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--strict] <baseline.json> <run.json>\n"
+                   "       %s --scale=<metric>=<factor> <in.json> <out.json>\n",
+                   argv[0], argv[0]);
+      return 2;
+    }
+  }
+  if (paths.size() != 2) {
+    std::fprintf(stderr, "%s: expected exactly two file arguments\n", argv[0]);
+    return 2;
+  }
+
+  if (!scale_spec.empty()) {
+    const size_t eq = scale_spec.find('=');
+    if (eq == std::string::npos) {
+      std::fprintf(stderr, "%s: --scale wants <metric>=<factor>\n", argv[0]);
+      return 2;
+    }
+    const std::string metric = scale_spec.substr(0, eq);
+    const double factor = std::strtod(scale_spec.c_str() + eq + 1, nullptr);
+    StatusOr<BenchRunRecord> record = ReadBenchRun(paths[0]);
+    if (!record.ok()) {
+      std::fprintf(stderr, "%s: %s: %s\n", argv[0], paths[0].c_str(),
+                   record.status().ToString().c_str());
+      return 1;
+    }
+    BenchMetric* target = record.value().Find(metric);
+    if (target == nullptr) {
+      std::fprintf(stderr, "%s: metric '%s' not in %s\n", argv[0], metric.c_str(),
+                   paths[0].c_str());
+      return 1;
+    }
+    target->value *= factor;
+    const Status written = WriteBenchRun(paths[1], record.value());
+    if (!written.ok()) {
+      std::fprintf(stderr, "%s: %s\n", argv[0], written.ToString().c_str());
+      return 1;
+    }
+    std::printf("scaled %s by %g: %s -> %s\n", metric.c_str(), factor, paths[0].c_str(),
+                paths[1].c_str());
+    return 0;
+  }
+
+  StatusOr<BenchRunRecord> baseline = ReadBenchRun(paths[0]);
+  if (!baseline.ok()) {
+    std::fprintf(stderr, "%s: %s: %s\n", argv[0], paths[0].c_str(),
+                 baseline.status().ToString().c_str());
+    return 1;
+  }
+  StatusOr<BenchRunRecord> run = ReadBenchRun(paths[1]);
+  if (!run.ok()) {
+    std::fprintf(stderr, "%s: %s: %s\n", argv[0], paths[1].c_str(),
+                 run.status().ToString().c_str());
+    return 1;
+  }
+  const BenchCompareResult result =
+      CompareBenchRuns(baseline.value(), run.value(), strict);
+  std::printf("baseline: %s\nrun:      %s\n%s", paths[0].c_str(), paths[1].c_str(),
+              RenderBenchCompare(result).c_str());
+  return result.ok() ? 0 : 1;
+}

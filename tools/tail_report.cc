@@ -1,0 +1,67 @@
+// Tail-attribution report over an exported Chrome trace: stitches every
+// request's spans (prepare / commit lane / merge step across threads) into a
+// per-request timeline, then contrasts where the p99 cohort's wall time goes
+// against the typical (<= median) request.
+//
+//   tail_report [--min-attribution=<frac>] <trace.json>
+//
+// With --min-attribution, exits 1 unless the tail cohort's attributed share
+// of wall time reaches the bound — ci.sh gates the driver's instrumentation
+// coverage with this (a p99 whose time mostly lands in no named stage means
+// the trace can no longer explain the tail).
+//
+// Exit codes: 0 ok, 1 malformed trace or attribution below the bound, 2 usage.
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "src/obs/export.h"
+#include "src/obs/timeline.h"
+
+int main(int argc, char** argv) {
+  using namespace iccache;
+  double min_attribution = -1.0;
+  std::string path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--min-attribution=", 0) == 0) {
+      min_attribution = std::strtod(arg.c_str() + 18, nullptr);
+    } else if (path.empty() && !arg.empty() && arg[0] != '-') {
+      path = arg;
+    } else {
+      std::fprintf(stderr, "usage: %s [--min-attribution=<frac>] <trace.json>\n", argv[0]);
+      return 2;
+    }
+  }
+  if (path.empty()) {
+    std::fprintf(stderr, "usage: %s [--min-attribution=<frac>] <trace.json>\n", argv[0]);
+    return 2;
+  }
+  StatusOr<std::string> contents = ReadTextFile(path);
+  if (!contents.ok()) {
+    std::fprintf(stderr, "tail_report: %s\n", contents.status().ToString().c_str());
+    return 1;
+  }
+  std::vector<TimelineSpan> spans;
+  std::string error;
+  if (!ParseChromeTraceSpans(contents.value(), &spans, &error)) {
+    std::fprintf(stderr, "tail_report: %s: invalid trace JSON: %s\n", path.c_str(),
+                 error.c_str());
+    return 1;
+  }
+  const std::vector<RequestTimeline> timelines = AssembleTimelines(spans);
+  if (timelines.empty()) {
+    std::fprintf(stderr, "tail_report: %s: no per-request spans in trace\n", path.c_str());
+    return 1;
+  }
+  const TailAttribution attribution = AttributeTails(timelines);
+  std::printf("trace: %s\n%s", path.c_str(), RenderTailAttribution(attribution).c_str());
+  if (min_attribution >= 0.0 && attribution.tail_attribution_fraction < min_attribution) {
+    std::fprintf(stderr,
+                 "tail_report: tail attribution %.1f%% below required %.1f%%\n",
+                 100.0 * attribution.tail_attribution_fraction, 100.0 * min_attribution);
+    return 1;
+  }
+  return 0;
+}

@@ -1,26 +1,48 @@
 // Offline inspector/validator for exported Chrome trace-event JSON
 // (bench_driver_throughput --trace-out=..., or any Perfetto-loadable file
 // this repo writes). Parses the document with the dependency-free JSON
-// parser, then prints a per-span summary table: count, total duration, and
-// mean duration per span name, plus counter-track and drop accounting.
+// parser, lints window-parent integrity (every lane/merge/publish span must
+// fall inside some batch window), then prints either a per-span summary
+// table — count, total duration, and mean duration per span name, plus
+// counter-track and drop accounting — or, with --request, one request's
+// assembled cross-thread timeline.
 //
 //   trace_dump <trace.json>
+//   trace_dump --request=<id> <trace.json>
 //
-// Exit codes: 0 parsed cleanly, 1 malformed/unreadable trace, 2 usage.
-// ci.sh uses this as the "emitted JSON parses" gate for the observability
+// Exit codes: 0 parsed cleanly, 1 malformed/unreadable trace or integrity
+// violation (or unknown request id), 2 usage. ci.sh uses this as the
+// "emitted JSON parses and is structurally sane" gate for the observability
 // export smoke.
 #include <cstdio>
+#include <cstdlib>
 #include <string>
+#include <vector>
 
 #include "src/obs/export.h"
+#include "src/obs/timeline.h"
 
 int main(int argc, char** argv) {
   using namespace iccache;
-  if (argc != 2) {
-    std::fprintf(stderr, "usage: %s <trace.json>\n", argv[0]);
+  uint64_t request_id = 0;
+  bool request_mode = false;
+  std::string path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--request=", 0) == 0) {
+      request_mode = true;
+      request_id = std::strtoull(arg.c_str() + 10, nullptr, 10);
+    } else if (path.empty() && !arg.empty() && arg[0] != '-') {
+      path = arg;
+    } else {
+      std::fprintf(stderr, "usage: %s [--request=<id>] <trace.json>\n", argv[0]);
+      return 2;
+    }
+  }
+  if (path.empty()) {
+    std::fprintf(stderr, "usage: %s [--request=<id>] <trace.json>\n", argv[0]);
     return 2;
   }
-  const std::string path = argv[1];
   StatusOr<std::string> contents = ReadTextFile(path);
   if (!contents.ok()) {
     std::fprintf(stderr, "trace_dump: %s\n", contents.status().ToString().c_str());
@@ -32,6 +54,33 @@ int main(int argc, char** argv) {
   if (!ParseChromeTrace(contents.value(), &summary, &error)) {
     std::fprintf(stderr, "trace_dump: %s: invalid trace JSON: %s\n", path.c_str(),
                  error.c_str());
+    return 1;
+  }
+  std::vector<TimelineSpan> spans;
+  if (!ParseChromeTraceSpans(contents.value(), &spans, &error)) {
+    std::fprintf(stderr, "trace_dump: %s: invalid trace JSON: %s\n", path.c_str(),
+                 error.c_str());
+    return 1;
+  }
+  // Structural lint: window-scoped spans (lanes, merge, publish) orphaned
+  // outside every "window" span mean the exporter or the recorder lost the
+  // enclosing phase — fail loudly rather than summarize a broken trace.
+  if (!CheckTraceIntegrity(spans, &error)) {
+    std::fprintf(stderr, "trace_dump: %s: integrity violation: %s\n", path.c_str(),
+                 error.c_str());
+    return 1;
+  }
+
+  if (request_mode) {
+    const std::vector<RequestTimeline> timelines = AssembleTimelines(spans);
+    for (const RequestTimeline& timeline : timelines) {
+      if (timeline.request_id == request_id) {
+        std::printf("%s", RenderRequestTimeline(timeline).c_str());
+        return 0;
+      }
+    }
+    std::fprintf(stderr, "trace_dump: request %llu has no per-request spans in %s\n",
+                 static_cast<unsigned long long>(request_id), path.c_str());
     return 1;
   }
 
