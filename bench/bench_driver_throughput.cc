@@ -420,9 +420,11 @@ int RunSnapshotBench(size_t n) {
 
 // ci.sh smoke for the sharded commit pipeline: full lifecycle + background
 // maintenance on hnsw, 1 vs 8 threads from the same restored seed snapshot.
-// Exit-enforces the refactor's acceptance criteria: identical decisions, a
-// parallel-phase fraction >= 0.94, and ZERO windows stalled waiting on the
-// background maintenance planner.
+// Exit-enforces the refactor's acceptance criteria: identical decisions
+// (across thread counts AND across prepare_chunk {1,16,32}, with identical
+// tail exemplars and byte-identical pool contents), a parallel-phase
+// fraction >= 0.94, and ZERO windows stalled waiting on the background
+// maintenance planner.
 int RunAcceptance(const Options& options, const DatasetProfile& profile,
                   const ModelCatalog& catalog, const std::vector<Request>& requests);
 
@@ -456,12 +458,21 @@ BenchRunRecord MakeBenchRecord(const std::string& bench, const DriverConfig& con
   record.AddConfig("threads", std::to_string(config.num_threads));
   record.AddConfig("lanes", std::to_string(config.commit_lanes));
   record.AddConfig("batch_window", std::to_string(config.batch_window));
+  record.AddConfig("prepare_chunk", std::to_string(config.prepare_chunk));
   record.AddConfig("backend", RetrievalBackendKindName(config.cache.cache.retrieval.kind));
   record.AddConfig("stage0", config.stage0.enabled ? "on" : "off");
   record.AddConfig("seed", std::to_string(config.seed));
   record.AddConfig("simd_kernel", report.simd_kernel);
   record.AddMetric("requests_per_second", report.requests_per_second, 0.15, +1, true);
   record.AddMetric("wall_seconds", report.wall_seconds, 0.15, -1, true);
+  // Throughput of the batched prepare path alone (embed + stage-0 probe +
+  // stage-1 retrieval + stage-2 scoring), i.e. requests divided by wall time
+  // the driver spent blocked on prepare task groups.
+  record.AddMetric("prepare_requests_per_second",
+                   report.prepare_seconds > 0.0
+                       ? static_cast<double>(trace_size) / report.prepare_seconds
+                       : 0.0,
+                   0.15, +1, true);
   const double request_path = report.prepare_seconds + report.serial_seconds;
   record.AddMetric("parallel_fraction",
                    request_path > 0.0 ? report.prepare_seconds / request_path : 0.0, 0.05,
@@ -529,13 +540,15 @@ bool ExportObservability(const ServingDriver& driver, const std::string& trace_p
       static constexpr TraceCategory kRequired[] = {
           TraceCategory::kWindow,          TraceCategory::kPrepare,
           TraceCategory::kEmbed,           TraceCategory::kStage0Probe,
-          TraceCategory::kStage1Retrieval, TraceCategory::kStage2Scoring,
-          TraceCategory::kHnswSearch,      TraceCategory::kCommitLane,
+          TraceCategory::kStage1Retrieval, TraceCategory::kStage1Batch,
+          TraceCategory::kStage2Scoring,   TraceCategory::kHnswSearch,
+          TraceCategory::kCommitLane,
           TraceCategory::kLaneCommit,      TraceCategory::kRoute,
           TraceCategory::kGenerate,        TraceCategory::kMerge,
           TraceCategory::kMergeStep,       TraceCategory::kPublish,
           TraceCategory::kMaintenancePlan, TraceCategory::kMaintenanceApply,
-          TraceCategory::kCheckpointWrite};
+          TraceCategory::kCheckpointWrite,
+      };
       bool all_stages = true;
       for (const TraceCategory category : kRequired) {
         const char* name = TraceCategoryName(category);
@@ -558,7 +571,7 @@ bool ExportObservability(const ServingDriver& driver, const std::string& trace_p
     const StatusOr<std::string> prom = ReadTextFile(metrics_path);
     bool metrics_ok = prom.ok();
     for (const char* family : {"iccache_requests_total", "iccache_e2e_latency_seconds_bucket",
-                               "iccache_pool_bytes"}) {
+                               "iccache_pool_bytes", "iccache_prepare_batch_fill"}) {
       metrics_ok = metrics_ok && prom.value().find(family) != std::string::npos;
     }
     // Round-trip: the exposition must parse back, and every histogram family
@@ -596,8 +609,43 @@ int RunAcceptance(const Options& options, const DatasetProfile& profile,
   config.num_threads = 1;
   const DriverReport single = RestoredDriver(catalog, config, seed_snapshot)->Run(requests);
   config.num_threads = 8;
-  const DriverReport eight = RestoredDriver(catalog, config, seed_snapshot)->Run(requests);
+  auto eight_driver = RestoredDriver(catalog, config, seed_snapshot);
+  const DriverReport eight = eight_driver->Run(requests);
+
+  // Chunked-prepare invariance: the batched prepare path must be byte-stable
+  // in the chunk size — decisions, tail exemplars, AND the resulting pool.
+  // chunk=1 degenerates to per-request batches; chunk=32 spans half a
+  // window. Pool contents are compared by size/bytes plus 16 probe searches
+  // against the chunk=1 pool (id AND score must match).
+  config.prepare_chunk = 1;
+  auto chunk1_driver = RestoredDriver(catalog, config, seed_snapshot);
+  const DriverReport chunk1 = chunk1_driver->Run(requests);
+  config.prepare_chunk = 32;
+  auto chunk32_driver = RestoredDriver(catalog, config, seed_snapshot);
+  const DriverReport chunk32 = chunk32_driver->Run(requests);
+  config.prepare_chunk = DriverConfig().prepare_chunk;
   std::remove(seed_snapshot.c_str());
+
+  bool chunk_identical = SameDecisions(eight, chunk1) && SameDecisions(eight, chunk32) &&
+                         SameTailExemplars(eight, chunk1) &&
+                         SameTailExemplars(eight, chunk32);
+  bool pools_identical =
+      chunk1_driver->cache().size() == chunk32_driver->cache().size() &&
+      chunk1_driver->cache().used_bytes() == chunk32_driver->cache().used_bytes() &&
+      eight_driver->cache().size() == chunk1_driver->cache().size() &&
+      eight_driver->cache().used_bytes() == chunk1_driver->cache().used_bytes();
+  {
+    QueryGenerator pool_probes(profile, kSeed ^ 0x9a0b);
+    for (int q = 0; pools_identical && q < 16; ++q) {
+      const Request query = pool_probes.Next();
+      const auto a = chunk1_driver->cache().FindSimilar(query, 10);
+      const auto b = chunk32_driver->cache().FindSimilar(query, 10);
+      pools_identical = a.size() == b.size();
+      for (size_t i = 0; pools_identical && i < a.size(); ++i) {
+        pools_identical = a[i].id == b[i].id && a[i].score == b[i].score;
+      }
+    }
+  }
 
   const bool identical = SameDecisions(single, eight);
   // Request-path parallel fraction: of the time spent serving requests
@@ -613,12 +661,22 @@ int RunAcceptance(const Options& options, const DatasetProfile& profile,
               eight.prepare_seconds, eight.serial_seconds, eight.maintenance_seconds);
   std::printf("  1-thread vs 8-thread decisions identical: %s\n",
               identical ? "yes" : "NO (BUG)");
+  std::printf("  prepare_chunk {1,16,32} decisions + tail exemplars identical: %s\n",
+              chunk_identical ? "yes" : "NO (BUG)");
+  std::printf("  prepare_chunk {1,16,32} pool contents identical "
+              "(%zu examples, %zu bytes, 16 probes): %s\n",
+              chunk1_driver->cache().size(), chunk1_driver->cache().used_bytes(),
+              pools_identical ? "yes" : "NO (BUG)");
+  std::printf("  embed memo (8t): hits=%zu misses=%zu  (report-only: per-worker memos "
+              "make the split scheduling-dependent)\n",
+              eight.embed_memo_hits, eight.embed_memo_misses);
   std::printf("  request-path parallel fraction: %.1f%%  (required >= 94%%): %s\n",
               100.0 * fraction, fraction >= 0.94 ? "ok" : "FAIL");
   std::printf("  maintenance-stalled windows: %zu  (required 0): %s\n",
               eight.maintenance_stalled_windows,
               eight.maintenance_stalled_windows == 0 ? "ok" : "FAIL");
-  const bool pipeline_ok = identical && fraction >= 0.94 &&
+  const bool pipeline_ok = identical && chunk_identical && pools_identical &&
+                           fraction >= 0.94 &&
                            eight.maintenance_stalled_windows == 0 &&
                            eight.maintenance_runs > 0;
 
@@ -711,28 +769,36 @@ int RunAcceptance(const Options& options, const DatasetProfile& profile,
   DriverReport tail_reference;
   for (const size_t threads : {size_t{1}, size_t{8}}) {
     for (const size_t lanes : {size_t{1}, size_t{4}}) {
-      obs.num_threads = obs_on.num_threads = threads;
-      obs.commit_lanes = obs_on.commit_lanes = lanes;
-      recorder.set_enabled(false);
-      const DriverReport off_run = RestoredDriver(catalog, obs, obs_snapshot)->Run(dup_trace);
-      recorder.Reset();
-      recorder.set_enabled(true);
-      DriverReport on_run = RestoredDriver(catalog, obs_on, obs_snapshot)->Run(dup_trace);
-      recorder.set_enabled(false);
-      obs_identical = obs_identical && SameDecisions(off_run, on_run) &&
-                      on_run.anomalies.empty();
-      // The tail-exemplar set keys on simulated latency and request ids
-      // only, so it must match between on/off and across the whole grid.
-      tails_identical = tails_identical && SameTailExemplars(off_run, on_run);
-      if (!have_tail_reference) {
-        tail_reference = std::move(on_run);
-        have_tail_reference = true;
-      } else {
-        tails_identical = tails_identical && SameTailExemplars(tail_reference, on_run);
+      for (const size_t chunk : {size_t{1}, size_t{32}}) {
+        obs.num_threads = obs_on.num_threads = threads;
+        obs.commit_lanes = obs_on.commit_lanes = lanes;
+        obs.prepare_chunk = obs_on.prepare_chunk = chunk;
+        recorder.set_enabled(false);
+        const DriverReport off_run =
+            RestoredDriver(catalog, obs, obs_snapshot)->Run(dup_trace);
+        recorder.Reset();
+        recorder.set_enabled(true);
+        DriverReport on_run = RestoredDriver(catalog, obs_on, obs_snapshot)->Run(dup_trace);
+        recorder.set_enabled(false);
+        obs_identical = obs_identical && SameDecisions(off_run, on_run) &&
+                        on_run.anomalies.empty();
+        // The tail-exemplar set keys on simulated latency and request ids
+        // only, so it must match between on/off and across the whole grid —
+        // including the prepare_chunk axis: re-blocking the batched prepare
+        // path may never move a decision or a tail exemplar.
+        tails_identical = tails_identical && SameTailExemplars(off_run, on_run);
+        if (!have_tail_reference) {
+          tail_reference = std::move(on_run);
+          have_tail_reference = true;
+        } else {
+          tails_identical = tails_identical && SameTailExemplars(tail_reference, on_run);
+        }
       }
     }
   }
-  std::printf("  decisions identical, obs on vs off ({1,8} threads x {1,4} lanes): %s\n",
+  obs.prepare_chunk = obs_on.prepare_chunk = DriverConfig().prepare_chunk;
+  std::printf("  decisions identical, obs on vs off ({1,8} threads x {1,4} lanes x "
+              "{1,32} prepare_chunk): %s\n",
               obs_identical ? "yes" : "NO (BUG)");
   std::printf("  tail exemplars identical across the grid (%zu exemplars): %s\n",
               tail_reference.tail_exemplars.size(), tails_identical ? "yes" : "NO (BUG)");

@@ -73,18 +73,21 @@ echo "== simd kernel + quantization suites: forced-scalar dispatch =="
 # read once at first kernel use, so each rerun needs a fresh process.
 ICCACHE_FORCE_SCALAR=1 timeout 120 "${BUILD_DIR}/common_simd_test" > /dev/null
 ICCACHE_FORCE_SCALAR=1 timeout 300 "${BUILD_DIR}/index_quantized_test" > /dev/null
+ICCACHE_FORCE_SCALAR=1 timeout 300 "${BUILD_DIR}/index_batch_test" > /dev/null
 
 echo "== retrieval scaling acceptance (100k, int8 vs float hnsw) =="
 # Exit-enforces the stage-1 retrieval bars on a clustered 128-d corpus:
 # float hnsw >= 5x flat at recall@10 >= 0.9; int8 hnsw >= 1.3x the float
 # graph at recall@10 >= 0.95 with <= 160 B/vec of vector arena; and the
-# quantized graph image round-trips through save/restore. ~90 s: the two
-# 100k graph builds dominate, the 1000-query search windows keep the
-# timing comparison out of the noise floor.
+# quantized graph image round-trips through save/restore. --batch adds the
+# batched-traversal bars: SearchBatch >= 1.2x single-query us/q on hnsw
+# (float AND int8) with bit-identical results and zero steady-state scratch
+# allocations. ~90 s: the two 100k graph builds dominate, the 1000-query
+# search windows keep the timing comparison out of the noise floor.
 RETRIEVAL_JSON="$(mktemp -u /tmp/iccache_ci_retrieval_XXXXXX.json)"
 timeout 900 "${BUILD_DIR}/bench_retrieval_scaling" \
   --sizes=100000 --dim=128 --queries=1000 --M=16 --efc=100 --efs=192 \
-  --sigma=0.12 --acceptance --json-out="${RETRIEVAL_JSON}"
+  --sigma=0.12 --acceptance --batch --json-out="${RETRIEVAL_JSON}"
 if [[ -n "${ARTIFACT_DIR}" ]]; then
   cp "${RETRIEVAL_JSON}" "${ARTIFACT_DIR}/BENCH_retrieval_scaling.json"
 fi
@@ -110,15 +113,17 @@ fi
 
 echo "== sharded-commit-pipeline + stage-0 + observability acceptance =="
 # Full lifecycle + background maintenance on hnsw at 1 vs 8 threads from the
-# same restored seed snapshot. Exit-enforces: identical decisions, a
-# request-path parallel fraction >= 0.94, and ZERO windows stalled waiting on
-# the background maintenance planner. The second section replays a
+# same restored seed snapshot. Exit-enforces: identical decisions (including
+# across prepare_chunk {1,16,32}, with identical tail exemplars and
+# byte-identical pool contents), a request-path parallel fraction >= 0.94,
+# and ZERO windows stalled waiting on the background maintenance planner. The second section replays a
 # duplicate-heavy trace with the stage-0 response tier on and exit-enforces
 # its gate: hit rate >= 25%, fewer generated tokens than the stage0-off run,
 # byte-identical decisions at 1 vs 8 threads and 1 vs 4 commit lanes, and
 # the parallel fraction still >= 0.94. The third section exit-enforces the
 # flight-recorder gate: decisions AND tail exemplars byte-identical with
-# tracing + armed watchdog on vs off at {1,8} threads x {1,4} lanes,
+# tracing + armed watchdog on vs off at {1,8} threads x {1,4} lanes x
+# {1,32} prepare chunk,
 # observability overhead <= 3%, tail attribution >= 90% of the p99 cohort's
 # wall time, the armed watchdog silent on the clean run, and the exported
 # Chrome trace + Prometheus metrics parse and cover every pipeline stage.

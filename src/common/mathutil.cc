@@ -60,6 +60,14 @@ double Dot(const std::vector<float>& a, const std::vector<float>& b) {
 
 double L2Norm(const std::vector<float>& v) { return std::sqrt(Dot(v, v)); }
 
+double L2Norm(const float* v, size_t n) {
+  double sum = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    sum += static_cast<double>(v[i]) * static_cast<double>(v[i]);
+  }
+  return std::sqrt(sum);
+}
+
 void NormalizeL2(std::vector<float>& v) {
   const double norm = L2Norm(v);
   if (norm <= 0.0) {
@@ -68,6 +76,17 @@ void NormalizeL2(std::vector<float>& v) {
   const float inv = static_cast<float>(1.0 / norm);
   for (auto& x : v) {
     x *= inv;
+  }
+}
+
+void NormalizeL2(float* v, size_t n) {
+  const double norm = L2Norm(v, n);
+  if (norm <= 0.0) {
+    return;
+  }
+  const float inv = static_cast<float>(1.0 / norm);
+  for (size_t i = 0; i < n; ++i) {
+    v[i] *= inv;
   }
 }
 

@@ -27,8 +27,15 @@ double Dot(const std::vector<float>& a, const std::vector<float>& b);
 // Euclidean norm.
 double L2Norm(const std::vector<float>& v);
 
+// Pointer-span variant for callers writing into reused arenas (identical
+// arithmetic: same accumulation order as the vector overload).
+double L2Norm(const float* v, size_t n);
+
 // Scales v in place to unit L2 norm (no-op on the zero vector).
 void NormalizeL2(std::vector<float>& v);
+
+// Pointer-span variant (identical arithmetic to the vector overload).
+void NormalizeL2(float* v, size_t n);
 
 // Cosine similarity in [-1, 1]; returns 0 when either vector is zero.
 double CosineSimilarity(const std::vector<float>& a, const std::vector<float>& b);

@@ -75,6 +75,17 @@ std::vector<SearchResult> ExampleCache::FindSimilar(const std::vector<float>& em
   return index_->Search(embedding, k);
 }
 
+void ExampleCache::FindSimilarBatch(const float* queries, size_t num_queries, size_t query_dim,
+                                    size_t k, SearchScratch* scratch,
+                                    std::vector<std::vector<SearchResult>>* out) const {
+  index_->SearchBatch(queries, num_queries, query_dim, k, scratch);
+  out->resize(num_queries);
+  for (size_t i = 0; i < num_queries; ++i) {
+    const SearchResult* results = scratch->ResultsOf(i);
+    (*out)[i].assign(results, results + scratch->ResultCountOf(i));
+  }
+}
+
 const Example* ExampleCache::Get(uint64_t id) const {
   const auto it = examples_.find(id);
   return it == examples_.end() ? nullptr : &it->second;

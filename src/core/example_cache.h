@@ -68,6 +68,11 @@ class ExampleCache : public ExampleStore {
   std::vector<SearchResult> FindSimilar(const Request& request, size_t k) const override;
   std::vector<SearchResult> FindSimilar(const std::vector<float>& embedding,
                                         size_t k) const override;
+  // Routes the whole batch through the index's batched kernel (one interleaved
+  // traversal over the caller's scratch); (*out)[i] == FindSimilar(q_i, k).
+  void FindSimilarBatch(const float* queries, size_t num_queries, size_t query_dim, size_t k,
+                        SearchScratch* scratch,
+                        std::vector<std::vector<SearchResult>>* out) const override;
 
   const Example* Get(uint64_t id) const;
   Example* GetMutable(uint64_t id);

@@ -22,6 +22,18 @@ PreparedAdmission PrepareAdmissionPayload(const PiiScrubber& scrubber, CacheAdmi
   return prepared;
 }
 
+void ExampleStore::FindSimilarBatch(const float* queries, size_t num_queries, size_t query_dim,
+                                    size_t k, SearchScratch* scratch,
+                                    std::vector<std::vector<SearchResult>>* out) const {
+  (void)scratch;
+  out->resize(num_queries);
+  static thread_local std::vector<float> query;
+  for (size_t i = 0; i < num_queries; ++i) {
+    query.assign(queries + i * query_dim, queries + (i + 1) * query_dim);
+    (*out)[i] = FindSimilar(query, k);
+  }
+}
+
 std::unique_ptr<VectorIndex> MakeRetrievalIndex(const RetrievalBackendConfig& config, size_t dim,
                                                 uint64_t seed) {
   switch (config.kind) {

@@ -147,6 +147,20 @@ class ExampleStore {
   virtual std::vector<SearchResult> FindSimilar(const std::vector<float>& embedding,
                                                 size_t k) const = 0;
 
+  // Batched stage-1 lookup over `num_queries` contiguous embeddings (query i
+  // at queries[i*query_dim, (i+1)*query_dim)); (*out)[i] receives exactly
+  // what FindSimilar(embedding_i, k) returns — batching is a locking and
+  // cache-locality optimization, never a semantic one. `scratch` carries the
+  // reusable per-thread search buffers (one scratch per thread); `out`'s
+  // inner vectors retain capacity across calls, so steady-state batches do
+  // not allocate. The base implementation loops over FindSimilar; stores
+  // with batched indexes override (ExampleCache routes to
+  // VectorIndex::SearchBatch, ShardedExampleCache takes each shard's shared
+  // lock ONCE per batch instead of once per query).
+  virtual void FindSimilarBatch(const float* queries, size_t num_queries, size_t query_dim,
+                                size_t k, SearchScratch* scratch,
+                                std::vector<std::vector<SearchResult>>* out) const;
+
   // Copies the example for id into *out; false when absent (e.g. evicted).
   virtual bool Snapshot(uint64_t id, Example* out) const = 0;
 

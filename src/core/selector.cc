@@ -17,20 +17,11 @@ ExampleSelector::ExampleSelector(ExampleStore* store, ProxyUtilityModel* proxy,
       grid_benefit_(config.threshold_grid.size(), 0.0),
       grid_count_(config.threshold_grid.size(), 0) {}
 
-std::vector<SelectorCandidate> ExampleSelector::Stage1(
-    const Request& request, const std::vector<float>* query_embedding,
-    bool embed_candidates) const {
-  TraceSpan span(TraceCategory::kStage1Retrieval, request.id);
+std::vector<SelectorCandidate> ExampleSelector::Stage1FromResults(
+    const std::vector<SearchResult>& results, bool embed_candidates) const {
   const auto embedder = store_->embedder();
-  std::vector<float> local_embedding;
-  if (query_embedding == nullptr) {
-    local_embedding = embedder->Embed(request.text);
-    query_embedding = &local_embedding;
-  }
-
   std::vector<SelectorCandidate> candidates;
-  for (const SearchResult& result :
-       store_->FindSimilar(*query_embedding, config_.stage1_candidates)) {
+  for (const SearchResult& result : results) {
     if (result.score < config_.stage1_min_similarity) {
       continue;  // results are sorted best-first, but keep the scan simple
     }
@@ -45,8 +36,35 @@ std::vector<SelectorCandidate> ExampleSelector::Stage1(
     }
     candidates.push_back(std::move(candidate));
   }
+  return candidates;
+}
+
+std::vector<SelectorCandidate> ExampleSelector::Stage1(
+    const Request& request, const std::vector<float>* query_embedding,
+    bool embed_candidates) const {
+  TraceSpan span(TraceCategory::kStage1Retrieval, request.id);
+  std::vector<float> local_embedding;
+  if (query_embedding == nullptr) {
+    local_embedding = store_->embedder()->Embed(request.text);
+    query_embedding = &local_embedding;
+  }
+  std::vector<SelectorCandidate> candidates = Stage1FromResults(
+      store_->FindSimilar(*query_embedding, config_.stage1_candidates), embed_candidates);
   span.SetArgs(candidates.size());
   return candidates;
+}
+
+void ExampleSelector::ScoreStage2(const Request& request, const ModelProfile& target_model,
+                                  std::vector<SelectorCandidate>* candidates) const {
+  TraceSpan span(TraceCategory::kStage2Scoring, request.id);
+  span.SetArgs(candidates->size());
+  for (SelectorCandidate& candidate : *candidates) {
+    const ProxyFeatures features = MakeProxyFeatures(
+        candidate.similarity, candidate.example.response_quality,
+        candidate.example.source_capability, target_model.capability,
+        candidate.example.request.task == request.task, candidate.example.PromptTokens());
+    candidate.utility = proxy_->Predict(features);
+  }
 }
 
 std::vector<SelectorCandidate> ExampleSelector::PrepareCandidates(
@@ -54,15 +72,22 @@ std::vector<SelectorCandidate> ExampleSelector::PrepareCandidates(
     const std::vector<float>* query_embedding, bool embed_candidates) const {
   std::vector<SelectorCandidate> candidates =
       Stage1(request, query_embedding, embed_candidates);
-  TraceSpan span(TraceCategory::kStage2Scoring, request.id);
-  span.SetArgs(candidates.size());
-  for (SelectorCandidate& candidate : candidates) {
-    const ProxyFeatures features = MakeProxyFeatures(
-        candidate.similarity, candidate.example.response_quality,
-        candidate.example.source_capability, target_model.capability,
-        candidate.example.request.task == request.task, candidate.example.PromptTokens());
-    candidate.utility = proxy_->Predict(features);
+  ScoreStage2(request, target_model, &candidates);
+  return candidates;
+}
+
+std::vector<SelectorCandidate> ExampleSelector::PrepareCandidatesFrom(
+    const Request& request, const ModelProfile& target_model,
+    const std::vector<SearchResult>& stage1, bool embed_candidates) const {
+  std::vector<SelectorCandidate> candidates;
+  {
+    // Same per-request span the unbatched Stage1 emits; the ANN sweep itself
+    // ran earlier under the chunk's stage1_batch span.
+    TraceSpan span(TraceCategory::kStage1Retrieval, request.id);
+    candidates = Stage1FromResults(stage1, embed_candidates);
+    span.SetArgs(candidates.size());
   }
+  ScoreStage2(request, target_model, &candidates);
   return candidates;
 }
 

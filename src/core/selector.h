@@ -120,6 +120,16 @@ class ExampleSelector {
       const std::vector<float>* query_embedding = nullptr,
       bool embed_candidates = false) const;
 
+  // PrepareCandidates with the stage-1 ANN sweep hoisted out: consumes
+  // `stage1` — the raw FindSimilar(query_embedding, stage1_candidates)
+  // results the batched prepare path fetched via FindSimilarBatch — and runs
+  // the identical filter / snapshot / stage-2 scoring pipeline. Byte-identical
+  // output to PrepareCandidates for the same stage-1 results; emits the same
+  // per-request stage1_retrieval / stage2_scoring trace spans.
+  std::vector<SelectorCandidate> PrepareCandidatesFrom(
+      const Request& request, const ModelProfile& target_model,
+      const std::vector<SearchResult>& stage1, bool embed_candidates = false) const;
+
   // Stateful combination half: advances the adaptation cadence, applies the
   // current dynamic threshold, diversity guard, token budget, worst-to-best
   // ordering, and records accesses. Returns the picked candidates in
@@ -169,6 +179,14 @@ class ExampleSelector {
   std::vector<SelectorCandidate> Stage1(const Request& request,
                                         const std::vector<float>* query_embedding,
                                         bool embed_candidates) const;
+  // Shared stage-1 tail: filters raw ANN results by stage1_min_similarity,
+  // snapshots survivors, optionally embeds candidate texts. Both Stage1 and
+  // PrepareCandidatesFrom funnel through this loop.
+  std::vector<SelectorCandidate> Stage1FromResults(const std::vector<SearchResult>& results,
+                                                   bool embed_candidates) const;
+  // Stage-2 proxy scoring applied in place (the PrepareCandidates tail).
+  void ScoreStage2(const Request& request, const ModelProfile& target_model,
+                   std::vector<SelectorCandidate>* candidates) const;
   // Pure combination core shared by the serial and frozen paths: collects the
   // ids RecordAccess would receive instead of recording them.
   std::vector<SelectorCandidate> CombineCore(const std::vector<SelectorCandidate>& candidates,

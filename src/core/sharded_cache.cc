@@ -127,6 +127,38 @@ std::vector<SearchResult> ShardedExampleCache::FindSimilar(const std::vector<flo
   return merged;
 }
 
+void ShardedExampleCache::FindSimilarBatch(const float* queries, size_t num_queries,
+                                           size_t query_dim, size_t k, SearchScratch* scratch,
+                                           std::vector<std::vector<SearchResult>>* out) const {
+  out->resize(num_queries);
+  for (auto& merged : *out) {
+    merged.clear();  // capacity retained: steady-state batches do not allocate
+  }
+  for (size_t shard = 0; shard < shards_.size(); ++shard) {
+    std::shared_lock<std::shared_mutex> lock(shards_[shard].mu);
+    shards_[shard].cache->index().SearchBatch(queries, num_queries, query_dim, k, scratch);
+    for (size_t i = 0; i < num_queries; ++i) {
+      const SearchResult* results = scratch->ResultsOf(i);
+      for (size_t r = 0; r < scratch->ResultCountOf(i); ++r) {
+        SearchResult global = results[r];
+        global.id = GlobalId(global.id, shard);
+        (*out)[i].push_back(global);
+      }
+    }
+  }
+  for (auto& merged : *out) {
+    std::sort(merged.begin(), merged.end(), [](const SearchResult& a, const SearchResult& b) {
+      if (a.score != b.score) {
+        return a.score > b.score;
+      }
+      return a.id < b.id;  // deterministic tie-break
+    });
+    if (merged.size() > k) {
+      merged.resize(k);
+    }
+  }
+}
+
 bool ShardedExampleCache::Snapshot(uint64_t id, Example* out) const {
   const size_t shard = ShardOfId(id);
   std::shared_lock<std::shared_mutex> lock(shards_[shard].mu);

@@ -80,6 +80,15 @@ class ShardedExampleCache : public ExampleStore {
   std::vector<SearchResult> FindSimilar(const std::vector<float>& embedding,
                                         size_t k) const override;
 
+  // Batched global top-k: each shard's shared lock is taken ONCE for the
+  // whole batch (FindSimilar pays one lock round-trip per query per shard)
+  // and the shard's index runs its batched kernel over all queries before the
+  // lock drops. Per query the merge is the same best-first (score desc, id
+  // asc) sort-and-truncate as FindSimilar, so results are byte-identical.
+  void FindSimilarBatch(const float* queries, size_t num_queries, size_t query_dim, size_t k,
+                        SearchScratch* scratch,
+                        std::vector<std::vector<SearchResult>>* out) const override;
+
   // Copies the example out under the shard lock (a pointer would dangle once
   // the lock drops). Returns false when absent.
   bool Snapshot(uint64_t id, Example* out) const override;

@@ -58,6 +58,36 @@ std::optional<Stage0Probe> Stage0ResponseCache::Probe(const Request& request, do
   return Probe(embedder_->Embed(request.text), now);
 }
 
+void Stage0ResponseCache::ProbeBatch(const float* embeddings, size_t num_queries,
+                                     size_t query_dim, const double* nows,
+                                     SearchScratch* scratch,
+                                     std::vector<std::optional<Stage0Probe>>* out) const {
+  out->assign(num_queries, std::nullopt);
+  if (num_queries == 0) {
+    return;
+  }
+  index_->SearchBatch(embeddings, num_queries, query_dim, /*k=*/1, scratch);
+  for (size_t i = 0; i < num_queries; ++i) {
+    // Same span shape as Probe: arg0 = found, arg1 = fresh.
+    TraceSpan span(TraceCategory::kStage0Probe);
+    if (scratch->ResultCountOf(i) == 0) {
+      continue;
+    }
+    const SearchResult& top = scratch->ResultsOf(i)[0];
+    const auto it = entries_.find(top.id);
+    if (it == entries_.end()) {
+      continue;
+    }
+    Stage0Probe probe;
+    probe.entry = it->second;
+    probe.similarity = top.score;
+    probe.fresh =
+        config_.ttl_s <= 0.0 || nows[i] - it->second.admitted_time <= config_.ttl_s;
+    span.SetArgs(1, probe.fresh ? 1 : 0);
+    (*out)[i] = std::move(probe);
+  }
+}
+
 std::vector<Stage0Probe> Stage0ResponseCache::ProbeK(const std::vector<float>& embedding,
                                                      size_t k, double now) const {
   std::vector<Stage0Probe> probes;

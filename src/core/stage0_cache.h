@@ -170,6 +170,16 @@ class Stage0ResponseCache {
   std::optional<Stage0Probe> Probe(const std::vector<float>& embedding, double now) const;
   std::optional<Stage0Probe> Probe(const Request& request, double now) const;
 
+  // Batched Probe over `num_queries` contiguous embeddings (query i at
+  // embeddings[i * query_dim]): runs the index's multi-query SearchBatch
+  // through `scratch`, then resolves each top-1 hit exactly as Probe does,
+  // judging freshness against nows[i]. (*out)[i] compares equal to
+  // Probe(embedding_i, nows[i]); out is resized to num_queries. The per-query
+  // trace spans match the single-probe path.
+  void ProbeBatch(const float* embeddings, size_t num_queries, size_t query_dim,
+                  const double* nows, SearchScratch* scratch,
+                  std::vector<std::optional<Stage0Probe>>* out) const;
+
   // Top-k fresh entries, best first (baseline LookupK path: retrieved
   // entries repurposed as in-context examples).
   std::vector<Stage0Probe> ProbeK(const std::vector<float>& embedding, size_t k,

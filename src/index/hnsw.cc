@@ -10,7 +10,6 @@
 
 #include "src/common/binio.h"
 #include "src/common/simd.h"
-#include "src/common/topk.h"
 #include "src/obs/trace.h"
 
 namespace iccache {
@@ -38,6 +37,32 @@ inline void PrefetchLine(const void* p) {
 #if defined(__GNUC__) || defined(__clang__)
   __builtin_prefetch(p);
   __builtin_prefetch(static_cast<const char*>(p) + 64);
+#else
+  (void)p;
+#endif
+}
+
+// Prefetches every cache line of [p, p + bytes): a 128-d float vector spans 8
+// lines and the hardware stride prefetcher only kicks in after the first
+// misses, so covering the whole span up front matters when the scoring pass
+// runs a beam-step (or seven other queries' beam-steps) later.
+inline void PrefetchSpan(const void* p, size_t bytes) {
+#if defined(__GNUC__) || defined(__clang__)
+  const char* c = static_cast<const char*>(p);
+  for (size_t off = 0; off < bytes; off += 64) {
+    __builtin_prefetch(c + off);
+  }
+#else
+  (void)p;
+  (void)bytes;
+#endif
+}
+
+// Write-intent prefetch for the visited bookkeeping (the line will be dirtied
+// by the epoch/mask store).
+inline void PrefetchWrite(const void* p) {
+#if defined(__GNUC__) || defined(__clang__)
+  __builtin_prefetch(p, 1);
 #else
   (void)p;
 #endif
@@ -365,85 +390,431 @@ void HnswIndex::Compact() {
 
 std::vector<SearchResult> HnswIndex::SearchLocked(const std::vector<float>& query, size_t k,
                                                   size_t ef) const {
+  // The single-query path IS the batch core at batch size 1 over a
+  // thread-local scratch: one traversal implementation (batch-vs-single
+  // identity holds structurally), and the retained scratch makes repeated
+  // Search calls allocation-free apart from the returned vector. The scratch
+  // is thread_local so concurrent readers under the shared lock never share
+  // state; it is shared across index instances on a thread, which is safe
+  // because the epoch counter is monotonic (marks from any earlier search
+  // can never equal a later query's epoch).
   std::vector<SearchResult> results;
   if (k == 0 || entry_level_ < 0 || query.size() != config_.dim) {
     return results;
   }
-  QueryRef q;
-  q.f32 = query.data();
-  // Reader-side scratch is thread_local so concurrent searches under the
-  // shared lock never share state (the quantized-query buffer below and the
-  // visited set both follow this rule).
-  static thread_local std::vector<int8_t> q8;
+  static thread_local SearchScratch scratch;
+  SearchBatchLocked(query.data(), 1, config_.dim, k, ef, scratch);
+  results.assign(scratch.results.begin(), scratch.results.end());
+  return results;
+}
+
+void HnswIndex::SearchBatchLocked(const float* queries, size_t num_queries, size_t query_dim,
+                                  size_t k, size_t ef, SearchScratch& s) const {
+  s.BeginOutput(num_queries);
+  if (num_queries == 0) {
+    return;
+  }
+  if (k == 0 || entry_level_ < 0 || query_dim != config_.dim) {
+    return;  // offsets are all zero: every query reports an empty result range
+  }
+  // Visited high-watermark: the epoch buffer tracks nodes_.size() and would
+  // otherwise only ever grow, pinning a peak-size buffer on long-lived
+  // serving threads after the graph shrinks (eviction, compaction). Rebuild
+  // it once capacity is far above what the graph needs; never fires while the
+  // graph is at or near its peak, so steady state stays allocation-free.
+  if (s.epochs.capacity() > config_.visited_shrink_floor &&
+      s.epochs.capacity() / 4 > nodes_.size()) {
+    std::vector<uint32_t>().swap(s.epochs);
+    std::vector<uint16_t>().swap(s.visited_mask);
+    s.epoch = 0;
+  }
+  if (s.epochs.size() < nodes_.size()) {
+    s.GrowResize(s.epochs, nodes_.size());
+    s.GrowResize(s.visited_mask, nodes_.size());
+  }
   if (config_.quantize_int8) {
-    if (q8.size() < config_.dim) {
-      q8.resize(config_.dim);
+    s.GrowResize(s.q8, num_queries * config_.dim);
+    s.GrowResize(s.q8_scales, num_queries);
+    for (size_t i = 0; i < num_queries; ++i) {
+      simd::QuantizeI8(queries + i * query_dim, config_.dim, s.q8.data() + i * config_.dim,
+                       &s.q8_scales[i]);
     }
-    float scale = 0.0f;
-    simd::QuantizeI8(query.data(), config_.dim, q8.data(), &scale);
-    q.i8 = q8.data();
-    q.scale = scale;
   }
-  // Span args carry the layer-0 visited-node and frontier-expansion counts;
-  // the counters are only maintained while tracing is enabled so the beam
-  // search stays branch-free otherwise.
-  TraceSpan span(TraceCategory::kHnswSearch);
-  uint64_t visited = 0;
-  uint64_t hops = 0;
-  uint32_t cur = entry_;
-  for (int layer = entry_level_; layer >= 1; --layer) {
-    cur = GreedyStep(q, cur, layer);
+  // Interleave width: enough in-flight queries to cover an arena-line miss
+  // with the other queries' scoring work, few enough that the in-flight
+  // working set (beam states + prefetched vectors) stays cache-resident.
+  // int8 codes are 4x smaller than float vectors, so more queries fit before
+  // the group starts evicting its own prefetches (12 and 16 measure within
+  // noise of each other; 12 leaves more L1 headroom for the beam heaps).
+  const size_t kInterleave = config_.quantize_int8 ? 12 : 8;
+  if (s.beams.size() < std::min(num_queries, kInterleave)) {
+    ++s.grows;
+    s.beams.resize(std::min(num_queries, kInterleave));
   }
-  // Visited scratch: epoch-reset so a query costs O(ef*degree) instead of an
-  // O(N) clear. The buffer is shared across index instances on a thread,
-  // which is safe: the epoch counter is monotonic, so marks from any earlier
-  // search can never equal the current epoch.
-  static thread_local std::vector<uint32_t> epochs;
-  static thread_local uint32_t epoch = 0;
-  if (epochs.size() < nodes_.size()) {
-    epochs.resize(nodes_.size(), 0);
+  if (s.heaps.empty()) {
+    ++s.grows;
+    s.heaps.resize(1);
   }
-  if (++epoch == 0) {  // wrap-around: stale marks would alias, clear once
-    std::fill(epochs.begin(), epochs.end(), 0);
-    epoch = 1;
-  }
-  const std::vector<ScoredSlot> found =
-      SearchLayer(q, cur, 0, std::max(ef, k), epochs, epoch,
-                  span.active() ? &visited : nullptr, span.active() ? &hops : nullptr);
-  span.SetArgs(visited, hops);
-  TopK<uint64_t> top(k);
-  if (config_.quantize_int8 && config_.rerank_k > 0) {
-    // Exact re-rank: the beam ordered candidates by the quantized metric;
-    // re-score the best rerank_k live ones against the full-precision query
-    // (asymmetric f32 x i8 dot) so the final top-k ordering is free of
-    // quantization noise on the query side.
-    const size_t budget = std::max(config_.rerank_k, k);
-    size_t rescored = 0;
-    for (const ScoredSlot& scored : found) {
-      if (nodes_[scored.slot].deleted) {
-        continue;
+  const size_t ef_eff = std::max(ef, k);
+  const auto query_ref = [&](size_t qi) {
+    QueryRef q;
+    q.f32 = queries + qi * query_dim;
+    if (config_.quantize_int8) {
+      q.i8 = s.q8.data() + qi * config_.dim;
+      q.scale = s.q8_scales[qi];
+    }
+    return q;
+  };
+  for (size_t base = 0; base < num_queries; base += kInterleave) {
+    const size_t group = std::min(kInterleave, num_queries - base);
+    // One span per interleave group; args sum the group's layer-0 visited and
+    // frontier-expansion counts (for a single-query call this is exactly the
+    // old per-search span). Counters only tick while tracing is enabled so
+    // the beam loop stays counter-free otherwise.
+    TraceSpan span(TraceCategory::kHnswSearch);
+    uint64_t visited = 0;
+    uint64_t hops = 0;
+    uint64_t* vis = span.active() ? &visited : nullptr;
+    uint64_t* hop = span.active() ? &hops : nullptr;
+    // One epoch per interleave group; which of the group's queries visited a
+    // slot lives in the per-slot bitmask (bit g). A single epoch-per-slot
+    // word cannot serve interleaved queries — query B's mark would overwrite
+    // query A's and A would rescan the slot — while a stale group epoch
+    // implicitly zeroes the mask, keeping the O(1)-reset property.
+    if (++s.epoch == 0) {  // wrap-around: stale marks would alias, clear once
+      std::fill(s.epochs.begin(), s.epochs.end(), 0);
+      s.epoch = 1;
+    }
+    const uint32_t group_epoch = s.epoch;
+    // Phase 1: lockstep greedy upper-layer descent. One round scans one
+    // node's layer links per live query — the same neighbor-evaluation order
+    // as the sequential GreedyStep (the scan list is fixed at round start
+    // even when the position advances mid-scan), so every query lands on the
+    // bit-identical layer-0 entry — while the other queries' scans overlap
+    // each vector load the round's pre-pass prefetched.
+    for (size_t g = 0; g < group; ++g) {
+      SearchScratch::Beam& beam = s.beams[g];
+      beam.candidates.clear();
+      beam.results.clear();
+      beam.found.clear();
+      beam.pending.clear();
+      beam.done = false;
+      beam.cur = entry_;
+      beam.layer = entry_level_;
+      beam.best = SimQ(query_ref(base + g), entry_);
+    }
+    bool any_descending = entry_level_ >= 1;
+    while (any_descending) {
+      // Pre-pass: stream the head line of every neighbor vector each live
+      // query is about to score this round.
+      for (size_t g = 0; g < group; ++g) {
+        const SearchScratch::Beam& beam = s.beams[g];
+        if (beam.layer < 1) {
+          continue;
+        }
+        for (uint32_t neighbor : nodes_[beam.cur].links[beam.layer]) {
+          PrefetchLine(config_.quantize_int8 ? static_cast<const void*>(QVecOf(neighbor))
+                                             : static_cast<const void*>(VecOf(neighbor)));
+        }
       }
-      if (rescored >= budget) {
+      any_descending = false;
+      for (size_t g = 0; g < group; ++g) {
+        SearchScratch::Beam& beam = s.beams[g];
+        if (beam.layer < 1) {
+          continue;
+        }
+        const QueryRef q = query_ref(base + g);
+        const uint32_t scan_slot = beam.cur;
+        bool improved = false;
+        for (uint32_t neighbor : nodes_[scan_slot].links[beam.layer]) {
+          const double sim = SimQ(q, neighbor);
+          if (sim > beam.best) {
+            beam.best = sim;
+            beam.cur = neighbor;
+            improved = true;
+          }
+        }
+        if (improved) {
+          PrefetchLine(&nodes_[beam.cur]);  // next round rescans from here
+        } else {
+          --beam.layer;  // converged at this layer; next round scans one lower
+        }
+        any_descending = any_descending || beam.layer >= 1;
+      }
+    }
+    // Phase 1b (per query): seed the beam at the layer-0 entry under the
+    // query's visited bit. beam.best IS the sequential path's entry
+    // similarity — the same deterministic arithmetic over the same inputs.
+    for (size_t g = 0; g < group; ++g) {
+      SearchScratch::Beam& beam = s.beams[g];
+      const uint32_t cur = beam.cur;
+      const double entry_sim = beam.best;
+      s.GrowPush(beam.candidates, {entry_sim, cur});  // one element: already a heap
+      s.GrowPush(beam.results, {entry_sim, cur});
+      if (s.epochs[cur] != group_epoch) {
+        s.epochs[cur] = group_epoch;
+        s.visited_mask[cur] = 0;
+      }
+      s.visited_mask[cur] |= static_cast<uint16_t>(1u << g);
+      if (vis != nullptr) {
+        ++*vis;
+      }
+    }
+    // Phase 2: interleaved beam expansion. 2a pops each live query's best
+    // frontier node, marks its unvisited neighbors and prefetches their
+    // vectors (full span: float or int8 arena); 2b scores them — by then the
+    // other queries' 2a passes have hidden the arena-line latency — and tops
+    // off by prefetching the NEXT pop's graph node, so the following round's
+    // adjacency chase starts warm. Per query the operation sequence is
+    // exactly the single-query beam's; prefetches never change a result.
+    const size_t vec_bytes =
+        config_.quantize_int8 ? config_.dim : config_.dim * sizeof(float);
+    bool any_active = true;
+    while (any_active) {
+      any_active = false;
+      // 2a-pre: the next pop per live query is the frontier top; its Node
+      // struct was prefetched at the end of the previous 2b, so reading the
+      // adjacency pointer here is cheap — stream the links array in now,
+      // while the other queries' marking passes below overlap the fill.
+      for (size_t g = 0; g < group; ++g) {
+        const SearchScratch::Beam& beam = s.beams[g];
+        if (!beam.done && !beam.candidates.empty()) {
+          const std::vector<uint32_t>& links = nodes_[beam.candidates.front().second].links[0];
+          if (!links.empty()) {
+            PrefetchSpan(links.data(), links.size() * sizeof(uint32_t));
+          }
+        }
+      }
+      // 2a-pop: per live query, pop the frontier top, decide beam
+      // termination, stash the adjacency list, and issue write-intent
+      // prefetches for its neighbors' visited words (random 4B/2B accesses
+      // over up to 2M slots — the batch path's dominant misses). The marking
+      // pass below consumes them only after every OTHER query's pop has run
+      // in between, so the whole group's visited-word misses overlap instead
+      // of each query stalling on its own.
+      for (size_t g = 0; g < group; ++g) {
+        SearchScratch::Beam& beam = s.beams[g];
+        beam.pending.clear();
+        beam.scan_links = nullptr;
+        if (beam.done) {
+          continue;
+        }
+        if (beam.candidates.empty()) {
+          beam.done = true;
+          continue;
+        }
+        const auto [sim, slot] = beam.candidates.front();
+        std::pop_heap(beam.candidates.begin(), beam.candidates.end());
+        beam.candidates.pop_back();
+        if (beam.results.size() >= ef_eff && sim < beam.results.front().first) {
+          beam.done = true;  // frontier can no longer improve the result set
+          continue;
+        }
+        if (hop != nullptr) {
+          ++*hop;
+        }
+        beam.scan_links = &nodes_[slot].links[0];
+        for (uint32_t neighbor : *beam.scan_links) {
+          PrefetchWrite(&s.epochs[neighbor]);
+          PrefetchWrite(&s.visited_mask[neighbor]);
+        }
+        any_active = true;
+      }
+      if (!any_active) {
         break;
       }
-      const double exact = simd::DotF32I8(query.data(), QVecOf(scored.slot), config_.dim) *
-                           static_cast<double>(scales_[scored.slot]);
-      top.Push(exact, nodes_[scored.slot].id);
-      ++rescored;
-    }
-    g_rerank_queries.fetch_add(1, std::memory_order_relaxed);
-    g_rerank_candidates.fetch_add(rescored, std::memory_order_relaxed);
-  } else {
-    for (const ScoredSlot& scored : found) {
-      if (!nodes_[scored.slot].deleted) {
-        top.Push(scored.sim, nodes_[scored.slot].id);
+      // 2a-mark: claim each popped node's unvisited neighbors. Queries mark
+      // in the same per-query order as the sequential beam, and the visited
+      // state is per-query (bit g) — the shared epoch word converges to the
+      // same value whichever group member touches a slot first — so the
+      // pending lists are bit-identical to the unsplit pass.
+      for (size_t g = 0; g < group; ++g) {
+        SearchScratch::Beam& beam = s.beams[g];
+        if (beam.scan_links == nullptr) {
+          continue;
+        }
+        const uint16_t bit = static_cast<uint16_t>(1u << g);
+        for (uint32_t neighbor : *beam.scan_links) {
+          if (s.epochs[neighbor] != group_epoch) {
+            s.epochs[neighbor] = group_epoch;
+            s.visited_mask[neighbor] = 0;
+          }
+          if ((s.visited_mask[neighbor] & bit) == 0) {
+            s.visited_mask[neighbor] = static_cast<uint16_t>(s.visited_mask[neighbor] | bit);
+            if (vis != nullptr) {
+              ++*vis;
+            }
+            // Head of the vector only: a full-span prefetch of ~30 512-byte
+            // float vectors here would flood the miss buffers and evict the
+            // other interleaved queries' lines; the scoring pass below
+            // streams the remaining lines one neighbor ahead instead.
+            PrefetchLine(config_.quantize_int8 ? static_cast<const void*>(QVecOf(neighbor))
+                                               : static_cast<const void*>(VecOf(neighbor)));
+            s.GrowPush(beam.pending, neighbor);
+          }
+        }
+      }
+      // 2b: score the marked neighbors. Scoring a neighbor and pushing it
+      // through the query's bounded heaps is identical in either arena; only
+      // the ORDER queries take turns differs by arena (see below), and each
+      // query always scores its own pending list front to back against its
+      // own heaps, so either schedule is bit-identical to the sequential
+      // single-query beam.
+      const auto score_neighbor = [&](SearchScratch::Beam& beam, const QueryRef& q,
+                                      uint32_t neighbor) {
+        const double neighbor_sim = SimQ(q, neighbor);
+        if (beam.results.size() < ef_eff || neighbor_sim > beam.results.front().first) {
+          s.GrowPush(beam.candidates, {neighbor_sim, neighbor});
+          std::push_heap(beam.candidates.begin(), beam.candidates.end());
+          s.GrowPush(beam.results, {neighbor_sim, neighbor});
+          std::push_heap(beam.results.begin(), beam.results.end(),
+                         std::greater<std::pair<double, uint32_t>>{});
+          if (beam.results.size() > ef_eff) {
+            std::pop_heap(beam.results.begin(), beam.results.end(),
+                          std::greater<std::pair<double, uint32_t>>{});
+            beam.results.pop_back();
+          }
+        }
+      };
+      if (!config_.quantize_int8) {
+        // Float arena: ROUND-ROBIN across the group, one neighbor per live
+        // query per turn, so the full-span prefetch issued for a query's
+        // next 512-byte vector has a whole group's worth of other queries'
+        // dot products to hide behind before it is consumed. At group == 1
+        // this degenerates to a plain one-ahead software pipeline.
+        size_t max_pending = 0;
+        for (size_t g = 0; g < group; ++g) {
+          const SearchScratch::Beam& beam = s.beams[g];
+          max_pending = std::max(max_pending, beam.pending.size());
+          if (beam.pending.empty()) {
+            if (!beam.done && !beam.candidates.empty()) {
+              PrefetchLine(&nodes_[beam.candidates.front().second]);
+            }
+          } else {
+            PrefetchSpan(VecOf(beam.pending[0]), vec_bytes);
+          }
+        }
+        for (size_t p = 0; p < max_pending; ++p) {
+          for (size_t g = 0; g < group; ++g) {
+            SearchScratch::Beam& beam = s.beams[g];
+            if (p >= beam.pending.size()) {
+              continue;
+            }
+            if (p + 1 < beam.pending.size()) {
+              PrefetchSpan(VecOf(beam.pending[p + 1]), vec_bytes);
+            }
+            score_neighbor(beam, query_ref(base + g), beam.pending[p]);
+            if (p + 1 == beam.pending.size() && !beam.candidates.empty()) {
+              // Last pending neighbor scored: warm the next round's pop
+              // target so 2a-pre's adjacency read is cheap.
+              PrefetchLine(&nodes_[beam.candidates.front().second]);
+            }
+          }
+        }
+      } else {
+        // Int8 arena: per-query sequential scoring. A 128-byte code is
+        // fully covered by the marking pass's line prefetch and the dot is
+        // a handful of cycles, so round-robin turn-taking across a 16-wide
+        // group costs more in bookkeeping than it hides in latency.
+        for (size_t g = 0; g < group; ++g) {
+          SearchScratch::Beam& beam = s.beams[g];
+          if (beam.pending.empty()) {
+            if (!beam.done && !beam.candidates.empty()) {
+              PrefetchLine(&nodes_[beam.candidates.front().second]);
+            }
+            continue;
+          }
+          const QueryRef q = query_ref(base + g);
+          for (const uint32_t neighbor : beam.pending) {
+            score_neighbor(beam, q, neighbor);
+          }
+          // Warm the next round's pop target (2a-pre reads its adjacency
+          // pointer) — by then every other query's scoring pass has run.
+          if (!beam.candidates.empty()) {
+            PrefetchLine(&nodes_[beam.candidates.front().second]);
+          }
+        }
       }
     }
+    span.SetArgs(visited, hops);
+    // Phase 3 (per query): drain the beam best-first, re-rank / filter
+    // tombstones through the TopK-mirroring scratch heap, append to the flat
+    // result arena.
+    for (size_t g = 0; g < group; ++g) {
+      const size_t qi = base + g;
+      SearchScratch::Beam& beam = s.beams[g];
+      while (!beam.results.empty()) {
+        s.GrowPush(beam.found, beam.results.front());
+        std::pop_heap(beam.results.begin(), beam.results.end(),
+                      std::greater<std::pair<double, uint32_t>>{});
+        beam.results.pop_back();
+      }
+      std::reverse(beam.found.begin(), beam.found.end());  // best-first
+      auto& heap = s.heaps[0];
+      heap.clear();
+      if (config_.quantize_int8 && config_.rerank_k > 0) {
+        // Exact re-rank: the beam ordered candidates by the quantized metric;
+        // re-score the best rerank_k live ones against the full-precision
+        // query (asymmetric f32 x i8 dot) so the final top-k ordering is free
+        // of quantization noise on the query side.
+        const size_t budget = std::max(config_.rerank_k, k);
+        size_t rescored = 0;
+        const float* qf = queries + qi * query_dim;
+        // The id/deleted reads below are random Node loads the beam last
+        // touched many pops ago; an 8-ahead pipeline keeps them in flight.
+        const size_t nf = beam.found.size();
+        for (size_t j = 0; j < nf && j < 8; ++j) {
+          PrefetchLine(&nodes_[beam.found[j].second]);
+        }
+        for (size_t j = 0; j < nf; ++j) {
+          if (j + 8 < nf) {
+            PrefetchLine(&nodes_[beam.found[j + 8].second]);
+          }
+          const auto& scored = beam.found[j];
+          if (nodes_[scored.second].deleted) {
+            continue;
+          }
+          if (rescored >= budget) {
+            break;
+          }
+          const double exact = simd::DotF32I8(qf, QVecOf(scored.second), config_.dim) *
+                               static_cast<double>(scales_[scored.second]);
+          ScratchTopK::Push(heap, k, exact, nodes_[scored.second].id, s);
+          ++rescored;
+        }
+        g_rerank_queries.fetch_add(1, std::memory_order_relaxed);
+        g_rerank_candidates.fetch_add(rescored, std::memory_order_relaxed);
+      } else {
+        const size_t nf = beam.found.size();
+        for (size_t j = 0; j < nf && j < 8; ++j) {
+          PrefetchLine(&nodes_[beam.found[j].second]);
+        }
+        for (size_t j = 0; j < nf; ++j) {
+          if (j + 8 < nf) {
+            PrefetchLine(&nodes_[beam.found[j + 8].second]);
+          }
+          const auto& scored = beam.found[j];
+          if (!nodes_[scored.second].deleted) {
+            ScratchTopK::Push(heap, k, scored.first, nodes_[scored.second].id, s);
+          }
+        }
+      }
+      ScratchTopK::DrainDescending(heap, &s.results, s);
+      s.EndQuery(qi);
+    }
   }
-  for (auto& [score, id] : top.TakeSortedDescending()) {
-    results.push_back(SearchResult{id, score});
-  }
-  return results;
+}
+
+void HnswIndex::SearchBatch(const float* queries, size_t num_queries, size_t query_dim,
+                            size_t k, SearchScratch* scratch) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  SearchBatchLocked(queries, num_queries, query_dim, k, config_.ef_search, *scratch);
+}
+
+void HnswIndex::SearchBatchEf(const float* queries, size_t num_queries, size_t query_dim,
+                              size_t k, size_t ef, SearchScratch* scratch) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  SearchBatchLocked(queries, num_queries, query_dim, k, ef, *scratch);
 }
 
 std::vector<SearchResult> HnswIndex::Search(const std::vector<float>& query, size_t k) const {

@@ -60,6 +60,12 @@ struct HnswIndexConfig {
   // Number of beam candidates re-scored with the float query before the final
   // top-k cut (only meaningful with quantize_int8; clamped up to k).
   size_t rerank_k = 64;
+  // Reader visited-scratch high-watermark: a search scratch's epoch buffer is
+  // rebuilt when its capacity exceeds BOTH this floor and 4x the current node
+  // count, so long-lived serving threads stop pinning peak-size buffers after
+  // the graph shrinks (eviction, compaction). Never fires near the peak, so
+  // steady-state search stays allocation-free.
+  size_t visited_shrink_floor = size_t{1} << 16;
   uint64_t seed = 0x9f5eed;
 };
 
@@ -86,6 +92,21 @@ class HnswIndex : public VectorIndex {
 
   // Search with an explicit beam width (recall/latency sweeps).
   std::vector<SearchResult> SearchEf(const std::vector<float>& query, size_t k, size_t ef) const;
+
+  // Batched top-k: ONE shared lock for the whole batch, queries traversed in
+  // interleaved groups so one query's compute hides another's arena-line
+  // misses (each 2a pass prefetches the next hop's neighbor vectors/codes;
+  // the matching 2b pass scores them after the other queries' passes have
+  // covered the latency). Per query the traversal is the exact single-query
+  // algorithm over per-query beam state, so results are bit-identical to
+  // Search(query_i, k) — and every buffer lives in the caller's SearchScratch,
+  // so steady-state batches allocate nothing.
+  void SearchBatch(const float* queries, size_t num_queries, size_t query_dim, size_t k,
+                   SearchScratch* scratch) const override;
+
+  // Batched search with an explicit beam width.
+  void SearchBatchEf(const float* queries, size_t num_queries, size_t query_dim, size_t k,
+                     size_t ef, SearchScratch* scratch) const;
 
   // Copies the vector for a live id; false for absent or tombstoned ids.
   bool GetVector(uint64_t id, std::vector<float>* out) const override;
@@ -199,6 +220,11 @@ class HnswIndex : public VectorIndex {
   void MaybeCompactLocked();
   std::vector<SearchResult> SearchLocked(const std::vector<float>& query, size_t k,
                                          size_t ef) const;
+  // The shared batch core (Search/SearchEf run it at batch size 1 over a
+  // thread-local scratch — one traversal implementation, so batch-vs-single
+  // identity is structural rather than re-proved per change).
+  void SearchBatchLocked(const float* queries, size_t num_queries, size_t query_dim, size_t k,
+                         size_t ef, SearchScratch& scratch) const;
 
   mutable std::shared_mutex mu_;
   HnswIndexConfig config_;

@@ -9,6 +9,30 @@
 
 namespace iccache {
 
+namespace {
+
+// Arena slots scored per block in the blocked multi-query scans: 256 slots at
+// dim=128 is 128 KB of float arena (32 KB quantized) — sized so a block stays
+// resident in L2 while every query of the batch streams through it.
+constexpr size_t kScanBlockSlots = 256;
+
+}  // namespace
+
+void VectorIndex::SearchBatch(const float* queries, size_t num_queries, size_t query_dim,
+                              size_t k, SearchScratch* scratch) const {
+  // Fallback for backends without a native batch kernel: loop the single-query
+  // path. Correct (and trivially bit-identical) but not allocation-free.
+  scratch->BeginOutput(num_queries);
+  static thread_local std::vector<float> query;
+  for (size_t i = 0; i < num_queries; ++i) {
+    query.assign(queries + i * query_dim, queries + (i + 1) * query_dim);
+    for (const SearchResult& r : Search(query, k)) {
+      scratch->GrowPush(scratch->results, r);
+    }
+    scratch->EndQuery(i);
+  }
+}
+
 FlatIndex::FlatIndex(size_t dim) : dim_(dim) {}
 
 Status FlatIndex::Add(uint64_t id, std::vector<float> vec) {
@@ -57,6 +81,40 @@ std::vector<SearchResult> FlatIndex::Search(const std::vector<float>& query, siz
     results.push_back(SearchResult{id, score});
   }
   return results;
+}
+
+void FlatIndex::SearchBatch(const float* queries, size_t num_queries, size_t query_dim,
+                            size_t k, SearchScratch* scratch) const {
+  SearchScratch& s = *scratch;
+  s.BeginOutput(num_queries);
+  if (num_queries == 0) {
+    return;
+  }
+  if (s.heaps.size() < num_queries) {
+    ++s.grows;
+    s.heaps.resize(num_queries);
+  }
+  for (size_t q = 0; q < num_queries; ++q) {
+    s.heaps[q].clear();
+  }
+  const size_t n = std::min(query_dim, dim_);
+  // Blocked sweep: each arena block is scored against every query while it is
+  // hot. Per query the push order is still ascending slot order, so the heap
+  // state — equal-score tie-breaks included — matches the single-query scan.
+  for (size_t base = 0; base < ids_.size(); base += kScanBlockSlots) {
+    const size_t end = std::min(base + kScanBlockSlots, ids_.size());
+    for (size_t q = 0; q < num_queries; ++q) {
+      const float* qv = queries + q * query_dim;
+      auto& heap = s.heaps[q];
+      for (size_t i = base; i < end; ++i) {
+        ScratchTopK::Push(heap, k, simd::Dot(qv, VecOf(i), n), ids_[i], s);
+      }
+    }
+  }
+  for (size_t q = 0; q < num_queries; ++q) {
+    ScratchTopK::DrainDescending(s.heaps[q], &s.results, s);
+    s.EndQuery(q);
+  }
 }
 
 bool FlatIndex::GetVector(uint64_t id, std::vector<float>* out) const {
@@ -195,6 +253,70 @@ std::vector<size_t> KMeansIndex::NearestClusters(const std::vector<float>& vec, 
     clusters.push_back(c);
   }
   return clusters;
+}
+
+void KMeansIndex::SearchBatch(const float* queries, size_t num_queries, size_t query_dim,
+                              size_t k, SearchScratch* scratch) const {
+  SearchScratch& s = *scratch;
+  s.BeginOutput(num_queries);
+  if (num_queries == 0) {
+    return;
+  }
+  if (s.heaps.empty()) {
+    ++s.grows;
+    s.heaps.resize(1);
+  }
+  const size_t n = std::min(query_dim, config_.dim);
+  if (!clustered()) {
+    // Blocked flat sweep below the clustering threshold (same discipline as
+    // FlatIndex): per query the push order stays ascending slot order.
+    if (s.heaps.size() < num_queries) {
+      ++s.grows;
+      s.heaps.resize(num_queries);
+    }
+    for (size_t q = 0; q < num_queries; ++q) {
+      s.heaps[q].clear();
+    }
+    for (size_t base = 0; base < ids_.size(); base += kScanBlockSlots) {
+      const size_t end = std::min(base + kScanBlockSlots, ids_.size());
+      for (size_t q = 0; q < num_queries; ++q) {
+        const float* qv = queries + q * query_dim;
+        auto& h = s.heaps[q];
+        for (size_t slot = base; slot < end; ++slot) {
+          ScratchTopK::Push(h, k, simd::Dot(qv, VecOf(slot), n), ids_[slot], s);
+        }
+      }
+    }
+    for (size_t q = 0; q < num_queries; ++q) {
+      ScratchTopK::DrainDescending(s.heaps[q], &s.results, s);
+      s.EndQuery(q);
+    }
+    return;
+  }
+  auto& heap = s.heaps[0];
+  for (size_t q = 0; q < num_queries; ++q) {
+    const float* qv = queries + q * query_dim;
+    // Probe selection: the exact NearestClusters sequence (ascending centroid
+    // pushes on the negated distance, drained best-first) over reused scratch.
+    heap.clear();
+    s.cluster_heap.clear();
+    s.cluster_order.clear();
+    for (size_t c = 0; c < centroids_.size(); ++c) {
+      ScratchTopK::Push(s.cluster_heap, config_.nprobe,
+                        -simd::L2Sq(qv, centroids_[c].data(), config_.dim), c, s);
+    }
+    ScratchTopK::DrainDescending(s.cluster_heap, &s.cluster_order, s);
+    for (const SearchResult& probe : s.cluster_order) {
+      for (uint64_t id : cluster_members_[probe.id]) {
+        const auto it = slot_of_.find(id);
+        if (it != slot_of_.end()) {
+          ScratchTopK::Push(heap, k, simd::Dot(qv, VecOf(it->second), n), id, s);
+        }
+      }
+    }
+    ScratchTopK::DrainDescending(heap, &s.results, s);
+    s.EndQuery(q);
+  }
 }
 
 std::vector<SearchResult> KMeansIndex::Search(const std::vector<float>& query, size_t k) const {

@@ -11,8 +11,10 @@
 #ifndef SRC_INDEX_VECTOR_INDEX_H_
 #define SRC_INDEX_VECTOR_INDEX_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "src/common/rng.h"
@@ -23,6 +25,131 @@ namespace iccache {
 struct SearchResult {
   uint64_t id = 0;
   double score = 0.0;  // cosine similarity, higher is better
+};
+
+// Reusable per-thread scratch for the batched search path of every backend.
+// Every buffer retains its capacity across batches, so once warmed up a
+// steady-state SearchBatch performs ZERO heap allocations per query; `grows`
+// counts scratch reallocations and must stop advancing in steady state (the
+// batch tests and the retrieval bench acceptance assert exactly that).
+// Not thread-safe: one scratch per thread.
+struct SearchScratch {
+  uint64_t grows = 0;  // scratch-buffer reallocations since construction
+
+  // --- Flat result arena ---------------------------------------------------
+  // Results for query i of the last batch occupy
+  // results[offsets[i] .. offsets[i+1]), sorted best-first.
+  std::vector<SearchResult> results;
+  std::vector<size_t> offsets;
+
+  // --- Bounded top-k heaps (flat scan, kmeans members, hnsw rerank) --------
+  std::vector<std::vector<std::pair<double, uint64_t>>> heaps;
+  // KMeans probe-selection scratch (one query at a time).
+  std::vector<std::pair<double, uint64_t>> cluster_heap;
+  std::vector<SearchResult> cluster_order;
+
+  // --- HNSW beam state -----------------------------------------------------
+  // Epoch-reset visited set shared by the batch's interleaved queries: slot n
+  // was visited by interleave-group member g iff epochs[n] holds the group's
+  // epoch AND bit g of visited_mask[n] is set. The mask is what lets up to
+  // sixteen in-flight queries share one buffer without clobbering each
+  // other's marks; a stale epoch implicitly clears the mask, so nothing is
+  // ever rescanned between groups.
+  std::vector<uint32_t> epochs;
+  std::vector<uint16_t> visited_mask;
+  uint32_t epoch = 0;
+  // Quantized query codes (num_queries * dim) + per-query scales, for int8
+  // arenas.
+  std::vector<int8_t> q8;
+  std::vector<float> q8_scales;
+  struct Beam {
+    std::vector<std::pair<double, uint32_t>> candidates;  // max-heap frontier
+    std::vector<std::pair<double, uint32_t>> results;     // min-heap, bounded ef
+    std::vector<std::pair<double, uint32_t>> found;       // drained best-first
+    std::vector<uint32_t> pending;  // neighbors marked this round, to score
+    // Adjacency list popped this round (hnsw): set by the pop pass, consumed
+    // by the marking pass after every other query's pop has run in between —
+    // the gap is what gives the pop pass's visited-word prefetches time to
+    // land. Null when this query popped nothing this round.
+    const std::vector<uint32_t>* scan_links = nullptr;
+    bool done = false;
+    // Lockstep greedy-descent position (upper layers, before the beam runs).
+    uint32_t cur = 0;
+    int layer = 0;
+    double best = 0.0;
+  };
+  std::vector<Beam> beams;
+
+  template <typename T>
+  void GrowResize(std::vector<T>& v, size_t n) {
+    if (n > v.capacity()) {
+      ++grows;
+    }
+    v.resize(n);
+  }
+  template <typename T>
+  void GrowPush(std::vector<T>& v, T value) {
+    if (v.size() == v.capacity()) {
+      ++grows;
+    }
+    v.push_back(std::move(value));
+  }
+
+  void BeginOutput(size_t num_queries) {
+    results.clear();
+    if (num_queries + 1 > offsets.capacity()) {
+      ++grows;
+    }
+    offsets.assign(num_queries + 1, 0);
+  }
+  // Records the end of query i's result range (call after appending them).
+  void EndQuery(size_t i) { offsets[i + 1] = results.size(); }
+
+  const SearchResult* ResultsOf(size_t i) const { return results.data() + offsets[i]; }
+  size_t ResultCountOf(size_t i) const { return offsets[i + 1] - offsets[i]; }
+};
+
+// Heap operations mirroring common/topk.h's TopK<uint64_t> EXACTLY — the same
+// MinFirst comparator and the same emplace_back+push_heap / pop_heap+pop_back
+// sequences std::priority_queue performs — but over a caller-retained buffer,
+// so the batched paths reuse capacity across queries while reproducing the
+// single-query path's equal-score tie-breaks bit-for-bit.
+struct ScratchTopK {
+  using Entry = std::pair<double, uint64_t>;
+  struct MinFirst {
+    bool operator()(const Entry& a, const Entry& b) const { return a.first > b.first; }
+  };
+
+  static void Push(std::vector<Entry>& heap, size_t k, double score, uint64_t payload,
+                   SearchScratch& scratch) {
+    if (k == 0) {
+      return;
+    }
+    if (heap.size() < k) {
+      scratch.GrowPush(heap, Entry{score, payload});
+      std::push_heap(heap.begin(), heap.end(), MinFirst{});
+      return;
+    }
+    if (score > heap.front().first) {
+      std::pop_heap(heap.begin(), heap.end(), MinFirst{});
+      heap.pop_back();
+      heap.emplace_back(score, payload);
+      std::push_heap(heap.begin(), heap.end(), MinFirst{});
+    }
+  }
+
+  // Drains the heap, appending (id, score) best-first to *out — the exact
+  // mirror of TopK::TakeSortedDescending (pop worst-first, then reverse).
+  static void DrainDescending(std::vector<Entry>& heap, std::vector<SearchResult>* out,
+                              SearchScratch& scratch) {
+    const size_t first = out->size();
+    while (!heap.empty()) {
+      scratch.GrowPush(*out, SearchResult{heap.front().second, heap.front().first});
+      std::pop_heap(heap.begin(), heap.end(), MinFirst{});
+      heap.pop_back();
+    }
+    std::reverse(out->begin() + static_cast<ptrdiff_t>(first), out->end());
+  }
 };
 
 class VectorIndex {
@@ -37,6 +164,16 @@ class VectorIndex {
 
   // Returns up to k nearest neighbours sorted best-first.
   virtual std::vector<SearchResult> Search(const std::vector<float>& query, size_t k) const = 0;
+
+  // Batched search over `num_queries` contiguous queries (query i at
+  // queries[i*query_dim .. (i+1)*query_dim)). Results land in the scratch's
+  // flat arena: scratch->ResultsOf(i) / ResultCountOf(i). Guaranteed
+  // bit-identical to calling Search(query_i, k) per query — batching changes
+  // WHEN work happens, never WHAT is computed. The base implementation loops
+  // over Search; backends override with blocked/interleaved multi-query
+  // kernels that do zero steady-state allocations.
+  virtual void SearchBatch(const float* queries, size_t num_queries, size_t query_dim, size_t k,
+                           SearchScratch* scratch) const;
 
   // Copies the stored vector for id into *out; false when absent. Used by
   // the persistence subsystem to export each example's embedding alongside
@@ -57,6 +194,10 @@ class FlatIndex : public VectorIndex {
   Status Add(uint64_t id, std::vector<float> vec) override;
   bool Remove(uint64_t id) override;
   std::vector<SearchResult> Search(const std::vector<float>& query, size_t k) const override;
+  // Blocked multi-query scan: queries sweep the arena one block at a time so
+  // a hot block is scored against the whole batch while it sits in cache.
+  void SearchBatch(const float* queries, size_t num_queries, size_t query_dim, size_t k,
+                   SearchScratch* scratch) const override;
   bool GetVector(uint64_t id, std::vector<float>* out) const override;
   size_t size() const override { return slot_of_.size(); }
 
@@ -100,6 +241,10 @@ class KMeansIndex : public VectorIndex {
   Status Add(uint64_t id, std::vector<float> vec) override;
   bool Remove(uint64_t id) override;
   std::vector<SearchResult> Search(const std::vector<float>& query, size_t k) const override;
+  // Blocked multi-query scan below the clustering threshold; per-query probes
+  // over reused scratch (no allocations) once clustered.
+  void SearchBatch(const float* queries, size_t num_queries, size_t query_dim, size_t k,
+                   SearchScratch* scratch) const override;
   bool GetVector(uint64_t id, std::vector<float>* out) const override;
   size_t size() const override { return ids_.size(); }
 

@@ -44,6 +44,8 @@ const char* TraceCategoryName(TraceCategory category) {
       return "merge_step";
     case TraceCategory::kAnomaly:
       return "anomaly";
+    case TraceCategory::kStage1Batch:
+      return "stage1_batch";
     case TraceCategory::kNumCategories:
       break;
   }

@@ -47,6 +47,7 @@ enum class TraceCategory : uint8_t {
   kGenerate,           // generation (incl. shadow probes) inside a commit lane
   kMergeStep,          // one request's slice of the serial merge
   kAnomaly,            // SLO-watchdog anomaly (instant; arg0: rule, arg1: window)
+  kStage1Batch,        // one chunk's batched stage-1 sweep (arg0: batch size)
   kNumCategories,
 };
 

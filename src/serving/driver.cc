@@ -167,39 +167,113 @@ Status ServingDriver::RestoreSnapshot(const std::string& path) {
   return Status::Ok();
 }
 
-ServingDriver::Prepared ServingDriver::PrepareRequest(const Request& request) const {
-  TraceSpan span(TraceCategory::kPrepare, request.id);
-  Prepared prepared;
-  // One embed shared by every stage: the stage-0 probe, stage-1 retrieval,
-  // and the admission scrub all reuse it.
-  {
-    TraceSpan embed_span(TraceCategory::kEmbed, request.id);
-    prepared.embedding = embedder_->Embed(request.text);
+namespace {
+
+// Per-thread scratch for the batched prepare path. Every buffer retains its
+// capacity across chunks, so steady-state prepare work allocates only what
+// the per-request outputs themselves own.
+struct PrepareScratch {
+  std::vector<float> embeddings;  // chunk-size * dim embedding arena
+  std::vector<double> arrivals;   // per-request freshness clocks for stage-0
+  std::vector<uint64_t> begin_ns;
+  SearchScratch index_scratch;
+  std::vector<std::optional<Stage0Probe>> probes;
+  std::vector<std::vector<SearchResult>> stage1;
+  // The memo caches THIS driver's embedder output; rebuilt if the thread
+  // later serves a driver with a different embedder (tests construct many).
+  std::unique_ptr<EmbedMemo> memo;
+  const Embedder* memo_owner = nullptr;
+};
+
+}  // namespace
+
+void ServingDriver::PrepareChunk(const Request* chunk_requests, size_t count,
+                                 Prepared* out) const {
+  static thread_local PrepareScratch s;
+  const size_t dim = embedder_->dim();
+  if (s.memo == nullptr || s.memo_owner != embedder_.get()) {
+    s.memo = std::make_unique<EmbedMemo>(config_.embed_memo_slots);
+    s.memo_owner = embedder_.get();
   }
-  // Stage-0 probe against the window-start response cache (pure read; the
-  // frozen-threshold hit decision happens in the lane). Stage-1 retrieval
-  // still runs below even when the probe looks confident — a hit saves the
-  // generation, and skipping retrieval on a probe that the lane then rejects
-  // would leave the request without candidates.
+  const uint64_t memo_hits_before = s.memo->hits();
+  const uint64_t memo_misses_before = s.memo->misses();
+  const bool traced = TraceRecorder::tracing_enabled();
+  s.embeddings.resize(count * dim);
+  s.begin_ns.resize(count);
+
+  // One embed per request, shared by every stage below: stage-0 probe,
+  // stage-1 retrieval, and the admission scrub all reuse the arena slot.
+  // Memo hits replay stored embedder output byte-for-byte.
+  for (size_t i = 0; i < count; ++i) {
+    if (traced) {
+      s.begin_ns[i] = TraceRecorder::Global().NowNs();
+    }
+    TraceSpan embed_span(TraceCategory::kEmbed, chunk_requests[i].id);
+    s.memo->EmbedInto(*embedder_, chunk_requests[i].text, s.embeddings.data() + i * dim);
+  }
+
+  // Batched stage-0 probe against the window-start response cache (pure
+  // read; the frozen-threshold hit decision happens in the lane). Stage-1
+  // retrieval still runs below even when a probe looks confident — a hit
+  // saves the generation, and skipping retrieval on a probe that the lane
+  // then rejects would leave the request without candidates.
   if (config_.stage0.enabled) {
-    prepared.stage0 = stage0_.Probe(prepared.embedding, request.arrival_time);
+    s.arrivals.resize(count);
+    for (size_t i = 0; i < count; ++i) {
+      s.arrivals[i] = chunk_requests[i].arrival_time;
+    }
+    stage0_.ProbeBatch(s.embeddings.data(), count, dim, s.arrivals.data(), &s.index_scratch,
+                       &s.probes);
   }
-  // Pure selector half: stage-1 sharded retrieval + stage-2 proxy scoring,
-  // with candidate embeddings prefilled so the commit lanes' diversity guard
-  // does no embedding work. The dynamic utility threshold is applied in the
-  // lane stage, so every request in the window sees the same adaptation
-  // state. A bypassed selector (section 5) skips retrieval entirely — the
-  // request is served without examples.
+
+  // Batched stage-1 sweep: one multi-query pass over the sharded store takes
+  // each shard's lock once for the whole chunk. Each query's result list is
+  // exactly what its single-query FindSimilar would have returned, so the
+  // per-request selector tail below is byte-identical to the unbatched path.
+  // A bypassed selector (section 5) skips retrieval entirely.
   if (!config_.selector_fault_bypass) {
-    prepared.candidates = selector_.PrepareCandidates(request, small_, &prepared.embedding,
-                                                      /*embed_candidates=*/true);
+    TraceSpan batch_span(TraceCategory::kStage1Batch);
+    batch_span.SetArgs(count, config_.selector.stage1_candidates);
+    cache_.FindSimilarBatch(s.embeddings.data(), count, dim, config_.selector.stage1_candidates,
+                            &s.index_scratch, &s.stage1);
   }
-  // Pure lifecycle half: dedupe probe + scrub/embed of the admission payload
-  // (the quality gate needs the generation and runs at publish time).
-  if (config_.lifecycle_admission) {
-    prepared.lifecycle = manager_.PrepareAdmission(request, &prepared.embedding);
+
+  // Per-request tail: selector filter/snapshot/stage-2 scoring (candidate
+  // embeddings prefilled so the commit lanes' diversity guard does no
+  // embedding work — the dynamic utility threshold is applied in the lane
+  // stage) and the pure lifecycle half (dedupe probe + scrub/embed of the
+  // admission payload; the quality gate runs at publish time).
+  for (size_t i = 0; i < count; ++i) {
+    const Request& request = chunk_requests[i];
+    Prepared& prepared = out[i];
+    prepared = Prepared();
+    prepared.embedding.assign(s.embeddings.data() + i * dim,
+                              s.embeddings.data() + (i + 1) * dim);
+    if (config_.stage0.enabled) {
+      prepared.stage0 = s.probes[i];
+    }
+    if (!config_.selector_fault_bypass) {
+      prepared.candidates = selector_.PrepareCandidatesFrom(request, small_, s.stage1[i],
+                                                            /*embed_candidates=*/true);
+    }
+    if (config_.lifecycle_admission) {
+      prepared.lifecycle = manager_.PrepareAdmission(request, &prepared.embedding);
+    }
+    if (traced) {
+      // Per-request prepare phase span, emitted manually so it brackets the
+      // request's embed through its tail even though chunk phases interleave
+      // the requests in between (the timeline assembler books the interleaved
+      // work to prepare_other).
+      TraceEvent prepare_event;
+      prepare_event.category = TraceCategory::kPrepare;
+      prepare_event.request_id = request.id;
+      prepare_event.begin_ns = s.begin_ns[i];
+      prepare_event.end_ns = TraceRecorder::Global().NowNs();
+      TraceRecorder::Global().Emit(prepare_event);
+    }
   }
-  return prepared;
+  memo_hits_.fetch_add(s.memo->hits() - memo_hits_before, std::memory_order_relaxed);
+  memo_misses_.fetch_add(s.memo->misses() - memo_misses_before, std::memory_order_relaxed);
 }
 
 void ServingDriver::CommitLaneRequest(const Request& request, Prepared& prep,
@@ -313,6 +387,8 @@ DriverReport ServingDriver::Run(const std::vector<Request>& requests) {
   report.total_requests = requests.size();
   report.decisions.reserve(requests.size());
   const uint64_t evicted_before = cache_.evicted_total();
+  const uint64_t memo_hits_before = memo_hits_.load(std::memory_order_relaxed);
+  const uint64_t memo_misses_before = memo_misses_.load(std::memory_order_relaxed);
   size_t planned_evictions = 0;  // maintenance-batch removals (not in the store counter)
   const size_t checkpoints_before = checkpointer_.taken();
   LatencyHistogram run_checkpoint_ms(1e-3, 1.10, 256);  // this segment's writes only
@@ -348,6 +424,10 @@ DriverReport ServingDriver::Run(const std::vector<Request>& requests) {
   MetricHistogram* h_ttft = hub_.Histogram("ttft_seconds");
   MetricHistogram* h_queue = hub_.Histogram("queue_delay_seconds");
   MetricHistogram* h_prepare = hub_.Histogram("window_prepare_seconds");
+  // Requests per prepare chunk (fill of the batched prepare tasks). Observed
+  // on the driver thread at submit time from the deterministic chunking, so
+  // the series is thread- and lane-count invariant.
+  MetricHistogram* h_batch_fill = hub_.Histogram("prepare_batch_fill");
   MetricHistogram* h_merge = hub_.Histogram("window_merge_seconds");
   MetricHistogram* h_publish = hub_.Histogram("window_publish_seconds");
   MetricHistogram* h_checkpoint = hub_.Histogram("checkpoint_write_ms", 1e-3, 1.10, 256);
@@ -453,12 +533,19 @@ DriverReport ServingDriver::Run(const std::vector<Request>& requests) {
     maintenance_wall += Since(start);
   };
 
+  // Chunked prepare fan-out: one task per prepare_chunk-sized slice of the
+  // window. Chunk boundaries depend only on (window, prepare_chunk), so the
+  // batch-fill histogram — observed here on the driver thread — is identical
+  // at any thread/lane count.
+  const size_t chunk = std::max<size_t>(1, config_.prepare_chunk);
   const auto submit_prepare = [&](size_t begin, size_t count, std::vector<Prepared>* out,
                                   WaitGroup* wg) {
-    wg->Add(count);
-    for (size_t slot = 0; slot < count; ++slot) {
-      pool.Submit([this, &requests, out, wg, begin, slot] {
-        (*out)[slot] = PrepareRequest(requests[begin + slot]);
+    for (size_t chunk_begin = 0; chunk_begin < count; chunk_begin += chunk) {
+      const size_t chunk_count = std::min(chunk, count - chunk_begin);
+      h_batch_fill->Observe(static_cast<double>(chunk_count));
+      wg->Add(1);
+      pool.Submit([this, &requests, out, wg, begin, chunk_begin, chunk_count] {
+        PrepareChunk(&requests[begin + chunk_begin], chunk_count, &(*out)[chunk_begin]);
         wg->Done();
       });
     }
@@ -878,6 +965,10 @@ DriverReport ServingDriver::Run(const std::vector<Request>& requests) {
       static_cast<size_t>(HnswRerankQueriesTotal() - rerank_queries_before);
   report.hnsw_rerank_candidates =
       static_cast<size_t>(HnswRerankCandidatesTotal() - rerank_candidates_before);
+  report.embed_memo_hits = static_cast<size_t>(memo_hits_.load(std::memory_order_relaxed) -
+                                               memo_hits_before);
+  report.embed_memo_misses = static_cast<size_t>(memo_misses_.load(std::memory_order_relaxed) -
+                                                 memo_misses_before);
 
   // Deterministic tail-exemplar selection: slowest-K completions per batch
   // window (ties broken by request id) plus an optional fixed-rate sample.

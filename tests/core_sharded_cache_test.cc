@@ -158,6 +158,52 @@ TEST(ShardedExampleCacheTest, CapacityIsEnforcedGlobally) {
   EXPECT_LE(cache.used_bytes(), 4096);
 }
 
+// FindSimilarBatch must return byte-for-byte what per-query FindSimilar
+// returns — same ids, same scores, same order — at batch sizes that are
+// smaller than, equal to, and larger than the traversal's interleave width,
+// and on both the flat and hnsw shard backends. Batching is a locking and
+// cache-locality optimisation only.
+TEST(ShardedExampleCacheTest, FindSimilarBatchMatchesPerQuerySearch) {
+  for (const RetrievalBackendKind kind :
+       {RetrievalBackendKind::kFlat, RetrievalBackendKind::kHnsw}) {
+    ShardedCacheConfig config;
+    config.num_shards = 4;
+    config.cache.retrieval.kind = kind;
+    ShardedExampleCache cache(std::make_shared<HashingEmbedder>(), config);
+    for (uint64_t i = 1; i <= 300; ++i) {
+      cache.Put(MakeRequest(i, "pooled example text " + std::to_string(i * 37)),
+                "response", 0.8, 0.9, 25, 0.0);
+    }
+
+    const size_t dim = cache.embedder()->dim();
+    std::vector<std::vector<float>> embeddings;
+    for (int q = 0; q < 33; ++q) {
+      embeddings.push_back(
+          cache.embedder()->Embed("probe query " + std::to_string(q * 11)));
+    }
+
+    SearchScratch scratch;
+    for (const size_t batch : {size_t{1}, size_t{7}, size_t{33}}) {
+      std::vector<float> arena(batch * dim);
+      for (size_t i = 0; i < batch; ++i) {
+        std::copy(embeddings[i].begin(), embeddings[i].end(), arena.begin() + i * dim);
+      }
+      std::vector<std::vector<SearchResult>> batched;
+      cache.FindSimilarBatch(arena.data(), batch, dim, 10, &scratch, &batched);
+      ASSERT_EQ(batched.size(), batch);
+      for (size_t i = 0; i < batch; ++i) {
+        const std::vector<SearchResult> single = cache.FindSimilar(embeddings[i], 10);
+        ASSERT_EQ(batched[i].size(), single.size()) << "kind=" << static_cast<int>(kind)
+                                                    << " batch=" << batch << " q=" << i;
+        for (size_t r = 0; r < single.size(); ++r) {
+          EXPECT_EQ(batched[i][r].id, single[r].id);
+          EXPECT_EQ(batched[i][r].score, single[r].score);
+        }
+      }
+    }
+  }
+}
+
 // Writers and readers hammer the cache from a thread pool at once; the test
 // asserts the end state is exact (every admission landed, ids unique) and no
 // reader ever observes a torn entry.

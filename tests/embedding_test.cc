@@ -135,6 +135,95 @@ TEST(HashingEmbedderTest, SameIntentParaphrasesScoreHigherThanCrossTopic) {
   EXPECT_GT(same_intent.mean(), 0.8);
 }
 
+// The span tokenizer must produce exactly the owned-token output without
+// materializing strings, including the unicode/punctuation edge cases.
+TEST(TokenizeWordSpansTest, MatchesOwnedTokenizer) {
+  const std::string inputs[] = {"Hello, World! 42 foo_bar", "", "  ...  ", "a",
+                                "MiXeD CaSe TEXT with-dashes and_underscores 007",
+                                "trailing token", "!leading punctuation"};
+  std::vector<std::string_view> spans;
+  for (const std::string& text : inputs) {
+    const std::vector<std::string> owned = TokenizeWords(text);
+    TokenizeWordSpans(text, &spans);
+    ASSERT_EQ(spans.size(), owned.size()) << "input: " << text;
+    for (size_t i = 0; i < owned.size(); ++i) {
+      // Spans preserve original case; the owned tokenizer lowercases. The
+      // hashing contract below covers case folding.
+      std::string lowered(spans[i]);
+      for (char& c : lowered) {
+        c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+      }
+      EXPECT_EQ(lowered, owned[i]) << "input: " << text;
+    }
+  }
+}
+
+// HashTokenSpan folds the lowercase at hash time; HashBigramSpan hashes the
+// "a_b" join incrementally. Both must equal HashToken over the materialized
+// lowercase strings for any seed.
+TEST(HashTokenSpanTest, MatchesMaterializedHashing) {
+  for (const uint64_t seed : {uint64_t{0}, uint64_t{0x3e3d0}, uint64_t{0xdeadbeef}}) {
+    EXPECT_EQ(HashTokenSpan("Hello", seed), HashToken("hello", seed));
+    EXPECT_EQ(HashTokenSpan("42", seed), HashToken("42", seed));
+    EXPECT_EQ(HashTokenSpan("", seed), HashToken("", seed));
+    EXPECT_EQ(HashBigramSpan("Foo", "BAR", seed), HashToken("foo_bar", seed));
+    EXPECT_EQ(HashBigramSpan("a", "b", seed), HashToken("a_b", seed));
+  }
+}
+
+// EmbedInto writes into a caller arena and must be bit-identical to Embed
+// (which wraps it) — including the empty-text fallback direction.
+TEST(HashingEmbedderTest, EmbedIntoMatchesEmbedExactly) {
+  HashingEmbedder embedder;
+  std::vector<float> arena(embedder.dim(), -1.0f);
+  for (const std::string& text :
+       {std::string("what is the capital of France?"), std::string(""),
+        std::string("repeat Repeat REPEAT tokens tokens"), std::string("x")}) {
+    const std::vector<float> reference = embedder.Embed(text);
+    embedder.EmbedInto(text, arena.data());
+    ASSERT_EQ(reference.size(), arena.size());
+    for (size_t i = 0; i < reference.size(); ++i) {
+      EXPECT_EQ(arena[i], reference[i]) << "text: '" << text << "' dim " << i;
+    }
+  }
+}
+
+// A memo hit must replay the stored embedder output byte-for-byte, and the
+// hit/miss counters must follow exact-repeat structure. slots=0 disables
+// memoization entirely.
+TEST(EmbedMemoTest, HitsAreByteIdenticalAndBounded) {
+  HashingEmbedder embedder;
+  EmbedMemo memo(64);
+  std::vector<float> from_memo(embedder.dim());
+  std::vector<float> reference(embedder.dim());
+
+  const std::string text = "memoized query text";
+  embedder.EmbedInto(text, reference.data());
+  EXPECT_FALSE(memo.EmbedInto(embedder, text, from_memo.data()));  // cold: miss
+  EXPECT_TRUE(memo.EmbedInto(embedder, text, from_memo.data()));   // repeat: hit
+  EXPECT_EQ(memo.hits(), 1u);
+  EXPECT_EQ(memo.misses(), 1u);
+  for (size_t i = 0; i < reference.size(); ++i) {
+    EXPECT_EQ(from_memo[i], reference[i]);
+  }
+
+  // Distinct texts keep their own slots (up to capacity) and never replay a
+  // wrong vector: every hit is re-checked against the reference embedding.
+  for (int q = 0; q < 200; ++q) {
+    const std::string unique = "unique query " + std::to_string(q);
+    memo.EmbedInto(embedder, unique, from_memo.data());
+    embedder.EmbedInto(unique, reference.data());
+    for (size_t i = 0; i < reference.size(); ++i) {
+      ASSERT_EQ(from_memo[i], reference[i]) << "q=" << q;
+    }
+  }
+
+  EmbedMemo disabled(0);
+  EXPECT_FALSE(disabled.EmbedInto(embedder, text, from_memo.data()));
+  EXPECT_FALSE(disabled.EmbedInto(embedder, text, from_memo.data()));
+  EXPECT_EQ(disabled.hits(), 0u);
+}
+
 class EmbedderDimSweep : public ::testing::TestWithParam<size_t> {};
 
 TEST_P(EmbedderDimSweep, RespectsConfiguredDimension) {

@@ -127,6 +127,66 @@ TEST(HnswStressTest, ManyReadersOneWriter) {
   EXPECT_GT(index.size(), 0u);
 }
 
+// Batched search under churn: 8 threads hammer SearchBatch (each with its own
+// SearchScratch — the documented contract) while a writer inserts and removes
+// concurrently. Exercises the one-shared-lock-per-batch path the serving
+// driver's chunked prepare uses; any scratch state accidentally shared across
+// readers, or batch state read outside the lock, surfaces here under TSan.
+TEST(HnswStressTest, ConcurrentSearchBatchWithInserts) {
+  const size_t dim = 16;
+  const size_t kReaders = 8;
+  HnswIndexConfig config;
+  config.dim = dim;
+  config.min_tombstones_to_compact = 32;  // compaction fires mid-stress
+  HnswIndex index(config);
+  Rng seed_rng(0x8a7c4);
+  for (uint64_t i = 1; i <= 600; ++i) {
+    ASSERT_TRUE(index.Add(i, RandomUnitVector(seed_rng, dim)).ok());
+  }
+
+  ThreadPool pool(kReaders + 1);
+  for (size_t w = 0; w < kReaders; ++w) {
+    pool.Submit([&index, w] {
+      Rng rng(0xba7c4 + w);
+      SearchScratch scratch;
+      std::vector<float> arena;
+      for (int round = 0; round < 120; ++round) {
+        const size_t batch = 1 + rng.UniformInt(7);
+        arena.clear();
+        for (size_t q = 0; q < batch; ++q) {
+          const auto v = RandomUnitVector(rng, 16);
+          arena.insert(arena.end(), v.begin(), v.end());
+        }
+        index.SearchBatch(arena.data(), batch, 16, 5, &scratch);
+        for (size_t q = 0; q < batch; ++q) {
+          ASSERT_LE(scratch.ResultCountOf(q), 5u);
+          const SearchResult* results = scratch.ResultsOf(q);
+          std::set<uint64_t> unique;
+          for (size_t r = 0; r < scratch.ResultCountOf(q); ++r) {
+            if (r > 0) {
+              ASSERT_GE(results[r - 1].score, results[r].score);
+            }
+            unique.insert(results[r].id);
+          }
+          ASSERT_EQ(unique.size(), scratch.ResultCountOf(q));
+        }
+      }
+    });
+  }
+  pool.Submit([&index] {
+    Rng rng(0x3417f);
+    for (uint64_t i = 0; i < 500; ++i) {
+      if (i % 3 == 0) {
+        index.Remove(1 + (i % 600));
+      } else {
+        index.Add(2000 + i, RandomUnitVector(rng, 16));
+      }
+    }
+  });
+  pool.Wait();
+  EXPECT_GT(index.size(), 0u);
+}
+
 // ShardedExampleCache with the HNSW backend under interleaved admissions,
 // lookups, bookkeeping, and removals — the access pattern of the serving
 // driver's parallel phase plus eviction churn.
